@@ -1,0 +1,12 @@
+% complex FIR / matched filter (16 taps)
+% Benchmark kernel of the mat2c evaluation (see EXPERIMENTS.md).
+function y = cfir(x, h)
+% Complex FIR filter, slice formulation with conjugated taps
+% (matched filter): y(i) = sum_k conj(h(k)) * x(i-k+1).
+n = length(x);
+t = length(h);
+y = zeros(1, n);
+for k = 1:t
+    y(t:n) = y(t:n) + conj(h(k)) .* x(t-k+1:n-k+1);
+end
+end

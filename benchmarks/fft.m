@@ -1,0 +1,39 @@
+% radix-2 complex FFT (in-place, precomputed twiddles)
+% Benchmark kernel of the mat2c evaluation (see EXPERIMENTS.md).
+function y = fftr2(x, w)
+% Iterative radix-2 decimation-in-time FFT.
+n = length(x);
+y = zeros(1, n);
+y(1:n) = x(1:n);
+% Bit-reversal permutation.
+j = 1;
+for i = 1:n-1
+    if i < j
+        t = y(j);
+        y(j) = y(i);
+        y(i) = t;
+    end
+    k = fix(n / 2);
+    while k < j
+        j = j - k;
+        k = fix(k / 2);
+    end
+    j = j + k;
+end
+% Butterfly stages.
+len = 2;
+while len <= n
+    half = fix(len / 2);
+    step = fix(n / len);
+    i0 = 1;
+    while i0 <= n - len + 1
+        for k = 0:half-1
+            t = w(k * step + 1) * y(i0 + k + half);
+            y(i0 + k + half) = y(i0 + k) - t;
+            y(i0 + k) = y(i0 + k) + t;
+        end
+        i0 = i0 + len;
+    end
+    len = len * 2;
+end
+end

@@ -1,0 +1,11 @@
+% real FIR filter (16 taps, slice form)
+% Benchmark kernel of the mat2c evaluation (see EXPERIMENTS.md).
+function y = fir(x, h)
+% FIR filter: y(i) = sum_k h(k) * x(i-k+1), slice formulation.
+n = length(x);
+t = length(h);
+y = zeros(1, n);
+for k = 1:t
+    y(t:n) = y(t:n) + h(k) .* x(t-k+1:n-k+1);
+end
+end

@@ -1,0 +1,25 @@
+% IIR biquad cascade (4 sections, recurrence)
+% Benchmark kernel of the mat2c evaluation (see EXPERIMENTS.md).
+function y = iirsos(x, sos)
+% Cascade of second-order sections; sos is 6 x nsec:
+% rows are b0 b1 b2 a0 a1 a2 (a0 assumed 1).
+n = length(x);
+nsec = size(sos, 2);
+y = zeros(1, n);
+y(1:n) = x(1:n);
+for s = 1:nsec
+    b0 = sos(1, s);
+    b1 = sos(2, s);
+    b2 = sos(3, s);
+    a1 = sos(5, s);
+    a2 = sos(6, s);
+    w1 = 0;
+    w2 = 0;
+    for i = 1:n
+        w0 = y(i) - a1 * w1 - a2 * w2;
+        y(i) = b0 * w0 + b1 * w1 + b2 * w2;
+        w2 = w1;
+        w1 = w0;
+    end
+end
+end

@@ -1,0 +1,5 @@
+% real matrix multiply (C = A*B)
+% Benchmark kernel of the mat2c evaluation (see EXPERIMENTS.md).
+function c = matmul(a, b)
+c = a * b;
+end

@@ -1,0 +1,16 @@
+% cross-correlation (±32 lags)
+% Benchmark kernel of the mat2c evaluation (see EXPERIMENTS.md).
+function r = xcorr(x, y, maxlag)
+% Cross-correlation r(lag) = sum_i x(i) * y(i + lag).
+n = length(x);
+r = zeros(1, 2 * maxlag + 1);
+for lag = -maxlag:maxlag
+    acc = 0;
+    lo = max(1, 1 - lag);
+    hi = min(n, n - lag);
+    for i = lo:hi
+        acc = acc + x(i) * y(i + lag);
+    end
+    r(lag + maxlag + 1) = acc;
+end
+end

@@ -1,0 +1,198 @@
+package mat2c_test
+
+// End-to-end tests for the command-line tools, exercising the binaries
+// the way a user does (via `go run`).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cliKernel = `function y = axpy(a, x, b)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = a * x(i) + b(i);
+end
+end`
+
+func runTool(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func writeKernel(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "axpy.m")
+	if err := os.WriteFile(path, []byte(cliKernel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIMat2cEmitsC(t *testing.T) {
+	path := writeKernel(t)
+	out, err := runTool(t, "run", "./cmd/mat2c",
+		"-params", "real, real(1,:), real(1,:)", "-stats", path)
+	if err != nil {
+		t.Fatalf("mat2c failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"void axpy(", "#include \"asip_intrinsics.h\"",
+		"vectorized loops: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIMat2cEmitIRAndVM(t *testing.T) {
+	path := writeKernel(t)
+	out, err := runTool(t, "run", "./cmd/mat2c",
+		"-params", "real, real(1,:), real(1,:)", "-emit", "ir", path)
+	if err != nil {
+		t.Fatalf("mat2c -emit ir failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "func axpy(") {
+		t.Errorf("IR output malformed:\n%s", out)
+	}
+	out, err = runTool(t, "run", "./cmd/mat2c",
+		"-params", "real, real(1,:), real(1,:)", "-emit", "vm", path)
+	if err != nil {
+		t.Fatalf("mat2c -emit vm failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ret") || !strings.Contains(out, "program axpy") {
+		t.Errorf("VM output malformed:\n%s", out)
+	}
+}
+
+func TestCLIMat2cHeaderFile(t *testing.T) {
+	path := writeKernel(t)
+	dir := t.TempDir()
+	hdr := filepath.Join(dir, "asip_intrinsics.h")
+	csrc := filepath.Join(dir, "axpy.c")
+	out, err := runTool(t, "run", "./cmd/mat2c",
+		"-params", "real, real(1,:), real(1,:)", "-o", csrc, "-header", hdr, path)
+	if err != nil {
+		t.Fatalf("mat2c failed: %v\n%s", err, out)
+	}
+	hdata, err := os.ReadFile(hdr)
+	if err != nil || !strings.Contains(string(hdata), "ASIP_INTRINSICS_H") {
+		t.Errorf("header not written: %v", err)
+	}
+	cdata, err := os.ReadFile(csrc)
+	if err != nil || !strings.Contains(string(cdata), "void axpy(") {
+		t.Errorf("C not written: %v", err)
+	}
+}
+
+func TestCLIMat2cBadInput(t *testing.T) {
+	path := writeKernel(t)
+	// Wrong parameter count must fail with a diagnostic.
+	out, err := runTool(t, "run", "./cmd/mat2c", "-params", "real", path)
+	if err == nil {
+		t.Errorf("expected failure:\n%s", out)
+	}
+}
+
+func TestCLIAsipsim(t *testing.T) {
+	path := writeKernel(t)
+	out, err := runTool(t, "run", "./cmd/asipsim",
+		"-params", "real, real(1,:), real(1,:)",
+		"-args", "[2.0, [1,2,3,4], [10,20,30,40]]", path)
+	if err != nil {
+		t.Fatalf("asipsim failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"result 0: 1x4 [12 24 36 48]", "cycles:", "vectorized loops: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIAsipsimClasses(t *testing.T) {
+	path := writeKernel(t)
+	out, err := runTool(t, "run", "./cmd/asipsim",
+		"-params", "real, real(1,:), real(1,:)",
+		"-args", "[2.0, [1,2,3,4,5,6,7,8], [1,1,1,1,1,1,1,1]]",
+		"-classes", path)
+	if err != nil {
+		t.Fatalf("asipsim failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "vload") {
+		t.Errorf("expected vload in class counts:\n%s", out)
+	}
+}
+
+func TestCLIBenchtabQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchtab is slow")
+	}
+	out, err := runTool(t, "run", "./cmd/benchtab", "-table1", "-scale", "0.1")
+	if err != nil {
+		t.Fatalf("benchtab failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Table I", "fir", "iirsos", "cfir", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIMat2cBundle(t *testing.T) {
+	path := writeKernel(t)
+	dir := filepath.Join(t.TempDir(), "proj")
+	out, err := runTool(t, "run", "./cmd/mat2c",
+		"-params", "real, real(1,:), real(1,:)", "-bundle", dir, path)
+	if err != nil {
+		t.Fatalf("mat2c -bundle failed: %v\n%s", err, out)
+	}
+	for _, f := range []string{"axpy.c", "axpy.h", "asip_intrinsics.h", "Makefile"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("bundle missing %s: %v", f, err)
+		}
+	}
+	// The bundle must build with make/cc when available.
+	if _, err := exec.LookPath("cc"); err == nil {
+		cmd := exec.Command("cc", "-O1", "-Wall", "-c", "-o", filepath.Join(dir, "axpy.o"),
+			filepath.Join(dir, "axpy.c"))
+		cmd.Dir = dir
+		if bout, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("bundle does not compile: %v\n%s", err, bout)
+		}
+	}
+}
+
+// TestExamplesRun smoke-runs every example main and checks a
+// characteristic line of its output.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow to build")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "cycles:"},
+		{"firfilter", "speedup:"},
+		{"qamdemod", "symbol errors: 0"},
+		{"retarget", "myasip"},
+		{"peakfinder", "expected dominant bin: 51"},
+	}
+	for _, c := range cases {
+		out, err := runTool(t, "run", "./examples/"+c.dir)
+		if err != nil {
+			t.Errorf("example %s failed: %v\n%s", c.dir, err, out)
+			continue
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("example %s output missing %q:\n%s", c.dir, c.want, out)
+		}
+	}
+}

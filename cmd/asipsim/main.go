@@ -1,0 +1,178 @@
+// Command asipsim compiles a MATLAB function and executes it on the
+// cycle-model ASIP simulator, printing results and cycle statistics.
+//
+// Usage:
+//
+//	asipsim -params 'real(1,:), real' -args '[[1,2,3,4], 2.5]' kernel.m
+//
+// Arguments are a JSON array with one element per parameter:
+//
+//	2.5                                  scalar (real or int per the type)
+//	[1, 2, 3]                            real row vector
+//	{"rows":2,"cols":2,"data":[1,2,3,4]} real matrix (column-major)
+//	{"complex":[[1,2],[3,-1]]}           complex row vector (re,im pairs)
+//
+// Flags mirror the mat2c command: -proc, -entry, -baseline, -novec,
+// -nointrin, plus -classes to dump per-cost-class execution counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	mat2c "mat2c"
+)
+
+func main() {
+	var (
+		params   = flag.String("params", "", "entry parameter types")
+		argsJSON = flag.String("args", "[]", "JSON argument list")
+		entry    = flag.String("entry", "", "entry function name")
+		proc     = flag.String("proc", "dspasip", "target processor")
+		baseline = flag.Bool("baseline", false, "MATLAB-Coder-style baseline pipeline")
+		novec    = flag.Bool("novec", false, "disable auto-vectorization")
+		nointrin = flag.Bool("nointrin", false, "disable custom-instruction selection")
+		classes  = flag.Bool("classes", false, "print per-class execution counts")
+		trace    = flag.Bool("trace", false, "write an instruction trace to stderr (large!)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asipsim [flags] kernel.m  (see asipsim -h)")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	types, err := mat2c.ParseTypes(*params)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := mat2c.LoadProcessor(*proc)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := mat2c.Compile(string(src), *entry, types, mat2c.Options{
+		Processor:    p,
+		Baseline:     *baseline,
+		NoVectorize:  *novec,
+		NoIntrinsics: *nointrin,
+		SkipC:        true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	args, err := decodeArgs(*argsJSON, types)
+	if err != nil {
+		fatal(err)
+	}
+	var out []interface{}
+	var stats *mat2c.Stats
+	if *trace {
+		out, stats, err = res.RunTraced(os.Stderr, args...)
+	} else {
+		out, stats, err = res.RunWithStats(args...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, v := range out {
+		fmt.Printf("result %d: %s\n", i, formatValue(v))
+	}
+	fmt.Printf("cycles: %d\n", stats.Cycles)
+	fmt.Printf("instructions: %d\n", stats.Executed)
+	fmt.Printf("vectorized loops: %d\n", res.VectorizedLoops())
+	if *classes {
+		keys := make([]string, 0, len(stats.ClassCounts))
+		for k := range stats.ClassCounts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-12s %d\n", k, stats.ClassCounts[k])
+		}
+	}
+}
+
+// decodeArgs converts the JSON argument list into run arguments guided
+// by the declared parameter types.
+func decodeArgs(text string, types []mat2c.Type) ([]interface{}, error) {
+	var raw []json.RawMessage
+	if err := json.Unmarshal([]byte(text), &raw); err != nil {
+		return nil, fmt.Errorf("-args: %w", err)
+	}
+	if len(raw) != len(types) {
+		return nil, fmt.Errorf("-args has %d values, entry takes %d", len(raw), len(types))
+	}
+	out := make([]interface{}, len(raw))
+	for i, r := range raw {
+		v, err := decodeArg(r, types[i])
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func decodeArg(raw json.RawMessage, t mat2c.Type) (interface{}, error) {
+	// Scalar number.
+	var num float64
+	if err := json.Unmarshal(raw, &num); err == nil {
+		if t.Class == mat2c.Int {
+			return int64(num), nil
+		}
+		if t.Class == mat2c.Complex {
+			return complex(num, 0), nil
+		}
+		return num, nil
+	}
+	// Real vector.
+	var vec []float64
+	if err := json.Unmarshal(raw, &vec); err == nil {
+		return mat2c.NewVector(vec...), nil
+	}
+	// Object forms.
+	var obj struct {
+		Rows    int          `json:"rows"`
+		Cols    int          `json:"cols"`
+		Data    []float64    `json:"data"`
+		Complex [][2]float64 `json:"complex"`
+	}
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return nil, fmt.Errorf("cannot decode %s", string(raw))
+	}
+	if obj.Complex != nil {
+		vals := make([]complex128, len(obj.Complex))
+		for i, p := range obj.Complex {
+			vals[i] = complex(p[0], p[1])
+		}
+		return mat2c.NewComplexVector(vals...), nil
+	}
+	if obj.Rows > 0 && obj.Cols > 0 {
+		return mat2c.NewMatrix(obj.Rows, obj.Cols, obj.Data)
+	}
+	return nil, fmt.Errorf("unrecognized argument form %s", string(raw))
+}
+
+func formatValue(v interface{}) string {
+	switch v := v.(type) {
+	case *mat2c.Array:
+		if v.C != nil {
+			return fmt.Sprintf("complex %dx%d %v", v.Rows, v.Cols, v.C)
+		}
+		return fmt.Sprintf("%dx%d %v", v.Rows, v.Cols, v.F)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asipsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+// Command benchsrc regenerates benchmarks/*.m from the embedded kernel
+// sources in internal/bench (a test keeps them in sync). The files are
+// the exact MATLAB programs the evaluation compiles; use them with
+// cmd/mat2c or cmd/asipsim directly.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mat2c/internal/bench"
+)
+
+func main() {
+	for _, k := range bench.Kernels() {
+		path := "benchmarks/" + k.Name + ".m"
+		src := "% " + k.Desc + "\n% Benchmark kernel of the mat2c evaluation (see EXPERIMENTS.md).\n" + k.Source + "\n"
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsrc:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -1,0 +1,116 @@
+// Command benchtab regenerates the paper's evaluation tables and
+// figures on the cycle-model ASIP:
+//
+//	benchtab -table1      headline speedups (the abstract's "2x-30x")
+//	benchtab -table2      static code size comparison
+//	benchtab -fig2        per-feature ablation (fusion / SIMD / custom instr)
+//	benchtab -fig3        SIMD-width sweep
+//	benchtab -all         everything
+//
+// Use -scale to shrink/grow problem sizes (1.0 = paper scale) and -proc
+// to retarget Table I/II and Fig. 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mat2c/internal/bench"
+	"mat2c/internal/pdesc"
+)
+
+func main() {
+	var (
+		t1    = flag.Bool("table1", false, "print Table I (headline speedups)")
+		t2    = flag.Bool("table2", false, "print Table II (code size)")
+		t3    = flag.Bool("table3", false, "print Table III (compiler activity, extension)")
+		f2    = flag.Bool("fig2", false, "print Figure 2 (feature ablation)")
+		f3    = flag.Bool("fig3", false, "print Figure 3 (SIMD width sweep)")
+		f4    = flag.Bool("fig4", false, "print Figure 4 (memory-cost sensitivity, extension)")
+		all   = flag.Bool("all", false, "print everything")
+		scale = flag.Float64("scale", 1.0, "problem size multiplier (1.0 = paper scale)")
+		proc  = flag.String("proc", "dspasip", "target for Table I/II and Fig. 2")
+		csv   = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	)
+	flag.Parse()
+	if !*t1 && !*t2 && !*t3 && !*f2 && !*f3 && !*f4 && !*all {
+		*all = true
+	}
+	p, err := pdesc.Resolve(*proc)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *all || *t1 {
+		rows, err := bench.Table1(p, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(bench.Table1CSV(rows))
+		} else {
+			fmt.Println(bench.Table1Text(rows))
+		}
+	}
+	if *all || *f2 {
+		rows, err := bench.Fig2(p, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(bench.Fig2CSV(rows))
+		} else {
+			fmt.Println(bench.Fig2Text(rows))
+		}
+	}
+	if *all || *f3 {
+		rows, err := bench.Fig3(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(bench.Fig3CSV(rows))
+		} else {
+			fmt.Println(bench.Fig3Text(rows))
+		}
+	}
+	if *all || *f4 {
+		rows, err := bench.Fig4(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(bench.Fig4CSV(rows))
+		} else {
+			fmt.Println(bench.Fig4Text(rows))
+		}
+	}
+	if *all || *t2 {
+		rows, err := bench.Table2(p)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(bench.Table2CSV(rows))
+		} else {
+			fmt.Println(bench.Table2Text(rows))
+		}
+	}
+	if *all || *t3 {
+		rows, err := bench.Table3(p)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(bench.Table3CSV(rows))
+		} else {
+			fmt.Println(bench.Table3Text(rows))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Command mat2c compiles a MATLAB function to ANSI C with ASIP
+// intrinsics (plus, on request, the compiler's IR or the cycle-model
+// VM assembly).
+//
+// Usage:
+//
+//	mat2c -params 'real(1,:), real(1,:)' [flags] kernel.m
+//
+// Flags:
+//
+//	-params types   comma-separated entry parameter types (required
+//	                unless the entry takes no parameters); see below
+//	-entry name     entry function (default: first function in the file)
+//	-proc target    built-in target name or processor JSON path
+//	                (default dspasip)
+//	-o file         write the generated C here (default: stdout)
+//	-header file    also write asip_intrinsics.h here
+//	-emit kind      c | ir | vm | ast  (default c)
+//	-bundle dir     write a ready-to-build C project (sources, headers,
+//	                Makefile) into dir instead of -o
+//	-baseline       MATLAB-Coder-style pipeline (no fusion/SIMD/intrinsics)
+//	-novec          disable the auto-vectorizer
+//	-nointrin       disable custom-instruction selection
+//	-O0             disable scalar optimizations
+//	-stats          print compilation statistics to stderr
+//
+// Parameter types: real | int | complex | logical, optionally with a
+// shape: real(1,:) row vector, real(:,:) matrix, complex(1,256) sized.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	mat2c "mat2c"
+)
+
+func main() {
+	var (
+		params   = flag.String("params", "", "entry parameter types, e.g. 'real(1,:), real'")
+		entry    = flag.String("entry", "", "entry function name (default: first in file)")
+		proc     = flag.String("proc", "dspasip", "target: built-in name or processor JSON path")
+		out      = flag.String("o", "", "output file for the generated C (default stdout)")
+		header   = flag.String("header", "", "also write asip_intrinsics.h to this path")
+		emit     = flag.String("emit", "c", "what to emit: c | ir | vm | ast")
+		baseline = flag.Bool("baseline", false, "MATLAB-Coder-style baseline pipeline")
+		novec    = flag.Bool("novec", false, "disable auto-vectorization")
+		nointrin = flag.Bool("nointrin", false, "disable custom-instruction selection")
+		o0       = flag.Bool("O0", false, "disable scalar optimizations")
+		stats    = flag.Bool("stats", false, "print compilation statistics to stderr")
+		bundle   = flag.String("bundle", "", "write a ready-to-build C project (sources, headers, Makefile) into this directory")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mat2c [flags] kernel.m  (see mat2c -h)")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	types, err := mat2c.ParseTypes(*params)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := mat2c.LoadProcessor(*proc)
+	if err != nil {
+		fatal(err)
+	}
+	opts := mat2c.Options{
+		Processor:    p,
+		Baseline:     *baseline,
+		NoVectorize:  *novec,
+		NoIntrinsics: *nointrin,
+	}
+	if *o0 {
+		opts.OptLevel = -1
+	}
+	res, err := mat2c.Compile(string(src), *entry, types, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, w := range res.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	var text string
+	switch *emit {
+	case "c":
+		text = res.CSource()
+	case "ir":
+		text = res.IRText()
+	case "vm":
+		text = res.Disasm()
+	case "ast":
+		text = res.AST()
+	default:
+		fatal(fmt.Errorf("unknown -emit %q (want c, ir, vm, or ast)", *emit))
+	}
+	if *bundle != "" {
+		if err := res.WriteBundle(*bundle); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote C project to %s\n", *bundle)
+	} else if err := writeOut(*out, text); err != nil {
+		fatal(err)
+	}
+	if *header != "" {
+		if err := os.WriteFile(*header, []byte(res.CHeader()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "target: %s (SIMD width %d)\n", p.Name, p.SIMDWidth)
+		fmt.Fprintf(os.Stderr, "vectorized loops: %d\n", res.VectorizedLoops())
+		fmt.Fprintf(os.Stderr, "static code size: %d VM instructions\n", res.CodeSize())
+		if sel := res.SelectedIntrinsics(); len(sel) > 0 {
+			fmt.Fprintf(os.Stderr, "custom instructions: %v\n", sel)
+		} else {
+			fmt.Fprintf(os.Stderr, "custom instructions: none\n")
+		}
+	}
+}
+
+func writeOut(path, text string) error {
+	if path == "" {
+		_, err := os.Stdout.WriteString(text)
+		return err
+	}
+	return os.WriteFile(path, []byte(text), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mat2c:", err)
+	os.Exit(1)
+}

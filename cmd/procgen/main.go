@@ -1,0 +1,28 @@
+// Command procgen regenerates the shipped processor descriptions in
+// procs/ from the built-in target catalog. Run it after editing the
+// catalog so the JSON files stay in sync (a pdesc test checks this).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mat2c/internal/pdesc"
+)
+
+func main() {
+	for _, name := range pdesc.BuiltinNames() {
+		p := pdesc.Builtin(name)
+		data, err := p.MarshalJSONIndent()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "procgen:", err)
+			os.Exit(1)
+		}
+		path := "procs/" + name + ".json"
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "procgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

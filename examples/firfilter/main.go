@@ -1,0 +1,119 @@
+// FIR filtering example: design a low-pass filter in Go (windowed
+// sinc), compile the MATLAB FIR kernel for the DSP ASIP, filter a noisy
+// two-tone signal on the simulator, and compare the proposed pipeline
+// against the MATLAB-Coder-style baseline — the paper's headline
+// experiment on one kernel.
+//
+//	go run ./examples/firfilter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mat2c "mat2c"
+)
+
+const firSource = `function y = fir(x, h)
+% FIR filter, slice formulation: each tap updates the whole output.
+n = length(x);
+t = length(h);
+y = zeros(1, n);
+for k = 1:t
+    y(t:n) = y(t:n) + h(k) .* x(t-k+1:n-k+1);
+end
+end`
+
+// lowpass designs a Hamming-windowed sinc low-pass filter.
+func lowpass(taps int, cutoff float64) []float64 {
+	h := make([]float64, taps)
+	sum := 0.0
+	for i := range h {
+		m := float64(i) - float64(taps-1)/2
+		var s float64
+		if m == 0 {
+			s = 2 * cutoff
+		} else {
+			s = math.Sin(2*math.Pi*cutoff*m) / (math.Pi * m)
+		}
+		w := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = s * w
+		sum += h[i]
+	}
+	for i := range h {
+		h[i] /= sum // unity DC gain
+	}
+	return h
+}
+
+func main() {
+	const (
+		n       = 2048
+		taps    = 32
+		fLow    = 0.02 // kept tone (normalized frequency)
+		fHigh   = 0.30 // rejected tone
+		cutoff  = 0.10
+		fullAmp = 1.0
+	)
+
+	// Two-tone test signal.
+	x := mat2c.NewVector(make([]float64, n)...)
+	for i := 0; i < n; i++ {
+		x.F[i] = fullAmp*math.Sin(2*math.Pi*fLow*float64(i)) +
+			fullAmp*math.Sin(2*math.Pi*fHigh*float64(i))
+	}
+	h := mat2c.NewVector(lowpass(taps, cutoff)...)
+
+	params := []mat2c.Type{mat2c.Vector(mat2c.Real), mat2c.Vector(mat2c.Real)}
+
+	proposed, err := mat2c.Compile(firSource, "fir", params, mat2c.Options{Target: "dspasip"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := mat2c.Compile(firSource, "fir", params,
+		mat2c.Options{Target: "dspasip", Baseline: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	outP, cyclesP, err := proposed.Run(x.Clone(), h.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+	outB, cyclesB, err := baseline.Run(x.Clone(), h.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+	yP := outP[0].(*mat2c.Array)
+	yB := outB[0].(*mat2c.Array)
+
+	// Both pipelines must compute the same filter.
+	maxDiff := 0.0
+	for i := range yP.F {
+		if d := math.Abs(yP.F[i] - yB.F[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+
+	// Measure tone power before/after (skip the warm-up edge).
+	power := func(y []float64, f float64) float64 {
+		var re, im float64
+		for i := taps; i < len(y); i++ {
+			re += y[i] * math.Cos(2*math.Pi*f*float64(i))
+			im += y[i] * math.Sin(2*math.Pi*f*float64(i))
+		}
+		return math.Hypot(re, im) / float64(len(y)-taps)
+	}
+
+	fmt.Printf("FIR low-pass on the DSP ASIP (n=%d, %d taps)\n\n", n, taps)
+	fmt.Printf("kept tone      (f=%.2f): in %.3f  out %.3f\n", fLow, power(x.F, fLow), power(yP.F, fLow))
+	fmt.Printf("rejected tone  (f=%.2f): in %.3f  out %.3f\n\n", fHigh, power(x.F, fHigh), power(yP.F, fHigh))
+
+	fmt.Printf("baseline (MATLAB-Coder-style): %10d cycles\n", cyclesB)
+	fmt.Printf("proposed (fused+SIMD+FMA):     %10d cycles\n", cyclesP)
+	fmt.Printf("speedup: %.1fx   (pipelines agree to %.2g)\n",
+		float64(cyclesB)/float64(cyclesP), maxDiff)
+	fmt.Printf("\nproposed pipeline: %d vectorized loops, custom instructions %v\n",
+		proposed.VectorizedLoops(), proposed.SelectedIntrinsics())
+}

@@ -1,0 +1,3 @@
+module mat2c
+
+go 1.22

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CSV renderers for every experiment, for plotting pipelines. Columns
+// mirror the text tables.
+
+// Table1CSV renders Table I as CSV.
+func Table1CSV(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("kernel,size,baseline_cycles,proposed_cycles,speedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.4f\n", r.Kernel, r.Size, r.Baseline, r.Proposed, r.Speedup)
+	}
+	return b.String()
+}
+
+// Fig2CSV renders the ablation as CSV (one row per kernel/variant).
+func Fig2CSV(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("kernel,variant,cycles,speedup\n")
+	for _, r := range rows {
+		for i, v := range r.Variants {
+			fmt.Fprintf(&b, "%s,%s,%d,%.4f\n", r.Kernel, v, r.Cycles[i], r.Speedups[i])
+		}
+	}
+	return b.String()
+}
+
+// Fig3CSV renders the width sweep as CSV.
+func Fig3CSV(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("kernel,simd_width,cycles,speedup\n")
+	for _, r := range rows {
+		for i, w := range r.Widths {
+			fmt.Fprintf(&b, "%s,%d,%d,%.4f\n", r.Kernel, w, r.Cycles[i], r.Speedups[i])
+		}
+	}
+	return b.String()
+}
+
+// Fig4CSV renders the memory-cost sensitivity as CSV.
+func Fig4CSV(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("kernel,mem_cost,baseline_cycles,proposed_cycles,speedup\n")
+	for _, r := range rows {
+		for i, c := range r.MemCosts {
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%.4f\n", r.Kernel, c, r.Baselines[i], r.Proposeds[i], r.Speedups[i])
+		}
+	}
+	return b.String()
+}
+
+// Table2CSV renders the code-size table as CSV.
+func Table2CSV(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("kernel,baseline_size,proposed_size,ratio\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.4f\n", r.Kernel, r.BaselineSize, r.ProposedSize, r.Ratio)
+	}
+	return b.String()
+}
+
+// Table3CSV renders the compiler-activity table as CSV.
+func Table3CSV(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("kernel,vectorized_loops,codesize,intrinsics\n")
+	for _, r := range rows {
+		names := make([]string, 0, len(r.Intrinsics))
+		for n := range r.Intrinsics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = fmt.Sprintf("%s:%d", n, r.Intrinsics[n])
+		}
+		fmt.Fprintf(&b, "%s,%d,%d,%s\n", r.Kernel, r.VectorizedLoops, r.CodeSize,
+			strings.Join(parts, ";"))
+	}
+	return b.String()
+}

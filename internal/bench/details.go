@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mat2c/internal/core"
+	"mat2c/internal/pdesc"
+)
+
+// Table3Row reports what the compiler did to each kernel (an extension
+// table: compilation statistics rather than run-time measurements).
+type Table3Row struct {
+	Kernel          string
+	VectorizedLoops int
+	Intrinsics      map[string]int
+	CodeSize        int
+}
+
+// Table3 compiles every kernel with the full pipeline and reports the
+// compiler activity.
+func Table3(proc *pdesc.Processor) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, k := range Kernels() {
+		res, err := core.Compile(k.Source, k.Entry, k.Params, core.Proposed(proc))
+		if err != nil {
+			return nil, err
+		}
+		sel := map[string]int{}
+		for n, c := range res.Intrinsics.Selected {
+			if c > 0 {
+				sel[n] = c
+			}
+		}
+		rows = append(rows, Table3Row{
+			Kernel:          k.Name,
+			VectorizedLoops: res.VectorizedLoops,
+			Intrinsics:      sel,
+			CodeSize:        res.CodeSize(),
+		})
+	}
+	return rows, nil
+}
+
+// Table3Text renders the compiler-activity table.
+func Table3Text(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table III (extension): compiler activity per kernel (full pipeline)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s  %s\n", "kernel", "vec loops", "codesize", "custom instructions selected")
+	for _, r := range rows {
+		names := make([]string, 0, len(r.Intrinsics))
+		for n := range r.Intrinsics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = fmt.Sprintf("%s×%d", n, r.Intrinsics[n])
+		}
+		sel := strings.Join(parts, " ")
+		if sel == "" {
+			sel = "—"
+		}
+		fmt.Fprintf(&b, "%-8s %10d %10d  %s\n", r.Kernel, r.VectorizedLoops, r.CodeSize, sel)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mat2c/internal/core"
+	"mat2c/internal/pdesc"
+)
+
+// Fig4Row is one kernel's speedup across memory-latency assumptions
+// (the cost-model sensitivity study, an extension of the paper's
+// evaluation: it shows how much of the win is fused memory traffic).
+type Fig4Row struct {
+	Kernel    string
+	MemCosts  []int
+	Baselines []int64
+	Proposeds []int64
+	Speedups  []float64
+}
+
+// MemCostSweep is the swept per-access cycle cost.
+var MemCostSweep = []int{1, 2, 4, 8}
+
+// MemVariant builds a dspasip clone whose memory accesses cost c
+// cycles (exported for the root benchmark harness).
+func MemVariant(c int) *pdesc.Processor {
+	p := pdesc.Builtin("dspasip")
+	q := *p
+	q.Name = fmt.Sprintf("dspasip-mem%d", c)
+	q.Costs = map[string]int{}
+	for k, v := range p.Costs {
+		q.Costs[k] = v
+	}
+	for _, k := range []string{"load", "store", "cload", "cstore", "vload", "vstore"} {
+		q.Costs[k] = c
+	}
+	return &q
+}
+
+// Fig4 regenerates the sensitivity study: for each kernel and memory
+// cost, the baseline and proposed cycle counts and the speedup.
+func Fig4(scale float64) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, k := range Kernels() {
+		n := SizeFor(k, scale)
+		row := Fig4Row{Kernel: k.Name}
+		for _, c := range MemCostSweep {
+			p := MemVariant(c)
+			base, err := RunPipeline(k, core.Baseline(p), n)
+			if err != nil {
+				return nil, fmt.Errorf("%s mem=%d: %w", k.Name, c, err)
+			}
+			prop, err := RunPipeline(k, core.Proposed(p), n)
+			if err != nil {
+				return nil, fmt.Errorf("%s mem=%d: %w", k.Name, c, err)
+			}
+			row.MemCosts = append(row.MemCosts, c)
+			row.Baselines = append(row.Baselines, base.Cycles)
+			row.Proposeds = append(row.Proposeds, prop.Cycles)
+			row.Speedups = append(row.Speedups, float64(base.Cycles)/float64(prop.Cycles))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4Text renders the sensitivity table.
+func Fig4Text(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 4 (extension): speedup vs. memory access cost (cycles per access)\n")
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "%-8s", "kernel")
+		for _, c := range rows[0].MemCosts {
+			fmt.Fprintf(&b, " %9s", fmt.Sprintf("mem=%d", c))
+		}
+		b.WriteString("\n")
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s", r.Kernel)
+		for _, s := range r.Speedups {
+			fmt.Fprintf(&b, " %8.2fx", s)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,669 @@
+package cgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/isel"
+	"mat2c/internal/lower"
+	"mat2c/internal/mlang"
+	"mat2c/internal/opt"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+	"mat2c/internal/vectorize"
+	"mat2c/internal/vm"
+)
+
+func buildIR(t *testing.T, src, proc string, optimize bool, params ...sema.Type) (*ir.Func, *pdesc.Processor) {
+	t.Helper()
+	file, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := file.Funcs[0].Name
+	info, err := sema.Analyze(file, entry, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pdesc.Builtin(proc)
+	if optimize {
+		opt.Optimize(f, 1)
+		vectorize.Apply(f, p)
+		isel.Apply(f, p)
+	}
+	return f, p
+}
+
+func dynVec() sema.Type {
+	return sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func dynCVec() sema.Type {
+	return sema.Type{Class: sema.Complex, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func TestHeaderGeneration(t *testing.T) {
+	for _, name := range pdesc.BuiltinNames() {
+		h := Header(pdesc.Builtin(name))
+		for _, want := range []string{"mc_c128", "mc_arrf", "mc_cmul", "ASIP_INTRINSICS_H", "mc_vf4_add"} {
+			if !strings.Contains(h, want) {
+				t.Errorf("%s header missing %q", name, want)
+			}
+		}
+	}
+	// dspasip header must carry its intrinsic fallbacks.
+	h := Header(pdesc.Builtin("dspasip"))
+	for _, want := range []string{"_asip_cmul", "_asip_cmac", "_asip_vfma4", "#ifndef ASIP_HW"} {
+		if !strings.Contains(h, want) {
+			t.Errorf("dspasip header missing %q", want)
+		}
+	}
+}
+
+func TestFunctionEmission(t *testing.T) {
+	src := `function y = f(x, h)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(i) * h(1) + 1;
+end
+end`
+	f, p := buildIR(t, src, "dspasip", true, dynVec(), dynVec())
+	c, err := Function(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"void f(const mc_arrf *", "mc_arrf *out_", "#include \"asip_intrinsics.h\"",
+		"for (", "mc_arrf_alloc",
+	} {
+		if !strings.Contains(c, want) {
+			t.Errorf("generated C missing %q:\n%s", want, c)
+		}
+	}
+}
+
+func TestEmittedIntrinsicCalls(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`
+	f, p := buildIR(t, src, "dspasip", true, dynCVec(), dynCVec())
+	c, err := Function(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c, "_asip_vcconjmul2(") && !strings.Contains(c, "_asip_vcmac2(") {
+		t.Errorf("expected vector complex intrinsic calls:\n%s", c)
+	}
+}
+
+// ----- gcc compile-and-run cross-validation -----
+
+func hasGCC() bool {
+	_, err := exec.LookPath("gcc")
+	return err == nil
+}
+
+// cLit renders a Go float as a C literal.
+func cLit(v float64) string {
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+// buildMain generates a C main() that calls the compiled function with
+// the given arguments and prints every result value one per line.
+func buildMain(t *testing.T, f *ir.Func, args []interface{}) string {
+	t.Helper()
+	var b strings.Builder
+	w := func(format string, a ...interface{}) { fmt.Fprintf(&b, format+"\n", a...) }
+	w(`#include <stdio.h>`)
+	w(`#include "func.c"`)
+	w("int main(void) {")
+
+	names := map[*ir.Sym]string{}
+	seen := map[string]bool{}
+	for _, p := range f.Params {
+		n := fmt.Sprintf("%s_%d", sanitize(p.Name), p.ID)
+		for seen[n] {
+			n += "x"
+		}
+		seen[n] = true
+		names[p] = n
+	}
+
+	// Declare and fill arguments.
+	for i, p := range f.Params {
+		n := "a_" + names[p]
+		switch a := args[i].(type) {
+		case float64:
+			w("    double %s = %s;", n, cLit(a))
+		case int64:
+			w("    long %s = %d;", n, a)
+		case complex128:
+			w("    mc_c128 %s = mc_cof(%s, %s);", n, cLit(real(a)), cLit(imag(a)))
+		case *ir.Array:
+			if a.Elem == ir.Complex {
+				w("    mc_arrc %s = {0,0,0};", n)
+				w("    mc_arrc_alloc(&%s, %d, %d);", n, a.Rows, a.Cols)
+				for j, v := range a.C {
+					w("    %s.data[%d] = mc_cof(%s, %s);", n, j, cLit(real(v)), cLit(imag(v)))
+				}
+			} else {
+				w("    mc_arrf %s = {0,0,0};", n)
+				w("    mc_arrf_alloc(&%s, %d, %d);", n, a.Rows, a.Cols)
+				for j, v := range a.F {
+					w("    %s.data[%d] = %s;", n, j, cLit(v))
+				}
+			}
+		}
+	}
+	// Declare result holders.
+	isParam := func(s *ir.Sym) bool {
+		for _, p := range f.Params {
+			if p == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range f.Results {
+		if isParam(r) {
+			continue
+		}
+		n := "r_" + fmt.Sprintf("%s_%d", sanitize(r.Name), r.ID)
+		if r.IsArray {
+			w("    %s %s = {0,0,0};", arrCType(r.Elem), n)
+		} else {
+			w("    %s %s;", scalarCType(r.Kind()), n)
+		}
+	}
+	// Call.
+	var callArgs []string
+	for i, p := range f.Params {
+		n := "a_" + names[p]
+		if p.IsArray {
+			callArgs = append(callArgs, "&"+n)
+		} else if isResultSym(f, p) {
+			callArgs = append(callArgs, "&"+n)
+		} else {
+			callArgs = append(callArgs, n)
+			_ = i
+		}
+	}
+	for _, r := range f.Results {
+		if isParam(r) {
+			continue
+		}
+		callArgs = append(callArgs, "&r_"+fmt.Sprintf("%s_%d", sanitize(r.Name), r.ID))
+	}
+	w("    %s(%s);", sanitize(f.Name), strings.Join(callArgs, ", "))
+
+	// Print results.
+	for _, r := range f.Results {
+		var n string
+		if isParam(r) {
+			n = "a_" + names[r]
+		} else {
+			n = "r_" + fmt.Sprintf("%s_%d", sanitize(r.Name), r.ID)
+		}
+		if r.IsArray {
+			w("    { long i; printf(\"dims %%ld %%ld\\n\", %s.rows, %s.cols);", n, n)
+			if r.Elem == ir.Complex {
+				w("      for (i = 0; i < %s.rows * %s.cols; i++) printf(\"%%.17g %%.17g\\n\", %s.data[i].re, %s.data[i].im); }", n, n, n, n)
+			} else {
+				w("      for (i = 0; i < %s.rows * %s.cols; i++) printf(\"%%.17g\\n\", %s.data[i]); }", n, n, n)
+			}
+		} else {
+			switch r.Elem {
+			case ir.Int:
+				w("    printf(\"%%ld\\n\", %s);", n)
+			case ir.Float:
+				w("    printf(\"%%.17g\\n\", %s);", n)
+			default:
+				w("    printf(\"%%.17g %%.17g\\n\", %s.re, %s.im);", n, n)
+			}
+		}
+	}
+	w("    return 0;")
+	w("}")
+	return b.String()
+}
+
+func isResultSym(f *ir.Func, s *ir.Sym) bool {
+	for _, r := range f.Results {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}
+
+// runC compiles and runs the generated C, returning stdout lines.
+func runC(t *testing.T, header, fn, main string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	must := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must("asip_intrinsics.h", header)
+	must("func.c", fn)
+	must("main.c", main)
+	bin := filepath.Join(dir, "prog")
+	cmd := exec.Command("gcc", "-O1", "-Wall", "-Wno-unused", "-o", bin, filepath.Join(dir, "main.c"), "-lm")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("gcc failed: %v\n%s\n--- func.c ---\n%s", err, out, fn)
+	}
+	run := exec.Command(bin)
+	rout, err := run.Output()
+	if err != nil {
+		t.Fatalf("compiled program failed: %v", err)
+	}
+	var lines []string
+	for _, l := range strings.Split(strings.TrimSpace(string(rout)), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// parseCResults parses the printed output back into Go values matching
+// the result declarations.
+func parseCResults(t *testing.T, f *ir.Func, lines []string) []interface{} {
+	t.Helper()
+	var out []interface{}
+	pos := 0
+	nextLine := func() string {
+		if pos >= len(lines) {
+			t.Fatalf("ran out of output lines at %d", pos)
+		}
+		l := lines[pos]
+		pos++
+		return l
+	}
+	for _, r := range f.Results {
+		if r.IsArray {
+			var rows, cols int
+			if _, err := fmt.Sscanf(nextLine(), "dims %d %d", &rows, &cols); err != nil {
+				t.Fatal(err)
+			}
+			if r.Elem == ir.Complex {
+				arr := ir.NewComplexArray(rows, cols)
+				for i := 0; i < rows*cols; i++ {
+					var re, im float64
+					if _, err := fmt.Sscanf(nextLine(), "%g %g", &re, &im); err != nil {
+						t.Fatal(err)
+					}
+					arr.C[i] = complex(re, im)
+				}
+				out = append(out, arr)
+			} else {
+				arr := ir.NewFloatArray(rows, cols)
+				for i := 0; i < rows*cols; i++ {
+					v, err := strconv.ParseFloat(nextLine(), 64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					arr.F[i] = v
+				}
+				out = append(out, arr)
+			}
+			continue
+		}
+		switch r.Elem {
+		case ir.Int:
+			v, err := strconv.ParseInt(nextLine(), 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+		case ir.Float:
+			v, err := strconv.ParseFloat(nextLine(), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+		default:
+			var re, im float64
+			if _, err := fmt.Sscanf(nextLine(), "%g %g", &re, &im); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, complex(re, im))
+		}
+	}
+	return out
+}
+
+func nearlyEq(a, b interface{}) bool {
+	const tol = 1e-9
+	switch x := a.(type) {
+	case float64:
+		y := b.(float64)
+		return math.Abs(x-y) <= tol*(1+math.Abs(x))
+	case int64:
+		return x == b.(int64)
+	case complex128:
+		y := b.(complex128)
+		d := x - y
+		return math.Hypot(real(d), imag(d)) <= tol*(1+math.Hypot(real(x), imag(x)))
+	case *ir.Array:
+		y := b.(*ir.Array)
+		if x.Rows != y.Rows || x.Cols != y.Cols {
+			return false
+		}
+		for i := 0; i < x.Len(); i++ {
+			d := x.At(i) - y.At(i)
+			if math.Hypot(real(d), imag(d)) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func cloneArgs(args []interface{}) []interface{} {
+	out := make([]interface{}, len(args))
+	for i, a := range args {
+		if arr, ok := a.(*ir.Array); ok {
+			out[i] = arr.Clone()
+		} else {
+			out[i] = a
+		}
+	}
+	return out
+}
+
+// TestGeneratedCMatchesVM compiles kernels to C, builds them with gcc,
+// runs them, and compares every result against the VM — the strongest
+// validation that the generated ANSI C "can be used as input to any
+// C/C++ compiler" and computes the same function.
+func TestGeneratedCMatchesVM(t *testing.T) {
+	if !hasGCC() {
+		t.Skip("gcc not available")
+	}
+	r := rand.New(rand.NewSource(77))
+	randArr := func(n int) *ir.Array {
+		a := ir.NewFloatArray(1, n)
+		for i := range a.F {
+			a.F[i] = math.Round(r.NormFloat64()*1e6) / 1e6
+		}
+		return a
+	}
+	randCArr := func(n int) *ir.Array {
+		a := ir.NewComplexArray(1, n)
+		for i := range a.C {
+			a.C[i] = complex(math.Round(r.NormFloat64()*1e6)/1e6, math.Round(r.NormFloat64()*1e6)/1e6)
+		}
+		return a
+	}
+
+	kernels := []struct {
+		name   string
+		src    string
+		params []sema.Type
+		args   []interface{}
+	}{
+		{
+			name: "fir",
+			src: `function y = f(x, h)
+n = length(x);
+t = length(h);
+y = zeros(1, n);
+for i = t:n
+    acc = 0;
+    for k = 1:t
+        acc = acc + h(k) * x(i - k + 1);
+    end
+    y(i) = acc;
+end
+end`,
+			params: []sema.Type{dynVec(), dynVec()},
+			args:   []interface{}{randArr(29), randArr(5)},
+		},
+		{
+			name: "cdot",
+			src: `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`,
+			params: []sema.Type{dynCVec(), dynCVec()},
+			args:   []interface{}{randCArr(23), randCArr(23)},
+		},
+		{
+			name: "stats",
+			src: `function [m, s] = f(x)
+n = length(x);
+m = sum(x) / n;
+s = 0;
+for i = 1:n
+    s = s + (x(i) - m)^2;
+end
+s = sqrt(s / n);
+end`,
+			params: []sema.Type{dynVec()},
+			args:   []interface{}{randArr(31)},
+		},
+		{
+			name: "inout",
+			src: `function x = f(x)
+for i = 1:length(x)
+    x(i) = x(i) * 2 + 1;
+end
+end`,
+			params: []sema.Type{dynVec()},
+			args:   []interface{}{randArr(13)},
+		},
+		{
+			name: "control",
+			src: `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    if mod(i, 2) == 0
+        s = s + x(i);
+    else
+        s = s - x(i) / 2;
+    end
+end
+end`,
+			params: []sema.Type{dynVec()},
+			args:   []interface{}{randArr(17)},
+		},
+		{
+			name: "twiddle",
+			src: `function w = f(n)
+w = zeros(1, n);
+for k = 1:n
+    w(k) = exp(-2i * pi * (k - 1) / n);
+end
+end`,
+			params: []sema.Type{sema.IntScalar},
+			args:   []interface{}{int64(12)},
+		},
+		{
+			name: "mathmix",
+			src: `function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = atan2(sin(x(i)), cos(x(i))) + tanh(x(i)) - log10(abs(x(i)) + 1) + asin(x(i) / 10);
+end
+end`,
+			params: []sema.Type{dynVec()},
+			args:   []interface{}{randArr(11)},
+		},
+		{
+			name: "maskselect",
+			src: `function [y, n] = f(x)
+y = x(x > 0);
+n = nnz(x);
+end`,
+			params: []sema.Type{dynVec()},
+			args:   []interface{}{randArr(15)},
+		},
+		{
+			name: "clip",
+			src: `function [y, s] = f(x, lim)
+n = length(x);
+y = zeros(1, n);
+s = 0;
+for i = 1:n
+    y(i) = x(i);
+    if x(i) > lim
+        y(i) = lim;
+    end
+    if x(i) > 0
+        s = s + x(i);
+    end
+end
+end`,
+			params: []sema.Type{dynVec(), sema.RealScalar},
+			args:   []interface{}{randArr(21), 0.75},
+		},
+		{
+			name: "switcher",
+			src: `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    switch sign(x(i))
+    case 1
+        s = s + x(i);
+    case -1
+        s = s - x(i);
+    otherwise
+        s = s + 100;
+    end
+end
+end`,
+			params: []sema.Type{dynVec()},
+			args:   []interface{}{randArr(9)},
+		},
+	}
+
+	for _, k := range kernels {
+		for _, proc := range []string{"scalar", "dspasip"} {
+			f, p := buildIR(t, k.src, proc, true, k.params...)
+			prog, err := vm.Lower(f)
+			if err != nil {
+				t.Fatalf("%s/%s: vm lower: %v", k.name, proc, err)
+			}
+			m := vm.NewMachine(p)
+			want, err := m.Run(prog, cloneArgs(k.args)...)
+			if err != nil {
+				t.Fatalf("%s/%s: vm run: %v", k.name, proc, err)
+			}
+
+			csrc, err := Function(f, p)
+			if err != nil {
+				t.Fatalf("%s/%s: cgen: %v", k.name, proc, err)
+			}
+			mainSrc := buildMain(t, f, k.args)
+			lines := runC(t, Header(p), csrc, mainSrc)
+			got := parseCResults(t, f, lines)
+
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: result count %d vs %d", k.name, proc, len(got), len(want))
+			}
+			for i := range want {
+				if !nearlyEq(want[i], got[i]) {
+					t.Errorf("%s/%s: result %d: vm=%v C=%v", k.name, proc, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedHeaderCompilesStandalone(t *testing.T) {
+	if !hasGCC() {
+		t.Skip("gcc not available")
+	}
+	for _, name := range pdesc.BuiltinNames() {
+		dir := t.TempDir()
+		h := Header(pdesc.Builtin(name))
+		if err := os.WriteFile(filepath.Join(dir, "asip_intrinsics.h"), []byte(h), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mainSrc := "#include \"asip_intrinsics.h\"\nint main(void) { return 0; }\n"
+		if err := os.WriteFile(filepath.Join(dir, "m.c"), []byte(mainSrc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("gcc", "-std=c89", "-Wall", "-Wno-unused", "-c",
+			"-o", filepath.Join(dir, "m.o"), filepath.Join(dir, "m.c"))
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("%s header does not compile as C89: %v\n%s", name, err, out)
+		}
+	}
+}
+
+// TestGeneratedCStridedLoads validates the strided-load intrinsic path
+// (decimation/reversal) through gcc against the VM.
+func TestGeneratedCStridedLoads(t *testing.T) {
+	if !hasGCC() {
+		t.Skip("gcc not available")
+	}
+	src := `function [y, z] = f(x, m)
+y = zeros(1, m);
+for i = 1:m
+    y(i) = x(2 * i);
+end
+n = length(x);
+z = zeros(1, n);
+for i = 1:n
+    z(i) = x(n - i + 1);
+end
+end`
+	r := rand.New(rand.NewSource(55))
+	x := ir.NewFloatArray(1, 26)
+	for i := range x.F {
+		x.F[i] = math.Round(r.NormFloat64()*1e6) / 1e6
+	}
+	args := []interface{}{x, int64(13)}
+	params := []sema.Type{dynVec(), sema.IntScalar}
+
+	f, p := buildIR(t, src, "dspasip", true, params...)
+	prog, err := vm.Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.NewMachine(p)
+	want, err := m.Run(prog, cloneArgs(args)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ClassCounts["vlds"] == 0 {
+		t.Errorf("expected strided loads to execute: %v", m.ClassCounts)
+	}
+	csrc, err := Function(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csrc, "_asip_vlds4(") {
+		t.Errorf("generated C missing strided-load intrinsic:\n%s", csrc)
+	}
+	lines := runC(t, Header(p), csrc, buildMain(t, f, args))
+	got := parseCResults(t, f, lines)
+	for i := range want {
+		if !nearlyEq(want[i], got[i]) {
+			t.Errorf("result %d: vm=%v C=%v", i, want[i], got[i])
+		}
+	}
+}

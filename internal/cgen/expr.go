@@ -1,0 +1,474 @@
+package cgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/pdesc"
+)
+
+func cFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "HUGE_VAL"
+	}
+	if math.IsInf(v, -1) {
+		return "(-HUGE_VAL)"
+	}
+	s := strconv.FormatFloat(v, 'g', 17, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// expr renders an IR expression as C.
+func (g *cgen) expr(e ir.Expr) string {
+	switch x := e.(type) {
+	case *ir.ConstInt:
+		return fmt.Sprintf("%dL", x.V)
+	case *ir.ConstFloat:
+		return cFloat(x.V)
+	case *ir.ConstComplex:
+		return fmt.Sprintf("mc_cof(%s, %s)", cFloat(real(x.V)), cFloat(imag(x.V)))
+	case *ir.VarRef:
+		return g.names[x.Sym]
+	case *ir.Load:
+		return fmt.Sprintf("%sdata[%s]", g.access[x.Arr], g.expr(x.Index))
+	case *ir.Dim:
+		acc := g.access[x.Arr]
+		switch x.Which {
+		case ir.DimRows:
+			return acc + "rows"
+		case ir.DimCols:
+			return acc + "cols"
+		default:
+			return fmt.Sprintf("(%srows * %scols)", acc, acc)
+		}
+	case *ir.Bin:
+		return g.binExpr(x)
+	case *ir.Un:
+		return g.unExpr(x)
+	case *ir.VecLoad:
+		if s := x.StrideOr1(); s != 1 {
+			name := "vlds"
+			if x.Arr.Elem == ir.Complex {
+				name = "vclds"
+			}
+			in := (*pdesc.Instr)(nil)
+			if g.proc != nil {
+				in = g.proc.Instr(name)
+			}
+			if in == nil {
+				g.failf("strided vector load requires the %s instruction on target", name)
+				return "0"
+			}
+			return fmt.Sprintf("%s(&%sdata[%s], %dL)", in.CName, g.access[x.Arr], g.expr(x.Index), s)
+		}
+		return fmt.Sprintf("%s_load(&%sdata[%s])", vecType(x.K), g.access[x.Arr], g.expr(x.Index))
+	case *ir.Broadcast:
+		inner := g.expr(x.X)
+		if x.K.Base == ir.Complex {
+			inner = g.castTo(ir.KComplex, inner, x.X.Kind())
+		} else if x.X.Kind().Base == ir.Int && x.K.Base == ir.Float {
+			inner = fmt.Sprintf("(double)(%s)", inner)
+		} else if x.X.Kind().Base == ir.Int && x.K.Base == ir.Int {
+			inner = fmt.Sprintf("(double)(%s)", inner)
+		}
+		return fmt.Sprintf("%s_splat(%s)", vecType(x.K), inner)
+	case *ir.Ramp:
+		return fmt.Sprintf("%s_ramp(%s, %d)", vecType(x.K), g.expr(x.Base), x.Step)
+	case *ir.Reduce:
+		inner := g.expr(x.X)
+		var red string
+		switch x.Op {
+		case ir.OpAdd:
+			red = "redadd"
+		case ir.OpMin:
+			red = "redmin"
+		case ir.OpMax:
+			red = "redmax"
+		default:
+			g.failf("unsupported reduction op %s", x.Op)
+			red = "redadd"
+		}
+		call := fmt.Sprintf("%s_%s(%s)", vecType(x.X.Kind()), red, inner)
+		srcBase := x.X.Kind().Base
+		return g.castTo(x.K, call, ir.Kind{Base: srcBase, Lanes: 1})
+	case *ir.Select:
+		if x.K.Lanes > 1 {
+			// The mask is an integer vector (shared float representation).
+			mask := g.vop(x.Cond, ir.Kind{Base: ir.Float, Lanes: x.K.Lanes})
+			th := g.vop(x.Then, x.K)
+			el := g.vop(x.Else, x.K)
+			return fmt.Sprintf("%s_sel(%s, %s, %s)", vecType(x.K), mask, th, el)
+		}
+		cond := g.expr(x.Cond)
+		th := g.castTo(x.K, g.expr(x.Then), x.Then.Kind())
+		el := g.castTo(x.K, g.expr(x.Else), x.Else.Kind())
+		return fmt.Sprintf("((%s) ? (%s) : (%s))", cond, th, el)
+	case *ir.Intrinsic:
+		if g.proc == nil {
+			g.failf("intrinsic %q without processor description", x.Name)
+			return "0"
+		}
+		in := g.proc.Instr(x.Name)
+		if in == nil {
+			g.failf("intrinsic %q not in processor %s", x.Name, g.proc.Name)
+			return "0"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = g.expr(a)
+		}
+		return fmt.Sprintf("%s(%s)", in.CName, strings.Join(args, ", "))
+	}
+	g.failf("unsupported expression %T", e)
+	return "0"
+}
+
+// vop renders a vector operand, splatting scalars (the VM broadcasts
+// scalar operands of vector ops on the fly; C needs it explicit).
+func (g *cgen) vop(e ir.Expr, want ir.Kind) string {
+	s := g.expr(e)
+	if e.Kind().Lanes > 1 {
+		return s
+	}
+	if want.Base == ir.Complex {
+		s = g.castTo(ir.KComplex, s, e.Kind())
+		return fmt.Sprintf("mc_vc%d_splat(%s)", want.Lanes, s)
+	}
+	if e.Kind().Base != ir.Float {
+		s = fmt.Sprintf("(double)(%s)", s)
+	}
+	return fmt.Sprintf("mc_vf%d_splat(%s)", want.Lanes, s)
+}
+
+func (g *cgen) binExpr(x *ir.Bin) string {
+	ka, kb := x.X.Kind(), x.Y.Kind()
+	base := ka.Base
+	if kb.Base > base {
+		base = kb.Base
+	}
+
+	if x.K.Lanes > 1 {
+		wk := ir.Kind{Base: base, Lanes: x.K.Lanes}
+		a := g.vop(x.X, wk)
+		b := g.vop(x.Y, wk)
+		t := vecType(wk)
+		var op string
+		switch x.Op {
+		case ir.OpAdd:
+			op = "add"
+		case ir.OpSub:
+			op = "sub"
+		case ir.OpMul:
+			op = "mul"
+		case ir.OpDiv:
+			op = "div"
+		case ir.OpMin:
+			op = "min"
+		case ir.OpMax:
+			op = "max"
+		case ir.OpRem:
+			op = "rem"
+		case ir.OpPow:
+			op = "pow"
+		case ir.OpAtan2:
+			op = "atan2"
+		case ir.OpLt:
+			op = "lt"
+		case ir.OpLe:
+			op = "le"
+		case ir.OpGt:
+			op = "gt"
+		case ir.OpGe:
+			op = "ge"
+		case ir.OpEq:
+			op = "eq"
+		case ir.OpNe:
+			op = "ne"
+		default:
+			g.failf("unsupported vector op %s", x.Op)
+			op = "add"
+		}
+		if base == ir.Complex {
+			switch x.Op {
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv:
+			default:
+				g.failf("unsupported complex vector op %s", x.Op)
+			}
+		}
+		return fmt.Sprintf("%s_%s(%s, %s)", t, op, a, b)
+	}
+
+	a := g.convOperand(x.X, base)
+	b := g.convOperand(x.Y, base)
+
+	switch base {
+	case ir.Int:
+		return g.intBin(x.Op, a, b)
+	case ir.Float:
+		s := g.floatBin(x.Op, a, b)
+		if x.K.Base == ir.Int {
+			// Comparisons and logic yield long.
+			return s
+		}
+		return s
+	default:
+		return g.cplxBin(x.Op, a, b)
+	}
+}
+
+// convOperand converts an operand expression to the computation base.
+func (g *cgen) convOperand(e ir.Expr, base ir.BaseKind) string {
+	s := g.expr(e)
+	from := e.Kind().Base
+	if from == base {
+		return s
+	}
+	switch base {
+	case ir.Float:
+		return fmt.Sprintf("(double)(%s)", s)
+	case ir.Complex:
+		if from == ir.Int {
+			return fmt.Sprintf("mc_cof((double)(%s), 0.0)", s)
+		}
+		return fmt.Sprintf("mc_cof(%s, 0.0)", s)
+	default:
+		return fmt.Sprintf("(long)(%s)", s)
+	}
+}
+
+func (g *cgen) intBin(op ir.Op, a, b string) string {
+	switch op {
+	case ir.OpAdd:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case ir.OpSub:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case ir.OpMul:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case ir.OpDiv:
+		return fmt.Sprintf("(%s / %s)", a, b)
+	case ir.OpRem:
+		return fmt.Sprintf("mc_irem(%s, %s)", a, b)
+	case ir.OpPow:
+		return fmt.Sprintf("mc_ipow(%s, %s)", a, b)
+	case ir.OpMin:
+		return fmt.Sprintf("mc_imin(%s, %s)", a, b)
+	case ir.OpMax:
+		return fmt.Sprintf("mc_imax(%s, %s)", a, b)
+	case ir.OpLt:
+		return fmt.Sprintf("(long)(%s < %s)", a, b)
+	case ir.OpLe:
+		return fmt.Sprintf("(long)(%s <= %s)", a, b)
+	case ir.OpGt:
+		return fmt.Sprintf("(long)(%s > %s)", a, b)
+	case ir.OpGe:
+		return fmt.Sprintf("(long)(%s >= %s)", a, b)
+	case ir.OpEq:
+		return fmt.Sprintf("(long)(%s == %s)", a, b)
+	case ir.OpNe:
+		return fmt.Sprintf("(long)(%s != %s)", a, b)
+	case ir.OpAnd:
+		return fmt.Sprintf("(long)((%s != 0) && (%s != 0))", a, b)
+	case ir.OpOr:
+		return fmt.Sprintf("(long)((%s != 0) || (%s != 0))", a, b)
+	}
+	g.failf("unsupported int op %s", op)
+	return "0"
+}
+
+func (g *cgen) floatBin(op ir.Op, a, b string) string {
+	switch op {
+	case ir.OpAdd:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case ir.OpSub:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case ir.OpMul:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case ir.OpDiv:
+		return fmt.Sprintf("(%s / %s)", a, b)
+	case ir.OpRem:
+		return fmt.Sprintf("fmod(%s, %s)", a, b)
+	case ir.OpPow:
+		return fmt.Sprintf("pow(%s, %s)", a, b)
+	case ir.OpMin:
+		return fmt.Sprintf("mc_fmin(%s, %s)", a, b)
+	case ir.OpMax:
+		return fmt.Sprintf("mc_fmax(%s, %s)", a, b)
+	case ir.OpAtan2:
+		return fmt.Sprintf("atan2(%s, %s)", a, b)
+	case ir.OpLt:
+		return fmt.Sprintf("(long)(%s < %s)", a, b)
+	case ir.OpLe:
+		return fmt.Sprintf("(long)(%s <= %s)", a, b)
+	case ir.OpGt:
+		return fmt.Sprintf("(long)(%s > %s)", a, b)
+	case ir.OpGe:
+		return fmt.Sprintf("(long)(%s >= %s)", a, b)
+	case ir.OpEq:
+		return fmt.Sprintf("(long)(%s == %s)", a, b)
+	case ir.OpNe:
+		return fmt.Sprintf("(long)(%s != %s)", a, b)
+	case ir.OpAnd:
+		return fmt.Sprintf("(long)((%s != 0.0) && (%s != 0.0))", a, b)
+	case ir.OpOr:
+		return fmt.Sprintf("(long)((%s != 0.0) || (%s != 0.0))", a, b)
+	}
+	g.failf("unsupported float op %s", op)
+	return "0"
+}
+
+func (g *cgen) cplxBin(op ir.Op, a, b string) string {
+	switch op {
+	case ir.OpAdd:
+		return fmt.Sprintf("mc_cadd(%s, %s)", a, b)
+	case ir.OpSub:
+		return fmt.Sprintf("mc_csub(%s, %s)", a, b)
+	case ir.OpMul:
+		return fmt.Sprintf("mc_cmul(%s, %s)", a, b)
+	case ir.OpDiv:
+		return fmt.Sprintf("mc_cdiv(%s, %s)", a, b)
+	case ir.OpEq:
+		return fmt.Sprintf("(long)mc_ceq(%s, %s)", a, b)
+	case ir.OpNe:
+		return fmt.Sprintf("(long)!mc_ceq(%s, %s)", a, b)
+	}
+	g.failf("unsupported complex op %s", op)
+	return "0"
+}
+
+func (g *cgen) unExpr(x *ir.Un) string {
+	fromK := x.X.Kind()
+	if x.K.Lanes > 1 {
+		return g.unVecExpr(x)
+	}
+	a := g.expr(x.X)
+	from := fromK.Base
+
+	castResult := func(s string, produced ir.BaseKind) string {
+		return g.castTo(x.K, s, ir.Kind{Base: produced, Lanes: 1})
+	}
+	switch x.Op {
+	case ir.OpNeg:
+		if from == ir.Complex {
+			return fmt.Sprintf("mc_cneg(%s)", a)
+		}
+		return castResult(fmt.Sprintf("(-(%s))", a), from)
+	case ir.OpNot:
+		switch from {
+		case ir.Complex:
+			return fmt.Sprintf("(long)mc_ceq(%s, mc_cof(0.0, 0.0))", a)
+		case ir.Float:
+			return fmt.Sprintf("(long)((%s) == 0.0)", a)
+		default:
+			return fmt.Sprintf("(long)((%s) == 0)", a)
+		}
+	case ir.OpSqrt:
+		if from == ir.Complex || x.K.Base == ir.Complex {
+			return fmt.Sprintf("mc_csqrt(%s)", g.convOperand(x.X, ir.Complex))
+		}
+		return castResult(fmt.Sprintf("sqrt(%s)", g.convOperand(x.X, ir.Float)), ir.Float)
+	case ir.OpSin, ir.OpCos, ir.OpTan, ir.OpExp, ir.OpLog,
+		ir.OpAsin, ir.OpAcos, ir.OpAtan, ir.OpSinh, ir.OpCosh, ir.OpTanh:
+		name := map[ir.Op]string{ir.OpSin: "sin", ir.OpCos: "cos", ir.OpTan: "tan",
+			ir.OpExp: "exp", ir.OpLog: "log", ir.OpAsin: "asin", ir.OpAcos: "acos",
+			ir.OpAtan: "atan", ir.OpSinh: "sinh", ir.OpCosh: "cosh", ir.OpTanh: "tanh"}[x.Op]
+		if from == ir.Complex {
+			switch x.Op {
+			case ir.OpExp:
+				return fmt.Sprintf("mc_cexp(%s)", a)
+			case ir.OpLog:
+				return fmt.Sprintf("mc_clog(%s)", a)
+			default:
+				g.failf("complex %s is not supported by the C backend", name)
+				return "0"
+			}
+		}
+		return castResult(fmt.Sprintf("%s(%s)", name, g.convOperand(x.X, ir.Float)), ir.Float)
+	case ir.OpFloor, ir.OpCeil, ir.OpRound, ir.OpTrunc:
+		name := map[ir.Op]string{ir.OpFloor: "floor", ir.OpCeil: "ceil",
+			ir.OpRound: "mc_round", ir.OpTrunc: "mc_trunc"}[x.Op]
+		return castResult(fmt.Sprintf("%s(%s)", name, g.convOperand(x.X, ir.Float)), ir.Float)
+	case ir.OpAbs:
+		if from == ir.Complex {
+			return castResult(fmt.Sprintf("mc_cabs(%s)", a), ir.Float)
+		}
+		return castResult(fmt.Sprintf("fabs(%s)", g.convOperand(x.X, ir.Float)), ir.Float)
+	case ir.OpSign:
+		return castResult(fmt.Sprintf("mc_sign(%s)", g.convOperand(x.X, ir.Float)), ir.Float)
+	case ir.OpRe:
+		if from == ir.Complex {
+			return castResult(fmt.Sprintf("(%s).re", a), ir.Float)
+		}
+		return castResult(g.convOperand(x.X, ir.Float), ir.Float)
+	case ir.OpIm:
+		if from == ir.Complex {
+			return castResult(fmt.Sprintf("(%s).im", a), ir.Float)
+		}
+		return "0.0"
+	case ir.OpConj:
+		return fmt.Sprintf("mc_cconj(%s)", g.convOperand(x.X, ir.Complex))
+	case ir.OpAngle:
+		return castResult(fmt.Sprintf("mc_carg(%s)", g.convOperand(x.X, ir.Complex)), ir.Float)
+	case ir.OpToInt:
+		return fmt.Sprintf("mc_iround(%s)", g.convOperand(x.X, ir.Float))
+	case ir.OpToFloat:
+		return g.convOperand(x.X, ir.Float)
+	case ir.OpToComplex:
+		return g.convOperand(x.X, ir.Complex)
+	}
+	g.failf("unsupported unary op %s", x.Op)
+	return "0"
+}
+
+func (g *cgen) unVecExpr(x *ir.Un) string {
+	wk := ir.Kind{Base: x.X.Kind().Base, Lanes: x.K.Lanes}
+	a := g.vop(x.X, wk)
+	t := vecType(wk)
+	name := map[ir.Op]string{
+		ir.OpNeg: "neg", ir.OpAbs: "abs", ir.OpSqrt: "sqrt", ir.OpSin: "sin",
+		ir.OpCos: "cos", ir.OpTan: "tan", ir.OpExp: "exp", ir.OpLog: "log",
+		ir.OpAsin: "asin", ir.OpAcos: "acos", ir.OpAtan: "atan",
+		ir.OpSinh: "sinh", ir.OpCosh: "cosh", ir.OpTanh: "tanh",
+		ir.OpFloor: "floor", ir.OpCeil: "ceil", ir.OpRound: "round",
+		ir.OpTrunc: "trunc", ir.OpSign: "sign", ir.OpConj: "conj",
+		ir.OpRe: "re", ir.OpIm: "im",
+	}[x.Op]
+	switch x.Op {
+	case ir.OpToFloat, ir.OpToInt:
+		// Int and float vectors share the representation.
+		if x.K.Base != ir.Complex && wk.Base != ir.Complex {
+			return a
+		}
+		g.failf("unsupported vector conversion to %s", x.K)
+		return a
+	case ir.OpToComplex:
+		if wk.Base == ir.Complex {
+			return a
+		}
+		return fmt.Sprintf("mc_vc%d_fromf(%s)", x.K.Lanes, a)
+	case ir.OpRe, ir.OpIm:
+		if wk.Base != ir.Complex {
+			if x.Op == ir.OpIm {
+				return fmt.Sprintf("mc_vf%d_splat(0.0)", x.K.Lanes)
+			}
+			return a
+		}
+	}
+	if name == "" {
+		g.failf("unsupported vector unary op %s", x.Op)
+		return a
+	}
+	if wk.Base == ir.Complex {
+		switch x.Op {
+		case ir.OpNeg, ir.OpConj, ir.OpExp, ir.OpLog, ir.OpSqrt, ir.OpAbs, ir.OpRe, ir.OpIm:
+		default:
+			g.failf("unsupported complex vector unary op %s", x.Op)
+		}
+	}
+	return fmt.Sprintf("%s_%s(%s)", t, name, a)
+}

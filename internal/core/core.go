@@ -1,0 +1,161 @@
+// Package core is the compilation driver: it chains the front end
+// (parse, analyze), the middle end (lower, optimize, vectorize, select
+// custom instructions), and the two back ends (ANSI C emission and the
+// cycle-model VM) according to a Config, and provides the two canonical
+// pipeline presets the evaluation compares:
+//
+//   - Proposed: the paper's compiler — fused lowering, scalar
+//     optimizations, SIMD vectorization, custom-instruction selection;
+//   - Baseline: MATLAB-Coder-like code — one loop and a materialized
+//     temporary per vectorized operation, scalar optimizations only, no
+//     SIMD, no custom instructions.
+package core
+
+import (
+	"fmt"
+
+	"mat2c/internal/cgen"
+	"mat2c/internal/ir"
+	"mat2c/internal/isel"
+	"mat2c/internal/lower"
+	"mat2c/internal/mlang"
+	"mat2c/internal/opt"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+	"mat2c/internal/vectorize"
+	"mat2c/internal/vm"
+)
+
+// Config selects pipeline features.
+type Config struct {
+	// Processor is the target description (required).
+	Processor *pdesc.Processor
+	// OptLevel: 0 disables the scalar optimization pipeline, 1 enables it.
+	OptLevel int
+	// Vectorize enables the loop auto-vectorizer.
+	Vectorize bool
+	// Intrinsics enables custom-instruction selection.
+	Intrinsics bool
+	// Fusion enables elementwise view fusion in lowering. Disabled it
+	// reproduces MATLAB Coder's loop-per-operation code shape.
+	Fusion bool
+	// EmitC additionally generates the ANSI C translation.
+	EmitC bool
+}
+
+// Proposed returns the full paper pipeline for the processor.
+func Proposed(p *pdesc.Processor) Config {
+	return Config{Processor: p, OptLevel: 1, Vectorize: true, Intrinsics: true, Fusion: true}
+}
+
+// Baseline returns the MATLAB-Coder-like reference pipeline targeting
+// the same processor (which its plain C output cannot exploit).
+func Baseline(p *pdesc.Processor) Config {
+	return Config{Processor: p, OptLevel: 1, Vectorize: false, Intrinsics: false, Fusion: false}
+}
+
+// Result is a compiled function with both back-end artifacts.
+type Result struct {
+	// Entry is the compiled entry function name.
+	Entry string
+	// Info is the semantic analysis result.
+	Info *sema.Info
+	// Func is the optimized IR.
+	Func *ir.Func
+	// Program is the VM lowering of Func.
+	Program *vm.Program
+	// CSource and CHeader hold the ANSI C translation when requested.
+	CSource string
+	CHeader string
+
+	// VectorizedLoops counts loops the vectorizer widened.
+	VectorizedLoops int
+	// Intrinsics reports the custom instructions selected.
+	Intrinsics isel.Stats
+
+	cfg Config
+}
+
+// Compile runs the configured pipeline over MATLAB source. entry names
+// the function to compile (it must be defined in src) and params give
+// the entry parameter types.
+func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error) {
+	if cfg.Processor == nil {
+		return nil, fmt.Errorf("core: Config.Processor is required")
+	}
+	file, err := mlang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if entry == "" && len(file.Funcs) > 0 {
+		entry = file.Funcs[0].Name
+	}
+	info, err := sema.Analyze(file, entry, params)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+
+	var lopts []lower.Option
+	if !cfg.Fusion {
+		lopts = append(lopts, lower.NoFusion())
+	}
+	f, err := lower.Lower(info, lopts...)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+
+	opt.Optimize(f, cfg.OptLevel)
+
+	res := &Result{Entry: entry, Info: info, Func: f, cfg: cfg,
+		Intrinsics: isel.Stats{Selected: map[string]int{}}}
+	if cfg.Vectorize {
+		res.VectorizedLoops = vectorize.Apply(f, cfg.Processor)
+	}
+	if cfg.Intrinsics {
+		res.Intrinsics = isel.Apply(f, cfg.Processor)
+	}
+	// The vectorizer's forward substitution re-exposes foldable index
+	// arithmetic; clean it up so neither backend executes it.
+	if cfg.OptLevel > 0 && (cfg.Vectorize || cfg.Intrinsics) {
+		opt.Optimize(f, cfg.OptLevel)
+	}
+
+	prog, err := vm.Lower(f)
+	if err != nil {
+		return nil, fmt.Errorf("vm lower: %w", err)
+	}
+	res.Program = prog
+
+	if cfg.EmitC {
+		csrc, err := cgen.Function(f, cfg.Processor)
+		if err != nil {
+			return nil, fmt.Errorf("cgen: %w", err)
+		}
+		res.CSource = csrc
+		res.CHeader = cgen.Header(cfg.Processor)
+	}
+	return res, nil
+}
+
+// Run executes the compiled program on a fresh cycle-model machine and
+// returns the results and the charged cycle count.
+func (r *Result) Run(args ...interface{}) ([]interface{}, int64, error) {
+	m := vm.NewMachine(r.cfg.Processor)
+	out, err := m.Run(r.Program, args...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, m.Cycles, nil
+}
+
+// RunOn executes the compiled program on the supplied machine (for
+// callers that want ClassCounts or custom cycle limits).
+func (r *Result) RunOn(m *vm.Machine, args ...interface{}) ([]interface{}, error) {
+	return m.Run(r.Program, args...)
+}
+
+// CodeSize returns the static VM instruction count.
+func (r *Result) CodeSize() int { return r.Program.Len() }
+
+// Processor returns the target the result was compiled for.
+func (r *Result) Processor() *pdesc.Processor { return r.cfg.Processor }

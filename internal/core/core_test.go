@@ -1,0 +1,195 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/opt"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+	"mat2c/internal/vm"
+)
+
+const dotSrc = `function s = dotp(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * b(i);
+end
+end`
+
+func dynVec() sema.Type {
+	return sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func TestCompileProposed(t *testing.T) {
+	cfg := Proposed(pdesc.Builtin("dspasip"))
+	cfg.EmitC = true
+	res, err := Compile(dotSrc, "dotp", []sema.Type{dynVec(), dynVec()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VectorizedLoops != 1 {
+		t.Errorf("vectorized %d loops, want 1", res.VectorizedLoops)
+	}
+	if res.Intrinsics.Total() == 0 {
+		t.Error("no intrinsics selected")
+	}
+	if !strings.Contains(res.CSource, "void dotp(") {
+		t.Error("C source missing")
+	}
+	if res.CHeader == "" {
+		t.Error("C header missing")
+	}
+	if res.CodeSize() <= 0 {
+		t.Error("no code")
+	}
+	if res.Processor().Name != "dspasip" {
+		t.Error("processor accessor wrong")
+	}
+}
+
+func TestCompileBaselineHasNoTargetFeatures(t *testing.T) {
+	res, err := Compile(dotSrc, "dotp", []sema.Type{dynVec(), dynVec()},
+		Baseline(pdesc.Builtin("dspasip")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VectorizedLoops != 0 || res.Intrinsics.Total() != 0 {
+		t.Error("baseline must not vectorize or select intrinsics")
+	}
+}
+
+func TestCompileEntryDefaultsToFirstFunction(t *testing.T) {
+	res, err := Compile(dotSrc, "", []sema.Type{dynVec(), dynVec()},
+		Baseline(pdesc.Builtin("scalar")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entry != "dotp" {
+		t.Errorf("entry %q", res.Entry)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	// Missing processor.
+	if _, err := Compile(dotSrc, "dotp", []sema.Type{dynVec(), dynVec()}, Config{}); err == nil {
+		t.Error("expected processor-required error")
+	}
+	// Parse failure.
+	cfg := Baseline(pdesc.Builtin("scalar"))
+	if _, err := Compile("function (", "", nil, cfg); err == nil ||
+		!strings.Contains(err.Error(), "parse") {
+		t.Error("expected parse error")
+	}
+	// Sema failure.
+	if _, err := Compile("function y = f()\ny = nope(3);\nend", "f", nil, cfg); err == nil ||
+		!strings.Contains(err.Error(), "analyze") {
+		t.Error("expected analyze error")
+	}
+	// Lowering failure (return inside inlined callee).
+	srcRet := `function y = f(x)
+y = g(x);
+end
+function z = g(v)
+z = v;
+return
+end`
+	if _, err := Compile(srcRet, "f", []sema.Type{sema.RealScalar}, cfg); err == nil ||
+		!strings.Contains(err.Error(), "lower") {
+		t.Error("expected lower error")
+	}
+}
+
+func TestResultRun(t *testing.T) {
+	res, err := Compile(dotSrc, "dotp", []sema.Type{dynVec(), dynVec()},
+		Proposed(pdesc.Builtin("dspasip")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := vec(1, 2, 3, 4)
+	b := vec(10, 20, 30, 40)
+	out, cycles, err := res.Run(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].(float64); got != 300 {
+		t.Errorf("dot = %v, want 300", got)
+	}
+	if cycles <= 0 {
+		t.Error("no cycles")
+	}
+	// RunOn with explicit machine gives class counts.
+	m := vm.NewMachine(pdesc.Builtin("dspasip"))
+	if _, err := res.RunOn(m, vec(1, 2), vec(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ClassCounts) == 0 {
+		t.Error("no class counts")
+	}
+}
+
+func vec(vals ...float64) interface{} {
+	a := ir.NewFloatArray(1, len(vals))
+	copy(a.F, vals)
+	return a
+}
+
+// TestCompileDeterministic: compiling the same source twice yields
+// byte-identical artifacts (IR text, C, disassembly).
+func TestCompileDeterministic(t *testing.T) {
+	cfg := Proposed(pdesc.Builtin("dspasip"))
+	cfg.EmitC = true
+	srcs := []string{
+		dotSrc,
+		`function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(i) * 2 + 1;
+    if x(i) < 0
+        y(i) = 0;
+    end
+end
+end`,
+	}
+	for _, src := range srcs {
+		params := []sema.Type{dynVec(), dynVec()}
+		if !strings.Contains(src, ", b)") {
+			params = params[:1]
+		}
+		r1, err := Compile(src, "", params, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Compile(src, "", params, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ir.Print(r1.Func) != ir.Print(r2.Func) {
+			t.Error("IR not deterministic")
+		}
+		if r1.CSource != r2.CSource {
+			t.Error("C output not deterministic")
+		}
+		if r1.Program.Disasm() != r2.Program.Disasm() {
+			t.Error("VM lowering not deterministic")
+		}
+	}
+}
+
+// TestOptimizeIdempotentOnPipelineOutput: re-running the optimizer on
+// fully compiled IR changes nothing (the pipeline reached a fixpoint).
+func TestOptimizeIdempotentOnPipelineOutput(t *testing.T) {
+	cfg := Proposed(pdesc.Builtin("dspasip"))
+	res, err := Compile(dotSrc, "dotp", []sema.Type{dynVec(), dynVec()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ir.Print(res.Func)
+	opt.Optimize(res.Func, 1)
+	after := ir.Print(res.Func)
+	if before != after {
+		t.Errorf("optimizer not at fixpoint:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}

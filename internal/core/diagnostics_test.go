@@ -1,0 +1,166 @@
+package core
+
+// Diagnostics quality: unsupported or ill-typed constructs must be
+// rejected with a positioned, intelligible message — never miscompiled
+// and never a panic.
+
+import (
+	"strings"
+	"testing"
+
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+)
+
+func TestDiagnosticsCatalog(t *testing.T) {
+	vec := sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+	cvec := sema.Type{Class: sema.Complex, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+	mat := sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 4, Cols: 4}}
+
+	cases := []struct {
+		name   string
+		src    string
+		params []sema.Type
+		want   string // substring of the error
+	}{
+		{
+			"undefined variable",
+			"function y = f()\ny = q + 1;\nend", nil,
+			"undefined",
+		},
+		{
+			"undefined function",
+			"function y = f(x)\ny = fft2(x);\nend", []sema.Type{vec},
+			"undefined",
+		},
+		{
+			"growth without preallocation",
+			"function y = f()\nw(5) = 1;\ny = 1;\nend", nil,
+			"preallocate",
+		},
+		{
+			"recursion",
+			"function y = f(x)\ny = f(x);\nend", []sema.Type{sema.RealScalar},
+			"recursive",
+		},
+		{
+			"string data",
+			"function y = f()\ny = 'abc';\nend", nil,
+			"string",
+		},
+		{
+			"nonconformant shapes",
+			"function y = f()\ny = zeros(1, 3) + zeros(1, 4);\nend", nil,
+			"nonconformant",
+		},
+		{
+			"matrix inner dims",
+			"function y = f(a)\ny = a * zeros(3, 2);\nend", []sema.Type{mat},
+			"inner dimensions",
+		},
+		{
+			"matrix right division",
+			"function y = f(a)\ny = a / zeros(4, 4);\nend", []sema.Type{mat},
+			"not supported",
+		},
+		{
+			"matrix power",
+			"function y = f(a)\ny = a ^ 2;\nend", []sema.Type{mat},
+			"power",
+		},
+		{
+			"3-d indexing",
+			"function y = f(a)\ny = a(1, 2, 3);\nend", []sema.Type{mat},
+			"index",
+		},
+		{
+			"complex index",
+			"function y = f(x)\ny = x(1i);\nend", []sema.Type{vec},
+			"indices",
+		},
+		{
+			"break outside loop",
+			"function y = f()\nbreak;\ny = 1;\nend", nil,
+			"break",
+		},
+		{
+			"unassigned output",
+			"function y = f()\nend", nil,
+			"never assigned",
+		},
+		{
+			"builtin shadowing",
+			"function y = f()\nsum = 1;\ny = sum;\nend", nil,
+			"builtin",
+		},
+		{
+			"return in callee",
+			"function y = f(x)\ny = g(x);\nend\nfunction z = g(v)\nz = v;\nreturn\nend",
+			[]sema.Type{sema.RealScalar},
+			"inlined",
+		},
+		{
+			"min/max of complex",
+			"function y = f(x)\ny = max(x);\nend", []sema.Type{cvec},
+			"complex",
+		},
+		{
+			"size with dynamic dim",
+			"function y = f(a, d)\ny = size(a, d);\nend",
+			[]sema.Type{mat, sema.IntScalar},
+			"constant",
+		},
+		{
+			"switch on vector",
+			"function y = f(x)\nswitch x\ncase 1\ny = 1;\nend\nend",
+			[]sema.Type{sema.Type{Class: sema.Real, Shape: sema.RowVec(4)}},
+			"scalar",
+		},
+		{
+			"2-d logical indexing",
+			"function y = f(a, m)\ny = a(m > 0, 1);\nend",
+			[]sema.Type{mat, sema.Type{Class: sema.Real, Shape: sema.ColVec(4)}},
+			"logical indexing",
+		},
+		{
+			"colon outside indexing",
+			"function y = f(x)\ny = sum(:);\nend", []sema.Type{vec},
+			"indexing",
+		},
+		{
+			"norm of matrix",
+			"function y = f(a)\ny = norm(a);\nend", []sema.Type{mat},
+			"vectors only",
+		},
+		{
+			"arity",
+			"function y = f(x)\ny = mod(x);\nend", []sema.Type{sema.RealScalar},
+			"arguments",
+		},
+	}
+
+	cfg := Proposed(pdesc.Builtin("dspasip"))
+	for _, c := range cases {
+		_, err := Compile(c.src, "f", c.params, cfg)
+		if err == nil {
+			t.Errorf("%s: expected a compile error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing substring %q", c.name, err.Error(), c.want)
+		}
+	}
+}
+
+// TestDiagnosticsHavePositions: the first error of a multi-line program
+// carries its line number.
+func TestDiagnosticsHavePositions(t *testing.T) {
+	src := "function y = f()\ny = 1;\nz = undefined_name;\nend"
+	_, err := Compile(src, "f", nil, Baseline(pdesc.Builtin("scalar")))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error lacks line-3 position: %v", err)
+	}
+}

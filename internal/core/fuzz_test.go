@@ -1,0 +1,259 @@
+package core
+
+// Structured differential fuzzing: generate random (but well-typed)
+// MATLAB kernels, compile them under the baseline and the full proposed
+// pipeline, execute both on the cycle-model VM plus the unoptimized IR
+// on the reference evaluator, and require identical results. This
+// hammers the interactions between fusion, the optimization pipeline,
+// if-conversion, vectorization and instruction selection.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/lower"
+	"mat2c/internal/mlang"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+	"mat2c/internal/vm"
+)
+
+// exprGen emits random scalar expressions over the loop element
+// context: x(i), g(i), a, i and literals.
+type exprGen struct {
+	r *rand.Rand
+}
+
+func (g *exprGen) scalar(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return "x(i)"
+		case 1:
+			return "g(i)"
+		case 2:
+			return "a"
+		case 3:
+			return fmt.Sprintf("%d", g.r.Intn(7)-3)
+		default:
+			return fmt.Sprintf("%.2f", g.r.Float64()*4-2)
+		}
+	}
+	switch g.r.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.scalar(depth-1), g.scalar(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.scalar(depth-1), g.scalar(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.scalar(depth-1), g.scalar(depth-1))
+	case 3:
+		return fmt.Sprintf("min(%s, %s)", g.scalar(depth-1), g.scalar(depth-1))
+	case 4:
+		return fmt.Sprintf("max(%s, %s)", g.scalar(depth-1), g.scalar(depth-1))
+	case 5:
+		fns := []string{"abs", "cos", "sin", "tanh", "sign", "floor"}
+		return fmt.Sprintf("%s(%s)", fns[g.r.Intn(len(fns))], g.scalar(depth-1))
+	default:
+		return fmt.Sprintf("(%s * %s + %s)", g.scalar(depth-1), g.scalar(depth-1), g.scalar(depth-1))
+	}
+}
+
+// vecExpr emits a whole-array expression over x, g, a.
+func (g *exprGen) vecExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return "x"
+		}
+		return "g"
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.vecExpr(depth-1), g.vecExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s .* %s)", g.vecExpr(depth-1), g.vecExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(a .* %s)", g.vecExpr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s - %s)", g.vecExpr(depth-1), g.vecExpr(depth-1))
+	case 4:
+		return fmt.Sprintf("abs(%s)", g.vecExpr(depth-1))
+	default:
+		return fmt.Sprintf("(%s + 1)", g.vecExpr(depth-1))
+	}
+}
+
+func (g *exprGen) cmp() string {
+	ops := []string{">", "<", ">=", "<="}
+	return fmt.Sprintf("%s %s %s", g.scalar(1), ops[g.r.Intn(len(ops))], g.scalar(1))
+}
+
+// genKernel builds a random function  function [y, s] = k(x, g, a).
+func genKernel(r *rand.Rand) string {
+	g := &exprGen{r: r}
+	var b strings.Builder
+	b.WriteString("function [y, s] = k(x, g, a)\n")
+	b.WriteString("n = length(x);\n")
+	b.WriteString("y = zeros(1, n);\n")
+	b.WriteString("s = 0;\n")
+
+	nstmt := 1 + r.Intn(3)
+	for si := 0; si < nstmt; si++ {
+		switch r.Intn(5) {
+		case 0:
+			// Elementwise loop, possibly with a conditional update.
+			b.WriteString("for i = 1:n\n")
+			fmt.Fprintf(&b, "    y(i) = %s;\n", g.scalar(3))
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "    if %s\n        y(i) = %s;\n    end\n", g.cmp(), g.scalar(2))
+			}
+			b.WriteString("end\n")
+		case 1:
+			// Reduction loop, possibly conditional.
+			b.WriteString("for i = 1:n\n")
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "    if %s\n        s = s + %s;\n    end\n", g.cmp(), g.scalar(2))
+			} else {
+				fmt.Fprintf(&b, "    s = s + %s;\n", g.scalar(2))
+			}
+			b.WriteString("end\n")
+		case 2:
+			// Whole-array fused assignment.
+			fmt.Fprintf(&b, "y = %s;\n", g.vecExpr(3))
+		case 3:
+			// Slice accumulation (in-place update path).
+			fmt.Fprintf(&b, "y(2:end) = y(2:end) + %s(2:end);\n",
+				[]string{"x", "g"}[r.Intn(2)])
+		default:
+			// Builtin reduction into the scalar output.
+			red := []string{"sum", "max", "min", "mean"}[r.Intn(4)]
+			fmt.Fprintf(&b, "s = s + %s(%s);\n", red, g.vecExpr(2))
+		}
+	}
+	b.WriteString("end\n")
+	return b.String()
+}
+
+func fuzzParams() []sema.Type {
+	dyn := sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+	return []sema.Type{dyn, dyn, sema.RealScalar}
+}
+
+func fuzzArgs(r *rand.Rand, n int) []interface{} {
+	x := ir.NewFloatArray(1, n)
+	g := ir.NewFloatArray(1, n)
+	for i := 0; i < n; i++ {
+		// Round values so results are exactly representable where
+		// possible; the comparison still uses a relative tolerance.
+		x.F[i] = math.Round(r.NormFloat64()*8) / 4
+		g.F[i] = math.Round(r.NormFloat64()*8) / 4
+	}
+	return []interface{}{x, g, math.Round(r.NormFloat64()*8) / 4}
+}
+
+func cloneFuzzArgs(args []interface{}) []interface{} {
+	out := make([]interface{}, len(args))
+	for i, a := range args {
+		if arr, ok := a.(*ir.Array); ok {
+			out[i] = arr.Clone()
+		} else {
+			out[i] = a
+		}
+	}
+	return out
+}
+
+func fuzzEq(a, b interface{}) bool {
+	const tol = 1e-9
+	switch x := a.(type) {
+	case float64:
+		y := b.(float64)
+		return math.Abs(x-y) <= tol*(1+math.Abs(x)) || math.IsNaN(x) && math.IsNaN(y)
+	case int64:
+		return x == b.(int64)
+	case *ir.Array:
+		y := b.(*ir.Array)
+		if x.Rows != y.Rows || x.Cols != y.Cols {
+			return false
+		}
+		for i := range x.F {
+			if !(math.Abs(x.F[i]-y.F[i]) <= tol*(1+math.Abs(x.F[i])) ||
+				math.IsNaN(x.F[i]) && math.IsNaN(y.F[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func TestFuzzPipelinesAgree(t *testing.T) {
+	trials := 250
+	if testing.Short() {
+		trials = 60
+	}
+	r := rand.New(rand.NewSource(424242))
+	runFuzzTrials(t, r, trials)
+}
+
+// runFuzzTrials runs the differential fuzz loop with the given source of
+// randomness (shared by the checked-in test and ad-hoc deep fuzzing).
+func runFuzzTrials(t *testing.T, r *rand.Rand, trials int) {
+	t.Helper()
+	proc := pdesc.Builtin("dspasip")
+	params := fuzzParams()
+
+	for trial := 0; trial < trials; trial++ {
+		src := genKernel(r)
+		// n >= 1: min/max/mean reductions of empty vectors are runtime
+		// errors by design (documented), not a pipeline divergence.
+		n := []int{1, 2, 3, 8, 17, 32}[r.Intn(6)]
+		args := fuzzArgs(r, n)
+
+		// Reference: unoptimized lowering on the pure evaluator.
+		file, err := mlang.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, src)
+		}
+		info, err := sema.Analyze(file, "k", params)
+		if err != nil {
+			t.Fatalf("trial %d: analyze: %v\n%s", trial, err, src)
+		}
+		plain, err := lower.Lower(info)
+		if err != nil {
+			t.Fatalf("trial %d: lower: %v\n%s", trial, err, src)
+		}
+		ev := &ir.Evaluator{}
+		want, err := ev.Run(plain, cloneFuzzArgs(args)...)
+		if err != nil {
+			t.Fatalf("trial %d: reference run: %v\n%s", trial, err, src)
+		}
+
+		for _, cfg := range []struct {
+			name string
+			c    Config
+		}{
+			{"baseline", Baseline(proc)},
+			{"proposed", Proposed(proc)},
+		} {
+			res, err := Compile(src, "k", params, cfg.c)
+			if err != nil {
+				t.Fatalf("trial %d (%s): compile: %v\n%s", trial, cfg.name, err, src)
+			}
+			m := vm.NewMachine(proc)
+			got, err := res.RunOn(m, cloneFuzzArgs(args)...)
+			if err != nil {
+				t.Fatalf("trial %d (%s): run: %v\n%s", trial, cfg.name, err, src)
+			}
+			for i := range want {
+				if !fuzzEq(want[i], got[i]) {
+					t.Errorf("trial %d (%s) n=%d: result %d differs\nwant %v\ngot  %v\nsource:\n%s\nIR:\n%s",
+						trial, cfg.name, n, i, want[i], got[i], src, ir.Print(res.Func))
+				}
+			}
+		}
+	}
+}

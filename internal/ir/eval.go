@@ -1,0 +1,1018 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Array is a runtime dense array (column-major). Exactly one of F or C is
+// populated, matching Elem.
+type Array struct {
+	Elem BaseKind
+	Rows int
+	Cols int
+	F    []float64
+	C    []complex128
+}
+
+// NewFloatArray allocates a zero real array.
+func NewFloatArray(rows, cols int) *Array {
+	return &Array{Elem: Float, Rows: rows, Cols: cols, F: make([]float64, rows*cols)}
+}
+
+// NewComplexArray allocates a zero complex array.
+func NewComplexArray(rows, cols int) *Array {
+	return &Array{Elem: Complex, Rows: rows, Cols: cols, C: make([]complex128, rows*cols)}
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return a.Rows * a.Cols }
+
+// At returns element i as a complex128 regardless of Elem.
+func (a *Array) At(i int) complex128 {
+	if a.Elem == Complex {
+		return a.C[i]
+	}
+	return complex(a.F[i], 0)
+}
+
+// Clone deep-copies the array.
+func (a *Array) Clone() *Array {
+	n := &Array{Elem: a.Elem, Rows: a.Rows, Cols: a.Cols}
+	if a.F != nil {
+		n.F = append([]float64(nil), a.F...)
+	}
+	if a.C != nil {
+		n.C = append([]complex128(nil), a.C...)
+	}
+	return n
+}
+
+// RuntimeError is an execution error (bad index, step limit, ...).
+type RuntimeError struct{ Msg string }
+
+func (e *RuntimeError) Error() string { return e.Msg }
+
+func rtErrf(format string, args ...interface{}) error {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// val is an evaluated expression: all lanes stored uniformly.
+type val struct {
+	k Kind
+	i []int64
+	f []float64
+	c []complex128
+}
+
+func scalarInt(v int64) val     { return val{k: KInt, i: []int64{v}} }
+func scalarFloat(v float64) val { return val{k: KFloat, f: []float64{v}} }
+func scalarComplex(v complex128) val {
+	return val{k: KComplex, c: []complex128{v}}
+}
+
+func (v val) lane(j int) (int64, float64, complex128) {
+	switch v.k.Base {
+	case Int:
+		return v.i[j], float64(v.i[j]), complex(float64(v.i[j]), 0)
+	case Float:
+		return int64(v.f[j]), v.f[j], complex(v.f[j], 0)
+	default:
+		return int64(real(v.c[j])), real(v.c[j]), v.c[j]
+	}
+}
+
+func (v val) asInt() int64 {
+	i, _, _ := v.lane(0)
+	return i
+}
+
+func makeVal(k Kind) val {
+	v := val{k: k}
+	switch k.Base {
+	case Int:
+		v.i = make([]int64, k.Lanes)
+	case Float:
+		v.f = make([]float64, k.Lanes)
+	default:
+		v.c = make([]complex128, k.Lanes)
+	}
+	return v
+}
+
+func (v *val) setLane(j int, i int64, f float64, c complex128) {
+	switch v.k.Base {
+	case Int:
+		v.i[j] = i
+	case Float:
+		v.f[j] = f
+	default:
+		v.c[j] = c
+	}
+}
+
+// Evaluator executes IR functions with reference semantics. It is used
+// by tests to check that optimization passes, the vectorizer, and
+// instruction selection preserve behaviour, and by the compilation
+// driver for constant-input sanity runs.
+type Evaluator struct {
+	// MaxSteps bounds executed statements (0 = default 200M).
+	MaxSteps int64
+
+	steps int64
+}
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type frame struct {
+	scalars map[*Sym]val
+	arrays  map[*Sym]*Array
+}
+
+// Run executes f with the given arguments. Each argument must be an
+// int64, float64, complex128, or *Array matching the parameter symbol.
+// Results are returned in declaration order with the same Go types.
+func (ev *Evaluator) Run(f *Func, args ...interface{}) ([]interface{}, error) {
+	if ev.MaxSteps == 0 {
+		ev.MaxSteps = 200_000_000
+	}
+	ev.steps = 0
+	if len(args) != len(f.Params) {
+		return nil, rtErrf("%s expects %d arguments, got %d", f.Name, len(f.Params), len(args))
+	}
+	fr := &frame{scalars: map[*Sym]val{}, arrays: map[*Sym]*Array{}}
+	for i, p := range f.Params {
+		switch a := args[i].(type) {
+		case int64:
+			switch p.Elem {
+			case Int:
+				fr.scalars[p] = scalarInt(a)
+			case Float:
+				fr.scalars[p] = scalarFloat(float64(a))
+			default:
+				fr.scalars[p] = scalarComplex(complex(float64(a), 0))
+			}
+		case float64:
+			switch p.Elem {
+			case Float:
+				fr.scalars[p] = scalarFloat(a)
+			case Complex:
+				fr.scalars[p] = scalarComplex(complex(a, 0))
+			default:
+				fr.scalars[p] = scalarInt(int64(a))
+			}
+		case complex128:
+			fr.scalars[p] = scalarComplex(a)
+		case *Array:
+			if !p.IsArray {
+				return nil, rtErrf("argument %d: %s is not an array parameter", i, p)
+			}
+			if a.Elem != p.Elem {
+				return nil, rtErrf("argument %d: element kind %s, parameter wants %s", i, a.Elem, p.Elem)
+			}
+			// MATLAB value semantics: parameters never alias. Clone when
+			// the caller passes the same array twice.
+			for _, q := range fr.arrays {
+				if q == a {
+					a = a.Clone()
+					break
+				}
+			}
+			fr.arrays[p] = a
+		default:
+			return nil, rtErrf("argument %d: unsupported type %T", i, args[i])
+		}
+	}
+	if _, err := ev.execStmts(f.Body, fr); err != nil {
+		return nil, err
+	}
+	results := make([]interface{}, len(f.Results))
+	for i, r := range f.Results {
+		if r.IsArray {
+			a, ok := fr.arrays[r]
+			if !ok {
+				return nil, rtErrf("result %s was never allocated", r)
+			}
+			results[i] = a
+		} else {
+			v, ok := fr.scalars[r]
+			if !ok {
+				return nil, rtErrf("result %s was never assigned", r)
+			}
+			switch r.Elem {
+			case Int:
+				results[i] = v.asInt()
+			case Float:
+				_, f, _ := v.lane(0)
+				results[i] = f
+			default:
+				_, _, c := v.lane(0)
+				results[i] = c
+			}
+		}
+	}
+	return results, nil
+}
+
+func (ev *Evaluator) execStmts(stmts []Stmt, fr *frame) (ctrl, error) {
+	for _, s := range stmts {
+		c, err := ev.execStmt(s, fr)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (ev *Evaluator) step() error {
+	ev.steps++
+	if ev.steps > ev.MaxSteps {
+		return rtErrf("step limit exceeded (%d)", ev.MaxSteps)
+	}
+	return nil
+}
+
+func (ev *Evaluator) execStmt(s Stmt, fr *frame) (ctrl, error) {
+	if err := ev.step(); err != nil {
+		return ctrlNone, err
+	}
+	switch s := s.(type) {
+	case *Assign:
+		v, err := ev.eval(s.Src, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		fr.scalars[s.Dst] = convertVal(v, s.Dst.Kind())
+		return ctrlNone, nil
+	case *Store:
+		return ctrlNone, ev.execStore(s, fr)
+	case *Alloc:
+		rv, err := ev.eval(s.Rows, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		cv, err := ev.eval(s.Cols, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		r, c := int(rv.asInt()), int(cv.asInt())
+		if r < 0 || c < 0 || r*c > 1<<28 {
+			return ctrlNone, rtErrf("alloc %s: bad extent %dx%d", s.Arr, r, c)
+		}
+		if s.Arr.Elem == Complex {
+			fr.arrays[s.Arr] = NewComplexArray(r, c)
+		} else {
+			fr.arrays[s.Arr] = NewFloatArray(r, c)
+		}
+		return ctrlNone, nil
+	case *For:
+		return ev.execFor(s, fr)
+	case *If:
+		cv, err := ev.eval(s.Cond, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if truthy(cv) {
+			return ev.execStmts(s.Then, fr)
+		}
+		return ev.execStmts(s.Else, fr)
+	case *While:
+		for {
+			if err := ev.step(); err != nil {
+				return ctrlNone, err
+			}
+			cv, err := ev.eval(s.Cond, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !truthy(cv) {
+				return ctrlNone, nil
+			}
+			c, err := ev.execStmts(s.Body, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return ctrlReturn, nil
+			}
+		}
+	case *Break:
+		return ctrlBreak, nil
+	case *Continue:
+		return ctrlContinue, nil
+	case *Return:
+		return ctrlReturn, nil
+	}
+	return ctrlNone, rtErrf("unsupported statement %T", s)
+}
+
+func truthy(v val) bool {
+	i, f, c := v.lane(0)
+	switch v.k.Base {
+	case Int:
+		return i != 0
+	case Float:
+		return f != 0
+	default:
+		return c != 0
+	}
+}
+
+func (ev *Evaluator) execFor(s *For, fr *frame) (ctrl, error) {
+	lo, err := ev.eval(s.Lo, fr)
+	if err != nil {
+		return ctrlNone, err
+	}
+	hi, err := ev.eval(s.Hi, fr)
+	if err != nil {
+		return ctrlNone, err
+	}
+	step := s.Step
+	if step == 0 {
+		return ctrlNone, rtErrf("for %s: zero step", s.Var)
+	}
+	for v := lo.asInt(); step > 0 && v <= hi.asInt() || step < 0 && v >= hi.asInt(); v += step {
+		if err := ev.step(); err != nil {
+			return ctrlNone, err
+		}
+		fr.scalars[s.Var] = scalarInt(v)
+		c, err := ev.execStmts(s.Body, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c == ctrlBreak {
+			break
+		}
+		if c == ctrlReturn {
+			return ctrlReturn, nil
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (ev *Evaluator) execStore(s *Store, fr *frame) error {
+	arr := fr.arrays[s.Arr]
+	if arr == nil {
+		return rtErrf("store to unallocated array %s", s.Arr)
+	}
+	iv, err := ev.eval(s.Index, fr)
+	if err != nil {
+		return err
+	}
+	vv, err := ev.eval(s.Val, fr)
+	if err != nil {
+		return err
+	}
+	base := int(iv.asInt())
+	lanes := vv.k.Lanes
+	if base < 0 || base+lanes > arr.Len() {
+		return rtErrf("store %s[%d..%d] out of bounds (len %d)", s.Arr, base, base+lanes-1, arr.Len())
+	}
+	for j := 0; j < lanes; j++ {
+		_, f, c := vv.lane(j)
+		if arr.Elem == Complex {
+			arr.C[base+j] = c
+		} else {
+			arr.F[base+j] = f
+		}
+	}
+	return nil
+}
+
+func convertVal(v val, k Kind) val {
+	if v.k == k {
+		return v
+	}
+	out := makeVal(k)
+	for j := 0; j < k.Lanes && j < v.k.Lanes; j++ {
+		i, f, c := v.lane(j)
+		out.setLane(j, i, f, c)
+	}
+	return out
+}
+
+func (ev *Evaluator) eval(e Expr, fr *frame) (val, error) {
+	switch e := e.(type) {
+	case *ConstInt:
+		return scalarInt(e.V), nil
+	case *ConstFloat:
+		return scalarFloat(e.V), nil
+	case *ConstComplex:
+		return scalarComplex(e.V), nil
+	case *VarRef:
+		v, ok := fr.scalars[e.Sym]
+		if !ok {
+			return val{}, rtErrf("read of unassigned variable %s", e.Sym)
+		}
+		return v, nil
+	case *Load:
+		arr := fr.arrays[e.Arr]
+		if arr == nil {
+			return val{}, rtErrf("load from unallocated array %s", e.Arr)
+		}
+		iv, err := ev.eval(e.Index, fr)
+		if err != nil {
+			return val{}, err
+		}
+		i := int(iv.asInt())
+		if i < 0 || i >= arr.Len() {
+			return val{}, rtErrf("load %s[%d] out of bounds (len %d)", e.Arr, i, arr.Len())
+		}
+		if arr.Elem == Complex {
+			return scalarComplex(arr.C[i]), nil
+		}
+		return scalarFloat(arr.F[i]), nil
+	case *Dim:
+		arr := fr.arrays[e.Arr]
+		if arr == nil {
+			return val{}, rtErrf("dim of unallocated array %s", e.Arr)
+		}
+		switch e.Which {
+		case DimRows:
+			return scalarInt(int64(arr.Rows)), nil
+		case DimCols:
+			return scalarInt(int64(arr.Cols)), nil
+		default:
+			return scalarInt(int64(arr.Len())), nil
+		}
+	case *Bin:
+		x, err := ev.eval(e.X, fr)
+		if err != nil {
+			return val{}, err
+		}
+		y, err := ev.eval(e.Y, fr)
+		if err != nil {
+			return val{}, err
+		}
+		return evalBin(e.Op, x, y, e.K)
+	case *Un:
+		x, err := ev.eval(e.X, fr)
+		if err != nil {
+			return val{}, err
+		}
+		return evalUn(e.Op, x, e.K)
+	case *VecLoad:
+		arr := fr.arrays[e.Arr]
+		if arr == nil {
+			return val{}, rtErrf("vload from unallocated array %s", e.Arr)
+		}
+		iv, err := ev.eval(e.Index, fr)
+		if err != nil {
+			return val{}, err
+		}
+		base := int(iv.asInt())
+		stride := int(e.StrideOr1())
+		last := base + (e.K.Lanes-1)*stride
+		lo, hi := base, last
+		if stride < 0 {
+			lo, hi = last, base
+		}
+		if lo < 0 || hi >= arr.Len() {
+			return val{}, rtErrf("vload %s[%d..%d] out of bounds (len %d)", e.Arr, lo, hi, arr.Len())
+		}
+		out := makeVal(e.K)
+		for j := 0; j < e.K.Lanes; j++ {
+			idx := base + j*stride
+			if arr.Elem == Complex {
+				out.setLane(j, 0, 0, arr.C[idx])
+			} else {
+				out.setLane(j, 0, arr.F[idx], 0)
+			}
+		}
+		return out, nil
+	case *Broadcast:
+		x, err := ev.eval(e.X, fr)
+		if err != nil {
+			return val{}, err
+		}
+		out := makeVal(e.K)
+		i, f, c := x.lane(0)
+		for j := 0; j < e.K.Lanes; j++ {
+			out.setLane(j, i, f, c)
+		}
+		return out, nil
+	case *Ramp:
+		b, err := ev.eval(e.Base, fr)
+		if err != nil {
+			return val{}, err
+		}
+		out := makeVal(e.K)
+		base := b.asInt()
+		for j := 0; j < e.K.Lanes; j++ {
+			v := base + int64(j)*e.Step
+			out.setLane(j, v, float64(v), complex(float64(v), 0))
+		}
+		return out, nil
+	case *Reduce:
+		x, err := ev.eval(e.X, fr)
+		if err != nil {
+			return val{}, err
+		}
+		return evalReduce(e.Op, x, e.K)
+	case *Select:
+		c, err := ev.eval(e.Cond, fr)
+		if err != nil {
+			return val{}, err
+		}
+		th, err := ev.eval(e.Then, fr)
+		if err != nil {
+			return val{}, err
+		}
+		el, err := ev.eval(e.Else, fr)
+		if err != nil {
+			return val{}, err
+		}
+		out := makeVal(e.K)
+		for j := 0; j < e.K.Lanes; j++ {
+			jc := j
+			if c.k.Lanes == 1 {
+				jc = 0
+			}
+			src := el
+			if ci, cf, cc := c.lane(jc); ci != 0 || cf != 0 || cc != 0 {
+				src = th
+			}
+			js := j
+			if src.k.Lanes == 1 {
+				js = 0
+			}
+			i, f, cx := src.lane(js)
+			out.setLane(j, i, f, cx)
+		}
+		return out, nil
+	case *Intrinsic:
+		args := make([]val, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ev.eval(a, fr)
+			if err != nil {
+				return val{}, err
+			}
+			args[i] = v
+		}
+		return EvalIntrinsic(e.Name, args, e.K)
+	}
+	return val{}, rtErrf("unsupported expression %T", e)
+}
+
+func evalBin(op Op, x, y val, k Kind) (val, error) {
+	lanes := k.Lanes
+	out := makeVal(k)
+	for j := 0; j < lanes; j++ {
+		jx, jy := j, j
+		if x.k.Lanes == 1 {
+			jx = 0
+		}
+		if y.k.Lanes == 1 {
+			jy = 0
+		}
+		xi, xf, xc := x.lane(jx)
+		yi, yf, yc := y.lane(jy)
+		// Operate at the wider of the two operand bases.
+		base := x.k.Base
+		if y.k.Base > base {
+			base = y.k.Base
+		}
+		switch base {
+		case Int:
+			r, err := binInt(op, xi, yi)
+			if err != nil {
+				return val{}, err
+			}
+			out.setLane(j, r, float64(r), complex(float64(r), 0))
+		case Float:
+			r := binFloat(op, xf, yf)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		default:
+			r, err := binComplex(op, xc, yc)
+			if err != nil {
+				return val{}, err
+			}
+			out.setLane(j, int64(real(r)), real(r), r)
+		}
+	}
+	return out, nil
+}
+
+func binInt(op Op, x, y int64) (int64, error) {
+	switch op {
+	case OpAdd:
+		return x + y, nil
+	case OpSub:
+		return x - y, nil
+	case OpMul:
+		return x * y, nil
+	case OpDiv:
+		if y == 0 {
+			return 0, rtErrf("integer division by zero")
+		}
+		return x / y, nil
+	case OpRem:
+		if y == 0 {
+			return x, nil // rem(x,0) == x in MATLAB
+		}
+		return x % y, nil
+	case OpPow:
+		return int64(math.Pow(float64(x), float64(y))), nil
+	case OpMin:
+		if x < y {
+			return x, nil
+		}
+		return y, nil
+	case OpMax:
+		if x > y {
+			return x, nil
+		}
+		return y, nil
+	case OpLt:
+		return b2i(x < y), nil
+	case OpLe:
+		return b2i(x <= y), nil
+	case OpGt:
+		return b2i(x > y), nil
+	case OpGe:
+		return b2i(x >= y), nil
+	case OpEq:
+		return b2i(x == y), nil
+	case OpNe:
+		return b2i(x != y), nil
+	case OpAnd:
+		return b2i(x != 0 && y != 0), nil
+	case OpOr:
+		return b2i(x != 0 || y != 0), nil
+	}
+	return 0, rtErrf("op %s not defined on int", op)
+}
+
+func binFloat(op Op, x, y float64) float64 {
+	switch op {
+	case OpAdd:
+		return x + y
+	case OpSub:
+		return x - y
+	case OpMul:
+		return x * y
+	case OpDiv:
+		return x / y
+	case OpRem:
+		return math.Mod(x, y)
+	case OpPow:
+		return math.Pow(x, y)
+	case OpMin:
+		return math.Min(x, y)
+	case OpMax:
+		return math.Max(x, y)
+	case OpAtan2:
+		return math.Atan2(x, y)
+	case OpLt:
+		return bf(x < y)
+	case OpLe:
+		return bf(x <= y)
+	case OpGt:
+		return bf(x > y)
+	case OpGe:
+		return bf(x >= y)
+	case OpEq:
+		return bf(x == y)
+	case OpNe:
+		return bf(x != y)
+	case OpAnd:
+		return bf(x != 0 && y != 0)
+	case OpOr:
+		return bf(x != 0 || y != 0)
+	}
+	return math.NaN()
+}
+
+func binComplex(op Op, x, y complex128) (complex128, error) {
+	switch op {
+	case OpAdd:
+		return x + y, nil
+	case OpSub:
+		return x - y, nil
+	case OpMul:
+		return x * y, nil
+	case OpDiv:
+		return x / y, nil
+	case OpPow:
+		return cmplx.Pow(x, y), nil
+	case OpEq:
+		return complex(bf(x == y), 0), nil
+	case OpNe:
+		return complex(bf(x != y), 0), nil
+	}
+	return 0, rtErrf("op %s not defined on complex", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func bf(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalUn(op Op, x val, k Kind) (val, error) {
+	out := makeVal(k)
+	for j := 0; j < k.Lanes; j++ {
+		jx := j
+		if x.k.Lanes == 1 {
+			jx = 0
+		}
+		xi, xf, xc := x.lane(jx)
+		switch op {
+		case OpNeg:
+			switch x.k.Base {
+			case Int:
+				out.setLane(j, -xi, -float64(xi), complex(-float64(xi), 0))
+			case Float:
+				out.setLane(j, int64(-xf), -xf, complex(-xf, 0))
+			default:
+				out.setLane(j, 0, real(-xc), -xc)
+			}
+		case OpNot:
+			var nz bool
+			switch x.k.Base {
+			case Int:
+				nz = xi != 0
+			case Float:
+				nz = xf != 0
+			default:
+				nz = xc != 0
+			}
+			out.setLane(j, b2i(!nz), bf(!nz), complex(bf(!nz), 0))
+		case OpSqrt:
+			if x.k.Base == Complex || k.Base == Complex {
+				r := cmplx.Sqrt(xc)
+				out.setLane(j, 0, real(r), r)
+			} else {
+				r := math.Sqrt(xf)
+				out.setLane(j, int64(r), r, complex(r, 0))
+			}
+		case OpSin, OpCos, OpTan, OpExp, OpLog, OpAsin, OpAcos, OpAtan,
+			OpSinh, OpCosh, OpTanh:
+			if x.k.Base == Complex {
+				var r complex128
+				switch op {
+				case OpSin:
+					r = cmplx.Sin(xc)
+				case OpCos:
+					r = cmplx.Cos(xc)
+				case OpTan:
+					r = cmplx.Tan(xc)
+				case OpExp:
+					r = cmplx.Exp(xc)
+				case OpLog:
+					r = cmplx.Log(xc)
+				case OpAsin:
+					r = cmplx.Asin(xc)
+				case OpAcos:
+					r = cmplx.Acos(xc)
+				case OpAtan:
+					r = cmplx.Atan(xc)
+				case OpSinh:
+					r = cmplx.Sinh(xc)
+				case OpCosh:
+					r = cmplx.Cosh(xc)
+				case OpTanh:
+					r = cmplx.Tanh(xc)
+				}
+				out.setLane(j, 0, real(r), r)
+			} else {
+				var r float64
+				switch op {
+				case OpSin:
+					r = math.Sin(xf)
+				case OpCos:
+					r = math.Cos(xf)
+				case OpTan:
+					r = math.Tan(xf)
+				case OpExp:
+					r = math.Exp(xf)
+				case OpLog:
+					r = math.Log(xf)
+				case OpAsin:
+					r = math.Asin(xf)
+				case OpAcos:
+					r = math.Acos(xf)
+				case OpAtan:
+					r = math.Atan(xf)
+				case OpSinh:
+					r = math.Sinh(xf)
+				case OpCosh:
+					r = math.Cosh(xf)
+				case OpTanh:
+					r = math.Tanh(xf)
+				}
+				out.setLane(j, int64(r), r, complex(r, 0))
+			}
+		case OpFloor:
+			r := math.Floor(xf)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		case OpCeil:
+			r := math.Ceil(xf)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		case OpRound:
+			r := math.Round(xf)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		case OpTrunc:
+			r := math.Trunc(xf)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		case OpAbs:
+			if x.k.Base == Complex {
+				r := cmplx.Abs(xc)
+				out.setLane(j, int64(r), r, complex(r, 0))
+			} else {
+				r := math.Abs(xf)
+				out.setLane(j, int64(r), r, complex(r, 0))
+			}
+		case OpSign:
+			var r float64
+			switch {
+			case xf > 0:
+				r = 1
+			case xf < 0:
+				r = -1
+			}
+			out.setLane(j, int64(r), r, complex(r, 0))
+		case OpRe:
+			r := real(xc)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		case OpIm:
+			r := imag(xc)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		case OpConj:
+			r := cmplx.Conj(xc)
+			out.setLane(j, 0, real(r), r)
+		case OpAngle:
+			r := cmplx.Phase(xc)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		case OpToInt:
+			out.setLane(j, int64(math.Round(xf)), math.Round(xf), complex(math.Round(xf), 0))
+		case OpToFloat:
+			out.setLane(j, xi, xf, complex(xf, 0))
+		case OpToComplex:
+			out.setLane(j, xi, xf, xc)
+		default:
+			return val{}, rtErrf("unsupported unary op %s", op)
+		}
+	}
+	return out, nil
+}
+
+func evalReduce(op Op, x val, k Kind) (val, error) {
+	if x.k.Lanes < 1 {
+		return val{}, rtErrf("reduce of empty vector")
+	}
+	acc := makeVal(Kind{x.k.Base, 1})
+	i, f, c := x.lane(0)
+	acc.setLane(0, i, f, c)
+	for j := 1; j < x.k.Lanes; j++ {
+		lane := makeVal(Kind{x.k.Base, 1})
+		li, lf, lc := x.lane(j)
+		lane.setLane(0, li, lf, lc)
+		r, err := evalBin(op, acc, lane, Kind{x.k.Base, 1})
+		if err != nil {
+			return val{}, err
+		}
+		acc = r
+	}
+	return convertVal(acc, k), nil
+}
+
+// EvalIntrinsic computes the reference semantics of a named custom
+// instruction. These definitions are the single source of truth shared
+// (by construction, via tests) with the VM executor and the generated C
+// fallback implementations:
+//
+//	fma(acc, a, b)   = acc + a*b            (float)
+//	fms(acc, a, b)   = acc - a*b            (float)
+//	cmul(a, b)       = a*b                  (complex multiply)
+//	cmac(acc, a, b)  = acc + a*b            (complex multiply-accumulate)
+//	cconjmul(a, b)   = a*conj(b)
+//	cadd(a, b)       = a + b
+//	csub(a, b)       = a - b
+//	addsub(a, b)     = (a0+b0, a1-b1, a2+b2, ...) paired add/sub
+//	sad(acc, a, b)   = acc + |a-b|          (sum of absolute differences)
+//
+// Vector forms apply lane-wise with a lane count given by the kind.
+func EvalIntrinsic(name string, args []val, k Kind) (val, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return rtErrf("intrinsic %s expects %d args, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	out := makeVal(k)
+	lane := func(v val, j int) (int64, float64, complex128) {
+		if v.k.Lanes == 1 {
+			return v.lane(0)
+		}
+		return v.lane(j)
+	}
+	switch name {
+	case "fma", "vfma":
+		if err := need(3); err != nil {
+			return val{}, err
+		}
+		for j := 0; j < k.Lanes; j++ {
+			_, acc, _ := lane(args[0], j)
+			_, a, _ := lane(args[1], j)
+			_, b, _ := lane(args[2], j)
+			r := acc + a*b
+			out.setLane(j, int64(r), r, complex(r, 0))
+		}
+	case "fms", "vfms":
+		if err := need(3); err != nil {
+			return val{}, err
+		}
+		for j := 0; j < k.Lanes; j++ {
+			_, acc, _ := lane(args[0], j)
+			_, a, _ := lane(args[1], j)
+			_, b, _ := lane(args[2], j)
+			r := acc - a*b
+			out.setLane(j, int64(r), r, complex(r, 0))
+		}
+	case "cmul", "vcmul":
+		if err := need(2); err != nil {
+			return val{}, err
+		}
+		for j := 0; j < k.Lanes; j++ {
+			_, _, a := lane(args[0], j)
+			_, _, b := lane(args[1], j)
+			r := a * b
+			out.setLane(j, 0, real(r), r)
+		}
+	case "cmac", "vcmac":
+		if err := need(3); err != nil {
+			return val{}, err
+		}
+		for j := 0; j < k.Lanes; j++ {
+			_, _, acc := lane(args[0], j)
+			_, _, a := lane(args[1], j)
+			_, _, b := lane(args[2], j)
+			r := acc + a*b
+			out.setLane(j, 0, real(r), r)
+		}
+	case "cconjmul", "vcconjmul":
+		if err := need(2); err != nil {
+			return val{}, err
+		}
+		for j := 0; j < k.Lanes; j++ {
+			_, _, a := lane(args[0], j)
+			_, _, b := lane(args[1], j)
+			r := a * cmplx.Conj(b)
+			out.setLane(j, 0, real(r), r)
+		}
+	case "cadd", "vcadd":
+		if err := need(2); err != nil {
+			return val{}, err
+		}
+		for j := 0; j < k.Lanes; j++ {
+			_, _, a := lane(args[0], j)
+			_, _, b := lane(args[1], j)
+			r := a + b
+			out.setLane(j, 0, real(r), r)
+		}
+	case "csub", "vcsub":
+		if err := need(2); err != nil {
+			return val{}, err
+		}
+		for j := 0; j < k.Lanes; j++ {
+			_, _, a := lane(args[0], j)
+			_, _, b := lane(args[1], j)
+			r := a - b
+			out.setLane(j, 0, real(r), r)
+		}
+	case "sad", "vsad":
+		if err := need(3); err != nil {
+			return val{}, err
+		}
+		for j := 0; j < k.Lanes; j++ {
+			_, acc, _ := lane(args[0], j)
+			_, a, _ := lane(args[1], j)
+			_, b, _ := lane(args[2], j)
+			r := acc + math.Abs(a-b)
+			out.setLane(j, int64(r), r, complex(r, 0))
+		}
+	default:
+		return val{}, rtErrf("unknown intrinsic %q", name)
+	}
+	return out, nil
+}

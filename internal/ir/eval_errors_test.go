@@ -1,0 +1,156 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalErr runs f expecting a runtime error containing want.
+func evalErr(t *testing.T, f *Func, want string, args ...interface{}) {
+	t.Helper()
+	ev := &Evaluator{}
+	_, err := ev.Run(f, args...)
+	if err == nil {
+		t.Fatalf("%s: expected error %q", f.Name, want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("%s: error %q missing %q", f.Name, err.Error(), want)
+	}
+}
+
+func TestEvalErrorPaths(t *testing.T) {
+	// Store to an unallocated array.
+	{
+		f := NewFunc("st")
+		y := f.NewSym("y", Float, true)
+		f.Results = []*Sym{y}
+		f.Body = []Stmt{&Store{Arr: y, Index: CI(0), Val: CF(1)}}
+		evalErr(t, f, "unallocated")
+	}
+	// Vector load from an unallocated array.
+	{
+		f := NewFunc("vl")
+		x := f.NewSym("x", Float, true)
+		y := f.NewSym("y", Float, false)
+		f.Results = []*Sym{y}
+		f.Body = []Stmt{&Assign{Dst: y, Src: &Reduce{Op: OpAdd, K: KFloat,
+			X: &VecLoad{Arr: x, Index: CI(0), K: KFloat.Vec(4)}}}}
+		evalErr(t, f, "unallocated")
+	}
+	// Negative allocation extent.
+	{
+		f := NewFunc("al")
+		y := f.NewSym("y", Float, true)
+		f.Results = []*Sym{y}
+		f.Body = []Stmt{&Alloc{Arr: y, Rows: CI(-1), Cols: CI(2)}}
+		evalErr(t, f, "bad extent")
+	}
+	// Zero-step loop.
+	{
+		f := NewFunc("zs")
+		y := f.NewSym("y", Float, false)
+		k := f.NewSym("k", Int, false)
+		f.Results = []*Sym{y}
+		f.Body = []Stmt{
+			&Assign{Dst: y, Src: CF(0)},
+			&For{Var: k, Lo: CI(0), Hi: CI(3), Step: 0, Body: []Stmt{
+				&Assign{Dst: y, Src: CF(1)},
+			}},
+		}
+		evalErr(t, f, "zero step")
+	}
+	// Read of an unassigned variable.
+	{
+		f := NewFunc("ua")
+		x := f.NewSym("x", Float, false)
+		y := f.NewSym("y", Float, false)
+		f.Results = []*Sym{y}
+		f.Body = []Stmt{&Assign{Dst: y, Src: V(x)}}
+		evalErr(t, f, "unassigned")
+	}
+	// Result array never allocated.
+	{
+		f := NewFunc("na")
+		y := f.NewSym("y", Float, true)
+		f.Results = []*Sym{y}
+		f.Body = nil
+		evalErr(t, f, "never allocated")
+	}
+	// Wrong argument count.
+	{
+		f := NewFunc("ac")
+		x := f.NewSym("x", Float, false)
+		f.Params = []*Sym{x}
+		f.Results = []*Sym{x}
+		evalErr(t, f, "arguments")
+	}
+	// Wrong element kind for an array parameter.
+	{
+		f := NewFunc("ek")
+		x := f.NewSym("x", Complex, true)
+		y := f.NewSym("y", Float, false)
+		f.Params = []*Sym{x}
+		f.Results = []*Sym{y}
+		f.Body = []Stmt{&Assign{Dst: y, Src: CF(0)}}
+		evalErr(t, f, "element kind", NewFloatArray(1, 2))
+	}
+	// Integer division by zero.
+	{
+		f := NewFunc("dz")
+		y := f.NewSym("y", Int, false)
+		f.Results = []*Sym{y}
+		f.Body = []Stmt{&Assign{Dst: y, Src: B(OpDiv, CI(1), CI(0))}}
+		evalErr(t, f, "division by zero")
+	}
+}
+
+func TestEvalStridedVecLoad(t *testing.T) {
+	f := NewFunc("sv")
+	x := f.NewSym("x", Float, true)
+	y := f.NewSym("y", Float, false)
+	f.Params = []*Sym{x}
+	f.Results = []*Sym{y}
+	v4 := KFloat.Vec(4)
+	f.Body = []Stmt{&Assign{Dst: y, Src: &Reduce{Op: OpAdd, K: KFloat,
+		X: &VecLoad{Arr: x, Index: CI(0), Stride: 2, K: v4}}}}
+	arr := NewFloatArray(1, 8)
+	copy(arr.F, []float64{1, 10, 2, 10, 3, 10, 4, 10})
+	ev := &Evaluator{}
+	res, err := ev.Run(f, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].(float64); got != 10 {
+		t.Errorf("strided sum = %v, want 10 (1+2+3+4)", got)
+	}
+	// Out-of-bounds strided load.
+	f.Body = []Stmt{&Assign{Dst: y, Src: &Reduce{Op: OpAdd, K: KFloat,
+		X: &VecLoad{Arr: x, Index: CI(4), Stride: 2, K: v4}}}}
+	evalErr(t, f, "out of bounds", NewFloatArray(1, 8))
+}
+
+func TestEvalReversedVecLoad(t *testing.T) {
+	f := NewFunc("rv")
+	x := f.NewSym("x", Float, true)
+	y := f.NewSym("y", Float, false)
+	f.Params = []*Sym{x}
+	f.Results = []*Sym{y}
+	v4 := KFloat.Vec(4)
+	// Lanes read x[3], x[2], x[1], x[0]: reduce with Sub-like weighting
+	// is order sensitive; use a position-weighted dot via ramp multiply.
+	f.Body = []Stmt{&Assign{Dst: y, Src: &Reduce{Op: OpAdd, K: KFloat,
+		X: &Bin{Op: OpMul, K: v4,
+			X: &VecLoad{Arr: x, Index: CI(3), Stride: -1, K: v4},
+			Y: U(OpToFloat, &Ramp{Base: CI(1), Step: 1, K: KInt.Vec(4)}, v4)}}}}
+	arr := NewFloatArray(1, 4)
+	copy(arr.F, []float64{1, 2, 3, 4})
+	ev := &Evaluator{}
+	res, err := ev.Run(f, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4*1 + 3*2 + 2*3 + 1*4 = 20
+	if got := res[0].(float64); got != 20 {
+		t.Errorf("reversed weighted sum = %v, want 20", got)
+	}
+}

@@ -1,0 +1,421 @@
+package ir
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, f *Func, args ...interface{}) []interface{} {
+	t.Helper()
+	ev := &Evaluator{}
+	res, err := ev.Run(f, args...)
+	if err != nil {
+		t.Fatalf("run %s: %v", f.Name, err)
+	}
+	return res
+}
+
+// buildSumLoop builds: func sum(x: float[]) -> s { s=0; for i=0..len-1 { s+=x[i] } }
+func buildSumLoop() *Func {
+	f := NewFunc("sumloop")
+	x := f.NewSym("x", Float, true)
+	s := f.NewSym("s", Float, false)
+	i := f.NewSym("i", Int, false)
+	f.Params = []*Sym{x}
+	f.Results = []*Sym{s}
+	f.Locals = []*Sym{s, i}
+	f.Body = []Stmt{
+		&Assign{Dst: s, Src: CF(0)},
+		&For{Var: i, Lo: CI(0), Hi: ISub(&Dim{Arr: x, Which: DimLen}, CI(1)), Step: 1,
+			Body: []Stmt{
+				&Assign{Dst: s, Src: B(OpAdd, V(s), &Load{Arr: x, Index: V(i)})},
+			}},
+	}
+	return f
+}
+
+func TestEvalSumLoop(t *testing.T) {
+	f := buildSumLoop()
+	x := NewFloatArray(1, 5)
+	copy(x.F, []float64{1, 2, 3, 4, 5})
+	res := run(t, f, x)
+	if got := res[0].(float64); got != 15 {
+		t.Errorf("sum = %v, want 15", got)
+	}
+}
+
+func TestEvalEmptyLoop(t *testing.T) {
+	f := buildSumLoop()
+	res := run(t, f, NewFloatArray(1, 0))
+	if got := res[0].(float64); got != 0 {
+		t.Errorf("sum of empty = %v", got)
+	}
+}
+
+func TestEvalStoreAndAlloc(t *testing.T) {
+	f := NewFunc("fill")
+	n := f.NewSym("n", Int, false)
+	y := f.NewSym("y", Float, true)
+	i := f.NewSym("i", Int, false)
+	f.Params = []*Sym{n}
+	f.Results = []*Sym{y}
+	f.Body = []Stmt{
+		&Alloc{Arr: y, Rows: CI(1), Cols: V(n)},
+		&For{Var: i, Lo: CI(0), Hi: ISub(V(n), CI(1)), Step: 1, Body: []Stmt{
+			&Store{Arr: y, Index: V(i), Val: B(OpMul, U(OpToFloat, V(i), KFloat), CF(2))},
+		}},
+	}
+	res := run(t, f, int64(4))
+	arr := res[0].(*Array)
+	want := []float64{0, 2, 4, 6}
+	for i, w := range want {
+		if arr.F[i] != w {
+			t.Errorf("y[%d] = %v, want %v", i, arr.F[i], w)
+		}
+	}
+	if arr.Rows != 1 || arr.Cols != 4 {
+		t.Errorf("dims %dx%d", arr.Rows, arr.Cols)
+	}
+}
+
+func TestEvalIfElse(t *testing.T) {
+	f := NewFunc("absf")
+	x := f.NewSym("x", Float, false)
+	y := f.NewSym("y", Float, false)
+	f.Params = []*Sym{x}
+	f.Results = []*Sym{y}
+	f.Body = []Stmt{
+		&If{Cond: B(OpLt, V(x), CF(0)),
+			Then: []Stmt{&Assign{Dst: y, Src: U(OpNeg, V(x), KFloat)}},
+			Else: []Stmt{&Assign{Dst: y, Src: V(x)}}},
+	}
+	if got := run(t, f, -3.5)[0].(float64); got != 3.5 {
+		t.Errorf("abs(-3.5) = %v", got)
+	}
+	if got := run(t, f, 2.0)[0].(float64); got != 2 {
+		t.Errorf("abs(2) = %v", got)
+	}
+}
+
+func TestEvalWhileBreakContinue(t *testing.T) {
+	// Count odd numbers below n, stopping at 7.
+	f := NewFunc("wh")
+	n := f.NewSym("n", Int, false)
+	i := f.NewSym("i", Int, false)
+	c := f.NewSym("c", Int, false)
+	f.Params = []*Sym{n}
+	f.Results = []*Sym{c}
+	f.Body = []Stmt{
+		&Assign{Dst: i, Src: CI(0)},
+		&Assign{Dst: c, Src: CI(0)},
+		&While{Cond: B(OpLt, V(i), V(n)), Body: []Stmt{
+			&Assign{Dst: i, Src: B(OpAdd, V(i), CI(1))},
+			&If{Cond: B(OpEq, V(i), CI(7)), Then: []Stmt{&Break{}}},
+			&If{Cond: B(OpEq, B(OpRem, V(i), CI(2)), CI(0)), Then: []Stmt{&Continue{}}},
+			&Assign{Dst: c, Src: B(OpAdd, V(c), CI(1))},
+		}},
+	}
+	// i=1,3,5 counted; loop breaks at i==7.
+	if got := run(t, f, int64(100))[0].(int64); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+}
+
+func TestEvalForStepAndNegative(t *testing.T) {
+	f := NewFunc("steps")
+	s := f.NewSym("s", Int, false)
+	i := f.NewSym("i", Int, false)
+	f.Results = []*Sym{s}
+	f.Body = []Stmt{
+		&Assign{Dst: s, Src: CI(0)},
+		&For{Var: i, Lo: CI(10), Hi: CI(2), Step: -2, Body: []Stmt{
+			&Assign{Dst: s, Src: B(OpAdd, V(s), V(i))},
+		}},
+	}
+	// 10+8+6+4+2 = 30
+	if got := run(t, f)[0].(int64); got != 30 {
+		t.Errorf("got %d, want 30", got)
+	}
+}
+
+func TestEvalComplexOps(t *testing.T) {
+	f := NewFunc("cx")
+	a := f.NewSym("a", Complex, false)
+	b := f.NewSym("b", Complex, false)
+	y := f.NewSym("y", Complex, false)
+	f.Params = []*Sym{a, b}
+	f.Results = []*Sym{y}
+	f.Body = []Stmt{
+		&Assign{Dst: y, Src: B(OpMul, V(a), U(OpConj, V(b), KComplex))},
+	}
+	got := run(t, f, 1+2i, 3-4i)[0].(complex128)
+	want := (1 + 2i) * cmplx.Conj(3-4i)
+	if got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestEvalOutOfBounds(t *testing.T) {
+	f := NewFunc("oob")
+	x := f.NewSym("x", Float, true)
+	y := f.NewSym("y", Float, false)
+	f.Params = []*Sym{x}
+	f.Results = []*Sym{y}
+	f.Body = []Stmt{&Assign{Dst: y, Src: &Load{Arr: x, Index: CI(10)}}}
+	ev := &Evaluator{}
+	_, err := ev.Run(f, NewFloatArray(1, 5))
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("got %v, want out-of-bounds error", err)
+	}
+}
+
+func TestEvalStepLimit(t *testing.T) {
+	f := NewFunc("inf")
+	y := f.NewSym("y", Int, false)
+	f.Results = []*Sym{y}
+	f.Body = []Stmt{
+		&Assign{Dst: y, Src: CI(0)},
+		&While{Cond: CI(1), Body: []Stmt{&Assign{Dst: y, Src: V(y)}}},
+	}
+	ev := &Evaluator{MaxSteps: 1000}
+	_, err := ev.Run(f)
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("got %v, want step-limit error", err)
+	}
+}
+
+func TestEvalVectorOps(t *testing.T) {
+	// y = reduce_add(vload4(x, 0) * splat4(2.0))
+	f := NewFunc("vec")
+	x := f.NewSym("x", Float, true)
+	y := f.NewSym("y", Float, false)
+	f.Params = []*Sym{x}
+	f.Results = []*Sym{y}
+	v4 := KFloat.Vec(4)
+	f.Body = []Stmt{
+		&Assign{Dst: y, Src: &Reduce{Op: OpAdd, K: KFloat,
+			X: &Bin{Op: OpMul, K: v4,
+				X: &VecLoad{Arr: x, Index: CI(0), K: v4},
+				Y: &Broadcast{X: CF(2), K: v4}}}},
+	}
+	x4 := NewFloatArray(1, 4)
+	copy(x4.F, []float64{1, 2, 3, 4})
+	if got := run(t, f, x4)[0].(float64); got != 20 {
+		t.Errorf("got %v, want 20", got)
+	}
+}
+
+func TestEvalVectorStore(t *testing.T) {
+	f := NewFunc("vst")
+	y := f.NewSym("y", Float, true)
+	f.Results = []*Sym{y}
+	v4 := KFloat.Vec(4)
+	f.Body = []Stmt{
+		&Alloc{Arr: y, Rows: CI(1), Cols: CI(4)},
+		&Store{Arr: y, Index: CI(0), Val: &Broadcast{X: CF(7), K: v4}},
+	}
+	arr := run(t, f)[0].(*Array)
+	for i := 0; i < 4; i++ {
+		if arr.F[i] != 7 {
+			t.Errorf("y[%d] = %v", i, arr.F[i])
+		}
+	}
+}
+
+func TestEvalReduceMinMax(t *testing.T) {
+	f := NewFunc("rmm")
+	x := f.NewSym("x", Float, true)
+	lo := f.NewSym("lo", Float, false)
+	hi := f.NewSym("hi", Float, false)
+	f.Params = []*Sym{x}
+	f.Results = []*Sym{lo, hi}
+	v4 := KFloat.Vec(4)
+	f.Body = []Stmt{
+		&Assign{Dst: lo, Src: &Reduce{Op: OpMin, K: KFloat, X: &VecLoad{Arr: x, Index: CI(0), K: v4}}},
+		&Assign{Dst: hi, Src: &Reduce{Op: OpMax, K: KFloat, X: &VecLoad{Arr: x, Index: CI(0), K: v4}}},
+	}
+	x4 := NewFloatArray(1, 4)
+	copy(x4.F, []float64{3, -1, 4, 1})
+	res := run(t, f, x4)
+	if res[0].(float64) != -1 || res[1].(float64) != 4 {
+		t.Errorf("min/max = %v/%v", res[0], res[1])
+	}
+}
+
+// clampf maps an arbitrary float into a moderate finite range so that
+// intrinsic properties are not confounded by overflow-at-infinity
+// differences between evaluation orders.
+func clampf(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 1e6)
+}
+
+// Property: the cmul intrinsic equals complex multiplication.
+func TestIntrinsicCmulMatchesComplexMul(t *testing.T) {
+	f := func(ar, ai, br, bi float64) bool {
+		ar, ai, br, bi = clampf(ar), clampf(ai), clampf(br), clampf(bi)
+		a, b := complex(ar, ai), complex(br, bi)
+		res, err := EvalIntrinsic("cmul", []val{scalarComplex(a), scalarComplex(b)}, KComplex)
+		if err != nil {
+			return false
+		}
+		_, _, got := res.lane(0)
+		return got == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cmac(acc,a,b) == acc + a*b.
+func TestIntrinsicCmac(t *testing.T) {
+	f := func(xr, xi, ar, ai, br, bi float64) bool {
+		xr, xi, ar, ai, br, bi = clampf(xr), clampf(xi), clampf(ar), clampf(ai), clampf(br), clampf(bi)
+		acc, a, b := complex(xr, xi), complex(ar, ai), complex(br, bi)
+		res, err := EvalIntrinsic("cmac", []val{scalarComplex(acc), scalarComplex(a), scalarComplex(b)}, KComplex)
+		if err != nil {
+			return false
+		}
+		_, _, got := res.lane(0)
+		return got == acc+a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fma(acc,a,b) == acc + a*b on floats.
+func TestIntrinsicFma(t *testing.T) {
+	f := func(acc, a, b float64) bool {
+		res, err := EvalIntrinsic("fma", []val{scalarFloat(acc), scalarFloat(a), scalarFloat(b)}, KFloat)
+		if err != nil {
+			return false
+		}
+		_, got, _ := res.lane(0)
+		want := acc + a*b
+		return got == want || math.IsNaN(got) && math.IsNaN(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntrinsicVectorLanes(t *testing.T) {
+	v4 := KComplex.Vec(4)
+	a := makeVal(v4)
+	b := makeVal(v4)
+	for j := 0; j < 4; j++ {
+		a.c[j] = complex(float64(j), 1)
+		b.c[j] = complex(2, float64(j))
+	}
+	res, err := EvalIntrinsic("vcmul", []val{a, b}, v4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		want := a.c[j] * b.c[j]
+		if res.c[j] != want {
+			t.Errorf("lane %d: got %v, want %v", j, res.c[j], want)
+		}
+	}
+}
+
+func TestIntrinsicUnknown(t *testing.T) {
+	if _, err := EvalIntrinsic("bogus", nil, KFloat); err == nil {
+		t.Error("expected error for unknown intrinsic")
+	}
+}
+
+func TestIntrinsicSad(t *testing.T) {
+	res, err := EvalIntrinsic("sad",
+		[]val{scalarFloat(10), scalarFloat(3), scalarFloat(7)}, KFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _ := res.lane(0)
+	if got != 14 {
+		t.Errorf("sad(10,3,7) = %v, want 14", got)
+	}
+}
+
+func TestPrintGolden(t *testing.T) {
+	f := buildSumLoop()
+	got := Print(f)
+	for _, want := range []string{"func sumloop", "for i#", "add(s#", "len(x#", "}"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("printout missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KFloat.String() != "float" {
+		t.Error(KFloat.String())
+	}
+	if got := KComplex.Vec(4).String(); got != "complexx4" {
+		t.Error(got)
+	}
+	if !KFloat.Vec(2).IsVector() || KFloat.IsVector() {
+		t.Error("IsVector misclassified")
+	}
+}
+
+func TestIndexHelpers(t *testing.T) {
+	if v := IAdd(CI(2), CI(3)).(*ConstInt).V; v != 5 {
+		t.Errorf("IAdd = %d", v)
+	}
+	if v := IMul(CI(2), CI(3)).(*ConstInt).V; v != 6 {
+		t.Errorf("IMul = %d", v)
+	}
+	if v := ISub(CI(2), CI(3)).(*ConstInt).V; v != -1 {
+		t.Errorf("ISub = %d", v)
+	}
+	s := &Sym{ID: 1, Name: "i", Elem: Int}
+	if IAdd(CI(0), V(s)) != Expr(V(s)) {
+		// identity: 0 + x returns x structurally
+		if _, ok := IAdd(CI(0), V(s)).(*VarRef); !ok {
+			t.Error("IAdd(0, x) should return x")
+		}
+	}
+	if _, ok := IMul(CI(1), V(s)).(*VarRef); !ok {
+		t.Error("IMul(1, x) should return x")
+	}
+	if c, ok := IMul(CI(0), V(s)).(*ConstInt); !ok || c.V != 0 {
+		t.Error("IMul(0, x) should fold to 0")
+	}
+}
+
+func TestBinKindInference(t *testing.T) {
+	s := &Sym{ID: 1, Name: "x", Elem: Float}
+	b := B(OpAdd, V(s), CI(1))
+	if b.K.Base != Float {
+		t.Errorf("float+int kind = %v", b.K)
+	}
+	cmp := B(OpLt, V(s), CF(2))
+	if cmp.K.Base != Int {
+		t.Errorf("compare kind = %v", cmp.K)
+	}
+}
+
+func TestArrayHelpers(t *testing.T) {
+	a := NewComplexArray(2, 3)
+	a.C[2] = 5 + 6i
+	if a.Len() != 6 || a.At(2) != 5+6i {
+		t.Error("complex array accessors")
+	}
+	b := a.Clone()
+	b.C[2] = 0
+	if a.C[2] != 5+6i {
+		t.Error("clone aliases storage")
+	}
+	fa := NewFloatArray(1, 2)
+	fa.F[1] = 3
+	if fa.At(1) != 3+0i {
+		t.Error("float At")
+	}
+}

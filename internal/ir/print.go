@@ -1,0 +1,133 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a function in a stable, human-readable text form used by
+// golden tests and -emit=ir.
+func Print(f *Func) string {
+	var b strings.Builder
+	b.WriteString("func " + f.Name + "(")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(symDecl(p))
+	}
+	b.WriteString(")")
+	if len(f.Results) > 0 {
+		b.WriteString(" -> (")
+		for i, r := range f.Results {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(symDecl(r))
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(" {\n")
+	printStmts(&b, f.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func symDecl(s *Sym) string {
+	if s.IsArray {
+		dim := func(n int) string {
+			if n < 0 {
+				return "?"
+			}
+			return strconv.Itoa(n)
+		}
+		return fmt.Sprintf("%s: %s[%sx%s]", s, s.Elem, dim(s.Rows), dim(s.Cols))
+	}
+	return fmt.Sprintf("%s: %s", s, s.Elem)
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		printStmt(b, s, ind, depth)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, ind string, depth int) {
+	switch s := s.(type) {
+	case *Assign:
+		fmt.Fprintf(b, "%s%s = %s\n", ind, s.Dst, ExprStr(s.Src))
+	case *Store:
+		fmt.Fprintf(b, "%s%s[%s] = %s\n", ind, s.Arr, ExprStr(s.Index), ExprStr(s.Val))
+	case *Alloc:
+		fmt.Fprintf(b, "%salloc %s[%s, %s]\n", ind, s.Arr, ExprStr(s.Rows), ExprStr(s.Cols))
+	case *For:
+		fmt.Fprintf(b, "%sfor %s = %s .. %s step %d {\n", ind, s.Var, ExprStr(s.Lo), ExprStr(s.Hi), s.Step)
+		printStmts(b, s.Body, depth+1)
+		b.WriteString(ind + "}\n")
+	case *If:
+		fmt.Fprintf(b, "%sif %s {\n", ind, ExprStr(s.Cond))
+		printStmts(b, s.Then, depth+1)
+		if len(s.Else) > 0 {
+			b.WriteString(ind + "} else {\n")
+			printStmts(b, s.Else, depth+1)
+		}
+		b.WriteString(ind + "}\n")
+	case *While:
+		fmt.Fprintf(b, "%swhile %s {\n", ind, ExprStr(s.Cond))
+		printStmts(b, s.Body, depth+1)
+		b.WriteString(ind + "}\n")
+	case *Break:
+		b.WriteString(ind + "break\n")
+	case *Continue:
+		b.WriteString(ind + "continue\n")
+	case *Return:
+		b.WriteString(ind + "return\n")
+	default:
+		fmt.Fprintf(b, "%s<?stmt %T>\n", ind, s)
+	}
+}
+
+// ExprStr renders an expression.
+func ExprStr(e Expr) string {
+	switch e := e.(type) {
+	case *ConstInt:
+		return strconv.FormatInt(e.V, 10)
+	case *ConstFloat:
+		return strconv.FormatFloat(e.V, 'g', -1, 64) + "f"
+	case *ConstComplex:
+		return fmt.Sprintf("(%g%+gi)", real(e.V), imag(e.V))
+	case *VarRef:
+		return e.Sym.String()
+	case *Load:
+		return fmt.Sprintf("%s[%s]", e.Arr, ExprStr(e.Index))
+	case *Dim:
+		which := [...]string{"rows", "cols", "len"}[e.Which]
+		return fmt.Sprintf("%s(%s)", which, e.Arr)
+	case *Bin:
+		return fmt.Sprintf("%s(%s, %s)", e.Op, ExprStr(e.X), ExprStr(e.Y))
+	case *Un:
+		return fmt.Sprintf("%s(%s)", e.Op, ExprStr(e.X))
+	case *VecLoad:
+		if s := e.StrideOr1(); s != 1 {
+			return fmt.Sprintf("vload%d.s%d(%s, %s)", e.K.Lanes, s, e.Arr, ExprStr(e.Index))
+		}
+		return fmt.Sprintf("vload%d(%s, %s)", e.K.Lanes, e.Arr, ExprStr(e.Index))
+	case *Broadcast:
+		return fmt.Sprintf("splat%d(%s)", e.K.Lanes, ExprStr(e.X))
+	case *Ramp:
+		return fmt.Sprintf("ramp%d(%s, %d)", e.K.Lanes, ExprStr(e.Base), e.Step)
+	case *Select:
+		return fmt.Sprintf("sel(%s, %s, %s)", ExprStr(e.Cond), ExprStr(e.Then), ExprStr(e.Else))
+	case *Reduce:
+		return fmt.Sprintf("reduce_%s(%s)", e.Op, ExprStr(e.X))
+	case *Intrinsic:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprStr(a)
+		}
+		return fmt.Sprintf("@%s(%s)", e.Name, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("<?expr %T>", e)
+}

@@ -1,0 +1,289 @@
+package isel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/lower"
+	"mat2c/internal/mlang"
+	"mat2c/internal/opt"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+	"mat2c/internal/vectorize"
+)
+
+func compileFor(t *testing.T, src, proc string, vec bool, params ...sema.Type) (*ir.Func, Stats) {
+	t.Helper()
+	file, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := file.Funcs[0].Name
+	info, err := sema.Analyze(file, entry, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(f, 1)
+	p := pdesc.Builtin(proc)
+	if vec {
+		vectorize.Apply(f, p)
+	}
+	st := Apply(f, p)
+	return f, st
+}
+
+func dynCVec() sema.Type {
+	return sema.Type{Class: sema.Complex, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func dynVec() sema.Type {
+	return sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func TestSelectCmul(t *testing.T) {
+	src := "function y = f(a, b)\ny = a * b;\nend"
+	_, st := compileFor(t, src, "dspasip", false, sema.ComplexScalar, sema.ComplexScalar)
+	if st.Selected["cmul"] != 1 {
+		t.Errorf("selected %v, want one cmul", st.Selected)
+	}
+}
+
+func TestSelectCmacFusion(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * b(i);
+end
+end`
+	_, st := compileFor(t, src, "dspasip", false, dynCVec(), dynCVec())
+	if st.Selected["cmac"] != 1 {
+		t.Errorf("selected %v, want one cmac", st.Selected)
+	}
+	if st.Selected["cmul"] != 0 {
+		t.Errorf("cmul should have been upgraded to cmac: %v", st.Selected)
+	}
+}
+
+func TestSelectCconjmul(t *testing.T) {
+	src := "function y = f(a, b)\ny = a * conj(b);\nend"
+	_, st := compileFor(t, src, "dspasip", false, sema.ComplexScalar, sema.ComplexScalar)
+	if st.Selected["cconjmul"] != 1 {
+		t.Errorf("selected %v, want one cconjmul", st.Selected)
+	}
+	// Commuted form.
+	src = "function y = f(a, b)\ny = conj(a) * b;\nend"
+	_, st = compileFor(t, src, "dspasip", false, sema.ComplexScalar, sema.ComplexScalar)
+	if st.Selected["cconjmul"] != 1 {
+		t.Errorf("commuted: selected %v, want one cconjmul", st.Selected)
+	}
+}
+
+func TestSelectFma(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * b(i);
+end
+end`
+	_, st := compileFor(t, src, "dspasip", false, dynVec(), dynVec())
+	if st.Selected["fma"] != 1 {
+		t.Errorf("selected %v, want one fma", st.Selected)
+	}
+}
+
+func TestSelectVectorForms(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * b(i);
+end
+end`
+	f, st := compileFor(t, src, "dspasip", true, dynCVec(), dynCVec())
+	if st.Selected["vcmac"] != 1 {
+		t.Errorf("selected %v, want one vcmac (vectorized loop):\n%s", st.Selected, ir.Print(f))
+	}
+	// The scalar epilogue keeps the scalar form.
+	if st.Selected["cmac"] != 1 {
+		t.Errorf("selected %v, want one scalar cmac in epilogue", st.Selected)
+	}
+}
+
+func TestSelectCaddCsub(t *testing.T) {
+	src := "function y = f(a, b)\ny = (a + b) - conj(b);\nend"
+	_, st := compileFor(t, src, "dspasip", false, sema.ComplexScalar, sema.ComplexScalar)
+	if st.Selected["cadd"] != 1 || st.Selected["csub"] != 1 {
+		t.Errorf("selected %v, want cadd and csub", st.Selected)
+	}
+}
+
+func TestSelectNothingOnScalarTarget(t *testing.T) {
+	src := "function y = f(a, b)\ny = a * b + a;\nend"
+	_, st := compileFor(t, src, "scalar", false, sema.ComplexScalar, sema.ComplexScalar)
+	if st.Total() != 0 {
+		t.Errorf("scalar target selected %v", st.Selected)
+	}
+}
+
+func TestSelectNoComplexOnNocomplex(t *testing.T) {
+	src := "function y = f(a, b)\ny = a * b;\nend"
+	_, st := compileFor(t, src, "nocomplex", false, sema.ComplexScalar, sema.ComplexScalar)
+	if st.Selected["cmul"] != 0 {
+		t.Errorf("nocomplex target selected cmul: %v", st.Selected)
+	}
+}
+
+func TestSelectSad(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + abs(a(i) - b(i));
+end
+end`
+	_, st := compileFor(t, src, "dspasip", false, dynVec(), dynVec())
+	if st.Selected["sad"] != 1 {
+		t.Errorf("selected %v, want one sad", st.Selected)
+	}
+}
+
+// Property: instruction selection preserves semantics on random inputs
+// for a set of kernels exercising every pattern.
+func TestSelectionPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	kernels := []struct {
+		src    string
+		params []sema.Type
+		args   func(n int) []interface{}
+	}{
+		{
+			src: `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`,
+			params: []sema.Type{dynCVec(), dynCVec()},
+			args: func(n int) []interface{} {
+				return []interface{}{randC(n, r), randC(n, r)}
+			},
+		},
+		{
+			src: `function y = f(a, b, c)
+n = length(a);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = c(i) + a(i) * b(i);
+end
+end`,
+			params: []sema.Type{dynCVec(), dynCVec(), dynCVec()},
+			args: func(n int) []interface{} {
+				return []interface{}{randC(n, r), randC(n, r), randC(n, r)}
+			},
+		},
+		{
+			src: `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + abs(a(i) - b(i));
+end
+end`,
+			params: []sema.Type{dynVec(), dynVec()},
+			args: func(n int) []interface{} {
+				return []interface{}{randF(n, r), randF(n, r)}
+			},
+		},
+	}
+	for ki, k := range kernels {
+		for _, n := range []int{0, 1, 3, 8, 17} {
+			args := k.args(n)
+			clone := func() []interface{} {
+				out := make([]interface{}, len(args))
+				for i, a := range args {
+					if arr, ok := a.(*ir.Array); ok {
+						out[i] = arr.Clone()
+					} else {
+						out[i] = a
+					}
+				}
+				return out
+			}
+			// Reference: no isel.
+			ref, _ := compileFor(t, k.src, "scalar", false, k.params...)
+			// Full pipeline on the ASIP.
+			asip, _ := compileFor(t, k.src, "dspasip", true, k.params...)
+
+			ev1 := &ir.Evaluator{}
+			r1, err := ev1.Run(ref, clone()...)
+			if err != nil {
+				t.Fatalf("kernel %d ref: %v", ki, err)
+			}
+			ev2 := &ir.Evaluator{}
+			r2, err := ev2.Run(asip, clone()...)
+			if err != nil {
+				t.Fatalf("kernel %d asip: %v\n%s", ki, err, ir.Print(asip))
+			}
+			for i := range r1 {
+				if !nearlyEq(r1[i], r2[i]) {
+					t.Errorf("kernel %d n=%d result %d: %v vs %v", ki, n, i, r1[i], r2[i])
+				}
+			}
+		}
+	}
+}
+
+func nearlyEq(a, b interface{}) bool {
+	switch x := a.(type) {
+	case float64:
+		y := b.(float64)
+		return math.Abs(x-y) <= 1e-9*(1+math.Abs(x))
+	case complex128:
+		y := b.(complex128)
+		d := x - y
+		return math.Hypot(real(d), imag(d)) <= 1e-9*(1+math.Hypot(real(x), imag(x)))
+	case int64:
+		return x == b.(int64)
+	case *ir.Array:
+		y := b.(*ir.Array)
+		if x.Rows != y.Rows || x.Cols != y.Cols {
+			return false
+		}
+		for i := 0; i < x.Len(); i++ {
+			d := x.At(i) - y.At(i)
+			if math.Hypot(real(d), imag(d)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func randF(n int, r *rand.Rand) *ir.Array {
+	a := ir.NewFloatArray(1, n)
+	for i := range a.F {
+		a.F[i] = r.NormFloat64()
+	}
+	return a
+}
+
+func randC(n int, r *rand.Rand) *ir.Array {
+	a := ir.NewComplexArray(1, n)
+	for i := range a.C {
+		a.C[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return a
+}
+
+func TestSelectedIntrinsicsPrint(t *testing.T) {
+	src := "function y = f(a, b)\ny = a * b;\nend"
+	f, _ := compileFor(t, src, "dspasip", false, sema.ComplexScalar, sema.ComplexScalar)
+	if !strings.Contains(ir.Print(f), "@cmul(") {
+		t.Errorf("printout missing @cmul:\n%s", ir.Print(f))
+	}
+}

@@ -1,0 +1,349 @@
+package lower
+
+import (
+	"mat2c/internal/ir"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+func (l *lowerer) lowerAssign(s *mlang.AssignStmt) {
+	if len(s.Lhs) > 1 {
+		l.lowerMultiAssign(s)
+		return
+	}
+	switch lhs := s.Lhs[0].(type) {
+	case *mlang.IdentExpr:
+		sym := l.frame().vars[lhs.Name]
+		if sym == nil {
+			l.fail(lhs.Pos, "undefined assignment target %q", lhs.Name)
+		}
+		rhs := l.lowerExpr(s.Rhs)
+		l.bindVar(sym, rhs, lhs.Pos)
+	case *mlang.CallExpr:
+		if !l.noFuse && l.tryInPlaceUpdate(lhs, s.Rhs) {
+			return
+		}
+		rhs := l.lowerExpr(s.Rhs)
+		l.lowerIndexedStore(lhs, rhs)
+	default:
+		l.fail(s.Pos, "invalid assignment target")
+	}
+}
+
+// bindVar assigns a lowered value to a variable symbol.
+func (l *lowerer) bindVar(sym *ir.Sym, v aval, pos mlang.Pos) {
+	if !sym.IsArray {
+		if !v.isScalar() {
+			// The fixpoint said scalar but this path produced an array
+			// (possible only for 1x1 dynamic results): read element 0.
+			l.emit(&ir.Assign{Dst: sym, Src: l.asBase(v.at(ir.CI(0)), sym.Elem)})
+			return
+		}
+		l.emit(&ir.Assign{Dst: sym, Src: l.asBase(v.scalar, sym.Elem)})
+		return
+	}
+	// Array-typed variable.
+	if v.isScalar() {
+		// Widened variable receiving a scalar on this path: 1x1 array.
+		l.emit(&ir.Alloc{Arr: sym, Rows: ir.CI(1), Cols: ir.CI(1)})
+		l.emit(&ir.Store{Arr: sym, Index: ir.CI(0), Val: l.asBase(v.scalar, sym.Elem)})
+		return
+	}
+	l.assignWholeArray(sym, v)
+}
+
+// assignWholeArray implements "x = <array expression>". MATLAB evaluates
+// the RHS before rebinding x, so a RHS that reads x is materialized
+// first; otherwise the destination is allocated and filled directly from
+// the fused view.
+func (l *lowerer) assignWholeArray(sym *ir.Sym, v aval) {
+	if v.arr == sym {
+		return // x = x
+	}
+	if v.readsSym(sym) {
+		v = l.materialize(v)
+	}
+	rows := l.hoist(v.rows, "r")
+	cols := l.hoist(v.cols, "c")
+	l.emit(&ir.Alloc{Arr: sym, Rows: rows, Cols: cols})
+
+	// zeros(...) views need no fill: Alloc zero-fills.
+	if c, ok := v.at(ir.CI(0)).(*ir.ConstFloat); ok && c.V == 0 && len(v.reads) == 0 {
+		return
+	}
+	k := l.temp("k", ir.Int)
+	body := []ir.Stmt{&ir.Store{Arr: sym, Index: ir.V(k),
+		Val: l.asBase(v.at(ir.V(k)), sym.Elem)}}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0),
+		Hi: ir.ISub(ir.IMul(rows, cols), ir.CI(1)), Step: 1, Body: body})
+}
+
+func (l *lowerer) lowerMultiAssign(s *mlang.AssignStmt) {
+	call, ok := s.Rhs.(*mlang.CallExpr)
+	if !ok {
+		l.fail(s.Pos, "multiple assignment requires a function call")
+	}
+	var results []aval
+	switch l.info.Calls[call] {
+	case sema.CallUser:
+		results = l.inlineCall(call, len(s.Lhs))
+	case sema.CallBuiltin:
+		results = l.lowerBuiltinMulti(call, len(s.Lhs))
+	default:
+		l.fail(s.Pos, "indexing cannot produce multiple values")
+	}
+	if len(results) < len(s.Lhs) {
+		l.fail(s.Pos, "call produced %d results, %d targets", len(results), len(s.Lhs))
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*mlang.IdentExpr)
+		if !ok {
+			l.fail(lhs.NodePos(), "multiple-assignment targets must be plain variables")
+		}
+		sym := l.frame().vars[id.Name]
+		if sym == nil {
+			l.fail(id.Pos, "undefined assignment target %q", id.Name)
+		}
+		l.bindVar(sym, results[i], id.Pos)
+	}
+}
+
+// tryInPlaceUpdate recognizes the accumulation statement
+//
+//	y(sel) = y(sel) ± expr
+//
+// (the same selection on both sides, expr free of y) and lowers it as a
+// single in-place read-modify-write loop instead of materializing the
+// right-hand side — each element's new value depends only on its own old
+// value, so MATLAB's evaluate-RHS-first semantics are preserved. This is
+// the fused form of the tap-update loops in FIR-style kernels.
+func (l *lowerer) tryInPlaceUpdate(lhs *mlang.CallExpr, rhs mlang.Expr) bool {
+	b, ok := rhs.(*mlang.BinaryExpr)
+	if !ok || b.Op != mlang.OpAdd && b.Op != mlang.OpSub {
+		return false
+	}
+	if mlang.ExprString(b.X) != mlang.ExprString(lhs) {
+		return false
+	}
+	id, ok := lhs.Fun.(*mlang.IdentExpr)
+	if !ok {
+		return false
+	}
+	sym := l.frame().vars[id.Name]
+	if sym == nil || !sym.IsArray || len(lhs.Args) != 1 {
+		return false
+	}
+	if l.isMaskArg(lhs.Args[0]) {
+		return false // logical indexing has its own path
+	}
+	if astMentions(b.Y, id.Name) {
+		return false
+	}
+	// Type sanity: the update must be elementwise over the selection.
+	selT := l.info.TypeOf(lhs)
+	restT := l.info.TypeOf(b.Y)
+	if !restT.IsScalar() && selT.Shape.Len() != restT.Shape.Len() &&
+		(selT.Shape.Known() && restT.Shape.Known()) {
+		return false
+	}
+
+	base := l.atomView(sym)
+	var n ir.Expr
+	var dstIdx func(k ir.Expr) ir.Expr
+	if _, isColon := lhs.Args[0].(*mlang.ColonExpr); isColon {
+		n = base.length()
+		dstIdx = func(k ir.Expr) ir.Expr { return k }
+	} else {
+		se := l.lowerSel(lhs.Args[0], base.length())
+		if se.scalar {
+			return false // single element: the normal path is fine
+		}
+		n = se.n
+		dstIdx = se.at
+	}
+	rest := l.lowerExpr(b.Y)
+	if !rest.isScalar() && rest.readsSym(sym) {
+		return false
+	}
+
+	op := ir.OpAdd
+	if b.Op == mlang.OpSub {
+		op = ir.OpSub
+	}
+	var restAt func(k ir.Expr) ir.Expr
+	if rest.isScalar() {
+		rv := l.hoist(l.asBase(rest.scalar, sym.Elem), "v")
+		restAt = func(k ir.Expr) ir.Expr { return rv }
+	} else {
+		restAt = func(k ir.Expr) ir.Expr { return l.asBase(rest.at(k), sym.Elem) }
+	}
+	k := l.temp("k", ir.Int)
+	di := dstIdx(ir.V(k))
+	body := []ir.Stmt{&ir.Store{Arr: sym, Index: di,
+		Val: ir.B(op, &ir.Load{Arr: sym, Index: di}, restAt(ir.V(k)))}}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1, Body: body})
+	return true
+}
+
+// astMentions reports whether the expression mentions the identifier.
+func astMentions(e mlang.Expr, name string) bool {
+	switch e := e.(type) {
+	case *mlang.IdentExpr:
+		return e.Name == name
+	case *mlang.NumberExpr, *mlang.StringExpr, *mlang.ColonExpr, *mlang.EndExpr, nil:
+		return false
+	case *mlang.BinaryExpr:
+		return astMentions(e.X, name) || astMentions(e.Y, name)
+	case *mlang.UnaryExpr:
+		return astMentions(e.X, name)
+	case *mlang.TransposeExpr:
+		return astMentions(e.X, name)
+	case *mlang.RangeExpr:
+		return astMentions(e.Start, name) || e.Step != nil && astMentions(e.Step, name) || astMentions(e.Stop, name)
+	case *mlang.MatrixExpr:
+		for _, row := range e.Rows {
+			for _, x := range row {
+				if astMentions(x, name) {
+					return true
+				}
+			}
+		}
+		return false
+	case *mlang.CallExpr:
+		if astMentions(e.Fun, name) {
+			return true
+		}
+		for _, a := range e.Args {
+			if astMentions(a, name) {
+				return true
+			}
+		}
+		return false
+	}
+	return true // unknown node: be conservative
+}
+
+// inlineCall expands a user-function call in place and returns the
+// callee's results as values in the caller.
+func (l *lowerer) inlineCall(call *mlang.CallExpr, nresults int) []aval {
+	name := call.Fun.(*mlang.IdentExpr).Name
+	inst := l.info.Funcs[name]
+	if inst == nil {
+		l.fail(call.Pos, "function %q not analyzed", name)
+	}
+	if len(l.frames) > 16 {
+		l.fail(call.Pos, "call inlining too deep")
+	}
+
+	fr := &frame{inst: inst, vars: map[string]*ir.Sym{}}
+
+	// Bind parameters.
+	for i, pname := range inst.Decl.Params {
+		arg := l.lowerExpr(call.Args[i])
+		pt := inst.Params[i]
+		if pt.IsScalar() {
+			ps := l.newVarSym(pname, pt)
+			l.fn.Locals = append(l.fn.Locals, ps)
+			l.emit(&ir.Assign{Dst: ps, Src: l.asBase(arg.scalarOrFail(l, call.Pos), ps.Elem)})
+			fr.vars[pname] = ps
+			continue
+		}
+		// Array parameter: alias when the callee never writes it;
+		// otherwise copy (MATLAB value semantics).
+		writes := calleeWrites(inst.Decl, pname)
+		if arg.arr != nil && !writes {
+			fr.vars[pname] = arg.arr
+			continue
+		}
+		mat := arg
+		if arg.arr != nil && writes {
+			mat = l.copyArray(arg)
+		} else {
+			mat = l.materialize(arg)
+		}
+		fr.vars[pname] = mat.arr
+	}
+
+	// Locals, in name order for deterministic symbol numbering.
+	for _, vname := range sortedVarNames(inst.Vars) {
+		if fr.vars[vname] == nil {
+			sym := l.newVarSym(vname, inst.Vars[vname])
+			l.fn.Locals = append(l.fn.Locals, sym)
+			fr.vars[vname] = sym
+		}
+	}
+
+	l.frames = append(l.frames, fr)
+	l.lowerStmts(inst.Decl.Body)
+	l.frames = l.frames[:len(l.frames)-1]
+
+	// Collect results.
+	results := make([]aval, 0, len(inst.Decl.Outs))
+	for _, out := range inst.Decl.Outs {
+		sym := fr.vars[out]
+		if sym.IsArray {
+			results = append(results, l.atomView(sym))
+		} else {
+			results = append(results, scalarVal(ir.V(sym)))
+		}
+	}
+	return results
+}
+
+// copyArray deep-copies an array value into a fresh temp.
+func (l *lowerer) copyArray(v aval) aval {
+	t := l.tempArr("cp", arrayElemKindIR(v.kind))
+	l.emit(&ir.Alloc{Arr: t, Rows: v.rows, Cols: v.cols})
+	k := l.temp("k", ir.Int)
+	body := []ir.Stmt{&ir.Store{Arr: t, Index: ir.V(k), Val: l.asBase(v.at(ir.V(k)), t.Elem)}}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(v.length(), ir.CI(1)), Step: 1, Body: body})
+	return l.atomView(t)
+}
+
+// calleeWrites reports whether the function body assigns to name (plain
+// or indexed), which forces pass-by-copy at inline sites.
+func calleeWrites(decl *mlang.FuncDecl, name string) bool {
+	var scan func(stmts []mlang.Stmt) bool
+	writesTarget := func(e mlang.Expr) bool {
+		switch e := e.(type) {
+		case *mlang.IdentExpr:
+			return e.Name == name
+		case *mlang.CallExpr:
+			if id, ok := e.Fun.(*mlang.IdentExpr); ok {
+				return id.Name == name
+			}
+		}
+		return false
+	}
+	scan = func(stmts []mlang.Stmt) bool {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *mlang.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if writesTarget(lhs) {
+						return true
+					}
+				}
+			case *mlang.IfStmt:
+				if scan(s.Then) || scan(s.Else) {
+					return true
+				}
+				for _, e := range s.Elifs {
+					if scan(e.Body) {
+						return true
+					}
+				}
+			case *mlang.ForStmt:
+				if s.Var == name || scan(s.Body) {
+					return true
+				}
+			case *mlang.WhileStmt:
+				if scan(s.Body) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return scan(decl.Body)
+}

@@ -1,0 +1,652 @@
+package lower
+
+import (
+	"mat2c/internal/ir"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+// lowerBuiltin lowers a single-result builtin call.
+func (l *lowerer) lowerBuiltin(call *mlang.CallExpr) aval {
+	name := call.Fun.(*mlang.IdentExpr).Name
+	args := make([]aval, len(call.Args))
+	for i, a := range call.Args {
+		if _, isColon := a.(*mlang.ColonExpr); isColon {
+			l.fail(a.NodePos(), "':' argument is only valid when indexing")
+		}
+		args[i] = l.lowerExpr(a)
+	}
+
+	switch name {
+	case "zeros", "ones":
+		return l.lowerCreation(call, name, args)
+
+	case "length":
+		if args[0].isScalar() {
+			return scalarVal(ir.CI(1))
+		}
+		// MATLAB: max(size(x)), except 0 for empty arrays. min with the
+		// element count handles the empty case branch-free.
+		return scalarVal(ir.B(ir.OpMin,
+			ir.B(ir.OpMax, args[0].rows, args[0].cols),
+			args[0].length()))
+
+	case "numel":
+		if args[0].isScalar() {
+			return scalarVal(ir.CI(1))
+		}
+		return scalarVal(args[0].length())
+
+	case "size":
+		return l.lowerSize(call, args)
+
+	case "sum", "prod", "mean":
+		return l.lowerReduction(call, name, args[0])
+
+	case "min", "max":
+		op := ir.OpMin
+		if name == "max" {
+			op = ir.OpMax
+		}
+		if len(args) == 2 {
+			base := commonBase(args[0].kind, args[1].kind)
+			if base == ir.Complex {
+				l.fail(call.Pos, "min/max of complex values is not supported")
+			}
+			return l.zipViews(args[0], args[1], func(a, b ir.Expr) ir.Expr {
+				return ir.B(op, l.asBase(a, base), l.asBase(b, base))
+			})
+		}
+		return l.lowerMinMaxReduce(call, op, args[0])
+
+	case "sqrt":
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			k := ir.KFloat
+			if v.Kind().Base == ir.Complex {
+				k = ir.KComplex
+			}
+			return ir.U(ir.OpSqrt, l.asFloatOrComplex(v), k)
+		})
+	case "sin", "cos", "tan", "exp", "log", "asin", "acos", "atan",
+		"sinh", "cosh", "tanh":
+		op := map[string]ir.Op{"sin": ir.OpSin, "cos": ir.OpCos, "tan": ir.OpTan,
+			"exp": ir.OpExp, "log": ir.OpLog, "asin": ir.OpAsin, "acos": ir.OpAcos,
+			"atan": ir.OpAtan, "sinh": ir.OpSinh, "cosh": ir.OpCosh, "tanh": ir.OpTanh}[name]
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			k := ir.KFloat
+			if v.Kind().Base == ir.Complex {
+				k = ir.KComplex
+			}
+			return ir.U(op, l.asFloatOrComplex(v), k)
+		})
+
+	case "log2", "log10":
+		// Lowered by composition: log(x) * (1/log(base)).
+		scale := 1.4426950408889634 // 1/ln(2)
+		if name == "log10" {
+			scale = 0.4342944819032518 // 1/ln(10)
+		}
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			return ir.B(ir.OpMul,
+				ir.U(ir.OpLog, l.asBase(v, ir.Float), ir.KFloat), ir.CF(scale))
+		})
+
+	case "atan2":
+		return l.zipViews(args[0], args[1], func(a, b ir.Expr) ir.Expr {
+			return ir.B(ir.OpAtan2, l.asBase(a, ir.Float), l.asBase(b, ir.Float))
+		})
+
+	case "linspace":
+		return l.lowerLinspace(call, args)
+
+	case "eye":
+		return l.lowerEye(call, args)
+
+	case "fliplr", "flipud":
+		return l.lowerFlip(call, name, args[0])
+
+	case "cumsum":
+		return l.lowerCumsum(call, args[0])
+
+	case "dot":
+		return l.lowerDot(call, args[0], args[1])
+
+	case "norm":
+		return l.lowerNorm(call, args[0])
+
+	case "var", "std":
+		return l.lowerVarStd(call, name, args[0])
+
+	case "isempty":
+		if args[0].isScalar() {
+			return scalarVal(ir.CI(0))
+		}
+		return scalarVal(ir.B(ir.OpEq, args[0].length(), ir.CI(0)))
+
+	case "find":
+		return l.lowerFind(call, args[0])
+
+	case "any", "all", "nnz":
+		return l.lowerBoolReduce(call, name, args[0])
+
+	case "floor", "ceil", "round", "fix", "sign":
+		op := map[string]ir.Op{"floor": ir.OpFloor, "ceil": ir.OpCeil,
+			"round": ir.OpRound, "fix": ir.OpTrunc, "sign": ir.OpSign}[name]
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			if v.Kind().Base == ir.Int {
+				if op == ir.OpSign {
+					return ir.U(ir.OpSign, l.asBase(v, ir.Float), ir.KInt)
+				}
+				return v // already integral
+			}
+			return ir.U(op, l.asBase(v, ir.Float), ir.KInt)
+		})
+
+	case "abs":
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			if v.Kind().Base == ir.Int {
+				return ir.U(ir.OpAbs, l.asBase(v, ir.Float), ir.KInt)
+			}
+			return ir.U(ir.OpAbs, v, ir.KFloat)
+		})
+
+	case "real":
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			if v.Kind().Base == ir.Complex {
+				return ir.U(ir.OpRe, v, ir.KFloat)
+			}
+			return l.asBase(v, ir.Float)
+		})
+	case "imag":
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			if v.Kind().Base == ir.Complex {
+				return ir.U(ir.OpIm, v, ir.KFloat)
+			}
+			return ir.CF(0)
+		})
+	case "conj":
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			if v.Kind().Base == ir.Complex {
+				return ir.U(ir.OpConj, v, ir.KComplex)
+			}
+			return v
+		})
+	case "angle":
+		return l.mapView(args[0], func(v ir.Expr) ir.Expr {
+			return ir.U(ir.OpAngle, l.asBase(v, ir.Complex), ir.KFloat)
+		})
+
+	case "mod":
+		return l.lowerMod(args[0], args[1])
+	case "rem":
+		base := commonBase(args[0].kind, args[1].kind)
+		return l.zipViews(args[0], args[1], func(a, b ir.Expr) ir.Expr {
+			return ir.B(ir.OpRem, l.asBase(a, base), l.asBase(b, base))
+		})
+
+	case "complex":
+		return l.zipViews(args[0], args[1], func(a, b ir.Expr) ir.Expr {
+			return ir.B(ir.OpAdd, l.asBase(a, ir.Complex),
+				ir.B(ir.OpMul, l.asBase(b, ir.Complex), ir.CC(complex(0, 1))))
+		})
+
+	case "pi":
+		return scalarVal(ir.CF(3.141592653589793))
+	case "eps":
+		return scalarVal(ir.CF(2.220446049250313e-16))
+	}
+	l.fail(call.Pos, "builtin %q is not supported by the code generator", name)
+	return aval{}
+}
+
+func (l *lowerer) asFloatOrComplex(v ir.Expr) ir.Expr {
+	if v.Kind().Base == ir.Int {
+		return l.asBase(v, ir.Float)
+	}
+	return v
+}
+
+func (l *lowerer) lowerCreation(call *mlang.CallExpr, name string, args []aval) aval {
+	elem := ir.Expr(ir.CF(0))
+	if name == "ones" {
+		elem = ir.CF(1)
+	}
+	var rows, cols ir.Expr
+	switch len(args) {
+	case 0:
+		return scalarVal(elem)
+	case 1:
+		n := l.hoist(l.asBase(args[0].scalarOrFail(l, call.Pos), ir.Int), "n")
+		rows, cols = n, n
+	default:
+		rows = l.hoist(l.asBase(args[0].scalarOrFail(l, call.Pos), ir.Int), "r")
+		cols = l.hoist(l.asBase(args[1].scalarOrFail(l, call.Pos), ir.Int), "c")
+	}
+	return aval{kind: ir.Float, rows: rows, cols: cols,
+		at: func(lin ir.Expr) ir.Expr { return elem }}
+}
+
+func (v aval) scalarOrFail(l *lowerer, pos mlang.Pos) ir.Expr {
+	if !v.isScalar() {
+		l.fail(pos, "scalar argument required")
+	}
+	return v.scalar
+}
+
+func (l *lowerer) lowerSize(call *mlang.CallExpr, args []aval) aval {
+	dimOf := func(v aval, which int) ir.Expr {
+		if v.isScalar() {
+			return ir.CI(1)
+		}
+		if which == 1 {
+			return v.rows
+		}
+		return v.cols
+	}
+	if len(args) == 2 {
+		d, ok := l.info.ConstOf(call.Args[1])
+		if !ok {
+			l.fail(call.Pos, "size dimension argument must be a compile-time constant")
+		}
+		return scalarVal(dimOf(args[0], int(d)))
+	}
+	// size(x) with one output: a 1x2 row vector [rows cols].
+	t := l.tempArr("sz", ir.Float)
+	l.emit(&ir.Alloc{Arr: t, Rows: ir.CI(1), Cols: ir.CI(2)})
+	l.emit(&ir.Store{Arr: t, Index: ir.CI(0), Val: l.asBase(dimOf(args[0], 1), ir.Float)})
+	l.emit(&ir.Store{Arr: t, Index: ir.CI(1), Val: l.asBase(dimOf(args[0], 2), ir.Float)})
+	return l.atomView(t)
+}
+
+// lowerReduction lowers sum/prod/mean. Vector inputs reduce to a scalar;
+// matrix inputs reduce each column (decided by the inferred result type).
+func (l *lowerer) lowerReduction(call *mlang.CallExpr, name string, x aval) aval {
+	if x.isScalar() {
+		return x
+	}
+	resT := l.info.TypeOf(call)
+
+	op := ir.OpAdd
+	init := zeroOf(x.kind)
+	if name == "prod" {
+		op = ir.OpMul
+		init = oneOf(x.kind)
+	}
+
+	if resT.IsScalar() {
+		acc := l.temp(name, x.kind)
+		l.emit(&ir.Assign{Dst: acc, Src: init})
+		k := l.temp("k", ir.Int)
+		body := []ir.Stmt{&ir.Assign{Dst: acc,
+			Src: ir.B(op, ir.V(acc), l.asBase(x.at(ir.V(k)), x.kind))}}
+		l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1, Body: body})
+		res := ir.Expr(ir.V(acc))
+		if name == "mean" {
+			res = ir.B(ir.OpDiv, l.asFloatOrComplex(res),
+				l.asBase(x.length(), ir.Float))
+		}
+		return scalarVal(res)
+	}
+
+	// Column-wise reduction into a 1×cols temp.
+	t := l.tempArr(name, arrayElemKindIR(x.kind))
+	l.emit(&ir.Alloc{Arr: t, Rows: ir.CI(1), Cols: x.cols})
+	i := l.temp("i", ir.Int)
+	j := l.temp("j", ir.Int)
+	acc := l.temp("acc", x.kind)
+	inner := []ir.Stmt{&ir.Assign{Dst: acc, Src: ir.B(op, ir.V(acc),
+		l.asBase(x.at(ir.IAdd(ir.V(i), ir.IMul(ir.V(j), x.rows))), x.kind))}}
+	var res ir.Expr = ir.V(acc)
+	if name == "mean" {
+		res = ir.B(ir.OpDiv, l.asFloatOrComplex(res), l.asBase(x.rows, ir.Float))
+	}
+	jBody := []ir.Stmt{
+		&ir.Assign{Dst: acc, Src: init},
+		&ir.For{Var: i, Lo: ir.CI(0), Hi: ir.ISub(x.rows, ir.CI(1)), Step: 1, Body: inner},
+		&ir.Store{Arr: t, Index: ir.V(j), Val: l.asBase(res, t.Elem)},
+	}
+	l.emit(&ir.For{Var: j, Lo: ir.CI(0), Hi: ir.ISub(x.cols, ir.CI(1)), Step: 1, Body: jBody})
+	return l.atomView(t)
+}
+
+// lowerMinMaxReduce lowers min(x)/max(x) over a vector or matrix.
+func (l *lowerer) lowerMinMaxReduce(call *mlang.CallExpr, op ir.Op, x aval) aval {
+	if x.isScalar() {
+		return x
+	}
+	if x.kind == ir.Complex {
+		l.fail(call.Pos, "min/max of complex values is not supported")
+	}
+	resT := l.info.TypeOf(call)
+	if !resT.IsScalar() {
+		l.fail(call.Pos, "columnwise min/max is not supported; reduce a vector")
+	}
+	acc := l.temp("mm", x.kind)
+	l.emit(&ir.Assign{Dst: acc, Src: l.asBase(x.at(ir.CI(0)), x.kind)})
+	k := l.temp("k", ir.Int)
+	body := []ir.Stmt{&ir.Assign{Dst: acc,
+		Src: ir.B(op, ir.V(acc), l.asBase(x.at(ir.V(k)), x.kind))}}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(1), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1, Body: body})
+	return scalarVal(ir.V(acc))
+}
+
+// lowerMod implements MATLAB mod (result takes the divisor's sign).
+func (l *lowerer) lowerMod(x, y aval) aval {
+	base := commonBase(x.kind, y.kind)
+	if base == ir.Int {
+		// ((a % b) + b) % b
+		return l.zipViews(x, y, func(a, b ir.Expr) ir.Expr {
+			a = l.asBase(a, ir.Int)
+			b = l.asBase(b, ir.Int)
+			return ir.B(ir.OpRem, ir.B(ir.OpAdd, ir.B(ir.OpRem, a, b), b), b)
+		})
+	}
+	// a - floor(a/b)*b
+	return l.zipViews(x, y, func(a, b ir.Expr) ir.Expr {
+		a = l.asBase(a, ir.Float)
+		b = l.asBase(b, ir.Float)
+		fl := ir.U(ir.OpFloor, ir.B(ir.OpDiv, a, b), ir.KFloat)
+		return ir.B(ir.OpSub, a, ir.B(ir.OpMul, fl, b))
+	})
+}
+
+// lowerLinspace lowers linspace(a, b[, n]) to a generated row vector
+// view: a + k*(b-a)/(n-1).
+func (l *lowerer) lowerLinspace(call *mlang.CallExpr, args []aval) aval {
+	a := l.hoist(l.asBase(args[0].scalarOrFail(l, call.Pos), ir.Float), "a")
+	b := l.hoist(l.asBase(args[1].scalarOrFail(l, call.Pos), ir.Float), "b")
+	n := ir.Expr(ir.CI(100))
+	if len(args) == 3 {
+		n = l.asBase(args[2].scalarOrFail(l, call.Pos), ir.Int)
+	}
+	n = l.hoist(n, "n")
+	// step = (b-a)/(n-1); the n==1 case divides by zero like MATLAB's
+	// own formula and yields b via the final-element identity, so follow
+	// the simpler MATLAB definition: x(k) = a + (k-1)*step, with
+	// x(n) snapped by arithmetic.
+	step := l.hoist(ir.B(ir.OpDiv, ir.B(ir.OpSub, b, a),
+		l.asBase(ir.B(ir.OpMax, ir.ISub(n, ir.CI(1)), ir.CI(1)), ir.Float)), "st")
+	return aval{kind: ir.Float, rows: ir.CI(1), cols: n,
+		at: func(lin ir.Expr) ir.Expr {
+			return ir.B(ir.OpAdd, a, ir.B(ir.OpMul, l.asBase(lin, ir.Float), step))
+		}}
+}
+
+// lowerEye builds an identity-matrix view: 1 where row==col.
+func (l *lowerer) lowerEye(call *mlang.CallExpr, args []aval) aval {
+	var rows, cols ir.Expr
+	switch len(args) {
+	case 1:
+		n := l.hoist(l.asBase(args[0].scalarOrFail(l, call.Pos), ir.Int), "n")
+		rows, cols = n, n
+	default:
+		rows = l.hoist(l.asBase(args[0].scalarOrFail(l, call.Pos), ir.Int), "r")
+		cols = l.hoist(l.asBase(args[1].scalarOrFail(l, call.Pos), ir.Int), "c")
+	}
+	return aval{kind: ir.Float, rows: rows, cols: cols,
+		at: func(lin ir.Expr) ir.Expr {
+			// Column-major: element is 1 iff lin mod rows == lin div rows.
+			i := ir.B(ir.OpRem, lin, rows)
+			j := ir.B(ir.OpDiv, lin, rows)
+			return l.asBase(ir.B(ir.OpEq, i, j), ir.Float)
+		}}
+}
+
+// lowerFlip reverses a vector view (fliplr/flipud are identical for the
+// vectors we support; matrices are flipped along the respective axis).
+func (l *lowerer) lowerFlip(call *mlang.CallExpr, name string, x aval) aval {
+	if x.isScalar() {
+		return x
+	}
+	t := l.info.TypeOf(call)
+	if t.Shape.IsVector() || !t.Shape.Known() && (t.Shape.Rows == 1 || t.Shape.Cols == 1) {
+		nm1 := l.hoist(ir.ISub(x.length(), ir.CI(1)), "n1")
+		return aval{kind: x.kind, rows: x.rows, cols: x.cols, reads: x.reads,
+			at: func(lin ir.Expr) ir.Expr { return x.at(ir.ISub(nm1, lin)) }}
+	}
+	// Matrix flip: remap one coordinate.
+	rows := x.rows
+	return aval{kind: x.kind, rows: x.rows, cols: x.cols, reads: x.reads,
+		at: func(lin ir.Expr) ir.Expr {
+			var i ir.Expr = ir.B(ir.OpRem, lin, rows)
+			var j ir.Expr = ir.B(ir.OpDiv, lin, rows)
+			if name == "flipud" {
+				i = ir.ISub(ir.ISub(rows, ir.CI(1)), i)
+			} else {
+				j = ir.ISub(ir.ISub(x.cols, ir.CI(1)), j)
+			}
+			return x.at(ir.IAdd(i, ir.IMul(j, rows)))
+		}}
+}
+
+// lowerCumsum materializes the running sum of a vector.
+func (l *lowerer) lowerCumsum(call *mlang.CallExpr, x aval) aval {
+	if x.isScalar() {
+		return x
+	}
+	t := l.tempArr("cs", arrayElemKindIR(x.kind))
+	l.emit(&ir.Alloc{Arr: t, Rows: x.rows, Cols: x.cols})
+	acc := l.temp("acc", x.kind)
+	l.emit(&ir.Assign{Dst: acc, Src: zeroOf(x.kind)})
+	k := l.temp("k", ir.Int)
+	body := []ir.Stmt{
+		&ir.Assign{Dst: acc, Src: ir.B(ir.OpAdd, ir.V(acc), l.asBase(x.at(ir.V(k)), x.kind))},
+		&ir.Store{Arr: t, Index: ir.V(k), Val: l.asBase(ir.V(acc), t.Elem)},
+	}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1, Body: body})
+	return l.atomView(t)
+}
+
+// lowerDot lowers dot(a,b) = sum(conj(a).*b) (MATLAB conjugates the
+// first argument for complex inputs).
+func (l *lowerer) lowerDot(call *mlang.CallExpr, a, b aval) aval {
+	base := commonBase(a.kind, b.kind)
+	if base == ir.Int {
+		base = ir.Float
+	}
+	if a.isScalar() && b.isScalar() {
+		av := l.asBase(a.scalar, base)
+		if base == ir.Complex {
+			av = ir.U(ir.OpConj, av, ir.KComplex)
+		}
+		return scalarVal(ir.B(ir.OpMul, av, l.asBase(b.scalar, base)))
+	}
+	if a.isScalar() || b.isScalar() {
+		l.fail(call.Pos, "dot requires two vectors of equal length")
+	}
+	acc := l.temp("dot", base)
+	l.emit(&ir.Assign{Dst: acc, Src: zeroOf(base)})
+	k := l.temp("k", ir.Int)
+	elem := func(kk ir.Expr) ir.Expr {
+		av := l.asBase(a.at(kk), base)
+		if base == ir.Complex {
+			av = ir.U(ir.OpConj, av, ir.KComplex)
+		}
+		return ir.B(ir.OpMul, av, l.asBase(b.at(kk), base))
+	}
+	body := []ir.Stmt{&ir.Assign{Dst: acc, Src: ir.B(ir.OpAdd, ir.V(acc), elem(ir.V(k)))}}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(a.length(), ir.CI(1)), Step: 1, Body: body})
+	return scalarVal(ir.V(acc))
+}
+
+// lowerNorm lowers norm(v) = sqrt(sum(|v|^2)).
+func (l *lowerer) lowerNorm(call *mlang.CallExpr, x aval) aval {
+	if x.isScalar() {
+		return scalarVal(ir.U(ir.OpAbs, l.asFloatOrComplex(x.scalar), ir.KFloat))
+	}
+	acc := l.temp("nrm", ir.Float)
+	l.emit(&ir.Assign{Dst: acc, Src: ir.CF(0)})
+	k := l.temp("k", ir.Int)
+	elem := func(kk ir.Expr) ir.Expr {
+		v := x.at(kk)
+		if v.Kind().Base == ir.Complex {
+			m := ir.U(ir.OpAbs, v, ir.KFloat)
+			return ir.B(ir.OpMul, m, m)
+		}
+		f := l.asBase(v, ir.Float)
+		return ir.B(ir.OpMul, f, f)
+	}
+	body := []ir.Stmt{&ir.Assign{Dst: acc, Src: ir.B(ir.OpAdd, ir.V(acc), elem(ir.V(k)))}}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1, Body: body})
+	return scalarVal(ir.U(ir.OpSqrt, ir.V(acc), ir.KFloat))
+}
+
+// lowerVarStd lowers var(x)/std(x): the two-pass sample variance with
+// MATLAB's n-1 normalization (and n when n == 1, giving 0).
+func (l *lowerer) lowerVarStd(call *mlang.CallExpr, name string, x aval) aval {
+	if x.isScalar() {
+		return scalarVal(ir.CF(0))
+	}
+	n := l.hoist(x.length(), "n")
+	nf := l.hoist(l.asBase(n, ir.Float), "nf")
+
+	// Pass 1: mean.
+	sum := l.temp("sum", ir.Float)
+	l.emit(&ir.Assign{Dst: sum, Src: ir.CF(0)})
+	k := l.temp("k", ir.Int)
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1,
+		Body: []ir.Stmt{&ir.Assign{Dst: sum,
+			Src: ir.B(ir.OpAdd, ir.V(sum), l.asBase(x.at(ir.V(k)), ir.Float))}}})
+	mu := l.hoist(ir.B(ir.OpDiv, ir.V(sum), nf), "mu")
+
+	// Pass 2: centered sum of squares.
+	ss := l.temp("ss", ir.Float)
+	l.emit(&ir.Assign{Dst: ss, Src: ir.CF(0)})
+	k2 := l.temp("k", ir.Int)
+	d := l.temp("d", ir.Float)
+	l.emit(&ir.For{Var: k2, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1,
+		Body: []ir.Stmt{
+			&ir.Assign{Dst: d, Src: ir.B(ir.OpSub, l.asBase(x.at(ir.V(k2)), ir.Float), mu)},
+			&ir.Assign{Dst: ss, Src: ir.B(ir.OpAdd, ir.V(ss), ir.B(ir.OpMul, ir.V(d), ir.V(d)))},
+		}})
+	// Denominator max(n-1, 1).
+	den := ir.B(ir.OpMax, ir.B(ir.OpSub, nf, ir.CF(1)), ir.CF(1))
+	v := ir.Expr(ir.B(ir.OpDiv, ir.V(ss), den))
+	if name == "std" {
+		v = ir.U(ir.OpSqrt, v, ir.KFloat)
+	}
+	return scalarVal(v)
+}
+
+// nonzeroCond builds the truth test "element != 0" for any element kind.
+func nonzeroCond(v ir.Expr) ir.Expr {
+	return ir.B(ir.OpNe, v, zeroOf(v.Kind().Base))
+}
+
+// lowerFind lowers find(x): the 1-based indices of nonzero elements.
+func (l *lowerer) lowerFind(call *mlang.CallExpr, x aval) aval {
+	if x.isScalar() {
+		x = l.materialize(x)
+	}
+	cnt := l.temp("cnt", ir.Int)
+	l.emit(&ir.Assign{Dst: cnt, Src: ir.CI(0)})
+	k := l.temp("k", ir.Int)
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1,
+		Body: []ir.Stmt{&ir.If{Cond: nonzeroCond(x.at(ir.V(k))),
+			Then: []ir.Stmt{&ir.Assign{Dst: cnt, Src: ir.IAdd(ir.V(cnt), ir.CI(1))}}}}})
+
+	t := l.tempArr("idx", ir.Float)
+	resT := l.info.TypeOf(call)
+	if resT.Shape.Cols == 1 && resT.Shape.Rows != 1 {
+		l.emit(&ir.Alloc{Arr: t, Rows: ir.V(cnt), Cols: ir.CI(1)})
+	} else {
+		l.emit(&ir.Alloc{Arr: t, Rows: ir.CI(1), Cols: ir.V(cnt)})
+	}
+	j := l.temp("j", ir.Int)
+	l.emit(&ir.Assign{Dst: j, Src: ir.CI(0)})
+	k2 := l.temp("k", ir.Int)
+	l.emit(&ir.For{Var: k2, Lo: ir.CI(0), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1,
+		Body: []ir.Stmt{&ir.If{Cond: nonzeroCond(x.at(ir.V(k2))),
+			Then: []ir.Stmt{
+				&ir.Store{Arr: t, Index: ir.V(j),
+					Val: l.asBase(ir.IAdd(ir.V(k2), ir.CI(1)), ir.Float)},
+				&ir.Assign{Dst: j, Src: ir.IAdd(ir.V(j), ir.CI(1))},
+			}}}})
+	return l.atomView(t)
+}
+
+// lowerBoolReduce lowers any/all/nnz over a vector.
+func (l *lowerer) lowerBoolReduce(call *mlang.CallExpr, name string, x aval) aval {
+	if x.isScalar() {
+		nz := nonzeroCond(x.scalar)
+		if name == "nnz" {
+			return scalarVal(nz) // 0 or 1
+		}
+		return scalarVal(nz)
+	}
+	acc := l.temp(name, ir.Int)
+	init := ir.CI(0)
+	if name == "all" {
+		init = ir.CI(1)
+	}
+	l.emit(&ir.Assign{Dst: acc, Src: init})
+	k := l.temp("k", ir.Int)
+	var update ir.Expr
+	switch name {
+	case "any":
+		update = ir.B(ir.OpOr, ir.V(acc), nonzeroCond(x.at(ir.V(k))))
+	case "all":
+		update = ir.B(ir.OpAnd, ir.V(acc), nonzeroCond(x.at(ir.V(k))))
+	default: // nnz
+		update = ir.IAdd(ir.V(acc), nonzeroCond(x.at(ir.V(k))))
+	}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1,
+		Body: []ir.Stmt{&ir.Assign{Dst: acc, Src: update}}})
+	return scalarVal(ir.V(acc))
+}
+
+// lowerBuiltinMulti lowers multi-output builtins: [r,c] = size(x) and
+// [m,i] = min/max(x).
+func (l *lowerer) lowerBuiltinMulti(call *mlang.CallExpr, nresults int) []aval {
+	name := call.Fun.(*mlang.IdentExpr).Name
+	if name == "size" && nresults == 2 {
+		x := l.lowerExpr(call.Args[0])
+		if x.isScalar() {
+			return []aval{scalarVal(ir.CI(1)), scalarVal(ir.CI(1))}
+		}
+		return []aval{scalarVal(x.rows), scalarVal(x.cols)}
+	}
+	if (name == "min" || name == "max") && nresults == 2 && len(call.Args) == 1 {
+		return l.lowerMinMaxWithIndex(call, name)
+	}
+	if nresults <= 1 {
+		return []aval{l.lowerBuiltin(call)}
+	}
+	l.fail(call.Pos, "builtin %q does not support %d outputs", name, nresults)
+	return nil
+}
+
+// lowerMinMaxWithIndex lowers [m, i] = min/max(x): the extremum and its
+// first 1-based position.
+func (l *lowerer) lowerMinMaxWithIndex(call *mlang.CallExpr, name string) []aval {
+	x := l.lowerExpr(call.Args[0])
+	if x.isScalar() {
+		return []aval{x, scalarVal(ir.CI(1))}
+	}
+	if x.kind == ir.Complex {
+		l.fail(call.Pos, "min/max of complex values is not supported")
+	}
+	cmpOp := ir.OpLt
+	if name == "max" {
+		cmpOp = ir.OpGt
+	}
+	best := l.temp(name, x.kind)
+	bi := l.temp("bi", ir.Int)
+	l.emit(&ir.Assign{Dst: best, Src: l.asBase(x.at(ir.CI(0)), x.kind)})
+	l.emit(&ir.Assign{Dst: bi, Src: ir.CI(1)})
+	k := l.temp("k", ir.Int)
+	cand := l.asBase(x.at(ir.V(k)), x.kind)
+	body := []ir.Stmt{&ir.If{
+		// Strict comparison keeps the first occurrence, like MATLAB.
+		Cond: ir.B(cmpOp, cand, ir.V(best)),
+		Then: []ir.Stmt{
+			&ir.Assign{Dst: best, Src: cand},
+			&ir.Assign{Dst: bi, Src: ir.IAdd(ir.V(k), ir.CI(1))},
+		}}}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(1), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1, Body: body})
+	return []aval{scalarVal(ir.V(best)), scalarVal(ir.V(bi))}
+}
+
+// elemwiseClassOf mirrors sema's result class mapping onto IR kinds; kept
+// for future use by extended builtins.
+var _ = sema.Real

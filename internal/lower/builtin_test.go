@@ -1,0 +1,249 @@
+package lower
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+// compileMulti compiles a multi-output function.
+func compileMulti(t *testing.T, src string, params ...sema.Type) *ir.Func {
+	t.Helper()
+	file, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Analyze(file, file.Funcs[0].Name, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestLowerTrigFamily(t *testing.T) {
+	src := `function [a, b, c, d, e, g] = f(x)
+a = asin(x);
+b = acos(x);
+c = atan(x);
+d = sinh(x);
+e = cosh(x);
+g = tanh(x);
+end`
+	f := compileMulti(t, src, sema.RealScalar)
+	res := execute(t, f, 0.5)
+	want := []float64{math.Asin(0.5), math.Acos(0.5), math.Atan(0.5),
+		math.Sinh(0.5), math.Cosh(0.5), math.Tanh(0.5)}
+	for i, w := range want {
+		if got := res[i].(float64); math.Abs(got-w) > 1e-15 {
+			t.Errorf("result %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestLowerAtan2(t *testing.T) {
+	src := "function y = f(a, b)\ny = atan2(a, b);\nend"
+	f := compile(t, src, sema.RealScalar, sema.RealScalar)
+	if got := execute(t, f, 1.0, -1.0)[0].(float64); math.Abs(got-math.Atan2(1, -1)) > 1e-15 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLowerAtan2Elementwise(t *testing.T) {
+	src := "function y = f(a, b)\ny = atan2(a, b);\nend"
+	f := compile(t, src, dynRealVec(), dynRealVec())
+	res := execute(t, f, rowVec(1, 0, -1), rowVec(1, 1, 1))
+	arr := res[0].(*ir.Array)
+	want := []float64{math.Atan2(1, 1), 0, math.Atan2(-1, 1)}
+	for i, w := range want {
+		if math.Abs(arr.F[i]-w) > 1e-15 {
+			t.Errorf("[%d] = %v, want %v", i, arr.F[i], w)
+		}
+	}
+}
+
+func TestLowerLogBases(t *testing.T) {
+	src := "function [a, b] = f(x)\na = log2(x);\nb = log10(x);\nend"
+	f := compileMulti(t, src, sema.RealScalar)
+	res := execute(t, f, 8.0)
+	if got := res[0].(float64); math.Abs(got-3) > 1e-12 {
+		t.Errorf("log2(8) = %v", got)
+	}
+	if got := res[1].(float64); math.Abs(got-math.Log10(8)) > 1e-12 {
+		t.Errorf("log10(8) = %v", got)
+	}
+}
+
+func TestLowerLinspace(t *testing.T) {
+	src := "function y = f(a, b, n)\ny = linspace(a, b, n);\nend"
+	f := compile(t, src, sema.RealScalar, sema.RealScalar, sema.IntScalar)
+	res := execute(t, f, 0.0, 1.0, int64(5))
+	wantFloats(t, res[0].(*ir.Array), []float64{0, 0.25, 0.5, 0.75, 1})
+}
+
+func TestLowerEye(t *testing.T) {
+	src := "function y = f(n)\ny = eye(n);\nend"
+	f := compile(t, src, sema.IntScalar)
+	arr := execute(t, f, int64(3))[0].(*ir.Array)
+	want := []float64{1, 0, 0, 0, 1, 0, 0, 0, 1}
+	wantFloats(t, arr, want)
+}
+
+func TestLowerEyeRect(t *testing.T) {
+	src := "function y = f()\ny = eye(2, 3);\nend"
+	f := compile(t, src)
+	arr := execute(t, f)[0].(*ir.Array)
+	if arr.Rows != 2 || arr.Cols != 3 {
+		t.Fatalf("dims %dx%d", arr.Rows, arr.Cols)
+	}
+	wantFloats(t, arr, []float64{1, 0, 0, 1, 0, 0})
+}
+
+func TestLowerFliplr(t *testing.T) {
+	src := "function y = f(x)\ny = fliplr(x);\nend"
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3, 4))
+	wantFloats(t, res[0].(*ir.Array), []float64{4, 3, 2, 1})
+}
+
+func TestLowerFlipudMatrix(t *testing.T) {
+	src := "function y = f(a)\ny = flipud(a);\nend"
+	f := compile(t, src, sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 2}})
+	a := ir.NewFloatArray(2, 2)
+	copy(a.F, []float64{1, 2, 3, 4}) // cols [1 2] [3 4]
+	res := execute(t, f, a)
+	wantFloats(t, res[0].(*ir.Array), []float64{2, 1, 4, 3})
+}
+
+func TestLowerFliplrMatrix(t *testing.T) {
+	src := "function y = f(a)\ny = fliplr(a);\nend"
+	f := compile(t, src, sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 2}})
+	a := ir.NewFloatArray(2, 2)
+	copy(a.F, []float64{1, 2, 3, 4})
+	res := execute(t, f, a)
+	wantFloats(t, res[0].(*ir.Array), []float64{3, 4, 1, 2})
+}
+
+func TestLowerCumsum(t *testing.T) {
+	src := "function y = f(x)\ny = cumsum(x);\nend"
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3, 4))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 3, 6, 10})
+}
+
+func TestLowerDotReal(t *testing.T) {
+	src := "function y = f(a, b)\ny = dot(a, b);\nend"
+	f := compile(t, src, dynRealVec(), dynRealVec())
+	if got := execute(t, f, rowVec(1, 2, 3), rowVec(4, 5, 6))[0].(float64); got != 32 {
+		t.Errorf("got %v, want 32", got)
+	}
+}
+
+func TestLowerDotComplexConjugatesFirst(t *testing.T) {
+	src := "function y = f(a, b)\ny = dot(a, b);\nend"
+	f := compile(t, src, dynCplxVec(), dynCplxVec())
+	a := cplxRowVec(1+2i, 3-1i)
+	b := cplxRowVec(2-1i, 1i)
+	got := execute(t, f, a, b)[0].(complex128)
+	want := cmplx.Conj(1+2i)*(2-1i) + cmplx.Conj(3-1i)*1i
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLowerNorm(t *testing.T) {
+	src := "function y = f(x)\ny = norm(x);\nend"
+	f := compile(t, src, dynRealVec())
+	if got := execute(t, f, rowVec(3, 4))[0].(float64); math.Abs(got-5) > 1e-12 {
+		t.Errorf("got %v, want 5", got)
+	}
+}
+
+func TestLowerNormComplex(t *testing.T) {
+	src := "function y = f(x)\ny = norm(x);\nend"
+	f := compile(t, src, dynCplxVec())
+	got := execute(t, f, cplxRowVec(3i, 4))[0].(float64)
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("got %v, want 5", got)
+	}
+}
+
+func TestLowerInPlaceUpdateRecognized(t *testing.T) {
+	// The accumulation statement must lower to a single loop without an
+	// intermediate temp array.
+	src := `function y = f(y, x)
+y(2:end) = y(2:end) + x(2:end);
+end`
+	f := compile(t, src, dynRealVec(), dynRealVec())
+	allocs := 0
+	var count func(stmts []ir.Stmt)
+	count = func(stmts []ir.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ir.Alloc:
+				allocs++
+			case *ir.For:
+				count(s.Body)
+			case *ir.If:
+				count(s.Then)
+				count(s.Else)
+			case *ir.While:
+				count(s.Body)
+			}
+		}
+	}
+	count(f.Body)
+	if allocs != 0 {
+		t.Errorf("in-place update allocated %d temps:\n%s", allocs, ir.Print(f))
+	}
+	res := execute(t, f, rowVec(1, 2, 3), rowVec(10, 20, 30))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 22, 33})
+}
+
+func TestLowerInPlaceUpdateRejectsCrossSlice(t *testing.T) {
+	// y appears on the RHS at a *different* slice: must NOT run in place.
+	src := `function y = f(y)
+y(2:end) = y(2:end) + y(1:end-1);
+end`
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3, 4))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 3, 5, 7})
+}
+
+func TestLowerVarStd(t *testing.T) {
+	src := "function [v, s] = f(x)\nv = var(x);\ns = std(x);\nend"
+	f := compileMulti(t, src, dynRealVec())
+	res := execute(t, f, rowVec(2, 4, 4, 4, 5, 5, 7, 9))
+	// mean = 5, sum sq = 9+1+1+1+0+0+4+16 = 32, var = 32/7
+	wantV := 32.0 / 7.0
+	if got := res[0].(float64); math.Abs(got-wantV) > 1e-12 {
+		t.Errorf("var = %v, want %v", got, wantV)
+	}
+	if got := res[1].(float64); math.Abs(got-math.Sqrt(wantV)) > 1e-12 {
+		t.Errorf("std = %v, want %v", got, math.Sqrt(wantV))
+	}
+}
+
+func TestLowerVarSingleElement(t *testing.T) {
+	src := "function v = f(x)\nv = var(x);\nend"
+	f := compile(t, src, dynRealVec())
+	if got := execute(t, f, rowVec(42))[0].(float64); got != 0 {
+		t.Errorf("var of singleton = %v, want 0", got)
+	}
+}
+
+func TestLowerIsempty(t *testing.T) {
+	src := "function [a, b] = f(x, y)\na = isempty(x);\nb = isempty(y);\nend"
+	f := compileMulti(t, src, dynRealVec(), dynRealVec())
+	res := execute(t, f, rowVec(), rowVec(1, 2))
+	if res[0].(int64) != 1 || res[1].(int64) != 0 {
+		t.Errorf("isempty = %v, %v", res[0], res[1])
+	}
+}

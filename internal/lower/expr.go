@@ -1,0 +1,584 @@
+package lower
+
+import (
+	"mat2c/internal/ir"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+// aval is a lowered MATLAB value: either a scalar expression or an
+// "element view" of an array-shaped value. A view exposes its extents
+// and a pure generator producing the element at a 0-based column-major
+// linear index. Views compose without materialization, which is what
+// fuses elementwise operator trees into single loops.
+type aval struct {
+	kind   ir.BaseKind
+	scalar ir.Expr // non-nil => scalar
+
+	rows, cols ir.Expr                   // hoisted extents (arrays only)
+	at         func(lin ir.Expr) ir.Expr // element generator (arrays only)
+	arr        *ir.Sym                   // set when the view is exactly this array
+	reads      []*ir.Sym                 // arrays this view loads from
+}
+
+func (v aval) isScalar() bool { return v.scalar != nil }
+
+// length returns rows*cols.
+func (v aval) length() ir.Expr { return ir.IMul(v.rows, v.cols) }
+
+func scalarVal(e ir.Expr) aval { return aval{kind: e.Kind().Base, scalar: e} }
+
+func (l *lowerer) atomView(s *ir.Sym) aval {
+	rows := l.hoist(&ir.Dim{Arr: s, Which: ir.DimRows}, "r")
+	cols := l.hoist(&ir.Dim{Arr: s, Which: ir.DimCols}, "c")
+	return aval{
+		kind: s.Elem, rows: rows, cols: cols, arr: s, reads: []*ir.Sym{s},
+		at: func(lin ir.Expr) ir.Expr { return &ir.Load{Arr: s, Index: lin} },
+	}
+}
+
+// readsSym reports whether the view loads from s.
+func (v aval) readsSym(s *ir.Sym) bool {
+	for _, r := range v.reads {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}
+
+func unionReads(vs ...aval) []*ir.Sym {
+	var out []*ir.Sym
+	seen := map[*ir.Sym]bool{}
+	for _, v := range vs {
+		for _, r := range v.reads {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// scalarExpr lowers e and requires a scalar result.
+func (l *lowerer) scalarExpr(e mlang.Expr) ir.Expr {
+	v := l.lowerExpr(e)
+	if !v.isScalar() {
+		// A 1x1 array value (e.g. from dynamic shapes) reads element 0.
+		if v.at != nil {
+			return v.at(ir.CI(0))
+		}
+		l.fail(e.NodePos(), "scalar value required")
+	}
+	return v.scalar
+}
+
+// materialize stores a view into a fresh temp array and returns its atom.
+func (l *lowerer) materialize(v aval) aval {
+	if v.arr != nil {
+		return v
+	}
+	if v.isScalar() {
+		t := l.tempArr("t", arrayElemKindIR(v.kind))
+		l.emit(&ir.Alloc{Arr: t, Rows: ir.CI(1), Cols: ir.CI(1)})
+		l.emit(&ir.Store{Arr: t, Index: ir.CI(0), Val: l.asBase(v.scalar, t.Elem)})
+		return l.atomView(t)
+	}
+	t := l.tempArr("t", arrayElemKindIR(v.kind))
+	l.emit(&ir.Alloc{Arr: t, Rows: v.rows, Cols: v.cols})
+	k := l.temp("k", ir.Int)
+	body := []ir.Stmt{&ir.Store{Arr: t, Index: ir.V(k), Val: l.asBase(v.at(ir.V(k)), t.Elem)}}
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(v.length(), ir.CI(1)), Step: 1, Body: body})
+	return l.atomView(t)
+}
+
+func arrayElemKindIR(k ir.BaseKind) ir.BaseKind {
+	if k == ir.Complex {
+		return ir.Complex
+	}
+	return ir.Float
+}
+
+func (l *lowerer) lowerExpr(e mlang.Expr) aval {
+	v := l.lowerExpr1(e)
+	// Baseline (MATLAB-Coder-like) code shape: no fusion — every
+	// array-valued intermediate is materialized into a temporary.
+	if l.noFuse && !v.isScalar() && v.arr == nil {
+		return l.materialize(v)
+	}
+	return v
+}
+
+func (l *lowerer) lowerExpr1(e mlang.Expr) aval {
+	switch e := e.(type) {
+	case *mlang.NumberExpr:
+		if e.Imag {
+			return scalarVal(ir.CC(complex(0, e.Value)))
+		}
+		t := l.info.TypeOf(e)
+		if t.Class == sema.Int {
+			return scalarVal(ir.CI(int64(e.Value)))
+		}
+		return scalarVal(ir.CF(e.Value))
+
+	case *mlang.IdentExpr:
+		if s := l.frame().vars[e.Name]; s != nil {
+			if s.IsArray {
+				return l.atomView(s)
+			}
+			return scalarVal(ir.V(s))
+		}
+		// Builtin constants.
+		switch e.Name {
+		case "pi":
+			return scalarVal(ir.CF(3.141592653589793))
+		case "eps":
+			return scalarVal(ir.CF(2.220446049250313e-16))
+		}
+		l.fail(e.Pos, "undefined variable %q", e.Name)
+
+	case *mlang.UnaryExpr:
+		return l.lowerUnary(e)
+
+	case *mlang.BinaryExpr:
+		return l.lowerBinary(e)
+
+	case *mlang.TransposeExpr:
+		return l.lowerTranspose(e)
+
+	case *mlang.RangeExpr:
+		return l.lowerRange(e)
+
+	case *mlang.MatrixExpr:
+		return l.lowerMatrixLit(e)
+
+	case *mlang.CallExpr:
+		switch l.info.Calls[e] {
+		case sema.CallIndex:
+			return l.lowerIndexRead(e)
+		case sema.CallBuiltin:
+			return l.lowerBuiltin(e)
+		case sema.CallUser:
+			res := l.inlineCall(e, 1)
+			if len(res) == 0 {
+				l.fail(e.Pos, "call has no results")
+			}
+			return res[0]
+		}
+		l.fail(e.Pos, "unresolved call")
+
+	case *mlang.EndExpr:
+		if len(l.endStack) == 0 {
+			l.fail(e.Pos, "'end' outside index")
+		}
+		return scalarVal(l.endStack[len(l.endStack)-1])
+
+	case *mlang.ColonExpr:
+		l.fail(e.Pos, "':' outside index")
+	}
+	l.fail(e.NodePos(), "unsupported expression %T", e)
+	return aval{}
+}
+
+func (l *lowerer) lowerUnary(e *mlang.UnaryExpr) aval {
+	x := l.lowerExpr(e.X)
+	apply := func(v ir.Expr) ir.Expr {
+		switch e.Op {
+		case mlang.OpNeg:
+			return ir.U(ir.OpNeg, v, v.Kind())
+		case mlang.OpPos:
+			return v
+		case mlang.OpNot:
+			return ir.U(ir.OpNot, v, ir.Kind{Base: ir.Int, Lanes: v.Kind().Lanes})
+		}
+		l.fail(e.Pos, "unsupported unary op")
+		return nil
+	}
+	return l.mapView(x, apply)
+}
+
+// mapView applies a scalar function elementwise to a value.
+func (l *lowerer) mapView(x aval, f func(ir.Expr) ir.Expr) aval {
+	if x.isScalar() {
+		return scalarVal(f(x.scalar))
+	}
+	probe := f(x.at(ir.CI(0)))
+	return aval{
+		kind: probe.Kind().Base, rows: x.rows, cols: x.cols, reads: x.reads,
+		at: func(lin ir.Expr) ir.Expr { return f(x.at(lin)) },
+	}
+}
+
+// zipViews applies a binary scalar function elementwise with scalar
+// broadcasting. Result extents follow the non-scalar operand (sema has
+// already checked conformance).
+func (l *lowerer) zipViews(x, y aval, f func(a, b ir.Expr) ir.Expr) aval {
+	if x.isScalar() && y.isScalar() {
+		return scalarVal(f(x.scalar, y.scalar))
+	}
+	// Hoist broadcast scalars so they are evaluated once.
+	if x.isScalar() {
+		xs := l.hoist(x.scalar, "s")
+		probe := f(xs, y.at(ir.CI(0)))
+		return aval{kind: probe.Kind().Base, rows: y.rows, cols: y.cols, reads: y.reads,
+			at: func(lin ir.Expr) ir.Expr { return f(xs, y.at(lin)) }}
+	}
+	if y.isScalar() {
+		ys := l.hoist(y.scalar, "s")
+		probe := f(x.at(ir.CI(0)), ys)
+		return aval{kind: probe.Kind().Base, rows: x.rows, cols: x.cols, reads: x.reads,
+			at: func(lin ir.Expr) ir.Expr { return f(x.at(lin), ys) }}
+	}
+	probe := f(x.at(ir.CI(0)), y.at(ir.CI(0)))
+	return aval{kind: probe.Kind().Base, rows: x.rows, cols: x.cols,
+		reads: unionReads(x, y),
+		at:    func(lin ir.Expr) ir.Expr { return f(x.at(lin), y.at(lin)) }}
+}
+
+// commonBase picks the arithmetic base for a binary op.
+func commonBase(a, b ir.BaseKind) ir.BaseKind {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (l *lowerer) lowerBinary(e *mlang.BinaryExpr) aval {
+	switch e.Op {
+	case mlang.OpMatMul:
+		return l.lowerMatMul(e)
+	case mlang.OpMatDiv, mlang.OpMatLDiv, mlang.OpMatPow:
+		// Sema restricted these to (effectively) scalar forms.
+	}
+
+	x := l.lowerExpr(e.X)
+	y := l.lowerExpr(e.Y)
+
+	var irop ir.Op
+	base := commonBase(x.kind, y.kind)
+	switch e.Op {
+	case mlang.OpAdd:
+		irop = ir.OpAdd
+	case mlang.OpSub:
+		irop = ir.OpSub
+	case mlang.OpElMul:
+		irop = ir.OpMul
+	case mlang.OpElDiv, mlang.OpMatDiv:
+		irop = ir.OpDiv
+		if base == ir.Int {
+			base = ir.Float
+		}
+	case mlang.OpMatLDiv:
+		irop = ir.OpDiv
+		if base == ir.Int {
+			base = ir.Float
+		}
+		x, y = y, x // a\b == b/a for scalar a
+	case mlang.OpElPow, mlang.OpMatPow:
+		irop = ir.OpPow
+		if base == ir.Int {
+			base = ir.Float
+		}
+	case mlang.OpLt, mlang.OpLe, mlang.OpGt, mlang.OpGe, mlang.OpEq, mlang.OpNe:
+		return l.lowerCompare(e, x, y)
+	case mlang.OpAndAnd, mlang.OpAnd:
+		irop = ir.OpAnd
+	case mlang.OpOrOr, mlang.OpOr:
+		irop = ir.OpOr
+	default:
+		l.fail(e.Pos, "unsupported operator %s", e.Op)
+	}
+
+	b := base
+	return l.zipViews(x, y, func(a, c ir.Expr) ir.Expr {
+		return ir.B(irop, l.asBase(a, b), l.asBase(c, b))
+	})
+}
+
+func (l *lowerer) lowerCompare(e *mlang.BinaryExpr, x, y aval) aval {
+	var irop ir.Op
+	switch e.Op {
+	case mlang.OpLt:
+		irop = ir.OpLt
+	case mlang.OpLe:
+		irop = ir.OpLe
+	case mlang.OpGt:
+		irop = ir.OpGt
+	case mlang.OpGe:
+		irop = ir.OpGe
+	case mlang.OpEq:
+		irop = ir.OpEq
+	case mlang.OpNe:
+		irop = ir.OpNe
+	}
+	base := commonBase(x.kind, y.kind)
+	if base == ir.Complex && irop != ir.OpEq && irop != ir.OpNe {
+		// MATLAB orders complex values by real part.
+		return l.zipViews(x, y, func(a, c ir.Expr) ir.Expr {
+			return ir.B(irop, l.toRealPart(a), l.toRealPart(c))
+		})
+	}
+	return l.zipViews(x, y, func(a, c ir.Expr) ir.Expr {
+		return ir.B(irop, l.asBase(a, base), l.asBase(c, base))
+	})
+}
+
+func (l *lowerer) toRealPart(e ir.Expr) ir.Expr {
+	if e.Kind().Base == ir.Complex {
+		return ir.U(ir.OpRe, e, ir.Kind{Base: ir.Float, Lanes: e.Kind().Lanes})
+	}
+	return l.asBase(e, ir.Float)
+}
+
+// lowerMatMul handles scalar*array, dot products, matrix-vector and
+// matrix-matrix products.
+func (l *lowerer) lowerMatMul(e *mlang.BinaryExpr) aval {
+	xt := l.info.TypeOf(e.X)
+	yt := l.info.TypeOf(e.Y)
+	x := l.lowerExpr(e.X)
+	y := l.lowerExpr(e.Y)
+
+	// Scalar forms degrade to elementwise multiply.
+	if x.isScalar() || y.isScalar() {
+		base := commonBase(x.kind, y.kind)
+		return l.zipViews(x, y, func(a, c ir.Expr) ir.Expr {
+			return ir.B(ir.OpMul, l.asBase(a, base), l.asBase(c, base))
+		})
+	}
+
+	base := commonBase(x.kind, y.kind)
+	if base == ir.Int {
+		base = ir.Float
+	}
+	bk := ir.Kind{Base: base, Lanes: 1}
+
+	// Dot product: row * col → scalar reduction loop.
+	if xt.Shape.IsRowVec() && yt.Shape.IsColVec() {
+		acc := l.temp("dot", base)
+		l.emit(&ir.Assign{Dst: acc, Src: zeroOf(base)})
+		k := l.temp("k", ir.Int)
+		body := []ir.Stmt{&ir.Assign{Dst: acc, Src: ir.B(ir.OpAdd, ir.V(acc),
+			ir.B(ir.OpMul, l.asBase(x.at(ir.V(k)), base), l.asBase(y.at(ir.V(k)), base)))}}
+		l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(x.length(), ir.CI(1)), Step: 1, Body: body})
+		return scalarVal(ir.V(acc))
+	}
+
+	// General matrix product, saxpy (j, k, i) order: the innermost loop
+	// runs down a column of the result and of A with unit stride, so it
+	// vectorizes and fuses into FMAs — the natural column-major
+	// formulation:
+	//
+	//	for j: for k: c(:, j) += a(:, k) * b(k, j)
+	xa := x
+	ya := y
+	t := l.tempArr("mm", arrayElemKindIR(base))
+	m := xa.rows // result rows
+	n := ya.cols // result cols
+	kk := xa.cols
+	l.emit(&ir.Alloc{Arr: t, Rows: m, Cols: n}) // zero-filled
+	i := l.temp("i", ir.Int)
+	j := l.temp("j", ir.Int)
+	k := l.temp("k", ir.Int)
+	bkj := l.temp("bkj", base)
+	cOff := l.temp("coff", ir.Int)
+	aOff := l.temp("aoff", ir.Int)
+
+	cIdx := ir.IAdd(ir.V(i), ir.V(cOff))
+	inner := []ir.Stmt{
+		&ir.Store{Arr: t, Index: cIdx,
+			Val: l.asBase(ir.B(ir.OpAdd, &ir.Load{Arr: t, Index: cIdx},
+				ir.B(ir.OpMul,
+					l.asBase(xa.at(ir.IAdd(ir.V(i), ir.V(aOff))), base),
+					ir.V(bkj))), t.Elem)},
+	}
+	kBody := []ir.Stmt{
+		&ir.Assign{Dst: bkj, Src: l.asBase(ya.at(ir.IAdd(ir.V(k), ir.IMul(ir.V(j), kk))), base)},
+		&ir.Assign{Dst: aOff, Src: ir.IMul(ir.V(k), m)},
+		&ir.For{Var: i, Lo: ir.CI(0), Hi: ir.ISub(m, ir.CI(1)), Step: 1, Body: inner},
+	}
+	jBody := []ir.Stmt{
+		&ir.Assign{Dst: cOff, Src: ir.IMul(ir.V(j), m)},
+		&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(kk, ir.CI(1)), Step: 1, Body: kBody},
+	}
+	l.emit(&ir.For{Var: j, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1, Body: jBody})
+	_ = bk
+	return l.atomView(t)
+}
+
+func zeroOf(b ir.BaseKind) ir.Expr {
+	switch b {
+	case ir.Int:
+		return ir.CI(0)
+	case ir.Float:
+		return ir.CF(0)
+	default:
+		return ir.CC(0)
+	}
+}
+
+func oneOf(b ir.BaseKind) ir.Expr {
+	switch b {
+	case ir.Int:
+		return ir.CI(1)
+	case ir.Float:
+		return ir.CF(1)
+	default:
+		return ir.CC(1)
+	}
+}
+
+func (l *lowerer) lowerTranspose(e *mlang.TransposeExpr) aval {
+	xt := l.info.TypeOf(e.X)
+	x := l.lowerExpr(e.X)
+	conj := e.Conj && x.kind == ir.Complex
+
+	applyConj := func(v ir.Expr) ir.Expr {
+		if conj {
+			return ir.U(ir.OpConj, v, v.Kind())
+		}
+		return v
+	}
+	if x.isScalar() {
+		return scalarVal(applyConj(x.scalar))
+	}
+	// Vector transpose keeps the linear layout; only the extents swap.
+	if xt.Shape.IsVector() {
+		return aval{kind: x.kind, rows: x.cols, cols: x.rows, reads: x.reads,
+			at: func(lin ir.Expr) ir.Expr { return applyConj(x.at(lin)) }}
+	}
+	// Matrix transpose: materialize with a 2-nest.
+	t := l.tempArr("tr", arrayElemKindIR(x.kind))
+	l.emit(&ir.Alloc{Arr: t, Rows: x.cols, Cols: x.rows})
+	i := l.temp("i", ir.Int)
+	j := l.temp("j", ir.Int)
+	// t[j + i*cols(x)] = x[i + j*rows(x)]  (t is cols(x) × rows(x))
+	inner := []ir.Stmt{&ir.Store{
+		Arr:   t,
+		Index: ir.IAdd(ir.V(j), ir.IMul(ir.V(i), x.cols)),
+		Val:   l.asBase(applyConj(x.at(ir.IAdd(ir.V(i), ir.IMul(ir.V(j), x.rows)))), t.Elem),
+	}}
+	jBody := []ir.Stmt{&ir.For{Var: i, Lo: ir.CI(0), Hi: ir.ISub(x.rows, ir.CI(1)), Step: 1, Body: inner}}
+	l.emit(&ir.For{Var: j, Lo: ir.CI(0), Hi: ir.ISub(x.cols, ir.CI(1)), Step: 1, Body: jBody})
+	return l.atomView(t)
+}
+
+func (l *lowerer) lowerRange(e *mlang.RangeExpr) aval {
+	lo := l.hoist(l.scalarExpr(e.Start), "lo")
+	hi := l.hoist(l.scalarExpr(e.Stop), "hi")
+	step := ir.Expr(ir.CI(1))
+	if e.Step != nil {
+		step = l.hoist(l.scalarExpr(e.Step), "st")
+	}
+	intRange := lo.Kind().Base == ir.Int && hi.Kind().Base == ir.Int && step.Kind().Base == ir.Int
+
+	var count ir.Expr
+	if intRange {
+		count = ir.B(ir.OpAdd, ir.B(ir.OpDiv, ir.B(ir.OpSub, hi, lo), step), ir.CI(1))
+	} else {
+		diff := ir.B(ir.OpSub, l.asBase(hi, ir.Float), l.asBase(lo, ir.Float))
+		count = ir.B(ir.OpAdd, ir.U(ir.OpFloor, ir.B(ir.OpDiv, diff, l.asBase(step, ir.Float)), ir.KInt), ir.CI(1))
+	}
+	count = l.hoist(foldIntExpr(ir.B(ir.OpMax, count, ir.CI(0))), "n")
+
+	kind := ir.Int
+	if !intRange {
+		kind = ir.Float
+	}
+	return aval{kind: kind, rows: ir.CI(1), cols: count,
+		at: func(lin ir.Expr) ir.Expr {
+			if intRange {
+				return ir.IAdd(lo, ir.IMul(lin, step))
+			}
+			return ir.B(ir.OpAdd, l.asBase(lo, ir.Float),
+				ir.B(ir.OpMul, l.asBase(lin, ir.Float), l.asBase(step, ir.Float)))
+		}}
+}
+
+// lowerMatrixLit materializes a matrix literal / concatenation.
+func (l *lowerer) lowerMatrixLit(e *mlang.MatrixExpr) aval {
+	t := l.info.TypeOf(e)
+	if len(e.Rows) == 0 {
+		tv := l.tempArr("mt", arrayElemKindIR(baseKind(t.Class)))
+		l.emit(&ir.Alloc{Arr: tv, Rows: ir.CI(0), Cols: ir.CI(0)})
+		return l.atomView(tv)
+	}
+	// Scalar 1x1 literal.
+	if t.IsScalar() && len(e.Rows) == 1 && len(e.Rows[0]) == 1 {
+		return l.lowerExpr(e.Rows[0][0])
+	}
+
+	elemK := arrayElemKindIR(baseKind(t.Class))
+
+	// Lower all pieces first (their emitted code must precede the copy).
+	pieces := make([][]aval, len(e.Rows))
+	for i, row := range e.Rows {
+		pieces[i] = make([]aval, len(row))
+		for j, el := range row {
+			pieces[i][j] = l.lowerExpr(el)
+		}
+	}
+
+	// Total extents: rows = sum of per-rowgroup heights, cols = first
+	// row-group's width sum.
+	rowH := make([]ir.Expr, len(pieces))
+	var totalRows ir.Expr = ir.CI(0)
+	for i, row := range pieces {
+		h := pieceRows(row[0])
+		rowH[i] = l.hoist(h, "rh")
+		totalRows = ir.IAdd(totalRows, rowH[i])
+	}
+	totalRows = l.hoist(totalRows, "R")
+	var totalCols ir.Expr = ir.CI(0)
+	for _, p := range pieces[0] {
+		totalCols = ir.IAdd(totalCols, pieceCols(p))
+	}
+	totalCols = l.hoist(totalCols, "C")
+
+	tv := l.tempArr("mt", elemK)
+	l.emit(&ir.Alloc{Arr: tv, Rows: totalRows, Cols: totalCols})
+
+	var rowOff ir.Expr = ir.CI(0)
+	for gi, row := range pieces {
+		var colOff ir.Expr = ir.CI(0)
+		for _, p := range row {
+			l.copyPieceInto(tv, p, rowOff, colOff, totalRows)
+			colOff = l.hoist(ir.IAdd(colOff, pieceCols(p)), "co")
+		}
+		rowOff = l.hoist(ir.IAdd(rowOff, rowH[gi]), "ro")
+	}
+	return l.atomView(tv)
+}
+
+func pieceRows(p aval) ir.Expr {
+	if p.isScalar() {
+		return ir.CI(1)
+	}
+	return p.rows
+}
+
+func pieceCols(p aval) ir.Expr {
+	if p.isScalar() {
+		return ir.CI(1)
+	}
+	return p.cols
+}
+
+// copyPieceInto writes piece p at (rowOff, colOff) of dest (which has
+// destRows rows).
+func (l *lowerer) copyPieceInto(dest *ir.Sym, p aval, rowOff, colOff, destRows ir.Expr) {
+	if p.isScalar() {
+		idx := ir.IAdd(rowOff, ir.IMul(colOff, destRows))
+		l.emit(&ir.Store{Arr: dest, Index: idx, Val: l.asBase(p.scalar, dest.Elem)})
+		return
+	}
+	i := l.temp("i", ir.Int)
+	j := l.temp("j", ir.Int)
+	inner := []ir.Stmt{&ir.Store{
+		Arr:   dest,
+		Index: ir.IAdd(ir.IAdd(rowOff, ir.V(i)), ir.IMul(ir.IAdd(colOff, ir.V(j)), destRows)),
+		Val:   l.asBase(p.at(ir.IAdd(ir.V(i), ir.IMul(ir.V(j), p.rows))), dest.Elem),
+	}}
+	jBody := []ir.Stmt{&ir.For{Var: i, Lo: ir.CI(0), Hi: ir.ISub(p.rows, ir.CI(1)), Step: 1, Body: inner}}
+	l.emit(&ir.For{Var: j, Lo: ir.CI(0), Hi: ir.ISub(p.cols, ir.CI(1)), Step: 1, Body: jBody})
+}

@@ -1,0 +1,284 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+// ----- switch statement -----
+
+func TestLowerSwitchBasic(t *testing.T) {
+	src := `function y = f(x)
+switch x
+case 1
+    y = 10;
+case 2
+    y = 20;
+otherwise
+    y = -1;
+end
+end`
+	f := compile(t, src, sema.RealScalar)
+	cases := map[float64]int64{1: 10, 2: 20, 7: -1}
+	for in, want := range cases {
+		if got := execute(t, f, in)[0].(int64); got != want {
+			t.Errorf("f(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLowerSwitchNoOtherwise(t *testing.T) {
+	src := `function y = f(x)
+y = 0;
+switch x
+case 5
+    y = 1;
+end
+end`
+	f := compile(t, src, sema.IntScalar)
+	if got := execute(t, f, int64(5))[0].(int64); got != 1 {
+		t.Errorf("matched case: got %v", got)
+	}
+	if got := execute(t, f, int64(6))[0].(int64); got != 0 {
+		t.Errorf("fallthrough: got %v", got)
+	}
+}
+
+func TestLowerSwitchExpressionCases(t *testing.T) {
+	src := `function y = f(x, a)
+switch x
+case a + 1
+    y = 1;
+case a * 2
+    y = 2;
+otherwise
+    y = 3;
+end
+end`
+	f := compile(t, src, sema.RealScalar, sema.RealScalar)
+	if got := execute(t, f, 4.0, 3.0)[0].(int64); got != 1 {
+		t.Errorf("a+1 arm: got %v", got)
+	}
+	if got := execute(t, f, 6.0, 3.0)[0].(int64); got != 2 {
+		t.Errorf("a*2 arm: got %v", got)
+	}
+	if got := execute(t, f, 9.0, 3.0)[0].(int64); got != 3 {
+		t.Errorf("otherwise: got %v", got)
+	}
+}
+
+func TestLowerSwitchInsideLoop(t *testing.T) {
+	src := `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    switch mod(x(i), 3)
+    case 0
+        s = s + 100;
+    case 1
+        s = s + 10;
+    otherwise
+        s = s + 1;
+    end
+end
+end`
+	f := compile(t, src, dynRealVec())
+	// x = [0 1 2 3 4] → 100 + 10 + 1 + 100 + 10 = 221
+	if got := execute(t, f, rowVec(0, 1, 2, 3, 4))[0].(int64); got != 221 {
+		t.Errorf("got %v, want 221", got)
+	}
+}
+
+func TestParseSwitchErrors(t *testing.T) {
+	cases := []string{
+		"switch x\nend",                    // no case/otherwise
+		"switch x\ncase 1\n",               // missing end
+		"case 1\n",                         // stray case
+		"switch x\notherwise\ncase 1\nend", // case after otherwise
+	}
+	for _, src := range cases {
+		if _, err := mlang.Parse(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestFormatSwitchFixpoint(t *testing.T) {
+	src := "switch x\ncase 1\ny = 1;\notherwise\ny = 2;\nend"
+	f1, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := mlang.Format(f1)
+	f2, err := mlang.Parse(s1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s1)
+	}
+	if s2 := mlang.Format(f2); s1 != s2 {
+		t.Errorf("not a fixpoint:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+// ----- logical indexing -----
+
+func TestLowerLogicalIndexRead(t *testing.T) {
+	src := "function y = f(x)\ny = x(x > 0);\nend"
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, -2, 3, -4, 5))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 3, 5})
+}
+
+func TestLowerLogicalIndexReadEmpty(t *testing.T) {
+	src := "function y = f(x)\ny = x(x > 100);\nend"
+	f := compile(t, src, dynRealVec())
+	arr := execute(t, f, rowVec(1, 2))[0].(*ir.Array)
+	if arr.Len() != 0 {
+		t.Errorf("expected empty selection, got %v", arr.F)
+	}
+}
+
+func TestLowerLogicalIndexOtherArray(t *testing.T) {
+	// Mask from one array, elements from another.
+	src := "function y = f(x, m)\ny = x(m > 0);\nend"
+	f := compile(t, src, dynRealVec(), dynRealVec())
+	res := execute(t, f, rowVec(10, 20, 30), rowVec(1, -1, 1))
+	wantFloats(t, res[0].(*ir.Array), []float64{10, 30})
+}
+
+func TestLowerLogicalStoreScalar(t *testing.T) {
+	src := "function x = f(x)\nx(x < 0) = 0;\nend"
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, -2, 3, -4))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 0, 3, 0})
+}
+
+func TestLowerLogicalStoreVector(t *testing.T) {
+	// Replace the masked elements with values consumed in order.
+	src := "function x = f(x, v)\nx(x < 0) = v;\nend"
+	f := compile(t, src, dynRealVec(), dynRealVec())
+	res := execute(t, f, rowVec(1, -2, 3, -4), rowVec(20, 40))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 20, 3, 40})
+}
+
+func TestLowerLogicalCountViaSum(t *testing.T) {
+	src := "function n = f(x)\nn = sum(x > 0);\nend"
+	f := compile(t, src, dynRealVec())
+	if got := execute(t, f, rowVec(1, -1, 2, -2, 3))[0].(int64); got != 3 {
+		t.Errorf("got %v, want 3", got)
+	}
+}
+
+func TestLowerLogicalComplexElements(t *testing.T) {
+	src := "function y = f(x)\ny = x(real(x) > 0);\nend"
+	f := compile(t, src, dynCplxVec())
+	res := execute(t, f, cplxRowVec(1+2i, -1+5i, 3-1i))
+	arr := res[0].(*ir.Array)
+	if arr.Len() != 2 || arr.C[0] != 1+2i || arr.C[1] != 3-1i {
+		t.Errorf("got %v", arr.C)
+	}
+}
+
+func TestSemaLogicalIndexing2DRejected(t *testing.T) {
+	src := "function y = f(a, m)\ny = a(m > 0, 1);\nend"
+	file := mlang.MustParse(src)
+	_, err := sema.Analyze(file, "f", []sema.Type{
+		{Class: sema.Real, Shape: sema.Shape{Rows: 3, Cols: 3}},
+		{Class: sema.Real, Shape: sema.ColVec(3)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "logical indexing") {
+		t.Errorf("got %v, want logical-indexing restriction", err)
+	}
+}
+
+func TestSemaLogicalMaskLengthMismatch(t *testing.T) {
+	src := "function y = f(x, m)\ny = x(m > 0);\nend"
+	file := mlang.MustParse(src)
+	_, err := sema.Analyze(file, "f", []sema.Type{
+		{Class: sema.Real, Shape: sema.RowVec(8)},
+		{Class: sema.Real, Shape: sema.RowVec(5)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("got %v, want mask-length error", err)
+	}
+}
+
+// ----- find / any / all / nnz -----
+
+func TestLowerFind(t *testing.T) {
+	src := "function y = f(x)\ny = find(x > 2);\nend"
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 5, 2, 7, 3))
+	wantFloats(t, res[0].(*ir.Array), []float64{2, 4, 5})
+}
+
+func TestLowerFindDirect(t *testing.T) {
+	src := "function y = f(x)\ny = find(x);\nend"
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(0, 3, 0, 1))
+	wantFloats(t, res[0].(*ir.Array), []float64{2, 4})
+}
+
+func TestLowerFindUsedAsIndex(t *testing.T) {
+	src := `function y = f(x)
+idx = find(x > 0);
+y = x(idx);
+end`
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(-1, 4, -2, 9))
+	wantFloats(t, res[0].(*ir.Array), []float64{4, 9})
+}
+
+func TestLowerAnyAllNnz(t *testing.T) {
+	src := `function [a, b, c] = f(x)
+a = any(x > 3);
+b = all(x > 0);
+c = nnz(x);
+end`
+	f := compileMulti(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 0, 5))
+	if res[0].(int64) != 1 {
+		t.Errorf("any = %v", res[0])
+	}
+	if res[1].(int64) != 0 {
+		t.Errorf("all = %v", res[1])
+	}
+	if res[2].(int64) != 2 {
+		t.Errorf("nnz = %v", res[2])
+	}
+}
+
+func TestLowerMinMaxWithIndex(t *testing.T) {
+	src := `function [m, i, M, j] = f(x)
+[m, i] = min(x);
+[M, j] = max(x);
+end`
+	f := compileMulti(t, src, dynRealVec())
+	res := execute(t, f, rowVec(3, 1, 4, 1, 5, 9, 2, 6))
+	if res[0].(float64) != 1 || res[1].(int64) != 2 {
+		t.Errorf("min = %v at %v, want 1 at 2", res[0], res[1])
+	}
+	if res[2].(float64) != 9 || res[3].(int64) != 6 {
+		t.Errorf("max = %v at %v, want 9 at 6", res[2], res[3])
+	}
+}
+
+func TestLowerMinMaxIndexFirstOccurrence(t *testing.T) {
+	src := "function [m, i] = f(x)\n[m, i] = max(x);\nend"
+	f := compileMulti(t, src, dynRealVec())
+	res := execute(t, f, rowVec(7, 2, 7, 7))
+	if res[1].(int64) != 1 {
+		t.Errorf("first occurrence index = %v, want 1", res[1])
+	}
+}
+
+func TestSemaMinMaxTwoArgTwoOutputsRejected(t *testing.T) {
+	src := "function [m, i] = f(a, b)\n[m, i] = max(a, b);\nend"
+	file := mlang.MustParse(src)
+	_, err := sema.Analyze(file, "f", []sema.Type{sema.RealScalar, sema.RealScalar})
+	if err == nil {
+		t.Error("expected error for two-arg two-output max")
+	}
+}

@@ -1,0 +1,292 @@
+package lower
+
+import (
+	"mat2c/internal/ir"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+// sel is a lowered index selector for one dimension: a count and a pure
+// generator of 0-based indices.
+type sel struct {
+	n      ir.Expr
+	at     func(k ir.Expr) ir.Expr
+	scalar bool
+	reads  []*ir.Sym
+}
+
+// one returns the selector's single index (scalar selectors).
+func (s sel) one() ir.Expr { return s.at(ir.CI(0)) }
+
+// lowerSel lowers one index argument; extent is what 'end' (and ':')
+// denote in this position.
+func (l *lowerer) lowerSel(arg mlang.Expr, extent ir.Expr) sel {
+	if _, ok := arg.(*mlang.ColonExpr); ok {
+		return sel{n: extent, at: func(k ir.Expr) ir.Expr { return k }}
+	}
+	l.endStack = append(l.endStack, extent)
+	v := l.lowerExpr(arg)
+	l.endStack = l.endStack[:len(l.endStack)-1]
+
+	if v.isScalar() {
+		idx := l.hoist(ir.ISub(l.asBase(v.scalar, ir.Int), ir.CI(1)), "ix")
+		return sel{n: ir.CI(1), scalar: true,
+			at: func(k ir.Expr) ir.Expr { return idx }}
+	}
+	return sel{n: v.length(), reads: v.reads,
+		at: func(k ir.Expr) ir.Expr {
+			return ir.ISub(l.asBase(v.at(k), ir.Int), ir.CI(1))
+		}}
+}
+
+// lowerIndexRead lowers x(args...) where x is a variable.
+func (l *lowerer) lowerIndexRead(call *mlang.CallExpr) aval {
+	id := call.Fun.(*mlang.IdentExpr)
+	s := l.frame().vars[id.Name]
+	if s == nil {
+		l.fail(call.Pos, "undefined variable %q", id.Name)
+	}
+	if !s.IsArray {
+		// Indexing a scalar: x(1) is the value itself.
+		return scalarVal(ir.V(s))
+	}
+	base := l.atomView(s)
+
+	switch len(call.Args) {
+	case 0:
+		return base
+	case 1:
+		if _, isColon := call.Args[0].(*mlang.ColonExpr); isColon {
+			// x(:) is the column-vector view of the whole array.
+			return aval{kind: base.kind, rows: base.length(), cols: ir.CI(1),
+				reads: base.reads, at: base.at}
+		}
+		if l.isMaskArg(call.Args[0]) {
+			return l.lowerMaskedRead(call, base)
+		}
+		se := l.lowerSel(call.Args[0], base.length())
+		if se.scalar {
+			return scalarVal(base.at(se.one()))
+		}
+		rows, cols := l.vectorResultExtents(call, se.n)
+		return aval{kind: base.kind, rows: rows, cols: cols,
+			reads: append(unionReads(base), se.reads...),
+			at:    func(lin ir.Expr) ir.Expr { return base.at(se.at(lin)) }}
+	case 2:
+		rs := l.lowerSel(call.Args[0], base.rows)
+		cs := l.lowerSel(call.Args[1], base.cols)
+		R := base.rows
+		if rs.scalar && cs.scalar {
+			return scalarVal(base.at(ir.IAdd(rs.one(), ir.IMul(cs.one(), R))))
+		}
+		if rs.scalar {
+			i0 := rs.one()
+			return aval{kind: base.kind, rows: ir.CI(1), cols: cs.n,
+				reads: append(unionReads(base), cs.reads...),
+				at: func(k ir.Expr) ir.Expr {
+					return base.at(ir.IAdd(i0, ir.IMul(cs.at(k), R)))
+				}}
+		}
+		if cs.scalar {
+			j0 := cs.one()
+			off := l.hoist(ir.IMul(j0, R), "off")
+			return aval{kind: base.kind, rows: rs.n, cols: ir.CI(1),
+				reads: append(unionReads(base), rs.reads...),
+				at: func(k ir.Expr) ir.Expr {
+					return base.at(ir.IAdd(rs.at(k), off))
+				}}
+		}
+		// General submatrix: materialize with a 2-nest.
+		t := l.tempArr("sub", arrayElemKindIR(base.kind))
+		rn := l.hoist(rs.n, "rn")
+		cn := l.hoist(cs.n, "cn")
+		l.emit(&ir.Alloc{Arr: t, Rows: rn, Cols: cn})
+		i := l.temp("i", ir.Int)
+		j := l.temp("j", ir.Int)
+		inner := []ir.Stmt{&ir.Store{Arr: t,
+			Index: ir.IAdd(ir.V(i), ir.IMul(ir.V(j), rn)),
+			Val:   l.asBase(base.at(ir.IAdd(rs.at(ir.V(i)), ir.IMul(cs.at(ir.V(j)), R))), t.Elem)}}
+		jb := []ir.Stmt{&ir.For{Var: i, Lo: ir.CI(0), Hi: ir.ISub(rn, ir.CI(1)), Step: 1, Body: inner}}
+		l.emit(&ir.For{Var: j, Lo: ir.CI(0), Hi: ir.ISub(cn, ir.CI(1)), Step: 1, Body: jb})
+		return l.atomView(t)
+	}
+	l.fail(call.Pos, "at most 2 index dimensions are supported")
+	return aval{}
+}
+
+// isMaskArg reports whether an index argument is a non-scalar logical
+// mask (x(x > 0) style indexing).
+func (l *lowerer) isMaskArg(arg mlang.Expr) bool {
+	t := l.info.TypeOf(arg)
+	return t.Class == sema.Bool && !t.IsScalar()
+}
+
+// maskCond builds the per-element truth test for a mask view.
+func (l *lowerer) maskCond(mask aval, k ir.Expr) ir.Expr {
+	v := mask.at(k)
+	return ir.B(ir.OpNe, v, zeroOf(v.Kind().Base))
+}
+
+// lowerMaskedRead lowers y = x(mask): count the selected elements, then
+// compact them into a fresh vector.
+func (l *lowerer) lowerMaskedRead(call *mlang.CallExpr, base aval) aval {
+	mask := l.lowerExpr(call.Args[0])
+
+	cnt := l.temp("cnt", ir.Int)
+	l.emit(&ir.Assign{Dst: cnt, Src: ir.CI(0)})
+	k := l.temp("k", ir.Int)
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(mask.length(), ir.CI(1)), Step: 1,
+		Body: []ir.Stmt{&ir.If{Cond: l.maskCond(mask, ir.V(k)),
+			Then: []ir.Stmt{&ir.Assign{Dst: cnt, Src: ir.IAdd(ir.V(cnt), ir.CI(1))}}}}})
+
+	t := l.tempArr("sel", arrayElemKindIR(base.kind))
+	rows, cols := l.vectorResultExtents(call, ir.V(cnt))
+	l.emit(&ir.Alloc{Arr: t, Rows: rows, Cols: cols})
+
+	j := l.temp("j", ir.Int)
+	l.emit(&ir.Assign{Dst: j, Src: ir.CI(0)})
+	k2 := l.temp("k", ir.Int)
+	l.emit(&ir.For{Var: k2, Lo: ir.CI(0), Hi: ir.ISub(mask.length(), ir.CI(1)), Step: 1,
+		Body: []ir.Stmt{&ir.If{Cond: l.maskCond(mask, ir.V(k2)),
+			Then: []ir.Stmt{
+				&ir.Store{Arr: t, Index: ir.V(j), Val: l.asBase(base.at(ir.V(k2)), t.Elem)},
+				&ir.Assign{Dst: j, Src: ir.IAdd(ir.V(j), ir.CI(1))},
+			}}}})
+	return l.atomView(t)
+}
+
+// lowerMaskedStore lowers x(mask) = v (scalar fill) and
+// x(mask) = vector (compacted source, consumed in mask order).
+func (l *lowerer) lowerMaskedStore(lhs *mlang.CallExpr, s *ir.Sym, base aval, rhs aval) {
+	mask := l.lowerExpr(lhs.Args[0])
+	k := l.temp("k", ir.Int)
+	if rhs.isScalar() {
+		v := l.hoist(l.asBase(rhs.scalar, s.Elem), "v")
+		l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(mask.length(), ir.CI(1)), Step: 1,
+			Body: []ir.Stmt{&ir.If{Cond: l.maskCond(mask, ir.V(k)),
+				Then: []ir.Stmt{&ir.Store{Arr: s, Index: ir.V(k), Val: v}}}}})
+		return
+	}
+	if rhs.readsSym(s) {
+		rhs = l.materialize(rhs)
+	}
+	j := l.temp("j", ir.Int)
+	l.emit(&ir.Assign{Dst: j, Src: ir.CI(0)})
+	l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(mask.length(), ir.CI(1)), Step: 1,
+		Body: []ir.Stmt{&ir.If{Cond: l.maskCond(mask, ir.V(k)),
+			Then: []ir.Stmt{
+				&ir.Store{Arr: s, Index: ir.V(k), Val: l.asBase(rhs.at(ir.V(j)), s.Elem)},
+				&ir.Assign{Dst: j, Src: ir.IAdd(ir.V(j), ir.CI(1))},
+			}}}})
+}
+
+// vectorResultExtents derives the (rows, cols) of a 1-D indexing result
+// from the statically inferred orientation.
+func (l *lowerer) vectorResultExtents(call *mlang.CallExpr, n ir.Expr) (ir.Expr, ir.Expr) {
+	t := l.info.TypeOf(call)
+	if t.Shape.Cols == 1 && t.Shape.Rows != 1 {
+		return n, ir.CI(1)
+	}
+	return ir.CI(1), n
+}
+
+// lowerIndexedStore lowers "x(args...) = rhs".
+func (l *lowerer) lowerIndexedStore(lhs *mlang.CallExpr, rhs aval) {
+	id := lhs.Fun.(*mlang.IdentExpr)
+	s := l.frame().vars[id.Name]
+	if s == nil {
+		l.fail(lhs.Pos, "undefined variable %q", id.Name)
+	}
+	if !s.IsArray {
+		// x(1) = v on a scalar variable.
+		if !rhs.isScalar() {
+			l.fail(lhs.Pos, "cannot assign array to scalar element")
+		}
+		l.emit(&ir.Assign{Dst: s, Src: l.asBase(rhs.scalar, s.Elem)})
+		return
+	}
+	// MATLAB evaluates the RHS before mutating the target: materialize
+	// when the RHS reads the target array.
+	if !rhs.isScalar() && rhs.readsSym(s) {
+		rhs = l.materialize(rhs)
+	}
+	base := l.atomView(s)
+
+	storeLoop := func(n ir.Expr, dstIdx func(k ir.Expr) ir.Expr) {
+		if rhs.isScalar() {
+			v := l.hoist(l.asBase(rhs.scalar, s.Elem), "v")
+			k := l.temp("k", ir.Int)
+			body := []ir.Stmt{&ir.Store{Arr: s, Index: dstIdx(ir.V(k)), Val: v}}
+			l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1, Body: body})
+			return
+		}
+		k := l.temp("k", ir.Int)
+		body := []ir.Stmt{&ir.Store{Arr: s, Index: dstIdx(ir.V(k)),
+			Val: l.asBase(rhs.at(ir.V(k)), s.Elem)}}
+		l.emit(&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1, Body: body})
+	}
+
+	switch len(lhs.Args) {
+	case 1:
+		if _, isColon := lhs.Args[0].(*mlang.ColonExpr); isColon {
+			storeLoop(base.length(), func(k ir.Expr) ir.Expr { return k })
+			return
+		}
+		if l.isMaskArg(lhs.Args[0]) {
+			l.lowerMaskedStore(lhs, s, base, rhs)
+			return
+		}
+		se := l.lowerSel(lhs.Args[0], base.length())
+		if se.scalar {
+			if !rhs.isScalar() {
+				l.fail(lhs.Pos, "cannot assign array to a single element")
+			}
+			l.emit(&ir.Store{Arr: s, Index: se.one(), Val: l.asBase(rhs.scalar, s.Elem)})
+			return
+		}
+		storeLoop(se.n, se.at)
+	case 2:
+		rs := l.lowerSel(lhs.Args[0], base.rows)
+		cs := l.lowerSel(lhs.Args[1], base.cols)
+		R := base.rows
+		switch {
+		case rs.scalar && cs.scalar:
+			if !rhs.isScalar() {
+				l.fail(lhs.Pos, "cannot assign array to a single element")
+			}
+			l.emit(&ir.Store{Arr: s, Index: ir.IAdd(rs.one(), ir.IMul(cs.one(), R)),
+				Val: l.asBase(rhs.scalar, s.Elem)})
+		case rs.scalar:
+			i0 := rs.one()
+			storeLoop(cs.n, func(k ir.Expr) ir.Expr {
+				return ir.IAdd(i0, ir.IMul(cs.at(k), R))
+			})
+		case cs.scalar:
+			off := l.hoist(ir.IMul(cs.one(), R), "off")
+			storeLoop(rs.n, func(k ir.Expr) ir.Expr {
+				return ir.IAdd(rs.at(k), off)
+			})
+		default:
+			// Submatrix store with a 2-nest; RHS indexed column-major.
+			rn := l.hoist(rs.n, "rn")
+			i := l.temp("i", ir.Int)
+			j := l.temp("j", ir.Int)
+			var valAt func(i, j ir.Expr) ir.Expr
+			if rhs.isScalar() {
+				v := l.hoist(l.asBase(rhs.scalar, s.Elem), "v")
+				valAt = func(i, j ir.Expr) ir.Expr { return v }
+			} else {
+				valAt = func(ii, jj ir.Expr) ir.Expr {
+					return l.asBase(rhs.at(ir.IAdd(ii, ir.IMul(jj, rn))), s.Elem)
+				}
+			}
+			inner := []ir.Stmt{&ir.Store{Arr: s,
+				Index: ir.IAdd(rs.at(ir.V(i)), ir.IMul(cs.at(ir.V(j)), R)),
+				Val:   valAt(ir.V(i), ir.V(j))}}
+			ib := []ir.Stmt{&ir.For{Var: j, Lo: ir.CI(0), Hi: ir.ISub(cs.n, ir.CI(1)), Step: 1, Body: inner}}
+			l.emit(&ir.For{Var: i, Lo: ir.CI(0), Hi: ir.ISub(rn, ir.CI(1)), Step: 1, Body: ib})
+		}
+	default:
+		l.fail(lhs.Pos, "at most 2 index dimensions are supported")
+	}
+}

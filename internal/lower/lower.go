@@ -1,0 +1,495 @@
+// Package lower translates the analyzed MATLAB AST into the compiler's
+// loop IR.
+//
+// The translation performs the heavy specialization every MATLAB-to-C
+// flow needs:
+//
+//   - matrix/vector operations become explicit loop nests over scalar
+//     expressions; elementwise operator trees are fused into a single
+//     loop via composable "element views" so no temporaries are
+//     materialized for e.g. y = a .* b + c;
+//   - MATLAB's 1-based, column-major indexing becomes 0-based linear
+//     addressing;
+//   - for-loops are normalized to 0-based unit-step counted loops (the
+//     canonical form the vectorizer matches);
+//   - user function calls are inlined (the IR is call-free);
+//   - classes map to IR kinds: logical/int → int, real → float(f64),
+//     complex → complex(c128); arrays always hold float or complex
+//     elements.
+package lower
+
+import (
+	"fmt"
+	"sort"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+// Error is a lowering failure tied to a source position.
+type Error struct {
+	Pos mlang.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos.Valid() {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+// Option configures lowering.
+type Option func(*lowerer)
+
+// NoFusion disables elementwise view fusion: every array-valued
+// operation materializes its result into a temporary before the next
+// operation consumes it, one loop per operator. This reproduces the code
+// shape of Mathworks' MATLAB Coder (the paper's baseline), which
+// generates a loop and a temporary array per vectorized MATLAB
+// operation.
+func NoFusion() Option { return func(l *lowerer) { l.noFuse = true } }
+
+// Lower translates the entry function of an analyzed file to IR.
+func Lower(info *sema.Info, opts ...Option) (f *ir.Func, err error) {
+	l := &lowerer{info: info}
+	for _, o := range opts {
+		o(l)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if le, ok := r.(*Error); ok {
+				f, err = nil, le
+				return
+			}
+			panic(r)
+		}
+	}()
+	return l.lowerEntry(), nil
+}
+
+type lowerer struct {
+	info *sema.Info
+	fn   *ir.Func
+
+	// blocks is the stack of statement lists being emitted into.
+	blocks []*[]ir.Stmt
+
+	// frames is the inline-expansion stack: one varsmap per active
+	// function body (entry at index 0).
+	frames []*frame
+
+	// endStack mirrors sema's: the extent 'end' denotes in the index
+	// argument currently being lowered.
+	endStack []ir.Expr
+
+	// noFuse materializes every operator's array result (MATLAB-Coder-
+	// style baseline code shape).
+	noFuse bool
+
+	tempN int
+}
+
+type frame struct {
+	inst *sema.FuncInst
+	vars map[string]*ir.Sym
+}
+
+func (l *lowerer) fail(pos mlang.Pos, format string, args ...interface{}) {
+	panic(&Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *lowerer) emit(s ir.Stmt) {
+	b := l.blocks[len(l.blocks)-1]
+	*b = append(*b, s)
+}
+
+func (l *lowerer) pushBlock(b *[]ir.Stmt) { l.blocks = append(l.blocks, b) }
+func (l *lowerer) popBlock()              { l.blocks = l.blocks[:len(l.blocks)-1] }
+
+func (l *lowerer) frame() *frame { return l.frames[len(l.frames)-1] }
+
+// sortedVarNames returns the variable names of a fixpoint environment
+// in stable order.
+func sortedVarNames(vars map[string]sema.Type) []string {
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// baseKind maps a sema class to the IR element kind.
+func baseKind(c sema.Class) ir.BaseKind {
+	switch c {
+	case sema.Complex:
+		return ir.Complex
+	case sema.Real:
+		return ir.Float
+	default:
+		return ir.Int
+	}
+}
+
+// arrayElemKind maps a sema class to an array element kind (arrays store
+// float or complex only).
+func arrayElemKind(c sema.Class) ir.BaseKind {
+	if c == sema.Complex {
+		return ir.Complex
+	}
+	return ir.Float
+}
+
+// newVarSym creates the IR symbol for a MATLAB variable of type t.
+func (l *lowerer) newVarSym(name string, t sema.Type) *ir.Sym {
+	if t.IsScalar() {
+		return l.fn.NewSym(name, baseKind(t.Class), false)
+	}
+	s := l.fn.NewSym(name, arrayElemKind(t.Class), true)
+	s.Rows, s.Cols = t.Shape.Rows, t.Shape.Cols
+	return s
+}
+
+func (l *lowerer) temp(prefix string, k ir.BaseKind) *ir.Sym {
+	l.tempN++
+	s := l.fn.NewSym(fmt.Sprintf("%s%d", prefix, l.tempN), k, false)
+	l.fn.Locals = append(l.fn.Locals, s)
+	return s
+}
+
+func (l *lowerer) tempArr(prefix string, k ir.BaseKind) *ir.Sym {
+	l.tempN++
+	s := l.fn.NewSym(fmt.Sprintf("%s%d", prefix, l.tempN), k, true)
+	l.fn.Locals = append(l.fn.Locals, s)
+	return s
+}
+
+// hoist binds an expression to a fresh scalar so later uses are cheap.
+// Constants and variable references pass through unchanged.
+func (l *lowerer) hoist(e ir.Expr, prefix string) ir.Expr {
+	switch e.(type) {
+	case *ir.ConstInt, *ir.ConstFloat, *ir.ConstComplex, *ir.VarRef:
+		return e
+	}
+	t := l.temp(prefix, e.Kind().Base)
+	l.emit(&ir.Assign{Dst: t, Src: e})
+	return ir.V(t)
+}
+
+func (l *lowerer) lowerEntry() *ir.Func {
+	inst := l.info.Funcs[l.info.Entry]
+	if inst == nil {
+		l.fail(mlang.Pos{}, "entry function %q not analyzed", l.info.Entry)
+	}
+	l.fn = ir.NewFunc(inst.Decl.Name)
+	fr := &frame{inst: inst, vars: map[string]*ir.Sym{}}
+	l.frames = []*frame{fr}
+
+	// Parameters.
+	for i, p := range inst.Decl.Params {
+		s := l.newVarSym(p, inst.Params[i])
+		fr.vars[p] = s
+		l.fn.Params = append(l.fn.Params, s)
+	}
+	// All other locals (fixpoint types from sema), in name order so
+	// symbol numbering — and therefore every emitted artifact — is
+	// deterministic.
+	for _, name := range sortedVarNames(inst.Vars) {
+		if fr.vars[name] == nil {
+			s := l.newVarSym(name, inst.Vars[name])
+			fr.vars[name] = s
+			l.fn.Locals = append(l.fn.Locals, s)
+		}
+	}
+	for _, out := range inst.Decl.Outs {
+		l.fn.Results = append(l.fn.Results, fr.vars[out])
+	}
+
+	l.pushBlock(&l.fn.Body)
+	l.lowerStmts(inst.Decl.Body)
+	l.popBlock()
+	return l.fn
+}
+
+func (l *lowerer) lowerStmts(stmts []mlang.Stmt) {
+	for _, s := range stmts {
+		l.lowerStmt(s)
+	}
+}
+
+func (l *lowerer) lowerStmt(s mlang.Stmt) {
+	switch s := s.(type) {
+	case *mlang.AssignStmt:
+		l.lowerAssign(s)
+	case *mlang.ExprStmt:
+		// Pure expression statements have no effect; lower for effect of
+		// diagnostics only when they are calls with outputs ignored.
+		if call, ok := s.X.(*mlang.CallExpr); ok && l.info.Calls[call] == sema.CallUser {
+			l.inlineCall(call, 0)
+			return
+		}
+		// Value discarded; nothing to emit.
+	case *mlang.IfStmt:
+		l.lowerIf(s)
+	case *mlang.SwitchStmt:
+		l.lowerSwitch(s)
+	case *mlang.ForStmt:
+		l.lowerFor(s)
+	case *mlang.WhileStmt:
+		l.lowerWhile(s)
+	case *mlang.BreakStmt:
+		l.emit(&ir.Break{})
+	case *mlang.ContinueStmt:
+		l.emit(&ir.Continue{})
+	case *mlang.ReturnStmt:
+		if len(l.frames) > 1 {
+			l.fail(s.Pos, "'return' inside a called function is not supported (function is inlined)")
+		}
+		l.emit(&ir.Return{})
+	default:
+		l.fail(s.NodePos(), "unsupported statement %T", s)
+	}
+}
+
+func (l *lowerer) lowerIf(s *mlang.IfStmt) {
+	cond := l.lowerCond(s.Cond)
+	node := &ir.If{Cond: cond}
+	l.pushBlock(&node.Then)
+	l.lowerStmts(s.Then)
+	l.popBlock()
+
+	// elseif chains become nested If in the else arm.
+	cur := node
+	for _, e := range s.Elifs {
+		inner := &ir.If{}
+		l.pushBlock(&cur.Else)
+		inner.Cond = l.lowerCond(e.Cond)
+		l.popBlock()
+		l.pushBlock(&inner.Then)
+		l.lowerStmts(e.Body)
+		l.popBlock()
+		// Attach: cur.Else = [cond-eval..., inner]
+		cur.Else = append(cur.Else, inner)
+		cur = inner
+	}
+	if s.Else != nil {
+		l.pushBlock(&cur.Else)
+		l.lowerStmts(s.Else)
+		l.popBlock()
+	}
+	l.emit(node)
+}
+
+// lowerSwitch lowers a switch into an if/elseif chain comparing the
+// (hoisted) subject against each case value.
+func (l *lowerer) lowerSwitch(s *mlang.SwitchStmt) {
+	subj := l.hoist(l.scalarExpr(s.Subject), "sw")
+	eq := func(v mlang.Expr) ir.Expr {
+		val := l.scalarExpr(v)
+		base := commonBase(subj.Kind().Base, val.Kind().Base)
+		return ir.B(ir.OpEq, l.asBase(subj, base), l.asBase(val, base))
+	}
+	if len(s.Cases) == 0 {
+		if s.Otherwise != nil {
+			l.lowerStmts(s.Otherwise)
+		}
+		return
+	}
+	root := &ir.If{Cond: eq(s.Cases[0].Value)}
+	l.pushBlock(&root.Then)
+	l.lowerStmts(s.Cases[0].Body)
+	l.popBlock()
+	cur := root
+	for _, c := range s.Cases[1:] {
+		inner := &ir.If{}
+		l.pushBlock(&cur.Else)
+		inner.Cond = eq(c.Value)
+		l.popBlock()
+		l.pushBlock(&inner.Then)
+		l.lowerStmts(c.Body)
+		l.popBlock()
+		cur.Else = append(cur.Else, inner)
+		cur = inner
+	}
+	if s.Otherwise != nil {
+		l.pushBlock(&cur.Else)
+		l.lowerStmts(s.Otherwise)
+		l.popBlock()
+	}
+	l.emit(root)
+}
+
+func (l *lowerer) lowerWhile(s *mlang.WhileStmt) {
+	// Condition subexpressions may need emitted statements (e.g. calls,
+	// reductions). Pre-lower the condition; if lowering it emitted any
+	// statements we must re-evaluate them each iteration, so wrap into
+	// the loop body with a break.
+	var pre []ir.Stmt
+	l.pushBlock(&pre)
+	cond := l.lowerCond(s.Cond)
+	l.popBlock()
+
+	if len(pre) == 0 {
+		node := &ir.While{Cond: cond}
+		l.pushBlock(&node.Body)
+		l.lowerStmts(s.Body)
+		l.popBlock()
+		l.emit(node)
+		return
+	}
+	// while true { pre...; if !cond break; body }
+	node := &ir.While{Cond: ir.CI(1)}
+	body := append([]ir.Stmt{}, pre...)
+	body = append(body, &ir.If{Cond: cond, Else: []ir.Stmt{&ir.Break{}}})
+	l.pushBlock(&body)
+	l.lowerStmts(s.Body)
+	l.popBlock()
+	node.Body = body
+	l.emit(node)
+}
+
+// lowerFor normalizes "for v = lo:step:hi" into a 0-based unit-step
+// counted loop with the MATLAB variable computed in the body.
+func (l *lowerer) lowerFor(s *mlang.ForStmt) {
+	vSym := l.frame().vars[s.Var]
+	if vSym == nil || vSym.IsArray {
+		l.fail(s.Pos, "loop variable %q must be scalar", s.Var)
+	}
+
+	var lo, step, hi ir.Expr
+	if r, ok := s.Range.(*mlang.RangeExpr); ok {
+		lo = l.scalarExpr(r.Start)
+		hi = l.scalarExpr(r.Stop)
+		if r.Step != nil {
+			step = l.scalarExpr(r.Step)
+		} else {
+			step = ir.CI(1)
+		}
+	} else {
+		// Scalar range: single iteration.
+		lo = l.scalarExpr(s.Range)
+		hi = lo
+		step = ir.CI(1)
+	}
+
+	intLoop := lo.Kind().Base == ir.Int && hi.Kind().Base == ir.Int && step.Kind().Base == ir.Int
+
+	// Trip count: floor((hi-lo)/step) + 1, clamped at 0.
+	var count ir.Expr
+	if intLoop {
+		diff := ir.B(ir.OpSub, hi, lo)
+		count = ir.B(ir.OpAdd, ir.B(ir.OpDiv, diff, step), ir.CI(1))
+	} else {
+		diff := ir.B(ir.OpSub, l.asBase(hi, ir.Float), l.asBase(lo, ir.Float))
+		fcount := ir.U(ir.OpFloor, ir.B(ir.OpDiv, diff, l.asBase(step, ir.Float)), ir.KInt)
+		count = ir.B(ir.OpAdd, fcount, ir.CI(1))
+	}
+	count = ir.B(ir.OpMax, count, ir.CI(0))
+	// Constant-fold the common literal range so the loop header is tidy.
+	count = foldIntExpr(count)
+	countE := l.hoist(count, "n")
+	lo = l.hoist(lo, "lo")
+	step = l.hoist(step, "st")
+
+	k := l.temp("k", ir.Int)
+	node := &ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(countE, ir.CI(1)), Step: 1}
+	l.pushBlock(&node.Body)
+	// v = lo + k*step
+	var v ir.Expr
+	if intLoop {
+		v = ir.IAdd(lo, ir.IMul(ir.V(k), step))
+	} else {
+		v = ir.B(ir.OpAdd, l.asBase(lo, ir.Float),
+			ir.B(ir.OpMul, l.asBase(ir.V(k), ir.Float), l.asBase(step, ir.Float)))
+	}
+	l.emit(&ir.Assign{Dst: vSym, Src: l.asBase(v, vSym.Elem)})
+	l.lowerStmts(s.Body)
+	l.popBlock()
+	l.emit(node)
+}
+
+// foldIntExpr folds constant integer arithmetic in an expression tree
+// (used to tidy loop headers; the opt package does this in general).
+func foldIntExpr(e ir.Expr) ir.Expr {
+	switch e := e.(type) {
+	case *ir.Bin:
+		x := foldIntExpr(e.X)
+		y := foldIntExpr(e.Y)
+		if cx, ok := x.(*ir.ConstInt); ok {
+			if cy, ok := y.(*ir.ConstInt); ok {
+				switch e.Op {
+				case ir.OpAdd:
+					return ir.CI(cx.V + cy.V)
+				case ir.OpSub:
+					return ir.CI(cx.V - cy.V)
+				case ir.OpMul:
+					return ir.CI(cx.V * cy.V)
+				case ir.OpDiv:
+					if cy.V != 0 {
+						return ir.CI(cx.V / cy.V)
+					}
+				case ir.OpMax:
+					if cx.V > cy.V {
+						return cx
+					}
+					return cy
+				case ir.OpMin:
+					if cx.V < cy.V {
+						return cx
+					}
+					return cy
+				}
+			}
+		}
+		if x != e.X || y != e.Y {
+			return &ir.Bin{Op: e.Op, X: x, Y: y, K: e.K}
+		}
+	}
+	return e
+}
+
+// lowerCond lowers a scalar condition to a KInt truth value.
+func (l *lowerer) lowerCond(e mlang.Expr) ir.Expr {
+	v := l.scalarExpr(e)
+	switch v.Kind().Base {
+	case ir.Int:
+		return v
+	case ir.Float:
+		return ir.B(ir.OpNe, v, ir.CF(0))
+	default:
+		return ir.B(ir.OpNe, v, ir.CC(0))
+	}
+}
+
+// asBase converts e to the given base kind if needed.
+func (l *lowerer) asBase(e ir.Expr, b ir.BaseKind) ir.Expr {
+	k := e.Kind()
+	if k.Base == b {
+		return e
+	}
+	switch b {
+	case ir.Int:
+		if c, ok := e.(*ir.ConstFloat); ok {
+			return ir.CI(int64(c.V))
+		}
+		return ir.U(ir.OpToInt, e, ir.Kind{Base: ir.Int, Lanes: k.Lanes})
+	case ir.Float:
+		if c, ok := e.(*ir.ConstInt); ok {
+			return ir.CF(float64(c.V))
+		}
+		if k.Base == ir.Complex {
+			return ir.U(ir.OpRe, e, ir.Kind{Base: ir.Float, Lanes: k.Lanes})
+		}
+		return ir.U(ir.OpToFloat, e, ir.Kind{Base: ir.Float, Lanes: k.Lanes})
+	default:
+		if c, ok := e.(*ir.ConstInt); ok {
+			return ir.CC(complex(float64(c.V), 0))
+		}
+		if c, ok := e.(*ir.ConstFloat); ok {
+			return ir.CC(complex(c.V, 0))
+		}
+		return ir.U(ir.OpToComplex, e, ir.Kind{Base: ir.Complex, Lanes: k.Lanes})
+	}
+}

@@ -1,0 +1,662 @@
+package lower
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+// compile runs the full front end: parse, analyze, lower.
+func compile(t *testing.T, src string, params ...sema.Type) *ir.Func {
+	t.Helper()
+	file, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	entry := file.Funcs[0].Name
+	info, err := sema.Analyze(file, entry, params)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	f, err := Lower(info)
+	if err != nil {
+		t.Fatalf("lower: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+// execute runs the lowered function on the reference evaluator.
+func execute(t *testing.T, f *ir.Func, args ...interface{}) []interface{} {
+	t.Helper()
+	ev := &ir.Evaluator{}
+	res, err := ev.Run(f, args...)
+	if err != nil {
+		t.Fatalf("eval %s: %v\nIR:\n%s", f.Name, err, ir.Print(f))
+	}
+	return res
+}
+
+func rowVec(vals ...float64) *ir.Array {
+	a := ir.NewFloatArray(1, len(vals))
+	copy(a.F, vals)
+	return a
+}
+
+func cplxRowVec(vals ...complex128) *ir.Array {
+	a := ir.NewComplexArray(1, len(vals))
+	copy(a.C, vals)
+	return a
+}
+
+func realVecType(n int) sema.Type {
+	return sema.Type{Class: sema.Real, Shape: sema.RowVec(n)}
+}
+
+func dynRealVec() sema.Type {
+	return sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func dynCplxVec() sema.Type {
+	return sema.Type{Class: sema.Complex, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func wantFloats(t *testing.T, got *ir.Array, want []float64) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("length %d, want %d", got.Len(), len(want))
+	}
+	for i, w := range want {
+		g := got.F[i]
+		if math.Abs(g-w) > 1e-9*(1+math.Abs(w)) {
+			t.Errorf("[%d] = %v, want %v", i, g, w)
+		}
+	}
+}
+
+func TestLowerScalarArith(t *testing.T) {
+	f := compile(t, "function y = f(a, b)\ny = (a + b) * 2 - a / b;\nend",
+		sema.RealScalar, sema.RealScalar)
+	got := execute(t, f, 3.0, 4.0)[0].(float64)
+	want := (3.0+4.0)*2 - 3.0/4.0
+	if got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLowerPowerAndUnary(t *testing.T) {
+	f := compile(t, "function y = f(a)\ny = -a^2 + 2^-1;\nend", sema.RealScalar)
+	got := execute(t, f, 3.0)[0].(float64)
+	if got != -9+0.5 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLowerComplexScalar(t *testing.T) {
+	f := compile(t, "function y = f(a)\ny = (a + 2i) * conj(a - 1i);\nend", sema.ComplexScalar)
+	got := execute(t, f, 3+1i)[0].(complex128)
+	want := ((3 + 1i) + 2i) * cmplx.Conj((3+1i)-1i)
+	if got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLowerElementwiseFusion(t *testing.T) {
+	f := compile(t, "function y = f(a, b)\ny = a .* b + 2;\nend",
+		dynRealVec(), dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3), rowVec(4, 5, 6))
+	wantFloats(t, res[0].(*ir.Array), []float64{6, 12, 20})
+}
+
+func TestLowerScalarBroadcast(t *testing.T) {
+	f := compile(t, "function y = f(a)\ny = 2 .* a - 1;\nend", dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 3, 5})
+}
+
+func TestLowerForLoopSum(t *testing.T) {
+	src := `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    s = s + x(i);
+end
+end`
+	f := compile(t, src, dynRealVec())
+	got := execute(t, f, rowVec(1, 2, 3, 4))[0].(float64)
+	if got != 10 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLowerForLoopWithStep(t *testing.T) {
+	src := `function s = f(n)
+s = 0;
+for i = n:-2:1
+    s = s + i;
+end
+end`
+	f := compile(t, src, sema.IntScalar)
+	// 10+8+6+4+2 = 30
+	if got := execute(t, f, int64(10))[0].(int64); got != 30 {
+		t.Errorf("got %v, want 30", got)
+	}
+}
+
+func TestLowerFloatRangeLoop(t *testing.T) {
+	src := `function s = f()
+s = 0;
+for t = 0:0.25:1
+    s = s + t;
+end
+end`
+	f := compile(t, src)
+	got := execute(t, f)[0].(float64)
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("got %v, want 2.5", got)
+	}
+}
+
+func TestLowerPreallocateAndIndexWrite(t *testing.T) {
+	src := `function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(n - i + 1);
+end
+end`
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3, 4))
+	wantFloats(t, res[0].(*ir.Array), []float64{4, 3, 2, 1})
+}
+
+func TestLowerWhileLoop(t *testing.T) {
+	src := `function c = f(n)
+c = 0;
+while n > 1
+    if mod(n, 2) == 0
+        n = n / 2;
+    else
+        n = 3 * n + 1;
+    end
+    c = c + 1;
+end
+end`
+	f := compile(t, src, sema.RealScalar)
+	// Collatz(6): 6→3→10→5→16→8→4→2→1 = 8 steps. The counter is
+	// integral, so the inferred result class is int.
+	if got := execute(t, f, 6.0)[0].(int64); got != 8 {
+		t.Errorf("got %v, want 8", got)
+	}
+}
+
+func TestLowerIfElseChain(t *testing.T) {
+	src := `function y = f(x)
+if x > 10
+    y = 3;
+elseif x > 5
+    y = 2;
+elseif x > 0
+    y = 1;
+else
+    y = 0;
+end
+end`
+	f := compile(t, src, sema.RealScalar)
+	cases := map[float64]int64{20: 3, 7: 2, 3: 1, -1: 0}
+	for in, want := range cases {
+		if got := execute(t, f, in)[0].(int64); got != want {
+			t.Errorf("f(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLowerBreakContinue(t *testing.T) {
+	src := `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    if x(i) < 0
+        continue
+    end
+    if x(i) == 99
+        break
+    end
+    s = s + x(i);
+end
+end`
+	f := compile(t, src, dynRealVec())
+	got := execute(t, f, rowVec(1, -2, 3, 99, 5))[0].(float64)
+	if got != 4 {
+		t.Errorf("got %v, want 4", got)
+	}
+}
+
+func TestLowerSlices(t *testing.T) {
+	src := `function y = f(x)
+y = x(2:end-1);
+end`
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3, 4, 5))
+	wantFloats(t, res[0].(*ir.Array), []float64{2, 3, 4})
+}
+
+func TestLowerSliceAssignment(t *testing.T) {
+	src := `function y = f(x)
+y = zeros(1, length(x));
+y(2:end) = x(1:end-1);
+end`
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3, 4))
+	wantFloats(t, res[0].(*ir.Array), []float64{0, 1, 2, 3})
+}
+
+func TestLowerOverlappingSliceCopy(t *testing.T) {
+	// RHS must be fully evaluated before the target mutates.
+	src := `function x = f(x)
+x(2:end) = x(1:end-1);
+end`
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3, 4))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 1, 2, 3})
+}
+
+func TestLowerColonAssignment(t *testing.T) {
+	src := `function y = f(n)
+y = zeros(1, n);
+y(:) = 7;
+end`
+	f := compile(t, src, sema.IntScalar)
+	res := execute(t, f, int64(3))
+	wantFloats(t, res[0].(*ir.Array), []float64{7, 7, 7})
+}
+
+func TestLowerMatrix2D(t *testing.T) {
+	src := `function y = f(a)
+[r, c] = size(a);
+y = zeros(r, c);
+for i = 1:r
+    for j = 1:c
+        y(i, j) = a(i, j) * 10 + i + j;
+    end
+end
+end`
+	f := compile(t, src, sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 2}})
+	a := ir.NewFloatArray(2, 2)
+	copy(a.F, []float64{1, 2, 3, 4}) // column-major: a(1,1)=1 a(2,1)=2 a(1,2)=3 a(2,2)=4
+	res := execute(t, f, a)
+	wantFloats(t, res[0].(*ir.Array), []float64{12, 23, 33, 44})
+}
+
+func TestLowerMatrixLiteral(t *testing.T) {
+	src := "function y = f()\ny = [1 2 3; 4 5 6];\nend"
+	f := compile(t, src)
+	res := execute(t, f)
+	arr := res[0].(*ir.Array)
+	if arr.Rows != 2 || arr.Cols != 3 {
+		t.Fatalf("dims %dx%d", arr.Rows, arr.Cols)
+	}
+	// Column-major layout.
+	wantFloats(t, arr, []float64{1, 4, 2, 5, 3, 6})
+}
+
+func TestLowerConcatenation(t *testing.T) {
+	src := "function y = f(a, b)\ny = [a b];\nend"
+	f := compile(t, src, dynRealVec(), dynRealVec())
+	res := execute(t, f, rowVec(1, 2), rowVec(3, 4, 5))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 2, 3, 4, 5})
+}
+
+func TestLowerRangeValue(t *testing.T) {
+	src := "function y = f(n)\ny = 1:n;\nend"
+	f := compile(t, src, sema.IntScalar)
+	res := execute(t, f, int64(4))
+	wantFloats(t, res[0].(*ir.Array), []float64{1, 2, 3, 4})
+}
+
+func TestLowerRangeWithStep(t *testing.T) {
+	src := "function y = f()\ny = 0:0.5:2;\nend"
+	f := compile(t, src)
+	res := execute(t, f)
+	wantFloats(t, res[0].(*ir.Array), []float64{0, 0.5, 1, 1.5, 2})
+}
+
+func TestLowerTransposeVector(t *testing.T) {
+	src := "function y = f(x)\ny = x';\nend"
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3))
+	arr := res[0].(*ir.Array)
+	if arr.Rows != 3 || arr.Cols != 1 {
+		t.Fatalf("dims %dx%d, want 3x1", arr.Rows, arr.Cols)
+	}
+	wantFloats(t, arr, []float64{1, 2, 3})
+}
+
+func TestLowerConjTranspose(t *testing.T) {
+	src := "function y = f(x)\ny = x';\nend"
+	f := compile(t, src, dynCplxVec())
+	res := execute(t, f, cplxRowVec(1+2i, 3-4i))
+	arr := res[0].(*ir.Array)
+	if arr.C[0] != 1-2i || arr.C[1] != 3+4i {
+		t.Errorf("got %v", arr.C)
+	}
+}
+
+func TestLowerMatrixTranspose(t *testing.T) {
+	src := "function y = f(a)\ny = a';\nend"
+	f := compile(t, src, sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 3}})
+	a := ir.NewFloatArray(2, 3)
+	copy(a.F, []float64{1, 2, 3, 4, 5, 6}) // cols: [1 2], [3 4], [5 6]
+	res := execute(t, f, a)
+	arr := res[0].(*ir.Array)
+	if arr.Rows != 3 || arr.Cols != 2 {
+		t.Fatalf("dims %dx%d", arr.Rows, arr.Cols)
+	}
+	wantFloats(t, arr, []float64{1, 3, 5, 2, 4, 6})
+}
+
+func TestLowerDotProduct(t *testing.T) {
+	src := "function y = f(a, b)\ny = a * b';\nend"
+	f := compile(t, src, dynRealVec(), dynRealVec())
+	got := execute(t, f, rowVec(1, 2, 3), rowVec(4, 5, 6))[0].(float64)
+	if got != 32 {
+		t.Errorf("got %v, want 32", got)
+	}
+}
+
+func TestLowerMatMul(t *testing.T) {
+	src := "function y = f(a, b)\ny = a * b;\nend"
+	f := compile(t, src,
+		sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 2}},
+		sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 2}})
+	a := ir.NewFloatArray(2, 2)
+	copy(a.F, []float64{1, 3, 2, 4}) // [[1 2];[3 4]]
+	b := ir.NewFloatArray(2, 2)
+	copy(b.F, []float64{5, 7, 6, 8}) // [[5 6];[7 8]]
+	res := execute(t, f, a, b)
+	// [[19 22];[43 50]] column-major: 19 43 22 50
+	wantFloats(t, res[0].(*ir.Array), []float64{19, 43, 22, 50})
+}
+
+func TestLowerBuiltinReductions(t *testing.T) {
+	src := `function [s, p, m, lo, hi] = f(x)
+s = sum(x);
+p = prod(x);
+m = mean(x);
+lo = min(x);
+hi = max(x);
+end`
+	file := mlang.MustParse(src)
+	info, err := sema.Analyze(file, "f", []sema.Type{dynRealVec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := execute(t, f, rowVec(4, 1, 3, 2))
+	want := []float64{10, 24, 2.5, 1, 4}
+	for i, w := range want {
+		if got := res[i].(float64); math.Abs(got-w) > 1e-12 {
+			t.Errorf("result %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestLowerComplexVectorOps(t *testing.T) {
+	src := `function y = f(x, h)
+y = sum(x .* conj(h));
+end`
+	f := compile(t, src, dynCplxVec(), dynCplxVec())
+	got := execute(t, f, cplxRowVec(1+1i, 2-1i), cplxRowVec(3i, 1+1i))[0].(complex128)
+	want := (1+1i)*cmplx.Conj(3i) + (2-1i)*cmplx.Conj(1+1i)
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLowerAbsRealImag(t *testing.T) {
+	src := `function [m, r, q] = f(z)
+m = abs(z);
+r = real(z);
+q = imag(z);
+end`
+	file := mlang.MustParse(src)
+	info, err := sema.Analyze(file, "f", []sema.Type{sema.ComplexScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := execute(t, f, 3+4i)
+	if res[0].(float64) != 5 || res[1].(float64) != 3 || res[2].(float64) != 4 {
+		t.Errorf("got %v", res)
+	}
+}
+
+func TestLowerUserFunctionInline(t *testing.T) {
+	src := `function y = f(x)
+y = double_it(x) + 1;
+end
+function z = double_it(v)
+z = v * 2;
+end`
+	f := compile(t, src, sema.RealScalar)
+	if got := execute(t, f, 5.0)[0].(float64); got != 11 {
+		t.Errorf("got %v, want 11", got)
+	}
+}
+
+func TestLowerInlineArrayArgByValue(t *testing.T) {
+	// Callee mutates its parameter; caller's array must be unchanged.
+	src := `function y = f(x)
+z = clobber(x);
+y = x(1) + z;
+end
+function s = clobber(v)
+v(1) = 100;
+s = v(1);
+end`
+	f := compile(t, src, dynRealVec())
+	got := execute(t, f, rowVec(1, 2))[0].(float64)
+	if got != 101 { // x(1)=1 unchanged + z=100
+		t.Errorf("got %v, want 101", got)
+	}
+}
+
+func TestLowerInlineVectorHelper(t *testing.T) {
+	src := `function y = f(x)
+y = scale(x, 3);
+end
+function out = scale(v, k)
+out = v .* k;
+end`
+	f := compile(t, src, dynRealVec())
+	res := execute(t, f, rowVec(1, 2, 3))
+	wantFloats(t, res[0].(*ir.Array), []float64{3, 6, 9})
+}
+
+func TestLowerModRem(t *testing.T) {
+	src := `function [a, b, c] = f(x, y)
+a = mod(x, y);
+b = rem(x, y);
+c = mod(-x, y);
+end`
+	file := mlang.MustParse(src)
+	info, err := sema.Analyze(file, "f", []sema.Type{sema.RealScalar, sema.RealScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := execute(t, f, 7.0, 3.0)
+	if res[0].(float64) != 1 || res[1].(float64) != 1 || res[2].(float64) != 2 {
+		t.Errorf("mod/rem = %v", res)
+	}
+}
+
+func TestLowerLogicalOps(t *testing.T) {
+	src := "function y = f(a, b)\ny = (a > 1) && (b < 5) || ~(a == b);\nend"
+	f := compile(t, src, sema.RealScalar, sema.RealScalar)
+	if got := execute(t, f, 2.0, 2.0)[0].(int64); got != 1 {
+		t.Errorf("got %v, want 1", got)
+	}
+	if got := execute(t, f, 1.0, 1.0)[0].(int64); got != 0 {
+		t.Errorf("got %v, want 0", got)
+	}
+}
+
+func TestLowerComplexLiteralArith(t *testing.T) {
+	src := "function y = f()\ny = (1 + 2i) * (3 - 1i);\nend"
+	f := compile(t, src)
+	got := execute(t, f)[0].(complex128)
+	if got != (1+2i)*(3-1i) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLowerSqrtTrig(t *testing.T) {
+	src := "function y = f(x)\ny = sqrt(x) + sin(x) * cos(x);\nend"
+	f := compile(t, src, sema.RealScalar)
+	got := execute(t, f, 4.0)[0].(float64)
+	want := 2 + math.Sin(4)*math.Cos(4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLowerEndArithmetic(t *testing.T) {
+	src := "function y = f(x)\ny = x(end) - x(end-1);\nend"
+	f := compile(t, src, dynRealVec())
+	if got := execute(t, f, rowVec(1, 4, 9))[0].(float64); got != 5 {
+		t.Errorf("got %v, want 5", got)
+	}
+}
+
+func TestLowerMatrixColumnSlice(t *testing.T) {
+	src := "function y = f(a)\ny = a(:, 2);\nend"
+	f := compile(t, src, sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 3}})
+	a := ir.NewFloatArray(2, 3)
+	copy(a.F, []float64{1, 2, 3, 4, 5, 6})
+	res := execute(t, f, a)
+	wantFloats(t, res[0].(*ir.Array), []float64{3, 4})
+}
+
+func TestLowerMatrixRowSlice(t *testing.T) {
+	src := "function y = f(a)\ny = a(2, :);\nend"
+	f := compile(t, src, sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 3}})
+	a := ir.NewFloatArray(2, 3)
+	copy(a.F, []float64{1, 2, 3, 4, 5, 6})
+	res := execute(t, f, a)
+	wantFloats(t, res[0].(*ir.Array), []float64{2, 4, 6})
+}
+
+func TestLowerSubmatrix(t *testing.T) {
+	src := "function y = f(a)\ny = a(1:2, 2:3);\nend"
+	f := compile(t, src, sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 3, Cols: 3}})
+	a := ir.NewFloatArray(3, 3)
+	for i := range a.F {
+		a.F[i] = float64(i + 1)
+	}
+	res := execute(t, f, a)
+	arr := res[0].(*ir.Array)
+	if arr.Rows != 2 || arr.Cols != 2 {
+		t.Fatalf("dims %dx%d", arr.Rows, arr.Cols)
+	}
+	wantFloats(t, arr, []float64{4, 5, 7, 8})
+}
+
+func TestLowerLinearIndexOfMatrix(t *testing.T) {
+	src := "function y = f(a)\ny = a(4);\nend"
+	f := compile(t, src, sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 2, Cols: 2}})
+	a := ir.NewFloatArray(2, 2)
+	copy(a.F, []float64{10, 20, 30, 40})
+	if got := execute(t, f, a)[0].(float64); got != 40 {
+		t.Errorf("got %v, want 40", got)
+	}
+}
+
+func TestLowerZerosSquare(t *testing.T) {
+	src := "function y = f()\ny = ones(2);\nend"
+	f := compile(t, src)
+	arr := execute(t, f)[0].(*ir.Array)
+	if arr.Rows != 2 || arr.Cols != 2 {
+		t.Fatalf("dims %dx%d", arr.Rows, arr.Cols)
+	}
+	wantFloats(t, arr, []float64{1, 1, 1, 1})
+}
+
+func TestLowerComplexWidenedArray(t *testing.T) {
+	src := `function y = f(n)
+y = zeros(1, n);
+for k = 1:n
+    y(k) = exp(2i * pi * k / n);
+end
+end`
+	f := compile(t, src, sema.IntScalar)
+	arr := execute(t, f, int64(4))[0].(*ir.Array)
+	if arr.Elem != ir.Complex {
+		t.Fatal("array should be complex")
+	}
+	want := []complex128{1i, -1, -1i, 1}
+	for i, w := range want {
+		if cmplx.Abs(arr.C[i]-w) > 1e-12 {
+			t.Errorf("[%d] = %v, want %v", i, arr.C[i], w)
+		}
+	}
+}
+
+func TestLowerReturnEarly(t *testing.T) {
+	src := `function y = f(x)
+y = 1;
+if x > 0
+    return
+end
+y = 2;
+end`
+	f := compile(t, src, sema.RealScalar)
+	if got := execute(t, f, 5.0)[0].(int64); got != 1 {
+		t.Errorf("got %v, want 1", got)
+	}
+	if got := execute(t, f, -5.0)[0].(int64); got != 2 {
+		t.Errorf("got %v, want 2", got)
+	}
+}
+
+func TestLowerErrorReturnInCallee(t *testing.T) {
+	src := `function y = f(x)
+y = g(x);
+end
+function z = g(v)
+z = 1;
+return
+end`
+	file := mlang.MustParse(src)
+	info, err := sema.Analyze(file, "f", []sema.Type{sema.RealScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Lower(info)
+	if err == nil || !strings.Contains(err.Error(), "inlined") {
+		t.Errorf("got %v, want inline-return error", err)
+	}
+}
+
+func TestLowerIRPrintStable(t *testing.T) {
+	f := compile(t, "function y = f(x)\ny = x + 1;\nend", sema.RealScalar)
+	p1 := ir.Print(f)
+	p2 := ir.Print(f)
+	if p1 != p2 {
+		t.Error("printing not deterministic")
+	}
+	if !strings.Contains(p1, "func f(") {
+		t.Errorf("unexpected printout:\n%s", p1)
+	}
+}

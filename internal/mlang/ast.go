@@ -1,0 +1,296 @@
+package mlang
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	NodePos() Pos
+}
+
+// File is a parsed source file: either one or more function definitions,
+// or a script (bare statement list), mirroring MATLAB file semantics.
+type File struct {
+	Funcs  []*FuncDecl
+	Script []Stmt // non-nil only for script files
+}
+
+// NodePos returns the position of the first construct in the file.
+func (f *File) NodePos() Pos {
+	if len(f.Funcs) > 0 {
+		return f.Funcs[0].Pos
+	}
+	if len(f.Script) > 0 {
+		return f.Script[0].NodePos()
+	}
+	return Pos{}
+}
+
+// FuncDecl is a MATLAB function definition:
+//
+//	function [y1, y2] = name(a, b)
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Outs   []string
+	Params []string
+	Body   []Stmt
+}
+
+// NodePos implements Node.
+func (d *FuncDecl) NodePos() Pos { return d.Pos }
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// AssignStmt is "lhs = rhs" or multi-assign "[a, b] = f(...)".
+type AssignStmt struct {
+	Pos Pos
+	Lhs []Expr // Ident or IndexExpr targets; len>1 for multi-assign
+	Rhs Expr
+}
+
+// ExprStmt is a bare expression statement (typically a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/elseif/else. Elifs are flattened in order.
+type IfStmt struct {
+	Pos   Pos
+	Cond  Expr
+	Then  []Stmt
+	Elifs []ElifClause
+	Else  []Stmt // nil when absent
+}
+
+// ElifClause is one "elseif cond" arm.
+type ElifClause struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is "for v = range, body, end". Range is usually a RangeExpr.
+type ForStmt struct {
+	Pos   Pos
+	Var   string
+	Range Expr
+	Body  []Stmt
+}
+
+// WhileStmt is "while cond, body, end".
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// SwitchStmt is "switch subject, case v, ..., otherwise, ..., end".
+type SwitchStmt struct {
+	Pos       Pos
+	Subject   Expr
+	Cases     []SwitchCase
+	Otherwise []Stmt // nil when absent
+}
+
+// SwitchCase is one "case value" arm (scalar values only; cell-array
+// case lists are not supported).
+type SwitchCase struct {
+	Pos   Pos
+	Value Expr
+	Body  []Stmt
+}
+
+// BreakStmt is "break".
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt is "continue".
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt is "return".
+type ReturnStmt struct{ Pos Pos }
+
+func (s *AssignStmt) NodePos() Pos   { return s.Pos }
+func (s *ExprStmt) NodePos() Pos     { return s.Pos }
+func (s *IfStmt) NodePos() Pos       { return s.Pos }
+func (s *ForStmt) NodePos() Pos      { return s.Pos }
+func (s *WhileStmt) NodePos() Pos    { return s.Pos }
+func (s *SwitchStmt) NodePos() Pos   { return s.Pos }
+func (s *BreakStmt) NodePos() Pos    { return s.Pos }
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+func (s *ReturnStmt) NodePos() Pos   { return s.Pos }
+
+func (*AssignStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*ForStmt) stmt()      {}
+func (*WhileStmt) stmt()    {}
+func (*SwitchStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ReturnStmt) stmt()   {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// IdentExpr is a variable or function name.
+type IdentExpr struct {
+	Pos  Pos
+	Name string
+}
+
+// NumberExpr is a numeric literal; Imag marks an i/j suffix.
+type NumberExpr struct {
+	Pos   Pos
+	Value float64
+	Imag  bool
+}
+
+// StringExpr is a single-quoted character vector literal.
+type StringExpr struct {
+	Pos   Pos
+	Value string
+}
+
+// MatrixExpr is "[r1c1 r1c2; r2c1 r2c2]". Rows may be ragged at parse
+// time; sema checks conformance.
+type MatrixExpr struct {
+	Pos  Pos
+	Rows [][]Expr
+}
+
+// RangeExpr is "start:stop" or "start:step:stop".
+type RangeExpr struct {
+	Pos   Pos
+	Start Expr
+	Step  Expr // nil for unit step
+	Stop  Expr
+}
+
+// ColonExpr is a bare ':' used as an index (whole dimension).
+type ColonExpr struct{ Pos Pos }
+
+// EndExpr is the 'end' keyword inside an index expression.
+type EndExpr struct{ Pos Pos }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators. Mat* are the linear-algebra forms; El* element-wise.
+const (
+	OpAdd     BinOp = iota // +
+	OpSub                  // -
+	OpMatMul               // *
+	OpMatDiv               // /
+	OpMatLDiv              // \
+	OpMatPow               // ^
+	OpElMul                // .*
+	OpElDiv                // ./
+	OpElPow                // .^
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpAndAnd
+	OpOrOr
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMatMul: "*", OpMatDiv: "/", OpMatLDiv: "\\",
+	OpMatPow: "^", OpElMul: ".*", OpElDiv: "./", OpElPow: ".^",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "~=",
+	OpAndAnd: "&&", OpOrOr: "||", OpAnd: "&", OpOr: "|",
+}
+
+// String returns the MATLAB spelling of the operator.
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return "?"
+}
+
+// BinaryExpr is "x op y".
+type BinaryExpr struct {
+	Pos  Pos
+	Op   BinOp
+	X, Y Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota // -
+	OpPos             // +
+	OpNot             // ~
+)
+
+// String returns the MATLAB spelling of the operator.
+func (op UnOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpPos:
+		return "+"
+	case OpNot:
+		return "~"
+	}
+	return "?"
+}
+
+// UnaryExpr is "op x".
+type UnaryExpr struct {
+	Pos Pos
+	Op  UnOp
+	X   Expr
+}
+
+// TransposeExpr is "x'" (conjugate transpose) or "x.'" (plain).
+type TransposeExpr struct {
+	Pos  Pos
+	X    Expr
+	Conj bool
+}
+
+// CallExpr is "f(a, b)" — in MATLAB this is syntactically identical to
+// array indexing; sema disambiguates using the symbol table.
+type CallExpr struct {
+	Pos  Pos
+	Fun  Expr // always *IdentExpr in the supported subset
+	Args []Expr
+}
+
+func (e *IdentExpr) NodePos() Pos     { return e.Pos }
+func (e *NumberExpr) NodePos() Pos    { return e.Pos }
+func (e *StringExpr) NodePos() Pos    { return e.Pos }
+func (e *MatrixExpr) NodePos() Pos    { return e.Pos }
+func (e *RangeExpr) NodePos() Pos     { return e.Pos }
+func (e *ColonExpr) NodePos() Pos     { return e.Pos }
+func (e *EndExpr) NodePos() Pos       { return e.Pos }
+func (e *BinaryExpr) NodePos() Pos    { return e.Pos }
+func (e *UnaryExpr) NodePos() Pos     { return e.Pos }
+func (e *TransposeExpr) NodePos() Pos { return e.Pos }
+func (e *CallExpr) NodePos() Pos      { return e.Pos }
+
+func (*IdentExpr) expr()     {}
+func (*NumberExpr) expr()    {}
+func (*StringExpr) expr()    {}
+func (*MatrixExpr) expr()    {}
+func (*RangeExpr) expr()     {}
+func (*ColonExpr) expr()     {}
+func (*EndExpr) expr()       {}
+func (*BinaryExpr) expr()    {}
+func (*UnaryExpr) expr()     {}
+func (*TransposeExpr) expr() {}
+func (*CallExpr) expr()      {}

@@ -1,0 +1,337 @@
+package mlang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LexError describes a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer turns MATLAB source text into tokens. It resolves the classic
+// quote ambiguity (transpose vs. string start) by tracking whether the
+// previous significant token can end an operand.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+
+	prev      Kind // previous significant (non-comment) token kind
+	prevValid bool
+	errs      []*LexError
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns lexical errors encountered so far.
+func (lx *Lexer) Errors() []*LexError { return lx.errs }
+
+func (lx *Lexer) errorf(p Pos, format string, args ...interface{}) {
+	lx.errs = append(lx.errs, &LexError{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+// operandEnd reports whether kind k can syntactically end an operand, in
+// which case a following quote is transpose rather than a string opener.
+func operandEnd(k Kind) bool {
+	switch k {
+	case Ident, Number, String, RParen, RBracket, KwEnd, Quote, DotQuote:
+		return true
+	}
+	return false
+}
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (lx *Lexer) Next() Token {
+	space := false
+	for {
+		// Skip horizontal whitespace.
+		for lx.peek() == ' ' || lx.peek() == '\t' || lx.peek() == '\r' {
+			lx.advance()
+			space = true
+		}
+		// Line continuation: "..." to end of line swallows the newline.
+		if lx.peek() == '.' && lx.peekAt(1) == '.' && lx.peekAt(2) == '.' {
+			for lx.peek() != '\n' && lx.peek() != 0 {
+				lx.advance()
+			}
+			if lx.peek() == '\n' {
+				lx.advance()
+			}
+			space = true
+			continue
+		}
+		break
+	}
+
+	p := lx.pos()
+	c := lx.peek()
+
+	mk := func(k Kind, text string) Token {
+		lx.prev, lx.prevValid = k, true
+		return Token{Kind: k, Text: text, Pos: p, SpaceBefore: space}
+	}
+
+	switch {
+	case c == 0:
+		return mk(EOF, "")
+	case c == '\n':
+		lx.advance()
+		return mk(Newline, "\n")
+	case c == '%':
+		// Block comment %{ ... %} (each marker alone on its line in real
+		// MATLAB; we accept them anywhere for robustness).
+		if lx.peekAt(1) == '{' {
+			lx.advance()
+			lx.advance()
+			var sb strings.Builder
+			for {
+				if lx.peek() == 0 {
+					lx.errorf(p, "unterminated block comment")
+					break
+				}
+				if lx.peek() == '%' && lx.peekAt(1) == '}' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				sb.WriteByte(lx.advance())
+			}
+			return mk(Comment, sb.String())
+		}
+		var sb strings.Builder
+		for lx.peek() != '\n' && lx.peek() != 0 {
+			sb.WriteByte(lx.advance())
+		}
+		return mk(Comment, sb.String())
+	case isDigit(c) || c == '.' && isDigit(lx.peekAt(1)):
+		return lx.lexNumber(p, space)
+	case isAlpha(c):
+		var sb strings.Builder
+		for isAlnum(lx.peek()) {
+			sb.WriteByte(lx.advance())
+		}
+		name := sb.String()
+		return mk(KeywordKind(name), name)
+	case c == '\'':
+		if lx.prevValid && operandEnd(lx.prev) && !space {
+			// Transpose operator: binds tightly, no preceding space.
+			lx.advance()
+			return mk(Quote, "'")
+		}
+		return lx.lexString(p, space)
+	}
+
+	// Operators and punctuation.
+	two := func(k Kind, text string) Token {
+		lx.advance()
+		lx.advance()
+		return mk(k, text)
+	}
+	one := func(k Kind, text string) Token {
+		lx.advance()
+		return mk(k, text)
+	}
+	switch c {
+	case '(':
+		return one(LParen, "(")
+	case ')':
+		return one(RParen, ")")
+	case '[':
+		return one(LBracket, "[")
+	case ']':
+		return one(RBracket, "]")
+	case ',':
+		return one(Comma, ",")
+	case ';':
+		return one(Semicolon, ";")
+	case ':':
+		return one(Colon, ":")
+	case '+':
+		return one(Plus, "+")
+	case '-':
+		return one(Minus, "-")
+	case '*':
+		return one(Star, "*")
+	case '/':
+		return one(Slash, "/")
+	case '\\':
+		return one(Backslash, "\\")
+	case '^':
+		return one(Caret, "^")
+	case '.':
+		switch lx.peekAt(1) {
+		case '*':
+			return two(DotStar, ".*")
+		case '/':
+			return two(DotSlash, "./")
+		case '^':
+			return two(DotCaret, ".^")
+		case '\'':
+			return two(DotQuote, ".'")
+		}
+		lx.advance()
+		lx.errorf(p, "unexpected '.'")
+		return lx.Next()
+	case '=':
+		if lx.peekAt(1) == '=' {
+			return two(EqEq, "==")
+		}
+		return one(Assign, "=")
+	case '<':
+		if lx.peekAt(1) == '=' {
+			return two(Le, "<=")
+		}
+		return one(Lt, "<")
+	case '>':
+		if lx.peekAt(1) == '=' {
+			return two(Ge, ">=")
+		}
+		return one(Gt, ">")
+	case '~':
+		if lx.peekAt(1) == '=' {
+			return two(Ne, "~=")
+		}
+		return one(Not, "~")
+	case '&':
+		if lx.peekAt(1) == '&' {
+			return two(AndAnd, "&&")
+		}
+		return one(Amp, "&")
+	case '|':
+		if lx.peekAt(1) == '|' {
+			return two(OrOr, "||")
+		}
+		return one(Pipe, "|")
+	}
+
+	lx.advance()
+	lx.errorf(p, "unexpected character %q", string(rune(c)))
+	return lx.Next()
+}
+
+func (lx *Lexer) lexNumber(p Pos, space bool) Token {
+	var sb strings.Builder
+	for isDigit(lx.peek()) {
+		sb.WriteByte(lx.advance())
+	}
+	// Fractional part — but not if the dot starts an element-wise operator
+	// (e.g. "2.*x") or a field/transpose form.
+	if lx.peek() == '.' {
+		n := lx.peekAt(1)
+		if n != '*' && n != '/' && n != '^' && n != '\'' && n != '.' {
+			sb.WriteByte(lx.advance())
+			for isDigit(lx.peek()) {
+				sb.WriteByte(lx.advance())
+			}
+		}
+	}
+	// Exponent.
+	if c := lx.peek(); c == 'e' || c == 'E' {
+		n := lx.peekAt(1)
+		if isDigit(n) || (n == '+' || n == '-') && isDigit(lx.peekAt(2)) {
+			sb.WriteByte(lx.advance()) // e
+			if lx.peek() == '+' || lx.peek() == '-' {
+				sb.WriteByte(lx.advance())
+			}
+			for isDigit(lx.peek()) {
+				sb.WriteByte(lx.advance())
+			}
+		}
+	}
+	imag := false
+	if c := lx.peek(); c == 'i' || c == 'j' || c == 'I' || c == 'J' {
+		// Imaginary suffix only when not followed by more identifier
+		// characters (so "2in" lexes as 2 then ident "in" — an error later,
+		// matching MATLAB).
+		if !isAlnum(lx.peekAt(1)) {
+			lx.advance()
+			imag = true
+		}
+	}
+	lx.prev, lx.prevValid = Number, true
+	return Token{Kind: Number, Text: sb.String(), Pos: p, SpaceBefore: space, Imag: imag}
+}
+
+func (lx *Lexer) lexString(p Pos, space bool) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c := lx.peek()
+		if c == 0 || c == '\n' {
+			lx.errorf(p, "unterminated string literal")
+			break
+		}
+		lx.advance()
+		if c == '\'' {
+			if lx.peek() == '\'' { // escaped quote
+				lx.advance()
+				sb.WriteByte('\'')
+				continue
+			}
+			break
+		}
+		sb.WriteByte(c)
+	}
+	lx.prev, lx.prevValid = String, true
+	return Token{Kind: String, Text: sb.String(), Pos: p, SpaceBefore: space}
+}
+
+// LexAll tokenizes the whole input, excluding comments, including the
+// final EOF token. It is a convenience for tests and tools.
+func LexAll(src string) ([]Token, []*LexError) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		if t.Kind == Comment {
+			continue
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, lx.Errors()
+		}
+	}
+}

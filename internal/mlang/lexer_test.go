@@ -1,0 +1,258 @@
+package mlang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func lexKinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, errs := LexAll(src)
+	if len(errs) > 0 {
+		t.Fatalf("lex %q: %v", src, errs[0])
+	}
+	return kinds(toks)
+}
+
+func eqKinds(a, b []Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []Kind
+	}{
+		{"x = 1", []Kind{Ident, Assign, Number, EOF}},
+		{"y = a + b;", []Kind{Ident, Assign, Ident, Plus, Ident, Semicolon, EOF}},
+		{"a .* b ./ c .^ d", []Kind{Ident, DotStar, Ident, DotSlash, Ident, DotCaret, Ident, EOF}},
+		{"a <= b >= c ~= d == e", []Kind{Ident, Le, Ident, Ge, Ident, Ne, Ident, EqEq, Ident, EOF}},
+		{"a && b || c & d | e", []Kind{Ident, AndAnd, Ident, OrOr, Ident, Amp, Ident, Pipe, Ident, EOF}},
+		{"~x", []Kind{Not, Ident, EOF}},
+		{"f(x, y)", []Kind{Ident, LParen, Ident, Comma, Ident, RParen, EOF}},
+		{"[1 2; 3 4]", []Kind{LBracket, Number, Number, Semicolon, Number, Number, RBracket, EOF}},
+		{"for i = 1:n", []Kind{KwFor, Ident, Assign, Number, Colon, Ident, EOF}},
+		{"a\\b", []Kind{Ident, Backslash, Ident, EOF}},
+		{"x^2", []Kind{Ident, Caret, Number, EOF}},
+	}
+	for _, c := range cases {
+		if got := lexKinds(t, c.src); !eqKinds(got, c.want) {
+			t.Errorf("lex %q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLexKeywords(t *testing.T) {
+	src := "function end if elseif else for while break continue return"
+	want := []Kind{KwFunction, KwEnd, KwIf, KwElseif, KwElse, KwFor, KwWhile,
+		KwBreak, KwContinue, KwReturn, EOF}
+	if got := lexKinds(t, src); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		text string
+		imag bool
+	}{
+		{"42", "42", false},
+		{"3.14", "3.14", false},
+		{".5", ".5", false},
+		{"1e3", "1e3", false},
+		{"2.5e-3", "2.5e-3", false},
+		{"1E+6", "1E+6", false},
+		{"1i", "1", true},
+		{"2.5j", "2.5", true},
+		{"3e2i", "3e2", true},
+	}
+	for _, c := range cases {
+		toks, errs := LexAll(c.src)
+		if len(errs) > 0 {
+			t.Fatalf("lex %q: %v", c.src, errs[0])
+		}
+		if toks[0].Kind != Number || toks[0].Text != c.text || toks[0].Imag != c.imag {
+			t.Errorf("lex %q = %v (imag=%v), want text %q imag %v",
+				c.src, toks[0], toks[0].Imag, c.text, c.imag)
+		}
+	}
+}
+
+func TestLexNumberDotOperator(t *testing.T) {
+	// "2.*x" must lex as 2 .* x, not 2. * x.
+	want := []Kind{Number, DotStar, Ident, EOF}
+	if got := lexKinds(t, "2.*x"); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// "2.5*x" is a normal float times x.
+	want = []Kind{Number, Star, Ident, EOF}
+	if got := lexKinds(t, "2.5*x"); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexQuoteDisambiguation(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []Kind
+	}{
+		{"x'", []Kind{Ident, Quote, EOF}},
+		{"x''", []Kind{Ident, Quote, Quote, EOF}},
+		{"x = 'abc'", []Kind{Ident, Assign, String, EOF}},
+		{"f(x)'", []Kind{Ident, LParen, Ident, RParen, Quote, EOF}},
+		{"[1 2]'", []Kind{LBracket, Number, Number, RBracket, Quote, EOF}},
+		{"x.'", []Kind{Ident, DotQuote, EOF}},
+		{"y = x' * x", []Kind{Ident, Assign, Ident, Quote, Star, Ident, EOF}},
+		// After a comma, a quote opens a string.
+		{"f(x, 'abc')", []Kind{Ident, LParen, Ident, Comma, String, RParen, EOF}},
+		// After 'end', transpose is legal: x(end)'
+		{"x(end)'", []Kind{Ident, LParen, KwEnd, RParen, Quote, EOF}},
+	}
+	for _, c := range cases {
+		if got := lexKinds(t, c.src); !eqKinds(got, c.want) {
+			t.Errorf("lex %q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, errs := LexAll("s = 'it''s'")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if toks[2].Kind != String || toks[2].Text != "it's" {
+		t.Errorf("got %v, want String(it's)", toks[2])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := "x = 1 % trailing comment\ny = 2\n%{ block\ncomment %}\nz = 3"
+	want := []Kind{Ident, Assign, Number, Newline, Ident, Assign, Number,
+		Newline, Newline, Ident, Assign, Number, EOF}
+	if got := lexKinds(t, src); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexContinuation(t *testing.T) {
+	src := "x = 1 + ...\n 2"
+	want := []Kind{Ident, Assign, Number, Plus, Number, EOF}
+	if got := lexKinds(t, src); !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexSpaceBefore(t *testing.T) {
+	toks, _ := LexAll("[1 -2]")
+	// tokens: [ 1 - 2 ] EOF
+	if !toks[2].SpaceBefore {
+		t.Error("minus in '[1 -2]' should have SpaceBefore")
+	}
+	if toks[3].SpaceBefore {
+		t.Error("2 in '[1 -2]' should not have SpaceBefore")
+	}
+	toks, _ = LexAll("[1 - 2]")
+	if !toks[2].SpaceBefore || !toks[3].SpaceBefore {
+		t.Error("'[1 - 2]' should have space before both '-' and '2'")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := LexAll("x = 1\n  y = 2")
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("x at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[4].Pos != (Pos{2, 3}) {
+		t.Errorf("y at %v, want 2:3", toks[4].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"x = 'abc", "x = $", "%{ never closed"}
+	for _, src := range cases {
+		_, errs := LexAll(src)
+		if len(errs) == 0 {
+			t.Errorf("lex %q: expected error", src)
+		}
+	}
+}
+
+func TestLexUnterminatedStringAtNewline(t *testing.T) {
+	_, errs := LexAll("x = 'abc\ny = 2")
+	if len(errs) == 0 {
+		t.Fatal("expected unterminated string error")
+	}
+	if !strings.Contains(errs[0].Error(), "unterminated") {
+		t.Errorf("unexpected error %v", errs[0])
+	}
+}
+
+// Property: the lexer terminates and never panics on arbitrary input, and
+// positions are monotonically non-decreasing.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		toks, _ := LexAll(src)
+		prev := Pos{1, 0}
+		for _, tok := range toks {
+			if tok.Kind == EOF {
+				break
+			}
+			if tok.Pos.Line < prev.Line ||
+				tok.Pos.Line == prev.Line && tok.Pos.Col <= prev.Col {
+				return false
+			}
+			prev = tok.Pos
+		}
+		return toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lexing the concatenation of valid identifier tokens with
+// spaces yields exactly those identifiers back.
+func TestLexIdentifierRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		names := []string{"alpha", "b2", "x_y", "foo", "If0", "endx"}
+		var sb strings.Builder
+		count := int(n%10) + 1
+		for i := 0; i < count; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(names[i%len(names)])
+		}
+		toks, errs := LexAll(sb.String())
+		if len(errs) > 0 || len(toks) != count+1 {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			if toks[i].Kind != Ident || toks[i].Text != names[i%len(names)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,681 @@
+package mlang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError is a syntax error with position information.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList aggregates parse and lex errors.
+type ErrorList []error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+}
+
+const maxParseErrors = 20
+
+type parser struct {
+	toks []Token
+	i    int
+	errs ErrorList
+
+	// indexDepth > 0 while parsing call/index arguments, where 'end' and
+	// bare ':' are expressions rather than keywords/punctuation.
+	indexDepth int
+	// matrixDepth > 0 while parsing matrix-literal elements, where
+	// whitespace separates elements.
+	matrixDepth int
+}
+
+// Parse parses a MATLAB source file. On failure it returns a non-nil
+// error (an ErrorList) alongside whatever was recovered.
+func Parse(src string) (*File, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		if t.Kind == Comment {
+			continue
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	p := &parser{toks: toks}
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, le)
+	}
+	f := p.parseFile()
+	if len(p.errs) > 0 {
+		return f, p.errs
+	}
+	return f, nil
+}
+
+// MustParse parses src and panics on error; for tests.
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *parser) tok() Token { return p.toks[p.i] }
+func (p *parser) kind() Kind { return p.toks[p.i].Kind }
+func (p *parser) peek() Token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos Pos, format string, args ...interface{}) {
+	if len(p.errs) < maxParseErrors {
+		p.errs = append(p.errs, &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *parser) expect(k Kind) Token {
+	if p.kind() != k {
+		p.errorf(p.tok().Pos, "expected %s, found %s", k, p.tok())
+		return Token{Kind: k, Pos: p.tok().Pos}
+	}
+	return p.next()
+}
+
+// skipSeps consumes newline/semicolon/comma statement separators.
+func (p *parser) skipSeps() {
+	for {
+		switch p.kind() {
+		case Newline, Semicolon, Comma:
+			p.next()
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) skipNewlines() {
+	for p.kind() == Newline {
+		p.next()
+	}
+}
+
+func (p *parser) parseFile() *File {
+	f := &File{}
+	p.skipSeps()
+	if p.kind() == KwFunction {
+		for p.kind() == KwFunction {
+			f.Funcs = append(f.Funcs, p.parseFunction())
+			p.skipSeps()
+		}
+		if p.kind() != EOF {
+			p.errorf(p.tok().Pos, "unexpected %s after function definitions", p.tok())
+		}
+		return f
+	}
+	f.Script = p.parseStmts(nil)
+	if p.kind() != EOF {
+		p.errorf(p.tok().Pos, "unexpected %s", p.tok())
+	}
+	return f
+}
+
+func (p *parser) parseFunction() *FuncDecl {
+	d := &FuncDecl{Pos: p.expect(KwFunction).Pos}
+	// Three header shapes:
+	//   function name(params)
+	//   function out = name(params)
+	//   function [o1, o2] = name(params)
+	switch p.kind() {
+	case LBracket:
+		p.next()
+		for p.kind() != RBracket && p.kind() != EOF {
+			if p.kind() != Ident {
+				p.errorf(p.tok().Pos, "expected output name, found %s", p.tok())
+				break
+			}
+			d.Outs = append(d.Outs, p.next().Text)
+			if p.kind() == Comma {
+				p.next()
+			}
+		}
+		p.expect(RBracket)
+		p.expect(Assign)
+		d.Name = p.expect(Ident).Text
+	case Ident:
+		name := p.next().Text
+		if p.kind() == Assign {
+			p.next()
+			d.Outs = []string{name}
+			d.Name = p.expect(Ident).Text
+		} else {
+			d.Name = name
+		}
+	default:
+		p.errorf(p.tok().Pos, "expected function name, found %s", p.tok())
+	}
+	if p.kind() == LParen {
+		p.next()
+		for p.kind() != RParen && p.kind() != EOF {
+			d.Params = append(d.Params, p.expect(Ident).Text)
+			if p.kind() == Comma {
+				p.next()
+			} else {
+				break
+			}
+		}
+		p.expect(RParen)
+	}
+	d.Body = p.parseStmts(func(k Kind) bool { return k == KwEnd || k == KwFunction })
+	if p.kind() == KwEnd {
+		p.next()
+	}
+	return d
+}
+
+// parseStmts parses statements until EOF or a terminator for which stop
+// returns true (the terminator is not consumed). A nil stop runs to EOF.
+func (p *parser) parseStmts(stop func(Kind) bool) []Stmt {
+	var stmts []Stmt
+	for {
+		p.skipSeps()
+		k := p.kind()
+		if k == EOF || stop != nil && stop(k) {
+			return stmts
+		}
+		s := p.parseStmt()
+		if s != nil {
+			stmts = append(stmts, s)
+		} else {
+			// Error recovery: skip to next separator.
+			for p.kind() != Newline && p.kind() != Semicolon && p.kind() != EOF {
+				p.next()
+			}
+		}
+	}
+}
+
+func blockStop(k Kind) bool {
+	return k == KwEnd || k == KwElse || k == KwElseif
+}
+
+func (p *parser) parseStmt() Stmt {
+	t := p.tok()
+	switch t.Kind {
+	case KwIf:
+		return p.parseIf()
+	case KwFor:
+		return p.parseFor()
+	case KwWhile:
+		return p.parseWhile()
+	case KwSwitch:
+		return p.parseSwitch()
+	case KwBreak:
+		p.next()
+		return &BreakStmt{Pos: t.Pos}
+	case KwContinue:
+		p.next()
+		return &ContinueStmt{Pos: t.Pos}
+	case KwReturn:
+		p.next()
+		return &ReturnStmt{Pos: t.Pos}
+	case KwFunction, KwEnd, KwElse, KwElseif, KwCase, KwOtherwise:
+		p.errorf(t.Pos, "unexpected %s", t)
+		p.next()
+		return nil
+	}
+	// Expression or assignment.
+	lhs := p.parseExpr()
+	if lhs == nil {
+		return nil
+	}
+	if p.kind() == Assign {
+		p.next()
+		rhs := p.parseExpr()
+		targets, ok := assignTargets(lhs)
+		if !ok {
+			p.errorf(lhs.NodePos(), "invalid assignment target")
+		}
+		return &AssignStmt{Pos: t.Pos, Lhs: targets, Rhs: rhs}
+	}
+	return &ExprStmt{Pos: t.Pos, X: lhs}
+}
+
+// assignTargets extracts assignment targets from a parsed LHS expression.
+// A single-row matrix literal "[a, b]" denotes a multi-assignment.
+func assignTargets(lhs Expr) ([]Expr, bool) {
+	if m, ok := lhs.(*MatrixExpr); ok {
+		if len(m.Rows) != 1 {
+			return []Expr{lhs}, false
+		}
+		for _, e := range m.Rows[0] {
+			if !isLValue(e) {
+				return m.Rows[0], false
+			}
+		}
+		return m.Rows[0], true
+	}
+	return []Expr{lhs}, isLValue(lhs)
+}
+
+func isLValue(e Expr) bool {
+	switch e := e.(type) {
+	case *IdentExpr:
+		return true
+	case *CallExpr:
+		_, ok := e.Fun.(*IdentExpr)
+		return ok
+	}
+	return false
+}
+
+func (p *parser) parseIf() Stmt {
+	s := &IfStmt{Pos: p.expect(KwIf).Pos}
+	s.Cond = p.parseExpr()
+	s.Then = p.parseStmts(blockStop)
+	for p.kind() == KwElseif {
+		c := ElifClause{Pos: p.next().Pos}
+		c.Cond = p.parseExpr()
+		c.Body = p.parseStmts(blockStop)
+		s.Elifs = append(s.Elifs, c)
+	}
+	if p.kind() == KwElse {
+		p.next()
+		s.Else = p.parseStmts(blockStop)
+	}
+	p.expect(KwEnd)
+	return s
+}
+
+func (p *parser) parseFor() Stmt {
+	s := &ForStmt{Pos: p.expect(KwFor).Pos}
+	s.Var = p.expect(Ident).Text
+	p.expect(Assign)
+	s.Range = p.parseExpr()
+	s.Body = p.parseStmts(blockStop)
+	p.expect(KwEnd)
+	return s
+}
+
+func switchStop(k Kind) bool {
+	return k == KwEnd || k == KwCase || k == KwOtherwise
+}
+
+func (p *parser) parseSwitch() Stmt {
+	s := &SwitchStmt{Pos: p.expect(KwSwitch).Pos}
+	s.Subject = p.parseExpr()
+	// Statements between the subject and the first case are illegal in
+	// MATLAB; tolerate separators only.
+	p.skipSeps()
+	for p.kind() == KwCase {
+		c := SwitchCase{Pos: p.next().Pos}
+		c.Value = p.parseExpr()
+		c.Body = p.parseStmts(switchStop)
+		s.Cases = append(s.Cases, c)
+	}
+	if p.kind() == KwOtherwise {
+		p.next()
+		s.Otherwise = p.parseStmts(switchStop)
+	}
+	if len(s.Cases) == 0 && s.Otherwise == nil {
+		p.errorf(s.Pos, "switch without case or otherwise")
+	}
+	p.expect(KwEnd)
+	return s
+}
+
+func (p *parser) parseWhile() Stmt {
+	s := &WhileStmt{Pos: p.expect(KwWhile).Pos}
+	s.Cond = p.parseExpr()
+	s.Body = p.parseStmts(blockStop)
+	p.expect(KwEnd)
+	return s
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	||  &&  |  &  (relational)  :  +-  */\ .* ./  (unary)  ^ .^ ' .'
+func (p *parser) parseExpr() Expr { return p.parseOrOr() }
+
+func (p *parser) parseOrOr() Expr {
+	x := p.parseAndAnd()
+	for p.kind() == OrOr {
+		pos := p.next().Pos
+		x = &BinaryExpr{Pos: pos, Op: OpOrOr, X: x, Y: p.parseAndAnd()}
+	}
+	return x
+}
+
+func (p *parser) parseAndAnd() Expr {
+	x := p.parseOr()
+	for p.kind() == AndAnd {
+		pos := p.next().Pos
+		x = &BinaryExpr{Pos: pos, Op: OpAndAnd, X: x, Y: p.parseOr()}
+	}
+	return x
+}
+
+func (p *parser) parseOr() Expr {
+	x := p.parseAnd()
+	for p.kind() == Pipe {
+		pos := p.next().Pos
+		x = &BinaryExpr{Pos: pos, Op: OpOr, X: x, Y: p.parseAnd()}
+	}
+	return x
+}
+
+func (p *parser) parseAnd() Expr {
+	x := p.parseRel()
+	for p.kind() == Amp {
+		pos := p.next().Pos
+		x = &BinaryExpr{Pos: pos, Op: OpAnd, X: x, Y: p.parseRel()}
+	}
+	return x
+}
+
+func (p *parser) parseRel() Expr {
+	x := p.parseRange()
+	for {
+		var op BinOp
+		switch p.kind() {
+		case Lt:
+			op = OpLt
+		case Le:
+			op = OpLe
+		case Gt:
+			op = OpGt
+		case Ge:
+			op = OpGe
+		case EqEq:
+			op = OpEq
+		case Ne:
+			op = OpNe
+		default:
+			return x
+		}
+		pos := p.next().Pos
+		x = &BinaryExpr{Pos: pos, Op: op, X: x, Y: p.parseRange()}
+	}
+}
+
+// parseRange parses "a", "a:b" or "a:b:c".
+func (p *parser) parseRange() Expr {
+	x := p.parseAdditive()
+	if p.kind() != Colon {
+		return x
+	}
+	pos := p.next().Pos
+	y := p.parseAdditive()
+	if p.kind() != Colon {
+		return &RangeExpr{Pos: pos, Start: x, Stop: y}
+	}
+	p.next()
+	z := p.parseAdditive()
+	return &RangeExpr{Pos: pos, Start: x, Step: y, Stop: z}
+}
+
+// matrixSeparates reports whether, in matrix-literal context, the current
+// +/- token acts as the start of a new element rather than a binary
+// operator: "[1 -2]" (space before, none after) separates; "[1 - 2]" and
+// "[1-2]" do not.
+func (p *parser) matrixSeparates() bool {
+	if p.matrixDepth == 0 {
+		return false
+	}
+	t := p.tok()
+	if !t.SpaceBefore {
+		return false
+	}
+	return !p.peek().SpaceBefore
+}
+
+func (p *parser) parseAdditive() Expr {
+	x := p.parseMultiplicative()
+	for {
+		k := p.kind()
+		if k != Plus && k != Minus {
+			return x
+		}
+		if p.matrixSeparates() {
+			return x
+		}
+		op := OpAdd
+		if k == Minus {
+			op = OpSub
+		}
+		pos := p.next().Pos
+		x = &BinaryExpr{Pos: pos, Op: op, X: x, Y: p.parseMultiplicative()}
+	}
+}
+
+func (p *parser) parseMultiplicative() Expr {
+	x := p.parseUnary()
+	for {
+		var op BinOp
+		switch p.kind() {
+		case Star:
+			op = OpMatMul
+		case Slash:
+			op = OpMatDiv
+		case Backslash:
+			op = OpMatLDiv
+		case DotStar:
+			op = OpElMul
+		case DotSlash:
+			op = OpElDiv
+		default:
+			return x
+		}
+		pos := p.next().Pos
+		x = &BinaryExpr{Pos: pos, Op: op, X: x, Y: p.parseUnary()}
+	}
+}
+
+func (p *parser) parseUnary() Expr {
+	t := p.tok()
+	switch t.Kind {
+	case Minus:
+		p.next()
+		return &UnaryExpr{Pos: t.Pos, Op: OpNeg, X: p.parseUnary()}
+	case Plus:
+		p.next()
+		return &UnaryExpr{Pos: t.Pos, Op: OpPos, X: p.parseUnary()}
+	case Not:
+		p.next()
+		return &UnaryExpr{Pos: t.Pos, Op: OpNot, X: p.parseUnary()}
+	}
+	return p.parsePower()
+}
+
+// parsePower parses the power/transpose level. MATLAB gives ^ and
+// postfix transpose the same (highest) precedence, left-associative, and
+// the exponent may carry a unary sign ("2^-3").
+func (p *parser) parsePower() Expr {
+	x := p.parsePostfix()
+	for {
+		var op BinOp
+		switch p.kind() {
+		case Caret:
+			op = OpMatPow
+		case DotCaret:
+			op = OpElPow
+		default:
+			return x
+		}
+		pos := p.next().Pos
+		// Allow signed exponent.
+		var y Expr
+		switch p.kind() {
+		case Minus:
+			up := p.next().Pos
+			y = &UnaryExpr{Pos: up, Op: OpNeg, X: p.parsePostfix()}
+		case Plus:
+			p.next()
+			y = p.parsePostfix()
+		default:
+			y = p.parsePostfix()
+		}
+		x = &BinaryExpr{Pos: pos, Op: op, X: x, Y: y}
+	}
+}
+
+// parsePostfix parses primary expressions followed by any number of
+// call/index suffixes and transposes.
+func (p *parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.kind() {
+		case LParen:
+			// In matrix context "a (1)" with a space is a new element.
+			if p.matrixDepth > 0 && p.tok().SpaceBefore {
+				return x
+			}
+			pos := p.next().Pos
+			call := &CallExpr{Pos: pos, Fun: x}
+			p.indexDepth++
+			for p.kind() != RParen && p.kind() != EOF {
+				call.Args = append(call.Args, p.parseArg())
+				if p.kind() == Comma {
+					p.next()
+				} else {
+					break
+				}
+			}
+			p.indexDepth--
+			p.expect(RParen)
+			x = call
+		case Quote:
+			pos := p.next().Pos
+			x = &TransposeExpr{Pos: pos, X: x, Conj: true}
+		case DotQuote:
+			pos := p.next().Pos
+			x = &TransposeExpr{Pos: pos, X: x, Conj: false}
+		default:
+			return x
+		}
+	}
+}
+
+// parseArg parses one call/index argument, where a bare ':' selects an
+// entire dimension.
+func (p *parser) parseArg() Expr {
+	if p.kind() == Colon {
+		k := p.peek().Kind
+		if k == Comma || k == RParen {
+			return &ColonExpr{Pos: p.next().Pos}
+		}
+	}
+	return p.parseExpr()
+}
+
+func (p *parser) parsePrimary() Expr {
+	t := p.tok()
+	switch t.Kind {
+	case Number:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid number %q", t.Text)
+		}
+		return &NumberExpr{Pos: t.Pos, Value: v, Imag: t.Imag}
+	case Ident:
+		p.next()
+		return &IdentExpr{Pos: t.Pos, Name: t.Text}
+	case String:
+		p.next()
+		return &StringExpr{Pos: t.Pos, Value: t.Text}
+	case KwEnd:
+		if p.indexDepth > 0 {
+			p.next()
+			return &EndExpr{Pos: t.Pos}
+		}
+	case LParen:
+		p.next()
+		// Parenthesized subexpressions suspend matrix element splitting.
+		md := p.matrixDepth
+		p.matrixDepth = 0
+		x := p.parseExpr()
+		p.matrixDepth = md
+		p.expect(RParen)
+		return x
+	case LBracket:
+		return p.parseMatrix()
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &NumberExpr{Pos: t.Pos, Value: 0}
+}
+
+// startsExpr reports whether token t can begin an expression (used for
+// space-separated matrix elements).
+func (p *parser) startsExpr(t Token) bool {
+	switch t.Kind {
+	case Ident, Number, String, LParen, LBracket, Minus, Plus, Not, Quote:
+		return true
+	case KwEnd:
+		return p.indexDepth > 0
+	}
+	return false
+}
+
+func (p *parser) parseMatrix() Expr {
+	m := &MatrixExpr{Pos: p.expect(LBracket).Pos}
+	p.matrixDepth++
+	defer func() { p.matrixDepth-- }()
+	var row []Expr
+	endRow := func() {
+		if len(row) > 0 {
+			m.Rows = append(m.Rows, row)
+			row = nil
+		}
+	}
+	for {
+		switch p.kind() {
+		case RBracket:
+			p.next()
+			endRow()
+			return m
+		case EOF:
+			p.errorf(p.tok().Pos, "unterminated matrix literal")
+			endRow()
+			return m
+		case Semicolon, Newline:
+			p.next()
+			endRow()
+		case Comma:
+			p.next()
+		default:
+			if !p.startsExpr(p.tok()) {
+				p.errorf(p.tok().Pos, "unexpected %s in matrix literal", p.tok())
+				p.next()
+				continue
+			}
+			row = append(row, p.parseExpr())
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package mlang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// exprOf parses src as a script containing one expression statement and
+// returns the canonical rendering of that expression.
+func exprOf(t *testing.T, src string) string {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if len(f.Script) != 1 {
+		t.Fatalf("parse %q: got %d statements", src, len(f.Script))
+	}
+	switch s := f.Script[0].(type) {
+	case *ExprStmt:
+		return ExprString(s.X)
+	case *AssignStmt:
+		return ExprString(s.Rhs)
+	}
+	t.Fatalf("parse %q: unexpected statement %T", src, f.Script[0])
+	return ""
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a + b * c", "(a + (b * c))"},
+		{"a * b + c", "((a * b) + c)"},
+		{"a - b - c", "((a - b) - c)"},
+		{"a / b * c", "((a / b) * c)"},
+		{"-a^2", "(-(a ^ 2))"},
+		{"a^-2", "(a ^ (-2))"},
+		{"2^3^4", "((2 ^ 3) ^ 4)"}, // MATLAB ^ is left-associative
+		{"a.*b+c", "((a .* b) + c)"},
+		{"a < b + c", "(a < (b + c))"},
+		{"a & b | c", "((a & b) | c)"},
+		{"a && b || c", "((a && b) || c)"},
+		{"a + b < c & d", "(((a + b) < c) & d)"},
+		{"~a & b", "((~a) & b)"},
+		{"a'", "(a')"},
+		{"a.'", "(a.')"},
+		{"a'*b", "((a') * b)"},
+		{"a^2'", "(a ^ (2'))"},
+		{"(a+b)*c", "((a + b) * c)"},
+		{"a\\b", "(a \\ b)"},
+	}
+	for _, c := range cases {
+		if got := exprOf(t, c.src); got != c.want {
+			t.Errorf("parse %q = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1:10", "(1:10)"},
+		{"1:2:10", "(1:2:10)"},
+		{"a:b+1", "(a:(b + 1))"},
+		{"1:n-1", "(1:(n - 1))"},
+		// Relationals bind looser than ranges.
+		{"1:3 == 2", "((1:3) == 2)"},
+	}
+	for _, c := range cases {
+		if got := exprOf(t, c.src); got != c.want {
+			t.Errorf("parse %q = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseCallsAndIndexing(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"f(x)", "f(x)"},
+		{"f(x, y)", "f(x, y)"},
+		{"f()", "f()"},
+		{"x(1:end)", "x((1:end))"},
+		{"x(end-1)", "x((end - 1))"},
+		{"x(:)", "x(:)"},
+		{"x(:, 2)", "x(:, 2)"},
+		{"x(i, j)'", "(x(i, j)')"},
+		{"f(g(x))", "f(g(x))"},
+		{"x(2)(3)", "x(2)(3)"}, // chained indexing parses; sema rejects
+	}
+	for _, c := range cases {
+		if got := exprOf(t, c.src); got != c.want {
+			t.Errorf("parse %q = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseMatrixLiterals(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"[1 2 3]", "[1, 2, 3]"},
+		{"[1, 2, 3]", "[1, 2, 3]"},
+		{"[1 2; 3 4]", "[1, 2; 3, 4]"},
+		{"[1 -2]", "[1, (-2)]"},
+		{"[1 - 2]", "[(1 - 2)]"},
+		{"[1-2]", "[(1 - 2)]"},
+		{"[1 + 2 3]", "[(1 + 2), 3]"},
+		{"[a b; c d]", "[a, b; c, d]"},
+		{"[]", "[]"},
+		{"[a' b]", "[(a'), b]"},
+		{"[f(x) g(y)]", "[f(x), g(y)]"},
+		{"[1\n2]", "[1; 2]"},
+		{"[(1 + 2) 3]", "[(1 + 2), 3]"},
+		{"[1:3]", "[(1:3)]"},
+	}
+	for _, c := range cases {
+		if got := exprOf(t, c.src); got != c.want {
+			t.Errorf("parse %q = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseComplexLiteral(t *testing.T) {
+	if got := exprOf(t, "2 + 3i"); got != "(2 + 3i)" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestParseAssignments(t *testing.T) {
+	f := MustParse("x = 1;\ny(3) = x + 2;\n[a, b] = f(x);\n[q r] = g();")
+	if len(f.Script) != 4 {
+		t.Fatalf("got %d statements", len(f.Script))
+	}
+	a0 := f.Script[0].(*AssignStmt)
+	if len(a0.Lhs) != 1 || ExprString(a0.Lhs[0]) != "x" {
+		t.Errorf("stmt 0: %v", ExprString(a0.Lhs[0]))
+	}
+	a1 := f.Script[1].(*AssignStmt)
+	if ExprString(a1.Lhs[0]) != "y(3)" {
+		t.Errorf("stmt 1 lhs: %v", ExprString(a1.Lhs[0]))
+	}
+	a2 := f.Script[2].(*AssignStmt)
+	if len(a2.Lhs) != 2 || ExprString(a2.Lhs[0]) != "a" || ExprString(a2.Lhs[1]) != "b" {
+		t.Errorf("stmt 2 lhs: %v", a2.Lhs)
+	}
+	a3 := f.Script[3].(*AssignStmt)
+	if len(a3.Lhs) != 2 {
+		t.Errorf("stmt 3: got %d targets", len(a3.Lhs))
+	}
+}
+
+func TestParseFunctionHeaders(t *testing.T) {
+	cases := []struct {
+		src    string
+		name   string
+		outs   []string
+		params []string
+	}{
+		{"function foo\nend", "foo", nil, nil},
+		{"function foo()\nend", "foo", nil, nil},
+		{"function y = foo(x)\nend", "foo", []string{"y"}, []string{"x"}},
+		{"function [a, b] = foo(x, y, z)\nend", "foo", []string{"a", "b"}, []string{"x", "y", "z"}},
+		{"function [a] = foo(x)\nend", "foo", []string{"a"}, []string{"x"}},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if len(f.Funcs) != 1 {
+			t.Fatalf("parse %q: %d funcs", c.src, len(f.Funcs))
+		}
+		fn := f.Funcs[0]
+		if fn.Name != c.name {
+			t.Errorf("parse %q: name %q", c.src, fn.Name)
+		}
+		if strings.Join(fn.Outs, ",") != strings.Join(c.outs, ",") {
+			t.Errorf("parse %q: outs %v, want %v", c.src, fn.Outs, c.outs)
+		}
+		if strings.Join(fn.Params, ",") != strings.Join(c.params, ",") {
+			t.Errorf("parse %q: params %v, want %v", c.src, fn.Params, c.params)
+		}
+	}
+}
+
+func TestParseMultipleFunctions(t *testing.T) {
+	src := `function y = f(x)
+y = g(x) + 1;
+end
+function y = g(x)
+y = x * 2;
+end`
+	f := MustParse(src)
+	if len(f.Funcs) != 2 || f.Funcs[0].Name != "f" || f.Funcs[1].Name != "g" {
+		t.Fatalf("got %d funcs", len(f.Funcs))
+	}
+	if len(f.Funcs[0].Body) != 1 || len(f.Funcs[1].Body) != 1 {
+		t.Errorf("bodies: %d, %d", len(f.Funcs[0].Body), len(f.Funcs[1].Body))
+	}
+}
+
+func TestParseFunctionsWithoutEnd(t *testing.T) {
+	// MATLAB allows function files where definitions are not closed by
+	// 'end'; the next 'function' or EOF terminates them.
+	src := "function y = f(x)\ny = x + 1;\n\nfunction y = g(x)\ny = x * 2;\n"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(f.Funcs))
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+if x > 0
+    y = 1;
+elseif x < 0
+    y = -1;
+else
+    y = 0;
+end
+for i = 1:10
+    s = s + i;
+end
+while s > 0
+    s = s - 1;
+    if s == 3
+        break
+    end
+    continue
+end
+return
+`
+	f := MustParse(src)
+	if len(f.Script) != 4 {
+		t.Fatalf("got %d statements", len(f.Script))
+	}
+	ifs := f.Script[0].(*IfStmt)
+	if len(ifs.Elifs) != 1 || ifs.Else == nil {
+		t.Error("if statement arms wrong")
+	}
+	fs := f.Script[1].(*ForStmt)
+	if fs.Var != "i" {
+		t.Errorf("for var %q", fs.Var)
+	}
+	if _, ok := fs.Range.(*RangeExpr); !ok {
+		t.Errorf("for range %T", fs.Range)
+	}
+	ws := f.Script[2].(*WhileStmt)
+	if len(ws.Body) != 3 {
+		t.Errorf("while body %d statements", len(ws.Body))
+	}
+	if _, ok := f.Script[3].(*ReturnStmt); !ok {
+		t.Errorf("stmt 3 is %T", f.Script[3])
+	}
+}
+
+func TestParseNestedLoops(t *testing.T) {
+	src := `for i = 1:n
+  for j = 1:m
+    c(i, j) = a(i, j) + b(i, j);
+  end
+end`
+	f := MustParse(src)
+	outer := f.Script[0].(*ForStmt)
+	inner := outer.Body[0].(*ForStmt)
+	if inner.Var != "j" {
+		t.Errorf("inner var %q", inner.Var)
+	}
+}
+
+func TestParseCommaSeparatedStatements(t *testing.T) {
+	f := MustParse("x = 1, y = 2; z = 3")
+	if len(f.Script) != 3 {
+		t.Fatalf("got %d statements, want 3", len(f.Script))
+	}
+}
+
+func TestParseSingleLineIf(t *testing.T) {
+	f := MustParse("if x > 0, y = 1; end")
+	ifs := f.Script[0].(*IfStmt)
+	if len(ifs.Then) != 1 {
+		t.Errorf("then body %d statements", len(ifs.Then))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x = ",
+		"if x\ny = 1", // missing end
+		"for = 1:10\nend",
+		"x = )",
+		"[1, 2 = 3", // bad multi-assign
+		"end",
+		"function = f(x)\nend",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("x = 1\ny = )")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line 2 position: %v", err)
+	}
+}
+
+func TestParseEndOnlyInsideIndex(t *testing.T) {
+	// 'end' as expression is only legal inside index context.
+	if _, err := Parse("x = end"); err == nil {
+		t.Error("expected error for bare 'end' expression")
+	}
+	f := MustParse("y = x(end)")
+	a := f.Script[0].(*AssignStmt)
+	call := a.Rhs.(*CallExpr)
+	if _, ok := call.Args[0].(*EndExpr); !ok {
+		t.Errorf("arg is %T, want EndExpr", call.Args[0])
+	}
+}
+
+// Property: Format(Parse(x)) is a fixpoint — parsing the formatted output
+// and formatting again yields identical text.
+func TestParseFormatFixpoint(t *testing.T) {
+	seeds := []string{
+		"x = a + b * c;",
+		"y = [1 2; 3 4] * x';",
+		"for i = 1:10\n s = s + f(i);\nend",
+		"function [a,b] = f(x)\na = x(1:end-1);\nb = sum(x.^2);\nend",
+		"if a < b && c ~= d\n x = -y;\nelse\n x = y;\nend",
+		"z = 2 + 3i;",
+		"while n > 0\n n = n - 1;\nend",
+	}
+	for _, src := range seeds {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		s1 := Format(f1)
+		f2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s1, err)
+		}
+		s2 := Format(f2)
+		if s1 != s2 {
+			t.Errorf("format not a fixpoint:\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+	}
+}
+
+// Property: the parser never panics on random token soup built from valid
+// lexemes.
+func TestParseNeverPanics(t *testing.T) {
+	lexemes := []string{"x", "1", "+", "-", "*", "(", ")", "[", "]", ";",
+		"=", "for", "end", "if", "while", ",", ":", "'a'", "function", "\n"}
+	f := func(idx []uint8) bool {
+		var sb strings.Builder
+		for _, i := range idx {
+			sb.WriteString(lexemes[int(i)%len(lexemes)])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String()) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: malformed output lists ("function [ \n") must not loop
+// forever in the header parser.
+func TestParseMalformedFunctionHeaderTerminates(t *testing.T) {
+	cases := []string{
+		"function ; function [ \n ",
+		"function [ \n",
+		"function [1] = f()\nend",
+		"function [a, , b] = f()\nend",
+	}
+	for _, src := range cases {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = Parse(src)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("parse %q did not terminate", src)
+		}
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	src := "x = " + strings.Repeat("(", 50) + "1" + strings.Repeat(")", 50)
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package mlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a File back to MATLAB-like source. The output is
+// normalized (canonical spacing, explicit parentheses elided by
+// precedence) and is intended for golden tests and diagnostics, not for
+// byte-exact round-tripping.
+func Format(f *File) string {
+	var b strings.Builder
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		formatFunc(&b, fn)
+	}
+	formatStmts(&b, f.Script, 0)
+	return b.String()
+}
+
+func formatFunc(b *strings.Builder, fn *FuncDecl) {
+	b.WriteString("function ")
+	switch len(fn.Outs) {
+	case 0:
+	case 1:
+		b.WriteString(fn.Outs[0] + " = ")
+	default:
+		b.WriteString("[" + strings.Join(fn.Outs, ", ") + "] = ")
+	}
+	b.WriteString(fn.Name + "(" + strings.Join(fn.Params, ", ") + ")\n")
+	formatStmts(b, fn.Body, 1)
+	b.WriteString("end\n")
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		formatStmt(b, s, ind, depth)
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, ind string, depth int) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		b.WriteString(ind)
+		if len(s.Lhs) == 1 {
+			b.WriteString(ExprString(s.Lhs[0]))
+		} else {
+			parts := make([]string, len(s.Lhs))
+			for i, l := range s.Lhs {
+				parts[i] = ExprString(l)
+			}
+			b.WriteString("[" + strings.Join(parts, ", ") + "]")
+		}
+		b.WriteString(" = " + ExprString(s.Rhs) + ";\n")
+	case *ExprStmt:
+		b.WriteString(ind + ExprString(s.X) + ";\n")
+	case *IfStmt:
+		b.WriteString(ind + "if " + ExprString(s.Cond) + "\n")
+		formatStmts(b, s.Then, depth+1)
+		for _, e := range s.Elifs {
+			b.WriteString(ind + "elseif " + ExprString(e.Cond) + "\n")
+			formatStmts(b, e.Body, depth+1)
+		}
+		if s.Else != nil {
+			b.WriteString(ind + "else\n")
+			formatStmts(b, s.Else, depth+1)
+		}
+		b.WriteString(ind + "end\n")
+	case *ForStmt:
+		b.WriteString(ind + "for " + s.Var + " = " + ExprString(s.Range) + "\n")
+		formatStmts(b, s.Body, depth+1)
+		b.WriteString(ind + "end\n")
+	case *WhileStmt:
+		b.WriteString(ind + "while " + ExprString(s.Cond) + "\n")
+		formatStmts(b, s.Body, depth+1)
+		b.WriteString(ind + "end\n")
+	case *SwitchStmt:
+		b.WriteString(ind + "switch " + ExprString(s.Subject) + "\n")
+		for _, c := range s.Cases {
+			b.WriteString(ind + "case " + ExprString(c.Value) + "\n")
+			formatStmts(b, c.Body, depth+1)
+		}
+		if s.Otherwise != nil {
+			b.WriteString(ind + "otherwise\n")
+			formatStmts(b, s.Otherwise, depth+1)
+		}
+		b.WriteString(ind + "end\n")
+	case *BreakStmt:
+		b.WriteString(ind + "break;\n")
+	case *ContinueStmt:
+		b.WriteString(ind + "continue;\n")
+	case *ReturnStmt:
+		b.WriteString(ind + "return;\n")
+	default:
+		b.WriteString(ind + fmt.Sprintf("<?stmt %T>\n", s))
+	}
+}
+
+// ExprString renders an expression with explicit parentheses around every
+// binary subexpression, making precedence decisions visible in goldens.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IdentExpr:
+		return e.Name
+	case *NumberExpr:
+		s := strconv.FormatFloat(e.Value, 'g', -1, 64)
+		if e.Imag {
+			s += "i"
+		}
+		return s
+	case *StringExpr:
+		return "'" + strings.ReplaceAll(e.Value, "'", "''") + "'"
+	case *MatrixExpr:
+		rows := make([]string, len(e.Rows))
+		for i, r := range e.Rows {
+			parts := make([]string, len(r))
+			for j, x := range r {
+				parts[j] = ExprString(x)
+			}
+			rows[i] = strings.Join(parts, ", ")
+		}
+		return "[" + strings.Join(rows, "; ") + "]"
+	case *RangeExpr:
+		if e.Step != nil {
+			return fmt.Sprintf("(%s:%s:%s)", ExprString(e.Start), ExprString(e.Step), ExprString(e.Stop))
+		}
+		return fmt.Sprintf("(%s:%s)", ExprString(e.Start), ExprString(e.Stop))
+	case *ColonExpr:
+		return ":"
+	case *EndExpr:
+		return "end"
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.X), e.Op, ExprString(e.Y))
+	case *UnaryExpr:
+		return fmt.Sprintf("(%s%s)", e.Op, ExprString(e.X))
+	case *TransposeExpr:
+		if e.Conj {
+			return fmt.Sprintf("(%s')", ExprString(e.X))
+		}
+		return fmt.Sprintf("(%s.')", ExprString(e.X))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return ExprString(e.Fun) + "(" + strings.Join(args, ", ") + ")"
+	}
+	return fmt.Sprintf("<?expr %T>", e)
+}

@@ -1,0 +1,157 @@
+// Package mlang implements the MATLAB-subset front end of the compiler:
+// lexical analysis, the abstract syntax tree, and a recursive-descent
+// parser. The subset covered is the one exercised by DSP kernels: function
+// definitions with multiple return values, control flow (if/elseif/else,
+// for, while, break, continue, return), matrix literals, ranges, array
+// indexing and slicing, element-wise and matrix operators, complex
+// literals, and the `end` keyword inside index expressions.
+package mlang
+
+import "fmt"
+
+// Kind enumerates lexical token kinds.
+type Kind int
+
+// Token kinds. Operator kinds mirror MATLAB's operator set.
+const (
+	EOF Kind = iota
+	Newline
+	Ident
+	Number  // numeric literal, possibly imaginary (1i, 2.5e-3j)
+	String  // single-quoted character vector
+	Comment // retained for tooling; parser skips
+
+	// Keywords.
+	KwFunction
+	KwEnd
+	KwIf
+	KwElseif
+	KwElse
+	KwFor
+	KwWhile
+	KwBreak
+	KwContinue
+	KwReturn
+	KwSwitch
+	KwCase
+	KwOtherwise
+
+	// Punctuation.
+	LParen
+	RParen
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Colon
+	Assign // =
+
+	// Operators.
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Backslash // \
+	Caret     // ^
+	DotStar   // .*
+	DotSlash  // ./
+	DotCaret  // .^
+	Quote     // ' (ctranspose in operator position)
+	DotQuote  // .'
+	Lt        // <
+	Le        // <=
+	Gt        // >
+	Ge        // >=
+	EqEq      // ==
+	Ne        // ~=
+	AndAnd    // &&
+	OrOr      // ||
+	Amp       // &
+	Pipe      // |
+	Not       // ~
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Newline: "newline", Ident: "identifier", Number: "number",
+	String: "string", Comment: "comment",
+	KwFunction: "'function'", KwEnd: "'end'", KwIf: "'if'", KwElseif: "'elseif'",
+	KwElse: "'else'", KwFor: "'for'", KwWhile: "'while'", KwBreak: "'break'",
+	KwContinue: "'continue'", KwReturn: "'return'",
+	KwSwitch: "'switch'", KwCase: "'case'", KwOtherwise: "'otherwise'",
+	LParen: "'('", RParen: "')'", LBracket: "'['", RBracket: "']'",
+	Comma: "','", Semicolon: "';'", Colon: "':'", Assign: "'='",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'", Backslash: "'\\'",
+	Caret: "'^'", DotStar: "'.*'", DotSlash: "'./'", DotCaret: "'.^'",
+	Quote: "transpose '", DotQuote: "'.''", Lt: "'<'", Le: "'<='", Gt: "'>'",
+	Ge: "'>='", EqEq: "'=='", Ne: "'~='", AndAnd: "'&&'", OrOr: "'||'",
+	Amp: "'&'", Pipe: "'|'", Not: "'~'",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Valid reports whether the position has been set.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+// Token is a lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+
+	// SpaceBefore records whether whitespace (or a line continuation)
+	// immediately preceded this token. The parser needs it to resolve
+	// MATLAB's matrix-literal ambiguity: inside brackets, "[1 -2]" is two
+	// elements while "[1 - 2]" and "[1-2]" are one.
+	SpaceBefore bool
+
+	// Imag is set on Number tokens carrying an i/j suffix.
+	Imag bool
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Number, String, Comment:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+var keywords = map[string]Kind{
+	"function":  KwFunction,
+	"end":       KwEnd,
+	"if":        KwIf,
+	"elseif":    KwElseif,
+	"else":      KwElse,
+	"for":       KwFor,
+	"while":     KwWhile,
+	"break":     KwBreak,
+	"continue":  KwContinue,
+	"return":    KwReturn,
+	"switch":    KwSwitch,
+	"case":      KwCase,
+	"otherwise": KwOtherwise,
+}
+
+// KeywordKind returns the keyword kind for an identifier, or Ident.
+func KeywordKind(s string) Kind {
+	if k, ok := keywords[s]; ok {
+		return k
+	}
+	return Ident
+}

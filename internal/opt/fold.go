@@ -1,0 +1,418 @@
+package opt
+
+import (
+	"math"
+	"math/cmplx"
+
+	"mat2c/internal/ir"
+)
+
+// Fold performs constant folding and algebraic simplification over the
+// whole function. It returns whether anything changed.
+func Fold(f *ir.Func) bool {
+	changed := false
+	WalkStmts(f.Body, func(s ir.Stmt) {
+		RewriteStmtExprs(s, func(e ir.Expr) ir.Expr {
+			ne := foldExpr(e)
+			if ne != e {
+				changed = true
+			}
+			return ne
+		})
+	})
+	return changed
+}
+
+func cint(e ir.Expr) (int64, bool) {
+	c, ok := e.(*ir.ConstInt)
+	if !ok {
+		return 0, false
+	}
+	return c.V, true
+}
+
+func cfloat(e ir.Expr) (float64, bool) {
+	c, ok := e.(*ir.ConstFloat)
+	if !ok {
+		return 0, false
+	}
+	return c.V, true
+}
+
+func isConst(e ir.Expr) bool {
+	switch e.(type) {
+	case *ir.ConstInt, *ir.ConstFloat, *ir.ConstComplex:
+		return true
+	}
+	return false
+}
+
+// foldExpr rewrites one node (children already folded).
+func foldExpr(e ir.Expr) ir.Expr {
+	switch x := e.(type) {
+	case *ir.Bin:
+		return foldBin(x)
+	case *ir.Un:
+		return foldUn(x)
+	case *ir.Select:
+		// A constant predicate picks one arm (the arms are pure).
+		if c, ok := cint(x.Cond); ok {
+			if c != 0 {
+				return x.Then
+			}
+			return x.Else
+		}
+		if c, ok := cfloat(x.Cond); ok {
+			if c != 0 {
+				return x.Then
+			}
+			return x.Else
+		}
+	}
+	return e
+}
+
+func foldBin(x *ir.Bin) ir.Expr {
+	if x.K.Lanes > 1 {
+		return x // vector nodes are produced post-fold; leave them alone
+	}
+	// Canonicalize: constant operand to the right for commutative ops.
+	if x.Op.Commutative() && isConst(x.X) && !isConst(x.Y) {
+		x = &ir.Bin{Op: x.Op, X: x.Y, Y: x.X, K: x.K}
+	}
+
+	// Full constant folding.
+	if folded, ok := foldConstBin(x); ok {
+		return folded
+	}
+
+	// Integer add/sub chain combining: (v ± c1) ± c2 → v ± c.
+	if x.K.Base == ir.Int && (x.Op == ir.OpAdd || x.Op == ir.OpSub) {
+		if c2, ok := cint(x.Y); ok {
+			if inner, iok := x.X.(*ir.Bin); iok && inner.K.Base == ir.Int &&
+				(inner.Op == ir.OpAdd || inner.Op == ir.OpSub) {
+				if c1, ok := cint(inner.Y); ok {
+					s1, s2 := c1, c2
+					if inner.Op == ir.OpSub {
+						s1 = -s1
+					}
+					if x.Op == ir.OpSub {
+						s2 = -s2
+					}
+					total := s1 + s2
+					switch {
+					case total == 0:
+						return inner.X
+					case total > 0:
+						return &ir.Bin{Op: ir.OpAdd, X: inner.X, Y: ir.CI(total), K: x.K}
+					default:
+						return &ir.Bin{Op: ir.OpSub, X: inner.X, Y: ir.CI(-total), K: x.K}
+					}
+				}
+			}
+		}
+	}
+
+	// Identities.
+	switch x.Op {
+	case ir.OpAdd:
+		if c, ok := cint(x.Y); ok && c == 0 {
+			return x.X
+		}
+		if c, ok := cfloat(x.Y); ok && c == 0 && x.K.Base == x.X.Kind().Base {
+			return x.X
+		}
+	case ir.OpSub:
+		if c, ok := cint(x.Y); ok && c == 0 {
+			return x.X
+		}
+		if c, ok := cfloat(x.Y); ok && c == 0 && x.K.Base == x.X.Kind().Base {
+			return x.X
+		}
+	case ir.OpMul:
+		if c, ok := cint(x.Y); ok {
+			switch c {
+			case 1:
+				return x.X
+			case 0:
+				if x.K.Base == ir.Int && !mayFault(x.X) {
+					return ir.CI(0)
+				}
+			}
+		}
+		if c, ok := cfloat(x.Y); ok && c == 1 && x.K.Base == x.X.Kind().Base {
+			return x.X
+		}
+	case ir.OpDiv:
+		if c, ok := cint(x.Y); ok && c == 1 {
+			return x.X
+		}
+		if c, ok := cfloat(x.Y); ok && c == 1 && x.K.Base == x.X.Kind().Base {
+			return x.X
+		}
+	case ir.OpPow:
+		if c, ok := cfloat(x.Y); ok {
+			switch c {
+			case 1:
+				return x.X
+			case 2:
+				return &ir.Bin{Op: ir.OpMul, X: x.X, Y: x.X, K: x.K}
+			}
+		}
+		if c, ok := cint(x.Y); ok {
+			switch c {
+			case 1:
+				return x.X
+			case 2:
+				return &ir.Bin{Op: ir.OpMul, X: x.X, Y: x.X, K: x.K}
+			}
+		}
+	}
+	return x
+}
+
+func foldConstBin(x *ir.Bin) (ir.Expr, bool) {
+	// Int × Int.
+	if a, ok := cint(x.X); ok {
+		if b, ok := cint(x.Y); ok {
+			switch x.Op {
+			case ir.OpAdd:
+				return ir.CI(a + b), true
+			case ir.OpSub:
+				return ir.CI(a - b), true
+			case ir.OpMul:
+				return ir.CI(a * b), true
+			case ir.OpDiv:
+				if b != 0 {
+					if x.K.Base == ir.Float {
+						return ir.CF(float64(a) / float64(b)), true
+					}
+					return ir.CI(a / b), true
+				}
+			case ir.OpRem:
+				if b != 0 {
+					return ir.CI(a % b), true
+				}
+			case ir.OpMin:
+				if a < b {
+					return ir.CI(a), true
+				}
+				return ir.CI(b), true
+			case ir.OpMax:
+				if a > b {
+					return ir.CI(a), true
+				}
+				return ir.CI(b), true
+			case ir.OpLt:
+				return ir.CI(b2i(a < b)), true
+			case ir.OpLe:
+				return ir.CI(b2i(a <= b)), true
+			case ir.OpGt:
+				return ir.CI(b2i(a > b)), true
+			case ir.OpGe:
+				return ir.CI(b2i(a >= b)), true
+			case ir.OpEq:
+				return ir.CI(b2i(a == b)), true
+			case ir.OpNe:
+				return ir.CI(b2i(a != b)), true
+			case ir.OpAnd:
+				return ir.CI(b2i(a != 0 && b != 0)), true
+			case ir.OpOr:
+				return ir.CI(b2i(a != 0 || b != 0)), true
+			case ir.OpPow:
+				return ir.CF(math.Pow(float64(a), float64(b))), true
+			}
+			return nil, false
+		}
+	}
+	// Float × Float (allowing int constants promoted).
+	af, aok := constAsFloat(x.X)
+	bf, bok := constAsFloat(x.Y)
+	if aok && bok && x.K.Base != ir.Complex {
+		var r float64
+		switch x.Op {
+		case ir.OpAdd:
+			r = af + bf
+		case ir.OpSub:
+			r = af - bf
+		case ir.OpMul:
+			r = af * bf
+		case ir.OpDiv:
+			if bf == 0 {
+				return nil, false
+			}
+			r = af / bf
+		case ir.OpRem:
+			r = math.Mod(af, bf)
+		case ir.OpPow:
+			r = math.Pow(af, bf)
+		case ir.OpMin:
+			r = math.Min(af, bf)
+		case ir.OpMax:
+			r = math.Max(af, bf)
+		case ir.OpLt:
+			return ir.CI(b2i(af < bf)), true
+		case ir.OpLe:
+			return ir.CI(b2i(af <= bf)), true
+		case ir.OpGt:
+			return ir.CI(b2i(af > bf)), true
+		case ir.OpGe:
+			return ir.CI(b2i(af >= bf)), true
+		case ir.OpEq:
+			return ir.CI(b2i(af == bf)), true
+		case ir.OpNe:
+			return ir.CI(b2i(af != bf)), true
+		default:
+			return nil, false
+		}
+		if x.K.Base == ir.Int {
+			return ir.CI(int64(r)), true
+		}
+		return ir.CF(r), true
+	}
+	// Complex constants.
+	ac, aok := constAsComplex(x.X)
+	bc, bok := constAsComplex(x.Y)
+	if aok && bok && x.K.Base == ir.Complex {
+		switch x.Op {
+		case ir.OpAdd:
+			return ir.CC(ac + bc), true
+		case ir.OpSub:
+			return ir.CC(ac - bc), true
+		case ir.OpMul:
+			return ir.CC(ac * bc), true
+		case ir.OpDiv:
+			if bc != 0 {
+				return ir.CC(ac / bc), true
+			}
+		case ir.OpPow:
+			return ir.CC(cmplx.Pow(ac, bc)), true
+		}
+	}
+	return nil, false
+}
+
+func constAsFloat(e ir.Expr) (float64, bool) {
+	switch c := e.(type) {
+	case *ir.ConstInt:
+		return float64(c.V), true
+	case *ir.ConstFloat:
+		return c.V, true
+	}
+	return 0, false
+}
+
+func constAsComplex(e ir.Expr) (complex128, bool) {
+	switch c := e.(type) {
+	case *ir.ConstInt:
+		return complex(float64(c.V), 0), true
+	case *ir.ConstFloat:
+		return complex(c.V, 0), true
+	case *ir.ConstComplex:
+		return c.V, true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func foldUn(x *ir.Un) ir.Expr {
+	if x.K.Lanes > 1 {
+		return x
+	}
+	switch x.Op {
+	case ir.OpNeg:
+		if c, ok := cint(x.X); ok {
+			if x.K.Base == ir.Float {
+				return ir.CF(float64(-c))
+			}
+			return ir.CI(-c)
+		}
+		if c, ok := cfloat(x.X); ok {
+			return ir.CF(-c)
+		}
+		if c, ok := x.X.(*ir.ConstComplex); ok {
+			return ir.CC(-c.V)
+		}
+		if inner, ok := x.X.(*ir.Un); ok && inner.Op == ir.OpNeg && inner.K == x.K {
+			return inner.X
+		}
+	case ir.OpNot:
+		if c, ok := cint(x.X); ok {
+			return ir.CI(b2i(c == 0))
+		}
+		if c, ok := cfloat(x.X); ok {
+			return ir.CI(b2i(c == 0))
+		}
+	case ir.OpToFloat:
+		if c, ok := cint(x.X); ok {
+			return ir.CF(float64(c))
+		}
+		if _, ok := cfloat(x.X); ok {
+			return x.X
+		}
+	case ir.OpToInt:
+		if c, ok := cfloat(x.X); ok {
+			return ir.CI(int64(math.Round(c)))
+		}
+		if _, ok := cint(x.X); ok {
+			return x.X
+		}
+		// toint(tofloat(x)) == x
+		if inner, ok := x.X.(*ir.Un); ok && inner.Op == ir.OpToFloat &&
+			inner.X.Kind().Base == ir.Int && x.K.Base == ir.Int {
+			return inner.X
+		}
+	case ir.OpToComplex:
+		if c, ok := constAsComplex(x.X); ok {
+			return ir.CC(c)
+		}
+	case ir.OpFloor, ir.OpCeil, ir.OpRound, ir.OpTrunc:
+		if c, ok := cfloat(x.X); ok {
+			var r float64
+			switch x.Op {
+			case ir.OpFloor:
+				r = math.Floor(c)
+			case ir.OpCeil:
+				r = math.Ceil(c)
+			case ir.OpRound:
+				r = math.Round(c)
+			default:
+				r = math.Trunc(c)
+			}
+			if x.K.Base == ir.Int {
+				return ir.CI(int64(r))
+			}
+			return ir.CF(r)
+		}
+		if _, ok := cint(x.X); ok && x.K.Base == ir.Int {
+			return x.X
+		}
+	case ir.OpAbs:
+		if c, ok := cfloat(x.X); ok {
+			return ir.CF(math.Abs(c))
+		}
+	case ir.OpSqrt:
+		if c, ok := cfloat(x.X); ok && c >= 0 && x.K.Base == ir.Float {
+			return ir.CF(math.Sqrt(c))
+		}
+	case ir.OpRe:
+		if c, ok := x.X.(*ir.ConstComplex); ok {
+			return ir.CF(real(c.V))
+		}
+	case ir.OpIm:
+		if c, ok := x.X.(*ir.ConstComplex); ok {
+			return ir.CF(imag(c.V))
+		}
+	case ir.OpConj:
+		if c, ok := x.X.(*ir.ConstComplex); ok {
+			return ir.CC(cmplx.Conj(c.V))
+		}
+	}
+	return x
+}

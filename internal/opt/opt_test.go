@@ -1,0 +1,573 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/lower"
+	"mat2c/internal/mlang"
+	"mat2c/internal/sema"
+)
+
+func foldOne(t *testing.T, e ir.Expr) ir.Expr {
+	t.Helper()
+	f := ir.NewFunc("t")
+	dst := f.NewSym("y", e.Kind().Base, false)
+	f.Results = []*ir.Sym{dst}
+	f.Body = []ir.Stmt{&ir.Assign{Dst: dst, Src: e}}
+	Fold(f)
+	return f.Body[0].(*ir.Assign).Src
+}
+
+func TestFoldConstants(t *testing.T) {
+	cases := []struct {
+		in   ir.Expr
+		want string
+	}{
+		{ir.B(ir.OpAdd, ir.CI(2), ir.CI(3)), "5"},
+		{ir.B(ir.OpMul, ir.CI(4), ir.CI(5)), "20"},
+		{ir.B(ir.OpSub, ir.CF(1.5), ir.CF(0.5)), "1f"},
+		{ir.B(ir.OpLt, ir.CI(1), ir.CI(2)), "1"},
+		{ir.B(ir.OpMax, ir.CI(3), ir.CI(7)), "7"},
+		{ir.U(ir.OpNeg, ir.CI(5), ir.KInt), "-5"},
+		{ir.U(ir.OpToFloat, ir.CI(3), ir.KFloat), "3f"},
+		{ir.U(ir.OpFloor, ir.CF(2.7), ir.KInt), "2"},
+		{ir.B(ir.OpMul, ir.CC(1+2i), ir.CC(3-1i)), "(5+5i)"},
+	}
+	for _, c := range cases {
+		got := ir.ExprStr(foldOne(t, c.in))
+		if got != c.want {
+			t.Errorf("fold %s = %s, want %s", ir.ExprStr(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFoldIdentities(t *testing.T) {
+	f := ir.NewFunc("t")
+	x := f.NewSym("x", ir.Int, false)
+	cases := []struct {
+		in   ir.Expr
+		want string
+	}{
+		{ir.B(ir.OpAdd, ir.V(x), ir.CI(0)), "x#1"},
+		{ir.B(ir.OpAdd, ir.CI(0), ir.V(x)), "x#1"}, // canonicalized then folded
+		{ir.B(ir.OpMul, ir.V(x), ir.CI(1)), "x#1"},
+		{ir.B(ir.OpMul, ir.CI(1), ir.V(x)), "x#1"},
+		{ir.B(ir.OpSub, ir.V(x), ir.CI(0)), "x#1"},
+		{ir.B(ir.OpDiv, ir.V(x), ir.CI(1)), "x#1"},
+		{ir.B(ir.OpMul, ir.V(x), ir.CI(0)), "0"},
+		// (x + 1) - 1 → x
+		{ir.B(ir.OpSub, ir.B(ir.OpAdd, ir.V(x), ir.CI(1)), ir.CI(1)), "x#1"},
+		// (x + 2) + 3 → x + 5
+		{ir.B(ir.OpAdd, ir.B(ir.OpAdd, ir.V(x), ir.CI(2)), ir.CI(3)), "add(x#1, 5)"},
+		// (x - 2) + 5 → x + 3
+		{ir.B(ir.OpAdd, ir.B(ir.OpSub, ir.V(x), ir.CI(2)), ir.CI(5)), "add(x#1, 3)"},
+		// (1 + x) - 1 → x  (const canonicalized right first)
+		{ir.B(ir.OpSub, ir.B(ir.OpAdd, ir.CI(1), ir.V(x)), ir.CI(1)), "x#1"},
+	}
+	for _, c := range cases {
+		fn := ir.NewFunc("t")
+		dst := fn.NewSym("y", ir.Int, false)
+		fn.Results = []*ir.Sym{dst}
+		fn.Body = []ir.Stmt{&ir.Assign{Dst: dst, Src: c.in}}
+		for i := 0; i < 3; i++ {
+			Fold(fn)
+		}
+		got := ir.ExprStr(fn.Body[0].(*ir.Assign).Src)
+		if got != c.want {
+			t.Errorf("fold %s = %s, want %s", ir.ExprStr(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFoldDoesNotFoldFloatTimesZero(t *testing.T) {
+	f := ir.NewFunc("t")
+	x := f.NewSym("x", ir.Float, false)
+	e := foldOne(t, ir.B(ir.OpMul, ir.V(x), ir.CF(0)))
+	if _, isConst := e.(*ir.ConstFloat); isConst {
+		t.Error("x*0.0 must not fold (NaN/Inf semantics)")
+	}
+}
+
+func TestFoldPowToMul(t *testing.T) {
+	f := ir.NewFunc("t")
+	x := f.NewSym("x", ir.Float, false)
+	e := foldOne(t, &ir.Bin{Op: ir.OpPow, X: ir.V(x), Y: ir.CF(2), K: ir.KFloat})
+	if !strings.Contains(ir.ExprStr(e), "mul") {
+		t.Errorf("x^2 should strength-reduce to mul, got %s", ir.ExprStr(e))
+	}
+}
+
+// pipeline compiles a MATLAB source with and without optimization and
+// checks both produce identical results on the given inputs.
+func pipelineCheck(t *testing.T, src string, params []sema.Type, args func() []interface{}) {
+	t.Helper()
+	file, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := file.Funcs[0].Name
+	info, err := sema.Analyze(file, entry, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optd, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(optd, 1)
+
+	a1 := args()
+	a2 := make([]interface{}, len(a1))
+	for i, a := range a1 {
+		if arr, ok := a.(*ir.Array); ok {
+			a2[i] = arr.Clone()
+		} else {
+			a2[i] = a
+		}
+	}
+	ev := &ir.Evaluator{}
+	r1, err := ev.Run(plain, a1...)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	ev2 := &ir.Evaluator{}
+	r2, err := ev2.Run(optd, a2...)
+	if err != nil {
+		t.Fatalf("optimized run: %v\nIR:\n%s", err, ir.Print(optd))
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("result counts differ")
+	}
+	for i := range r1 {
+		if !resultEq(r1[i], r2[i]) {
+			t.Errorf("result %d differs: plain=%v optimized=%v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func resultEq(a, b interface{}) bool {
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		return ok && (x == y || math.IsNaN(x) && math.IsNaN(y) || math.Abs(x-y) < 1e-9*(1+math.Abs(x)))
+	case int64:
+		y, ok := b.(int64)
+		return ok && x == y
+	case complex128:
+		y, ok := b.(complex128)
+		return ok && x == y
+	case *ir.Array:
+		y, ok := b.(*ir.Array)
+		if !ok || x.Rows != y.Rows || x.Cols != y.Cols || x.Elem != y.Elem {
+			return false
+		}
+		for i := 0; i < x.Len(); i++ {
+			d := x.At(i) - y.At(i)
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func dynVec() sema.Type {
+	return sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func randVec(n int, r *rand.Rand) *ir.Array {
+	a := ir.NewFloatArray(1, n)
+	for i := range a.F {
+		a.F[i] = r.NormFloat64()
+	}
+	return a
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	kernels := []struct {
+		src    string
+		params []sema.Type
+		args   func() []interface{}
+	}{
+		{
+			src: `function y = k1(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(i) * 2 + 1;
+end
+end`,
+			params: []sema.Type{dynVec()},
+			args:   func() []interface{} { return []interface{}{randVec(17, r)} },
+		},
+		{
+			src: `function s = k2(x)
+s = 0;
+for i = 1:length(x)
+    if x(i) > 0
+        s = s + x(i) * x(i);
+    else
+        s = s - 1;
+    end
+end
+end`,
+			params: []sema.Type{dynVec()},
+			args:   func() []interface{} { return []interface{}{randVec(33, r)} },
+		},
+		{
+			src: `function y = k3(a, b)
+y = sum(a .* b) / length(a) + max(a) - min(b);
+end`,
+			params: []sema.Type{dynVec(), dynVec()},
+			args: func() []interface{} {
+				return []interface{}{randVec(16, r), randVec(16, r)}
+			},
+		},
+		{
+			src: `function y = k4(x)
+y = zeros(1, 4);
+for i = 1:4
+    y(i) = i * i;
+end
+y = y + x(1);
+end`,
+			params: []sema.Type{dynVec()},
+			args:   func() []interface{} { return []interface{}{randVec(3, r)} },
+		},
+		{
+			src: `function s = k5(n)
+s = 0;
+m = 1;
+while m < n
+    s = s + m;
+    m = m * 2;
+end
+end`,
+			params: []sema.Type{sema.IntScalar},
+			args:   func() []interface{} { return []interface{}{int64(100)} },
+		},
+	}
+	for i, k := range kernels {
+		for trial := 0; trial < 3; trial++ {
+			pipelineCheck(t, k.src, k.params, k.args)
+		}
+		_ = i
+	}
+}
+
+func TestDCERemovesDeadAssign(t *testing.T) {
+	f := ir.NewFunc("t")
+	x := f.NewSym("x", ir.Float, false)
+	y := f.NewSym("y", ir.Float, false)
+	f.Results = []*ir.Sym{y}
+	f.Body = []ir.Stmt{
+		&ir.Assign{Dst: x, Src: ir.CF(1)}, // dead
+		&ir.Assign{Dst: y, Src: ir.CF(2)},
+	}
+	if !DCE(f) {
+		t.Fatal("DCE reported no change")
+	}
+	if len(f.Body) != 1 {
+		t.Errorf("body has %d statements, want 1", len(f.Body))
+	}
+}
+
+func TestDCEKeepsResultChain(t *testing.T) {
+	f := ir.NewFunc("t")
+	x := f.NewSym("x", ir.Float, false)
+	y := f.NewSym("y", ir.Float, false)
+	f.Results = []*ir.Sym{y}
+	f.Body = []ir.Stmt{
+		&ir.Assign{Dst: x, Src: ir.CF(1)},
+		&ir.Assign{Dst: y, Src: ir.B(ir.OpAdd, ir.V(x), ir.CF(1))},
+	}
+	DCE(f)
+	if len(f.Body) != 2 {
+		t.Errorf("body has %d statements, want 2", len(f.Body))
+	}
+}
+
+func TestDCERemovesDeadArray(t *testing.T) {
+	f := ir.NewFunc("t")
+	a := f.NewSym("a", ir.Float, true)
+	y := f.NewSym("y", ir.Float, false)
+	f.Results = []*ir.Sym{y}
+	k := f.NewSym("k", ir.Int, false)
+	f.Body = []ir.Stmt{
+		&ir.Alloc{Arr: a, Rows: ir.CI(1), Cols: ir.CI(8)},
+		&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.CI(7), Step: 1, Body: []ir.Stmt{
+			&ir.Store{Arr: a, Index: ir.V(k), Val: ir.CF(1)},
+		}},
+		&ir.Assign{Dst: y, Src: ir.CF(3)},
+	}
+	DCE(f)
+	if len(f.Body) != 1 {
+		t.Errorf("body has %d statements, want 1:\n%s", len(f.Body), ir.Print(f))
+	}
+}
+
+func TestDCEKeepsWhile(t *testing.T) {
+	f := ir.NewFunc("t")
+	y := f.NewSym("y", ir.Float, false)
+	f.Results = []*ir.Sym{y}
+	f.Body = []ir.Stmt{
+		&ir.Assign{Dst: y, Src: ir.CF(1)},
+		&ir.While{Cond: ir.CI(0), Body: nil},
+	}
+	DCE(f)
+	if len(f.Body) != 2 {
+		t.Error("While must not be removed")
+	}
+}
+
+func TestCopyPropSimple(t *testing.T) {
+	f := ir.NewFunc("t")
+	a := f.NewSym("a", ir.Float, false)
+	b := f.NewSym("b", ir.Float, false)
+	y := f.NewSym("y", ir.Float, false)
+	f.Params = []*ir.Sym{a}
+	f.Results = []*ir.Sym{y}
+	f.Body = []ir.Stmt{
+		&ir.Assign{Dst: b, Src: ir.V(a)},
+		&ir.Assign{Dst: y, Src: ir.B(ir.OpAdd, ir.V(b), ir.V(b))},
+	}
+	CopyProp(f)
+	src := ir.ExprStr(f.Body[1].(*ir.Assign).Src)
+	if !strings.Contains(src, "a#") || strings.Contains(src, "b#") {
+		t.Errorf("copy not propagated: %s", src)
+	}
+}
+
+func TestCopyPropInvalidatedByReassign(t *testing.T) {
+	f := ir.NewFunc("t")
+	a := f.NewSym("a", ir.Float, false)
+	b := f.NewSym("b", ir.Float, false)
+	y := f.NewSym("y", ir.Float, false)
+	f.Params = []*ir.Sym{a}
+	f.Results = []*ir.Sym{y}
+	f.Body = []ir.Stmt{
+		&ir.Assign{Dst: b, Src: ir.V(a)},
+		&ir.Assign{Dst: a, Src: ir.CF(99)},
+		&ir.Assign{Dst: y, Src: ir.V(b)},
+	}
+	CopyProp(f)
+	src := ir.ExprStr(f.Body[2].(*ir.Assign).Src)
+	if !strings.Contains(src, "b#") {
+		t.Errorf("stale copy propagated: %s", src)
+	}
+}
+
+func TestCSESharesComputation(t *testing.T) {
+	f := ir.NewFunc("t")
+	a := f.NewSym("a", ir.Float, false)
+	u := f.NewSym("u", ir.Float, false)
+	v := f.NewSym("v", ir.Float, false)
+	y := f.NewSym("y", ir.Float, false)
+	f.Params = []*ir.Sym{a}
+	f.Results = []*ir.Sym{y}
+	expr := func() ir.Expr { return ir.B(ir.OpMul, ir.V(a), ir.V(a)) }
+	f.Body = []ir.Stmt{
+		&ir.Assign{Dst: u, Src: expr()},
+		&ir.Assign{Dst: v, Src: expr()},
+		&ir.Assign{Dst: y, Src: ir.B(ir.OpAdd, ir.V(u), ir.V(v))},
+	}
+	if !CSE(f) {
+		t.Fatal("CSE reported no change")
+	}
+	src := ir.ExprStr(f.Body[1].(*ir.Assign).Src)
+	if !strings.Contains(src, "u#") {
+		t.Errorf("v should become copy of u, got %s", src)
+	}
+}
+
+func TestLICMHoistsInvariant(t *testing.T) {
+	f := ir.NewFunc("t")
+	n := f.NewSym("n", ir.Int, false)
+	m := f.NewSym("m", ir.Int, false)
+	y := f.NewSym("y", ir.Float, true)
+	k := f.NewSym("k", ir.Int, false)
+	f.Params = []*ir.Sym{n, m}
+	f.Results = []*ir.Sym{y}
+	// store y[k + n*m*2] inside the loop: n*m*2 is invariant.
+	f.Body = []ir.Stmt{
+		&ir.Alloc{Arr: y, Rows: ir.CI(1), Cols: ir.CI(64)},
+		&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.CI(7), Step: 1, Body: []ir.Stmt{
+			&ir.Store{Arr: y, Index: ir.IAdd(ir.V(k), ir.B(ir.OpMul, ir.B(ir.OpMul, ir.V(n), ir.V(m)), ir.CI(2))), Val: ir.CF(1)},
+		}},
+	}
+	if !LICM(f) {
+		t.Fatal("LICM reported no change")
+	}
+	// Preheader assign must precede the loop.
+	if _, ok := f.Body[1].(*ir.Assign); !ok {
+		t.Errorf("expected hoisted assign before loop:\n%s", ir.Print(f))
+	}
+	// Semantics: y[k + n*m*2] with n=2,m=1 → indices 4..11 set.
+	ev := &ir.Evaluator{}
+	res, err := ev.Run(f, int64(2), int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := res[0].(*ir.Array)
+	if arr.F[4] != 1 || arr.F[11] != 1 || arr.F[3] != 0 || arr.F[12] != 0 {
+		t.Errorf("wrong store pattern: %v", arr.F[:16])
+	}
+}
+
+func TestUnrollSmallLoop(t *testing.T) {
+	f := ir.NewFunc("t")
+	y := f.NewSym("y", ir.Float, false)
+	k := f.NewSym("k", ir.Int, false)
+	f.Results = []*ir.Sym{y}
+	f.Body = []ir.Stmt{
+		&ir.Assign{Dst: y, Src: ir.CF(0)},
+		&ir.For{Var: k, Lo: ir.CI(1), Hi: ir.CI(3), Step: 1, Body: []ir.Stmt{
+			&ir.Assign{Dst: y, Src: ir.B(ir.OpAdd, ir.V(y), ir.U(ir.OpToFloat, ir.V(k), ir.KFloat))},
+		}},
+	}
+	if !Unroll(f) {
+		t.Fatal("Unroll reported no change")
+	}
+	for _, s := range f.Body {
+		if _, ok := s.(*ir.For); ok {
+			t.Fatal("loop not unrolled")
+		}
+	}
+	ev := &ir.Evaluator{}
+	res, err := ev.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(float64) != 6 {
+		t.Errorf("got %v, want 6", res[0])
+	}
+}
+
+func TestUnrollSkipsLargeAndZeroTrip(t *testing.T) {
+	f := ir.NewFunc("t")
+	y := f.NewSym("y", ir.Float, false)
+	k := f.NewSym("k", ir.Int, false)
+	f.Results = []*ir.Sym{y}
+	big := &ir.For{Var: k, Lo: ir.CI(0), Hi: ir.CI(1000), Step: 1, Body: []ir.Stmt{
+		&ir.Assign{Dst: y, Src: ir.V(y)},
+	}}
+	zero := &ir.For{Var: k, Lo: ir.CI(5), Hi: ir.CI(1), Step: 1, Body: []ir.Stmt{
+		&ir.Assign{Dst: y, Src: ir.CF(9)},
+	}}
+	f.Body = []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(0)}, big, zero}
+	Unroll(f)
+	found := false
+	for _, s := range f.Body {
+		if s == ir.Stmt(big) {
+			found = true
+		}
+		if s == ir.Stmt(zero) {
+			t.Error("zero-trip loop should be deleted")
+		}
+	}
+	if !found {
+		t.Error("large loop should remain")
+	}
+}
+
+func TestOptimizeLevelZeroIsNoop(t *testing.T) {
+	f := ir.NewFunc("t")
+	x := f.NewSym("x", ir.Float, false)
+	y := f.NewSym("y", ir.Float, false)
+	f.Results = []*ir.Sym{y}
+	f.Body = []ir.Stmt{
+		&ir.Assign{Dst: x, Src: ir.CF(1)},
+		&ir.Assign{Dst: y, Src: ir.B(ir.OpAdd, ir.CI(1), ir.CI(2))},
+	}
+	Optimize(f, 0)
+	if len(f.Body) != 2 {
+		t.Error("level 0 must not modify the function")
+	}
+	if _, ok := f.Body[1].(*ir.Assign).Src.(*ir.Bin); !ok {
+		t.Error("level 0 must not fold")
+	}
+}
+
+func TestSimplifyControlConstIf(t *testing.T) {
+	f := ir.NewFunc("t")
+	y := f.NewSym("y", ir.Float, false)
+	f.Results = []*ir.Sym{y}
+	f.Body = []ir.Stmt{
+		&ir.If{Cond: ir.CI(1),
+			Then: []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(10)}},
+			Else: []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(20)}}},
+		&ir.If{Cond: ir.CI(0),
+			Then: []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(99)}}},
+	}
+	if !SimplifyControl(f) {
+		t.Fatal("no change reported")
+	}
+	if len(f.Body) != 1 {
+		t.Fatalf("body has %d statements:\n%s", len(f.Body), ir.Print(f))
+	}
+	ev := &ir.Evaluator{}
+	res, err := ev.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(float64) != 10 {
+		t.Errorf("got %v, want 10", res[0])
+	}
+}
+
+func TestSimplifyControlWhileFalse(t *testing.T) {
+	f := ir.NewFunc("t")
+	y := f.NewSym("y", ir.Float, false)
+	f.Results = []*ir.Sym{y}
+	spin := &ir.While{Cond: ir.CI(0), Body: []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(5)}}}
+	keep := &ir.While{Cond: ir.CI(1), Body: []ir.Stmt{&ir.Break{}}}
+	f.Body = []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(1)}, spin, keep}
+	SimplifyControl(f)
+	for _, s := range f.Body {
+		if s == ir.Stmt(spin) {
+			t.Error("while(0) should be removed")
+		}
+	}
+	found := false
+	for _, s := range f.Body {
+		if s == ir.Stmt(keep) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("while(1) must be kept")
+	}
+}
+
+func TestSimplifyControlSwitchStyleChain(t *testing.T) {
+	// A lowered switch on a constant subject folds to one arm after
+	// Fold + SimplifyControl.
+	f := ir.NewFunc("t")
+	y := f.NewSym("y", ir.Float, false)
+	f.Results = []*ir.Sym{y}
+	subj := ir.CI(2)
+	f.Body = []ir.Stmt{
+		&ir.If{Cond: ir.B(ir.OpEq, subj, ir.CI(1)),
+			Then: []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(1)}},
+			Else: []ir.Stmt{&ir.If{Cond: ir.B(ir.OpEq, subj, ir.CI(2)),
+				Then: []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(2)}},
+				Else: []ir.Stmt{&ir.Assign{Dst: y, Src: ir.CF(3)}}}}},
+	}
+	Optimize(f, 1)
+	if len(f.Body) != 1 {
+		t.Fatalf("expected a single assignment after folding:\n%s", ir.Print(f))
+	}
+	if a, ok := f.Body[0].(*ir.Assign); !ok || a.Src.(*ir.ConstFloat).V != 2 {
+		t.Errorf("wrong arm survived:\n%s", ir.Print(f))
+	}
+}

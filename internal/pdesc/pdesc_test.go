@@ -1,0 +1,200 @@
+package pdesc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinCatalog(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		p := Builtin(name)
+		if p == nil {
+			t.Fatalf("builtin %q missing", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("builtin %q has Name %q", name, p.Name)
+		}
+	}
+	if Builtin("bogus") != nil {
+		t.Error("unknown builtin should be nil")
+	}
+}
+
+func TestDSPASIPShape(t *testing.T) {
+	p := Builtin("dspasip")
+	if p.SIMDWidth != 4 || p.ComplexLanes != 2 {
+		t.Errorf("dspasip lanes %d/%d", p.SIMDWidth, p.ComplexLanes)
+	}
+	for _, in := range []string{"fma", "cmul", "cmac", "cconjmul", "vfma", "vcmac"} {
+		if !p.HasInstr(in) {
+			t.Errorf("dspasip missing %s", in)
+		}
+	}
+	if p.Lanes(false) != 4 || p.Lanes(true) != 2 {
+		t.Error("Lanes accessor wrong")
+	}
+}
+
+func TestScalarBaselineHasNothing(t *testing.T) {
+	p := Builtin("scalar")
+	if p.SIMDWidth != 1 || len(p.Instructions) != 0 {
+		t.Error("scalar target must have no SIMD and no custom instructions")
+	}
+	if p.HasInstr("cmul") {
+		t.Error("scalar target should not have cmul")
+	}
+}
+
+func TestCustomInstructionCostBeatsExpansion(t *testing.T) {
+	// The whole premise of the paper: a custom complex multiply must be
+	// cheaper than its real-arithmetic expansion on the baseline.
+	asip := Builtin("dspasip")
+	scalar := Builtin("scalar")
+	if asip.Instr("cmul").Cycles >= scalar.Cost("cmul") {
+		t.Errorf("asip cmul (%d cycles) not cheaper than expansion (%d)",
+			asip.Instr("cmul").Cycles, scalar.Cost("cmul"))
+	}
+	if asip.Instr("cmac").Cycles >= scalar.Cost("cmul")+scalar.Cost("cadd") {
+		t.Error("asip cmac not cheaper than cmul+cadd expansion")
+	}
+}
+
+func TestCostFallback(t *testing.T) {
+	p := Builtin("scalar")
+	if p.Cost("fadd") != 1 {
+		t.Errorf("fadd = %d", p.Cost("fadd"))
+	}
+	if p.Cost("nonexistent-class") != 1 {
+		t.Error("unknown class should cost 1")
+	}
+	asip := Builtin("dspasip")
+	if asip.Cost("cload") != 2 {
+		t.Errorf("asip cload = %d, want override 2", asip.Cost("cload"))
+	}
+	if Builtin("scalar").Cost("cload") != 4 {
+		t.Errorf("scalar cload = %d, want default 4", Builtin("scalar").Cost("cload"))
+	}
+}
+
+func TestValidateRejectsBadDescriptions(t *testing.T) {
+	cases := []struct {
+		p    Processor
+		want string
+	}{
+		{Processor{SIMDWidth: 1}, "missing name"},
+		{Processor{Name: "x", SIMDWidth: 0}, "simd_width"},
+		{Processor{Name: "x", SIMDWidth: 2, ComplexLanes: 3}, "complex_lanes"},
+		{Processor{Name: "x", SIMDWidth: 1, Instructions: []Instr{{Name: "fma", CName: "f", Cycles: 0}}}, "cycle cost"},
+		{Processor{Name: "x", SIMDWidth: 1, Instructions: []Instr{{Name: "vfma", CName: "f", Cycles: 1}}}, "vector instruction"},
+		{Processor{Name: "x", SIMDWidth: 1, Instructions: []Instr{
+			{Name: "fma", CName: "f", Cycles: 1}, {Name: "fma", CName: "g", Cycles: 1}}}, "duplicate"},
+		{Processor{Name: "x", SIMDWidth: 1, Costs: map[string]int{"bogus": 3}}, "cost class"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate() = %v, want substring %q", err, c.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		p := Builtin(name)
+		data, err := p.MarshalJSONIndent()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		q, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if q.Name != p.Name || q.SIMDWidth != p.SIMDWidth ||
+			q.ComplexLanes != p.ComplexLanes || len(q.Instructions) != len(p.Instructions) {
+			t.Errorf("%s: round trip mismatch", name)
+		}
+		for _, in := range p.Instructions {
+			got := q.Instr(in.Name)
+			if got == nil || got.CName != in.CName || got.Cycles != in.Cycles {
+				t.Errorf("%s: instruction %s did not round-trip", name, in.Name)
+			}
+		}
+		for k, v := range p.Costs {
+			if q.Cost(k) != v {
+				t.Errorf("%s: cost %s did not round-trip", name, k)
+			}
+		}
+	}
+}
+
+// Property: any processor built from a sanitized random skeleton
+// round-trips through JSON with costs preserved.
+func TestJSONRoundTripProperty(t *testing.T) {
+	keys := DefaultCostKeys()
+	f := func(width uint8, overrides []uint16) bool {
+		w := int(width%8) + 1
+		p := &Processor{Name: "rnd", SIMDWidth: w, ComplexLanes: w / 2, Costs: map[string]int{}}
+		for i, o := range overrides {
+			if i >= len(keys) {
+				break
+			}
+			p.Costs[keys[i]] = int(o%100) + 1
+		}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		data, err := p.MarshalJSONIndent()
+		if err != nil {
+			return false
+		}
+		q, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		for k, v := range p.Costs {
+			if q.Cost(k) != v {
+				return false
+			}
+		}
+		return q.SIMDWidth == p.SIMDWidth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Error("expected JSON error")
+	}
+	if _, err := Parse([]byte(`{"name":"x","simd_width":0}`)); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if _, err := Resolve("dspasip"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Resolve("/nonexistent/file.json"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestWidthSweepFamily(t *testing.T) {
+	// The sweep targets must differ only in lane count.
+	widths := map[string]int{"nosimd": 1, "wide2": 2, "dspasip": 4, "wide8": 8}
+	for name, w := range widths {
+		p := Builtin(name)
+		if p.SIMDWidth != w {
+			t.Errorf("%s width = %d, want %d", name, p.SIMDWidth, w)
+		}
+		if !p.HasInstr("cmac") {
+			t.Errorf("%s must keep the complex ISA", name)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package pdesc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedDescriptionsMatchBuiltins keeps procs/*.json (regenerated
+// by cmd/procgen) in sync with the built-in catalog.
+func TestShippedDescriptionsMatchBuiltins(t *testing.T) {
+	dir := filepath.Join("..", "..", "procs")
+	if _, err := os.Stat(dir); err != nil {
+		t.Skipf("procs directory not present: %v", err)
+	}
+	for _, name := range BuiltinNames() {
+		path := filepath.Join(dir, name+".json")
+		loaded, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v (run `go run ./cmd/procgen`)", path, err)
+			continue
+		}
+		want := Builtin(name)
+		if loaded.SIMDWidth != want.SIMDWidth || loaded.ComplexLanes != want.ComplexLanes ||
+			len(loaded.Instructions) != len(want.Instructions) {
+			t.Errorf("%s out of sync with builtin (run `go run ./cmd/procgen`)", path)
+			continue
+		}
+		for _, in := range want.Instructions {
+			got := loaded.Instr(in.Name)
+			if got == nil || got.CName != in.CName || got.Cycles != in.Cycles {
+				t.Errorf("%s: instruction %s out of sync", path, in.Name)
+			}
+		}
+		for k, v := range want.Costs {
+			if loaded.Cost(k) != v {
+				t.Errorf("%s: cost %s out of sync", path, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,508 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"mat2c/internal/mlang"
+)
+
+// analyzeFn wraps a body in "function y = f(params)" and analyzes it.
+func analyzeFn(t *testing.T, src string, params ...Type) *Info {
+	t.Helper()
+	f, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	entry := "f"
+	if len(f.Funcs) > 0 {
+		entry = f.Funcs[0].Name
+	}
+	info, err := Analyze(f, entry, params)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+// analyzeErr expects analysis to fail and returns the error text.
+func analyzeErr(t *testing.T, src string, params ...Type) string {
+	t.Helper()
+	f, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	entry := "f"
+	if len(f.Funcs) > 0 {
+		entry = f.Funcs[0].Name
+	}
+	_, err = Analyze(f, entry, params)
+	if err == nil {
+		t.Fatalf("analyze %q: expected error", src)
+	}
+	return err.Error()
+}
+
+func resultType(t *testing.T, info *Info) Type {
+	t.Helper()
+	inst := info.Funcs[info.Entry]
+	if inst == nil || len(inst.Results) == 0 {
+		t.Fatal("no entry results")
+	}
+	return inst.Results[0]
+}
+
+func TestInferScalarArithmetic(t *testing.T) {
+	info := analyzeFn(t, "function y = f(a, b)\ny = a + b * 2;\nend", RealScalar, RealScalar)
+	if got := resultType(t, info); !got.Equal(RealScalar) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInferIntPropagation(t *testing.T) {
+	info := analyzeFn(t, "function y = f()\nn = 4;\ny = n + 1;\nend")
+	if got := resultType(t, info); !got.Equal(IntScalar) {
+		t.Errorf("got %v, want int", got)
+	}
+}
+
+func TestInferDivisionBecomesReal(t *testing.T) {
+	info := analyzeFn(t, "function y = f()\ny = 3 / 2;\nend")
+	if got := resultType(t, info); got.Class != Real {
+		t.Errorf("3/2 class = %v, want real", got.Class)
+	}
+}
+
+func TestInferComplexLiteral(t *testing.T) {
+	info := analyzeFn(t, "function y = f(x)\ny = x + 2i;\nend", RealScalar)
+	if got := resultType(t, info); got.Class != Complex {
+		t.Errorf("got %v, want complex", got)
+	}
+}
+
+func TestInferVectorParam(t *testing.T) {
+	vec := Type{Class: Real, Shape: RowVec(8)}
+	info := analyzeFn(t, "function y = f(x)\ny = x .* 2;\nend", vec)
+	if got := resultType(t, info); !got.Equal(vec) {
+		t.Errorf("got %v, want %v", got, vec)
+	}
+}
+
+func TestInferZerosShapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Shape
+	}{
+		{"function y = f()\ny = zeros(1, 8);\nend", Shape{1, 8}},
+		{"function y = f()\ny = zeros(3, 1);\nend", Shape{3, 1}},
+		{"function y = f()\ny = zeros(4);\nend", Shape{4, 4}},
+		{"function y = f()\nn = 2 + 2;\ny = zeros(n, 1);\nend", Shape{4, 1}},
+	}
+	for _, c := range cases {
+		info := analyzeFn(t, c.src)
+		if got := resultType(t, info); got.Shape != c.want {
+			t.Errorf("%q shape = %v, want %v", c.src, got.Shape, c.want)
+		}
+	}
+}
+
+func TestInferZerosDynamic(t *testing.T) {
+	info := analyzeFn(t, "function y = f(n)\ny = zeros(1, n);\nend", IntScalar)
+	got := resultType(t, info)
+	if got.Shape.Rows != 1 || got.Shape.Cols != DimUnknown {
+		t.Errorf("got %v, want 1x?", got.Shape)
+	}
+}
+
+func TestInferLengthConst(t *testing.T) {
+	info := analyzeFn(t, "function y = f()\nx = zeros(1, 8);\ny = length(x);\nend")
+	got := resultType(t, info)
+	if !got.Equal(IntScalar) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInferIndexing(t *testing.T) {
+	vec := Type{Class: Real, Shape: RowVec(8)}
+	info := analyzeFn(t, "function y = f(x)\ny = x(3);\nend", vec)
+	if got := resultType(t, info); !got.Equal(RealScalar) {
+		t.Errorf("x(3) = %v, want real scalar", got)
+	}
+}
+
+func TestInferSliceShapes(t *testing.T) {
+	mat := Type{Class: Real, Shape: Shape{4, 6}}
+	cases := []struct {
+		src  string
+		want Shape
+	}{
+		{"function y = f(x)\ny = x(2, 3);\nend", ScalarShape},
+		{"function y = f(x)\ny = x(:, 2);\nend", Shape{4, 1}},
+		{"function y = f(x)\ny = x(1, :);\nend", Shape{1, 6}},
+		{"function y = f(x)\ny = x(:);\nend", Shape{24, 1}},
+		{"function y = f(x)\ny = x(1:2, 3);\nend", Shape{2, 1}},
+	}
+	for _, c := range cases {
+		info := analyzeFn(t, c.src, mat)
+		if got := resultType(t, info); got.Shape != c.want {
+			t.Errorf("%q shape = %v, want %v", c.src, got.Shape, c.want)
+		}
+	}
+}
+
+func TestInferVectorSliceOrientation(t *testing.T) {
+	row := Type{Class: Real, Shape: RowVec(8)}
+	col := Type{Class: Real, Shape: ColVec(8)}
+	info := analyzeFn(t, "function y = f(x)\ny = x(1:4);\nend", row)
+	if got := resultType(t, info); got.Shape != (Shape{1, 4}) {
+		t.Errorf("row slice = %v", got.Shape)
+	}
+	info = analyzeFn(t, "function y = f(x)\ny = x(1:4);\nend", col)
+	if got := resultType(t, info); got.Shape != (Shape{4, 1}) {
+		t.Errorf("col slice = %v", got.Shape)
+	}
+}
+
+func TestInferEndIndex(t *testing.T) {
+	vec := Type{Class: Real, Shape: RowVec(8)}
+	info := analyzeFn(t, "function y = f(x)\ny = x(end);\nend", vec)
+	if got := resultType(t, info); !got.IsScalar() {
+		t.Errorf("x(end) = %v", got)
+	}
+	info = analyzeFn(t, "function y = f(x)\ny = x(2:end);\nend", vec)
+	if got := resultType(t, info); got.Shape != (Shape{1, 7}) {
+		t.Errorf("x(2:end) = %v, want 1x7", got.Shape)
+	}
+}
+
+func TestInferTranspose(t *testing.T) {
+	row := Type{Class: Complex, Shape: RowVec(5)}
+	info := analyzeFn(t, "function y = f(x)\ny = x';\nend", row)
+	if got := resultType(t, info); got.Shape != (Shape{5, 1}) || got.Class != Complex {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInferMatMul(t *testing.T) {
+	a := Type{Class: Real, Shape: Shape{3, 4}}
+	b := Type{Class: Real, Shape: Shape{4, 5}}
+	info := analyzeFn(t, "function y = f(a, b)\ny = a * b;\nend", a, b)
+	if got := resultType(t, info); got.Shape != (Shape{3, 5}) {
+		t.Errorf("got %v, want 3x5", got.Shape)
+	}
+}
+
+func TestInferDotProduct(t *testing.T) {
+	r := Type{Class: Real, Shape: RowVec(8)}
+	c := Type{Class: Real, Shape: ColVec(8)}
+	info := analyzeFn(t, "function y = f(a, b)\ny = a * b;\nend", r, c)
+	if got := resultType(t, info); !got.IsScalar() {
+		t.Errorf("dot product = %v, want scalar", got)
+	}
+}
+
+func TestInferMatMulMismatch(t *testing.T) {
+	a := Type{Class: Real, Shape: Shape{3, 4}}
+	b := Type{Class: Real, Shape: Shape{5, 6}}
+	msg := analyzeErr(t, "function y = f(a, b)\ny = a * b;\nend", a, b)
+	if !strings.Contains(msg, "inner dimensions") {
+		t.Errorf("got %q", msg)
+	}
+}
+
+func TestInferScalarTimesMatrix(t *testing.T) {
+	m := Type{Class: Real, Shape: Shape{3, 4}}
+	info := analyzeFn(t, "function y = f(a)\ny = 2 * a;\nend", m)
+	if got := resultType(t, info); got.Shape != m.Shape {
+		t.Errorf("got %v", got.Shape)
+	}
+}
+
+func TestInferRange(t *testing.T) {
+	info := analyzeFn(t, "function y = f()\ny = 1:8;\nend")
+	got := resultType(t, info)
+	if got.Shape != (Shape{1, 8}) || got.Class != Int {
+		t.Errorf("1:8 = %v", got)
+	}
+	info = analyzeFn(t, "function y = f()\ny = 0:0.5:2;\nend")
+	got = resultType(t, info)
+	if got.Shape != (Shape{1, 5}) || got.Class != Real {
+		t.Errorf("0:0.5:2 = %v", got)
+	}
+}
+
+func TestInferMatrixLiteral(t *testing.T) {
+	info := analyzeFn(t, "function y = f()\ny = [1 2 3; 4 5 6];\nend")
+	got := resultType(t, info)
+	if got.Shape != (Shape{2, 3}) {
+		t.Errorf("got %v", got.Shape)
+	}
+	info = analyzeFn(t, "function y = f()\ny = [1 2+3i];\nend")
+	if got := resultType(t, info); got.Class != Complex {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInferMatrixConcatenation(t *testing.T) {
+	r := Type{Class: Real, Shape: RowVec(4)}
+	info := analyzeFn(t, "function y = f(a, b)\ny = [a b];\nend", r, r)
+	if got := resultType(t, info); got.Shape != (Shape{1, 8}) {
+		t.Errorf("got %v, want 1x8", got.Shape)
+	}
+}
+
+func TestInferRaggedMatrix(t *testing.T) {
+	msg := analyzeErr(t, "function y = f()\ny = [1 2; 3];\nend")
+	if !strings.Contains(msg, "inconsistent") {
+		t.Errorf("got %q", msg)
+	}
+}
+
+func TestInferForLoopAccumulator(t *testing.T) {
+	vec := Type{Class: Real, Shape: RowVec(8)}
+	src := `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    s = s + x(i);
+end
+end`
+	info := analyzeFn(t, src, vec)
+	if got := resultType(t, info); got.Class != Real || !got.IsScalar() {
+		t.Errorf("got %v, want real scalar", got)
+	}
+}
+
+func TestInferLoopWidensToComplex(t *testing.T) {
+	vec := Type{Class: Complex, Shape: RowVec(8)}
+	src := `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    s = s + x(i);
+end
+end`
+	info := analyzeFn(t, src, vec)
+	if got := resultType(t, info); got.Class != Complex {
+		t.Errorf("got %v, want complex", got)
+	}
+}
+
+func TestInferPreallocatedOutput(t *testing.T) {
+	vec := Type{Class: Real, Shape: RowVec(DimUnknown)}
+	src := `function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(i) * 2;
+end
+end`
+	info := analyzeFn(t, src, vec)
+	got := resultType(t, info)
+	if got.Class != Real || got.Shape.Rows != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInferComplexElementWidensArray(t *testing.T) {
+	src := `function y = f(n)
+y = zeros(1, 4);
+y(1) = 2i;
+end`
+	info := analyzeFn(t, src, IntScalar)
+	if got := resultType(t, info); got.Class != Complex {
+		t.Errorf("got %v, want complex array", got)
+	}
+}
+
+func TestInferIfJoin(t *testing.T) {
+	src := `function y = f(a)
+if a > 0
+    y = 1;
+else
+    y = 2i;
+end
+end`
+	info := analyzeFn(t, src, RealScalar)
+	if got := resultType(t, info); got.Class != Complex {
+		t.Errorf("got %v, want complex (join of branches)", got)
+	}
+}
+
+func TestInferWhile(t *testing.T) {
+	src := `function y = f(n)
+y = 0;
+while n > 0
+    y = y + n;
+    n = n - 1;
+end
+end`
+	info := analyzeFn(t, src, IntScalar)
+	if got := resultType(t, info); got.Class != Int {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInferUserFunctionCall(t *testing.T) {
+	src := `function y = f(x)
+y = helper(x) + 1;
+end
+function z = helper(v)
+z = v * 3;
+end`
+	info := analyzeFn(t, src, RealScalar)
+	if got := resultType(t, info); !got.Equal(RealScalar) {
+		t.Errorf("got %v", got)
+	}
+	if info.Funcs["helper"] == nil {
+		t.Error("helper not analyzed")
+	}
+}
+
+func TestInferMultiAssignSize(t *testing.T) {
+	m := Type{Class: Real, Shape: Shape{3, 4}}
+	src := `function y = f(x)
+[r, c] = size(x);
+y = r + c;
+end`
+	info := analyzeFn(t, src, m)
+	if got := resultType(t, info); !got.Equal(IntScalar) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInferBuiltins(t *testing.T) {
+	cvec := Type{Class: Complex, Shape: RowVec(8)}
+	cases := []struct {
+		src  string
+		want Class
+	}{
+		{"function y = f(x)\ny = abs(x);\nend", Real},
+		{"function y = f(x)\ny = real(x);\nend", Real},
+		{"function y = f(x)\ny = conj(x);\nend", Complex},
+		{"function y = f(x)\ny = sum(x);\nend", Complex},
+	}
+	for _, c := range cases {
+		info := analyzeFn(t, c.src, cvec)
+		if got := resultType(t, info); got.Class != c.want {
+			t.Errorf("%q class = %v, want %v", c.src, got.Class, c.want)
+		}
+	}
+}
+
+func TestInferSumShapes(t *testing.T) {
+	vec := Type{Class: Real, Shape: RowVec(8)}
+	info := analyzeFn(t, "function y = f(x)\ny = sum(x);\nend", vec)
+	if got := resultType(t, info); !got.IsScalar() {
+		t.Errorf("sum(vec) = %v", got)
+	}
+	mat := Type{Class: Real, Shape: Shape{3, 4}}
+	info = analyzeFn(t, "function y = f(x)\ny = sum(x);\nend", mat)
+	if got := resultType(t, info); got.Shape != (Shape{1, 4}) {
+		t.Errorf("sum(mat) = %v, want 1x4", got.Shape)
+	}
+}
+
+func TestInferRelationalIsBool(t *testing.T) {
+	info := analyzeFn(t, "function y = f(a, b)\ny = a < b;\nend", RealScalar, RealScalar)
+	if got := resultType(t, info); got.Class != Bool {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCallResolution(t *testing.T) {
+	vec := Type{Class: Real, Shape: RowVec(8)}
+	src := `function y = f(x)
+y = x(1) + sqrt(x(2)) + g(x(3));
+end
+function z = g(v)
+z = v + 1;
+end`
+	f, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(f, "f", []Type{vec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx, bi, user int
+	for _, k := range info.Calls {
+		switch k {
+		case CallIndex:
+			idx++
+		case CallBuiltin:
+			bi++
+		case CallUser:
+			user++
+		}
+	}
+	if idx != 3 || bi != 1 || user != 1 {
+		t.Errorf("resolutions idx=%d builtin=%d user=%d, want 3/1/1", idx, bi, user)
+	}
+}
+
+func TestDiagnostics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"function y = f()\ny = undefinedvar + 1;\nend", "undefined"},
+		{"function y = f()\nw(3) = 1;\ny = 1;\nend", "preallocate"},
+		{"function y = f()\ny = 1;\nrecur();\nend\nfunction recur()\nrecur();\nend", "recursive"},
+		{"function y = f()\nbreak;\ny = 1;\nend", "break outside"},
+		{"function y = f()\ny = zeros(1, 2) + zeros(1, 3);\nend", "nonconformant"},
+		{"function y = f()\nend", "never assigned"},
+		{"function y = f()\ny = 'hello';\nend", "string"},
+		{"function y = f(x)\ny = x(1, 2, 3);\nend", "2 index"},
+		{"function y = f()\nzeros = 3;\ny = zeros;\nend", "builtin"},
+		{"function y = f()\ny = sum();\nend", "arguments"},
+		{"function y = f(x)\n[a, b] = sqrt(x);\ny = a + b;\nend", "at most"},
+	}
+	for _, c := range cases {
+		params := []Type{}
+		if strings.Contains(c.src, "f(x)") {
+			params = append(params, Type{Class: Real, Shape: Shape{4, 4}})
+		}
+		msg := analyzeErr(t, c.src, params...)
+		if !strings.Contains(msg, c.want) {
+			t.Errorf("source %q:\n  got error %q, want substring %q", c.src, msg, c.want)
+		}
+	}
+}
+
+func TestEntryArityMismatch(t *testing.T) {
+	f := mlang.MustParse("function y = f(a, b)\ny = a + b;\nend")
+	if _, err := Analyze(f, "f", []Type{RealScalar}); err == nil {
+		t.Error("expected arity error")
+	}
+	if _, err := Analyze(f, "nope", nil); err == nil {
+		t.Error("expected missing-entry error")
+	}
+}
+
+func TestFixpointTerminates(t *testing.T) {
+	// A loop that keeps widening must still converge.
+	src := `function y = f(n)
+x = 1;
+for i = 1:n
+    x = x + 0.5;
+    x = x + 2i;
+end
+y = x;
+end`
+	info := analyzeFn(t, src, IntScalar)
+	if got := resultType(t, info); got.Class != Complex {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestConstTracking(t *testing.T) {
+	src := `function y = f()
+n = 4;
+m = n * 2;
+y = zeros(m, 1);
+end`
+	info := analyzeFn(t, src)
+	if got := resultType(t, info); got.Shape != (Shape{8, 1}) {
+		t.Errorf("got %v, want 8x1 via const propagation", got.Shape)
+	}
+}

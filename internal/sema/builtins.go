@@ -1,0 +1,393 @@
+package sema
+
+import (
+	"fmt"
+)
+
+// Arg is a call argument as seen by a builtin's type rule: its inferred
+// type plus, when statically known, its constant scalar value (used to
+// resolve shapes such as zeros(4)).
+type Arg struct {
+	Type  Type
+	Const *float64
+}
+
+func (a Arg) constInt() (int, bool) {
+	if a.Const == nil {
+		return 0, false
+	}
+	n := int(*a.Const)
+	if float64(n) != *a.Const || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// BuiltinKind classifies builtins for the lowering phase.
+type BuiltinKind int
+
+// Builtin kinds.
+const (
+	BKElemUnary   BuiltinKind = iota // sqrt, sin, ... applied elementwise
+	BKElemBinary                     // mod, atan2, min/max with 2 args
+	BKReduction                      // sum, prod, min/max with 1 arg
+	BKCreation                       // zeros, ones
+	BKQuery                          // length, numel, size
+	BKConstant                       // pi, eps
+	BKComplexPart                    // real, imag, conj, angle, abs
+	BKConstructor                    // complex(re, im)
+)
+
+// Builtin describes one recognized MATLAB builtin.
+type Builtin struct {
+	Name    string
+	Kind    BuiltinKind
+	MinArgs int
+	MaxArgs int
+	// NumResults is the maximum number of output values ([r,c] = size(x)).
+	NumResults int
+	// Result computes the output types for the given arguments.
+	Result func(args []Arg, nresults int) ([]Type, error)
+}
+
+// elemUnary builds a rule for an elementwise unary function whose result
+// class is classOf(input class).
+func elemUnary(classOf func(Class) Class) func([]Arg, int) ([]Type, error) {
+	return func(args []Arg, _ int) ([]Type, error) {
+		t := args[0].Type
+		return []Type{{Class: classOf(t.Class), Shape: t.Shape}}, nil
+	}
+}
+
+func toReal(c Class) Class {
+	if c == Complex {
+		return Complex
+	}
+	return Real
+}
+
+// realAlways maps any input class to Real (real, imag, abs, angle).
+func realAlways(Class) Class { return Real }
+
+// keepNumeric promotes logicals to real but preserves int/real/complex.
+func keepNumeric(c Class) Class {
+	if c == Bool {
+		return Int
+	}
+	return c
+}
+
+// intAlways maps to Int (floor, ceil, round, fix, sign on reals).
+func intLike(c Class) Class {
+	if c == Complex {
+		return Complex // floor of complex applies to both parts
+	}
+	return Int
+}
+
+func elemBinary(args []Arg, _ int) ([]Type, error) {
+	x, y := args[0].Type, args[1].Type
+	sh, err := broadcastShape(x.Shape, y.Shape)
+	if err != nil {
+		return nil, err
+	}
+	return []Type{{Class: x.Class.Join(y.Class), Shape: sh}}, nil
+}
+
+// broadcastShape merges operand shapes under MATLAB elementwise rules:
+// scalars broadcast; otherwise shapes must conform (unknown dims unify).
+func broadcastShape(a, b Shape) (Shape, error) {
+	if a.IsScalar() {
+		return b, nil
+	}
+	if b.IsScalar() {
+		return a, nil
+	}
+	r, ok := unifyDim(a.Rows, b.Rows)
+	if !ok {
+		return Shape{}, fmt.Errorf("nonconformant operands %s and %s", a, b)
+	}
+	c, ok := unifyDim(a.Cols, b.Cols)
+	if !ok {
+		return Shape{}, fmt.Errorf("nonconformant operands %s and %s", a, b)
+	}
+	return Shape{Rows: r, Cols: c}, nil
+}
+
+func unifyDim(a, b int) (int, bool) {
+	switch {
+	case a == b:
+		return a, true
+	case a == DimUnknown:
+		return b, true
+	case b == DimUnknown:
+		return a, true
+	}
+	return 0, false
+}
+
+func reduction(args []Arg, _ int) ([]Type, error) {
+	t := args[0].Type
+	c := keepNumeric(t.Class)
+	if t.Shape.IsVector() || t.Shape.IsScalar() {
+		return []Type{ScalarType(c)}, nil
+	}
+	// Matrix reduction collapses rows: result is 1×cols.
+	return []Type{{Class: c, Shape: Shape{Rows: 1, Cols: t.Shape.Cols}}}, nil
+}
+
+// minMax handles the reduction form min(x) (optionally with the index
+// as a second output: [m, i] = min(x)) and the elementwise binary form
+// min(x, y).
+func minMax(args []Arg, n int) ([]Type, error) {
+	if len(args) == 2 {
+		if n > 1 {
+			return nil, fmt.Errorf("the two-argument form returns a single value")
+		}
+		return elemBinary(args, n)
+	}
+	res, err := reduction(args, n)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1 {
+		if !res[0].IsScalar() {
+			return nil, fmt.Errorf("[m, i] form requires a vector argument")
+		}
+		res = append(res, IntScalar)
+	}
+	return res, nil
+}
+
+func creation(args []Arg, _ int) ([]Type, error) {
+	switch len(args) {
+	case 0:
+		return []Type{RealScalar}, nil
+	case 1:
+		// zeros(n) is n×n.
+		if n, ok := args[0].constInt(); ok {
+			return []Type{{Class: Real, Shape: Shape{Rows: n, Cols: n}}}, nil
+		}
+		return []Type{{Class: Real, Shape: Shape{DimUnknown, DimUnknown}}}, nil
+	default:
+		r, rok := args[0].constInt()
+		c, cok := args[1].constInt()
+		if !rok {
+			r = DimUnknown
+		}
+		if !cok {
+			c = DimUnknown
+		}
+		return []Type{{Class: Real, Shape: Shape{Rows: r, Cols: c}}}, nil
+	}
+}
+
+func queryLength(args []Arg, _ int) ([]Type, error) {
+	return []Type{IntScalar}, nil
+}
+
+func querySize(args []Arg, nres int) ([]Type, error) {
+	if nres <= 1 {
+		if len(args) == 2 {
+			return []Type{IntScalar}, nil
+		}
+		// size(x) with one output is a 1×2 row vector.
+		return []Type{{Class: Int, Shape: RowVec(2)}}, nil
+	}
+	if nres > 2 {
+		return nil, fmt.Errorf("size supports at most 2 outputs, got %d", nres)
+	}
+	return []Type{IntScalar, IntScalar}, nil
+}
+
+func constantPi(args []Arg, _ int) ([]Type, error) {
+	return []Type{RealScalar}, nil
+}
+
+func constructorComplex(args []Arg, _ int) ([]Type, error) {
+	sh, err := broadcastShape(args[0].Type.Shape, args[1].Type.Shape)
+	if err != nil {
+		return nil, err
+	}
+	return []Type{{Class: Complex, Shape: sh}}, nil
+}
+
+// builtins is the catalog. The set matches what embedded DSP kernels use
+// and what both backends implement.
+var builtins = map[string]*Builtin{
+	"zeros": {Name: "zeros", Kind: BKCreation, MinArgs: 0, MaxArgs: 2, NumResults: 1, Result: creation},
+	"ones":  {Name: "ones", Kind: BKCreation, MinArgs: 0, MaxArgs: 2, NumResults: 1, Result: creation},
+
+	"length": {Name: "length", Kind: BKQuery, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: queryLength},
+	"numel":  {Name: "numel", Kind: BKQuery, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: queryLength},
+	"size":   {Name: "size", Kind: BKQuery, MinArgs: 1, MaxArgs: 2, NumResults: 2, Result: querySize},
+
+	"sum":  {Name: "sum", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: reduction},
+	"prod": {Name: "prod", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: reduction},
+	"min":  {Name: "min", Kind: BKReduction, MinArgs: 1, MaxArgs: 2, NumResults: 2, Result: minMax},
+	"max":  {Name: "max", Kind: BKReduction, MinArgs: 1, MaxArgs: 2, NumResults: 2, Result: minMax},
+	"mean": {Name: "mean", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: reduction},
+
+	"sqrt":  {Name: "sqrt", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"sin":   {Name: "sin", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"cos":   {Name: "cos", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"tan":   {Name: "tan", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"asin":  {Name: "asin", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"acos":  {Name: "acos", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"atan":  {Name: "atan", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"sinh":  {Name: "sinh", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"cosh":  {Name: "cosh", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"tanh":  {Name: "tanh", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"exp":   {Name: "exp", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(keepComplex)},
+	"log":   {Name: "log", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(keepComplex)},
+	"log2":  {Name: "log2", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+	"log10": {Name: "log10", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(toReal)},
+
+	"atan2": {Name: "atan2", Kind: BKElemBinary, MinArgs: 2, MaxArgs: 2, NumResults: 1, Result: elemBinaryReal},
+
+	"floor": {Name: "floor", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(intLike)},
+	"ceil":  {Name: "ceil", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(intLike)},
+	"round": {Name: "round", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(intLike)},
+	"fix":   {Name: "fix", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(intLike)},
+	"sign":  {Name: "sign", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(intLike)},
+
+	"mod": {Name: "mod", Kind: BKElemBinary, MinArgs: 2, MaxArgs: 2, NumResults: 1, Result: elemBinary},
+	"rem": {Name: "rem", Kind: BKElemBinary, MinArgs: 2, MaxArgs: 2, NumResults: 1, Result: elemBinary},
+
+	"abs":   {Name: "abs", Kind: BKComplexPart, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(realAlways)},
+	"real":  {Name: "real", Kind: BKComplexPart, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(realAlways)},
+	"imag":  {Name: "imag", Kind: BKComplexPart, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(realAlways)},
+	"conj":  {Name: "conj", Kind: BKComplexPart, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(keepComplex)},
+	"angle": {Name: "angle", Kind: BKComplexPart, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: elemUnary(realAlways)},
+
+	"complex": {Name: "complex", Kind: BKConstructor, MinArgs: 2, MaxArgs: 2, NumResults: 1, Result: constructorComplex},
+
+	"pi":  {Name: "pi", Kind: BKConstant, MinArgs: 0, MaxArgs: 0, NumResults: 1, Result: constantPi},
+	"eps": {Name: "eps", Kind: BKConstant, MinArgs: 0, MaxArgs: 0, NumResults: 1, Result: constantPi},
+
+	"linspace": {Name: "linspace", Kind: BKCreation, MinArgs: 2, MaxArgs: 3, NumResults: 1, Result: linspaceRule},
+	"eye":      {Name: "eye", Kind: BKCreation, MinArgs: 1, MaxArgs: 2, NumResults: 1, Result: creation},
+	"fliplr":   {Name: "fliplr", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: flipRule},
+	"flipud":   {Name: "flipud", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: flipRule},
+	"cumsum":   {Name: "cumsum", Kind: BKElemUnary, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: cumsumRule},
+	"dot":      {Name: "dot", Kind: BKReduction, MinArgs: 2, MaxArgs: 2, NumResults: 1, Result: dotRule},
+	"norm":     {Name: "norm", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: normRule},
+
+	"var":     {Name: "var", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: realVecReduce},
+	"std":     {Name: "std", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: realVecReduce},
+	"isempty": {Name: "isempty", Kind: BKQuery, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: isemptyRule},
+
+	"find": {Name: "find", Kind: BKCreation, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: findRule},
+	"any":  {Name: "any", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: boolReduce},
+	"all":  {Name: "all", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: boolReduce},
+	"nnz":  {Name: "nnz", Kind: BKReduction, MinArgs: 1, MaxArgs: 1, NumResults: 1, Result: queryLength},
+}
+
+// findRule: find(x) returns the 1-based indices of nonzero elements; the
+// count is dynamic and the orientation follows the argument.
+func findRule(args []Arg, _ int) ([]Type, error) {
+	t := args[0].Type
+	if !t.Shape.IsVector() && t.Shape.Known() && !t.IsScalar() {
+		return nil, fmt.Errorf("find supports vectors only")
+	}
+	sh := Shape{Rows: 1, Cols: DimUnknown}
+	if t.Shape.IsColVec() && !t.IsScalar() {
+		sh = Shape{Rows: DimUnknown, Cols: 1}
+	}
+	return []Type{{Class: Int, Shape: sh}}, nil
+}
+
+// realVecReduce: var/std reduce a real vector to a real scalar.
+func realVecReduce(args []Arg, _ int) ([]Type, error) {
+	t := args[0].Type
+	if t.Class == Complex {
+		return nil, fmt.Errorf("var/std of complex values is not supported")
+	}
+	if !t.Shape.IsVector() && t.Shape.Known() && !t.IsScalar() {
+		return nil, fmt.Errorf("var/std support vectors only")
+	}
+	return []Type{RealScalar}, nil
+}
+
+func isemptyRule(args []Arg, _ int) ([]Type, error) {
+	return []Type{BoolScalar}, nil
+}
+
+func boolReduce(args []Arg, _ int) ([]Type, error) {
+	t := args[0].Type
+	if !t.Shape.IsVector() && t.Shape.Known() && !t.IsScalar() {
+		return nil, fmt.Errorf("any/all support vectors only")
+	}
+	return []Type{BoolScalar}, nil
+}
+
+func elemBinaryReal(args []Arg, n int) ([]Type, error) {
+	res, err := elemBinary(args, n)
+	if err != nil {
+		return nil, err
+	}
+	res[0].Class = Real
+	return res, nil
+}
+
+func linspaceRule(args []Arg, _ int) ([]Type, error) {
+	n := 100 // MATLAB default point count
+	if len(args) == 3 {
+		if c, ok := args[2].constInt(); ok {
+			n = c
+		} else {
+			n = DimUnknown
+		}
+	}
+	return []Type{{Class: Real, Shape: Shape{Rows: 1, Cols: n}}}, nil
+}
+
+func flipRule(args []Arg, _ int) ([]Type, error) {
+	t := args[0].Type
+	return []Type{{Class: keepNumeric(t.Class), Shape: t.Shape}}, nil
+}
+
+func cumsumRule(args []Arg, _ int) ([]Type, error) {
+	t := args[0].Type
+	if !t.Shape.IsVector() && t.Shape.Known() {
+		return nil, fmt.Errorf("cumsum supports vectors only")
+	}
+	return []Type{{Class: keepNumeric(t.Class), Shape: t.Shape}}, nil
+}
+
+func dotRule(args []Arg, _ int) ([]Type, error) {
+	if _, err := broadcastShape(args[0].Type.Shape, args[1].Type.Shape); err != nil {
+		return nil, err
+	}
+	return []Type{ScalarType(keepNumeric(args[0].Type.Class.Join(args[1].Type.Class)))}, nil
+}
+
+func normRule(args []Arg, _ int) ([]Type, error) {
+	t := args[0].Type
+	if !t.Shape.IsVector() && t.Shape.Known() {
+		return nil, fmt.Errorf("norm supports vectors only")
+	}
+	return []Type{RealScalar}, nil
+}
+
+func keepComplex(c Class) Class {
+	if c == Complex {
+		return Complex
+	}
+	return Real
+}
+
+// LookupBuiltin returns the builtin named s, or nil.
+func LookupBuiltin(s string) *Builtin { return builtins[s] }
+
+// IsBuiltin reports whether s names a recognized builtin.
+func IsBuiltin(s string) bool { return builtins[s] != nil }
+
+// BuiltinNames returns the catalog's names (for diagnostics/docs).
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,166 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"mat2c/internal/mlang"
+)
+
+func analyzeOne(t *testing.T, src string, params ...Type) (*Info, error) {
+	t.Helper()
+	f, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(f, f.Funcs[0].Name, params)
+}
+
+func resultOf(t *testing.T, src string, params ...Type) Type {
+	t.Helper()
+	info, err := analyzeOne(t, src, params...)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info.Funcs[info.Entry].Results[0]
+}
+
+func dynVecT() Type {
+	return Type{Class: Real, Shape: Shape{Rows: 1, Cols: DimUnknown}}
+}
+
+func TestBuiltinTrigTypes(t *testing.T) {
+	for _, fn := range []string{"asin", "acos", "atan", "sinh", "cosh", "tanh", "log2", "log10"} {
+		got := resultOf(t, "function y = f(x)\ny = "+fn+"(x);\nend", RealScalar)
+		if got.Class != Real || !got.IsScalar() {
+			t.Errorf("%s: got %v", fn, got)
+		}
+		// Elementwise over vectors.
+		got = resultOf(t, "function y = f(x)\ny = "+fn+"(x);\nend", dynVecT())
+		if got.Shape.Rows != 1 {
+			t.Errorf("%s over vector: got %v", fn, got)
+		}
+	}
+}
+
+func TestBuiltinAtan2Types(t *testing.T) {
+	got := resultOf(t, "function y = f(a, b)\ny = atan2(a, b);\nend", dynVecT(), dynVecT())
+	if got.Class != Real || got.Shape.Rows != 1 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := analyzeOne(t, "function y = f(a)\ny = atan2(a);\nend", RealScalar); err == nil {
+		t.Error("atan2 arity not checked")
+	}
+}
+
+func TestBuiltinLinspaceTypes(t *testing.T) {
+	got := resultOf(t, "function y = f()\ny = linspace(0, 1, 5);\nend")
+	if got.Shape != (Shape{1, 5}) {
+		t.Errorf("sized linspace: got %v", got.Shape)
+	}
+	got = resultOf(t, "function y = f(n)\ny = linspace(0, 1, n);\nend", IntScalar)
+	if got.Shape.Cols != DimUnknown {
+		t.Errorf("dynamic linspace: got %v", got.Shape)
+	}
+	got = resultOf(t, "function y = f()\ny = linspace(0, 1);\nend")
+	if got.Shape != (Shape{1, 100}) {
+		t.Errorf("default linspace: got %v", got.Shape)
+	}
+}
+
+func TestBuiltinEyeTypes(t *testing.T) {
+	got := resultOf(t, "function y = f()\ny = eye(3);\nend")
+	if got.Shape != (Shape{3, 3}) {
+		t.Errorf("got %v", got.Shape)
+	}
+}
+
+func TestBuiltinFlipTypes(t *testing.T) {
+	got := resultOf(t, "function y = f(x)\ny = fliplr(x);\nend",
+		Type{Class: Complex, Shape: RowVec(7)})
+	if got.Class != Complex || got.Shape != RowVec(7) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBuiltinDotNormTypes(t *testing.T) {
+	got := resultOf(t, "function y = f(a, b)\ny = dot(a, b);\nend",
+		Type{Class: Complex, Shape: RowVec(4)}, Type{Class: Complex, Shape: RowVec(4)})
+	if got.Class != Complex || !got.IsScalar() {
+		t.Errorf("dot: got %v", got)
+	}
+	got = resultOf(t, "function y = f(x)\ny = norm(x);\nend",
+		Type{Class: Complex, Shape: RowVec(4)})
+	if got.Class != Real || !got.IsScalar() {
+		t.Errorf("norm: got %v", got)
+	}
+	if _, err := analyzeOne(t, "function y = f(a)\ny = norm(a);\nend",
+		Type{Class: Real, Shape: Shape{3, 3}}); err == nil {
+		t.Error("norm of matrix should be rejected")
+	}
+}
+
+func TestBuiltinFindAnyAllTypes(t *testing.T) {
+	got := resultOf(t, "function y = f(x)\ny = find(x > 0);\nend", dynVecT())
+	if got.Class != Int || got.Shape.Rows != 1 || got.Shape.Cols != DimUnknown {
+		t.Errorf("find: got %v", got)
+	}
+	// Orientation follows the argument.
+	got = resultOf(t, "function y = f(x)\ny = find(x);\nend",
+		Type{Class: Real, Shape: ColVec(5)})
+	if got.Shape.Cols != 1 {
+		t.Errorf("find col: got %v", got.Shape)
+	}
+	for _, fn := range []string{"any", "all"} {
+		got := resultOf(t, "function y = f(x)\ny = "+fn+"(x);\nend", dynVecT())
+		if got.Class != Bool || !got.IsScalar() {
+			t.Errorf("%s: got %v", fn, got)
+		}
+	}
+	got = resultOf(t, "function y = f(x)\ny = nnz(x);\nend", dynVecT())
+	if got.Class != Int {
+		t.Errorf("nnz: got %v", got)
+	}
+}
+
+func TestBuiltinCumsumTypes(t *testing.T) {
+	got := resultOf(t, "function y = f(x)\ny = cumsum(x);\nend", dynVecT())
+	if got.Shape.Rows != 1 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := analyzeOne(t, "function y = f(x)\ny = cumsum(x);\nend",
+		Type{Class: Real, Shape: Shape{3, 3}}); err == nil {
+		t.Error("cumsum of matrix should be rejected")
+	}
+}
+
+func TestSwitchTyping(t *testing.T) {
+	src := `function y = f(x)
+switch x
+case 1
+    y = 1;
+otherwise
+    y = 2i;
+end
+end`
+	got := resultOf(t, src, RealScalar)
+	if got.Class != Complex {
+		t.Errorf("switch join: got %v", got)
+	}
+}
+
+func TestSwitchRejectsNonScalarSubject(t *testing.T) {
+	src := `function y = f(x)
+switch x
+case 1
+    y = 1;
+end
+end`
+	// A statically-known non-scalar subject is rejected; unknown dims are
+	// accepted optimistically (they may be 1x1 at run time), matching the
+	// treatment of if/while conditions.
+	_, err := analyzeOne(t, src, Type{Class: Real, Shape: RowVec(4)})
+	if err == nil || !strings.Contains(err.Error(), "scalar") {
+		t.Errorf("got %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+package sema
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassJoin(t *testing.T) {
+	cases := []struct{ a, b, want Class }{
+		{Bool, Bool, Bool},
+		{Bool, Int, Int},
+		{Int, Real, Real},
+		{Real, Complex, Complex},
+		{Complex, Bool, Complex},
+		{Int, Int, Int},
+	}
+	for _, c := range cases {
+		if got := c.a.Join(c.b); got != c.want {
+			t.Errorf("%v ⊔ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Join(c.a); got != c.want {
+			t.Errorf("join not commutative for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+// Properties of the class lattice: idempotent, commutative, associative.
+func TestClassJoinLatticeLaws(t *testing.T) {
+	norm := func(x uint8) Class { return Class(x % 4) }
+	idem := func(x uint8) bool { c := norm(x); return c.Join(c) == c }
+	comm := func(x, y uint8) bool { a, b := norm(x), norm(y); return a.Join(b) == b.Join(a) }
+	assoc := func(x, y, z uint8) bool {
+		a, b, c := norm(x), norm(y), norm(z)
+		return a.Join(b).Join(c) == a.Join(b.Join(c))
+	}
+	for name, f := range map[string]interface{}{"idem": idem, "comm": comm, "assoc": assoc} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := ScalarShape
+	if !s.IsScalar() || !s.IsVector() || s.Len() != 1 {
+		t.Error("scalar shape misclassified")
+	}
+	r := RowVec(5)
+	if r.IsScalar() || !r.IsRowVec() || r.IsColVec() || r.Len() != 5 {
+		t.Error("row vector misclassified")
+	}
+	c := ColVec(3)
+	if !c.IsColVec() || c.Len() != 3 {
+		t.Error("col vector misclassified")
+	}
+	m := Shape{3, 4}
+	if m.IsVector() || m.Len() != 12 {
+		t.Error("matrix misclassified")
+	}
+	if m.Transposed() != (Shape{4, 3}) {
+		t.Error("transpose wrong")
+	}
+	u := Shape{DimUnknown, 4}
+	if u.Known() || u.Len() != DimUnknown {
+		t.Error("unknown dims misclassified")
+	}
+	if u.String() != "?x4" {
+		t.Errorf("String() = %q", u.String())
+	}
+}
+
+func TestShapeJoin(t *testing.T) {
+	a := Shape{3, 4}
+	if a.Join(a) != a {
+		t.Error("join not idempotent")
+	}
+	if got := a.Join(Shape{3, 5}); got != (Shape{3, DimUnknown}) {
+		t.Errorf("got %v", got)
+	}
+	if got := a.Join(Shape{2, 4}); got != (Shape{DimUnknown, 4}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+// Property: shape join is commutative and associative (on small dims).
+func TestShapeJoinLaws(t *testing.T) {
+	norm := func(x int8) int {
+		v := int(x % 4)
+		if v < 0 {
+			v = -v
+		}
+		if v == 3 {
+			return DimUnknown
+		}
+		return v + 1
+	}
+	mk := func(a, b int8) Shape { return Shape{norm(a), norm(b)} }
+	comm := func(a, b, c, d int8) bool {
+		x, y := mk(a, b), mk(c, d)
+		return x.Join(y) == y.Join(x)
+	}
+	assoc := func(a, b, c, d, e, f int8) bool {
+		x, y, z := mk(a, b), mk(c, d), mk(e, f)
+		return x.Join(y).Join(z) == x.Join(y.Join(z))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := RealScalar.String(); got != "real" {
+		t.Errorf("got %q", got)
+	}
+	ty := Type{Class: Complex, Shape: Shape{1, DimUnknown}}
+	if got := ty.String(); got != "complex 1x?" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBroadcastShape(t *testing.T) {
+	v := Shape{1, 8}
+	got, err := broadcastShape(ScalarShape, v)
+	if err != nil || got != v {
+		t.Errorf("scalar⊗vec = %v, %v", got, err)
+	}
+	got, err = broadcastShape(v, v)
+	if err != nil || got != v {
+		t.Errorf("vec⊗vec = %v, %v", got, err)
+	}
+	u := Shape{1, DimUnknown}
+	got, err = broadcastShape(v, u)
+	if err != nil || got != v {
+		t.Errorf("vec⊗unknown = %v, %v", got, err)
+	}
+	if _, err = broadcastShape(Shape{1, 8}, Shape{1, 9}); err == nil {
+		t.Error("expected nonconformance error")
+	}
+	if _, err = broadcastShape(Shape{2, 8}, Shape{1, 8}); err == nil {
+		t.Error("expected nonconformance error")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	got := Signature([]Type{RealScalar, {Class: Complex, Shape: RowVec(4)}})
+	if got != "(real,complex 1x4)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBuiltinCatalog(t *testing.T) {
+	for _, name := range []string{"zeros", "ones", "length", "size", "sum",
+		"sqrt", "abs", "real", "imag", "conj", "mod", "pi", "complex"} {
+		if !IsBuiltin(name) {
+			t.Errorf("%s missing from catalog", name)
+		}
+	}
+	if IsBuiltin("fprintf") {
+		t.Error("fprintf should not be a builtin")
+	}
+	if len(BuiltinNames()) < 20 {
+		t.Errorf("catalog too small: %d", len(BuiltinNames()))
+	}
+}

@@ -1,0 +1,635 @@
+package vectorize
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/lower"
+	"mat2c/internal/mlang"
+	"mat2c/internal/opt"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+)
+
+func compileOpt(t *testing.T, src string, params ...sema.Type) *ir.Func {
+	t.Helper()
+	file, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := file.Funcs[0].Name
+	info, err := sema.Analyze(file, entry, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(f, 1)
+	return f
+}
+
+func dynVec() sema.Type {
+	return sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func dynCVec() sema.Type {
+	return sema.Type{Class: sema.Complex, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func countVecOps(f *ir.Func) (vloads, vstores, vaccs int) {
+	opt.WalkStmts(f.Body, func(s ir.Stmt) {
+		if st, ok := s.(*ir.Store); ok && st.Val.Kind().IsVector() {
+			vstores++
+		}
+		if a, ok := s.(*ir.Assign); ok && a.Dst.Lanes > 1 {
+			vaccs++
+		}
+		opt.StmtExprs(s, func(e ir.Expr) {
+			opt.WalkExpr(e, func(x ir.Expr) {
+				if _, ok := x.(*ir.VecLoad); ok {
+					vloads++
+				}
+			})
+		})
+	})
+	return
+}
+
+func TestVectorizeElementwiseLoop(t *testing.T) {
+	src := `function y = f(a, b)
+n = length(a);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = a(i) * b(i) + 1;
+end
+end`
+	f := compileOpt(t, src, dynVec(), dynVec())
+	n := Apply(f, pdesc.Builtin("dspasip"))
+	if n == 0 {
+		t.Fatalf("loop not vectorized:\n%s", ir.Print(f))
+	}
+	vloads, vstores, _ := countVecOps(f)
+	if vloads < 2 || vstores < 1 {
+		t.Errorf("vloads=%d vstores=%d:\n%s", vloads, vstores, ir.Print(f))
+	}
+}
+
+func TestVectorizeReduction(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * b(i);
+end
+end`
+	f := compileOpt(t, src, dynVec(), dynVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n == 0 {
+		t.Fatalf("reduction not vectorized:\n%s", ir.Print(f))
+	}
+	_, _, vaccs := countVecOps(f)
+	if vaccs == 0 {
+		t.Errorf("no vector accumulator:\n%s", ir.Print(f))
+	}
+}
+
+func TestVectorizeRejectsRecurrence(t *testing.T) {
+	// IIR-style loop-carried dependence must not vectorize.
+	src := `function y = f(x)
+n = length(x);
+y = zeros(1, n);
+y(1) = x(1);
+for i = 2:n
+    y(i) = y(i-1) * 0.5 + x(i);
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n != 0 {
+		t.Fatalf("recurrence wrongly vectorized:\n%s", ir.Print(f))
+	}
+}
+
+func TestVectorizeRejectsStride2WithoutStridedLoads(t *testing.T) {
+	// Stride-2 access needs the vlds instruction; nocomplex lacks it.
+	src := `function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:fix(n/2)
+    y(i) = x(2*i);
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("nocomplex")); n != 0 {
+		t.Fatalf("strided access wrongly vectorized without vlds:\n%s", ir.Print(f))
+	}
+}
+
+func TestVectorizeRejectsNonAffineIndex(t *testing.T) {
+	// A rounded float index is not affine in the counter.
+	src := `function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n/2
+    y(i) = x(2*i);
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n != 0 {
+		t.Fatalf("non-affine index wrongly vectorized:\n%s", ir.Print(f))
+	}
+}
+
+func TestVectorizeIfConvertsConditionalReduction(t *testing.T) {
+	src := `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    if x(i) > 0
+        s = s + x(i);
+    end
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n == 0 {
+		t.Fatalf("conditional reduction not if-converted:\n%s", ir.Print(f))
+	}
+	hasSelect := false
+	opt.WalkStmts(f.Body, func(s ir.Stmt) {
+		opt.StmtExprs(s, func(e ir.Expr) {
+			opt.WalkExpr(e, func(x ir.Expr) {
+				if _, ok := x.(*ir.Select); ok {
+					hasSelect = true
+				}
+			})
+		})
+	})
+	if !hasSelect {
+		t.Errorf("expected a select in the vector loop:\n%s", ir.Print(f))
+	}
+}
+
+func TestVectorizeIfConvertsConditionalStore(t *testing.T) {
+	src := `function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(i);
+    if x(i) < 0
+        y(i) = 0;
+    end
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n == 0 {
+		t.Fatalf("conditional store not if-converted:\n%s", ir.Print(f))
+	}
+}
+
+func TestVectorizeRejectsConditionalWithElse(t *testing.T) {
+	// If/else arms are not if-converted (only single-arm predication).
+	src := `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    q = 0;
+    if x(i) > 0
+        q = x(i);
+    else
+        q = -2 * x(i);
+    end
+    s = s + q;
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n != 0 {
+		t.Fatalf("else arm wrongly vectorized:\n%s", ir.Print(f))
+	}
+}
+
+func TestVectorizeRejectsNestedIf(t *testing.T) {
+	src := `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    if x(i) > 0
+        if x(i) < 10
+            s = s + x(i);
+        end
+    end
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n != 0 {
+		t.Fatal("nested conditional wrongly vectorized")
+	}
+}
+
+func TestVectorizeScalarTargetDisabled(t *testing.T) {
+	src := `function y = f(a)
+n = length(a);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = a(i) + 1;
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("scalar")); n != 0 {
+		t.Fatal("vectorized for a scalar target")
+	}
+}
+
+func TestVectorizeComplexUsesComplexLanes(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`
+	f := compileOpt(t, src, dynCVec(), dynCVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n == 0 {
+		t.Fatalf("complex reduction not vectorized:\n%s", ir.Print(f))
+	}
+	// Lanes must be ComplexLanes (2), not SIMDWidth (4).
+	found := false
+	opt.WalkStmts(f.Body, func(s ir.Stmt) {
+		opt.StmtExprs(s, func(e ir.Expr) {
+			opt.WalkExpr(e, func(x ir.Expr) {
+				if vl, ok := x.(*ir.VecLoad); ok {
+					found = true
+					if vl.K.Lanes != 2 {
+						t.Errorf("complex vload lanes = %d, want 2", vl.K.Lanes)
+					}
+				}
+			})
+		})
+	})
+	if !found {
+		t.Error("no vector loads emitted")
+	}
+}
+
+func TestVectorizeInductionValueStore(t *testing.T) {
+	// The loop counter appears in value position: requires a ramp.
+	src := `function y = f(n)
+y = zeros(1, n);
+for i = 1:n
+    y(i) = 2 * i;
+end
+end`
+	f := compileOpt(t, src, sema.IntScalar)
+	if n := Apply(f, pdesc.Builtin("dspasip")); n == 0 {
+		t.Fatalf("induction store not vectorized:\n%s", ir.Print(f))
+	}
+	hasRamp := false
+	opt.WalkStmts(f.Body, func(s ir.Stmt) {
+		opt.StmtExprs(s, func(e ir.Expr) {
+			opt.WalkExpr(e, func(x ir.Expr) {
+				if _, ok := x.(*ir.Ramp); ok {
+					hasRamp = true
+				}
+			})
+		})
+	})
+	if !hasRamp {
+		t.Errorf("expected a ramp:\n%s", ir.Print(f))
+	}
+}
+
+// ----- Semantic equivalence property tests -----
+
+func runBoth(t *testing.T, src string, params []sema.Type, proc string, args []interface{}) ([]interface{}, []interface{}) {
+	t.Helper()
+	scalar := compileOpt(t, src, params...)
+	vec := compileOpt(t, src, params...)
+	Apply(vec, pdesc.Builtin(proc))
+
+	clone := func(in []interface{}) []interface{} {
+		out := make([]interface{}, len(in))
+		for i, a := range in {
+			if arr, ok := a.(*ir.Array); ok {
+				out[i] = arr.Clone()
+			} else {
+				out[i] = a
+			}
+		}
+		return out
+	}
+	ev1 := &ir.Evaluator{}
+	r1, err := ev1.Run(scalar, clone(args)...)
+	if err != nil {
+		t.Fatalf("scalar run: %v", err)
+	}
+	ev2 := &ir.Evaluator{}
+	r2, err := ev2.Run(vec, clone(args)...)
+	if err != nil {
+		t.Fatalf("vector run: %v\nIR:\n%s", err, ir.Print(vec))
+	}
+	return r1, r2
+}
+
+func nearlyEq(a, b interface{}) bool {
+	switch x := a.(type) {
+	case float64:
+		y := b.(float64)
+		return math.Abs(x-y) <= 1e-9*(1+math.Abs(x))
+	case int64:
+		return x == b.(int64)
+	case complex128:
+		y := b.(complex128)
+		d := x - y
+		return math.Hypot(real(d), imag(d)) <= 1e-9*(1+math.Hypot(real(x), imag(x)))
+	case *ir.Array:
+		y := b.(*ir.Array)
+		if x.Rows != y.Rows || x.Cols != y.Cols {
+			return false
+		}
+		for i := 0; i < x.Len(); i++ {
+			d := x.At(i) - y.At(i)
+			if math.Hypot(real(d), imag(d)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Property: for every kernel, every SIMD width, and many random lengths
+// (including 0, 1, and non-multiples of the width), vectorized execution
+// equals scalar execution.
+func TestVectorizeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	procs := []string{"wide2", "dspasip", "wide8"}
+
+	kernels := []struct {
+		name   string
+		src    string
+		params []sema.Type
+		mk     func(n int) []interface{}
+	}{
+		{
+			name: "saxpy",
+			src: `function y = f(a, x, b)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = a * x(i) + b(i);
+end
+end`,
+			params: []sema.Type{sema.RealScalar, dynVec(), dynVec()},
+			mk: func(n int) []interface{} {
+				return []interface{}{r.NormFloat64(), randArr(n, r), randArr(n, r)}
+			},
+		},
+		{
+			name: "dot",
+			src: `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * b(i);
+end
+end`,
+			params: []sema.Type{dynVec(), dynVec()},
+			mk: func(n int) []interface{} {
+				return []interface{}{randArr(n, r), randArr(n, r)}
+			},
+		},
+		{
+			name: "maxabs",
+			src: `function m = f(x)
+m = 0;
+for i = 1:length(x)
+    m = max(m, abs(x(i)));
+end
+end`,
+			params: []sema.Type{dynVec()},
+			mk:     func(n int) []interface{} { return []interface{}{randArr(n, r)} },
+		},
+		{
+			name: "cdot",
+			src: `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`,
+			params: []sema.Type{dynCVec(), dynCVec()},
+			mk: func(n int) []interface{} {
+				return []interface{}{randCArr(n, r), randCArr(n, r)}
+			},
+		},
+		{
+			name: "iota-shift",
+			src: `function y = f(n, x)
+y = zeros(1, n);
+for i = 1:n
+    y(i) = i * 0.5 + x(1);
+end
+end`,
+			params: []sema.Type{sema.IntScalar, dynVec()},
+			mk: func(n int) []interface{} {
+				return []interface{}{int64(n), randArr(3, r)}
+			},
+		},
+		{
+			name: "inplace-scale",
+			src: `function x = f(x)
+for i = 1:length(x)
+    x(i) = x(i) * 3;
+end
+end`,
+			params: []sema.Type{dynVec()},
+			mk:     func(n int) []interface{} { return []interface{}{randArr(n, r)} },
+		},
+		{
+			name: "cond-sum",
+			src: `function s = f(x)
+s = 0;
+for i = 1:length(x)
+    if x(i) > 0
+        s = s + x(i) * x(i);
+    end
+end
+end`,
+			params: []sema.Type{dynVec()},
+			mk:     func(n int) []interface{} { return []interface{}{randArr(n, r)} },
+		},
+		{
+			name: "clamp",
+			src: `function y = f(x, lo)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(i);
+    if x(i) < lo
+        y(i) = lo;
+    end
+end
+end`,
+			params: []sema.Type{dynVec(), sema.RealScalar},
+			mk: func(n int) []interface{} {
+				return []interface{}{randArr(n, r), -0.5}
+			},
+		},
+		{
+			name: "cond-minmax",
+			src: `function m = f(x, g)
+m = 1000;
+for i = 1:length(x)
+    if g(i) > 0
+        m = min(m, x(i));
+    end
+end
+end`,
+			params: []sema.Type{dynVec(), dynVec()},
+			mk: func(n int) []interface{} {
+				return []interface{}{randArr(n, r), randArr(n, r)}
+			},
+		},
+	}
+
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64}
+	for _, kern := range kernels {
+		for _, proc := range procs {
+			for _, n := range lengths {
+				if kern.name == "iota-shift" && n == 0 {
+					continue // x(1) faults on empty input regardless of vectorization
+				}
+				args := kern.mk(n)
+				r1, r2 := runBoth(t, kern.src, kern.params, proc, args)
+				for i := range r1 {
+					if !nearlyEq(r1[i], r2[i]) {
+						t.Errorf("%s/%s n=%d: result %d differs: %v vs %v",
+							kern.name, proc, n, i, r1[i], r2[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func randArr(n int, r *rand.Rand) *ir.Array {
+	a := ir.NewFloatArray(1, n)
+	for i := range a.F {
+		a.F[i] = r.NormFloat64()
+	}
+	return a
+}
+
+func randCArr(n int, r *rand.Rand) *ir.Array {
+	a := ir.NewComplexArray(1, n)
+	for i := range a.C {
+		a.C[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return a
+}
+
+func TestVectorizePrintsVectorOps(t *testing.T) {
+	src := `function y = f(a)
+n = length(a);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = a(i) + 1;
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	Apply(f, pdesc.Builtin("dspasip"))
+	p := ir.Print(f)
+	if !strings.Contains(p, "vload4") {
+		t.Errorf("expected vload4 in printout:\n%s", p)
+	}
+	if !strings.Contains(p, "step 4") {
+		t.Errorf("expected main loop step 4:\n%s", p)
+	}
+}
+
+func TestVectorizeStridedLoad(t *testing.T) {
+	// Decimation: x(2*i) has stride 2 — vectorizable only on targets
+	// with a strided-load instruction.
+	src := `function y = f(x, m)
+y = zeros(1, m);
+for i = 1:m
+    y(i) = x(2 * i);
+end
+end`
+	f := compileOpt(t, src, dynVec(), sema.IntScalar)
+	if n := Apply(f, pdesc.Builtin("dspasip")); n == 0 {
+		t.Fatalf("decimation not vectorized on dspasip:\n%s", ir.Print(f))
+	}
+	found := false
+	opt.WalkStmts(f.Body, func(s ir.Stmt) {
+		opt.StmtExprs(s, func(e ir.Expr) {
+			opt.WalkExpr(e, func(x ir.Expr) {
+				if vl, ok := x.(*ir.VecLoad); ok && vl.StrideOr1() == 2 {
+					found = true
+				}
+			})
+		})
+	})
+	if !found {
+		t.Errorf("expected a stride-2 vector load:\n%s", ir.Print(f))
+	}
+	// The nocomplex target also has vlds; a target without it must not
+	// vectorize this loop.
+	f2 := compileOpt(t, src, dynVec(), sema.IntScalar)
+	if n := Apply(f2, pdesc.Builtin("nocomplex")); n != 0 {
+		t.Error("nocomplex target has no vlds; decimation must stay scalar")
+	}
+}
+
+func TestVectorizeReversedLoad(t *testing.T) {
+	// x(n-i+1): stride -1 — needs the strided-load instruction too.
+	src := `function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(n - i + 1);
+end
+end`
+	f := compileOpt(t, src, dynVec())
+	if n := Apply(f, pdesc.Builtin("dspasip")); n == 0 {
+		t.Fatalf("reversal not vectorized:\n%s", ir.Print(f))
+	}
+}
+
+func TestVectorizeStridedEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	kernels := []struct {
+		src    string
+		params []sema.Type
+		args   func(n int) []interface{}
+	}{
+		{
+			`function y = f(x, m)
+y = zeros(1, m);
+for i = 1:m
+    y(i) = x(2 * i) + x(2 * i - 1);
+end
+end`,
+			[]sema.Type{dynVec(), sema.IntScalar},
+			func(n int) []interface{} { return []interface{}{randArr(2*n+2, r), int64(n)} },
+		},
+		{
+			`function y = f(x)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = x(n - i + 1) * 2;
+end
+end`,
+			[]sema.Type{dynVec()},
+			func(n int) []interface{} { return []interface{}{randArr(n, r)} },
+		},
+	}
+	for ki, k := range kernels {
+		for _, n := range []int{1, 3, 8, 17} {
+			args := k.args(n)
+			r1, r2 := runBoth(t, k.src, k.params, "dspasip", args)
+			for i := range r1 {
+				if !nearlyEq(r1[i], r2[i]) {
+					t.Errorf("kernel %d n=%d: %v vs %v", ki, n, r1[i], r2[i])
+				}
+			}
+		}
+	}
+}

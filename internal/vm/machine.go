@@ -1,0 +1,512 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/pdesc"
+)
+
+// FaultError is a VM runtime fault.
+type FaultError struct {
+	PC  int
+	Msg string
+}
+
+func (e *FaultError) Error() string { return fmt.Sprintf("vm fault at pc=%d: %s", e.PC, e.Msg) }
+
+// vmval is a register value. Scalar values are written through to all
+// three fields (with the same conversion conventions as the reference
+// evaluator); vector values live in lanes.
+type vmval struct {
+	i     int64
+	f     float64
+	c     complex128
+	lanes []complex128 // nil for scalars
+}
+
+func scalarOf(i int64, f float64, c complex128) vmval {
+	return vmval{i: i, f: f, c: c}
+}
+
+func fromInt(v int64) vmval     { return scalarOf(v, float64(v), complex(float64(v), 0)) }
+func fromFloat(v float64) vmval { return scalarOf(int64(v), v, complex(v, 0)) }
+func fromComplex(v complex128) vmval {
+	return scalarOf(int64(real(v)), real(v), v)
+}
+
+// lane returns lane j as a complex128 (scalars broadcast).
+func (v vmval) lane(j int) complex128 {
+	if v.lanes == nil {
+		return v.c
+	}
+	return v.lanes[j]
+}
+
+// Machine executes VM programs charging per-instruction cycle costs from
+// a processor description.
+type Machine struct {
+	Proc *pdesc.Processor
+	// MaxCycles bounds execution (0 = default 50e9).
+	MaxCycles int64
+	// Trace, when non-nil, receives one line per executed instruction
+	// (pc, disassembly, cycle counter) — a debugging aid; it can produce
+	// very large output.
+	Trace io.Writer
+
+	// Cycles is the total charged cost of the last Run.
+	Cycles int64
+	// Executed is the dynamic instruction count of the last Run.
+	Executed int64
+	// ClassCounts tallies executed instructions per cost class.
+	ClassCounts map[string]int64
+}
+
+// NewMachine returns a machine for the given processor.
+func NewMachine(p *pdesc.Processor) *Machine {
+	return &Machine{Proc: p}
+}
+
+func (m *Machine) charge(class string) {
+	m.Cycles += int64(m.Proc.Cost(class))
+	m.ClassCounts[class]++
+}
+
+func (m *Machine) chargeN(class string, n int64) {
+	m.Cycles += int64(m.Proc.Cost(class)) * n
+	m.ClassCounts[class] += n
+}
+
+// Run executes prog with the given arguments (int64, float64,
+// complex128, or *ir.Array matching each parameter) and returns results
+// in declaration order. Cycles/Executed/ClassCounts are reset per run.
+func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error) {
+	if m.MaxCycles == 0 {
+		m.MaxCycles = 50_000_000_000
+	}
+	m.Cycles = 0
+	m.Executed = 0
+	m.ClassCounts = map[string]int64{}
+
+	if len(args) != len(prog.Params) {
+		return nil, fmt.Errorf("%s expects %d arguments, got %d", prog.Name, len(prog.Params), len(args))
+	}
+	regs := make([]vmval, prog.NumRegs)
+	arrays := make([]*ir.Array, len(prog.Arrays))
+
+	for i, p := range prog.Params {
+		switch a := args[i].(type) {
+		case int64:
+			if p.IsArray {
+				return nil, fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
+			}
+			switch p.Elem {
+			case ir.Int:
+				regs[p.Reg] = fromInt(a)
+			case ir.Float:
+				regs[p.Reg] = fromFloat(float64(a))
+			default:
+				regs[p.Reg] = fromComplex(complex(float64(a), 0))
+			}
+		case float64:
+			if p.IsArray {
+				return nil, fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
+			}
+			switch p.Elem {
+			case ir.Int:
+				regs[p.Reg] = fromInt(int64(a))
+			case ir.Float:
+				regs[p.Reg] = fromFloat(a)
+			default:
+				regs[p.Reg] = fromComplex(complex(a, 0))
+			}
+		case complex128:
+			if p.IsArray {
+				return nil, fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
+			}
+			regs[p.Reg] = fromComplex(a)
+		case *ir.Array:
+			if !p.IsArray {
+				return nil, fmt.Errorf("argument %d: array passed for scalar parameter %s", i, p.Name)
+			}
+			if a.Elem != p.Elem {
+				return nil, fmt.Errorf("argument %d: array elem %s, parameter wants %s", i, a.Elem, p.Elem)
+			}
+			// MATLAB value semantics: distinct parameters must not share
+			// storage. Clone when the caller passes one array twice.
+			for _, q := range arrays {
+				if q == a {
+					a = a.Clone()
+					break
+				}
+			}
+			arrays[p.Arr] = a
+		default:
+			return nil, fmt.Errorf("argument %d: unsupported type %T", i, args[i])
+		}
+	}
+
+	if err := m.exec(prog, regs, arrays); err != nil {
+		return nil, err
+	}
+
+	results := make([]interface{}, len(prog.Results))
+	for i, r := range prog.Results {
+		if r.IsArray {
+			if arrays[r.Arr] == nil {
+				return nil, fmt.Errorf("result %s was never allocated", r.Name)
+			}
+			results[i] = arrays[r.Arr]
+			continue
+		}
+		v := regs[r.Reg]
+		switch r.Elem {
+		case ir.Int:
+			results[i] = v.i
+		case ir.Float:
+			results[i] = v.f
+		default:
+			results[i] = v.c
+		}
+	}
+	return results, nil
+}
+
+func (m *Machine) exec(prog *Program, regs []vmval, arrays []*ir.Array) error {
+	pc := 0
+	fault := func(format string, a ...interface{}) error {
+		return &FaultError{PC: pc, Msg: fmt.Sprintf(format, a...)}
+	}
+	for pc < len(prog.Instrs) {
+		if m.Cycles > m.MaxCycles {
+			return fault("cycle limit exceeded (%d)", m.MaxCycles)
+		}
+		in := &prog.Instrs[pc]
+		m.Executed++
+		if m.Trace != nil {
+			fmt.Fprintf(m.Trace, "%8d %5d: %s\n", m.Cycles, pc, disasmInstr(prog, *in))
+		}
+		switch in.Op {
+		case OpNop:
+
+		case OpConst:
+			switch in.K.Base {
+			case ir.Int:
+				regs[in.Dst] = fromInt(in.ImmI)
+				m.charge("imov")
+			case ir.Float:
+				regs[in.Dst] = fromFloat(in.ImmF)
+				m.charge("fmov")
+			default:
+				regs[in.Dst] = fromComplex(in.ImmC)
+				m.charge("cmov")
+			}
+
+		case OpMov:
+			regs[in.Dst] = regs[in.A]
+			m.charge(movClass(in.K))
+
+		case OpConv:
+			regs[in.Dst] = convVal(regs[in.A], in.K)
+			m.charge("conv")
+
+		case OpBin:
+			v, err := m.execBin(in, regs)
+			if err != nil {
+				return fault("%v", err)
+			}
+			regs[in.Dst] = v
+
+		case OpUn:
+			v, err := m.execUn(in, regs)
+			if err != nil {
+				return fault("%v", err)
+			}
+			regs[in.Dst] = v
+
+		case OpIntr:
+			v, err := m.execIntr(in, regs)
+			if err != nil {
+				return fault("%v", err)
+			}
+			regs[in.Dst] = v
+
+		case OpLoad:
+			arr := arrays[in.Arr]
+			if arr == nil {
+				return fault("load from unallocated array %s", prog.Arrays[in.Arr].Name)
+			}
+			idx := int(regs[in.A].i)
+			if idx < 0 || idx >= arr.Len() {
+				return fault("load %s[%d] out of bounds (len %d)", prog.Arrays[in.Arr].Name, idx, arr.Len())
+			}
+			if arr.Elem == ir.Complex {
+				regs[in.Dst] = fromComplex(arr.C[idx])
+				m.charge("cload")
+			} else {
+				regs[in.Dst] = fromFloat(arr.F[idx])
+				m.charge("load")
+			}
+
+		case OpVLoad:
+			arr := arrays[in.Arr]
+			if arr == nil {
+				return fault("vload from unallocated array %s", prog.Arrays[in.Arr].Name)
+			}
+			base := int(regs[in.A].i)
+			L := in.K.Lanes
+			stride := int(in.ImmI)
+			if stride == 0 {
+				stride = 1
+			}
+			lo, hi := base, base+(L-1)*stride
+			if stride < 0 {
+				lo, hi = hi, lo
+			}
+			if lo < 0 || hi >= arr.Len() {
+				return fault("vload %s[%d..%d] out of bounds (len %d)", prog.Arrays[in.Arr].Name, lo, hi, arr.Len())
+			}
+			lanes := make([]complex128, L)
+			for j := 0; j < L; j++ {
+				lanes[j] = arr.At(base + j*stride)
+			}
+			regs[in.Dst] = vmval{lanes: lanes}
+			if stride == 1 {
+				m.charge("vload")
+			} else {
+				// Strided load: charge the custom instruction, or its
+				// serialized expansion when the target lacks one.
+				name := "vlds"
+				scalarClass := "load"
+				if arr.Elem == ir.Complex {
+					name = "vclds"
+					scalarClass = "cload"
+				}
+				if ci := m.Proc.Instr(name); ci != nil {
+					m.Cycles += int64(ci.Cycles)
+					m.ClassCounts[name]++
+				} else {
+					m.chargeN(scalarClass, int64(L))
+				}
+			}
+
+		case OpStore:
+			arr := arrays[in.Arr]
+			if arr == nil {
+				return fault("store to unallocated array %s", prog.Arrays[in.Arr].Name)
+			}
+			base := int(regs[in.A].i)
+			val := regs[in.B]
+			L := in.K.Lanes
+			if base < 0 || base+L > arr.Len() {
+				return fault("store %s[%d..%d] out of bounds (len %d)", prog.Arrays[in.Arr].Name, base, base+L-1, arr.Len())
+			}
+			if L > 1 {
+				for j := 0; j < L; j++ {
+					storeElem(arr, base+j, val.lane(j))
+				}
+				m.charge("vstore")
+			} else {
+				storeElem(arr, base, val.c)
+				if arr.Elem == ir.Complex {
+					m.charge("cstore")
+				} else {
+					m.charge("store")
+				}
+			}
+
+		case OpAlloc:
+			r := int(regs[in.A].i)
+			c := int(regs[in.B].i)
+			if r < 0 || c < 0 || r*c > 1<<28 {
+				return fault("alloc %s: bad extent %dx%d", prog.Arrays[in.Arr].Name, r, c)
+			}
+			if prog.Arrays[in.Arr].Elem == ir.Complex {
+				arrays[in.Arr] = ir.NewComplexArray(r, c)
+			} else {
+				arrays[in.Arr] = ir.NewFloatArray(r, c)
+			}
+			m.charge("alloc")
+			// Zero-fill cost: one wide store per SIMD word.
+			w := int64(m.Proc.SIMDWidth)
+			if w < 1 {
+				w = 1
+			}
+			m.chargeN("vstore", (int64(r)*int64(c)+w-1)/w)
+
+		case OpDim:
+			arr := arrays[in.Arr]
+			if arr == nil {
+				return fault("dim of unallocated array %s", prog.Arrays[in.Arr].Name)
+			}
+			switch in.ImmI {
+			case int64(ir.DimRows):
+				regs[in.Dst] = fromInt(int64(arr.Rows))
+			case int64(ir.DimCols):
+				regs[in.Dst] = fromInt(int64(arr.Cols))
+			default:
+				regs[in.Dst] = fromInt(int64(arr.Len()))
+			}
+			m.charge("imov")
+
+		case OpSel:
+			cond, th, el := regs[in.Args[0]], regs[in.Args[1]], regs[in.Args[2]]
+			if in.K.Lanes <= 1 {
+				if isZero(cond) {
+					regs[in.Dst] = convVal(el, in.K)
+				} else {
+					regs[in.Dst] = convVal(th, in.K)
+				}
+				m.charge("fcmp")
+				break
+			}
+			lanes := make([]complex128, in.K.Lanes)
+			for j := range lanes {
+				if cond.lane(j) != 0 {
+					lanes[j] = th.lane(j)
+				} else {
+					lanes[j] = el.lane(j)
+				}
+				if in.K.Base != ir.Complex {
+					lanes[j] = complex(real(lanes[j]), 0)
+				}
+			}
+			regs[in.Dst] = vmval{lanes: lanes}
+			m.charge("vop")
+
+		case OpSplat:
+			lanes := make([]complex128, in.K.Lanes)
+			v := regs[in.A].c
+			for j := range lanes {
+				lanes[j] = v
+			}
+			regs[in.Dst] = vmval{lanes: lanes}
+			m.charge("vsplat")
+
+		case OpRamp:
+			lanes := make([]complex128, in.K.Lanes)
+			base := regs[in.A].i
+			for j := range lanes {
+				lanes[j] = complex(float64(base+int64(j)*in.ImmI), 0)
+			}
+			regs[in.Dst] = vmval{lanes: lanes}
+			m.charge("vsplat")
+
+		case OpReduce:
+			v := regs[in.A]
+			if v.lanes == nil {
+				return fault("reduce of scalar register")
+			}
+			acc := v.lanes[0]
+			for j := 1; j < len(v.lanes); j++ {
+				var err error
+				acc, err = scalarBin(in.BOp, in.OpBase, acc, v.lanes[j])
+				if err != nil {
+					return fault("%v", err)
+				}
+			}
+			regs[in.Dst] = materialize(acc, in.K.Base)
+			m.charge("vreduce")
+
+		case OpJmp:
+			m.charge("jump")
+			pc = in.Off
+			continue
+
+		case OpJz:
+			m.charge("branch")
+			if isZero(regs[in.A]) {
+				pc = in.Off
+				continue
+			}
+
+		case OpRet:
+			m.charge("ret")
+			return nil
+
+		default:
+			return fault("bad opcode %s", in.Op)
+		}
+		pc++
+	}
+	return nil
+}
+
+func movClass(k ir.Kind) string {
+	if k.Lanes > 1 {
+		return "vsplat"
+	}
+	switch k.Base {
+	case ir.Int:
+		return "imov"
+	case ir.Float:
+		return "fmov"
+	default:
+		return "cmov"
+	}
+}
+
+func storeElem(arr *ir.Array, i int, v complex128) {
+	if arr.Elem == ir.Complex {
+		arr.C[i] = v
+	} else {
+		arr.F[i] = real(v)
+	}
+}
+
+func isZero(v vmval) bool {
+	if v.lanes != nil {
+		return v.lanes[0] == 0
+	}
+	return v.i == 0 && v.f == 0 && v.c == 0
+}
+
+// materialize builds a scalar vmval from a complex computation result at
+// the given base (write-through fields like the reference evaluator).
+func materialize(v complex128, base ir.BaseKind) vmval {
+	switch base {
+	case ir.Int:
+		return fromInt(int64(real(v)))
+	case ir.Float:
+		return fromFloat(real(v))
+	default:
+		return fromComplex(v)
+	}
+}
+
+// convVal implements assignment conversion (truncation toward zero for
+// float→int, real part for complex→float), matching the reference
+// evaluator's convertVal.
+func convVal(v vmval, k ir.Kind) vmval {
+	if k.Lanes > 1 {
+		// Vector conversions preserve lane count.
+		src := v.lanes
+		lanes := make([]complex128, k.Lanes)
+		for j := range lanes {
+			var x complex128
+			if src == nil {
+				x = v.c
+			} else if j < len(src) {
+				x = src[j]
+			}
+			switch k.Base {
+			case ir.Int:
+				lanes[j] = complex(float64(int64(real(x))), 0)
+			case ir.Float:
+				lanes[j] = complex(real(x), 0)
+			default:
+				lanes[j] = x
+			}
+		}
+		return vmval{lanes: lanes}
+	}
+	switch k.Base {
+	case ir.Int:
+		return fromInt(v.i)
+	case ir.Float:
+		return fromFloat(v.f)
+	default:
+		return fromComplex(v.c)
+	}
+}

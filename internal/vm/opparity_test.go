@@ -1,0 +1,231 @@
+package vm
+
+// Systematic operation parity: every unary and binary IR operation is
+// evaluated on the reference evaluator and the VM, in scalar and vector
+// form, over a grid of operand values, and the results must agree
+// exactly. This pins the two executors' semantics together op by op.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/pdesc"
+)
+
+// buildUnary returns a function computing op over a float parameter.
+func buildUnary(op ir.Op, resBase ir.BaseKind, vector bool) *ir.Func {
+	f := ir.NewFunc(fmt.Sprintf("un_%s", op))
+	x := f.NewSym("x", ir.Float, true)
+	y := f.NewSym("y", ir.Float, true)
+	k := f.NewSym("k", ir.Int, false)
+	f.Params = []*ir.Sym{x}
+	f.Results = []*ir.Sym{y}
+	n := &ir.Dim{Arr: x, Which: ir.DimLen}
+	f.Body = []ir.Stmt{
+		&ir.Alloc{Arr: y, Rows: ir.CI(1), Cols: n},
+	}
+	if vector {
+		const L = 4
+		vk := ir.Kind{Base: resBase, Lanes: L}
+		f.Body = append(f.Body, &ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(L)), Step: L,
+			Body: []ir.Stmt{&ir.Store{Arr: y, Index: ir.V(k),
+				Val: convToFloatVec(&ir.Un{Op: op, K: vk,
+					X: &ir.VecLoad{Arr: x, Index: ir.V(k), K: ir.Kind{Base: ir.Float, Lanes: L}}}, L)}}})
+	} else {
+		f.Body = append(f.Body, &ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1,
+			Body: []ir.Stmt{&ir.Store{Arr: y, Index: ir.V(k),
+				Val: convToFloat(&ir.Un{Op: op, K: ir.Kind{Base: resBase, Lanes: 1},
+					X: &ir.Load{Arr: x, Index: ir.V(k)}})}}})
+	}
+	return f
+}
+
+func convToFloat(e ir.Expr) ir.Expr {
+	if e.Kind().Base == ir.Float {
+		return e
+	}
+	return ir.U(ir.OpToFloat, e, ir.KFloat)
+}
+
+func convToFloatVec(e ir.Expr, lanes int) ir.Expr {
+	if e.Kind().Base == ir.Float {
+		return e
+	}
+	return ir.U(ir.OpToFloat, e, ir.Kind{Base: ir.Float, Lanes: lanes})
+}
+
+// buildBinary returns a function computing x op g elementwise.
+func buildBinary(op ir.Op, resBase ir.BaseKind, vector bool) *ir.Func {
+	f := ir.NewFunc(fmt.Sprintf("bin_%s", op))
+	x := f.NewSym("x", ir.Float, true)
+	g := f.NewSym("g", ir.Float, true)
+	y := f.NewSym("y", ir.Float, true)
+	k := f.NewSym("k", ir.Int, false)
+	f.Params = []*ir.Sym{x, g}
+	f.Results = []*ir.Sym{y}
+	n := &ir.Dim{Arr: x, Which: ir.DimLen}
+	f.Body = []ir.Stmt{&ir.Alloc{Arr: y, Rows: ir.CI(1), Cols: n}}
+	if vector {
+		const L = 4
+		vk := ir.Kind{Base: resBase, Lanes: L}
+		fk := ir.Kind{Base: ir.Float, Lanes: L}
+		f.Body = append(f.Body, &ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(L)), Step: L,
+			Body: []ir.Stmt{&ir.Store{Arr: y, Index: ir.V(k),
+				Val: convToFloatVec(&ir.Bin{Op: op, K: vk,
+					X: &ir.VecLoad{Arr: x, Index: ir.V(k), K: fk},
+					Y: &ir.VecLoad{Arr: g, Index: ir.V(k), K: fk}}, L)}}})
+	} else {
+		f.Body = append(f.Body, &ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1,
+			Body: []ir.Stmt{&ir.Store{Arr: y, Index: ir.V(k),
+				Val: convToFloat(&ir.Bin{Op: op, K: ir.Kind{Base: resBase, Lanes: 1},
+					X: &ir.Load{Arr: x, Index: ir.V(k)},
+					Y: &ir.Load{Arr: g, Index: ir.V(k)}})}}})
+	}
+	return f
+}
+
+var parityGrid = []float64{-2.5, -1, -0.25, 0, 0.25, 0.5, 1, 2, 3.75}
+
+func gridArr() *ir.Array {
+	// 12 elements (multiple of 4 for the vector form): grid + extras.
+	vals := append(append([]float64{}, parityGrid...), 4, -4, 0.125)
+	a := ir.NewFloatArray(1, len(vals))
+	copy(a.F, vals)
+	return a
+}
+
+func gridArr2() *ir.Array {
+	vals := []float64{1, -1, 2, 0.5, -0.5, 3, -2, 0.25, 2, 1.5, -3, 1}
+	a := ir.NewFloatArray(1, len(vals))
+	copy(a.F, vals)
+	return a
+}
+
+func runParity(t *testing.T, f *ir.Func, args ...interface{}) {
+	t.Helper()
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatalf("%s: lower: %v", f.Name, err)
+	}
+	ev := &ir.Evaluator{}
+	want, err := ev.Run(f, cloneArgs(args)...)
+	if err != nil {
+		t.Fatalf("%s: reference: %v", f.Name, err)
+	}
+	m := NewMachine(pdesc.Builtin("dspasip"))
+	got, err := m.Run(prog, cloneArgs(args)...)
+	if err != nil {
+		t.Fatalf("%s: vm: %v", f.Name, err)
+	}
+	w := want[0].(*ir.Array)
+	g := got[0].(*ir.Array)
+	for i := range w.F {
+		a, b := w.F[i], g.F[i]
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Errorf("%s[%d]: reference %v, vm %v", f.Name, i, a, b)
+		}
+	}
+}
+
+func TestOpParityUnary(t *testing.T) {
+	cases := []struct {
+		op  ir.Op
+		res ir.BaseKind
+	}{
+		{ir.OpNeg, ir.Float}, {ir.OpNot, ir.Int}, {ir.OpAbs, ir.Float},
+		{ir.OpSqrt, ir.Float}, {ir.OpSin, ir.Float}, {ir.OpCos, ir.Float},
+		{ir.OpTan, ir.Float}, {ir.OpExp, ir.Float}, {ir.OpLog, ir.Float},
+		{ir.OpAtan, ir.Float}, {ir.OpSinh, ir.Float}, {ir.OpCosh, ir.Float},
+		{ir.OpTanh, ir.Float}, {ir.OpFloor, ir.Int}, {ir.OpCeil, ir.Int},
+		{ir.OpRound, ir.Int}, {ir.OpTrunc, ir.Int}, {ir.OpSign, ir.Int},
+		{ir.OpToInt, ir.Int}, {ir.OpToFloat, ir.Float},
+	}
+	for _, c := range cases {
+		for _, vector := range []bool{false, true} {
+			f := buildUnary(c.op, c.res, vector)
+			runParity(t, f, gridArr())
+		}
+	}
+}
+
+func TestOpParityBinary(t *testing.T) {
+	cases := []struct {
+		op  ir.Op
+		res ir.BaseKind
+	}{
+		{ir.OpAdd, ir.Float}, {ir.OpSub, ir.Float}, {ir.OpMul, ir.Float},
+		{ir.OpDiv, ir.Float}, {ir.OpRem, ir.Float}, {ir.OpPow, ir.Float},
+		{ir.OpMin, ir.Float}, {ir.OpMax, ir.Float}, {ir.OpAtan2, ir.Float},
+		{ir.OpLt, ir.Int}, {ir.OpLe, ir.Int}, {ir.OpGt, ir.Int},
+		{ir.OpGe, ir.Int}, {ir.OpEq, ir.Int}, {ir.OpNe, ir.Int},
+		{ir.OpAnd, ir.Int}, {ir.OpOr, ir.Int},
+	}
+	for _, c := range cases {
+		for _, vector := range []bool{false, true} {
+			f := buildBinary(c.op, c.res, vector)
+			runParity(t, f, gridArr(), gridArr2())
+		}
+	}
+}
+
+// TestOpParityComplex exercises the complex unary/binary paths on both
+// executors via a complex array kernel.
+func TestOpParityComplex(t *testing.T) {
+	unops := []struct {
+		op  ir.Op
+		res ir.BaseKind
+	}{
+		{ir.OpNeg, ir.Complex}, {ir.OpConj, ir.Complex}, {ir.OpSqrt, ir.Complex},
+		{ir.OpExp, ir.Complex}, {ir.OpLog, ir.Complex},
+		{ir.OpAbs, ir.Float}, {ir.OpRe, ir.Float}, {ir.OpIm, ir.Float},
+		{ir.OpAngle, ir.Float},
+	}
+	mk := func(op ir.Op, res ir.BaseKind) *ir.Func {
+		f := ir.NewFunc(fmt.Sprintf("cun_%s", op))
+		x := f.NewSym("x", ir.Complex, true)
+		y := f.NewSym("y", ir.Complex, true)
+		k := f.NewSym("k", ir.Int, false)
+		f.Params = []*ir.Sym{x}
+		f.Results = []*ir.Sym{y}
+		n := &ir.Dim{Arr: x, Which: ir.DimLen}
+		val := ir.Expr(&ir.Un{Op: op, K: ir.Kind{Base: res, Lanes: 1},
+			X: &ir.Load{Arr: x, Index: ir.V(k)}})
+		if res != ir.Complex {
+			val = ir.U(ir.OpToComplex, val, ir.KComplex)
+		}
+		f.Body = []ir.Stmt{
+			&ir.Alloc{Arr: y, Rows: ir.CI(1), Cols: n},
+			&ir.For{Var: k, Lo: ir.CI(0), Hi: ir.ISub(n, ir.CI(1)), Step: 1,
+				Body: []ir.Stmt{&ir.Store{Arr: y, Index: ir.V(k), Val: val}}},
+		}
+		return f
+	}
+	x := ir.NewComplexArray(1, 6)
+	copy(x.C, []complex128{1 + 2i, -0.5 - 1i, 3, 2i, -1, 0.25 - 0.75i})
+	for _, c := range unops {
+		f := mk(c.op, c.res)
+		prog, err := Lower(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := &ir.Evaluator{}
+		want, err := ev.Run(f, x.Clone())
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		m := NewMachine(pdesc.Builtin("dspasip"))
+		got, err := m.Run(prog, x.Clone())
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		w := want[0].(*ir.Array)
+		g := got[0].(*ir.Array)
+		for i := range w.C {
+			if w.C[i] != g.C[i] {
+				t.Errorf("%s[%d]: reference %v, vm %v", f.Name, i, w.C[i], g.C[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package vm
+
+// Peephole optimization over lowered VM code. Expression lowering
+// computes into a fresh temp register and then copies it into the
+// destination variable:
+//
+//	add.float r7, r2, r3
+//	mov.float r4, r7
+//
+// When the temp is written once and read only by that mov, the compute
+// instruction is retargeted and the mov removed. Branch offsets are
+// remapped afterwards. Both pipelines get this cleanup, so cycle and
+// code-size comparisons stay fair.
+
+// dstOf returns the destination register of an instruction, or -1.
+func dstOf(in *Instr) int {
+	switch in.Op {
+	case OpConst, OpMov, OpConv, OpBin, OpUn, OpIntr, OpLoad, OpVLoad,
+		OpDim, OpSplat, OpRamp, OpReduce, OpSel:
+		return in.Dst
+	}
+	return -1
+}
+
+// regReads appends the registers an instruction reads.
+func regReads(in *Instr, out []int) []int {
+	switch in.Op {
+	case OpMov, OpConv, OpUn, OpSplat, OpRamp, OpReduce:
+		out = append(out, in.A)
+	case OpBin:
+		out = append(out, in.A, in.B)
+	case OpIntr, OpSel:
+		out = append(out, in.Args...)
+	case OpLoad, OpVLoad:
+		out = append(out, in.A)
+	case OpStore:
+		out = append(out, in.A, in.B)
+	case OpAlloc:
+		out = append(out, in.A, in.B)
+	case OpJz:
+		out = append(out, in.A)
+	}
+	return out
+}
+
+// peephole rewrites prog in place and returns the number of removed
+// instructions.
+func peephole(prog *Program) int {
+	n := len(prog.Instrs)
+	reads := make([]int, prog.NumRegs)
+	writes := make([]int, prog.NumRegs)
+	var buf []int
+	for i := range prog.Instrs {
+		buf = regReads(&prog.Instrs[i], buf[:0])
+		for _, r := range buf {
+			reads[r]++
+		}
+		if d := dstOf(&prog.Instrs[i]); d >= 0 {
+			writes[d]++
+		}
+	}
+	// Parameters and results are externally visible.
+	pinned := make([]bool, prog.NumRegs)
+	for _, p := range prog.Params {
+		if !p.IsArray {
+			pinned[p.Reg] = true
+		}
+	}
+	for _, r := range prog.Results {
+		if !r.IsArray {
+			pinned[r.Reg] = true
+		}
+	}
+	// Branch targets: retargeting across a label would change meaning.
+	isTarget := make([]bool, n+1)
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if in.Op == OpJmp || in.Op == OpJz {
+			isTarget[in.Off] = true
+		}
+	}
+
+	remove := make([]bool, n)
+	removed := 0
+	for i := 0; i+1 < n; i++ {
+		in := &prog.Instrs[i]
+		mv := &prog.Instrs[i+1]
+		if mv.Op != OpMov || isTarget[i+1] || remove[i] {
+			continue
+		}
+		d := dstOf(in)
+		if d < 0 || d != mv.A || d == mv.Dst || pinned[d] {
+			continue
+		}
+		if reads[d] != 1 || writes[d] != 1 {
+			continue
+		}
+		// Retarget the producer and drop the mov.
+		in.Dst = mv.Dst
+		remove[i+1] = true
+		removed++
+	}
+	if removed == 0 {
+		return 0
+	}
+	// Compact and remap branch offsets.
+	newIdx := make([]int, n+1)
+	j := 0
+	for i := 0; i < n; i++ {
+		newIdx[i] = j
+		if !remove[i] {
+			j++
+		}
+	}
+	newIdx[n] = j
+	out := make([]Instr, 0, j)
+	for i := 0; i < n; i++ {
+		if remove[i] {
+			continue
+		}
+		in := prog.Instrs[i]
+		if in.Op == OpJmp || in.Op == OpJz {
+			in.Off = newIdx[in.Off]
+		}
+		out = append(out, in)
+	}
+	prog.Instrs = out
+	return removed
+}

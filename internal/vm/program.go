@@ -1,0 +1,287 @@
+// Package vm implements the ASIP cycle-model virtual machine that
+// substitutes for the paper's hardware target.
+//
+// The compiler lowers its IR to a linear instruction stream (this
+// package's Program) and the Machine executes it while charging each
+// instruction a cycle cost drawn from the processor description — the
+// same description that drove vectorization and instruction selection.
+// Custom instructions execute as single (cheap) operations; complex
+// arithmetic *without* ISA support is charged its real-arithmetic
+// expansion, and vector operations are charged as single vector-unit
+// issues. Absolute numbers are a model, not the authors' silicon; the
+// relative cost of baseline vs. optimized code — which is what the
+// paper's speedup table reports — is what the model preserves.
+//
+// The VM's observable semantics (values, faults) intentionally mirror
+// the ir package's reference evaluator; the test suite runs both on the
+// same kernels and inputs and requires identical results.
+package vm
+
+import (
+	"fmt"
+
+	"mat2c/internal/ir"
+)
+
+// Opc is a VM opcode.
+type Opc int
+
+// VM opcodes.
+const (
+	OpNop    Opc = iota
+	OpConst      // Dst = Imm (kind K)
+	OpMov        // Dst = A
+	OpConv       // Dst = conv<K>(A)
+	OpBin        // Dst = A <BOp> B, computed at base OpBase
+	OpUn         // Dst = <BOp> A
+	OpIntr       // Dst = Intr(args...)
+	OpLoad       // Dst = Arr[A]  (scalar element)
+	OpVLoad      // Dst = Arr[A .. A+K.Lanes-1]
+	OpStore      // Arr[A] = B (vector B stores K.Lanes elements)
+	OpAlloc      // alloc Arr with rows=A, cols=B (zero-filled)
+	OpDim        // Dst = dim<ImmI>(Arr): 0 rows, 1 cols, 2 len
+	OpSel        // Dst = Args[0] (mask) ? Args[1] : Args[2], lane-wise
+	OpSplat      // Dst = broadcast(A) to K.Lanes
+	OpRamp       // Dst = {A, A+step, ...} (step in ImmI)
+	OpReduce     // Dst = horizontal <BOp> over lanes of A
+	OpJmp        // pc = Off
+	OpJz         // if A == 0: pc = Off
+	OpRet        // return
+)
+
+var opcNames = map[Opc]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov", OpConv: "conv",
+	OpBin: "bin", OpUn: "un", OpIntr: "intr", OpLoad: "load",
+	OpVLoad: "vload", OpStore: "store", OpAlloc: "alloc", OpDim: "dim",
+	OpSplat: "splat", OpRamp: "ramp", OpReduce: "reduce", OpSel: "sel",
+	OpJmp: "jmp", OpJz: "jz", OpRet: "ret",
+}
+
+// String returns the opcode mnemonic.
+func (o Opc) String() string {
+	if s, ok := opcNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Opc(%d)", int(o))
+}
+
+// Instr is one VM instruction. Register and array operands are indices
+// into the program's virtual register file and array slot table.
+type Instr struct {
+	Op     Opc
+	K      ir.Kind     // result kind
+	OpBase ir.BaseKind // computation base for OpBin/OpReduce
+	BOp    ir.Op       // IR operation for OpBin/OpUn/OpReduce
+
+	Dst  int
+	A, B int
+	Args []int // OpIntr arguments
+
+	ImmI int64
+	ImmF float64
+	ImmC complex128
+
+	Arr  int    // array slot for memory ops
+	Off  int    // branch target
+	Intr string // intrinsic name for OpIntr
+}
+
+// ArraySlot describes one array variable of the program.
+type ArraySlot struct {
+	Name string
+	Elem ir.BaseKind
+}
+
+// Param describes one function parameter.
+type Param struct {
+	Name    string
+	IsArray bool
+	Elem    ir.BaseKind
+	Reg     int // scalar register, or
+	Arr     int // array slot
+}
+
+// Program is a compiled function in VM form.
+type Program struct {
+	Name    string
+	Instrs  []Instr
+	NumRegs int
+	Arrays  []ArraySlot
+	Params  []Param
+	Results []Param
+}
+
+// Len returns the static instruction count (the code-size metric).
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Validate checks structural well-formedness: register and array
+// operands in range and branch targets within the program. Lower always
+// produces valid programs; Validate guards hand-built or mutated ones.
+func (p *Program) Validate() error {
+	reg := func(r int) error {
+		if r < 0 || r >= p.NumRegs {
+			return fmt.Errorf("register r%d out of range (have %d)", r, p.NumRegs)
+		}
+		return nil
+	}
+	arr := func(a int) error {
+		if a < 0 || a >= len(p.Arrays) {
+			return fmt.Errorf("array slot %d out of range (have %d)", a, len(p.Arrays))
+		}
+		return nil
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		check := func(err error) error {
+			if err != nil {
+				return fmt.Errorf("instr %d (%s): %w", i, in.Op, err)
+			}
+			return nil
+		}
+		switch in.Op {
+		case OpNop, OpRet:
+		case OpConst:
+			if err := check(reg(in.Dst)); err != nil {
+				return err
+			}
+		case OpMov, OpConv, OpUn, OpSplat, OpRamp, OpReduce:
+			if err := check(reg(in.Dst)); err != nil {
+				return err
+			}
+			if err := check(reg(in.A)); err != nil {
+				return err
+			}
+		case OpBin:
+			for _, r := range []int{in.Dst, in.A, in.B} {
+				if err := check(reg(r)); err != nil {
+					return err
+				}
+			}
+		case OpIntr, OpSel:
+			if err := check(reg(in.Dst)); err != nil {
+				return err
+			}
+			for _, r := range in.Args {
+				if err := check(reg(r)); err != nil {
+					return err
+				}
+			}
+		case OpLoad, OpVLoad:
+			if err := check(reg(in.Dst)); err != nil {
+				return err
+			}
+			if err := check(reg(in.A)); err != nil {
+				return err
+			}
+			if err := check(arr(in.Arr)); err != nil {
+				return err
+			}
+		case OpStore:
+			if err := check(reg(in.A)); err != nil {
+				return err
+			}
+			if err := check(reg(in.B)); err != nil {
+				return err
+			}
+			if err := check(arr(in.Arr)); err != nil {
+				return err
+			}
+		case OpAlloc:
+			if err := check(reg(in.A)); err != nil {
+				return err
+			}
+			if err := check(reg(in.B)); err != nil {
+				return err
+			}
+			if err := check(arr(in.Arr)); err != nil {
+				return err
+			}
+		case OpDim:
+			if err := check(reg(in.Dst)); err != nil {
+				return err
+			}
+			if err := check(arr(in.Arr)); err != nil {
+				return err
+			}
+		case OpJmp:
+			if in.Off < 0 || in.Off > len(p.Instrs) {
+				return fmt.Errorf("instr %d: jump target %d out of range", i, in.Off)
+			}
+		case OpJz:
+			if err := check(reg(in.A)); err != nil {
+				return err
+			}
+			if in.Off < 0 || in.Off > len(p.Instrs) {
+				return fmt.Errorf("instr %d: branch target %d out of range", i, in.Off)
+			}
+		default:
+			return fmt.Errorf("instr %d: unknown opcode %d", i, int(in.Op))
+		}
+	}
+	return nil
+}
+
+// Disasm renders the program as assembly-like text.
+func (p *Program) Disasm() string {
+	out := fmt.Sprintf("; program %s: %d instrs, %d regs, %d arrays\n",
+		p.Name, len(p.Instrs), p.NumRegs, len(p.Arrays))
+	for i, in := range p.Instrs {
+		out += fmt.Sprintf("%4d: %s\n", i, disasmInstr(p, in))
+	}
+	return out
+}
+
+func disasmInstr(p *Program, in Instr) string {
+	arr := func() string {
+		if in.Arr >= 0 && in.Arr < len(p.Arrays) {
+			return p.Arrays[in.Arr].Name
+		}
+		return fmt.Sprintf("arr%d", in.Arr)
+	}
+	switch in.Op {
+	case OpConst:
+		switch in.K.Base {
+		case ir.Int:
+			return fmt.Sprintf("const r%d, %d", in.Dst, in.ImmI)
+		case ir.Float:
+			return fmt.Sprintf("const r%d, %g", in.Dst, in.ImmF)
+		default:
+			return fmt.Sprintf("const r%d, %v", in.Dst, in.ImmC)
+		}
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", in.Dst, in.A)
+	case OpConv:
+		return fmt.Sprintf("conv.%s r%d, r%d", in.K, in.Dst, in.A)
+	case OpBin:
+		return fmt.Sprintf("%s.%s r%d, r%d, r%d", in.BOp, in.K, in.Dst, in.A, in.B)
+	case OpUn:
+		return fmt.Sprintf("%s.%s r%d, r%d", in.BOp, in.K, in.Dst, in.A)
+	case OpIntr:
+		return fmt.Sprintf("%s.%s r%d, %v", in.Intr, in.K, in.Dst, in.Args)
+	case OpSel:
+		return fmt.Sprintf("sel.%s r%d, %v", in.K, in.Dst, in.Args)
+	case OpLoad:
+		return fmt.Sprintf("load.%s r%d, %s[r%d]", in.K, in.Dst, arr(), in.A)
+	case OpVLoad:
+		return fmt.Sprintf("vload.%s r%d, %s[r%d]", in.K, in.Dst, arr(), in.A)
+	case OpStore:
+		return fmt.Sprintf("store.%s %s[r%d], r%d", in.K, arr(), in.A, in.B)
+	case OpAlloc:
+		return fmt.Sprintf("alloc %s, r%d, r%d", arr(), in.A, in.B)
+	case OpDim:
+		return fmt.Sprintf("dim%d r%d, %s", in.ImmI, in.Dst, arr())
+	case OpSplat:
+		return fmt.Sprintf("splat.%s r%d, r%d", in.K, in.Dst, in.A)
+	case OpRamp:
+		return fmt.Sprintf("ramp.%s r%d, r%d, %d", in.K, in.Dst, in.A, in.ImmI)
+	case OpReduce:
+		return fmt.Sprintf("reduce_%s.%s r%d, r%d", in.BOp, in.K, in.Dst, in.A)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Off)
+	case OpJz:
+		return fmt.Sprintf("jz r%d, %d", in.A, in.Off)
+	case OpRet:
+		return "ret"
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,544 @@
+package vm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/isel"
+	"mat2c/internal/lower"
+	"mat2c/internal/mlang"
+	"mat2c/internal/opt"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+	"mat2c/internal/vectorize"
+)
+
+// buildIR compiles MATLAB source through the full middle end for the
+// given processor (optionally with vectorization and isel).
+func buildIR(t *testing.T, src, proc string, optimize bool, params ...sema.Type) (*ir.Func, *pdesc.Processor) {
+	t.Helper()
+	file, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := file.Funcs[0].Name
+	info, err := sema.Analyze(file, entry, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pdesc.Builtin(proc)
+	if optimize {
+		opt.Optimize(f, 1)
+		vectorize.Apply(f, p)
+		isel.Apply(f, p)
+	}
+	return f, p
+}
+
+func dynVec() sema.Type {
+	return sema.Type{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func dynCVec() sema.Type {
+	return sema.Type{Class: sema.Complex, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+}
+
+func cloneArgs(args []interface{}) []interface{} {
+	out := make([]interface{}, len(args))
+	for i, a := range args {
+		if arr, ok := a.(*ir.Array); ok {
+			out[i] = arr.Clone()
+		} else {
+			out[i] = a
+		}
+	}
+	return out
+}
+
+func nearlyEq(a, b interface{}) bool {
+	switch x := a.(type) {
+	case float64:
+		y := b.(float64)
+		return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)) || math.IsNaN(x) && math.IsNaN(y)
+	case int64:
+		return x == b.(int64)
+	case complex128:
+		y := b.(complex128)
+		d := x - y
+		return math.Hypot(real(d), imag(d)) <= 1e-9*(1+math.Hypot(real(x), imag(x)))
+	case *ir.Array:
+		y := b.(*ir.Array)
+		if x.Rows != y.Rows || x.Cols != y.Cols {
+			return false
+		}
+		for i := 0; i < x.Len(); i++ {
+			d := x.At(i) - y.At(i)
+			if math.Hypot(real(d), imag(d)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// runDifferential checks VM execution against the reference evaluator.
+func runDifferential(t *testing.T, f *ir.Func, p *pdesc.Processor, args []interface{}) int64 {
+	t.Helper()
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatalf("vm lower: %v\nIR:\n%s", err, ir.Print(f))
+	}
+	ev := &ir.Evaluator{}
+	want, err := ev.Run(f, cloneArgs(args)...)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	m := NewMachine(p)
+	got, err := m.Run(prog, cloneArgs(args)...)
+	if err != nil {
+		t.Fatalf("vm run: %v\ndisasm:\n%s", err, prog.Disasm())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !nearlyEq(want[i], got[i]) {
+			t.Errorf("result %d: reference %v, vm %v", i, want[i], got[i])
+		}
+	}
+	return m.Cycles
+}
+
+func randArr(n int, r *rand.Rand) *ir.Array {
+	a := ir.NewFloatArray(1, n)
+	for i := range a.F {
+		a.F[i] = r.NormFloat64()
+	}
+	return a
+}
+
+func randCArr(n int, r *rand.Rand) *ir.Array {
+	a := ir.NewComplexArray(1, n)
+	for i := range a.C {
+		a.C[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return a
+}
+
+// TestVMDifferential runs a battery of kernels through both executors on
+// both the baseline and ASIP pipelines.
+func TestVMDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	kernels := []struct {
+		name   string
+		src    string
+		params []sema.Type
+		args   func(n int) []interface{}
+	}{
+		{
+			name: "fir",
+			src: `function y = f(x, h)
+n = length(x);
+t = length(h);
+y = zeros(1, n);
+for i = t:n
+    acc = 0;
+    for k = 1:t
+        acc = acc + h(k) * x(i - k + 1);
+    end
+    y(i) = acc;
+end
+end`,
+			params: []sema.Type{dynVec(), dynVec()},
+			args: func(n int) []interface{} {
+				return []interface{}{randArr(n, r), randArr(4, r)}
+			},
+		},
+		{
+			name: "iir",
+			src: `function y = f(x, a)
+n = length(x);
+y = zeros(1, n);
+y(1) = x(1);
+for i = 2:n
+    y(i) = x(i) + a * y(i-1);
+end
+end`,
+			params: []sema.Type{dynVec(), sema.RealScalar},
+			args: func(n int) []interface{} {
+				return []interface{}{randArr(n, r), 0.5}
+			},
+		},
+		{
+			name: "cdot",
+			src: `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`,
+			params: []sema.Type{dynCVec(), dynCVec()},
+			args: func(n int) []interface{} {
+				return []interface{}{randCArr(n, r), randCArr(n, r)}
+			},
+		},
+		{
+			name: "twiddle",
+			src: `function w = f(n)
+w = zeros(1, n);
+for k = 1:n
+    w(k) = exp(-2i * pi * (k - 1) / n);
+end
+end`,
+			params: []sema.Type{sema.IntScalar},
+			args:   func(n int) []interface{} { return []interface{}{int64(max(n, 1))} },
+		},
+		{
+			name: "control",
+			src: `function s = f(x)
+s = 0;
+i = 1;
+while i <= length(x)
+    if x(i) > 0
+        s = s + x(i);
+    elseif x(i) < -1
+        s = s - 1;
+    end
+    if s > 100
+        break
+    end
+    i = i + 1;
+end
+end`,
+			params: []sema.Type{dynVec()},
+			args:   func(n int) []interface{} { return []interface{}{randArr(n, r)} },
+		},
+		{
+			name: "matmul",
+			src: `function c = f(a, b)
+c = a * b;
+end`,
+			params: []sema.Type{
+				{Class: sema.Real, Shape: sema.Shape{Rows: 4, Cols: 4}},
+				{Class: sema.Real, Shape: sema.Shape{Rows: 4, Cols: 4}},
+			},
+			args: func(n int) []interface{} {
+				a := ir.NewFloatArray(4, 4)
+				b := ir.NewFloatArray(4, 4)
+				for i := range a.F {
+					a.F[i] = r.NormFloat64()
+					b.F[i] = r.NormFloat64()
+				}
+				return []interface{}{a, b}
+			},
+		},
+	}
+	for _, k := range kernels {
+		for _, proc := range []string{"scalar", "dspasip", "wide8", "nocomplex", "nosimd"} {
+			for _, optimize := range []bool{false, true} {
+				for _, n := range []int{4, 7, 16, 33} {
+					f, p := buildIR(t, k.src, proc, optimize, k.params...)
+					args := k.args(n)
+					runDifferential(t, f, p, args)
+				}
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestVMCycleModelOrdering asserts the paper's central premise in the
+// model: the optimized pipeline on the ASIP is cheaper than the
+// baseline pipeline on the scalar target, and custom complex
+// instructions beat expanded complex arithmetic.
+func TestVMCycleModelOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`
+	n := 512
+	args := []interface{}{randCArr(n, r), randCArr(n, r)}
+
+	base, pScalar := buildIR(t, src, "scalar", true, dynCVec(), dynCVec())
+	asip, pAsip := buildIR(t, src, "dspasip", true, dynCVec(), dynCVec())
+	nosimd, pNosimd := buildIR(t, src, "nosimd", true, dynCVec(), dynCVec())
+
+	cBase := runDifferential(t, base, pScalar, args)
+	cAsip := runDifferential(t, asip, pAsip, args)
+	cNosimd := runDifferential(t, nosimd, pNosimd, args)
+
+	if cAsip >= cBase {
+		t.Errorf("ASIP (%d cycles) not faster than baseline (%d)", cAsip, cBase)
+	}
+	if cNosimd >= cBase {
+		t.Errorf("complex ISA only (%d cycles) not faster than baseline (%d)", cNosimd, cBase)
+	}
+	if cAsip >= cNosimd {
+		t.Errorf("SIMD+complex (%d) not faster than complex-only (%d)", cAsip, cNosimd)
+	}
+	speedup := float64(cBase) / float64(cAsip)
+	if speedup < 2 {
+		t.Errorf("complex dot speedup %.2fx below the paper's 2x low bound", speedup)
+	}
+	t.Logf("cdot n=%d: baseline=%d nosimd=%d asip=%d speedup=%.1fx", n, cBase, cNosimd, cAsip, speedup)
+}
+
+// TestVMVectorizationReducesCycles checks SIMD benefit on a plain float
+// kernel (no complex instructions involved).
+func TestVMVectorizationReducesCycles(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	src := `function y = f(a, b)
+n = length(a);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = a(i) * b(i) + a(i);
+end
+end`
+	n := 1024
+	args := []interface{}{randArr(n, r), randArr(n, r)}
+	base, pScalar := buildIR(t, src, "scalar", true, dynVec(), dynVec())
+	asip, pAsip := buildIR(t, src, "dspasip", true, dynVec(), dynVec())
+	wide, pWide := buildIR(t, src, "wide8", true, dynVec(), dynVec())
+
+	cBase := runDifferential(t, base, pScalar, args)
+	cAsip := runDifferential(t, asip, pAsip, args)
+	cWide := runDifferential(t, wide, pWide, args)
+	if !(cWide < cAsip && cAsip < cBase) {
+		t.Errorf("expected wide8 < dspasip < scalar, got %d / %d / %d", cWide, cAsip, cBase)
+	}
+	t.Logf("saxpy-like n=%d: scalar=%d w4=%d w8=%d", n, cBase, cAsip, cWide)
+}
+
+func TestVMStaticCodeSize(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`
+	base, _ := buildIR(t, src, "scalar", true, dynCVec(), dynCVec())
+	asip, _ := buildIR(t, src, "dspasip", true, dynCVec(), dynCVec())
+	pb, err := Lower(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := Lower(asip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Len() == 0 || pa.Len() == 0 {
+		t.Fatal("empty programs")
+	}
+	t.Logf("code size: scalar=%d asip=%d", pb.Len(), pa.Len())
+}
+
+func TestVMFaults(t *testing.T) {
+	src := `function y = f(x)
+y = x(10);
+end`
+	f, p := buildIR(t, src, "scalar", false, dynVec())
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	_, err = m.Run(prog, ir.NewFloatArray(1, 3))
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("got %v, want out-of-bounds fault", err)
+	}
+}
+
+func TestVMCycleLimit(t *testing.T) {
+	src := `function y = f()
+y = 0;
+while 1 > 0
+    y = y + 1;
+end
+end`
+	f, p := buildIR(t, src, "scalar", false)
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	m.MaxCycles = 10000
+	_, err = m.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "cycle limit") {
+		t.Errorf("got %v, want cycle-limit fault", err)
+	}
+}
+
+func TestVMArgErrors(t *testing.T) {
+	src := "function y = f(a, b)\ny = a + b(1);\nend"
+	f, p := buildIR(t, src, "scalar", false, sema.RealScalar, dynVec())
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if _, err := m.Run(prog, 1.0); err == nil {
+		t.Error("expected arity error")
+	}
+	if _, err := m.Run(prog, 1.0, 2.0); err == nil {
+		t.Error("expected array/scalar mismatch error")
+	}
+	if _, err := m.Run(prog, ir.NewFloatArray(1, 2), ir.NewFloatArray(1, 2)); err == nil {
+		t.Error("expected scalar/array mismatch error")
+	}
+	if _, err := m.Run(prog, 1.0, ir.NewComplexArray(1, 2)); err == nil {
+		t.Error("expected elem kind mismatch error")
+	}
+}
+
+func TestVMDisasmStable(t *testing.T) {
+	src := "function y = f(a)\ny = a * 2 + 1;\nend"
+	f, _ := buildIR(t, src, "scalar", false, sema.RealScalar)
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Disasm()
+	if !strings.Contains(d, "ret") || !strings.Contains(d, "program f") {
+		t.Errorf("unexpected disasm:\n%s", d)
+	}
+}
+
+func TestVMClassCounts(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`
+	f, p := buildIR(t, src, "dspasip", true, dynCVec(), dynCVec())
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	r := rand.New(rand.NewSource(3))
+	if _, err := m.Run(prog, randCArr(64, r), randCArr(64, r)); err != nil {
+		t.Fatal(err)
+	}
+	if m.ClassCounts["vcconjmul"] == 0 && m.ClassCounts["vcmac"] == 0 {
+		t.Errorf("expected vector complex intrinsics to execute, got %v", m.ClassCounts)
+	}
+	if m.Executed == 0 || m.Cycles == 0 {
+		t.Error("no execution accounting")
+	}
+}
+
+// TestPeepholeRemovesMovs checks the mov-after-compute cleanup: the
+// lowered program must contain no removable producer/mov pairs, and a
+// representative kernel must shrink versus the unoptimized emission.
+func TestPeepholeRemovesMovs(t *testing.T) {
+	src := `function s = f(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * b(i);
+end
+end`
+	f, p := buildIR(t, src, "dspasip", true, dynVec(), dynVec())
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("peepholed program invalid: %v\n%s", err, prog.Disasm())
+	}
+	// Idempotence: a second pass finds nothing.
+	if n := peephole(prog); n != 0 {
+		t.Errorf("second peephole pass removed %d more instructions", n)
+	}
+	// And it still computes the right value.
+	m := NewMachine(p)
+	r := rand.New(rand.NewSource(8))
+	a, b := randArr(37, r), randArr(37, r)
+	want := 0.0
+	for i := range a.F {
+		want += a.F[i] * b.F[i]
+	}
+	out, err := m.Run(prog, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].(float64); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// TestVMAliasedArgumentsCloned: passing the same array for two
+// parameters must behave like MATLAB's value semantics (no aliasing).
+func TestVMAliasedArgumentsCloned(t *testing.T) {
+	src := `function y = f(x, g)
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+    y(i) = g(i);
+end
+x(1) = 99;
+end`
+	// Note: x is written, so with aliasing g(1) could read 99.
+	f, p := buildIR(t, `function [x, s] = f(x, g)
+x(1) = 99;
+s = g(1);
+end`, "scalar", false, dynVec(), dynVec())
+	_ = src
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := ir.NewFloatArray(1, 4)
+	shared.F[0] = 7
+	m := NewMachine(p)
+	out, err := m.Run(prog, shared, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[1].(float64); got != 7 {
+		t.Errorf("g(1) read %v through aliasing, want 7", got)
+	}
+}
+
+// TestVMDisasmCoversNewOpcodes checks the disassembler renders the
+// vectorizer-era opcodes (select, strided vload, ramp, splat, reduce).
+func TestVMDisasmCoversNewOpcodes(t *testing.T) {
+	src := `function [y, s] = f(x, m)
+y = zeros(1, m);
+s = 0;
+for i = 1:m
+    y(i) = x(2 * i) + i;
+    if x(i) > 0
+        s = s + x(i);
+    end
+end
+end`
+	f, _ := buildIR(t, src, "dspasip", true, dynVec(), sema.IntScalar)
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Disasm()
+	for _, want := range []string{"sel.", "vload.", "ramp.", "splat.", "reduce_"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm missing %q:\n%s", want, d)
+		}
+	}
+}

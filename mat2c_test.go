@@ -1,0 +1,275 @@
+package mat2c_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	mat2c "mat2c"
+)
+
+const scaleSrc = `function y = scale(x, a)
+y = a .* x + 1;
+end`
+
+func TestPublicAPICompileAndRun(t *testing.T) {
+	res, err := mat2c.Compile(scaleSrc, "scale",
+		[]mat2c.Type{mat2c.Vector(mat2c.Real), mat2c.Scalar(mat2c.Real)},
+		mat2c.Options{Target: "dspasip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, cycles, err := res.Run(mat2c.NewVector(1, 2, 3, 4), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Error("no cycles charged")
+	}
+	y := out[0].(*mat2c.Array)
+	want := []float64{3, 5, 7, 9}
+	for i, w := range want {
+		if y.F[i] != w {
+			t.Errorf("y[%d] = %v, want %v", i, y.F[i], w)
+		}
+	}
+}
+
+func TestPublicAPICSource(t *testing.T) {
+	res, err := mat2c.Compile(scaleSrc, "scale",
+		[]mat2c.Type{mat2c.Vector(mat2c.Real), mat2c.Scalar(mat2c.Real)},
+		mat2c.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.CSource(), "void scale(") {
+		t.Errorf("CSource missing function:\n%s", res.CSource())
+	}
+	if !strings.Contains(res.CHeader(), "ASIP_INTRINSICS_H") {
+		t.Error("CHeader missing guard")
+	}
+	if res.VectorizedLoops() == 0 {
+		t.Error("expected the loop to vectorize on the default target")
+	}
+}
+
+func TestPublicAPIBaselineSlower(t *testing.T) {
+	params := []mat2c.Type{mat2c.Vector(mat2c.Complex), mat2c.Vector(mat2c.Complex)}
+	src := `function s = cdot(a, b)
+s = 0;
+for i = 1:length(a)
+    s = s + a(i) * conj(b(i));
+end
+end`
+	full, err := mat2c.Compile(src, "cdot", params, mat2c.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mat2c.Compile(src, "cdot", params, mat2c.Options{Baseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []interface{} {
+		n := 256
+		a := mat2c.NewComplexVector(make([]complex128, n)...)
+		b := mat2c.NewComplexVector(make([]complex128, n)...)
+		for i := 0; i < n; i++ {
+			a.C[i] = complex(float64(i%7)-3, float64(i%5)-2)
+			b.C[i] = complex(float64(i%3)-1, float64(i%11)-5)
+		}
+		return []interface{}{a, b}
+	}
+	o1, c1, err := full.Run(mk()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, c2, err := base.Run(mk()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := o1[0].(complex128) - o2[0].(complex128); math.Hypot(real(d), imag(d)) > 1e-6 {
+		t.Errorf("results differ: %v vs %v", o1[0], o2[0])
+	}
+	if c1 >= c2 {
+		t.Errorf("full pipeline (%d cycles) not faster than baseline (%d)", c1, c2)
+	}
+	if sel := full.SelectedIntrinsics(); len(sel) == 0 {
+		t.Error("no custom instructions selected on dspasip")
+	}
+	if sel := base.SelectedIntrinsics(); len(sel) != 0 {
+		t.Errorf("baseline selected intrinsics: %v", sel)
+	}
+}
+
+func TestPublicAPITargets(t *testing.T) {
+	names := mat2c.Targets()
+	if len(names) < 5 {
+		t.Fatalf("expected several built-in targets, got %v", names)
+	}
+	for _, n := range names {
+		p, err := mat2c.LoadProcessor(n)
+		if err != nil || p == nil {
+			t.Errorf("target %s: %v", n, err)
+		}
+	}
+	if _, err := mat2c.LoadProcessor("no-such-target"); err == nil {
+		t.Error("expected error for unknown target")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	// Parse error.
+	if _, err := mat2c.Compile("function y = f(\nend", "f", nil, mat2c.Options{}); err == nil {
+		t.Error("expected parse error")
+	}
+	// Type error.
+	if _, err := mat2c.Compile("function y = f(x)\ny = undefined_thing(x);\nend", "f",
+		[]mat2c.Type{mat2c.Scalar(mat2c.Real)}, mat2c.Options{}); err == nil {
+		t.Error("expected analysis error")
+	}
+	// Arity error.
+	if _, err := mat2c.Compile(scaleSrc, "scale", []mat2c.Type{mat2c.Scalar(mat2c.Real)},
+		mat2c.Options{}); err == nil {
+		t.Error("expected parameter-count error")
+	}
+}
+
+func TestPublicAPIMatrixHelpers(t *testing.T) {
+	m, err := mat2c.NewMatrix(2, 2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.F[3] != 4 {
+		t.Error("NewMatrix wrong")
+	}
+	if _, err := mat2c.NewMatrix(2, 2, []float64{1}); err == nil {
+		t.Error("expected size mismatch error")
+	}
+	cm, err := mat2c.NewComplexMatrix(1, 2, []complex128{1i, 2})
+	if err != nil || cm.C[0] != 1i {
+		t.Error("NewComplexMatrix wrong")
+	}
+	if _, err := mat2c.NewComplexMatrix(3, 3, []complex128{1}); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func TestPublicAPIRunWithStats(t *testing.T) {
+	res, err := mat2c.Compile(scaleSrc, "scale",
+		[]mat2c.Type{mat2c.Vector(mat2c.Real), mat2c.Scalar(mat2c.Real)}, mat2c.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := res.RunWithStats(mat2c.NewVector(1, 2, 3, 4, 5, 6, 7, 8), 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= 0 || st.Executed <= 0 || len(st.ClassCounts) == 0 {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+	if st.ClassCounts["vload"] == 0 {
+		t.Errorf("expected vector loads in class counts: %v", st.ClassCounts)
+	}
+}
+
+func TestPublicAPIDiagnostics(t *testing.T) {
+	res, err := mat2c.Compile(scaleSrc, "scale",
+		[]mat2c.Type{mat2c.Vector(mat2c.Real), mat2c.Scalar(mat2c.Real)}, mat2c.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.IRText(), "func scale") {
+		t.Error("IRText malformed")
+	}
+	if !strings.Contains(res.Disasm(), "ret") {
+		t.Error("Disasm malformed")
+	}
+	if res.CodeSize() <= 0 {
+		t.Error("CodeSize zero")
+	}
+	if res.Processor().Name != "dspasip" {
+		t.Error("default target should be dspasip")
+	}
+}
+
+func TestPublicAPIWarningsAndAST(t *testing.T) {
+	src := `function y = f(a, b)
+if a < b
+    y = 1;
+else
+    y = 2;
+end
+end`
+	res, err := mat2c.Compile(src, "f",
+		[]mat2c.Type{mat2c.Scalar(mat2c.Complex), mat2c.Scalar(mat2c.Complex)},
+		mat2c.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warns := res.Warnings()
+	if len(warns) == 0 || !strings.Contains(warns[0], "real parts") {
+		t.Errorf("expected complex-ordering warning, got %v", warns)
+	}
+	if !strings.Contains(res.AST(), "function y = f(a, b)") {
+		t.Errorf("AST rendering malformed:\n%s", res.AST())
+	}
+}
+
+func TestPublicAPIRunTraced(t *testing.T) {
+	res, err := mat2c.Compile(scaleSrc, "scale",
+		[]mat2c.Type{mat2c.Vector(mat2c.Real), mat2c.Scalar(mat2c.Real)}, mat2c.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	_, st, err := res.RunTraced(&buf, mat2c.NewVector(1, 2), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if int64(lines) != st.Executed {
+		t.Errorf("trace has %d lines, executed %d instructions", lines, st.Executed)
+	}
+	if !strings.Contains(buf.String(), "ret") {
+		t.Error("trace missing ret")
+	}
+}
+
+// Regression: the zero value of Options.OptLevel must keep optimizations
+// ON (an early version treated 0 as "disable").
+func TestPublicAPIDefaultOptLevelOptimizes(t *testing.T) {
+	res, err := mat2c.Compile(scaleSrc, "scale",
+		[]mat2c.Type{mat2c.Vector(mat2c.Real), mat2c.Scalar(mat2c.Real)}, mat2c.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimized + vectorized code folds 1-based index arithmetic away:
+	// the vector load of a loop "for i = 1:n" addresses x[k] directly.
+	if strings.Contains(res.IRText(), "sub(add(") {
+		t.Errorf("default compile left unfolded index arithmetic:\n%s", res.IRText())
+	}
+	off, err := mat2c.Compile(scaleSrc, "scale",
+		[]mat2c.Type{mat2c.Vector(mat2c.Real), mat2c.Scalar(mat2c.Real)},
+		mat2c.Options{OptLevel: -1, NoVectorize: true, NoIntrinsics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *mat2c.Array {
+		a := mat2c.NewVector(make([]float64, 64)...)
+		for i := range a.F {
+			a.F[i] = float64(i)
+		}
+		return a
+	}
+	_, cOn, err := res.Run(mk(), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cOff, err := off.Run(mk(), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cOff <= cOn {
+		t.Errorf("disabled pipeline (%d cycles) should be slower than default (%d)", cOff, cOn)
+	}
+}

@@ -1,0 +1,109 @@
+package mat2c
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mat2c/internal/sema"
+)
+
+// ParseType parses a textual parameter-type specification, the syntax
+// the command-line tools use:
+//
+//	real                 scalar double
+//	int                  integral scalar
+//	complex              complex scalar
+//	real(1,:)            row vector, run-time length
+//	real(:,1)            column vector, run-time length
+//	real(:,:)            matrix, run-time extents
+//	complex(1,256)       row vector with a static length
+//	real(8,8)            matrix with static extents
+func ParseType(spec string) (Type, error) {
+	spec = strings.TrimSpace(spec)
+	name := spec
+	shape := ""
+	if i := strings.IndexByte(spec, '('); i >= 0 {
+		if !strings.HasSuffix(spec, ")") {
+			return Type{}, fmt.Errorf("mat2c: bad type %q: missing ')'", spec)
+		}
+		name = strings.TrimSpace(spec[:i])
+		shape = spec[i+1 : len(spec)-1]
+	}
+	var class Class
+	switch strings.ToLower(name) {
+	case "real", "double":
+		class = Real
+	case "int", "integer":
+		class = Int
+	case "complex":
+		class = Complex
+	case "logical", "bool":
+		class = Bool
+	default:
+		return Type{}, fmt.Errorf("mat2c: unknown class %q (want real, int, complex, or logical)", name)
+	}
+	if shape == "" {
+		return Scalar(class), nil
+	}
+	parts := strings.Split(shape, ",")
+	if len(parts) != 2 {
+		return Type{}, fmt.Errorf("mat2c: bad shape %q: want rows,cols", shape)
+	}
+	dim := func(s string) (int, error) {
+		s = strings.TrimSpace(s)
+		if s == ":" {
+			return sema.DimUnknown, nil
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("mat2c: bad dimension %q", s)
+		}
+		return n, nil
+	}
+	r, err := dim(parts[0])
+	if err != nil {
+		return Type{}, err
+	}
+	c, err := dim(parts[1])
+	if err != nil {
+		return Type{}, err
+	}
+	return Type{Class: class, Shape: sema.Shape{Rows: r, Cols: c}}, nil
+}
+
+// ParseTypes parses a comma-separated list of parameter types. Shapes
+// contain commas themselves, so items are split at top level only:
+// "real(1,:), complex, int" has three items.
+func ParseTypes(list string) ([]Type, error) {
+	list = strings.TrimSpace(list)
+	if list == "" {
+		return nil, nil
+	}
+	var items []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(list); i++ {
+		switch list[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				items = append(items, list[start:i])
+				start = i + 1
+			}
+		}
+	}
+	items = append(items, list[start:])
+	types := make([]Type, 0, len(items))
+	for _, it := range items {
+		t, err := ParseType(it)
+		if err != nil {
+			return nil, err
+		}
+		types = append(types, t)
+	}
+	return types, nil
+}

@@ -1,0 +1,65 @@
+package mat2c_test
+
+import (
+	"testing"
+
+	mat2c "mat2c"
+)
+
+func TestParseType(t *testing.T) {
+	cases := []struct {
+		spec string
+		want mat2c.Type
+	}{
+		{"real", mat2c.Scalar(mat2c.Real)},
+		{"int", mat2c.Scalar(mat2c.Int)},
+		{"complex", mat2c.Scalar(mat2c.Complex)},
+		{"logical", mat2c.Scalar(mat2c.Bool)},
+		{"double", mat2c.Scalar(mat2c.Real)},
+		{"real(1,:)", mat2c.Vector(mat2c.Real)},
+		{"complex(1,:)", mat2c.Vector(mat2c.Complex)},
+		{"real(:,1)", mat2c.ColumnVector(mat2c.Real)},
+		{"real(:,:)", mat2c.Matrix(mat2c.Real)},
+		{"real(1,256)", mat2c.SizedVector(mat2c.Real, 256)},
+		{"real(8,8)", mat2c.SizedMatrix(mat2c.Real, 8, 8)},
+		{" complex ( 1 , : ) ", mat2c.Vector(mat2c.Complex)},
+	}
+	for _, c := range cases {
+		got, err := mat2c.ParseType(c.spec)
+		if err != nil {
+			t.Errorf("ParseType(%q): %v", c.spec, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseType(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	for _, spec := range []string{"", "float32", "real(1)", "real(1,2,3)", "real(1,", "real(x,y)", "real(-1,2)"} {
+		if _, err := mat2c.ParseType(spec); err == nil {
+			t.Errorf("ParseType(%q): expected error", spec)
+		}
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	got, err := mat2c.ParseTypes("real(1,:), complex, int, real(4,4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d types", len(got))
+	}
+	if !got[0].Equal(mat2c.Vector(mat2c.Real)) || !got[1].Equal(mat2c.Scalar(mat2c.Complex)) ||
+		!got[2].Equal(mat2c.Scalar(mat2c.Int)) || !got[3].Equal(mat2c.SizedMatrix(mat2c.Real, 4, 4)) {
+		t.Errorf("wrong types: %v", got)
+	}
+	if ts, err := mat2c.ParseTypes(""); err != nil || len(ts) != 0 {
+		t.Error("empty list should parse to no types")
+	}
+	if _, err := mat2c.ParseTypes("real, bogus"); err == nil {
+		t.Error("expected error")
+	}
+}
