@@ -1,0 +1,176 @@
+package mat2c
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// cacheKeyVersion invalidates every cached artifact when the key layout
+// (or anything the key cannot see, like pipeline semantics) changes.
+// Bump it whenever a compiler change can alter output for an unchanged
+// input.
+const cacheKeyVersion = "mat2c-cache-v1"
+
+// Cache is a content-addressed, bounded LRU cache of compilation
+// results, keyed by SHA-256 over everything that determines the
+// artifact: source text, entry name, parameter types, the full target
+// description, and the pipeline options. Identical inputs therefore
+// share one compile; any change to any input misses.
+//
+// A Cache is safe for concurrent use. Cached *Result values are shared
+// between callers: all Result accessors and Run methods are safe to use
+// concurrently (each Run builds a fresh VM), but callers must not
+// mutate the Processor a shared Result carries.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// DefaultCacheSize bounds a NewCache(0) cache. Compiled artifacts are
+// small (strings plus a VM program), so a few hundred entries is cheap.
+const DefaultCacheSize = 256
+
+// NewCache returns an empty cache holding at most maxEntries results
+// (DefaultCacheSize when maxEntries <= 0).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	return &Cache{
+		max:     maxEntries,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries    int    `json:"entries"`
+	MaxEntries int    `json:"max_entries"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:    c.order.Len(),
+		MaxEntries: c.max,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used, and records a hit or miss.
+func (c *Cache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts res under key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Another goroutine compiled the same input concurrently; keep
+		// the first artifact so every caller shares one pointer.
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// CacheKey returns the content address of a compilation: the SHA-256
+// hex digest over the source, entry name, parameter types, resolved
+// target description, and the option fields that affect output. Two
+// compilations with equal keys produce byte-identical artifacts.
+func CacheKey(source, entry string, params []Type, opts Options) (string, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return "", err
+	}
+	procJSON, err := cfg.Processor.MarshalJSONIndent()
+	if err != nil {
+		return "", fmt.Errorf("mat2c: hashing target description: %w", err)
+	}
+	h := sha256.New()
+	field := func(b []byte) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	field([]byte(cacheKeyVersion))
+	field([]byte(source))
+	field([]byte(entry))
+	for _, t := range params {
+		field([]byte(fmt.Sprintf("%d/%d/%d", t.Class, t.Shape.Rows, t.Shape.Cols)))
+	}
+	field(procJSON)
+	field([]byte(fmt.Sprintf("opt=%d vec=%v intrin=%v fuse=%v emitc=%v",
+		cfg.OptLevel, cfg.Vectorize, cfg.Intrinsics, cfg.Fusion, cfg.EmitC)))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// CompileCached is Compile behind a content-addressed cache: it returns
+// the cached Result when an identical compilation was seen before
+// (reporting hit=true), compiling and caching otherwise. A nil cache
+// degrades to plain Compile. Concurrent misses on the same key may
+// compile redundantly, but all callers end up sharing the first cached
+// artifact.
+func CompileCached(c *Cache, source, entry string, params []Type, opts Options) (res *Result, hit bool, err error) {
+	if c == nil {
+		res, err = Compile(source, entry, params, opts)
+		return res, false, err
+	}
+	key, err := CacheKey(source, entry, params, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if res, ok := c.get(key); ok {
+		return res, true, nil
+	}
+	res, err = Compile(source, entry, params, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	c.put(key, res)
+	return res, false, nil
+}

@@ -17,13 +17,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	mat2c "mat2c"
+	"mat2c/internal/service"
 )
 
 func main() {
@@ -66,9 +66,9 @@ func main() {
 		fatal(err)
 	}
 
-	args, err := decodeArgs(*argsJSON, types)
+	args, err := service.DecodeArgs(*argsJSON, types)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("-args: %w", err))
 	}
 	var out []interface{}
 	var stats *mat2c.Stats
@@ -97,67 +97,6 @@ func main() {
 			fmt.Printf("  %-12s %d\n", k, stats.ClassCounts[k])
 		}
 	}
-}
-
-// decodeArgs converts the JSON argument list into run arguments guided
-// by the declared parameter types.
-func decodeArgs(text string, types []mat2c.Type) ([]interface{}, error) {
-	var raw []json.RawMessage
-	if err := json.Unmarshal([]byte(text), &raw); err != nil {
-		return nil, fmt.Errorf("-args: %w", err)
-	}
-	if len(raw) != len(types) {
-		return nil, fmt.Errorf("-args has %d values, entry takes %d", len(raw), len(types))
-	}
-	out := make([]interface{}, len(raw))
-	for i, r := range raw {
-		v, err := decodeArg(r, types[i])
-		if err != nil {
-			return nil, fmt.Errorf("argument %d: %w", i+1, err)
-		}
-		out[i] = v
-	}
-	return out, nil
-}
-
-func decodeArg(raw json.RawMessage, t mat2c.Type) (interface{}, error) {
-	// Scalar number.
-	var num float64
-	if err := json.Unmarshal(raw, &num); err == nil {
-		if t.Class == mat2c.Int {
-			return int64(num), nil
-		}
-		if t.Class == mat2c.Complex {
-			return complex(num, 0), nil
-		}
-		return num, nil
-	}
-	// Real vector.
-	var vec []float64
-	if err := json.Unmarshal(raw, &vec); err == nil {
-		return mat2c.NewVector(vec...), nil
-	}
-	// Object forms.
-	var obj struct {
-		Rows    int          `json:"rows"`
-		Cols    int          `json:"cols"`
-		Data    []float64    `json:"data"`
-		Complex [][2]float64 `json:"complex"`
-	}
-	if err := json.Unmarshal(raw, &obj); err != nil {
-		return nil, fmt.Errorf("cannot decode %s", string(raw))
-	}
-	if obj.Complex != nil {
-		vals := make([]complex128, len(obj.Complex))
-		for i, p := range obj.Complex {
-			vals[i] = complex(p[0], p[1])
-		}
-		return mat2c.NewComplexVector(vals...), nil
-	}
-	if obj.Rows > 0 && obj.Cols > 0 {
-		return mat2c.NewMatrix(obj.Rows, obj.Cols, obj.Data)
-	}
-	return nil, fmt.Errorf("unrecognized argument form %s", string(raw))
 }
 
 func formatValue(v interface{}) string {

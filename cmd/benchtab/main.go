@@ -8,7 +8,9 @@
 //	benchtab -all         everything
 //
 // Use -scale to shrink/grow problem sizes (1.0 = paper scale) and -proc
-// to retarget Table I/II and Fig. 2.
+// to retarget Table I/II and Fig. 2. Output is formatted text by
+// default; -csv emits CSV per table, -json emits one machine-readable
+// document for all requested tables (for BENCH_*.json trend tracking).
 package main
 
 import (
@@ -22,34 +24,42 @@ import (
 
 func main() {
 	var (
-		t1    = flag.Bool("table1", false, "print Table I (headline speedups)")
-		t2    = flag.Bool("table2", false, "print Table II (code size)")
-		t3    = flag.Bool("table3", false, "print Table III (compiler activity, extension)")
-		f2    = flag.Bool("fig2", false, "print Figure 2 (feature ablation)")
-		f3    = flag.Bool("fig3", false, "print Figure 3 (SIMD width sweep)")
-		f4    = flag.Bool("fig4", false, "print Figure 4 (memory-cost sensitivity, extension)")
-		all   = flag.Bool("all", false, "print everything")
-		scale = flag.Float64("scale", 1.0, "problem size multiplier (1.0 = paper scale)")
-		proc  = flag.String("proc", "dspasip", "target for Table I/II and Fig. 2")
-		csv   = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		t1      = flag.Bool("table1", false, "print Table I (headline speedups)")
+		t2      = flag.Bool("table2", false, "print Table II (code size)")
+		t3      = flag.Bool("table3", false, "print Table III (compiler activity, extension)")
+		f2      = flag.Bool("fig2", false, "print Figure 2 (feature ablation)")
+		f3      = flag.Bool("fig3", false, "print Figure 3 (SIMD width sweep)")
+		f4      = flag.Bool("fig4", false, "print Figure 4 (memory-cost sensitivity, extension)")
+		all     = flag.Bool("all", false, "print everything")
+		scale   = flag.Float64("scale", 1.0, "problem size multiplier (1.0 = paper scale)")
+		proc    = flag.String("proc", "dspasip", "target for Table I/II and Fig. 2")
+		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		jsonOut = flag.Bool("json", false, "emit one JSON report for the requested tables")
 	)
 	flag.Parse()
 	if !*t1 && !*t2 && !*t3 && !*f2 && !*f3 && !*f4 && !*all {
 		*all = true
 	}
+	if *csv && *jsonOut {
+		fatal(fmt.Errorf("-csv and -json are mutually exclusive"))
+	}
 	p, err := pdesc.Resolve(*proc)
 	if err != nil {
 		fatal(err)
 	}
+	report := &bench.Report{Proc: p.Name, Scale: *scale}
 
 	if *all || *t1 {
 		rows, err := bench.Table1(p, *scale)
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			report.Table1 = rows
+		case *csv:
 			fmt.Print(bench.Table1CSV(rows))
-		} else {
+		default:
 			fmt.Println(bench.Table1Text(rows))
 		}
 	}
@@ -58,9 +68,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			report.Fig2 = rows
+		case *csv:
 			fmt.Print(bench.Fig2CSV(rows))
-		} else {
+		default:
 			fmt.Println(bench.Fig2Text(rows))
 		}
 	}
@@ -69,9 +82,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			report.Fig3 = rows
+		case *csv:
 			fmt.Print(bench.Fig3CSV(rows))
-		} else {
+		default:
 			fmt.Println(bench.Fig3Text(rows))
 		}
 	}
@@ -80,9 +96,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			report.Fig4 = rows
+		case *csv:
 			fmt.Print(bench.Fig4CSV(rows))
-		} else {
+		default:
 			fmt.Println(bench.Fig4Text(rows))
 		}
 	}
@@ -91,9 +110,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			report.Table2 = rows
+		case *csv:
 			fmt.Print(bench.Table2CSV(rows))
-		} else {
+		default:
 			fmt.Println(bench.Table2Text(rows))
 		}
 	}
@@ -102,10 +124,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			report.Table3 = rows
+		case *csv:
 			fmt.Print(bench.Table3CSV(rows))
-		} else {
+		default:
 			fmt.Println(bench.Table3Text(rows))
+		}
+	}
+
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -1,0 +1,86 @@
+// Command mat2cd is the mat2c compile-and-simulate daemon: a long-lived
+// HTTP/JSON service wrapping the compiler pipeline with a
+// content-addressed compilation cache, a bounded worker pool, and
+// per-stage metrics.
+//
+// Usage:
+//
+//	mat2cd [-addr :8723] [-workers N] [-cache 256] [-timeout 30s]
+//
+// Endpoints (see docs/SERVER.md for schemas):
+//
+//	POST /compile   compile MATLAB source to C + stats
+//	POST /run       compile and execute on the cycle-model simulator
+//	GET  /targets   list built-in processor descriptions
+//	GET  /healthz   liveness probe
+//	GET  /metrics   JSON metrics (requests, cache, stage histograms)
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests before exiting (bounded by -draintimeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mat2c/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8723", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent compilations (0 = NumCPU)")
+		cacheSize    = flag.Int("cache", 0, "compilation cache entries (0 = default)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful shutdown drain bound")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: mat2cd [flags]  (see mat2cd -h)")
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mat2cd: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mat2cd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("mat2cd: signal received, draining (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("mat2cd: drain incomplete: %v", err)
+		srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("mat2cd: %v", err)
+	}
+	log.Printf("mat2cd: stopped")
+}

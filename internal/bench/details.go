@@ -12,10 +12,10 @@ import (
 // Table3Row reports what the compiler did to each kernel (an extension
 // table: compilation statistics rather than run-time measurements).
 type Table3Row struct {
-	Kernel          string
-	VectorizedLoops int
-	Intrinsics      map[string]int
-	CodeSize        int
+	Kernel          string         `json:"kernel"`
+	VectorizedLoops int            `json:"vectorized_loops"`
+	Intrinsics      map[string]int `json:"intrinsics"`
+	CodeSize        int            `json:"code_size"`
 }
 
 // Table3 compiles every kernel with the full pipeline and reports the

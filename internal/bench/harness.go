@@ -115,12 +115,12 @@ func RunPipeline(k *Kernel, cfg core.Config, n int) (*Stats, error) {
 
 // Table1Row is one line of the headline comparison.
 type Table1Row struct {
-	Kernel   string
-	Desc     string
-	Size     int
-	Baseline int64 // cycles, MATLAB-Coder-style code on the ASIP
-	Proposed int64 // cycles, full pipeline on the ASIP
-	Speedup  float64
+	Kernel   string  `json:"kernel"`
+	Desc     string  `json:"desc"`
+	Size     int     `json:"size"`
+	Baseline int64   `json:"baseline_cycles"` // MATLAB-Coder-style code on the ASIP
+	Proposed int64   `json:"proposed_cycles"` // full pipeline on the ASIP
+	Speedup  float64 `json:"speedup"`
 }
 
 // Table1 regenerates the headline table on the given target (the paper's
@@ -221,10 +221,10 @@ func AblationConfigs() []AblationConfig {
 // Fig2Row is one kernel's ablation: speedup of each variant over the
 // coder-style baseline.
 type Fig2Row struct {
-	Kernel   string
-	Variants []string
-	Cycles   []int64
-	Speedups []float64
+	Kernel   string    `json:"kernel"`
+	Variants []string  `json:"variants"`
+	Cycles   []int64   `json:"cycles"`
+	Speedups []float64 `json:"speedups"`
 }
 
 // Fig2 regenerates the feature-ablation figure data.
@@ -278,10 +278,10 @@ func Fig2Text(rows []Fig2Row) string {
 // Fig3Row is one kernel's speedup across SIMD widths (full pipeline,
 // speedup over the coder-style baseline on the same ASIP family).
 type Fig3Row struct {
-	Kernel   string
-	Widths   []int
-	Cycles   []int64
-	Speedups []float64
+	Kernel   string    `json:"kernel"`
+	Widths   []int     `json:"widths"`
+	Cycles   []int64   `json:"cycles"`
+	Speedups []float64 `json:"speedups"`
 }
 
 // WidthTargets returns the sweep family: identical ISA, lane count 1-8.
@@ -345,10 +345,10 @@ func Fig3Text(rows []Fig3Row) string {
 
 // Table2Row compares static VM instruction counts.
 type Table2Row struct {
-	Kernel       string
-	BaselineSize int
-	ProposedSize int
-	Ratio        float64
+	Kernel       string  `json:"kernel"`
+	BaselineSize int     `json:"baseline_size"`
+	ProposedSize int     `json:"proposed_size"`
+	Ratio        float64 `json:"ratio"`
 }
 
 // Table2 regenerates the code-size comparison.

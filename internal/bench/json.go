@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the machine-readable form of an evaluation run, emitted by
+// `benchtab -json` so perf trajectories can be tracked across commits
+// (BENCH_*.json) without scraping text tables. Only the tables that
+// were requested are present.
+type Report struct {
+	Proc   string      `json:"proc"`
+	Scale  float64     `json:"scale"`
+	Table1 []Table1Row `json:"table1,omitempty"`
+	Table2 []Table2Row `json:"table2,omitempty"`
+	Table3 []Table3Row `json:"table3,omitempty"`
+	Fig2   []Fig2Row   `json:"fig2,omitempty"`
+	Fig3   []Fig3Row   `json:"fig3,omitempty"`
+	Fig4   []Fig4Row   `json:"fig4,omitempty"`
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

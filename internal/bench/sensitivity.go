@@ -12,11 +12,11 @@ import (
 // (the cost-model sensitivity study, an extension of the paper's
 // evaluation: it shows how much of the win is fused memory traffic).
 type Fig4Row struct {
-	Kernel    string
-	MemCosts  []int
-	Baselines []int64
-	Proposeds []int64
-	Speedups  []float64
+	Kernel    string    `json:"kernel"`
+	MemCosts  []int     `json:"mem_costs"`
+	Baselines []int64   `json:"baseline_cycles"`
+	Proposeds []int64   `json:"proposed_cycles"`
+	Speedups  []float64 `json:"speedups"`
 }
 
 // MemCostSweep is the swept per-access cycle cost.

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"mat2c/internal/cgen"
 	"mat2c/internal/ir"
@@ -54,6 +55,49 @@ func Baseline(p *pdesc.Processor) Config {
 	return Config{Processor: p, OptLevel: 1, Vectorize: false, Intrinsics: false, Fusion: false}
 }
 
+// StageTime records the wall-clock time one pipeline stage took during
+// a Compile call.
+type StageTime struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// StageNames lists the instrumented pipeline stages in execution order.
+// Every Compile records a StageTime for each (zero when the stage was
+// disabled by the Config), so aggregators can pre-register them.
+func StageNames() []string {
+	return []string{"parse", "sema", "lower", "opt", "vectorize", "isel", "vm-lower", "cgen"}
+}
+
+// stageClock accumulates per-stage wall time. Repeated marks of the
+// same stage (the post-vectorize optimizer cleanup) fold into one entry
+// so consumers see exactly one StageTime per pipeline stage.
+type stageClock struct {
+	stages []StageTime
+	mark   time.Time
+}
+
+func newStageClock() *stageClock {
+	c := &stageClock{mark: time.Now()}
+	for _, name := range StageNames() {
+		c.stages = append(c.stages, StageTime{Stage: name})
+	}
+	return c
+}
+
+func (c *stageClock) record(stage string) {
+	now := time.Now()
+	d := now.Sub(c.mark)
+	c.mark = now
+	for i := range c.stages {
+		if c.stages[i].Stage == stage {
+			c.stages[i].Duration += d
+			return
+		}
+	}
+	c.stages = append(c.stages, StageTime{Stage: stage, Duration: d})
+}
+
 // Result is a compiled function with both back-end artifacts.
 type Result struct {
 	// Entry is the compiled entry function name.
@@ -73,6 +117,10 @@ type Result struct {
 	// Intrinsics reports the custom instructions selected.
 	Intrinsics isel.Stats
 
+	// Stages records per-stage wall time for this compilation, one
+	// entry per StageNames() element in pipeline order.
+	Stages []StageTime
+
 	cfg Config
 }
 
@@ -83,10 +131,12 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 	if cfg.Processor == nil {
 		return nil, fmt.Errorf("core: Config.Processor is required")
 	}
+	clock := newStageClock()
 	file, err := mlang.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	clock.record("parse")
 	if entry == "" && len(file.Funcs) > 0 {
 		entry = file.Funcs[0].Name
 	}
@@ -94,6 +144,7 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
 	}
+	clock.record("sema")
 
 	var lopts []lower.Option
 	if !cfg.Fusion {
@@ -103,21 +154,26 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
+	clock.record("lower")
 
 	opt.Optimize(f, cfg.OptLevel)
+	clock.record("opt")
 
 	res := &Result{Entry: entry, Info: info, Func: f, cfg: cfg,
 		Intrinsics: isel.Stats{Selected: map[string]int{}}}
 	if cfg.Vectorize {
 		res.VectorizedLoops = vectorize.Apply(f, cfg.Processor)
 	}
+	clock.record("vectorize")
 	if cfg.Intrinsics {
 		res.Intrinsics = isel.Apply(f, cfg.Processor)
 	}
+	clock.record("isel")
 	// The vectorizer's forward substitution re-exposes foldable index
 	// arithmetic; clean it up so neither backend executes it.
 	if cfg.OptLevel > 0 && (cfg.Vectorize || cfg.Intrinsics) {
 		opt.Optimize(f, cfg.OptLevel)
+		clock.record("opt")
 	}
 
 	prog, err := vm.Lower(f)
@@ -125,6 +181,7 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 		return nil, fmt.Errorf("vm lower: %w", err)
 	}
 	res.Program = prog
+	clock.record("vm-lower")
 
 	if cfg.EmitC {
 		csrc, err := cgen.Function(f, cfg.Processor)
@@ -133,7 +190,9 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 		}
 		res.CSource = csrc
 		res.CHeader = cgen.Header(cfg.Processor)
+		clock.record("cgen")
 	}
+	res.Stages = clock.stages
 	return res, nil
 }
 

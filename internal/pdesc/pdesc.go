@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
+
+	"mat2c/procs"
 )
 
 // Instr describes one custom instruction exposed by the target.
@@ -138,6 +141,7 @@ func (p *Processor) Validate() error {
 		return fmt.Errorf("%s: complex_lanes %d out of range [0, %d]", p.Name, p.ComplexLanes, p.SIMDWidth)
 	}
 	seen := map[string]bool{}
+	seenC := map[string]string{}
 	for _, in := range p.Instructions {
 		if in.Name == "" || in.CName == "" {
 			return fmt.Errorf("%s: instruction with empty name/cname", p.Name)
@@ -146,9 +150,13 @@ func (p *Processor) Validate() error {
 			return fmt.Errorf("%s: instruction %s has non-positive cycle cost", p.Name, in.Name)
 		}
 		if seen[in.Name] {
-			return fmt.Errorf("%s: duplicate instruction %s", p.Name, in.Name)
+			return fmt.Errorf("%s: duplicate custom instruction %q (the later entry would silently shadow the earlier one)", p.Name, in.Name)
 		}
 		seen[in.Name] = true
+		if prev, dup := seenC[in.CName]; dup {
+			return fmt.Errorf("%s: instructions %q and %q share C intrinsic name %q", p.Name, prev, in.Name, in.CName)
+		}
+		seenC[in.CName] = in.Name
 		if isVectorInstr(in.Name) && p.SIMDWidth < 2 {
 			return fmt.Errorf("%s: vector instruction %s on a scalar target", p.Name, in.Name)
 		}
@@ -164,12 +172,17 @@ func (p *Processor) Validate() error {
 func isVectorInstr(name string) bool { return len(name) > 1 && name[0] == 'v' }
 
 // Load reads and validates a processor description from a JSON file.
+// Errors identify the offending file.
 func Load(path string) (*Processor, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("load processor description: %w", err)
 	}
-	return Parse(data)
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("load processor description %s: %w", path, err)
+	}
+	return p, nil
 }
 
 // Parse decodes and validates a JSON processor description.
@@ -321,17 +334,68 @@ func BuiltinNames() []string {
 	return names
 }
 
-// Resolve returns the built-in target named s, or loads s as a JSON file
-// path when no built-in matches.
+// resolved caches named targets (built-ins and embedded descriptions)
+// so concurrent compiles neither re-parse JSON nor re-read anything,
+// and all see one immutable *Processor per name. Explicit file paths
+// stay uncached: user-defined descriptions may change on disk between
+// calls.
+var resolved = struct {
+	sync.RWMutex
+	m map[string]*Processor
+}{m: map[string]*Processor{}}
+
+// Resolve returns the target named s: a built-in, an embedded shipped
+// description (procs/<s>.json compiled into the binary), or — when no
+// name matches — a JSON description loaded from s as a file path.
+//
+// Named lookups are cached behind a sync.RWMutex and return a shared
+// *Processor; callers must treat it as read-only (clone it, as
+// bench.MemVariant does, to derive variants).
 func Resolve(s string) (*Processor, error) {
-	if p := Builtin(s); p != nil {
+	resolved.RLock()
+	p := resolved.m[s]
+	resolved.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	if p := resolveNamed(s); p != nil {
+		resolved.Lock()
+		// Keep the first published copy if another goroutine raced us
+		// here, so every caller observes the same pointer.
+		if prev := resolved.m[s]; prev != nil {
+			p = prev
+		} else {
+			resolved.m[s] = p
+		}
+		resolved.Unlock()
 		return p, nil
 	}
 	p, err := Load(s)
 	if err != nil {
-		return nil, fmt.Errorf("no built-in processor %q and cannot load as file: %w", s, err)
+		return nil, fmt.Errorf("no built-in or embedded processor %q and cannot load as file: %w", s, err)
 	}
 	return p, nil
+}
+
+// resolveNamed resolves s against the built-in catalog, then the
+// embedded shipped descriptions. Returns nil when s is not a known
+// target name.
+func resolveNamed(s string) *Processor {
+	if p := Builtin(s); p != nil {
+		return p
+	}
+	data, err := procs.FS.ReadFile(s + ".json")
+	if err != nil {
+		return nil
+	}
+	p, err := Parse(data)
+	if err != nil {
+		// An embedded description that fails validation is a build
+		// defect; fall through to path loading, which will report a
+		// coherent error.
+		return nil
+	}
+	return p
 }
 
 // DefaultCostKeys returns the known cost-class keys (for docs/tests).

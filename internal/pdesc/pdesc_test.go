@@ -1,9 +1,13 @@
 package pdesc
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"mat2c/procs"
 )
 
 func TestBuiltinCatalog(t *testing.T) {
@@ -196,5 +200,90 @@ func TestWidthSweepFamily(t *testing.T) {
 		if !p.HasInstr("cmac") {
 			t.Errorf("%s must keep the complex ISA", name)
 		}
+	}
+}
+
+func TestValidateRejectsDuplicateInstructions(t *testing.T) {
+	p := &Processor{Name: "dup", SIMDWidth: 2, Instructions: []Instr{
+		{Name: "fma", CName: "_a_fma", Cycles: 1},
+		{Name: "fma", CName: "_b_fma", Cycles: 2},
+	}}
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("duplicate instruction name accepted")
+	}
+	if !strings.Contains(err.Error(), `"fma"`) {
+		t.Errorf("error %q does not name the duplicate", err)
+	}
+
+	p = &Processor{Name: "dupc", SIMDWidth: 2, Instructions: []Instr{
+		{Name: "fma", CName: "_asip_op", Cycles: 1},
+		{Name: "fms", CName: "_asip_op", Cycles: 1},
+	}}
+	err = p.Validate()
+	if err == nil {
+		t.Fatal("duplicate C intrinsic name accepted")
+	}
+	if !strings.Contains(err.Error(), "_asip_op") {
+		t.Errorf("error %q does not name the shared intrinsic", err)
+	}
+}
+
+func TestLoadErrorsIdentifyFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","simd_width":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(bad)
+	if err == nil {
+		t.Fatal("invalid description loaded")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the offending file", err)
+	}
+
+	_, err = Load(filepath.Join(dir, "missing.json"))
+	if err == nil {
+		t.Fatal("missing file loaded")
+	}
+	if !strings.Contains(err.Error(), "missing.json") {
+		t.Errorf("error %q does not name the missing file", err)
+	}
+}
+
+func TestResolveCachesNamedTargets(t *testing.T) {
+	a, err := Resolve("wide2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve("wide2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated Resolve of a named target returned distinct pointers")
+	}
+	// Builtin stays uncached (fresh copies for callers that derive
+	// variants by mutation, e.g. bench.MemVariant).
+	if Builtin("wide2") == a {
+		t.Error("Builtin returned the shared cached Processor")
+	}
+}
+
+func TestResolveFindsEmbeddedDescriptions(t *testing.T) {
+	// Every shipped description resolves by bare name even though only
+	// built-ins are in the programmatic catalog; embedded lookup covers
+	// shipped-but-not-builtin descriptions.
+	if _, err := procs.FS.ReadFile("dspasip.json"); err != nil {
+		t.Skipf("embedded descriptions unavailable: %v", err)
+	}
+	for _, name := range BuiltinNames() {
+		if _, err := procs.FS.ReadFile(name + ".json"); err != nil {
+			t.Errorf("shipped description %s.json not embedded: %v", name, err)
+		}
+	}
+	if p := resolveNamed("dspasip"); p == nil {
+		t.Error("resolveNamed failed for a catalog target")
 	}
 }

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	mat2c "mat2c"
+)
+
+// DecodeArgs converts a JSON argument list into simulator run
+// arguments, guided by the declared parameter types. The format is
+// shared with cmd/asipsim:
+//
+//	2.5                                  scalar (real or int per the type)
+//	[1, 2, 3]                            real row vector
+//	{"rows":2,"cols":2,"data":[1,2,3,4]} real matrix (column-major)
+//	{"complex":[[1,2],[3,-1]]}           complex row vector (re,im pairs)
+func DecodeArgs(text string, types []mat2c.Type) ([]interface{}, error) {
+	var raw []json.RawMessage
+	if err := json.Unmarshal([]byte(text), &raw); err != nil {
+		return nil, fmt.Errorf("argument list: %w", err)
+	}
+	if len(raw) != len(types) {
+		return nil, fmt.Errorf("argument list has %d values, entry takes %d", len(raw), len(types))
+	}
+	out := make([]interface{}, len(raw))
+	for i, r := range raw {
+		v, err := DecodeArg(r, types[i])
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// DecodeArg converts one JSON argument into a run argument of the
+// declared type.
+func DecodeArg(raw json.RawMessage, t mat2c.Type) (interface{}, error) {
+	// Scalar number.
+	var num float64
+	if err := json.Unmarshal(raw, &num); err == nil {
+		if t.Class == mat2c.Int {
+			return int64(num), nil
+		}
+		if t.Class == mat2c.Complex {
+			return complex(num, 0), nil
+		}
+		return num, nil
+	}
+	// Real vector.
+	var vec []float64
+	if err := json.Unmarshal(raw, &vec); err == nil {
+		return mat2c.NewVector(vec...), nil
+	}
+	// Object forms.
+	var obj struct {
+		Rows    int          `json:"rows"`
+		Cols    int          `json:"cols"`
+		Data    []float64    `json:"data"`
+		Complex [][2]float64 `json:"complex"`
+	}
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return nil, fmt.Errorf("cannot decode %s", string(raw))
+	}
+	if obj.Complex != nil {
+		vals := make([]complex128, len(obj.Complex))
+		for i, p := range obj.Complex {
+			vals[i] = complex(p[0], p[1])
+		}
+		return mat2c.NewComplexVector(vals...), nil
+	}
+	if obj.Rows > 0 && obj.Cols > 0 {
+		return mat2c.NewMatrix(obj.Rows, obj.Cols, obj.Data)
+	}
+	return nil, fmt.Errorf("unrecognized argument form %s", string(raw))
+}
+
+// EncodeValue converts a simulator result into its JSON-ready form,
+// symmetric with DecodeArg: scalars encode as numbers (complex scalars
+// as [re, im]); real arrays as {rows, cols, data}; complex arrays as
+// {rows, cols, complex: [[re, im], ...]}.
+func EncodeValue(v interface{}) interface{} {
+	switch v := v.(type) {
+	case *mat2c.Array:
+		if v.C != nil {
+			pairs := make([][2]float64, len(v.C))
+			for i, c := range v.C {
+				pairs[i] = [2]float64{real(c), imag(c)}
+			}
+			return map[string]interface{}{"rows": v.Rows, "cols": v.Cols, "complex": pairs}
+		}
+		return map[string]interface{}{"rows": v.Rows, "cols": v.Cols, "data": v.F}
+	case complex128:
+		return [2]float64{real(v), imag(v)}
+	default:
+		return v
+	}
+}

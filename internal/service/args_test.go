@@ -1,0 +1,95 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	mat2c "mat2c"
+)
+
+func TestDecodeArgsForms(t *testing.T) {
+	types := []mat2c.Type{
+		mat2c.Scalar(mat2c.Real),
+		mat2c.Scalar(mat2c.Int),
+		mat2c.Scalar(mat2c.Complex),
+		mat2c.Vector(mat2c.Real),
+		mat2c.Vector(mat2c.Complex),
+		mat2c.Matrix(mat2c.Real),
+	}
+	args, err := DecodeArgs(`[2.5, 3, 4, [1,2,3], {"complex":[[1,2],[3,-1]]}, {"rows":2,"cols":2,"data":[1,2,3,4]}]`, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := args[0].(float64); got != 2.5 {
+		t.Errorf("arg0 = %v", got)
+	}
+	if got := args[1].(int64); got != 3 {
+		t.Errorf("arg1 = %v", got)
+	}
+	if got := args[2].(complex128); got != complex(4, 0) {
+		t.Errorf("arg2 = %v", got)
+	}
+	if v := args[3].(*mat2c.Array); !reflect.DeepEqual(v.F, []float64{1, 2, 3}) {
+		t.Errorf("arg3 = %v", v.F)
+	}
+	if v := args[4].(*mat2c.Array); v.C[1] != complex(3, -1) {
+		t.Errorf("arg4 = %v", v.C)
+	}
+	if v := args[5].(*mat2c.Array); v.Rows != 2 || v.Cols != 2 || v.F[3] != 4 {
+		t.Errorf("arg5 = %+v", v)
+	}
+}
+
+func TestDecodeArgsErrors(t *testing.T) {
+	types := []mat2c.Type{mat2c.Scalar(mat2c.Real)}
+	if _, err := DecodeArgs(`[1, 2]`, types); err == nil {
+		t.Error("arity mismatch not rejected")
+	}
+	if _, err := DecodeArgs(`not json`, types); err == nil {
+		t.Error("malformed JSON not rejected")
+	}
+	if _, err := DecodeArgs(`[{"weird": true}]`, types); err == nil {
+		t.Error("unrecognized argument form not rejected")
+	}
+}
+
+func TestEncodeValueRoundTrip(t *testing.T) {
+	// Real array.
+	enc := EncodeValue(mat2c.NewVector(1, 2, 3))
+	data, err := json.Marshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj struct {
+		Rows int       `json:"rows"`
+		Cols int       `json:"cols"`
+		Data []float64 `json:"data"`
+	}
+	if err := json.Unmarshal(data, &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Rows != 1 || obj.Cols != 3 || !reflect.DeepEqual(obj.Data, []float64{1, 2, 3}) {
+		t.Errorf("real array encoded as %s", data)
+	}
+
+	// Complex scalar and array.
+	if got := EncodeValue(complex(1.0, -2.0)).([2]float64); got != [2]float64{1, -2} {
+		t.Errorf("complex scalar = %v", got)
+	}
+	data, _ = json.Marshal(EncodeValue(mat2c.NewComplexVector(complex(1, 2))))
+	var cobj struct {
+		Complex [][2]float64 `json:"complex"`
+	}
+	if err := json.Unmarshal(data, &cobj); err != nil || len(cobj.Complex) != 1 || cobj.Complex[0] != [2]float64{1, 2} {
+		t.Errorf("complex array encoded as %s (err %v)", data, err)
+	}
+
+	// Scalars pass through.
+	if got := EncodeValue(float64(7)); got.(float64) != 7 {
+		t.Errorf("float scalar = %v", got)
+	}
+	if got := EncodeValue(int64(7)); got.(int64) != 7 {
+		t.Errorf("int scalar = %v", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Metrics for the compile-and-simulate service: request counters,
+// latency histograms per compiler stage, and an in-flight gauge. The
+// registry is expvar-style — plain counters snapshotted into one JSON
+// document by the /metrics endpoint — and uses only the standard
+// library.
+package service
+
+import (
+	"sync"
+	"time"
+
+	mat2c "mat2c"
+)
+
+// bucketBoundsUS are the histogram upper bounds in microseconds,
+// roughly exponential from 50µs to 1s; observations above the last
+// bound land in the overflow bucket.
+var bucketBoundsUS = []int64{
+	50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000,
+}
+
+// histogram is a fixed-bucket latency histogram. Guarded by the
+// owning Metrics mutex.
+type histogram struct {
+	count   uint64
+	sumUS   int64
+	maxUS   int64
+	buckets []uint64 // len(bucketBoundsUS)+1; last is overflow
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]uint64, len(bucketBoundsUS)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	h.count++
+	h.sumUS += us
+	if us > h.maxUS {
+		h.maxUS = us
+	}
+	for i, bound := range bucketBoundsUS {
+		if us <= bound {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(h.buckets)-1]++
+}
+
+// HistogramSnapshot is the JSON form of one latency histogram. Buckets
+// are cumulative-free: Buckets[i].Count observations fell in
+// (previous bound, LeUS]; the entry with LeUS == 0 is the overflow
+// bucket.
+type HistogramSnapshot struct {
+	Count   uint64           `json:"count"`
+	TotalUS int64            `json:"total_us"`
+	AvgUS   int64            `json:"avg_us"`
+	MaxUS   int64            `json:"max_us"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one histogram bucket; LeUS 0 marks the overflow
+// bucket (observations above every bound).
+type BucketSnapshot struct {
+	LeUS  int64  `json:"le_us"`
+	Count uint64 `json:"count"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, TotalUS: h.sumUS, MaxUS: h.maxUS}
+	if h.count > 0 {
+		s.AvgUS = h.sumUS / int64(h.count)
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		var le int64
+		if i < len(bucketBoundsUS) {
+			le = bucketBoundsUS[i]
+		}
+		s.Buckets = append(s.Buckets, BucketSnapshot{LeUS: le, Count: n})
+	}
+	return s
+}
+
+// endpointStats counts requests for one endpoint.
+type endpointStats struct {
+	count    uint64
+	errors   uint64 // responses with status >= 400
+	timeouts uint64
+	panics   uint64
+	latency  *histogram
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's counters.
+type EndpointSnapshot struct {
+	Count    uint64            `json:"count"`
+	Errors   uint64            `json:"errors"`
+	Timeouts uint64            `json:"timeouts"`
+	Panics   uint64            `json:"panics"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// Metrics aggregates service observability state. All methods are safe
+// for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	inflight  int64
+	requests  map[string]*endpointStats
+	stages    map[string]*histogram
+	compiles  uint64
+	cacheHits uint64
+}
+
+// NewMetrics returns a registry with every pipeline-stage series
+// pre-registered so /metrics exposes a stable shape from the first
+// scrape.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		start:    time.Now(),
+		requests: map[string]*endpointStats{},
+		stages:   map[string]*histogram{},
+	}
+	for _, s := range mat2c.StageNames() {
+		m.stages[s] = newHistogram()
+	}
+	return m
+}
+
+func (m *Metrics) endpoint(name string) *endpointStats {
+	e, ok := m.requests[name]
+	if !ok {
+		e = &endpointStats{latency: newHistogram()}
+		m.requests[name] = e
+	}
+	return e
+}
+
+// RequestStarted bumps the in-flight gauge for one endpoint request;
+// call the returned function exactly once when the request finishes,
+// with the response status and whether the request timed out or
+// recovered from a handler panic.
+func (m *Metrics) RequestStarted(name string) func(status int, timedOut, panicked bool) {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+	begin := time.Now()
+	return func(status int, timedOut, panicked bool) {
+		d := time.Since(begin)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.inflight--
+		e := m.endpoint(name)
+		e.count++
+		e.latency.observe(d)
+		if status >= 400 {
+			e.errors++
+		}
+		if timedOut {
+			e.timeouts++
+		}
+		if panicked {
+			e.panics++
+		}
+	}
+}
+
+// ObserveCompile records one compilation's outcome: the per-stage
+// timings of a miss, or a cache hit (which has no stage work).
+func (m *Metrics) ObserveCompile(stages []mat2c.StageTime, cacheHit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compiles++
+	if cacheHit {
+		m.cacheHits++
+		return
+	}
+	for _, st := range stages {
+		h, ok := m.stages[st.Stage]
+		if !ok {
+			h = newHistogram()
+			m.stages[st.Stage] = h
+		}
+		h.observe(st.Duration)
+	}
+}
+
+// InFlight returns the current in-flight request count.
+func (m *Metrics) InFlight() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inflight
+}
+
+// Snapshot is the /metrics JSON document.
+type Snapshot struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	InFlight      int64                        `json:"inflight"`
+	Compiles      uint64                       `json:"compiles"`
+	CompileHits   uint64                       `json:"compile_cache_hits"`
+	Requests      map[string]EndpointSnapshot  `json:"requests"`
+	Stages        map[string]HistogramSnapshot `json:"stages_us"`
+	Cache         mat2c.CacheStats             `json:"cache"`
+}
+
+// SnapshotWith captures all counters plus the supplied cache stats.
+func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.inflight,
+		Compiles:      m.compiles,
+		CompileHits:   m.cacheHits,
+		Requests:      map[string]EndpointSnapshot{},
+		Stages:        map[string]HistogramSnapshot{},
+		Cache:         cache,
+	}
+	for name, e := range m.requests {
+		s.Requests[name] = EndpointSnapshot{
+			Count:    e.count,
+			Errors:   e.errors,
+			Timeouts: e.timeouts,
+			Panics:   e.panics,
+			Latency:  e.latency.snapshot(),
+		}
+	}
+	for name, h := range m.stages {
+		s.Stages[name] = h.snapshot()
+	}
+	return s
+}

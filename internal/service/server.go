@@ -1,0 +1,403 @@
+// Package service implements mat2cd, the long-lived compile-and-simulate
+// server: an HTTP/JSON front end over the mat2c pipeline with a
+// content-addressed compilation cache, a bounded worker pool with
+// per-request timeouts and panic containment, and per-stage compiler
+// metrics. It is the serving layer the batch compiler lacks — repeated
+// compilations of identical inputs (the common shape of design-space
+// exploration loops, where the same kernels are rebuilt against many
+// candidate processor descriptions) hit the cache instead of re-running
+// the pipeline.
+//
+// Endpoints:
+//
+//	POST /compile  MATLAB source + types + target → C artifacts + stats
+//	POST /run      compile + execute on the cycle-model simulator
+//	GET  /targets  built-in processor catalog
+//	GET  /healthz  liveness + in-flight gauge
+//	GET  /metrics  JSON counters: requests, cache, per-stage histograms
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	mat2c "mat2c"
+)
+
+// Config tunes the server. Zero values select sensible defaults.
+type Config struct {
+	// Workers bounds concurrent compile/run work (default: NumCPU).
+	Workers int
+	// CacheSize bounds the compilation cache entry count
+	// (default mat2c.DefaultCacheSize).
+	CacheSize int
+	// RequestTimeout bounds each compile/run request, queueing
+	// included (default 30s).
+	RequestTimeout time.Duration
+	// MaxRequestBytes bounds request bodies (default 8 MiB).
+	MaxRequestBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = mat2c.DefaultCacheSize
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the compile-and-simulate service state: cache, metrics,
+// and the worker-pool semaphore. Create with New; serve via Handler.
+type Server struct {
+	cfg     Config
+	cache   *mat2c.Cache
+	metrics *Metrics
+	slots   chan struct{}
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   mat2c.NewCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		slots:   make(chan struct{}, cfg.Workers),
+	}
+}
+
+// Metrics exposes the registry (for tests and embedding servers).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the compilation cache (for tests and warmup).
+func (s *Server) Cache() *mat2c.Cache { return s.cache }
+
+// Handler returns the service's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /targets", s.handleTargets)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// CompileRequest is the /compile (and the compile half of /run) body.
+// Params uses the CLI type syntax ("real(1,:), complex, int"); Target
+// is a built-in name, an embedded description, or a server-side file
+// path.
+type CompileRequest struct {
+	Source string `json:"source"`
+	Entry  string `json:"entry,omitempty"`
+	Params string `json:"params,omitempty"`
+	Target string `json:"target,omitempty"`
+
+	Baseline     bool `json:"baseline,omitempty"`
+	NoVectorize  bool `json:"no_vectorize,omitempty"`
+	NoIntrinsics bool `json:"no_intrinsics,omitempty"`
+	OptLevel     int  `json:"opt_level,omitempty"`
+	SkipC        bool `json:"skip_c,omitempty"`
+
+	// NoCache bypasses the compilation cache for this request (the
+	// result is still stored for future hits).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+func (req *CompileRequest) options() mat2c.Options {
+	return mat2c.Options{
+		Target:       req.Target,
+		Baseline:     req.Baseline,
+		NoVectorize:  req.NoVectorize,
+		NoIntrinsics: req.NoIntrinsics,
+		OptLevel:     req.OptLevel,
+		SkipC:        req.SkipC,
+	}
+}
+
+// CompileResponse is the /compile reply; /run embeds it.
+type CompileResponse struct {
+	Entry  string `json:"entry"`
+	Target string `json:"target"`
+
+	CacheKey  string `json:"cache_key"`
+	CacheHit  bool   `json:"cache_hit"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	// StagesUS reports per-stage compile wall time; absent on a cache
+	// hit (no stage ran).
+	StagesUS map[string]int64 `json:"stages_us,omitempty"`
+
+	CSource    string `json:"c_source,omitempty"`
+	CHeader    string `json:"c_header,omitempty"`
+	CPrototype string `json:"c_prototype,omitempty"`
+
+	CodeSize        int            `json:"code_size"`
+	VectorizedLoops int            `json:"vectorized_loops"`
+	Intrinsics      map[string]int `json:"intrinsics,omitempty"`
+	Warnings        []string       `json:"warnings,omitempty"`
+}
+
+// RunRequest is the /run body: a compilation plus simulator arguments
+// in cmd/asipsim's JSON format.
+type RunRequest struct {
+	CompileRequest
+	Args json.RawMessage `json:"args"`
+}
+
+// RunResponse is the /run reply.
+type RunResponse struct {
+	CompileResponse
+	Results      []interface{}    `json:"results"`
+	Cycles       int64            `json:"cycles"`
+	Instructions int64            `json:"instructions"`
+	ClassCounts  map[string]int64 `json:"class_counts,omitempty"`
+}
+
+// TargetInfo is one /targets catalog entry.
+type TargetInfo struct {
+	Name         string `json:"name"`
+	Description  string `json:"description,omitempty"`
+	SIMDWidth    int    `json:"simd_width"`
+	ComplexLanes int    `json:"complex_lanes"`
+	Instructions int    `json:"instructions"`
+}
+
+// compileError marks failures caused by the request content (bad
+// MATLAB, unknown target, bad arguments) as distinct from server
+// faults; they map to 422.
+type compileError struct{ err error }
+
+func (e compileError) Error() string { return e.err.Error() }
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// compile resolves one CompileRequest through the cache and shapes the
+// response. It runs on a worker slot.
+func (s *Server) compile(req *CompileRequest) (*mat2c.Result, *CompileResponse, error) {
+	params, err := mat2c.ParseTypes(req.Params)
+	if err != nil {
+		return nil, nil, compileError{err}
+	}
+	opts := req.options()
+	key, err := mat2c.CacheKey(req.Source, req.Entry, params, opts)
+	if err != nil {
+		return nil, nil, compileError{err}
+	}
+
+	begin := time.Now()
+	var res *mat2c.Result
+	var hit bool
+	if req.NoCache {
+		res, err = mat2c.Compile(req.Source, req.Entry, params, opts)
+	} else {
+		res, hit, err = mat2c.CompileCached(s.cache, req.Source, req.Entry, params, opts)
+	}
+	if err != nil {
+		return nil, nil, compileError{err}
+	}
+	elapsed := time.Since(begin)
+	s.metrics.ObserveCompile(res.StageTimings(), hit)
+
+	resp := &CompileResponse{
+		Entry:           res.Entry(),
+		Target:          res.Processor().Name,
+		CacheKey:        key,
+		CacheHit:        hit,
+		ElapsedUS:       elapsed.Microseconds(),
+		CSource:         res.CSource(),
+		CHeader:         res.CHeader(),
+		CodeSize:        res.CodeSize(),
+		VectorizedLoops: res.VectorizedLoops(),
+		Intrinsics:      res.SelectedIntrinsics(),
+		Warnings:        res.Warnings(),
+	}
+	if !req.SkipC {
+		resp.CPrototype = res.CPrototype()
+	}
+	if !hit {
+		resp.StagesUS = map[string]int64{}
+		for _, st := range res.StageTimings() {
+			resp.StagesUS[st.Stage] = st.Duration.Microseconds()
+		}
+	}
+	return res, resp, nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.serveCompute(w, r, "compile", func(req *RunRequest) (interface{}, error) {
+		_, resp, err := s.compile(&req.CompileRequest)
+		return resp, err
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.serveCompute(w, r, "run", func(req *RunRequest) (interface{}, error) {
+		res, cresp, err := s.compile(&req.CompileRequest)
+		if err != nil {
+			return nil, err
+		}
+		params, err := mat2c.ParseTypes(req.Params)
+		if err != nil {
+			return nil, compileError{err}
+		}
+		argsJSON := "[]"
+		if len(req.Args) > 0 {
+			argsJSON = string(req.Args)
+		}
+		args, err := DecodeArgs(argsJSON, params)
+		if err != nil {
+			return nil, compileError{err}
+		}
+		out, stats, err := res.RunWithStats(args...)
+		if err != nil {
+			return nil, compileError{fmt.Errorf("run: %w", err)}
+		}
+		resp := &RunResponse{
+			CompileResponse: *cresp,
+			Results:         make([]interface{}, len(out)),
+			Cycles:          stats.Cycles,
+			Instructions:    stats.Executed,
+			ClassCounts:     stats.ClassCounts,
+		}
+		for i, v := range out {
+			resp.Results[i] = EncodeValue(v)
+		}
+		return resp, nil
+	})
+}
+
+// serveCompute is the shared compile/run request path: body decode,
+// worker-slot acquisition, per-request timeout, panic-to-500, and
+// request metrics.
+func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, name string, fn func(*RunRequest) (interface{}, error)) {
+	finish := s.metrics.RequestStarted(name)
+	status, timedOut, panicked := http.StatusOK, false, false
+	defer func() { finish(status, timedOut, panicked) }()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status = http.StatusBadRequest
+		httpError(w, status, "bad request body: %v", err)
+		return
+	}
+	if req.Source == "" {
+		status = http.StatusBadRequest
+		httpError(w, status, "missing \"source\"")
+		return
+	}
+
+	ctx := r.Context()
+	deadline := time.NewTimer(s.cfg.RequestTimeout)
+	defer deadline.Stop()
+
+	// Acquire a worker slot; waiting counts against the request
+	// timeout so a saturated pool sheds load instead of queueing
+	// unboundedly.
+	select {
+	case s.slots <- struct{}{}:
+	case <-deadline.C:
+		status, timedOut = http.StatusServiceUnavailable, true
+		httpError(w, status, "server busy: no worker within %s", s.cfg.RequestTimeout)
+		return
+	case <-ctx.Done():
+		status = http.StatusServiceUnavailable
+		httpError(w, status, "client went away")
+		return
+	}
+
+	type outcome struct {
+		v        interface{}
+		err      error
+		panicked bool
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.slots }()
+		defer func() {
+			if p := recover(); p != nil {
+				done <- outcome{err: fmt.Errorf("internal error: %v", p), panicked: true}
+			}
+		}()
+		v, err := fn(&req)
+		done <- outcome{v: v, err: err}
+	}()
+
+	select {
+	case o := <-done:
+		switch {
+		case o.panicked:
+			status, panicked = http.StatusInternalServerError, true
+			httpError(w, status, "%v", o.err)
+		case o.err != nil:
+			var ce compileError
+			if errors.As(o.err, &ce) {
+				status = http.StatusUnprocessableEntity
+			} else {
+				status = http.StatusInternalServerError
+			}
+			httpError(w, status, "%v", o.err)
+		default:
+			writeJSON(w, o.v)
+		}
+	case <-deadline.C:
+		// The worker keeps its slot until the pipeline finishes; the
+		// client just stops waiting.
+		status, timedOut = http.StatusGatewayTimeout, true
+		httpError(w, status, "request exceeded %s", s.cfg.RequestTimeout)
+	}
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	finish := s.metrics.RequestStarted("targets")
+	defer func() { finish(http.StatusOK, false, false) }()
+	var infos []TargetInfo
+	for _, name := range mat2c.Targets() {
+		p, err := mat2c.LoadProcessor(name)
+		if err != nil {
+			continue
+		}
+		infos = append(infos, TargetInfo{
+			Name:         p.Name,
+			Description:  p.Description,
+			SIMDWidth:    p.SIMDWidth,
+			ComplexLanes: p.ComplexLanes,
+			Instructions: len(p.Instructions),
+		})
+	}
+	writeJSON(w, map[string]interface{}{"targets": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"status":   "ok",
+		"inflight": s.metrics.InFlight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.metrics.SnapshotWith(s.cache.Stats()))
+}

@@ -233,6 +233,10 @@ func Compile(source, entry string, params []Type, opts Options) (*Result, error)
 	return &Result{res: res, proc: cfg.Processor}, nil
 }
 
+// Entry returns the compiled entry-function name (resolved to the
+// first function in the file when Compile was called with entry "").
+func (r *Result) Entry() string { return r.res.Entry }
+
 // CSource returns the generated ANSI C (empty if SkipC was set).
 func (r *Result) CSource() string { return r.res.CSource }
 
@@ -264,6 +268,23 @@ func (r *Result) SelectedIntrinsics() map[string]int {
 
 // Processor returns the compilation target.
 func (r *Result) Processor() *Processor { return r.proc }
+
+// StageTime records how long one pipeline stage took, in pipeline
+// order: parse, sema, lower, opt, vectorize, isel, vm-lower, cgen.
+type StageTime = core.StageTime
+
+// StageNames lists the instrumented pipeline stages in execution order
+// (useful for pre-registering metric series).
+func StageNames() []string { return core.StageNames() }
+
+// StageTimings returns per-stage wall-clock timings for this
+// compilation, one entry per StageNames() element. Disabled stages
+// report a zero duration.
+func (r *Result) StageTimings() []StageTime {
+	out := make([]StageTime, len(r.res.Stages))
+	copy(out, r.res.Stages)
+	return out
+}
 
 // Warnings returns non-fatal analyzer diagnostics (e.g. complex
 // ordering comparisons), formatted with source positions.

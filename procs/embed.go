@@ -1,0 +1,13 @@
+// Package procs embeds the shipped processor descriptions so compiled
+// binaries (notably the mat2cd daemon) can resolve targets without a
+// procs/ directory on disk. cmd/procgen regenerates the JSON files from
+// the built-in catalog; the embedded copies track whatever is checked
+// in.
+package procs
+
+import "embed"
+
+// FS holds every shipped *.json processor description.
+//
+//go:embed *.json
+var FS embed.FS
