@@ -1,0 +1,90 @@
+// Command asipdse runs design-space exploration over generated
+// processor variants: it enumerates candidates from a sweep
+// specification, compiles and simulates the benchmark kernel suite
+// against each one on a worker pool, and reports the Pareto frontier
+// over (total cycles, instruction-set cost).
+//
+//	asipdse                                sweep the default axes over dspasip
+//	asipdse -procs dspasip,wide8           sweep multiple bases, one merged frontier
+//	asipdse -sweep sweep.json              load the axes from a JSON spec
+//	asipdse -kernels fir,cfir -scale 0.1   restrict the suite / shrink sizes
+//	asipdse -jobs 4 -json                  bound the pool, emit the JSON report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mat2c/internal/dse"
+)
+
+func main() {
+	var (
+		procs   = flag.String("procs", "", "comma-separated base targets to sweep (default: the sweep spec's base, or dspasip)")
+		sweep   = flag.String("sweep", "", "JSON sweep specification file (default: built-in axes)")
+		jobs    = flag.Int("jobs", 0, "worker pool size (default: GOMAXPROCS)")
+		scale   = flag.Float64("scale", 0.25, "problem size multiplier for the kernel suite")
+		kernels = flag.String("kernels", "", "comma-separated kernel subset (default: full suite)")
+		jsonOut = flag.Bool("json", false, "emit the machine-readable JSON report")
+		csvOut  = flag.Bool("csv", false, "emit one CSV row per variant")
+	)
+	flag.Parse()
+	if *jsonOut && *csvOut {
+		fatal(fmt.Errorf("-json and -csv are mutually exclusive"))
+	}
+
+	base := &dse.Sweep{}
+	if *sweep != "" {
+		var err error
+		base, err = dse.LoadSweep(*sweep)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var sweeps []*dse.Sweep
+	if *procs != "" {
+		for _, p := range strings.Split(*procs, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			sw := *base
+			sw.Base = p
+			sweeps = append(sweeps, &sw)
+		}
+	}
+	if len(sweeps) == 0 {
+		sweeps = []*dse.Sweep{base}
+	}
+
+	opts := dse.Options{Jobs: *jobs, Scale: *scale}
+	if *kernels != "" {
+		for _, k := range strings.Split(*kernels, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				opts.Kernels = append(opts.Kernels, k)
+			}
+		}
+	}
+
+	rep, err := dse.Explore(sweeps, opts)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *jsonOut:
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *csvOut:
+		fmt.Print(rep.CSV())
+	default:
+		fmt.Print(rep.Text())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asipdse:", err)
+	os.Exit(1)
+}

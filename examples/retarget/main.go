@@ -4,6 +4,11 @@
 // and for a custom processor defined as a JSON description on the spot —
 // and the generated C changes its intrinsics accordingly.
 //
+// This is the single-variant version of the design-space exploration
+// loop: cmd/asipdse automates it, enumerating whole families of
+// derived descriptions and reporting the Pareto frontier over cycles
+// versus instruction-set cost (see docs/DSE.md).
+//
 //	go run ./examples/retarget
 package main
 

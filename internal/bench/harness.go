@@ -20,6 +20,16 @@ type Stats struct {
 	Intrinsics      map[string]int
 }
 
+// CloneArgs deep-copies array arguments so pipelines never share
+// state (exported for harnesses — e.g. the design-space explorer —
+// that drive kernels through their own compilation path).
+func CloneArgs(args []interface{}) []interface{} { return cloneArgs(args) }
+
+// Verify compares pipeline outputs against a kernel's Go reference
+// with a relative tolerance (exported companion of CloneArgs for
+// external harnesses).
+func Verify(got, want []interface{}) error { return verify(got, want) }
+
 // cloneArgs deep-copies array arguments so pipelines never share state.
 func cloneArgs(args []interface{}) []interface{} {
 	out := make([]interface{}, len(args))
@@ -109,6 +119,14 @@ func RunPipeline(k *Kernel, cfg core.Config, n int) (*Stats, error) {
 		VectorizedLoops: res.VectorizedLoops,
 		Intrinsics:      res.Intrinsics.Selected,
 	}, nil
+}
+
+// RunKernelOn runs kernel k's full proposed pipeline against an
+// in-memory processor description at problem size n. It is the entry
+// point design-space exploration uses: the target never needs a name
+// in the catalog or a file on disk.
+func RunKernelOn(proc *pdesc.Processor, k *Kernel, n int) (*Stats, error) {
+	return RunPipeline(k, core.Proposed(proc), n)
 }
 
 // ----- Table I: headline speedups -----
@@ -294,10 +312,16 @@ func WidthTargets() []*pdesc.Processor {
 	}
 }
 
-// Fig3 regenerates the width-sweep figure data.
+// Fig3 regenerates the width-sweep figure data over the shipped
+// width-sweep family.
 func Fig3(scale float64) ([]Fig3Row, error) {
-	targets := WidthTargets()
-	ref := pdesc.Builtin("dspasip")
+	return Fig3On(WidthTargets(), pdesc.Builtin("dspasip"), scale)
+}
+
+// Fig3On runs the width sweep over arbitrary in-memory targets,
+// measuring each kernel's full-pipeline cycles on every target against
+// the coder-style baseline on ref.
+func Fig3On(targets []*pdesc.Processor, ref *pdesc.Processor, scale float64) ([]Fig3Row, error) {
 	var rows []Fig3Row
 	for _, k := range Kernels() {
 		n := SizeFor(k, scale)

@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -25,4 +27,17 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ParseReport decodes a `benchtab -json` document, rejecting unknown
+// fields so schema drift breaks loudly instead of silently dropping
+// data from tracked BENCH_*.json trends.
+func ParseReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	return &rep, nil
 }

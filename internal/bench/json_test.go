@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mat2c/internal/pdesc"
+)
+
+// TestReportSchemaRoundTrip pins the `benchtab -json` schema: a report
+// produced by the harness decodes back into the typed struct with no
+// unknown fields and is deep-equal after the round trip, so tracked
+// BENCH_*.json documents stay machine-readable across commits.
+func TestReportSchemaRoundTrip(t *testing.T) {
+	p := pdesc.Builtin("dspasip")
+	t2, err := Table2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Proc: p.Name, Scale: 0.1, Table2: t2}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("report changed across a JSON round trip:\nbefore %+v\nafter  %+v", rep, back)
+	}
+
+	// Re-marshal and compare documents byte-for-byte: nothing may be
+	// dropped or reordered by the decode.
+	var buf2 bytes.Buffer
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("re-marshaled report differs:\nfirst:\n%s\nsecond:\n%s", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+func TestParseReportRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseReport([]byte(`{"proc": "dspasip", "tabel1": []}`)); err == nil {
+		t.Error("ParseReport accepted a misspelled table key")
+	}
+	if _, err := ParseReport([]byte(`{"proc": "dspasip", "table1": [{"kernel": "fir", "speedups": 2}]}`)); err == nil {
+		t.Error("ParseReport accepted a misspelled row field")
+	}
+}
+
+// TestFig3OnEntryPoint exercises the in-memory variant entry point the
+// DSE engine uses: Fig3 rows computed over programmatically derived
+// processors must agree in shape with the embedded-target run.
+func TestFig3OnEntryPoint(t *testing.T) {
+	base := pdesc.Builtin("dspasip")
+	narrow, err := base.Derive("dspasip-narrow", func(q *pdesc.Processor) {
+		q.SIMDWidth, q.ComplexLanes = 2, 0
+		var keep []pdesc.Instr
+		for _, in := range base.Instructions {
+			if in.Name == "vfma" || in.Name[0] != 'v' {
+				if in.Name == "vfma" {
+					in.CName = "_asip_vfma2"
+				}
+				keep = append(keep, in)
+			}
+		}
+		q.Instructions = keep
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Fig3On([]*pdesc.Processor{narrow, base}, pdesc.Builtin("scalar"), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("Fig3On returned no rows")
+	}
+	for _, r := range rows {
+		if len(r.Cycles) != 2 || len(r.Speedups) != 2 {
+			t.Fatalf("row %s: want 2 targets, got %+v", r.Kernel, r)
+		}
+		for i, s := range r.Speedups {
+			if s <= 0 {
+				t.Errorf("row %s target %d: non-positive speedup %v", r.Kernel, i, s)
+			}
+		}
+	}
+}

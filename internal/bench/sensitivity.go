@@ -25,17 +25,20 @@ var MemCostSweep = []int{1, 2, 4, 8}
 // MemVariant builds a dspasip clone whose memory accesses cost c
 // cycles (exported for the root benchmark harness).
 func MemVariant(c int) *pdesc.Processor {
-	p := pdesc.Builtin("dspasip")
-	q := *p
-	q.Name = fmt.Sprintf("dspasip-mem%d", c)
-	q.Costs = map[string]int{}
-	for k, v := range p.Costs {
-		q.Costs[k] = v
+	p, err := pdesc.Builtin("dspasip").Derive(fmt.Sprintf("dspasip-mem%d", c), func(q *pdesc.Processor) {
+		if q.Costs == nil {
+			q.Costs = map[string]int{}
+		}
+		for _, k := range []string{"load", "store", "cload", "cstore", "vload", "vstore"} {
+			q.Costs[k] = c
+		}
+	})
+	if err != nil {
+		// The mutation only touches known cost classes; failure would be
+		// a programming error in the sweep itself.
+		panic(err)
 	}
-	for _, k := range []string{"load", "store", "cload", "cstore", "vload", "vstore"} {
-		q.Costs[k] = c
-	}
-	return &q
+	return p
 }
 
 // Fig4 regenerates the sensitivity study: for each kernel and memory

@@ -119,6 +119,22 @@ func hasGCC() bool {
 	return err == nil
 }
 
+// requireGCC gates the compile-and-run cross-validation tests: on
+// developer machines without a C compiler they skip, but when
+// MAT2C_REQUIRE_CC is set (CI installs gcc explicitly) a missing
+// compiler is a failure — the coverage must not silently disappear.
+// Failures of gcc itself on emitted C are always test failures.
+func requireGCC(t *testing.T) {
+	t.Helper()
+	if hasGCC() {
+		return
+	}
+	if os.Getenv("MAT2C_REQUIRE_CC") != "" {
+		t.Fatal("MAT2C_REQUIRE_CC is set but gcc is not on PATH")
+	}
+	t.Skip("gcc not available")
+}
+
 // cLit renders a Go float as a C literal.
 func cLit(v float64) string {
 	return strconv.FormatFloat(v, 'g', 17, 64)
@@ -396,9 +412,7 @@ func cloneArgs(args []interface{}) []interface{} {
 // validation that the generated ANSI C "can be used as input to any
 // C/C++ compiler" and computes the same function.
 func TestGeneratedCMatchesVM(t *testing.T) {
-	if !hasGCC() {
-		t.Skip("gcc not available")
-	}
+	requireGCC(t)
 	r := rand.New(rand.NewSource(77))
 	randArr := func(n int) *ir.Array {
 		a := ir.NewFloatArray(1, n)
@@ -593,9 +607,7 @@ end`,
 }
 
 func TestGeneratedHeaderCompilesStandalone(t *testing.T) {
-	if !hasGCC() {
-		t.Skip("gcc not available")
-	}
+	requireGCC(t)
 	for _, name := range pdesc.BuiltinNames() {
 		dir := t.TempDir()
 		h := Header(pdesc.Builtin(name))
@@ -617,9 +629,7 @@ func TestGeneratedHeaderCompilesStandalone(t *testing.T) {
 // TestGeneratedCStridedLoads validates the strided-load intrinsic path
 // (decimation/reversal) through gcc against the VM.
 func TestGeneratedCStridedLoads(t *testing.T) {
-	if !hasGCC() {
-		t.Skip("gcc not available")
-	}
+	requireGCC(t)
 	src := `function [y, z] = f(x, m)
 y = zeros(1, m);
 for i = 1:m

@@ -1,0 +1,169 @@
+// Golden-file tests for the C backend: the emitted ANSI C for the
+// benchmark suite and the example kernels, against several targets, is
+// diffed verbatim against committed files. Regenerate intentionally
+// with
+//
+//	go test ./internal/cgen/ -run TestGolden -update
+//
+// so backend changes show up as reviewable diffs instead of silent
+// drift. This is an external test package (cgen's internal tests
+// cannot import bench: bench → core → cgen).
+package cgen_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	mat2c "mat2c"
+	"mat2c/internal/bench"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// exampleKernels mirror the sources in examples/quickstart and
+// examples/qamdemod (kept in sync by TestGoldenExamplesInSync below),
+// pinning the C the walkthroughs in those directories print.
+var exampleKernels = []struct {
+	name   string
+	entry  string
+	source string
+	params []mat2c.Type
+}{
+	{
+		name:  "smooth",
+		entry: "smooth",
+		source: `function y = smooth(x)
+% 3-point moving average with clamped ends.
+n = length(x);
+y = zeros(1, n);
+y(1) = x(1);
+y(n) = x(n);
+for i = 2:n-1
+    y(i) = (x(i-1) + x(i) + x(i+1)) / 3;
+end
+end`,
+		params: []mat2c.Type{mat2c.Vector(mat2c.Real)},
+	},
+	{
+		name:  "demod",
+		entry: "demod",
+		source: `function [soft, energy] = demod(rx, mf, lo)
+% Matched filter then derotate by the local oscillator; also report
+% the total filtered energy.
+n = length(rx);
+t = length(mf);
+y = zeros(1, n);
+for k = 1:t
+    y(t:n) = y(t:n) + conj(mf(k)) .* rx(t-k+1:n-k+1);
+end
+soft = y .* conj(lo);
+energy = sum(real(soft).^2 + imag(soft).^2);
+end`,
+		params: []mat2c.Type{mat2c.Vector(mat2c.Complex), mat2c.Vector(mat2c.Complex), mat2c.Scalar(mat2c.Complex)},
+	},
+}
+
+var goldenTargets = []string{"scalar", "dspasip", "wide8"}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name)
+}
+
+func checkGolden(t *testing.T, file, got string) {
+	t.Helper()
+	path := goldenPath(file)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: emitted C differs from golden file (rerun with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenBenchKernels pins the C for every benchmark kernel against
+// every golden target.
+func TestGoldenBenchKernels(t *testing.T) {
+	for _, k := range bench.Kernels() {
+		for _, target := range goldenTargets {
+			t.Run(k.Name+"_"+target, func(t *testing.T) {
+				res, err := mat2c.Compile(k.Source, k.Entry, k.Params, mat2c.Options{Target: target})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, fmt.Sprintf("%s_%s.c", k.Name, target), res.CSource())
+			})
+		}
+	}
+}
+
+// TestGoldenExampleKernels pins the C for the examples/ walkthrough
+// kernels.
+func TestGoldenExampleKernels(t *testing.T) {
+	for _, ex := range exampleKernels {
+		for _, target := range goldenTargets {
+			t.Run(ex.name+"_"+target, func(t *testing.T) {
+				res, err := mat2c.Compile(ex.source, ex.entry, ex.params, mat2c.Options{Target: target})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkGolden(t, fmt.Sprintf("%s_%s.c", ex.name, target), res.CSource())
+			})
+		}
+	}
+}
+
+// TestGoldenHeaders pins the per-target runtime header (one per
+// target; it depends only on the processor description).
+func TestGoldenHeaders(t *testing.T) {
+	k := bench.KernelByName("fir")
+	for _, target := range goldenTargets {
+		t.Run(target, func(t *testing.T) {
+			res, err := mat2c.Compile(k.Source, k.Entry, k.Params, mat2c.Options{Target: target})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, fmt.Sprintf("header_%s.h", target), res.CHeader())
+		})
+	}
+}
+
+// TestGoldenExamplesInSync fails when the inline example sources drift
+// from the files under examples/ they mirror.
+func TestGoldenExamplesInSync(t *testing.T) {
+	files := map[string]string{
+		"smooth": "../../examples/quickstart/main.go",
+		"demod":  "../../examples/qamdemod/main.go",
+	}
+	for _, ex := range exampleKernels {
+		data, err := os.ReadFile(files[ex.name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containsVerbatim(string(data), ex.source) {
+			t.Errorf("example source for %q is out of sync with %s", ex.name, files[ex.name])
+		}
+	}
+}
+
+func containsVerbatim(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/cmplx"
 	"math/rand"
 	"strings"
 	"testing"
@@ -174,20 +175,269 @@ func fuzzEq(a, b interface{}) bool {
 		return math.Abs(x-y) <= tol*(1+math.Abs(x)) || math.IsNaN(x) && math.IsNaN(y)
 	case int64:
 		return x == b.(int64)
+	case complex128:
+		y, ok := b.(complex128)
+		if !ok {
+			return false
+		}
+		return cmplx.Abs(x-y) <= tol*(1+cmplx.Abs(x)) ||
+			cmplx.IsNaN(x) && cmplx.IsNaN(y)
 	case *ir.Array:
 		y := b.(*ir.Array)
 		if x.Rows != y.Rows || x.Cols != y.Cols {
 			return false
 		}
-		for i := range x.F {
-			if !(math.Abs(x.F[i]-y.F[i]) <= tol*(1+math.Abs(x.F[i])) ||
-				math.IsNaN(x.F[i]) && math.IsNaN(y.F[i])) {
+		for i := 0; i < x.Len(); i++ {
+			xv, yv := x.At(i), y.At(i)
+			if !(cmplx.Abs(xv-yv) <= tol*(1+cmplx.Abs(xv)) ||
+				cmplx.IsNaN(xv) && cmplx.IsNaN(yv)) {
 				return false
 			}
 		}
 		return true
 	}
 	return false
+}
+
+// cscalar emits random complex scalar expressions over the loop
+// element context: z(i), w(i), c and complex literals. Conjugated
+// products are generated explicitly — they are the pattern the
+// complex ISA's conj-multiply instruction selects on.
+func (g *exprGen) cscalar(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return "z(i)"
+		case 1:
+			return "w(i)"
+		case 2:
+			return "c"
+		default:
+			return fmt.Sprintf("(%.2f%+.2fi)", float64(g.r.Intn(9)-4)/2, float64(g.r.Intn(9)-4)/2)
+		}
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.cscalar(depth-1), g.cscalar(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.cscalar(depth-1), g.cscalar(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.cscalar(depth-1), g.cscalar(depth-1))
+	case 3:
+		return fmt.Sprintf("conj(%s)", g.cscalar(depth-1))
+	default:
+		return fmt.Sprintf("(conj(%s) * %s)", g.cscalar(depth-1), g.cscalar(depth-1))
+	}
+}
+
+// crealScalar emits a real-valued scalar expression derived from
+// complex operands (the real/imag/abs projection paths).
+func (g *exprGen) crealScalar(depth int) string {
+	fns := []string{"real", "imag", "abs"}
+	return fmt.Sprintf("%s(%s)", fns[g.r.Intn(len(fns))], g.cscalar(depth))
+}
+
+// cvecExpr emits a whole-array complex expression over z, w, c.
+func (g *exprGen) cvecExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return "z"
+		}
+		return "w"
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.cvecExpr(depth-1), g.cvecExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s .* %s)", g.cvecExpr(depth-1), g.cvecExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(c .* %s)", g.cvecExpr(depth-1))
+	case 3:
+		return fmt.Sprintf("conj(%s)", g.cvecExpr(depth-1))
+	case 4:
+		return fmt.Sprintf("(conj(%s) .* %s)", g.cvecExpr(depth-1), g.cvecExpr(depth-1))
+	default:
+		return fmt.Sprintf("(%s - %s)", g.cvecExpr(depth-1), g.cvecExpr(depth-1))
+	}
+}
+
+// genComplexKernel builds a random function
+//
+//	function [y, s] = k(z, w, c)
+//
+// with complex row inputs z, w, a complex scalar c, a complex row
+// output y and a real scalar output s fed by projections.
+func genComplexKernel(r *rand.Rand) string {
+	g := &exprGen{r: r}
+	var b strings.Builder
+	b.WriteString("function [y, s] = k(z, w, c)\n")
+	b.WriteString("n = length(z);\n")
+	b.WriteString("y = zeros(1, n);\n")
+	b.WriteString("s = 0;\n")
+
+	nstmt := 1 + r.Intn(3)
+	for si := 0; si < nstmt; si++ {
+		switch r.Intn(5) {
+		case 0:
+			// Elementwise complex loop.
+			b.WriteString("for i = 1:n\n")
+			fmt.Fprintf(&b, "    y(i) = %s;\n", g.cscalar(3))
+			b.WriteString("end\n")
+		case 1:
+			// Real-projection reduction loop (abs/real/imag chains).
+			b.WriteString("for i = 1:n\n")
+			fmt.Fprintf(&b, "    s = s + %s;\n", g.crealScalar(2))
+			b.WriteString("end\n")
+		case 2:
+			// Whole-array fused complex assignment.
+			fmt.Fprintf(&b, "y = %s;\n", g.cvecExpr(3))
+		case 3:
+			// Conjugated slice accumulation: the matched-filter shape.
+			fmt.Fprintf(&b, "y(2:end) = y(2:end) + conj(%s(1:end-1)) .* %s(2:end);\n",
+				[]string{"z", "w"}[r.Intn(2)], []string{"z", "w"}[r.Intn(2)])
+		default:
+			// Builtin reduction of a projected array.
+			fmt.Fprintf(&b, "s = s + sum(abs(%s));\n", g.cvecExpr(2))
+		}
+	}
+	b.WriteString("end\n")
+	return b.String()
+}
+
+func complexFuzzParams() []sema.Type {
+	dyn := sema.Type{Class: sema.Complex, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}}
+	return []sema.Type{dyn, dyn, sema.ComplexScalar}
+}
+
+func complexFuzzArgs(r *rand.Rand, n int) []interface{} {
+	z := ir.NewComplexArray(1, n)
+	w := ir.NewComplexArray(1, n)
+	rc := func() complex128 {
+		return complex(math.Round(r.NormFloat64()*8)/4, math.Round(r.NormFloat64()*8)/4)
+	}
+	for i := 0; i < n; i++ {
+		z.C[i] = rc()
+		w.C[i] = rc()
+	}
+	return []interface{}{z, w, rc()}
+}
+
+// rewidthInstr adjusts the lane-count suffix vector intrinsic C names
+// carry by convention (the same transform the DSE sweep applies).
+func rewidthInstr(in pdesc.Instr, lanes int) pdesc.Instr {
+	in.CName = strings.TrimRight(in.CName, "0123456789") + fmt.Sprintf("%d", lanes)
+	return in
+}
+
+// fuzzTargets returns every embedded target plus DSE-style derived
+// variants (a wide machine and a wide machine with the complex SIMD
+// unit removed), so the differential net covers the same corners the
+// exploration sweep generates.
+func fuzzTargets(t *testing.T) []*pdesc.Processor {
+	t.Helper()
+	var procs []*pdesc.Processor
+	for _, name := range pdesc.BuiltinNames() {
+		procs = append(procs, pdesc.Builtin(name))
+	}
+	base := pdesc.Builtin("dspasip")
+	wide, err := base.Derive("dse-w16-cl8", func(q *pdesc.Processor) {
+		q.SIMDWidth, q.ComplexLanes = 16, 8
+		var instrs []pdesc.Instr
+		for _, in := range base.Instructions {
+			if strings.HasPrefix(in.Name, "vc") {
+				in = rewidthInstr(in, 8)
+			} else if strings.HasPrefix(in.Name, "v") {
+				in = rewidthInstr(in, 16)
+			}
+			instrs = append(instrs, in)
+		}
+		q.Instructions = instrs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nocmplx, err := base.Derive("dse-w8-cl0", func(q *pdesc.Processor) {
+		q.SIMDWidth, q.ComplexLanes = 8, 0
+		var instrs []pdesc.Instr
+		for _, in := range base.Instructions {
+			if strings.HasPrefix(in.Name, "vc") {
+				continue // no complex SIMD lanes on this variant
+			}
+			if strings.HasPrefix(in.Name, "v") {
+				in = rewidthInstr(in, 8)
+			}
+			instrs = append(instrs, in)
+		}
+		q.Instructions = instrs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(procs, wide, nocmplx)
+}
+
+// TestFuzzComplexPipelinesAgree is the complex-arithmetic differential
+// net: random well-typed kernels over complex operands, executed on
+// the reference evaluator and on the optimized pipeline's VM for every
+// embedded target and for DSE-style derived variants. All must agree.
+func TestFuzzComplexPipelinesAgree(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	r := rand.New(rand.NewSource(313131))
+	procs := fuzzTargets(t)
+	params := complexFuzzParams()
+
+	for trial := 0; trial < trials; trial++ {
+		src := genComplexKernel(r)
+		n := []int{1, 2, 3, 8, 17, 32}[r.Intn(6)]
+		args := complexFuzzArgs(r, n)
+
+		file, err := mlang.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, src)
+		}
+		info, err := sema.Analyze(file, "k", params)
+		if err != nil {
+			t.Fatalf("trial %d: analyze: %v\n%s", trial, err, src)
+		}
+		plain, err := lower.Lower(info)
+		if err != nil {
+			t.Fatalf("trial %d: lower: %v\n%s", trial, err, src)
+		}
+		ev := &ir.Evaluator{}
+		want, err := ev.Run(plain, cloneFuzzArgs(args)...)
+		if err != nil {
+			t.Fatalf("trial %d: reference run: %v\n%s", trial, err, src)
+		}
+
+		for _, proc := range procs {
+			for _, cfg := range []struct {
+				name string
+				c    Config
+			}{
+				{"baseline", Baseline(proc)},
+				{"proposed", Proposed(proc)},
+			} {
+				res, err := Compile(src, "k", params, cfg.c)
+				if err != nil {
+					t.Fatalf("trial %d (%s/%s): compile: %v\n%s", trial, proc.Name, cfg.name, err, src)
+				}
+				m := vm.NewMachine(proc)
+				got, err := res.RunOn(m, cloneFuzzArgs(args)...)
+				if err != nil {
+					t.Fatalf("trial %d (%s/%s): run: %v\n%s", trial, proc.Name, cfg.name, err, src)
+				}
+				for i := range want {
+					if !fuzzEq(want[i], got[i]) {
+						t.Errorf("trial %d (%s/%s) n=%d: result %d differs\nwant %v\ngot  %v\nsource:\n%s\nIR:\n%s",
+							trial, proc.Name, cfg.name, n, i, want[i], got[i], src, ir.Print(res.Func))
+					}
+				}
+			}
+		}
+	}
 }
 
 func TestFuzzPipelinesAgree(t *testing.T) {

@@ -1,0 +1,300 @@
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	mat2c "mat2c"
+	"mat2c/internal/bench"
+)
+
+// Options tunes one exploration run.
+type Options struct {
+	// Jobs bounds the worker pool (default: NumCPU).
+	Jobs int
+	// Scale multiplies the kernels' default problem sizes
+	// (default 0.25: large enough to separate variants, small enough
+	// to sweep hundreds of candidates).
+	Scale float64
+	// Kernels restricts the benchmark suite to the named kernels
+	// (default: the full suite).
+	Kernels []string
+	// Cache is the shared compilation cache; nil allocates a private
+	// one. Passing the service's cache lets identical sweeps hit.
+	Cache *mat2c.Cache
+	// EmitC additionally generates the ANSI C artifacts (slower;
+	// off for pure cycle-model scoring).
+	EmitC bool
+	// OnVariant, when set, is called once per evaluated variant as
+	// results complete (from worker goroutines; must be safe for
+	// concurrent use).
+	OnVariant func(VariantResult)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.NumCPU()
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.25
+	}
+	return o
+}
+
+// VariantResult is one variant's evaluation.
+type VariantResult struct {
+	Name         string `json:"name"`
+	SIMDWidth    int    `json:"simd_width"`
+	ComplexLanes int    `json:"complex_lanes"`
+	// Groups is the custom-instruction group subset the variant keeps.
+	Groups  []string `json:"groups"`
+	CostSet string   `json:"cost_set,omitempty"`
+	// Instructions counts the variant's custom instructions; ISACost
+	// is the instruction-set cost proxy (instruction count plus the
+	// sum of per-instruction cycle costs) — a stand-in for the silicon
+	// the instructions would occupy.
+	Instructions int `json:"instructions"`
+	ISACost      int `json:"isa_cost"`
+	// TotalCycles sums the simulated cycle counts over the kernel
+	// suite; KernelCycles breaks them out per kernel.
+	TotalCycles  int64            `json:"total_cycles"`
+	KernelCycles map[string]int64 `json:"kernel_cycles,omitempty"`
+	// CodeSize sums static VM instruction counts over the suite.
+	CodeSize int `json:"code_size"`
+	// CacheLookups counts kernel compilations attempted through the
+	// cache; CacheHits counts how many were served from it.
+	CacheLookups int `json:"cache_lookups"`
+	CacheHits    int `json:"cache_hits"`
+	// Pareto marks frontier members: no other variant is at least as
+	// good on both objectives (TotalCycles, ISACost) and better on one.
+	Pareto bool   `json:"pareto"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Report is the machine-readable result of an exploration run.
+type Report struct {
+	Base     string          `json:"base"`
+	Scale    float64         `json:"scale"`
+	Jobs     int             `json:"jobs"`
+	Kernels  []string        `json:"kernels"`
+	Variants []VariantResult `json:"variants"`
+	// Frontier lists Pareto-optimal variant names ordered by total
+	// cycles ascending (fastest first).
+	Frontier []string `json:"frontier"`
+	// CacheLookups/CacheHits aggregate compile-cache traffic for the
+	// run; hits > 0 on a repeated sweep is the cache working.
+	CacheLookups uint64 `json:"cache_lookups"`
+	CacheHits    uint64 `json:"cache_hits"`
+	ElapsedUS    int64  `json:"elapsed_us"`
+}
+
+// selectKernels resolves the kernel subset, defaulting to the suite.
+func selectKernels(names []string) ([]*bench.Kernel, error) {
+	if len(names) == 0 {
+		return bench.Kernels(), nil
+	}
+	var out []*bench.Kernel
+	for _, n := range names {
+		k := bench.KernelByName(n)
+		if k == nil {
+			return nil, fmt.Errorf("dse: unknown kernel %q", n)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// ValidateKernels checks a kernel-subset selection without running
+// anything (for request validation in front ends).
+func ValidateKernels(names []string) error {
+	_, err := selectKernels(names)
+	return err
+}
+
+// evalVariant compiles and simulates every kernel against one variant,
+// verifying each run against the kernel's Go reference.
+func evalVariant(v *Variant, kernels []*bench.Kernel, opts Options, cache *mat2c.Cache) VariantResult {
+	vr := VariantResult{
+		Name:         v.Proc.Name,
+		SIMDWidth:    v.Proc.SIMDWidth,
+		ComplexLanes: v.Proc.ComplexLanes,
+		Groups:       v.Groups,
+		CostSet:      v.CostSet,
+		Instructions: len(v.Proc.Instructions),
+		KernelCycles: make(map[string]int64, len(kernels)),
+	}
+	for _, in := range v.Proc.Instructions {
+		vr.ISACost += 1 + in.Cycles
+	}
+	for _, k := range kernels {
+		n := bench.SizeFor(k, opts.Scale)
+		vr.CacheLookups++
+		res, hit, err := mat2c.CompileCached(cache, k.Source, k.Entry, k.Params,
+			mat2c.Options{Processor: v.Proc, SkipC: !opts.EmitC})
+		if err != nil {
+			vr.Error = fmt.Sprintf("%s: compile: %v", k.Name, err)
+			return vr
+		}
+		if hit {
+			vr.CacheHits++
+		}
+		args := k.Inputs(n)
+		want := k.Reference(bench.CloneArgs(args))
+		out, stats, err := res.RunWithStats(bench.CloneArgs(args)...)
+		if err != nil {
+			vr.Error = fmt.Sprintf("%s: run: %v", k.Name, err)
+			return vr
+		}
+		if err := bench.Verify(out, want); err != nil {
+			vr.Error = fmt.Sprintf("%s: verify: %v", k.Name, err)
+			return vr
+		}
+		vr.KernelCycles[k.Name] = stats.Cycles
+		vr.TotalCycles += stats.Cycles
+		vr.CodeSize += res.CodeSize()
+	}
+	return vr
+}
+
+// Explore evaluates every variant of every sweep on a bounded worker
+// pool and returns the scored report. Sweeps over different bases
+// merge into one variant list (and one frontier); duplicate machines
+// across sweeps are pruned.
+func Explore(sweeps []*Sweep, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	begin := time.Now()
+
+	var variants []*Variant
+	var bases []string
+	seen := map[string]bool{}
+	for _, sw := range sweeps {
+		vs, err := sw.Enumerate()
+		if err != nil {
+			return nil, err
+		}
+		base := sw.Base
+		if base == "" {
+			base = "dspasip"
+		}
+		bases = append(bases, base)
+		for _, v := range vs {
+			key, err := contentKey(v.Proc)
+			if err != nil {
+				return nil, err
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			variants = append(variants, v)
+		}
+	}
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("dse: no variants to explore")
+	}
+	kernels, err := selectKernels(opts.Kernels)
+	if err != nil {
+		return nil, err
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = mat2c.NewCache(0)
+	}
+
+	results := make([]VariantResult, len(variants))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	workers := opts.Jobs
+	if workers > len(variants) {
+		workers = len(variants)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = evalVariant(variants[i], kernels, opts, cache)
+				if opts.OnVariant != nil {
+					opts.OnVariant(results[i])
+				}
+			}
+		}()
+	}
+	for i := range variants {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{
+		Base:     strings.Join(bases, ","),
+		Scale:    opts.Scale,
+		Jobs:     opts.Jobs,
+		Variants: results,
+	}
+	for _, k := range kernels {
+		rep.Kernels = append(rep.Kernels, k.Name)
+	}
+	for i := range results {
+		rep.CacheLookups += uint64(results[i].CacheLookups)
+		rep.CacheHits += uint64(results[i].CacheHits)
+	}
+	markFrontier(rep)
+	rep.ElapsedUS = time.Since(begin).Microseconds()
+	return rep, nil
+}
+
+// ExploreSweep explores a single sweep.
+func ExploreSweep(sw *Sweep, opts Options) (*Report, error) {
+	return Explore([]*Sweep{sw}, opts)
+}
+
+// dominates reports whether a is at least as good as b on both
+// objectives and strictly better on one (both minimized).
+func dominates(a, b *VariantResult) bool {
+	if a.TotalCycles > b.TotalCycles || a.ISACost > b.ISACost {
+		return false
+	}
+	return a.TotalCycles < b.TotalCycles || a.ISACost < b.ISACost
+}
+
+// markFrontier sets Pareto on every non-dominated successful variant
+// and fills Report.Frontier fastest-first.
+func markFrontier(rep *Report) {
+	var frontier []*VariantResult
+	for i := range rep.Variants {
+		a := &rep.Variants[i]
+		if a.Error != "" {
+			continue
+		}
+		dominated := false
+		for j := range rep.Variants {
+			b := &rep.Variants[j]
+			if i == j || b.Error != "" {
+				continue
+			}
+			if dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			a.Pareto = true
+			frontier = append(frontier, a)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		if frontier[i].TotalCycles != frontier[j].TotalCycles {
+			return frontier[i].TotalCycles < frontier[j].TotalCycles
+		}
+		return frontier[i].ISACost < frontier[j].ISACost
+	})
+	rep.Frontier = make([]string, len(frontier))
+	for i, v := range frontier {
+		rep.Frontier[i] = v.Name
+	}
+}

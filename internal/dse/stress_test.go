@@ -1,0 +1,130 @@
+package dse
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	mat2c "mat2c"
+	"mat2c/internal/bench"
+)
+
+// stressSweep enumerates >= 32 variants for the cache-contention test.
+func stressSweep() *Sweep {
+	return &Sweep{
+		Base:    "dspasip",
+		Widths:  []int{1, 2, 4, 8, 16},
+		Complex: []bool{true, false},
+		Groups: [][]string{
+			nil,
+			{"mac"},
+			{"sad"},
+			{"cmplx"},
+			{"mac", "cmplx"},
+			{"mac", "sad", "stride"},
+			{"mac", "cmplx", "sad", "stride"},
+		},
+	}
+}
+
+// TestStressSharedCache drives a DSE sweep through a deliberately small
+// shared cache with 8 workers (run under -race in CI): eviction and
+// hit/miss counters must stay consistent under contention, and
+// compiling the same variant twice must produce byte-identical C
+// artifacts.
+func TestStressSharedCache(t *testing.T) {
+	sw := stressSweep()
+	vs, err := sw.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) < 32 {
+		t.Fatalf("stress sweep enumerates %d variants, want >= 32", len(vs))
+	}
+
+	// Small enough that the sweep's distinct (variant, kernel) keys
+	// overflow it and force evictions.
+	cache := mat2c.NewCache(8)
+	var observed int64
+	opts := Options{
+		Jobs: 8, Scale: 0.05, Kernels: []string{"fir", "cfir"}, Cache: cache,
+		OnVariant: func(VariantResult) { atomic.AddInt64(&observed, 1) },
+	}
+	rep, err := ExploreSweep(sw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Variants {
+		if v.Error != "" {
+			t.Fatalf("variant %s failed: %s", v.Name, v.Error)
+		}
+	}
+	if got := atomic.LoadInt64(&observed); got != int64(len(rep.Variants)) {
+		t.Errorf("OnVariant fired %d times for %d variants", got, len(rep.Variants))
+	}
+
+	// Run the sweep again through the same (thrashing) cache to mix
+	// hits, misses, and evictions, then audit the counters.
+	rep2, err := ExploreSweep(sw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cache.Stats()
+	totalLookups := rep.CacheLookups + rep2.CacheLookups
+	if stats.Hits+stats.Misses != totalLookups {
+		t.Errorf("cache counters inconsistent: hits %d + misses %d != lookups %d",
+			stats.Hits, stats.Misses, totalLookups)
+	}
+	if stats.Entries > stats.MaxEntries {
+		t.Errorf("cache holds %d entries, cap %d", stats.Entries, stats.MaxEntries)
+	}
+	if stats.Evictions == 0 {
+		t.Errorf("no evictions from a %d-entry cache after %d lookups over %d variants",
+			stats.MaxEntries, totalLookups, len(rep.Variants))
+	}
+	if stats.Evictions > stats.Misses {
+		t.Errorf("more evictions (%d) than insertions could allow (misses %d)",
+			stats.Evictions, stats.Misses)
+	}
+
+	// Byte-identical artifacts: compile a spread of variants twice each,
+	// concurrently, with C emission on, and diff every artifact.
+	picks := []int{0, len(vs) / 3, 2 * len(vs) / 3, len(vs) - 1}
+	k := bench.KernelByName("fir")
+	type artifacts struct{ c, h, asm string }
+	build := func(i int) artifacts {
+		res, err := mat2c.Compile(k.Source, k.Entry, k.Params,
+			mat2c.Options{Processor: vs[i].Proc})
+		if err != nil {
+			t.Errorf("compile %s: %v", vs[i].Proc.Name, err)
+			return artifacts{}
+		}
+		return artifacts{c: res.CSource(), h: res.CHeader(), asm: res.Disasm()}
+	}
+	var wg sync.WaitGroup
+	got := make([][2]artifacts, len(picks))
+	for pi, i := range picks {
+		wg.Add(1)
+		go func(pi, i int) {
+			defer wg.Done()
+			got[pi] = [2]artifacts{build(i), build(i)}
+		}(pi, i)
+	}
+	wg.Wait()
+	for pi, pair := range got {
+		name := vs[picks[pi]].Proc.Name
+		if pair[0].c == "" {
+			continue // compile already reported
+		}
+		if !bytes.Equal([]byte(pair[0].c), []byte(pair[1].c)) {
+			t.Errorf("%s: C source differs across identical compiles", name)
+		}
+		if !bytes.Equal([]byte(pair[0].h), []byte(pair[1].h)) {
+			t.Errorf("%s: C header differs across identical compiles", name)
+		}
+		if !bytes.Equal([]byte(pair[0].asm), []byte(pair[1].asm)) {
+			t.Errorf("%s: disassembly differs across identical compiles", name)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package dse implements design-space exploration over generated
+// processor variants: the loop ASIP papers close between compiler and
+// architecture. A Sweep enumerates candidate processors derived from a
+// base description (SIMD width, complex-lane configuration, custom-
+// instruction subsets, cycle-cost overrides); the engine compiles and
+// simulates the benchmark kernel suite against every candidate on a
+// bounded worker pool — through the content-addressed compilation
+// cache, so repeated sweeps and shared inputs never recompile — and
+// scores each variant by total cycles against an instruction-set cost
+// proxy, reporting the Pareto frontier.
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mat2c/internal/pdesc"
+)
+
+// Sweep describes one axis-product of processor variants derived from
+// a base description. Zero-valued fields select the default axis.
+type Sweep struct {
+	// Base is the base target: a built-in name, an embedded
+	// description, or a JSON file path (default "dspasip").
+	Base string `json:"base,omitempty"`
+	// Widths is the SIMD-width axis (default 1, 2, 4, 8, 16).
+	Widths []int `json:"widths,omitempty"`
+	// Complex is the complex-lane axis: true derives variants with
+	// width/2 complex lanes, false derives variants without complex
+	// SIMD (default both).
+	Complex []bool `json:"complex,omitempty"`
+	// Groups lists explicit custom-instruction group subsets to sweep
+	// (see InstrGroup). Empty selects the pruned power set of every
+	// group present in the base description.
+	Groups [][]string `json:"groups,omitempty"`
+	// Costs is the cycle-cost override axis; each entry derives
+	// variants with the named per-cost-class overrides applied on top
+	// of the base cost table. Empty sweeps only the base costs.
+	Costs []CostOverride `json:"costs,omitempty"`
+	// MaxVariants caps the enumeration after pruning (0 = no cap).
+	MaxVariants int `json:"max_variants,omitempty"`
+}
+
+// CostOverride is one point on the cycle-cost axis.
+type CostOverride struct {
+	Name  string         `json:"name"`
+	Costs map[string]int `json:"costs"`
+}
+
+// LoadSweep reads a sweep specification from a JSON file, rejecting
+// unknown fields so typos in axis names fail loudly.
+func LoadSweep(path string) (*Sweep, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load sweep spec: %w", err)
+	}
+	return ParseSweep(data)
+}
+
+// ParseSweep decodes a JSON sweep specification.
+func ParseSweep(data []byte) (*Sweep, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Sweep
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep spec: %w", err)
+	}
+	return &s, nil
+}
+
+// DefaultWidths is the default SIMD-width axis.
+var DefaultWidths = []int{1, 2, 4, 8, 16}
+
+// InstrGroup classifies a custom instruction into the functional-unit
+// group it belongs to; the sweep's instruction-subset axis adds or
+// removes whole groups, mirroring how an ASIP designer adds a
+// functional unit and gets its scalar and vector forms together.
+func InstrGroup(name string) string {
+	base := strings.TrimPrefix(name, "v")
+	switch base {
+	case "fma", "fms":
+		return "mac"
+	case "sad":
+		return "sad"
+	case "cadd", "csub", "cmul", "cmac", "cconjmul":
+		return "cmplx"
+	case "lds", "clds":
+		return "stride"
+	default:
+		return "misc"
+	}
+}
+
+// Variant is one enumerated candidate processor.
+type Variant struct {
+	Proc    *pdesc.Processor
+	Width   int
+	Complex bool
+	Groups  []string
+	CostSet string
+}
+
+// groupsOf returns the sorted distinct instruction groups present in a
+// description.
+func groupsOf(p *pdesc.Processor) []string {
+	seen := map[string]bool{}
+	for _, in := range p.Instructions {
+		seen[InstrGroup(in.Name)] = true
+	}
+	groups := make([]string, 0, len(seen))
+	for g := range seen {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	return groups
+}
+
+// powerSet enumerates every subset of groups in deterministic bitmask
+// order (the empty subset — no custom instructions — comes first).
+func powerSet(groups []string) [][]string {
+	out := make([][]string, 0, 1<<len(groups))
+	for mask := 0; mask < 1<<len(groups); mask++ {
+		var sub []string
+		for i, g := range groups {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, g)
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// rewidth rewrites the lane-count suffix that vector intrinsic C names
+// carry by convention (_asip_vfma4 → _asip_vfma8).
+func rewidth(in pdesc.Instr, lanes int) pdesc.Instr {
+	in.CName = strings.TrimRight(in.CName, "0123456789") + strconv.Itoa(lanes)
+	return in
+}
+
+// makeVariant derives one candidate from the base description, or
+// returns an error when the point is invalid (pruned by the caller).
+func makeVariant(base *pdesc.Processor, width int, useComplex bool, groups []string, cost CostOverride) (*Variant, error) {
+	lanes := 0
+	if useComplex {
+		lanes = width / 2
+	}
+	want := map[string]bool{}
+	for _, g := range groups {
+		want[g] = true
+	}
+	groupTag := "none"
+	if len(groups) > 0 {
+		groupTag = strings.Join(groups, "+")
+	}
+	name := fmt.Sprintf("%s-w%d-cl%d-%s", base.Name, width, lanes, groupTag)
+	if cost.Name != "" {
+		name += "-" + cost.Name
+	}
+	proc, err := base.Derive(name, func(q *pdesc.Processor) {
+		q.SIMDWidth = width
+		q.ComplexLanes = lanes
+		q.Description = fmt.Sprintf("DSE variant of %s (width %d, %d complex lanes, %s)",
+			base.Name, width, lanes, groupTag)
+		var instrs []pdesc.Instr
+		for _, in := range base.Instructions {
+			if !want[InstrGroup(in.Name)] {
+				continue
+			}
+			if strings.HasPrefix(in.Name, "v") {
+				// Vector forms follow the lane count they operate on:
+				// complex-vector instructions need >= 2 complex lanes,
+				// float-vector instructions >= 2 float lanes.
+				vl := width
+				if strings.HasPrefix(in.Name, "vc") {
+					vl = lanes
+				}
+				if vl < 2 {
+					continue
+				}
+				in = rewidth(in, vl)
+			}
+			instrs = append(instrs, in)
+		}
+		q.Instructions = instrs
+		if len(cost.Costs) > 0 {
+			if q.Costs == nil {
+				q.Costs = map[string]int{}
+			}
+			for k, v := range cost.Costs {
+				q.Costs[k] = v
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Variant{Proc: proc, Width: width, Complex: useComplex, Groups: groups, CostSet: cost.Name}, nil
+}
+
+// contentKey fingerprints a variant by everything except its name, so
+// sweep points that collapse to the same machine (e.g. complex lanes
+// on a width-1 datapath) are pruned as duplicates.
+func contentKey(p *pdesc.Processor) (string, error) {
+	q := p.Clone()
+	q.Name = "-"
+	q.Description = ""
+	data, err := json.Marshal(q)
+	return string(data), err
+}
+
+// Enumerate expands the sweep into concrete, validated, deduplicated
+// variants in deterministic order.
+func (s *Sweep) Enumerate() ([]*Variant, error) {
+	baseName := s.Base
+	if baseName == "" {
+		baseName = "dspasip"
+	}
+	base, err := pdesc.Resolve(baseName)
+	if err != nil {
+		return nil, fmt.Errorf("dse: sweep base: %w", err)
+	}
+	widths := s.Widths
+	if len(widths) == 0 {
+		widths = DefaultWidths
+	}
+	complexAxis := s.Complex
+	if len(complexAxis) == 0 {
+		complexAxis = []bool{true, false}
+	}
+	groupSets := s.Groups
+	if len(groupSets) == 0 {
+		groupSets = powerSet(groupsOf(base))
+	}
+	costSets := s.Costs
+	if len(costSets) == 0 {
+		costSets = []CostOverride{{}}
+	}
+
+	seen := map[string]bool{}
+	var out []*Variant
+	for _, w := range widths {
+		for _, cx := range complexAxis {
+			for _, gs := range groupSets {
+				groups := append([]string(nil), gs...)
+				sort.Strings(groups)
+				for _, cs := range costSets {
+					v, err := makeVariant(base, w, cx, groups, cs)
+					if err != nil {
+						// Invalid point (e.g. non-positive width from a bad
+						// spec): surface spec errors, prune model conflicts.
+						if w < 1 {
+							return nil, fmt.Errorf("dse: width axis: %w", err)
+						}
+						continue
+					}
+					key, err := contentKey(v.Proc)
+					if err != nil {
+						return nil, err
+					}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out = append(out, v)
+					if s.MaxVariants > 0 && len(out) >= s.MaxVariants {
+						return out, nil
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dse: sweep enumerates no variants")
+	}
+	return out, nil
+}

@@ -129,6 +129,47 @@ func (p *Processor) Lanes(isComplex bool) int {
 	return p.SIMDWidth
 }
 
+// Clone returns an independent deep copy of p: mutating the clone's
+// cost table or instruction list never aliases the original. The copy
+// is not re-indexed or re-validated; callers that mutate it should go
+// through Derive (or call Validate themselves).
+func (p *Processor) Clone() *Processor {
+	q := &Processor{
+		Name:         p.Name,
+		Description:  p.Description,
+		SIMDWidth:    p.SIMDWidth,
+		ComplexLanes: p.ComplexLanes,
+		Registers:    p.Registers,
+	}
+	if p.Costs != nil {
+		q.Costs = make(map[string]int, len(p.Costs))
+		for k, v := range p.Costs {
+			q.Costs[k] = v
+		}
+	}
+	if p.Instructions != nil {
+		q.Instructions = append([]Instr(nil), p.Instructions...)
+	}
+	return q
+}
+
+// Derive builds a named variant of p for programmatic design-space
+// exploration: it deep-copies p, renames the copy, applies mutate, and
+// re-validates, so generated variants pass exactly the same consistency
+// checks as hand-written descriptions. The receiver is never modified.
+func (p *Processor) Derive(name string, mutate func(*Processor)) (*Processor, error) {
+	q := p.Clone()
+	q.Name = name
+	if mutate != nil {
+		mutate(q)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	q.index()
+	return q, nil
+}
+
 // Validate checks internal consistency.
 func (p *Processor) Validate() error {
 	if p.Name == "" {

@@ -287,3 +287,52 @@ func TestResolveFindsEmbeddedDescriptions(t *testing.T) {
 		t.Error("resolveNamed failed for a catalog target")
 	}
 }
+
+func TestCloneIsDeep(t *testing.T) {
+	p := Builtin("dspasip")
+	q := p.Clone()
+	q.Costs["cload"] = 99
+	q.Instructions[0].Cycles = 42
+	q.SIMDWidth = 16
+	if p.Costs["cload"] == 99 {
+		t.Error("Clone shares the cost table with the original")
+	}
+	if p.Instructions[0].Cycles == 42 {
+		t.Error("Clone shares the instruction slice with the original")
+	}
+	if p.SIMDWidth != 4 {
+		t.Error("Clone mutation changed the original's SIMD width")
+	}
+}
+
+func TestDeriveValidatesAndIndexes(t *testing.T) {
+	base := Builtin("dspasip")
+	v, err := base.Derive("dspasip-w8", func(q *Processor) {
+		q.SIMDWidth = 8
+		q.ComplexLanes = 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "dspasip-w8" || v.SIMDWidth != 8 {
+		t.Errorf("derived variant not applied: %+v", v)
+	}
+	if !v.HasInstr("cmac") {
+		t.Error("derived variant lost its instruction index")
+	}
+	if base.Name != "dspasip" || base.SIMDWidth != 4 {
+		t.Error("Derive mutated the base description")
+	}
+
+	// Derive must reject inconsistent variants through Validate.
+	if _, err := base.Derive("bad", func(q *Processor) {
+		q.SIMDWidth = 1 // vector instructions on a scalar target
+	}); err == nil {
+		t.Error("Derive accepted vector instructions on a scalar target")
+	}
+	if _, err := base.Derive("bad2", func(q *Processor) {
+		q.Costs["nosuchclass"] = 3
+	}); err == nil {
+		t.Error("Derive accepted an unknown cost class")
+	}
+}

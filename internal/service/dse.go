@@ -1,0 +1,248 @@
+// Design-space exploration endpoint: POST /dse accepts a sweep
+// specification, validates it synchronously, and runs the exploration
+// asynchronously against the server's shared compilation cache — the
+// serving-layer shape of the compiler↔architecture loop, where one
+// warm cache amortizes compilation across sweeps and across clients.
+// GET /dse/{id} reports progress and, once done, the full report.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"mat2c/internal/dse"
+)
+
+// maxFinishedDSEJobs bounds the finished-job registry; the oldest
+// finished jobs are dropped once it overflows.
+const maxFinishedDSEJobs = 32
+
+// DSERequest is the POST /dse body. Sweep carries the axes (defaults
+// apply per dse.Sweep); Procs optionally fans the same axes out over
+// several base targets into one merged frontier.
+type DSERequest struct {
+	Sweep   *dse.Sweep `json:"sweep,omitempty"`
+	Procs   []string   `json:"procs,omitempty"`
+	Jobs    int        `json:"jobs,omitempty"`
+	Scale   float64    `json:"scale,omitempty"`
+	Kernels []string   `json:"kernels,omitempty"`
+	// EmitC additionally generates C artifacts for every variant
+	// (slower; off by default for cycle-model scoring).
+	EmitC bool `json:"emit_c,omitempty"`
+}
+
+// DSEAccepted is the POST /dse reply: the job is queued.
+type DSEAccepted struct {
+	ID       string `json:"id"`
+	Status   string `json:"status_url"`
+	Variants int    `json:"variants"`
+}
+
+// DSEStatus is the GET /dse/{id} reply.
+type DSEStatus struct {
+	ID        string      `json:"id"`
+	State     string      `json:"state"` // "running", "done", "failed"
+	Evaluated int         `json:"evaluated"`
+	Total     int         `json:"total"`
+	Error     string      `json:"error,omitempty"`
+	Report    *dse.Report `json:"report,omitempty"`
+}
+
+// dseJob is one exploration's lifecycle state.
+type dseJob struct {
+	id    string
+	total int
+
+	mu        sync.Mutex
+	evaluated int
+	done      bool
+	err       error
+	report    *dse.Report
+}
+
+func (j *dseJob) status() DSEStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := DSEStatus{ID: j.id, Evaluated: j.evaluated, Total: j.total}
+	switch {
+	case !j.done:
+		st.State = "running"
+	case j.err != nil:
+		st.State = "failed"
+		st.Error = j.err.Error()
+	default:
+		st.State = "done"
+		st.Report = j.report
+	}
+	return st
+}
+
+// sweeps expands the request into per-base sweeps.
+func (req *DSERequest) sweeps() []*dse.Sweep {
+	base := req.Sweep
+	if base == nil {
+		base = &dse.Sweep{}
+	}
+	if len(req.Procs) == 0 {
+		return []*dse.Sweep{base}
+	}
+	var out []*dse.Sweep
+	for _, p := range req.Procs {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		sw := *base
+		sw.Base = p
+		out = append(out, &sw)
+	}
+	if len(out) == 0 {
+		out = []*dse.Sweep{base}
+	}
+	return out
+}
+
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
+	finish := s.metrics.RequestStarted("dse")
+	status := http.StatusAccepted
+	defer func() { finish(status, false, false) }()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req DSERequest
+	if err := dec.Decode(&req); err != nil {
+		status = http.StatusBadRequest
+		httpError(w, status, "bad request body: %v", err)
+		return
+	}
+
+	// Validate the whole specification up front so a bad sweep fails
+	// the POST, not the background job: enumerate every variant now.
+	sweeps := req.sweeps()
+	total := 0
+	for _, sw := range sweeps {
+		vs, err := sw.Enumerate()
+		if err != nil {
+			status = http.StatusUnprocessableEntity
+			httpError(w, status, "%v", err)
+			return
+		}
+		total += len(vs)
+	}
+	if err := dse.ValidateKernels(req.Kernels); err != nil {
+		status = http.StatusUnprocessableEntity
+		httpError(w, status, "%v", err)
+		return
+	}
+
+	jobs := req.Jobs
+	if jobs <= 0 || jobs > s.cfg.Workers {
+		jobs = s.cfg.Workers
+	}
+	opts := dse.Options{
+		Jobs:    jobs,
+		Scale:   req.Scale,
+		Kernels: req.Kernels,
+		Cache:   s.cache,
+		EmitC:   req.EmitC,
+	}
+
+	job := s.registerDSEJob(total)
+	opts.OnVariant = func(vr dse.VariantResult) {
+		job.mu.Lock()
+		job.evaluated++
+		job.mu.Unlock()
+		s.metrics.ObserveDSEVariant(vr.CacheLookups, vr.CacheHits)
+	}
+	s.metrics.DSESweepStarted()
+	go func() {
+		rep, err := dse.Explore(sweeps, opts)
+		frontier := 0
+		if rep != nil {
+			frontier = len(rep.Frontier)
+		}
+		s.metrics.DSESweepFinished(frontier, err != nil)
+		job.mu.Lock()
+		job.done, job.err, job.report = true, err, rep
+		job.mu.Unlock()
+		s.retireDSEJobs()
+	}()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(DSEAccepted{ID: job.id, Status: "/dse/" + job.id, Variants: total})
+}
+
+func (s *Server) handleDSEStatus(w http.ResponseWriter, r *http.Request) {
+	finish := s.metrics.RequestStarted("dse_status")
+	status := http.StatusOK
+	defer func() { finish(status, false, false) }()
+
+	id := r.PathValue("id")
+	s.dseMu.Lock()
+	job := s.dseJobs[id]
+	s.dseMu.Unlock()
+	if job == nil {
+		status = http.StatusNotFound
+		httpError(w, status, "no such DSE job %q", id)
+		return
+	}
+	writeJSON(w, job.status())
+}
+
+// registerDSEJob allocates a job slot under a fresh sequential id.
+func (s *Server) registerDSEJob(total int) *dseJob {
+	s.dseMu.Lock()
+	defer s.dseMu.Unlock()
+	s.dseSeq++
+	job := &dseJob{id: fmt.Sprintf("dse-%d", s.dseSeq), total: total}
+	if s.dseJobs == nil {
+		s.dseJobs = map[string]*dseJob{}
+	}
+	s.dseJobs[job.id] = job
+	s.dseOrder = append(s.dseOrder, job.id)
+	return job
+}
+
+// retireDSEJobs drops the oldest finished jobs beyond the registry cap
+// so a long-lived server does not accumulate reports without bound.
+func (s *Server) retireDSEJobs() {
+	s.dseMu.Lock()
+	defer s.dseMu.Unlock()
+	finished := 0
+	for _, id := range s.dseOrder {
+		if j := s.dseJobs[id]; j != nil {
+			j.mu.Lock()
+			if j.done {
+				finished++
+			}
+			j.mu.Unlock()
+		}
+	}
+	if finished <= maxFinishedDSEJobs {
+		return
+	}
+	var keep []string
+	for _, id := range s.dseOrder {
+		j := s.dseJobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		done := j.done
+		j.mu.Unlock()
+		if done && finished > maxFinishedDSEJobs {
+			delete(s.dseJobs, id)
+			finished--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.dseOrder = keep
+}

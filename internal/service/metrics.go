@@ -113,6 +113,15 @@ type Metrics struct {
 	stages    map[string]*histogram
 	compiles  uint64
 	cacheHits uint64
+
+	// Design-space exploration counters.
+	dseSweeps       uint64
+	dseRunning      int64
+	dseFailures     uint64
+	dseVariants     uint64
+	dseCacheLookups uint64
+	dseCacheHits    uint64
+	dseLastFrontier int
 }
 
 // NewMetrics returns a registry with every pipeline-stage series
@@ -188,6 +197,37 @@ func (m *Metrics) ObserveCompile(stages []mat2c.StageTime, cacheHit bool) {
 	}
 }
 
+// DSESweepStarted counts one exploration launch.
+func (m *Metrics) DSESweepStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dseSweeps++
+	m.dseRunning++
+}
+
+// ObserveDSEVariant records one evaluated variant and its compile-cache
+// traffic (called concurrently from sweep workers).
+func (m *Metrics) ObserveDSEVariant(lookups, hits int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dseVariants++
+	m.dseCacheLookups += uint64(lookups)
+	m.dseCacheHits += uint64(hits)
+}
+
+// DSESweepFinished records one exploration completing with the given
+// frontier size (zero when it failed).
+func (m *Metrics) DSESweepFinished(frontierSize int, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dseRunning--
+	if failed {
+		m.dseFailures++
+		return
+	}
+	m.dseLastFrontier = frontierSize
+}
+
 // InFlight returns the current in-flight request count.
 func (m *Metrics) InFlight() int64 {
 	m.mu.Lock()
@@ -204,6 +244,19 @@ type Snapshot struct {
 	Requests      map[string]EndpointSnapshot  `json:"requests"`
 	Stages        map[string]HistogramSnapshot `json:"stages_us"`
 	Cache         mat2c.CacheStats             `json:"cache"`
+	DSE           DSESnapshot                  `json:"dse"`
+}
+
+// DSESnapshot is the /metrics design-space-exploration section.
+type DSESnapshot struct {
+	Sweeps            uint64  `json:"sweeps"`
+	Running           int64   `json:"running"`
+	Failures          uint64  `json:"failures"`
+	VariantsEvaluated uint64  `json:"variants_evaluated"`
+	CacheLookups      uint64  `json:"cache_lookups"`
+	CacheHits         uint64  `json:"cache_hits"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	LastFrontierSize  int     `json:"last_frontier_size"`
 }
 
 // SnapshotWith captures all counters plus the supplied cache stats.
@@ -218,6 +271,18 @@ func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
 		Requests:      map[string]EndpointSnapshot{},
 		Stages:        map[string]HistogramSnapshot{},
 		Cache:         cache,
+		DSE: DSESnapshot{
+			Sweeps:            m.dseSweeps,
+			Running:           m.dseRunning,
+			Failures:          m.dseFailures,
+			VariantsEvaluated: m.dseVariants,
+			CacheLookups:      m.dseCacheLookups,
+			CacheHits:         m.dseCacheHits,
+			LastFrontierSize:  m.dseLastFrontier,
+		},
+	}
+	if m.dseCacheLookups > 0 {
+		s.DSE.CacheHitRate = float64(m.dseCacheHits) / float64(m.dseCacheLookups)
 	}
 	for name, e := range m.requests {
 		s.Requests[name] = EndpointSnapshot{

@@ -12,6 +12,8 @@
 //
 //	POST /compile  MATLAB source + types + target → C artifacts + stats
 //	POST /run      compile + execute on the cycle-model simulator
+//	POST /dse      launch an async design-space exploration sweep
+//	GET  /dse/{id} sweep progress and, once done, the Pareto report
 //	GET  /targets  built-in processor catalog
 //	GET  /healthz  liveness + in-flight gauge
 //	GET  /metrics  JSON counters: requests, cache, per-stage histograms
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	mat2c "mat2c"
@@ -65,6 +68,12 @@ type Server struct {
 	cache   *mat2c.Cache
 	metrics *Metrics
 	slots   chan struct{}
+
+	// Design-space exploration job registry (see dse.go).
+	dseMu    sync.Mutex
+	dseSeq   int
+	dseJobs  map[string]*dseJob
+	dseOrder []string
 }
 
 // New builds a Server with the given configuration.
@@ -89,6 +98,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /dse", s.handleDSE)
+	mux.HandleFunc("GET /dse/{id}", s.handleDSEStatus)
 	mux.HandleFunc("GET /targets", s.handleTargets)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
