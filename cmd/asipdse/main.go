@@ -9,6 +9,7 @@
 //	asipdse -sweep sweep.json              load the axes from a JSON spec
 //	asipdse -kernels fir,cfir -scale 0.1   restrict the suite / shrink sizes
 //	asipdse -jobs 4 -json                  bound the pool, emit the JSON report
+//	asipdse -cpuprofile dse.pprof          profile the exploration
 package main
 
 import (
@@ -18,9 +19,14 @@ import (
 	"strings"
 
 	"mat2c/internal/dse"
+	"mat2c/internal/profile"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		procs   = flag.String("procs", "", "comma-separated base targets to sweep (default: the sweep spec's base, or dspasip)")
 		sweep   = flag.String("sweep", "", "JSON sweep specification file (default: built-in axes)")
@@ -29,18 +35,24 @@ func main() {
 		kernels = flag.String("kernels", "", "comma-separated kernel subset (default: full suite)")
 		jsonOut = flag.Bool("json", false, "emit the machine-readable JSON report")
 		csvOut  = flag.Bool("csv", false, "emit one CSV row per variant")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *jsonOut && *csvOut {
-		fatal(fmt.Errorf("-json and -csv are mutually exclusive"))
+		return fatal(fmt.Errorf("-json and -csv are mutually exclusive"))
 	}
+	stop, err := profile.Start(*cpuProf, *memProf)
+	if err != nil {
+		return fatal(err)
+	}
+	defer stop()
 
 	base := &dse.Sweep{}
 	if *sweep != "" {
-		var err error
 		base, err = dse.LoadSweep(*sweep)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
 	var sweeps []*dse.Sweep
@@ -70,21 +82,22 @@ func main() {
 
 	rep, err := dse.Explore(sweeps, opts)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	switch {
 	case *jsonOut:
 		if err := rep.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	case *csvOut:
 		fmt.Print(rep.CSV())
 	default:
 		fmt.Print(rep.Text())
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "asipdse:", err)
-	os.Exit(1)
+	return 1
 }

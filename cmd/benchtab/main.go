@@ -6,23 +6,36 @@
 //	benchtab -fig2        per-feature ablation (fusion / SIMD / custom instr)
 //	benchtab -fig3        SIMD-width sweep
 //	benchtab -all         everything
+//	benchtab -vmbench f   measure simulator throughput, write BENCH_vm.json to f
 //
 // Use -scale to shrink/grow problem sizes (1.0 = paper scale) and -proc
-// to retarget Table I/II and Fig. 2. Output is formatted text by
-// default; -csv emits CSV per table, -json emits one machine-readable
-// document for all requested tables (for BENCH_*.json trend tracking).
+// to retarget Table I/II and Fig. 2. -jobs runs independent kernels on
+// a bounded worker pool (results stay in deterministic order). -engine
+// selects the VM execution engine (prepared or reference; both produce
+// identical cycle counts — see docs/PERF.md). -cpuprofile/-memprofile
+// write pprof profiles. Output is formatted text by default; -csv
+// emits CSV per table, -json emits one machine-readable document for
+// all requested tables (for BENCH_*.json trend tracking).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mat2c/internal/bench"
 	"mat2c/internal/pdesc"
+	"mat2c/internal/profile"
+	"mat2c/internal/vm"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		t1      = flag.Bool("table1", false, "print Table I (headline speedups)")
 		t2      = flag.Bool("table2", false, "print Table II (code size)")
@@ -35,24 +48,42 @@ func main() {
 		proc    = flag.String("proc", "dspasip", "target for Table I/II and Fig. 2")
 		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
 		jsonOut = flag.Bool("json", false, "emit one JSON report for the requested tables")
+		jobs    = flag.Int("jobs", 1, "kernel-level worker pool size (1 = sequential)")
+		engine  = flag.String("engine", "", "VM engine: prepared or reference (default: prepared, or MAT2C_VM_ENGINE)")
+		vmbench = flag.String("vmbench", "", "measure simulator throughput and write the JSON report to this file (- for stdout)")
+		vmtime  = flag.Duration("vmtime", 250*time.Millisecond, "per-engine measurement window for -vmbench")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if !*t1 && !*t2 && !*t3 && !*f2 && !*f3 && !*f4 && !*all {
+	if !*t1 && !*t2 && !*t3 && !*f2 && !*f3 && !*f4 && !*all && *vmbench == "" {
 		*all = true
 	}
 	if *csv && *jsonOut {
-		fatal(fmt.Errorf("-csv and -json are mutually exclusive"))
+		return fatal(fmt.Errorf("-csv and -json are mutually exclusive"))
 	}
+	if *engine != "" {
+		if err := vm.SetDefaultEngine(*engine); err != nil {
+			return fatal(err)
+		}
+	}
+	stop, err := profile.Start(*cpuProf, *memProf)
+	if err != nil {
+		return fatal(err)
+	}
+	defer stop()
+
 	p, err := pdesc.Resolve(*proc)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	report := &bench.Report{Proc: p.Name, Scale: *scale}
+	opts := []bench.Opt{bench.WithJobs(*jobs)}
 
 	if *all || *t1 {
-		rows, err := bench.Table1(p, *scale)
+		rows, err := bench.Table1(p, *scale, opts...)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		switch {
 		case *jsonOut:
@@ -64,9 +95,9 @@ func main() {
 		}
 	}
 	if *all || *f2 {
-		rows, err := bench.Fig2(p, *scale)
+		rows, err := bench.Fig2(p, *scale, opts...)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		switch {
 		case *jsonOut:
@@ -78,9 +109,9 @@ func main() {
 		}
 	}
 	if *all || *f3 {
-		rows, err := bench.Fig3(*scale)
+		rows, err := bench.Fig3(*scale, opts...)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		switch {
 		case *jsonOut:
@@ -92,9 +123,9 @@ func main() {
 		}
 	}
 	if *all || *f4 {
-		rows, err := bench.Fig4(*scale)
+		rows, err := bench.Fig4(*scale, opts...)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		switch {
 		case *jsonOut:
@@ -106,9 +137,9 @@ func main() {
 		}
 	}
 	if *all || *t2 {
-		rows, err := bench.Table2(p)
+		rows, err := bench.Table2(p, opts...)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		switch {
 		case *jsonOut:
@@ -120,9 +151,9 @@ func main() {
 		}
 	}
 	if *all || *t3 {
-		rows, err := bench.Table3(p)
+		rows, err := bench.Table3(p, opts...)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		switch {
 		case *jsonOut:
@@ -136,12 +167,36 @@ func main() {
 
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
+
+	if *vmbench != "" {
+		rep, err := bench.VMBench(p, *scale, *vmtime, opts...)
+		if err != nil {
+			return fatal(err)
+		}
+		if *vmbench == "-" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return fatal(err)
+			}
+		} else {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return fatal(err)
+			}
+			if err := os.WriteFile(*vmbench, append(data, '\n'), 0o644); err != nil {
+				return fatal(err)
+			}
+			fmt.Fprint(os.Stderr, bench.VMBenchText(rep))
+		}
+	}
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "benchtab:", err)
-	os.Exit(1)
+	return 1
 }

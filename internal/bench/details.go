@@ -20,12 +20,15 @@ type Table3Row struct {
 
 // Table3 compiles every kernel with the full pipeline and reports the
 // compiler activity.
-func Table3(proc *pdesc.Processor) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, k := range Kernels() {
+func Table3(proc *pdesc.Processor, opts ...Opt) ([]Table3Row, error) {
+	o := getOptions(opts)
+	ks := Kernels()
+	rows := make([]Table3Row, len(ks))
+	err := forEach(len(ks), o.jobs, func(i int) error {
+		k := ks[i]
 		res, err := core.Compile(k.Source, k.Entry, k.Params, core.Proposed(proc))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sel := map[string]int{}
 		for n, c := range res.Intrinsics.Selected {
@@ -33,12 +36,16 @@ func Table3(proc *pdesc.Processor) ([]Table3Row, error) {
 				sel[n] = c
 			}
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Kernel:          k.Name,
 			VectorizedLoops: res.VectorizedLoops,
 			Intrinsics:      sel,
 			CodeSize:        res.CodeSize(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

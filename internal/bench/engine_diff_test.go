@@ -1,0 +1,167 @@
+package bench_test
+
+// Differential test between the prepared and reference VM engines over
+// the real benchmark suite: every kernel, every embedded target, and a
+// slice of DSE-derived variants must produce bit-identical outputs and
+// identical cycle accounting under both engines. This is the
+// whole-pipeline companion to the per-opcode equivalence tests in
+// internal/vm.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"mat2c/internal/bench"
+	"mat2c/internal/core"
+	"mat2c/internal/dse"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/vm"
+)
+
+// diffScale keeps the matrix fast: the point is coverage of opcode ×
+// target combinations, not long runs.
+const diffScale = 0.125
+
+type engineRun struct {
+	out      []interface{}
+	err      error
+	cycles   int64
+	executed int64
+	counts   map[string]int64
+}
+
+func runKernelEngine(t *testing.T, res *core.Result, proc *pdesc.Processor, args []interface{}, engine string) engineRun {
+	t.Helper()
+	m := vm.NewMachine(proc)
+	m.Engine = engine
+	out, err := res.RunOn(m, bench.CloneArgs(args)...)
+	return engineRun{out: out, err: err, cycles: m.Cycles, executed: m.Executed, counts: m.ClassCounts}
+}
+
+// bitsEqual compares outputs with exact bit equality (NaNs included):
+// the prepared engine must not merely be numerically close, it must be
+// the same computation.
+func bitsEqual(a, b interface{}) bool {
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		return ok && math.Float64bits(x) == math.Float64bits(y)
+	case []float64:
+		y, ok := b.([]float64)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return false
+			}
+		}
+		return true
+	case complex128:
+		y, ok := b.(complex128)
+		return ok && math.Float64bits(real(x)) == math.Float64bits(real(y)) &&
+			math.Float64bits(imag(x)) == math.Float64bits(imag(y))
+	case []complex128:
+		y, ok := b.([]complex128)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if math.Float64bits(real(x[i])) != math.Float64bits(real(y[i])) ||
+				math.Float64bits(imag(x[i])) != math.Float64bits(imag(y[i])) {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func assertRunsAgree(t *testing.T, label string, p, r engineRun) {
+	t.Helper()
+	if (p.err == nil) != (r.err == nil) {
+		t.Fatalf("%s: error mismatch: prepared=%v reference=%v", label, p.err, r.err)
+	}
+	if p.err != nil && p.err.Error() != r.err.Error() {
+		t.Fatalf("%s: error text mismatch:\n  prepared:  %v\n  reference: %v", label, p.err, r.err)
+	}
+	if p.cycles != r.cycles {
+		t.Fatalf("%s: cycle mismatch: prepared=%d reference=%d", label, p.cycles, r.cycles)
+	}
+	if p.executed != r.executed {
+		t.Fatalf("%s: executed mismatch: prepared=%d reference=%d", label, p.executed, r.executed)
+	}
+	if !reflect.DeepEqual(p.counts, r.counts) {
+		t.Fatalf("%s: class counts mismatch:\n  prepared:  %v\n  reference: %v", label, p.counts, r.counts)
+	}
+	if len(p.out) != len(r.out) {
+		t.Fatalf("%s: output arity mismatch: %d vs %d", label, len(p.out), len(r.out))
+	}
+	for i := range p.out {
+		if !bitsEqual(p.out[i], r.out[i]) {
+			t.Fatalf("%s: output %d differs:\n  prepared:  %v\n  reference: %v", label, i, p.out[i], r.out[i])
+		}
+	}
+}
+
+func diffKernelsOn(t *testing.T, name string, proc *pdesc.Processor) {
+	t.Helper()
+	for _, k := range bench.Kernels() {
+		k := k
+		t.Run(fmt.Sprintf("%s/%s", name, k.Name), func(t *testing.T) {
+			t.Parallel()
+			n := bench.SizeFor(k, diffScale)
+			for _, cfg := range []core.Config{core.Baseline(proc), core.Proposed(proc)} {
+				res, err := core.Compile(k.Source, k.Entry, k.Params, cfg)
+				if err != nil {
+					t.Fatalf("compile (vec=%v): %v", cfg.Vectorize, err)
+				}
+				args := k.Inputs(n)
+				p := runKernelEngine(t, res, proc, args, vm.EnginePrepared)
+				r := runKernelEngine(t, res, proc, args, vm.EngineReference)
+				assertRunsAgree(t, fmt.Sprintf("vec=%v", cfg.Vectorize), p, r)
+				if p.err != nil {
+					t.Fatalf("kernel run failed under both engines: %v", p.err)
+				}
+			}
+		})
+	}
+}
+
+// TestEnginesAgreeOnAllTargets runs the full kernel suite on every
+// embedded processor description under both engines.
+func TestEnginesAgreeOnAllTargets(t *testing.T) {
+	for _, name := range pdesc.BuiltinNames() {
+		diffKernelsOn(t, name, pdesc.Builtin(name))
+	}
+}
+
+// TestEnginesAgreeOnDSEVariants does the same over a slice of the
+// design-space-exploration enumeration, so cost tables that exist only
+// as derived variants (re-widthed custom instructions, stripped
+// instruction groups, overridden cost classes) are covered too.
+func TestEnginesAgreeOnDSEVariants(t *testing.T) {
+	sweep := &dse.Sweep{
+		Base:    "dspasip",
+		Widths:  []int{4, 16},
+		Complex: []bool{true, false},
+		Groups:  [][]string{{}, {"mac", "cmul"}},
+		Costs: []dse.CostOverride{
+			{Name: "base", Costs: nil},
+			{Name: "slowmem", Costs: map[string]int{"load": 6, "store": 6, "vload": 6, "vstore": 6}},
+		},
+	}
+	variants, err := sweep.Enumerate()
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	if len(variants) < 4 {
+		t.Fatalf("sweep produced only %d variants", len(variants))
+	}
+	for _, v := range variants {
+		diffKernelsOn(t, v.Proc.Name, v.Proc)
+	}
+}

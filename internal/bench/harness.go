@@ -144,23 +144,30 @@ type Table1Row struct {
 // Table1 regenerates the headline table on the given target (the paper's
 // DSP ASIP by default). scale multiplies each kernel's default problem
 // size (1 for the paper-scale run).
-func Table1(proc *pdesc.Processor, scale float64) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, k := range Kernels() {
+func Table1(proc *pdesc.Processor, scale float64, opts ...Opt) ([]Table1Row, error) {
+	o := getOptions(opts)
+	ks := Kernels()
+	rows := make([]Table1Row, len(ks))
+	err := forEach(len(ks), o.jobs, func(i int) error {
+		k := ks[i]
 		n := SizeFor(k, scale)
 		base, err := RunPipeline(k, core.Baseline(proc), n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prop, err := RunPipeline(k, core.Proposed(proc), n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Kernel: k.Name, Desc: k.Desc, Size: n,
 			Baseline: base.Cycles, Proposed: prop.Cycles,
 			Speedup: float64(base.Cycles) / float64(prop.Cycles),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -246,17 +253,20 @@ type Fig2Row struct {
 }
 
 // Fig2 regenerates the feature-ablation figure data.
-func Fig2(proc *pdesc.Processor, scale float64) ([]Fig2Row, error) {
+func Fig2(proc *pdesc.Processor, scale float64, opts ...Opt) ([]Fig2Row, error) {
+	o := getOptions(opts)
 	configs := AblationConfigs()
-	var rows []Fig2Row
-	for _, k := range Kernels() {
+	ks := Kernels()
+	rows := make([]Fig2Row, len(ks))
+	err := forEach(len(ks), o.jobs, func(ki int) error {
+		k := ks[ki]
 		n := SizeFor(k, scale)
 		row := Fig2Row{Kernel: k.Name}
 		var base int64
 		for i, ac := range configs {
 			st, err := RunPipeline(k, ac.Cfg(proc), n)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", k.Name, ac.Name, err)
+				return fmt.Errorf("%s/%s: %w", k.Name, ac.Name, err)
 			}
 			if i == 0 {
 				base = st.Cycles
@@ -265,7 +275,11 @@ func Fig2(proc *pdesc.Processor, scale float64) ([]Fig2Row, error) {
 			row.Cycles = append(row.Cycles, st.Cycles)
 			row.Speedups = append(row.Speedups, float64(base)/float64(st.Cycles))
 		}
-		rows = append(rows, row)
+		rows[ki] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -314,32 +328,39 @@ func WidthTargets() []*pdesc.Processor {
 
 // Fig3 regenerates the width-sweep figure data over the shipped
 // width-sweep family.
-func Fig3(scale float64) ([]Fig3Row, error) {
-	return Fig3On(WidthTargets(), pdesc.Builtin("dspasip"), scale)
+func Fig3(scale float64, opts ...Opt) ([]Fig3Row, error) {
+	return Fig3On(WidthTargets(), pdesc.Builtin("dspasip"), scale, opts...)
 }
 
 // Fig3On runs the width sweep over arbitrary in-memory targets,
 // measuring each kernel's full-pipeline cycles on every target against
 // the coder-style baseline on ref.
-func Fig3On(targets []*pdesc.Processor, ref *pdesc.Processor, scale float64) ([]Fig3Row, error) {
-	var rows []Fig3Row
-	for _, k := range Kernels() {
+func Fig3On(targets []*pdesc.Processor, ref *pdesc.Processor, scale float64, opts ...Opt) ([]Fig3Row, error) {
+	o := getOptions(opts)
+	ks := Kernels()
+	rows := make([]Fig3Row, len(ks))
+	err := forEach(len(ks), o.jobs, func(ki int) error {
+		k := ks[ki]
 		n := SizeFor(k, scale)
 		base, err := RunPipeline(k, core.Baseline(ref), n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig3Row{Kernel: k.Name}
 		for _, p := range targets {
 			st, err := RunPipeline(k, core.Proposed(p), n)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", k.Name, p.Name, err)
+				return fmt.Errorf("%s/%s: %w", k.Name, p.Name, err)
 			}
 			row.Widths = append(row.Widths, p.SIMDWidth)
 			row.Cycles = append(row.Cycles, st.Cycles)
 			row.Speedups = append(row.Speedups, float64(base.Cycles)/float64(st.Cycles))
 		}
-		rows = append(rows, row)
+		rows[ki] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -376,23 +397,30 @@ type Table2Row struct {
 }
 
 // Table2 regenerates the code-size comparison.
-func Table2(proc *pdesc.Processor) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, k := range Kernels() {
+func Table2(proc *pdesc.Processor, opts ...Opt) ([]Table2Row, error) {
+	o := getOptions(opts)
+	ks := Kernels()
+	rows := make([]Table2Row, len(ks))
+	err := forEach(len(ks), o.jobs, func(i int) error {
+		k := ks[i]
 		base, err := core.Compile(k.Source, k.Entry, k.Params, core.Baseline(proc))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prop, err := core.Compile(k.Source, k.Entry, k.Params, core.Proposed(proc))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			Kernel:       k.Name,
 			BaselineSize: base.CodeSize(),
 			ProposedSize: prop.CodeSize(),
 			Ratio:        float64(prop.CodeSize()) / float64(base.CodeSize()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

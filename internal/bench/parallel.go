@@ -1,0 +1,68 @@
+package bench
+
+import "sync"
+
+// Opt configures a table/figure generator. The generators accept
+// options variadically so existing call sites stay source-compatible.
+type Opt func(*options)
+
+type options struct {
+	jobs int
+}
+
+// WithJobs sets the worker count for kernel-level fan-out (≤1 =
+// sequential). Rows are always produced in deterministic kernel order
+// regardless of the worker count: each kernel writes its own
+// pre-assigned slot.
+func WithJobs(n int) Opt {
+	return func(o *options) { o.jobs = n }
+}
+
+func getOptions(opts []Opt) options {
+	o := options{jobs: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// forEach runs fn(0..n-1) on a bounded worker pool (the asipdse
+// pattern: an index channel drained by jobs workers). With jobs ≤ 1 it
+// degrades to a plain loop. The returned error is the lowest-index
+// failure, so error reporting is deterministic too.
+func forEach(n, jobs int, fn func(i int) error) error {
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -43,27 +43,34 @@ func MemVariant(c int) *pdesc.Processor {
 
 // Fig4 regenerates the sensitivity study: for each kernel and memory
 // cost, the baseline and proposed cycle counts and the speedup.
-func Fig4(scale float64) ([]Fig4Row, error) {
-	var rows []Fig4Row
-	for _, k := range Kernels() {
+func Fig4(scale float64, opts ...Opt) ([]Fig4Row, error) {
+	o := getOptions(opts)
+	ks := Kernels()
+	rows := make([]Fig4Row, len(ks))
+	err := forEach(len(ks), o.jobs, func(ki int) error {
+		k := ks[ki]
 		n := SizeFor(k, scale)
 		row := Fig4Row{Kernel: k.Name}
 		for _, c := range MemCostSweep {
 			p := MemVariant(c)
 			base, err := RunPipeline(k, core.Baseline(p), n)
 			if err != nil {
-				return nil, fmt.Errorf("%s mem=%d: %w", k.Name, c, err)
+				return fmt.Errorf("%s mem=%d: %w", k.Name, c, err)
 			}
 			prop, err := RunPipeline(k, core.Proposed(p), n)
 			if err != nil {
-				return nil, fmt.Errorf("%s mem=%d: %w", k.Name, c, err)
+				return fmt.Errorf("%s mem=%d: %w", k.Name, c, err)
 			}
 			row.MemCosts = append(row.MemCosts, c)
 			row.Baselines = append(row.Baselines, base.Cycles)
 			row.Proposeds = append(row.Proposeds, prop.Cycles)
 			row.Speedups = append(row.Speedups, float64(base.Cycles)/float64(prop.Cycles))
 		}
-		rows = append(rows, row)
+		rows[ki] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

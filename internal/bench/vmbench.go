@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"mat2c/internal/core"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/vm"
+)
+
+// VMBenchRow is one kernel's simulator-throughput measurement: the
+// full proposed pipeline's program executed under both engines on the
+// same inputs, reported as simulated instructions per wall-clock
+// second.
+type VMBenchRow struct {
+	Kernel                string  `json:"kernel"`
+	Size                  int     `json:"size"`
+	InstrsPerRun          int64   `json:"instrs_per_run"`
+	CyclesPerRun          int64   `json:"cycles_per_run"`
+	PreparedRuns          int     `json:"prepared_runs"`
+	PreparedInstrsPerSec  float64 `json:"prepared_instrs_per_sec"`
+	ReferenceRuns         int     `json:"reference_runs"`
+	ReferenceInstrsPerSec float64 `json:"reference_instrs_per_sec"`
+	Speedup               float64 `json:"speedup"`
+}
+
+// VMBenchReport is the payload written to BENCH_vm.json so simulator
+// throughput is tracked from run to run.
+type VMBenchReport struct {
+	Target string       `json:"target"`
+	Scale  float64      `json:"scale"`
+	GoOS   string       `json:"goos"`
+	GoArch string       `json:"goarch"`
+	Rows   []VMBenchRow `json:"rows"`
+}
+
+// measureEngine runs the machine repeatedly for at least minTime and
+// returns (runs, instructions/second).
+func measureEngine(m *vm.Machine, prog *core.Result, args []interface{}, engine string, minTime time.Duration) (int, float64, error) {
+	m.Engine = engine
+	// One untimed run warms the prepared cache and scratch pool.
+	if _, err := prog.RunOn(m, cloneArgs(args)...); err != nil {
+		return 0, 0, err
+	}
+	perRun := m.Executed
+	runs := 0
+	start := time.Now()
+	for {
+		if _, err := prog.RunOn(m, cloneArgs(args)...); err != nil {
+			return 0, 0, err
+		}
+		runs++
+		if time.Since(start) >= minTime && runs >= 3 {
+			break
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return runs, float64(perRun) * float64(runs) / elapsed, nil
+}
+
+// VMBench measures simulated-instruction throughput for every bench
+// kernel on proc (full proposed pipeline), under both the prepared and
+// the reference engine. minTime bounds the per-engine measurement
+// window; scale scales problem sizes as in Table1.
+func VMBench(proc *pdesc.Processor, scale float64, minTime time.Duration, opts ...Opt) (*VMBenchReport, error) {
+	o := getOptions(opts)
+	ks := Kernels()
+	rows := make([]VMBenchRow, len(ks))
+	err := forEach(len(ks), o.jobs, func(i int) error {
+		k := ks[i]
+		n := SizeFor(k, scale)
+		res, err := core.Compile(k.Source, k.Entry, k.Params, core.Proposed(proc))
+		if err != nil {
+			return fmt.Errorf("%s: compile: %w", k.Name, err)
+		}
+		args := k.Inputs(n)
+		m := vm.NewMachine(proc)
+		pRuns, pRate, err := measureEngine(m, res, args, vm.EnginePrepared, minTime)
+		if err != nil {
+			return fmt.Errorf("%s: prepared: %w", k.Name, err)
+		}
+		instrs, cycles := m.Executed, m.Cycles
+		rRuns, rRate, err := measureEngine(m, res, args, vm.EngineReference, minTime)
+		if err != nil {
+			return fmt.Errorf("%s: reference: %w", k.Name, err)
+		}
+		rows[i] = VMBenchRow{
+			Kernel: k.Name, Size: n,
+			InstrsPerRun: instrs, CyclesPerRun: cycles,
+			PreparedRuns: pRuns, PreparedInstrsPerSec: pRate,
+			ReferenceRuns: rRuns, ReferenceInstrsPerSec: rRate,
+			Speedup: pRate / rRate,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VMBenchReport{
+		Target: proc.Name, Scale: scale,
+		GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		Rows: rows,
+	}, nil
+}
+
+// VMBenchText renders the throughput report.
+func VMBenchText(rep *VMBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VM throughput on %s (simulated instructions/sec, prepared vs reference engine)\n", rep.Target)
+	fmt.Fprintf(&b, "%-8s %8s %12s %14s %14s %9s\n", "kernel", "size", "instrs/run", "prepared", "reference", "speedup")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "%-8s %8d %12d %14.3e %14.3e %8.1fx\n",
+			r.Kernel, r.Size, r.InstrsPerRun, r.PreparedInstrsPerSec, r.ReferenceInstrsPerSec, r.Speedup)
+	}
+	return b.String()
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	mat2c "mat2c"
+	"mat2c/internal/vm"
 )
 
 // bucketBoundsUS are the histogram upper bounds in microseconds,
@@ -245,6 +246,14 @@ type Snapshot struct {
 	Stages        map[string]HistogramSnapshot `json:"stages_us"`
 	Cache         mat2c.CacheStats             `json:"cache"`
 	DSE           DSESnapshot                  `json:"dse"`
+	VM            VMSnapshot                   `json:"vm"`
+}
+
+// VMSnapshot is the /metrics simulator section: the default execution
+// engine and the process-wide prepared-program cache.
+type VMSnapshot struct {
+	Engine        string               `json:"engine"`
+	PreparedCache vm.PreparedCacheInfo `json:"prepared_cache"`
 }
 
 // DSESnapshot is the /metrics design-space-exploration section.
@@ -284,6 +293,7 @@ func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
 	if m.dseCacheLookups > 0 {
 		s.DSE.CacheHitRate = float64(m.dseCacheHits) / float64(m.dseCacheLookups)
 	}
+	s.VM = VMSnapshot{Engine: vm.DefaultEngine(), PreparedCache: vm.PreparedCacheStats()}
 	for name, e := range m.requests {
 		s.Requests[name] = EndpointSnapshot{
 			Count:    e.count,

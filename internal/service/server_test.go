@@ -14,6 +14,7 @@ import (
 	"time"
 
 	mat2c "mat2c"
+	"mat2c/internal/vm"
 )
 
 const scaleSrc = `function y = scale(x, a)
@@ -194,6 +195,17 @@ func TestRunEndpoint(t *testing.T) {
 	}
 	if !again.CacheHit {
 		t.Error("second /run of identical program was not a cache hit")
+	}
+
+	// /metrics must expose the simulator section: the active engine and
+	// the prepared-program cache the two runs populated.
+	var m Snapshot
+	getJSON(t, ts, "/metrics", &m)
+	if m.VM.Engine == "" {
+		t.Error("metrics VM engine is empty")
+	}
+	if m.VM.Engine == vm.EnginePrepared && m.VM.PreparedCache.Entries == 0 {
+		t.Errorf("prepared cache = %+v, want at least one entry after /run", m.VM.PreparedCache)
 	}
 }
 

@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 	"io"
+	"os"
+	"sync"
 
 	"mat2c/internal/ir"
 	"mat2c/internal/pdesc"
@@ -44,22 +46,81 @@ func (v vmval) lane(j int) complex128 {
 	return v.lanes[j]
 }
 
+// DefaultMaxCycles bounds execution when Machine.MaxCycles is zero.
+const DefaultMaxCycles = 50_000_000_000
+
+// Execution engine names accepted by Machine.Engine and
+// SetDefaultEngine.
+const (
+	// EnginePrepared is the pre-decoded execution engine: cost classes
+	// resolved to dense IDs at program-load time, allocation-free lane
+	// buffers, and a content-addressed prepared-program cache.
+	EnginePrepared = "prepared"
+	// EngineReference is the original switch-dispatch interpreter,
+	// retained as the semantic oracle for differential testing.
+	EngineReference = "reference"
+)
+
+// defaultEngine is the process-wide engine used when Machine.Engine is
+// empty. It is initialized from $MAT2C_VM_ENGINE ("prepared" or
+// "reference"/"ref") and adjustable via SetDefaultEngine.
+var defaultEngine = struct {
+	sync.RWMutex
+	name string
+}{name: EnginePrepared}
+
+func init() {
+	if env := os.Getenv("MAT2C_VM_ENGINE"); env != "" {
+		_ = SetDefaultEngine(env) // an unknown value keeps the default
+	}
+}
+
+// SetDefaultEngine selects the process-wide execution engine used by
+// machines that do not set Engine explicitly ("prepared" or
+// "reference"; "ref" is accepted as an alias).
+func SetDefaultEngine(name string) error {
+	switch name {
+	case "ref":
+		name = EngineReference
+	case EnginePrepared, EngineReference:
+	default:
+		return fmt.Errorf("vm: unknown engine %q (want %q or %q)", name, EnginePrepared, EngineReference)
+	}
+	defaultEngine.Lock()
+	defaultEngine.name = name
+	defaultEngine.Unlock()
+	return nil
+}
+
+// DefaultEngine reports the process-wide engine name.
+func DefaultEngine() string {
+	defaultEngine.RLock()
+	defer defaultEngine.RUnlock()
+	return defaultEngine.name
+}
+
 // Machine executes VM programs charging per-instruction cycle costs from
 // a processor description.
 type Machine struct {
 	Proc *pdesc.Processor
-	// MaxCycles bounds execution (0 = default 50e9).
+	// MaxCycles bounds execution (0 = DefaultMaxCycles). Run never
+	// modifies it.
 	MaxCycles int64
 	// Trace, when non-nil, receives one line per executed instruction
 	// (pc, disassembly, cycle counter) — a debugging aid; it can produce
-	// very large output.
+	// very large output. Tracing always runs on the reference engine.
 	Trace io.Writer
+	// Engine selects the execution engine ("prepared" or "reference");
+	// empty uses the process default. Both engines are cycle-exact:
+	// Cycles, Executed, ClassCounts, outputs, and faults are identical.
+	Engine string
 
 	// Cycles is the total charged cost of the last Run.
 	Cycles int64
 	// Executed is the dynamic instruction count of the last Run.
 	Executed int64
-	// ClassCounts tallies executed instructions per cost class.
+	// ClassCounts tallies executed instructions per cost class. The map
+	// is reused (cleared, not reallocated) across runs of one Machine.
 	ClassCounts map[string]int64
 }
 
@@ -78,28 +139,56 @@ func (m *Machine) chargeN(class string, n int64) {
 	m.ClassCounts[class] += n
 }
 
+// engine resolves the effective engine for this run.
+func (m *Machine) engine() string {
+	if m.Engine != "" {
+		return m.Engine
+	}
+	return DefaultEngine()
+}
+
 // Run executes prog with the given arguments (int64, float64,
 // complex128, or *ir.Array matching each parameter) and returns results
 // in declaration order. Cycles/Executed/ClassCounts are reset per run.
 func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error) {
-	if m.MaxCycles == 0 {
-		m.MaxCycles = 50_000_000_000
+	maxCycles := m.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
 	}
 	m.Cycles = 0
 	m.Executed = 0
-	m.ClassCounts = map[string]int64{}
-
-	if len(args) != len(prog.Params) {
-		return nil, fmt.Errorf("%s expects %d arguments, got %d", prog.Name, len(prog.Params), len(args))
+	if m.ClassCounts == nil {
+		m.ClassCounts = make(map[string]int64, 16)
+	} else {
+		clear(m.ClassCounts)
 	}
+
+	if m.engine() == EnginePrepared && m.Trace == nil {
+		return PreparedFor(prog, m.Proc).run(m, maxCycles, args)
+	}
+
 	regs := make([]vmval, prog.NumRegs)
 	arrays := make([]*ir.Array, len(prog.Arrays))
+	if err := bindArgs(prog, args, regs, arrays); err != nil {
+		return nil, err
+	}
+	if err := m.exec(prog, regs, arrays, maxCycles); err != nil {
+		return nil, err
+	}
+	return collectResults(prog, regs, arrays)
+}
 
+// bindArgs marshals caller arguments into the register file and array
+// slot table (shared by both engines; regs/arrays must be zeroed).
+func bindArgs(prog *Program, args []interface{}, regs []vmval, arrays []*ir.Array) error {
+	if len(args) != len(prog.Params) {
+		return fmt.Errorf("%s expects %d arguments, got %d", prog.Name, len(prog.Params), len(args))
+	}
 	for i, p := range prog.Params {
 		switch a := args[i].(type) {
 		case int64:
 			if p.IsArray {
-				return nil, fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
+				return fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
 			}
 			switch p.Elem {
 			case ir.Int:
@@ -111,7 +200,7 @@ func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error)
 			}
 		case float64:
 			if p.IsArray {
-				return nil, fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
+				return fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
 			}
 			switch p.Elem {
 			case ir.Int:
@@ -123,15 +212,15 @@ func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error)
 			}
 		case complex128:
 			if p.IsArray {
-				return nil, fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
+				return fmt.Errorf("argument %d: scalar passed for array parameter %s", i, p.Name)
 			}
 			regs[p.Reg] = fromComplex(a)
 		case *ir.Array:
 			if !p.IsArray {
-				return nil, fmt.Errorf("argument %d: array passed for scalar parameter %s", i, p.Name)
+				return fmt.Errorf("argument %d: array passed for scalar parameter %s", i, p.Name)
 			}
 			if a.Elem != p.Elem {
-				return nil, fmt.Errorf("argument %d: array elem %s, parameter wants %s", i, a.Elem, p.Elem)
+				return fmt.Errorf("argument %d: array elem %s, parameter wants %s", i, a.Elem, p.Elem)
 			}
 			// MATLAB value semantics: distinct parameters must not share
 			// storage. Clone when the caller passes one array twice.
@@ -143,14 +232,15 @@ func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error)
 			}
 			arrays[p.Arr] = a
 		default:
-			return nil, fmt.Errorf("argument %d: unsupported type %T", i, args[i])
+			return fmt.Errorf("argument %d: unsupported type %T", i, args[i])
 		}
 	}
+	return nil
+}
 
-	if err := m.exec(prog, regs, arrays); err != nil {
-		return nil, err
-	}
-
+// collectResults marshals declared results out of the register file and
+// array slots (shared by both engines).
+func collectResults(prog *Program, regs []vmval, arrays []*ir.Array) ([]interface{}, error) {
 	results := make([]interface{}, len(prog.Results))
 	for i, r := range prog.Results {
 		if r.IsArray {
@@ -173,14 +263,14 @@ func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error)
 	return results, nil
 }
 
-func (m *Machine) exec(prog *Program, regs []vmval, arrays []*ir.Array) error {
+func (m *Machine) exec(prog *Program, regs []vmval, arrays []*ir.Array, maxCycles int64) error {
 	pc := 0
 	fault := func(format string, a ...interface{}) error {
 		return &FaultError{PC: pc, Msg: fmt.Sprintf(format, a...)}
 	}
 	for pc < len(prog.Instrs) {
-		if m.Cycles > m.MaxCycles {
-			return fault("cycle limit exceeded (%d)", m.MaxCycles)
+		if m.Cycles > maxCycles {
+			return fault("cycle limit exceeded (%d)", maxCycles)
 		}
 		in := &prog.Instrs[pc]
 		m.Executed++
@@ -481,32 +571,44 @@ func materialize(v complex128, base ir.BaseKind) vmval {
 func convVal(v vmval, k ir.Kind) vmval {
 	if k.Lanes > 1 {
 		// Vector conversions preserve lane count.
-		src := v.lanes
 		lanes := make([]complex128, k.Lanes)
-		for j := range lanes {
-			var x complex128
-			if src == nil {
-				x = v.c
-			} else if j < len(src) {
-				x = src[j]
-			}
-			switch k.Base {
-			case ir.Int:
-				lanes[j] = complex(float64(int64(real(x))), 0)
-			case ir.Float:
-				lanes[j] = complex(real(x), 0)
-			default:
-				lanes[j] = x
-			}
-		}
+		convInto(lanes, v, k.Base)
 		return vmval{lanes: lanes}
 	}
-	switch k.Base {
+	return convScalar(v, k.Base)
+}
+
+// convScalar is assignment conversion for scalar registers.
+func convScalar(v vmval, base ir.BaseKind) vmval {
+	switch base {
 	case ir.Int:
 		return fromInt(v.i)
 	case ir.Float:
 		return fromFloat(v.f)
 	default:
 		return fromComplex(v.c)
+	}
+}
+
+// convInto fills dst with the lane-wise conversion of v at the given
+// base (scalars broadcast, missing source lanes read as zero). Writing
+// in place over v's own lanes is safe: lane j is read before written.
+func convInto(dst []complex128, v vmval, base ir.BaseKind) {
+	src := v.lanes
+	for j := range dst {
+		var x complex128
+		if src == nil {
+			x = v.c
+		} else if j < len(src) {
+			x = src[j]
+		}
+		switch base {
+		case ir.Int:
+			dst[j] = complex(float64(int64(real(x))), 0)
+		case ir.Float:
+			dst[j] = complex(real(x), 0)
+		default:
+			dst[j] = x
+		}
 	}
 }

@@ -13,57 +13,74 @@ func (m *Machine) execBin(in *Instr, regs []vmval) (vmval, error) {
 	m.charge(binClass(in))
 	a, b := regs[in.A], regs[in.B]
 	if in.K.Lanes <= 1 {
-		switch in.OpBase {
-		case ir.Int:
-			r, err := binInt(in.BOp, a.i, b.i)
-			if err != nil {
-				return vmval{}, err
-			}
-			return fromInt(r), nil
-		case ir.Float:
-			r := binFloat(in.BOp, a.f, b.f)
-			if in.K.Base == ir.Int {
-				return fromInt(int64(r)), nil
-			}
-			return fromFloat(r), nil
-		default:
-			r, err := binComplex(in.BOp, a.c, b.c)
-			if err != nil {
-				return vmval{}, err
-			}
-			if in.K.Base == ir.Int {
-				return fromInt(int64(real(r))), nil
-			}
-			return fromComplex(r), nil
-		}
+		return binScalarVal(in.BOp, in.OpBase, in.K.Base, a, b)
 	}
 	// Vector: lane-wise at OpBase; scalar operands broadcast.
 	lanes := make([]complex128, in.K.Lanes)
 	for j := range lanes {
-		x, y := a.lane(j), b.lane(j)
-		var r complex128
-		var err error
-		switch in.OpBase {
-		case ir.Complex:
-			r, err = binComplex(in.BOp, x, y)
-			if err != nil {
-				return vmval{}, err
-			}
-		case ir.Int:
-			iv, ierr := binInt(in.BOp, int64(real(x)), int64(real(y)))
-			if ierr != nil {
-				return vmval{}, ierr
-			}
-			r = complex(float64(iv), 0)
-		default:
-			r = complex(binFloat(in.BOp, real(x), real(y)), 0)
-		}
-		if in.K.Base != ir.Complex {
-			r = complex(real(r), 0)
+		r, err := binLane(in.BOp, in.OpBase, in.K.Base, a.lane(j), b.lane(j))
+		if err != nil {
+			return vmval{}, err
 		}
 		lanes[j] = r
 	}
 	return vmval{lanes: lanes}, nil
+}
+
+// binScalarVal computes a scalar binary operation at the given
+// computation base with the result materialized at kBase (shared by the
+// reference interpreter and the prepared engine so the two cannot
+// drift).
+func binScalarVal(op ir.Op, opBase, kBase ir.BaseKind, a, b vmval) (vmval, error) {
+	switch opBase {
+	case ir.Int:
+		r, err := binInt(op, a.i, b.i)
+		if err != nil {
+			return vmval{}, err
+		}
+		return fromInt(r), nil
+	case ir.Float:
+		r := binFloat(op, a.f, b.f)
+		if kBase == ir.Int {
+			return fromInt(int64(r)), nil
+		}
+		return fromFloat(r), nil
+	default:
+		r, err := binComplex(op, a.c, b.c)
+		if err != nil {
+			return vmval{}, err
+		}
+		if kBase == ir.Int {
+			return fromInt(int64(real(r))), nil
+		}
+		return fromComplex(r), nil
+	}
+}
+
+// binLane computes one vector lane of a binary operation at the given
+// computation base, normalizing non-complex results to their real part.
+func binLane(op ir.Op, opBase, kBase ir.BaseKind, x, y complex128) (complex128, error) {
+	var r complex128
+	switch opBase {
+	case ir.Complex:
+		var err error
+		r, err = binComplex(op, x, y)
+		if err != nil {
+			return 0, err
+		}
+	case ir.Int:
+		iv, err := binInt(op, int64(real(x)), int64(real(y)))
+		if err != nil {
+			return 0, err
+		}
+		r = complex(float64(iv), 0)
+	default:
+		r = complex(binFloat(op, real(x), real(y)), 0)
+	}
+	if kBase != ir.Complex {
+		r = complex(real(r), 0)
+	}
+	return r, nil
 }
 
 // binClass maps a binary instruction to its cycle-cost class.
@@ -274,7 +291,7 @@ func (m *Machine) execUn(in *Instr, regs []vmval) (vmval, error) {
 	m.chargeUn(in)
 	a := regs[in.A]
 	if in.K.Lanes <= 1 {
-		return unScalar(in, a)
+		return unScalar(in.BOp, in.OpBase, in.K.Base, a)
 	}
 	lanes := make([]complex128, in.K.Lanes)
 	for j := range lanes {
@@ -346,8 +363,7 @@ func unClass(op ir.Op, base ir.BaseKind) string {
 	return "fmov"
 }
 
-func unScalar(in *Instr, a vmval) (vmval, error) {
-	op, base := in.BOp, in.OpBase
+func unScalar(op ir.Op, base, kBase ir.BaseKind, a vmval) (vmval, error) {
 	switch op {
 	case ir.OpNeg:
 		switch base {
@@ -376,11 +392,11 @@ func unScalar(in *Instr, a vmval) (vmval, error) {
 	case ir.OpToComplex:
 		return fromComplex(a.c), nil
 	}
-	v, err := unLane(op, base, in.K.Base, a.c)
+	v, err := unLane(op, base, kBase, a.c)
 	if err != nil {
 		return vmval{}, err
 	}
-	return materialize(v, in.K.Base), nil
+	return materialize(v, kBase), nil
 }
 
 // unLane computes a unary op on one lane value (as complex), matching
@@ -498,6 +514,93 @@ func unLane(op ir.Op, base ir.BaseKind, resBase ir.BaseKind, x complex128) (comp
 	return 0, fmt.Errorf("unsupported unary op %s", op)
 }
 
+// intrKind is the pre-decoded dispatch key of a custom instruction
+// (the intrinsic family, vector and scalar forms collapsed).
+type intrKind int8
+
+const (
+	intrUnknown intrKind = iota
+	intrFMA
+	intrFMS
+	intrCMul
+	intrCMac
+	intrCConjMul
+	intrCAdd
+	intrCSub
+	intrSAD
+)
+
+// intrKindOf maps an intrinsic name (with optional v- vector prefix) to
+// its dispatch kind.
+func intrKindOf(name string) intrKind {
+	base := name
+	if len(base) > 1 && base[0] == 'v' {
+		base = base[1:]
+	}
+	switch base {
+	case "fma":
+		return intrFMA
+	case "fms":
+		return intrFMS
+	case "cmul":
+		return intrCMul
+	case "cmac":
+		return intrCMac
+	case "cconjmul":
+		return intrCConjMul
+	case "cadd":
+		return intrCAdd
+	case "csub":
+		return intrCSub
+	case "sad":
+		return intrSAD
+	}
+	return intrUnknown
+}
+
+// intrArity returns the operand count an intrinsic kind requires.
+func intrArity(k intrKind) int {
+	switch k {
+	case intrFMA, intrFMS, intrCMac, intrSAD:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// intrLane computes one lane of an intrinsic (two-operand kinds ignore
+// a2). This is THE definition of every custom instruction's semantics,
+// shared by the reference interpreter, the prepared vector path, and
+// the prepared fused-scalar path, so the engines cannot drift.
+func intrLane(k intrKind, a0, a1, a2 complex128) complex128 {
+	switch k {
+	case intrFMA:
+		return complex(real(a0)+real(a1)*real(a2), 0)
+	case intrFMS:
+		return complex(real(a0)-real(a1)*real(a2), 0)
+	case intrCMul:
+		return a0 * a1
+	case intrCMac:
+		return a0 + a1*a2
+	case intrCConjMul:
+		return a0 * cmplx.Conj(a1)
+	case intrCAdd:
+		return a0 + a1
+	case intrCSub:
+		return a0 - a1
+	case intrSAD:
+		return complex(real(a0)+math.Abs(real(a1)-real(a2)), 0)
+	}
+	return 0
+}
+
+// intrFill computes dst's lanes for an intrinsic via intrLane.
+func intrFill(k intrKind, dst []complex128, a0, a1, a2 vmval) {
+	for j := range dst {
+		dst[j] = intrLane(k, a0.lane(j), a1.lane(j), a2.lane(j))
+	}
+}
+
 // execIntr executes a custom instruction, charging the cycles declared
 // in the processor description.
 func (m *Machine) execIntr(in *Instr, regs []vmval) (vmval, error) {
@@ -509,79 +612,21 @@ func (m *Machine) execIntr(in *Instr, regs []vmval) (vmval, error) {
 		// selection bug; fail loudly rather than mis-charge.
 		return vmval{}, fmt.Errorf("intrinsic %q not provided by processor %s", in.Intr, m.Proc.Name)
 	}
-	L := in.K.Lanes
-	arg := func(i, j int) complex128 { return regs[in.Args[i]].lane(j) }
-	need := func(n int) error {
-		if len(in.Args) != n {
-			return fmt.Errorf("intrinsic %s expects %d args, got %d", in.Intr, n, len(in.Args))
-		}
-		return nil
-	}
-	lanes := make([]complex128, L)
-	base := in.Intr
-	if len(base) > 1 && base[0] == 'v' {
-		base = base[1:]
-	}
-	switch base {
-	case "fma":
-		if err := need(3); err != nil {
-			return vmval{}, err
-		}
-		for j := 0; j < L; j++ {
-			lanes[j] = complex(real(arg(0, j))+real(arg(1, j))*real(arg(2, j)), 0)
-		}
-	case "fms":
-		if err := need(3); err != nil {
-			return vmval{}, err
-		}
-		for j := 0; j < L; j++ {
-			lanes[j] = complex(real(arg(0, j))-real(arg(1, j))*real(arg(2, j)), 0)
-		}
-	case "cmul":
-		if err := need(2); err != nil {
-			return vmval{}, err
-		}
-		for j := 0; j < L; j++ {
-			lanes[j] = arg(0, j) * arg(1, j)
-		}
-	case "cmac":
-		if err := need(3); err != nil {
-			return vmval{}, err
-		}
-		for j := 0; j < L; j++ {
-			lanes[j] = arg(0, j) + arg(1, j)*arg(2, j)
-		}
-	case "cconjmul":
-		if err := need(2); err != nil {
-			return vmval{}, err
-		}
-		for j := 0; j < L; j++ {
-			lanes[j] = arg(0, j) * cmplx.Conj(arg(1, j))
-		}
-	case "cadd":
-		if err := need(2); err != nil {
-			return vmval{}, err
-		}
-		for j := 0; j < L; j++ {
-			lanes[j] = arg(0, j) + arg(1, j)
-		}
-	case "csub":
-		if err := need(2); err != nil {
-			return vmval{}, err
-		}
-		for j := 0; j < L; j++ {
-			lanes[j] = arg(0, j) - arg(1, j)
-		}
-	case "sad":
-		if err := need(3); err != nil {
-			return vmval{}, err
-		}
-		for j := 0; j < L; j++ {
-			lanes[j] = complex(real(arg(0, j))+math.Abs(real(arg(1, j))-real(arg(2, j))), 0)
-		}
-	default:
+	kind := intrKindOf(in.Intr)
+	if kind == intrUnknown {
 		return vmval{}, fmt.Errorf("unknown intrinsic %q", in.Intr)
 	}
+	if len(in.Args) != intrArity(kind) {
+		return vmval{}, fmt.Errorf("intrinsic %s expects %d args, got %d", in.Intr, intrArity(kind), len(in.Args))
+	}
+	L := in.K.Lanes
+	var a0, a1, a2 vmval
+	a0, a1 = regs[in.Args[0]], regs[in.Args[1]]
+	if len(in.Args) > 2 {
+		a2 = regs[in.Args[2]]
+	}
+	lanes := make([]complex128, L)
+	intrFill(kind, lanes, a0, a1, a2)
 	if L <= 1 {
 		return materialize(lanes[0], in.K.Base), nil
 	}

@@ -1,0 +1,161 @@
+package vm
+
+import (
+	"container/list"
+	"sync"
+
+	"mat2c/internal/pdesc"
+)
+
+// The prepared-program cache.
+//
+// Preparation is cheap relative to compilation but not free (a cost
+// table, a pre-decoded instruction array, dense ID resolution), and the
+// workloads this repo cares about — benchtab sweeps, DSE exploration,
+// the compile-and-simulate service — run the same program on the same
+// processor thousands of times. PreparedFor memoizes preparations in a
+// bounded LRU keyed by (program content hash, processor content hash),
+// composing with the content-addressed compile cache one layer up:
+// a compile-cache hit returns a pointer-identical Program whose
+// ContentHash is already memoized, so the prepared lookup is two string
+// map probes.
+
+// DefaultPreparedCacheSize bounds the process-wide prepared-program
+// cache (entries, not bytes; a prepared program is a few KiB).
+const DefaultPreparedCacheSize = 256
+
+type preparedKey struct {
+	prog string // Program.ContentHash
+	proc string // Processor.ContentHash
+}
+
+type preparedEntry struct {
+	key preparedKey
+	pp  *PreparedProgram
+}
+
+var prepCache = struct {
+	sync.Mutex
+	entries map[preparedKey]*list.Element
+	order   *list.List // front = most recently used
+	cap     int
+	hits    uint64
+	misses  uint64
+}{
+	entries: make(map[preparedKey]*list.Element),
+	order:   list.New(),
+	cap:     DefaultPreparedCacheSize,
+}
+
+// procHashes memoizes Processor.ContentHash per pointer: DSE sweeps
+// derive hundreds of distinct descriptions, but each one is a single
+// long-lived pointer hashed exactly once. Bounded defensively; on
+// overflow the memo is dropped wholesale (re-hashing is cheap).
+var procHashes = struct {
+	sync.Mutex
+	m map[*pdesc.Processor]string
+}{m: make(map[*pdesc.Processor]string)}
+
+const procHashMemoCap = 4096
+
+func processorHash(p *pdesc.Processor) (string, bool) {
+	procHashes.Lock()
+	if h, ok := procHashes.m[p]; ok {
+		procHashes.Unlock()
+		return h, true
+	}
+	procHashes.Unlock()
+	h, err := p.ContentHash()
+	if err != nil {
+		return "", false
+	}
+	procHashes.Lock()
+	if len(procHashes.m) >= procHashMemoCap {
+		procHashes.m = make(map[*pdesc.Processor]string)
+	}
+	procHashes.m[p] = h
+	procHashes.Unlock()
+	return h, true
+}
+
+// PreparedFor returns the prepared form of prog for proc, consulting
+// the process-wide cache. Programs and processors are content-hashed,
+// so DSE variants with identical descriptions share one preparation
+// regardless of pointer identity. Both values must be treated as
+// immutable after this call. Safe for concurrent use.
+func PreparedFor(prog *Program, proc *pdesc.Processor) *PreparedProgram {
+	ph, ok := processorHash(proc)
+	if !ok {
+		// Unhashable description (should not happen): prepare uncached.
+		return Prepare(prog, proc)
+	}
+	key := preparedKey{prog: prog.ContentHash(), proc: ph}
+
+	prepCache.Lock()
+	if el, ok := prepCache.entries[key]; ok {
+		prepCache.order.MoveToFront(el)
+		prepCache.hits++
+		pp := el.Value.(*preparedEntry).pp
+		prepCache.Unlock()
+		return pp
+	}
+	prepCache.misses++
+	prepCache.Unlock()
+
+	// Prepare outside the lock; concurrent misses on the same key do
+	// duplicate work once, and the last insert wins — both results are
+	// equivalent by construction.
+	pp := Prepare(prog, proc)
+
+	prepCache.Lock()
+	if el, ok := prepCache.entries[key]; ok {
+		prepCache.order.MoveToFront(el)
+		pp = el.Value.(*preparedEntry).pp
+	} else {
+		el := prepCache.order.PushFront(&preparedEntry{key: key, pp: pp})
+		prepCache.entries[key] = el
+		for prepCache.order.Len() > prepCache.cap {
+			old := prepCache.order.Back()
+			prepCache.order.Remove(old)
+			delete(prepCache.entries, old.Value.(*preparedEntry).key)
+		}
+	}
+	prepCache.Unlock()
+	return pp
+}
+
+// PreparedCacheInfo is a point-in-time snapshot of the prepared-program
+// cache, exported for service metrics and tooling.
+type PreparedCacheInfo struct {
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// PreparedCacheStats reports cache occupancy and hit/miss counters.
+func PreparedCacheStats() PreparedCacheInfo {
+	prepCache.Lock()
+	defer prepCache.Unlock()
+	return PreparedCacheInfo{
+		Entries:  prepCache.order.Len(),
+		Capacity: prepCache.cap,
+		Hits:     prepCache.hits,
+		Misses:   prepCache.misses,
+	}
+}
+
+// ResetPreparedCache empties the prepared-program cache and its
+// counters (used by tests and benchmarks to measure cold paths).
+func ResetPreparedCache() {
+	prepCache.Lock()
+	prepCache.entries = make(map[preparedKey]*list.Element)
+	prepCache.order = list.New()
+	prepCache.hits = 0
+	prepCache.misses = 0
+	prepCache.Unlock()
+
+	procHashes.Lock()
+	procHashes.m = make(map[*pdesc.Processor]string)
+	procHashes.Unlock()
+}

@@ -1,0 +1,979 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/pdesc"
+)
+
+// The prepared execution engine.
+//
+// The reference interpreter charges every dynamic instruction through
+// Processor.Cost (a string-keyed map lookup) and ClassCounts (a map
+// increment), and allocates a fresh lane slice for every vector result.
+// Preparation hoists all of that to program-load time: each instruction
+// is decoded once into a pInstr whose cycle cost, dense cost-class ID
+// and class count are fully resolved against a pdesc.CostTable, so the
+// hot loop charges with an integer add and an array add. Vector results
+// are written into per-register segments of one shared lane buffer
+// owned by a pooled scratch arena, making the steady-state loop
+// allocation-free.
+//
+// Both engines are cycle-exact by construction: they share the operand
+// semantics in ops.go (binLane, unLane, intrFill, ...) and the
+// differential tests require identical Cycles, Executed, ClassCounts,
+// outputs, and fault messages on every kernel × target.
+
+// Fused micro-opcodes: scalar binary operations and scalar intrinsics
+// whose (operation, computation base, result base) triple is fully
+// known at prepare time collapse into dedicated opcodes, replacing the
+// generic dispatch chain (binScalarVal's base switch plus the per-op
+// switch) with one direct arithmetic expression. Each fused case must
+// compute exactly what its generic counterpart computes — the
+// differential engine tests enforce this bit-for-bit.
+const (
+	xIAdd Opc = 0x100 + iota
+	xISub
+	xIMul
+	xILt
+	xILe
+	xIGt
+	xIGe
+	xIEq
+	xINe
+	xIAnd
+	xIOr
+	xFAdd // float compute, float result
+	xFSub
+	xFMul
+	xFDiv
+	xFLt // float compare, float result
+	xFLe
+	xFGt
+	xFGe
+	xFEq
+	xFNe
+	xFLtI // float compare, int result
+	xFLeI
+	xFGtI
+	xFGeI
+	xFEqI
+	xFNeI
+	xCAdd // complex compute, complex result
+	xCSub
+	xCMul
+	xIntrS // scalar intrinsic with statically valid decode
+)
+
+// fuseBin maps a scalar OpBin triple to its fused opcode, or OpBin when
+// no fused form applies (the generic path remains authoritative).
+func fuseBin(op ir.Op, opBase, kBase ir.BaseKind) Opc {
+	switch opBase {
+	case ir.Int:
+		// binScalarVal's Int case ignores kBase: always fromInt.
+		switch op {
+		case ir.OpAdd:
+			return xIAdd
+		case ir.OpSub:
+			return xISub
+		case ir.OpMul:
+			return xIMul
+		case ir.OpLt:
+			return xILt
+		case ir.OpLe:
+			return xILe
+		case ir.OpGt:
+			return xIGt
+		case ir.OpGe:
+			return xIGe
+		case ir.OpEq:
+			return xIEq
+		case ir.OpNe:
+			return xINe
+		case ir.OpAnd:
+			return xIAnd
+		case ir.OpOr:
+			return xIOr
+		}
+	case ir.Float:
+		switch kBase {
+		case ir.Float:
+			switch op {
+			case ir.OpAdd:
+				return xFAdd
+			case ir.OpSub:
+				return xFSub
+			case ir.OpMul:
+				return xFMul
+			case ir.OpDiv:
+				return xFDiv
+			case ir.OpLt:
+				return xFLt
+			case ir.OpLe:
+				return xFLe
+			case ir.OpGt:
+				return xFGt
+			case ir.OpGe:
+				return xFGe
+			case ir.OpEq:
+				return xFEq
+			case ir.OpNe:
+				return xFNe
+			}
+		case ir.Int:
+			switch op {
+			case ir.OpLt:
+				return xFLtI
+			case ir.OpLe:
+				return xFLeI
+			case ir.OpGt:
+				return xFGtI
+			case ir.OpGe:
+				return xFGeI
+			case ir.OpEq:
+				return xFEqI
+			case ir.OpNe:
+				return xFNeI
+			}
+		}
+	case ir.Complex:
+		if kBase == ir.Complex {
+			switch op {
+			case ir.OpAdd:
+				return xCAdd
+			case ir.OpSub:
+				return xCSub
+			case ir.OpMul:
+				return xCMul
+			}
+		}
+	}
+	return OpBin
+}
+
+// lane0 reads lane 0 of a register without copying the vmval (scalars
+// broadcast), mirroring vmval.lane(0).
+func lane0(regs []vmval, r int) complex128 {
+	v := &regs[r]
+	if v.lanes == nil {
+		return v.c
+	}
+	return v.lanes[0]
+}
+
+// pInstr is one pre-decoded instruction. Everything that the reference
+// interpreter recomputes per dynamic execution — cost class strings,
+// map lookups, lane counts, fault-message array names — is resolved
+// here once per (program, processor) pair.
+type pInstr struct {
+	op     Opc
+	bop    ir.Op
+	opBase ir.BaseKind
+	kBase  ir.BaseKind
+	lanes  int
+
+	dst, a, b int
+	args      []int
+	immI      int64
+	arr       int
+	off       int
+
+	// Primary charge: cycles += cost; counts[class] += countN. A class
+	// of -1 charges nothing (OpNop, intrinsics that fault before the
+	// charge point).
+	cost   int64
+	class  int32
+	countN int64
+
+	// OpConst: the immediate, pre-materialized.
+	val vmval
+
+	// Memory ops: static array metadata for execution and faults.
+	arrName string
+	elem    ir.BaseKind
+
+	// OpVLoad: stride and precomputed bounds-check offsets.
+	stride       int
+	loOff, hiOff int
+
+	// OpAlloc: zero-fill charge (counts[zeroClass] += words,
+	// cycles += zeroCost*words; words depends on the runtime extent).
+	zeroClass int32
+	zeroCost  int64
+	allocW    int64
+
+	// OpIntr: pre-decoded dispatch kind and precomputed fault messages.
+	// intrFaultPre fires before the charge (instruction not provided by
+	// the processor); intrFaultPost fires after it (unknown intrinsic or
+	// arity mismatch) — matching the reference engine's charge ordering.
+	intr          intrKind
+	intrName      string
+	intrFaultPre  string
+	intrFaultPost string
+}
+
+// PreparedProgram is a Program pre-decoded against one processor's cost
+// model. It is immutable and safe for concurrent use; each Run borrows
+// a scratch arena from an internal pool.
+type PreparedProgram struct {
+	prog  *Program
+	proc  *pdesc.Processor
+	table *pdesc.CostTable
+	code  []pInstr
+
+	numRegs   int
+	numArrays int
+	maxL      int // widest lane count in the program (≥1)
+
+	pool sync.Pool
+}
+
+// scratch is the per-run execution arena: register file, array slots,
+// dense class counters, and the shared lane buffer. Register r owns
+// lanebuf[r*maxL : (r+1)*maxL]; a register's vmval.lanes is always nil
+// or a prefix of its own segment, so vector writes never alias another
+// register's storage.
+type scratch struct {
+	regs    []vmval
+	arrays  []*ir.Array
+	counts  []int64
+	touched []bool
+	lanebuf []complex128
+	maxL    int
+}
+
+// seg returns register reg's lane segment, sized to L lanes.
+func (s *scratch) seg(reg, L int) []complex128 {
+	base := reg * s.maxL
+	return s.lanebuf[base : base+L : base+L]
+}
+
+// Prepare pre-decodes prog against proc's cost model. The processor
+// must not be mutated afterwards (the usual read-only contract shared
+// with pdesc.Resolve). Most callers want PreparedFor, which memoizes
+// the result in a content-addressed cache.
+func Prepare(prog *Program, proc *pdesc.Processor) *PreparedProgram {
+	table := pdesc.NewCostTable(proc)
+	id := func(name string) int32 {
+		i, ok := table.ID(name)
+		if !ok {
+			// Unreachable: every class the VM charges is either in
+			// pdesc's architectural table or an instruction name.
+			panic("vm: cost class " + name + " missing from cost table")
+		}
+		return int32(i)
+	}
+
+	maxL := 1
+	for i := range prog.Instrs {
+		if L := prog.Instrs[i].K.Lanes; L > maxL {
+			maxL = L
+		}
+	}
+
+	code := make([]pInstr, len(prog.Instrs))
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		p := &code[i]
+		p.op = in.Op
+		p.bop = in.BOp
+		p.opBase = in.OpBase
+		p.kBase = in.K.Base
+		p.lanes = in.K.Lanes
+		p.dst, p.a, p.b = in.Dst, in.A, in.B
+		p.args = in.Args
+		p.immI = in.ImmI
+		p.arr = in.Arr
+		p.off = in.Off
+		p.class = -1
+		p.countN = 1
+		if in.Arr >= 0 && in.Arr < len(prog.Arrays) {
+			p.arrName = prog.Arrays[in.Arr].Name
+			p.elem = prog.Arrays[in.Arr].Elem
+		}
+
+		// setClass resolves the primary charge to (class ID, cost·n, n).
+		setClass := func(name string, n int64) {
+			p.class = id(name)
+			p.countN = n
+			p.cost = table.Cost(int(p.class)) * n
+		}
+
+		switch in.Op {
+		case OpNop:
+			p.countN = 0
+
+		case OpConst:
+			switch in.K.Base {
+			case ir.Int:
+				p.val = fromInt(in.ImmI)
+				setClass("imov", 1)
+			case ir.Float:
+				p.val = fromFloat(in.ImmF)
+				setClass("fmov", 1)
+			default:
+				p.val = fromComplex(in.ImmC)
+				setClass("cmov", 1)
+			}
+
+		case OpMov:
+			setClass(movClass(in.K), 1)
+
+		case OpConv:
+			setClass("conv", 1)
+
+		case OpBin:
+			setClass(binClass(in), 1)
+			if in.K.Lanes <= 1 {
+				p.op = fuseBin(in.BOp, in.OpBase, in.K.Base)
+			}
+
+		case OpUn:
+			class := unClass(in.BOp, in.OpBase)
+			if in.K.Lanes > 1 {
+				serial := false
+				switch in.BOp {
+				case ir.OpSqrt, ir.OpSin, ir.OpCos, ir.OpTan, ir.OpExp,
+					ir.OpLog, ir.OpAngle, ir.OpAsin, ir.OpAcos, ir.OpAtan,
+					ir.OpSinh, ir.OpCosh, ir.OpTanh:
+					// No vector transcendental unit: serialize per lane.
+					serial = true
+				case ir.OpAbs:
+					serial = in.OpBase == ir.Complex
+				}
+				if serial {
+					setClass(class, int64(in.K.Lanes))
+				} else {
+					setClass("vop", 1)
+				}
+			} else {
+				setClass(class, 1)
+			}
+
+		case OpIntr:
+			p.intrName = in.Intr
+			ci := proc.Instr(in.Intr)
+			if ci == nil {
+				// Faults at runtime before any charge, like the
+				// reference engine.
+				p.intrFaultPre = fmt.Sprintf("intrinsic %q not provided by processor %s", in.Intr, proc.Name)
+				break
+			}
+			// The issue cost comes from the instruction declaration, not
+			// the architectural table (the name may shadow a class).
+			p.class = id(in.Intr)
+			p.cost = int64(ci.Cycles)
+			p.intr = intrKindOf(in.Intr)
+			if p.intr == intrUnknown {
+				p.intrFaultPost = fmt.Sprintf("unknown intrinsic %q", in.Intr)
+			} else if len(in.Args) != intrArity(p.intr) {
+				p.intrFaultPost = fmt.Sprintf("intrinsic %s expects %d args, got %d", in.Intr, intrArity(p.intr), len(in.Args))
+			} else if in.K.Lanes == 1 {
+				p.op = xIntrS
+			}
+
+		case OpLoad:
+			if p.elem == ir.Complex {
+				setClass("cload", 1)
+			} else {
+				setClass("load", 1)
+			}
+
+		case OpVLoad:
+			stride := int(in.ImmI)
+			if stride == 0 {
+				stride = 1
+			}
+			p.stride = stride
+			L := in.K.Lanes
+			p.loOff, p.hiOff = 0, (L-1)*stride
+			if stride < 0 {
+				p.loOff, p.hiOff = p.hiOff, p.loOff
+			}
+			if stride == 1 {
+				setClass("vload", 1)
+				break
+			}
+			// Strided load: the custom instruction when declared, else
+			// its serialized scalar expansion.
+			name, scalarClass := "vlds", "load"
+			if p.elem == ir.Complex {
+				name, scalarClass = "vclds", "cload"
+			}
+			if ci := proc.Instr(name); ci != nil {
+				p.class = id(name)
+				p.cost = int64(ci.Cycles)
+			} else {
+				setClass(scalarClass, int64(L))
+			}
+
+		case OpStore:
+			if in.K.Lanes > 1 {
+				setClass("vstore", 1)
+			} else if p.elem == ir.Complex {
+				setClass("cstore", 1)
+			} else {
+				setClass("store", 1)
+			}
+
+		case OpAlloc:
+			setClass("alloc", 1)
+			w := int64(proc.SIMDWidth)
+			if w < 1 {
+				w = 1
+			}
+			p.allocW = w
+			p.zeroClass = id("vstore")
+			p.zeroCost = table.Cost(int(p.zeroClass))
+
+		case OpDim:
+			setClass("imov", 1)
+
+		case OpSel:
+			if in.K.Lanes <= 1 {
+				setClass("fcmp", 1)
+			} else {
+				setClass("vop", 1)
+			}
+
+		case OpSplat, OpRamp:
+			setClass("vsplat", 1)
+
+		case OpReduce:
+			setClass("vreduce", 1)
+
+		case OpJmp:
+			setClass("jump", 1)
+
+		case OpJz:
+			setClass("branch", 1)
+
+		case OpRet:
+			setClass("ret", 1)
+		}
+	}
+
+	return &PreparedProgram{
+		prog:      prog,
+		proc:      proc,
+		table:     table,
+		code:      code,
+		numRegs:   prog.NumRegs,
+		numArrays: len(prog.Arrays),
+		maxL:      maxL,
+	}
+}
+
+func (pp *PreparedProgram) getScratch() *scratch {
+	if s, ok := pp.pool.Get().(*scratch); ok {
+		return s
+	}
+	return &scratch{
+		regs:    make([]vmval, pp.numRegs),
+		arrays:  make([]*ir.Array, pp.numArrays),
+		counts:  make([]int64, pp.table.Len()),
+		touched: make([]bool, pp.table.Len()),
+		lanebuf: make([]complex128, pp.numRegs*pp.maxL),
+		maxL:    pp.maxL,
+	}
+}
+
+func (pp *PreparedProgram) putScratch(s *scratch) {
+	clear(s.regs)
+	clear(s.arrays) // drop array references so results don't pin the pool
+	clear(s.counts)
+	clear(s.touched)
+	pp.pool.Put(s)
+}
+
+// run executes the prepared program on behalf of m.Run. The machine's
+// Cycles/Executed/ClassCounts have already been reset; they are updated
+// here even when execution faults, matching the reference engine's
+// partial state on error.
+func (pp *PreparedProgram) run(m *Machine, maxCycles int64, args []interface{}) ([]interface{}, error) {
+	s := pp.getScratch()
+	defer pp.putScratch(s)
+	if err := bindArgs(pp.prog, args, s.regs, s.arrays); err != nil {
+		return nil, err
+	}
+	err := pp.exec(m, s, maxCycles)
+	for id, t := range s.touched {
+		if t {
+			m.ClassCounts[pp.table.Name(id)] += s.counts[id]
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return collectResults(pp.prog, s.regs, s.arrays)
+}
+
+// exec is the prepared hot loop. It must stay charge-for-charge and
+// fault-for-fault identical to Machine.exec; the per-opcode charge
+// placement (before or after validity checks) mirrors the reference
+// engine exactly.
+func (pp *PreparedProgram) exec(m *Machine, s *scratch, maxCycles int64) error {
+	var cycles, executed int64
+	defer func() {
+		m.Cycles = cycles
+		m.Executed = executed
+	}()
+
+	regs := s.regs
+	arrays := s.arrays
+	counts := s.counts
+	touched := s.touched
+	code := pp.code
+
+	pc := 0
+	fault := func(format string, a ...interface{}) error {
+		return &FaultError{PC: pc, Msg: fmt.Sprintf(format, a...)}
+	}
+
+	for pc < len(code) {
+		if cycles > maxCycles {
+			return fault("cycle limit exceeded (%d)", maxCycles)
+		}
+		in := &code[pc]
+		executed++
+
+		switch in.op {
+		case OpNop:
+
+		case OpConst:
+			regs[in.dst] = in.val
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpMov:
+			v := regs[in.a]
+			if v.lanes != nil {
+				dst := s.seg(in.dst, len(v.lanes))
+				copy(dst, v.lanes)
+				v.lanes = dst
+			}
+			regs[in.dst] = v
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpConv:
+			if in.lanes > 1 {
+				dst := s.seg(in.dst, in.lanes)
+				convInto(dst, regs[in.a], in.kBase)
+				regs[in.dst] = vmval{lanes: dst}
+			} else {
+				regs[in.dst] = convScalar(regs[in.a], in.kBase)
+			}
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpBin:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			a, b := regs[in.a], regs[in.b]
+			if in.lanes <= 1 {
+				v, err := binScalarVal(in.bop, in.opBase, in.kBase, a, b)
+				if err != nil {
+					return fault("%v", err)
+				}
+				regs[in.dst] = v
+				break
+			}
+			dst := s.seg(in.dst, in.lanes)
+			for j := 0; j < in.lanes; j++ {
+				r, err := binLane(in.bop, in.opBase, in.kBase, a.lane(j), b.lane(j))
+				if err != nil {
+					return fault("%v", err)
+				}
+				dst[j] = r
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case xIAdd:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].i + regs[in.b].i
+			regs[in.dst] = vmval{i: r, f: float64(r), c: complex(float64(r), 0)}
+
+		case xISub:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].i - regs[in.b].i
+			regs[in.dst] = vmval{i: r, f: float64(r), c: complex(float64(r), 0)}
+
+		case xIMul:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].i * regs[in.b].i
+			regs[in.dst] = vmval{i: r, f: float64(r), c: complex(float64(r), 0)}
+
+		case xILt, xILe, xIGt, xIGe, xIEq, xINe, xIAnd, xIOr:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			x, y := regs[in.a].i, regs[in.b].i
+			var cond bool
+			switch in.op {
+			case xILt:
+				cond = x < y
+			case xILe:
+				cond = x <= y
+			case xIGt:
+				cond = x > y
+			case xIGe:
+				cond = x >= y
+			case xIEq:
+				cond = x == y
+			case xINe:
+				cond = x != y
+			case xIAnd:
+				cond = x != 0 && y != 0
+			default:
+				cond = x != 0 || y != 0
+			}
+			r := b2i(cond)
+			regs[in.dst] = vmval{i: r, f: float64(r), c: complex(float64(r), 0)}
+
+		case xFAdd:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].f + regs[in.b].f
+			regs[in.dst] = vmval{i: int64(r), f: r, c: complex(r, 0)}
+
+		case xFSub:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].f - regs[in.b].f
+			regs[in.dst] = vmval{i: int64(r), f: r, c: complex(r, 0)}
+
+		case xFMul:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].f * regs[in.b].f
+			regs[in.dst] = vmval{i: int64(r), f: r, c: complex(r, 0)}
+
+		case xFDiv:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].f / regs[in.b].f
+			regs[in.dst] = vmval{i: int64(r), f: r, c: complex(r, 0)}
+
+		case xFLt, xFLe, xFGt, xFGe, xFEq, xFNe,
+			xFLtI, xFLeI, xFGtI, xFGeI, xFEqI, xFNeI:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			x, y := regs[in.a].f, regs[in.b].f
+			var cond bool
+			switch in.op {
+			case xFLt, xFLtI:
+				cond = x < y
+			case xFLe, xFLeI:
+				cond = x <= y
+			case xFGt, xFGtI:
+				cond = x > y
+			case xFGe, xFGeI:
+				cond = x >= y
+			case xFEq, xFEqI:
+				cond = x == y
+			default:
+				cond = x != y
+			}
+			r := b2i(cond)
+			regs[in.dst] = vmval{i: r, f: float64(r), c: complex(float64(r), 0)}
+
+		case xCAdd:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].c + regs[in.b].c
+			regs[in.dst] = vmval{i: int64(real(r)), f: real(r), c: r}
+
+		case xCSub:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].c - regs[in.b].c
+			regs[in.dst] = vmval{i: int64(real(r)), f: real(r), c: r}
+
+		case xCMul:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			r := regs[in.a].c * regs[in.b].c
+			regs[in.dst] = vmval{i: int64(real(r)), f: real(r), c: r}
+
+		case xIntrS:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			a0 := lane0(regs, in.args[0])
+			a1 := lane0(regs, in.args[1])
+			var a2 complex128
+			if len(in.args) > 2 {
+				a2 = lane0(regs, in.args[2])
+			}
+			regs[in.dst] = materialize(intrLane(in.intr, a0, a1, a2), in.kBase)
+
+		case OpUn:
+			cycles += in.cost
+			counts[in.class] += in.countN
+			touched[in.class] = true
+			a := regs[in.a]
+			if in.lanes <= 1 {
+				v, err := unScalar(in.bop, in.opBase, in.kBase, a)
+				if err != nil {
+					return fault("%v", err)
+				}
+				regs[in.dst] = v
+				break
+			}
+			dst := s.seg(in.dst, in.lanes)
+			for j := 0; j < in.lanes; j++ {
+				v, err := unLane(in.bop, in.opBase, in.kBase, a.lane(j))
+				if err != nil {
+					return fault("%v", err)
+				}
+				dst[j] = v
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case OpIntr:
+			if in.intrFaultPre != "" {
+				return fault("%s", in.intrFaultPre)
+			}
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			if in.intrFaultPost != "" {
+				return fault("%s", in.intrFaultPost)
+			}
+			var a0, a1, a2 vmval
+			a0, a1 = regs[in.args[0]], regs[in.args[1]]
+			if len(in.args) > 2 {
+				a2 = regs[in.args[2]]
+			}
+			lanes := s.seg(in.dst, in.lanes)
+			intrFill(in.intr, lanes, a0, a1, a2)
+			if in.lanes <= 1 {
+				regs[in.dst] = materialize(lanes[0], in.kBase)
+			} else {
+				regs[in.dst] = vmval{lanes: lanes}
+			}
+
+		case OpLoad:
+			arr := arrays[in.arr]
+			if arr == nil {
+				return fault("load from unallocated array %s", in.arrName)
+			}
+			idx := int(regs[in.a].i)
+			if idx < 0 || idx >= arr.Len() {
+				return fault("load %s[%d] out of bounds (len %d)", in.arrName, idx, arr.Len())
+			}
+			if in.elem == ir.Complex {
+				regs[in.dst] = fromComplex(arr.C[idx])
+			} else {
+				regs[in.dst] = fromFloat(arr.F[idx])
+			}
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpVLoad:
+			arr := arrays[in.arr]
+			if arr == nil {
+				return fault("vload from unallocated array %s", in.arrName)
+			}
+			base := int(regs[in.a].i)
+			lo, hi := base+in.loOff, base+in.hiOff
+			if lo < 0 || hi >= arr.Len() {
+				return fault("vload %s[%d..%d] out of bounds (len %d)", in.arrName, lo, hi, arr.Len())
+			}
+			dst := s.seg(in.dst, in.lanes)
+			if in.elem == ir.Complex && in.stride == 1 {
+				copy(dst, arr.C[base:base+in.lanes])
+			} else {
+				for j := 0; j < in.lanes; j++ {
+					dst[j] = arr.At(base + j*in.stride)
+				}
+			}
+			regs[in.dst] = vmval{lanes: dst}
+			cycles += in.cost
+			counts[in.class] += in.countN
+			touched[in.class] = true
+
+		case OpStore:
+			arr := arrays[in.arr]
+			if arr == nil {
+				return fault("store to unallocated array %s", in.arrName)
+			}
+			base := int(regs[in.a].i)
+			val := regs[in.b]
+			if base < 0 || base+in.lanes > arr.Len() {
+				return fault("store %s[%d..%d] out of bounds (len %d)", in.arrName, base, base+in.lanes-1, arr.Len())
+			}
+			if in.lanes > 1 {
+				for j := 0; j < in.lanes; j++ {
+					storeElem(arr, base+j, val.lane(j))
+				}
+			} else {
+				storeElem(arr, base, val.c)
+			}
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpAlloc:
+			r := int(regs[in.a].i)
+			c := int(regs[in.b].i)
+			if r < 0 || c < 0 || r*c > 1<<28 {
+				return fault("alloc %s: bad extent %dx%d", in.arrName, r, c)
+			}
+			if in.elem == ir.Complex {
+				arrays[in.arr] = ir.NewComplexArray(r, c)
+			} else {
+				arrays[in.arr] = ir.NewFloatArray(r, c)
+			}
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			// Zero-fill cost: one wide store per SIMD word.
+			words := (int64(r)*int64(c) + in.allocW - 1) / in.allocW
+			cycles += in.zeroCost * words
+			counts[in.zeroClass] += words
+			touched[in.zeroClass] = true
+
+		case OpDim:
+			arr := arrays[in.arr]
+			if arr == nil {
+				return fault("dim of unallocated array %s", in.arrName)
+			}
+			switch in.immI {
+			case int64(ir.DimRows):
+				regs[in.dst] = fromInt(int64(arr.Rows))
+			case int64(ir.DimCols):
+				regs[in.dst] = fromInt(int64(arr.Cols))
+			default:
+				regs[in.dst] = fromInt(int64(arr.Len()))
+			}
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpSel:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			cond, th, el := regs[in.args[0]], regs[in.args[1]], regs[in.args[2]]
+			if in.lanes <= 1 {
+				if isZero(cond) {
+					regs[in.dst] = convScalar(el, in.kBase)
+				} else {
+					regs[in.dst] = convScalar(th, in.kBase)
+				}
+				break
+			}
+			dst := s.seg(in.dst, in.lanes)
+			for j := 0; j < in.lanes; j++ {
+				var v complex128
+				if cond.lane(j) != 0 {
+					v = th.lane(j)
+				} else {
+					v = el.lane(j)
+				}
+				if in.kBase != ir.Complex {
+					v = complex(real(v), 0)
+				}
+				dst[j] = v
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case OpSplat:
+			dst := s.seg(in.dst, in.lanes)
+			v := regs[in.a].c
+			for j := range dst {
+				dst[j] = v
+			}
+			regs[in.dst] = vmval{lanes: dst}
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpRamp:
+			dst := s.seg(in.dst, in.lanes)
+			base := regs[in.a].i
+			for j := range dst {
+				dst[j] = complex(float64(base+int64(j)*in.immI), 0)
+			}
+			regs[in.dst] = vmval{lanes: dst}
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpReduce:
+			v := regs[in.a]
+			if v.lanes == nil {
+				return fault("reduce of scalar register")
+			}
+			acc := v.lanes[0]
+			for j := 1; j < len(v.lanes); j++ {
+				var err error
+				acc, err = scalarBin(in.bop, in.opBase, acc, v.lanes[j])
+				if err != nil {
+					return fault("%v", err)
+				}
+			}
+			regs[in.dst] = materialize(acc, in.kBase)
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+
+		case OpJmp:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			pc = in.off
+			continue
+
+		case OpJz:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			v := &regs[in.a]
+			var zero bool
+			if v.lanes != nil {
+				zero = v.lanes[0] == 0
+			} else {
+				zero = v.i == 0 && v.f == 0 && v.c == 0
+			}
+			if zero {
+				pc = in.off
+				continue
+			}
+
+		case OpRet:
+			cycles += in.cost
+			counts[in.class]++
+			touched[in.class] = true
+			return nil
+
+		default:
+			return fault("bad opcode %s", in.op)
+		}
+		pc++
+	}
+	return nil
+}

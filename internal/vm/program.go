@@ -18,7 +18,13 @@
 package vm
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"io"
+	"math"
+	"sync"
 
 	"mat2c/internal/ir"
 )
@@ -101,7 +107,9 @@ type Param struct {
 	Arr     int // array slot
 }
 
-// Program is a compiled function in VM form.
+// Program is a compiled function in VM form. A Program is immutable
+// once lowering returns it; mutating one after execution started (or
+// after ContentHash was taken) is a caller bug.
 type Program struct {
 	Name    string
 	Instrs  []Instr
@@ -111,8 +119,98 @@ type Program struct {
 	Results []Param
 }
 
+// progHashes memoizes ContentHash per Program pointer, kept outside
+// the struct so Program stays a plain copyable value. Bounded like the
+// processor-hash memo: on overflow the whole map is dropped rather
+// than tracking recency.
+var (
+	progHashMu      sync.Mutex
+	progHashes      = map[*Program]string{}
+	progHashMemoCap = 4096
+)
+
 // Len returns the static instruction count (the code-size metric).
 func (p *Program) Len() int { return len(p.Instrs) }
+
+// ContentHash returns a hex SHA-256 digest over everything observable
+// about the program (instructions, register/array/param layout, name).
+// Two programs with equal hashes execute identically, including fault
+// messages; the prepared-program cache keys on it. Computed once and
+// memoized.
+func (p *Program) ContentHash() string {
+	progHashMu.Lock()
+	defer progHashMu.Unlock()
+	if s, ok := progHashes[p]; ok {
+		return s
+	}
+	{
+		h := sha256.New()
+		var buf [8]byte
+		wi := func(v int64) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		ws := func(s string) {
+			wi(int64(len(s)))
+			io.WriteString(h, s)
+		}
+		ws(p.Name)
+		wi(int64(p.NumRegs))
+		wi(int64(len(p.Arrays)))
+		for _, a := range p.Arrays {
+			ws(a.Name)
+			wi(int64(a.Elem))
+		}
+		wp := func(ps []Param) {
+			wi(int64(len(ps)))
+			for _, q := range ps {
+				ws(q.Name)
+				wi(int64(b2int(q.IsArray)))
+				wi(int64(q.Elem))
+				wi(int64(q.Reg))
+				wi(int64(q.Arr))
+			}
+		}
+		wp(p.Params)
+		wp(p.Results)
+		wi(int64(len(p.Instrs)))
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			wi(int64(in.Op))
+			wi(int64(in.K.Base))
+			wi(int64(in.K.Lanes))
+			wi(int64(in.OpBase))
+			wi(int64(in.BOp))
+			wi(int64(in.Dst))
+			wi(int64(in.A))
+			wi(int64(in.B))
+			wi(int64(len(in.Args)))
+			for _, a := range in.Args {
+				wi(int64(a))
+			}
+			wi(in.ImmI)
+			wi(int64(math.Float64bits(in.ImmF)))
+			wi(int64(math.Float64bits(real(in.ImmC))))
+			wi(int64(math.Float64bits(imag(in.ImmC))))
+			wi(int64(in.Arr))
+			wi(int64(in.Off))
+			ws(in.Intr)
+		}
+		if len(progHashes) >= progHashMemoCap {
+			progHashes = map[*Program]string{}
+		}
+		s := hex.EncodeToString(h.Sum(nil))
+		progHashes[p] = s
+		return s
+	}
+}
+
+func b2int(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // Validate checks structural well-formedness: register and array
 // operands in range and branch targets within the program. Lower always

@@ -18,7 +18,7 @@ import (
 
 // buildIR compiles MATLAB source through the full middle end for the
 // given processor (optionally with vectorization and isel).
-func buildIR(t *testing.T, src, proc string, optimize bool, params ...sema.Type) (*ir.Func, *pdesc.Processor) {
+func buildIR(t testing.TB, src, proc string, optimize bool, params ...sema.Type) (*ir.Func, *pdesc.Processor) {
 	t.Helper()
 	file, err := mlang.Parse(src)
 	if err != nil {
