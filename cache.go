@@ -2,6 +2,7 @@ package mat2c
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -117,6 +118,15 @@ func (c *Cache) put(key string, res *Result) {
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
 }
 
+// Put inserts a compiled result under its content address (as returned
+// by CacheKey), evicting the least recently used entry when the cache
+// is full. Callers that compile outside the cache — e.g. a server
+// honoring a cache-bypass request whose contract still stores the fresh
+// artifact — use it to keep the cache warm. If the key is already
+// present, the existing entry is kept (and promoted) so all callers
+// share one artifact.
+func (c *Cache) Put(key string, res *Result) { c.put(key, res) }
+
 // CacheKey returns the content address of a compilation: the SHA-256
 // hex digest over the source, entry name, parameter types, resolved
 // target description, and the option fields that affect output. Two
@@ -156,8 +166,16 @@ func CacheKey(source, entry string, params []Type, opts Options) (string, error)
 // compile redundantly, but all callers end up sharing the first cached
 // artifact.
 func CompileCached(c *Cache, source, entry string, params []Type, opts Options) (res *Result, hit bool, err error) {
+	return CompileCachedContext(context.Background(), c, source, entry, params, opts)
+}
+
+// CompileCachedContext is CompileCached under a cancellable context:
+// cache lookups are unaffected (hits return immediately), but a miss's
+// compilation observes ctx between pipeline stages and a cancelled
+// compile is not cached.
+func CompileCachedContext(ctx context.Context, c *Cache, source, entry string, params []Type, opts Options) (res *Result, hit bool, err error) {
 	if c == nil {
-		res, err = Compile(source, entry, params, opts)
+		res, err = CompileContext(ctx, source, entry, params, opts)
 		return res, false, err
 	}
 	key, err := CacheKey(source, entry, params, opts)
@@ -167,7 +185,7 @@ func CompileCached(c *Cache, source, entry string, params []Type, opts Options) 
 	if res, ok := c.get(key); ok {
 		return res, true, nil
 	}
-	res, err = Compile(source, entry, params, opts)
+	res, err = CompileContext(ctx, source, entry, params, opts)
 	if err != nil {
 		return nil, false, err
 	}

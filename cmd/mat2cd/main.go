@@ -15,8 +15,11 @@
 //	GET  /healthz   liveness probe
 //	GET  /metrics   JSON metrics (requests, cache, stage histograms)
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections and drains
-// in-flight requests before exiting (bounded by -draintimeout).
+// On SIGINT/SIGTERM the daemon stops accepting connections, cancels
+// background DSE sweeps, and drains in-flight requests; work still
+// running when -draintimeout expires is cancelled through its request
+// context (the pipeline observes the cancellation and aborts) before
+// the listener is closed.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,10 +57,15 @@ func main() {
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 	})
+	// baseCtx parents every request context; cancelling it is the hard
+	// stop that aborts in-flight pipeline work when the drain runs out.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -73,10 +82,17 @@ func main() {
 	}
 
 	log.Printf("mat2cd: signal received, draining (up to %s)", *drainTimeout)
+	// Cancel background work (async DSE sweeps) immediately: nobody is
+	// coming back for those reports.
+	svc.Shutdown()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("mat2cd: drain incomplete: %v", err)
+		// The grace period expired with requests still in flight: cancel
+		// their contexts so compile/simulate work aborts at its next
+		// cancellation check, then close the listener.
+		log.Printf("mat2cd: drain incomplete (%v), cancelling in-flight work", err)
+		baseCancel()
 		srv.Close()
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -128,8 +129,23 @@ type Result struct {
 // the function to compile (it must be defined in src) and params give
 // the entry parameter types.
 func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error) {
+	return CompileContext(context.Background(), src, entry, params, cfg)
+}
+
+// CompileContext is Compile under a cancellable context: the pipeline
+// checks ctx between stages and abandons the compilation (returning an
+// error that unwraps to ctx.Err()) once it fires. Individual stages are
+// short, so cancellation latency is bounded by the slowest single
+// stage.
+func CompileContext(ctx context.Context, src, entry string, params []sema.Type, cfg Config) (*Result, error) {
 	if cfg.Processor == nil {
 		return nil, fmt.Errorf("core: Config.Processor is required")
+	}
+	cancelled := func(after string) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("compile cancelled after %s: %w", after, err)
+		}
+		return nil
 	}
 	clock := newStageClock()
 	file, err := mlang.Parse(src)
@@ -137,6 +153,9 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 		return nil, fmt.Errorf("parse: %w", err)
 	}
 	clock.record("parse")
+	if err := cancelled("parse"); err != nil {
+		return nil, err
+	}
 	if entry == "" && len(file.Funcs) > 0 {
 		entry = file.Funcs[0].Name
 	}
@@ -145,6 +164,9 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 		return nil, fmt.Errorf("analyze: %w", err)
 	}
 	clock.record("sema")
+	if err := cancelled("sema"); err != nil {
+		return nil, err
+	}
 
 	var lopts []lower.Option
 	if !cfg.Fusion {
@@ -155,9 +177,15 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 		return nil, fmt.Errorf("lower: %w", err)
 	}
 	clock.record("lower")
+	if err := cancelled("lower"); err != nil {
+		return nil, err
+	}
 
 	opt.Optimize(f, cfg.OptLevel)
 	clock.record("opt")
+	if err := cancelled("opt"); err != nil {
+		return nil, err
+	}
 
 	res := &Result{Entry: entry, Info: info, Func: f, cfg: cfg,
 		Intrinsics: isel.Stats{Selected: map[string]int{}}}
@@ -169,6 +197,9 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 		res.Intrinsics = isel.Apply(f, cfg.Processor)
 	}
 	clock.record("isel")
+	if err := cancelled("isel"); err != nil {
+		return nil, err
+	}
 	// The vectorizer's forward substitution re-exposes foldable index
 	// arithmetic; clean it up so neither backend executes it.
 	if cfg.OptLevel > 0 && (cfg.Vectorize || cfg.Intrinsics) {
@@ -182,6 +213,9 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 	}
 	res.Program = prog
 	clock.record("vm-lower")
+	if err := cancelled("vm-lower"); err != nil {
+		return nil, err
+	}
 
 	if cfg.EmitC {
 		csrc, err := cgen.Function(f, cfg.Processor)
@@ -199,8 +233,14 @@ func Compile(src, entry string, params []sema.Type, cfg Config) (*Result, error)
 // Run executes the compiled program on a fresh cycle-model machine and
 // returns the results and the charged cycle count.
 func (r *Result) Run(args ...interface{}) ([]interface{}, int64, error) {
+	return r.RunContext(context.Background(), args...)
+}
+
+// RunContext executes like Run under a cancellable context (see
+// vm.Machine.RunContext for the cancellation contract).
+func (r *Result) RunContext(ctx context.Context, args ...interface{}) ([]interface{}, int64, error) {
 	m := vm.NewMachine(r.cfg.Processor)
-	out, err := m.Run(r.Program, args...)
+	out, err := m.RunContext(ctx, r.Program, args...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -211,6 +251,12 @@ func (r *Result) Run(args ...interface{}) ([]interface{}, int64, error) {
 // callers that want ClassCounts or custom cycle limits).
 func (r *Result) RunOn(m *vm.Machine, args ...interface{}) ([]interface{}, error) {
 	return m.Run(r.Program, args...)
+}
+
+// RunOnContext executes the compiled program on the supplied machine
+// under a cancellable context.
+func (r *Result) RunOnContext(ctx context.Context, m *vm.Machine, args ...interface{}) ([]interface{}, error) {
+	return m.RunContext(ctx, r.Program, args...)
 }
 
 // CodeSize returns the static VM instruction count.

@@ -1,11 +1,13 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	mat2c "mat2c"
@@ -116,8 +118,10 @@ func ValidateKernels(names []string) error {
 }
 
 // evalVariant compiles and simulates every kernel against one variant,
-// verifying each run against the kernel's Go reference.
-func evalVariant(v *Variant, kernels []*bench.Kernel, opts Options, cache *mat2c.Cache) VariantResult {
+// verifying each run against the kernel's Go reference. It observes ctx
+// between kernels and inside compile/simulate, so a cancelled sweep
+// abandons the variant quickly.
+func evalVariant(ctx context.Context, v *Variant, kernels []*bench.Kernel, opts Options, cache *mat2c.Cache) VariantResult {
 	vr := VariantResult{
 		Name:         v.Proc.Name,
 		SIMDWidth:    v.Proc.SIMDWidth,
@@ -131,9 +135,13 @@ func evalVariant(v *Variant, kernels []*bench.Kernel, opts Options, cache *mat2c
 		vr.ISACost += 1 + in.Cycles
 	}
 	for _, k := range kernels {
+		if err := ctx.Err(); err != nil {
+			vr.Error = fmt.Sprintf("%s: cancelled: %v", k.Name, err)
+			return vr
+		}
 		n := bench.SizeFor(k, opts.Scale)
 		vr.CacheLookups++
-		res, hit, err := mat2c.CompileCached(cache, k.Source, k.Entry, k.Params,
+		res, hit, err := mat2c.CompileCachedContext(ctx, cache, k.Source, k.Entry, k.Params,
 			mat2c.Options{Processor: v.Proc, SkipC: !opts.EmitC})
 		if err != nil {
 			vr.Error = fmt.Sprintf("%s: compile: %v", k.Name, err)
@@ -144,7 +152,7 @@ func evalVariant(v *Variant, kernels []*bench.Kernel, opts Options, cache *mat2c
 		}
 		args := k.Inputs(n)
 		want := k.Reference(bench.CloneArgs(args))
-		out, stats, err := res.RunWithStats(bench.CloneArgs(args)...)
+		out, stats, err := res.RunWithStatsContext(ctx, bench.CloneArgs(args)...)
 		if err != nil {
 			vr.Error = fmt.Sprintf("%s: run: %v", k.Name, err)
 			return vr
@@ -165,6 +173,14 @@ func evalVariant(v *Variant, kernels []*bench.Kernel, opts Options, cache *mat2c
 // merge into one variant list (and one frontier); duplicate machines
 // across sweeps are pruned.
 func Explore(sweeps []*Sweep, opts Options) (*Report, error) {
+	return ExploreContext(context.Background(), sweeps, opts)
+}
+
+// ExploreContext is Explore under a cancellable context. Workers
+// observe ctx between variants (and between kernels within a variant),
+// so a cancelled sweep stops evaluating promptly; the partial work is
+// discarded and the returned error unwraps to ctx.Err().
+func ExploreContext(ctx context.Context, sweeps []*Sweep, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	begin := time.Now()
 
@@ -206,6 +222,7 @@ func Explore(sweeps []*Sweep, opts Options) (*Report, error) {
 	}
 
 	results := make([]VariantResult, len(variants))
+	var evaluated atomic.Int64
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	workers := opts.Jobs
@@ -217,18 +234,33 @@ func Explore(sweeps []*Sweep, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = evalVariant(variants[i], kernels, opts, cache)
+				// Drain without evaluating once the sweep is cancelled so
+				// every queued variant is skipped, not just unqueued ones.
+				if ctx.Err() != nil {
+					continue
+				}
+				results[i] = evalVariant(ctx, variants[i], kernels, opts, cache)
+				evaluated.Add(1)
 				if opts.OnVariant != nil {
 					opts.OnVariant(results[i])
 				}
 			}
 		}()
 	}
+feed:
 	for i := range variants {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dse: exploration cancelled after %d of %d variants: %w",
+			evaluated.Load(), len(variants), err)
+	}
 
 	rep := &Report{
 		Base:     strings.Join(bases, ","),
@@ -251,6 +283,12 @@ func Explore(sweeps []*Sweep, opts Options) (*Report, error) {
 // ExploreSweep explores a single sweep.
 func ExploreSweep(sw *Sweep, opts Options) (*Report, error) {
 	return Explore([]*Sweep{sw}, opts)
+}
+
+// ExploreSweepContext explores a single sweep under a cancellable
+// context.
+func ExploreSweepContext(ctx context.Context, sw *Sweep, opts Options) (*Report, error) {
+	return ExploreContext(ctx, []*Sweep{sw}, opts)
 }
 
 // dominates reports whether a is at least as good as b on both

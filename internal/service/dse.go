@@ -4,10 +4,14 @@
 // serving-layer shape of the compiler↔architecture loop, where one
 // warm cache amortizes compilation across sweeps and across clients.
 // GET /dse/{id} reports progress and, once done, the full report.
+// DELETE /dse/{id} cancels a running sweep: workers observe the
+// cancellation between variants and stop evaluating.
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -41,10 +45,10 @@ type DSEAccepted struct {
 	Variants int    `json:"variants"`
 }
 
-// DSEStatus is the GET /dse/{id} reply.
+// DSEStatus is the GET /dse/{id} (and DELETE /dse/{id}) reply.
 type DSEStatus struct {
 	ID        string      `json:"id"`
-	State     string      `json:"state"` // "running", "done", "failed"
+	State     string      `json:"state"` // "running", "cancelling", "done", "failed", "cancelled"
 	Evaluated int         `json:"evaluated"`
 	Total     int         `json:"total"`
 	Error     string      `json:"error,omitempty"`
@@ -55,10 +59,14 @@ type DSEStatus struct {
 type dseJob struct {
 	id    string
 	total int
+	// cancel aborts the job's context; safe to call any number of times
+	// from any goroutine.
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	evaluated int
 	done      bool
+	cancelled bool // a DELETE (or server shutdown) requested cancellation
 	err       error
 	report    *dse.Report
 }
@@ -68,8 +76,15 @@ func (j *dseJob) status() DSEStatus {
 	defer j.mu.Unlock()
 	st := DSEStatus{ID: j.id, Evaluated: j.evaluated, Total: j.total}
 	switch {
+	case !j.done && j.cancelled:
+		st.State = "cancelling"
 	case !j.done:
 		st.State = "running"
+	case j.cancelled:
+		st.State = "cancelled"
+		if j.err != nil {
+			st.Error = j.err.Error()
+		}
 	case j.err != nil:
 		st.State = "failed"
 		st.Error = j.err.Error()
@@ -108,13 +123,19 @@ func (req *DSERequest) sweeps() []*dse.Sweep {
 func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	finish := s.metrics.RequestStarted("dse")
 	status := http.StatusAccepted
-	defer func() { finish(status, false, false) }()
+	defer func() { finish(status, false, false, false) }()
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req DSERequest
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+			httpError(w, status, "request body exceeds the %d-byte limit", mbe.Limit)
+			return
+		}
 		status = http.StatusBadRequest
 		httpError(w, status, "bad request body: %v", err)
 		return
@@ -151,7 +172,10 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		EmitC:   req.EmitC,
 	}
 
-	job := s.registerDSEJob(total)
+	// The job's context descends from the server's jobsCtx so Shutdown
+	// cancels every running sweep; DELETE /dse/{id} cancels just this one.
+	jctx, jcancel := context.WithCancel(s.jobsCtx)
+	job := s.registerDSEJob(total, jcancel)
 	opts.OnVariant = func(vr dse.VariantResult) {
 		job.mu.Lock()
 		job.evaluated++
@@ -160,14 +184,19 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.DSESweepStarted()
 	go func() {
-		rep, err := dse.Explore(sweeps, opts)
+		defer jcancel()
+		rep, err := dse.ExploreContext(jctx, sweeps, opts)
+		cancelled := err != nil && isCtxErr(err)
 		frontier := 0
 		if rep != nil {
 			frontier = len(rep.Frontier)
 		}
-		s.metrics.DSESweepFinished(frontier, err != nil)
+		s.metrics.DSESweepFinished(frontier, err != nil && !cancelled, cancelled)
 		job.mu.Lock()
 		job.done, job.err, job.report = true, err, rep
+		if cancelled {
+			job.cancelled = true
+		}
 		job.mu.Unlock()
 		s.retireDSEJobs()
 	}()
@@ -182,7 +211,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDSEStatus(w http.ResponseWriter, r *http.Request) {
 	finish := s.metrics.RequestStarted("dse_status")
 	status := http.StatusOK
-	defer func() { finish(status, false, false) }()
+	defer func() { finish(status, false, false, false) }()
 
 	id := r.PathValue("id")
 	s.dseMu.Lock()
@@ -196,12 +225,40 @@ func (s *Server) handleDSEStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, job.status())
 }
 
+// handleDSECancel (DELETE /dse/{id}) cancels a running sweep. The
+// workers observe the cancellation between variants, so the job moves
+// through "cancelling" to "cancelled" once in-flight variants wind
+// down. Cancelling a finished job is a no-op; the reply is always the
+// job's current status.
+func (s *Server) handleDSECancel(w http.ResponseWriter, r *http.Request) {
+	finish := s.metrics.RequestStarted("dse_cancel")
+	status := http.StatusOK
+	defer func() { finish(status, false, false, false) }()
+
+	id := r.PathValue("id")
+	s.dseMu.Lock()
+	job := s.dseJobs[id]
+	s.dseMu.Unlock()
+	if job == nil {
+		status = http.StatusNotFound
+		httpError(w, status, "no such DSE job %q", id)
+		return
+	}
+	job.mu.Lock()
+	if !job.done {
+		job.cancelled = true
+	}
+	job.mu.Unlock()
+	job.cancel()
+	writeJSON(w, job.status())
+}
+
 // registerDSEJob allocates a job slot under a fresh sequential id.
-func (s *Server) registerDSEJob(total int) *dseJob {
+func (s *Server) registerDSEJob(total int, cancel context.CancelFunc) *dseJob {
 	s.dseMu.Lock()
 	defer s.dseMu.Unlock()
 	s.dseSeq++
-	job := &dseJob{id: fmt.Sprintf("dse-%d", s.dseSeq), total: total}
+	job := &dseJob{id: fmt.Sprintf("dse-%d", s.dseSeq), total: total, cancel: cancel}
 	if s.dseJobs == nil {
 		s.dseJobs = map[string]*dseJob{}
 	}

@@ -31,7 +31,7 @@ func waitDSE(t *testing.T, ts *httptest.Server, id string) DSEStatus {
 	for {
 		var st DSEStatus
 		getJSON(t, ts, "/dse/"+id, &st)
-		if st.State != "running" {
+		if st.State != "running" && st.State != "cancelling" {
 			return st
 		}
 		if time.Now().After(deadline) {

@@ -88,20 +88,22 @@ func (h *histogram) snapshot() HistogramSnapshot {
 
 // endpointStats counts requests for one endpoint.
 type endpointStats struct {
-	count    uint64
-	errors   uint64 // responses with status >= 400
-	timeouts uint64
-	panics   uint64
-	latency  *histogram
+	count     uint64
+	errors    uint64 // responses with status >= 400
+	timeouts  uint64
+	cancelled uint64 // client went away (or server shutdown) before completion
+	panics    uint64
+	latency   *histogram
 }
 
 // EndpointSnapshot is the JSON form of one endpoint's counters.
 type EndpointSnapshot struct {
-	Count    uint64            `json:"count"`
-	Errors   uint64            `json:"errors"`
-	Timeouts uint64            `json:"timeouts"`
-	Panics   uint64            `json:"panics"`
-	Latency  HistogramSnapshot `json:"latency"`
+	Count     uint64            `json:"count"`
+	Errors    uint64            `json:"errors"`
+	Timeouts  uint64            `json:"timeouts"`
+	Cancelled uint64            `json:"cancelled"`
+	Panics    uint64            `json:"panics"`
+	Latency   HistogramSnapshot `json:"latency"`
 }
 
 // Metrics aggregates service observability state. All methods are safe
@@ -115,10 +117,18 @@ type Metrics struct {
 	compiles  uint64
 	cacheHits uint64
 
+	// vmFaults counts simulator faults not attributable to the request
+	// (cycle-budget exhaustion, runtime faults); they map to 500.
+	vmFaults uint64
+	// targetLoadErrors counts processor descriptions the /targets
+	// catalog failed to load (catalog corruption, never silent).
+	targetLoadErrors uint64
+
 	// Design-space exploration counters.
 	dseSweeps       uint64
 	dseRunning      int64
 	dseFailures     uint64
+	dseCancelled    uint64
 	dseVariants     uint64
 	dseCacheLookups uint64
 	dseCacheHits    uint64
@@ -151,14 +161,15 @@ func (m *Metrics) endpoint(name string) *endpointStats {
 
 // RequestStarted bumps the in-flight gauge for one endpoint request;
 // call the returned function exactly once when the request finishes,
-// with the response status and whether the request timed out or
-// recovered from a handler panic.
-func (m *Metrics) RequestStarted(name string) func(status int, timedOut, panicked bool) {
+// with the response status and whether the request timed out, was
+// cancelled (client disconnect / server shutdown), or recovered from a
+// handler panic.
+func (m *Metrics) RequestStarted(name string) func(status int, timedOut, cancelled, panicked bool) {
 	m.mu.Lock()
 	m.inflight++
 	m.mu.Unlock()
 	begin := time.Now()
-	return func(status int, timedOut, panicked bool) {
+	return func(status int, timedOut, cancelled, panicked bool) {
 		d := time.Since(begin)
 		m.mu.Lock()
 		defer m.mu.Unlock()
@@ -172,10 +183,29 @@ func (m *Metrics) RequestStarted(name string) func(status int, timedOut, panicke
 		if timedOut {
 			e.timeouts++
 		}
+		if cancelled {
+			e.cancelled++
+		}
 		if panicked {
 			e.panics++
 		}
 	}
+}
+
+// VMFault counts one simulator fault classified as a server-side error
+// (not caused by the request arguments).
+func (m *Metrics) VMFault() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vmFaults++
+}
+
+// TargetLoadError counts one processor description that failed to load
+// while building the /targets catalog.
+func (m *Metrics) TargetLoadError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.targetLoadErrors++
 }
 
 // ObserveCompile records one compilation's outcome: the per-stage
@@ -217,16 +247,19 @@ func (m *Metrics) ObserveDSEVariant(lookups, hits int) {
 }
 
 // DSESweepFinished records one exploration completing with the given
-// frontier size (zero when it failed).
-func (m *Metrics) DSESweepFinished(frontierSize int, failed bool) {
+// frontier size (zero when it failed or was cancelled).
+func (m *Metrics) DSESweepFinished(frontierSize int, failed, cancelled bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.dseRunning--
-	if failed {
+	switch {
+	case cancelled:
+		m.dseCancelled++
+	case failed:
 		m.dseFailures++
-		return
+	default:
+		m.dseLastFrontier = frontierSize
 	}
-	m.dseLastFrontier = frontierSize
 }
 
 // InFlight returns the current in-flight request count.
@@ -238,15 +271,17 @@ func (m *Metrics) InFlight() int64 {
 
 // Snapshot is the /metrics JSON document.
 type Snapshot struct {
-	UptimeSeconds float64                      `json:"uptime_seconds"`
-	InFlight      int64                        `json:"inflight"`
-	Compiles      uint64                       `json:"compiles"`
-	CompileHits   uint64                       `json:"compile_cache_hits"`
-	Requests      map[string]EndpointSnapshot  `json:"requests"`
-	Stages        map[string]HistogramSnapshot `json:"stages_us"`
-	Cache         mat2c.CacheStats             `json:"cache"`
-	DSE           DSESnapshot                  `json:"dse"`
-	VM            VMSnapshot                   `json:"vm"`
+	UptimeSeconds    float64                      `json:"uptime_seconds"`
+	InFlight         int64                        `json:"inflight"`
+	Compiles         uint64                       `json:"compiles"`
+	CompileHits      uint64                       `json:"compile_cache_hits"`
+	VMFaults         uint64                       `json:"vm_faults"`
+	TargetLoadErrors uint64                       `json:"target_load_errors"`
+	Requests         map[string]EndpointSnapshot  `json:"requests"`
+	Stages           map[string]HistogramSnapshot `json:"stages_us"`
+	Cache            mat2c.CacheStats             `json:"cache"`
+	DSE              DSESnapshot                  `json:"dse"`
+	VM               VMSnapshot                   `json:"vm"`
 }
 
 // VMSnapshot is the /metrics simulator section: the default execution
@@ -261,6 +296,7 @@ type DSESnapshot struct {
 	Sweeps            uint64  `json:"sweeps"`
 	Running           int64   `json:"running"`
 	Failures          uint64  `json:"failures"`
+	Cancelled         uint64  `json:"cancelled"`
 	VariantsEvaluated uint64  `json:"variants_evaluated"`
 	CacheLookups      uint64  `json:"cache_lookups"`
 	CacheHits         uint64  `json:"cache_hits"`
@@ -273,17 +309,20 @@ func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		InFlight:      m.inflight,
-		Compiles:      m.compiles,
-		CompileHits:   m.cacheHits,
-		Requests:      map[string]EndpointSnapshot{},
-		Stages:        map[string]HistogramSnapshot{},
-		Cache:         cache,
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		InFlight:         m.inflight,
+		Compiles:         m.compiles,
+		CompileHits:      m.cacheHits,
+		VMFaults:         m.vmFaults,
+		TargetLoadErrors: m.targetLoadErrors,
+		Requests:         map[string]EndpointSnapshot{},
+		Stages:           map[string]HistogramSnapshot{},
+		Cache:            cache,
 		DSE: DSESnapshot{
 			Sweeps:            m.dseSweeps,
 			Running:           m.dseRunning,
 			Failures:          m.dseFailures,
+			Cancelled:         m.dseCancelled,
 			VariantsEvaluated: m.dseVariants,
 			CacheLookups:      m.dseCacheLookups,
 			CacheHits:         m.dseCacheHits,
@@ -296,11 +335,12 @@ func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
 	s.VM = VMSnapshot{Engine: vm.DefaultEngine(), PreparedCache: vm.PreparedCacheStats()}
 	for name, e := range m.requests {
 		s.Requests[name] = EndpointSnapshot{
-			Count:    e.count,
-			Errors:   e.errors,
-			Timeouts: e.timeouts,
-			Panics:   e.panics,
-			Latency:  e.latency.snapshot(),
+			Count:     e.count,
+			Errors:    e.errors,
+			Timeouts:  e.timeouts,
+			Cancelled: e.cancelled,
+			Panics:    e.panics,
+			Latency:   e.latency.snapshot(),
 		}
 	}
 	for name, h := range m.stages {

@@ -20,6 +20,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	mat2c "mat2c"
+	"mat2c/internal/vm"
 )
 
 // Config tunes the server. Zero values select sensible defaults.
@@ -69,6 +71,11 @@ type Server struct {
 	metrics *Metrics
 	slots   chan struct{}
 
+	// jobsCtx parents every background job (async DSE sweeps); Shutdown
+	// cancels it so a stopping server reclaims its workers.
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+
 	// Design-space exploration job registry (see dse.go).
 	dseMu    sync.Mutex
 	dseSeq   int
@@ -79,13 +86,23 @@ type Server struct {
 // New builds a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	jobsCtx, jobsCancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:     cfg,
-		cache:   mat2c.NewCache(cfg.CacheSize),
-		metrics: NewMetrics(),
-		slots:   make(chan struct{}, cfg.Workers),
+		cfg:        cfg,
+		cache:      mat2c.NewCache(cfg.CacheSize),
+		metrics:    NewMetrics(),
+		slots:      make(chan struct{}, cfg.Workers),
+		jobsCtx:    jobsCtx,
+		jobsCancel: jobsCancel,
 	}
 }
+
+// Shutdown cancels the server's background work (running DSE sweeps
+// observe the cancellation between variants and stop). In-flight HTTP
+// requests are governed by their own request contexts — cancelling the
+// http.Server's BaseContext propagates into their workers the same way.
+// Shutdown is idempotent.
+func (s *Server) Shutdown() { s.jobsCancel() }
 
 // Metrics exposes the registry (for tests and embedding servers).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -100,6 +117,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /dse", s.handleDSE)
 	mux.HandleFunc("GET /dse/{id}", s.handleDSEStatus)
+	mux.HandleFunc("DELETE /dse/{id}", s.handleDSECancel)
 	mux.HandleFunc("GET /targets", s.handleTargets)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -191,6 +209,23 @@ type TargetInfo struct {
 type compileError struct{ err error }
 
 func (e compileError) Error() string { return e.err.Error() }
+func (e compileError) Unwrap() error { return e.err }
+
+// vmFaultError marks simulator failures that are not attributable to
+// the request arguments (cycle-budget exhaustion, runtime faults,
+// engine bugs); they map to 500 and the vm_faults counter, so internal
+// faults never masquerade as client errors.
+type vmFaultError struct{ err error }
+
+func (e vmFaultError) Error() string { return e.err.Error() }
+func (e vmFaultError) Unwrap() error { return e.err }
+
+// isCtxErr reports whether err stems from a cancelled or expired
+// context (request deadline, client disconnect, server shutdown) —
+// including a vm.CancelledError, which unwraps to the context error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -206,8 +241,9 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 }
 
 // compile resolves one CompileRequest through the cache and shapes the
-// response. It runs on a worker slot.
-func (s *Server) compile(req *CompileRequest) (*mat2c.Result, *CompileResponse, error) {
+// response. It runs on a worker slot and observes ctx between pipeline
+// stages.
+func (s *Server) compile(ctx context.Context, req *CompileRequest) (*mat2c.Result, *CompileResponse, error) {
 	params, err := mat2c.ParseTypes(req.Params)
 	if err != nil {
 		return nil, nil, compileError{err}
@@ -222,11 +258,19 @@ func (s *Server) compile(req *CompileRequest) (*mat2c.Result, *CompileResponse, 
 	var res *mat2c.Result
 	var hit bool
 	if req.NoCache {
-		res, err = mat2c.Compile(req.Source, req.Entry, params, opts)
+		// Bypass the lookup but keep the documented contract: the fresh
+		// result is still stored for future hits.
+		res, err = mat2c.CompileContext(ctx, req.Source, req.Entry, params, opts)
+		if err == nil {
+			s.cache.Put(key, res)
+		}
 	} else {
-		res, hit, err = mat2c.CompileCached(s.cache, req.Source, req.Entry, params, opts)
+		res, hit, err = mat2c.CompileCachedContext(ctx, s.cache, req.Source, req.Entry, params, opts)
 	}
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, nil, err // cancellation, not a client error
+		}
 		return nil, nil, compileError{err}
 	}
 	elapsed := time.Since(begin)
@@ -258,15 +302,15 @@ func (s *Server) compile(req *CompileRequest) (*mat2c.Result, *CompileResponse, 
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	s.serveCompute(w, r, "compile", func(req *RunRequest) (interface{}, error) {
-		_, resp, err := s.compile(&req.CompileRequest)
+	s.serveCompute(w, r, "compile", func(ctx context.Context, req *RunRequest) (interface{}, error) {
+		_, resp, err := s.compile(ctx, &req.CompileRequest)
 		return resp, err
 	})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.serveCompute(w, r, "run", func(req *RunRequest) (interface{}, error) {
-		res, cresp, err := s.compile(&req.CompileRequest)
+	s.serveCompute(w, r, "run", func(ctx context.Context, req *RunRequest) (interface{}, error) {
+		res, cresp, err := s.compile(ctx, &req.CompileRequest)
 		if err != nil {
 			return nil, err
 		}
@@ -282,9 +326,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, compileError{err}
 		}
-		out, stats, err := res.RunWithStats(args...)
+		out, stats, err := res.RunWithStatsContext(ctx, args...)
 		if err != nil {
-			return nil, compileError{fmt.Errorf("run: %w", err)}
+			// Classify simulator failures: cancellations propagate as-is
+			// (the caller maps them to the timeout/disconnect path);
+			// runtime faults (*vm.FaultError: cycle-budget exhaustion,
+			// out-of-bounds reached at run time, engine faults) are
+			// server-side 500s; everything else — argument marshalling
+			// against the declared parameters — is the client's 422.
+			var fe *vm.FaultError
+			switch {
+			case isCtxErr(err):
+				return nil, err
+			case errors.As(err, &fe):
+				return nil, vmFaultError{fmt.Errorf("run: %w", err)}
+			default:
+				return nil, compileError{fmt.Errorf("run: %w", err)}
+			}
 		}
 		resp := &RunResponse{
 			CompileResponse: *cresp,
@@ -301,16 +359,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveCompute is the shared compile/run request path: body decode,
-// worker-slot acquisition, per-request timeout, panic-to-500, and
-// request metrics.
-func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, name string, fn func(*RunRequest) (interface{}, error)) {
+// worker-slot acquisition, per-request deadline and cancellation
+// propagation, panic-to-500, and request metrics. The worker receives a
+// context derived from the request (bounded by Config.RequestTimeout);
+// when the deadline fires or the client disconnects, the pipeline
+// observes the cancellation (between compile stages, and within a
+// bounded number of simulated instructions in the VM) and the worker
+// slot is reclaimed promptly instead of burning until natural
+// completion.
+func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, name string, fn func(context.Context, *RunRequest) (interface{}, error)) {
 	finish := s.metrics.RequestStarted(name)
-	status, timedOut, panicked := http.StatusOK, false, false
-	defer func() { finish(status, timedOut, panicked) }()
+	status, timedOut, cancelled, panicked := http.StatusOK, false, false, false
+	defer func() { finish(status, timedOut, cancelled, panicked) }()
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+			httpError(w, status, "request body exceeds the %d-byte limit", mbe.Limit)
+			return
+		}
 		status = http.StatusBadRequest
 		httpError(w, status, "bad request body: %v", err)
 		return
@@ -321,22 +391,29 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, name strin
 		return
 	}
 
-	ctx := r.Context()
-	deadline := time.NewTimer(s.cfg.RequestTimeout)
-	defer deadline.Stop()
+	// The work context carries both cancellation sources: the
+	// per-request deadline and the client's own context (disconnect, or
+	// server shutdown via the http.Server's BaseContext).
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// clientGone distinguishes a deadline expiry (504/503, counted as a
+	// timeout) from a client disconnect (counted as cancelled).
+	clientGone := func() bool { return r.Context().Err() != nil }
 
 	// Acquire a worker slot; waiting counts against the request
 	// timeout so a saturated pool sheds load instead of queueing
 	// unboundedly.
 	select {
 	case s.slots <- struct{}{}:
-	case <-deadline.C:
-		status, timedOut = http.StatusServiceUnavailable, true
-		httpError(w, status, "server busy: no worker within %s", s.cfg.RequestTimeout)
-		return
 	case <-ctx.Done():
-		status = http.StatusServiceUnavailable
-		httpError(w, status, "client went away")
+		if clientGone() {
+			status, cancelled = http.StatusServiceUnavailable, true
+			httpError(w, status, "client went away")
+		} else {
+			status, timedOut = http.StatusServiceUnavailable, true
+			httpError(w, status, "server busy: no worker within %s", s.cfg.RequestTimeout)
+		}
 		return
 	}
 
@@ -353,7 +430,7 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, name strin
 				done <- outcome{err: fmt.Errorf("internal error: %v", p), panicked: true}
 			}
 		}()
-		v, err := fn(&req)
+		v, err := fn(ctx, &req)
 		done <- outcome{v: v, err: err}
 	}()
 
@@ -363,32 +440,59 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, name strin
 		case o.panicked:
 			status, panicked = http.StatusInternalServerError, true
 			httpError(w, status, "%v", o.err)
+		case o.err != nil && isCtxErr(o.err):
+			// The worker observed our cancellation before this select
+			// did; report it the same way as the ctx.Done branch below.
+			if clientGone() {
+				status, cancelled = http.StatusServiceUnavailable, true
+				httpError(w, status, "client went away")
+			} else {
+				status, timedOut = http.StatusGatewayTimeout, true
+				httpError(w, status, "request exceeded %s (work cancelled)", s.cfg.RequestTimeout)
+			}
 		case o.err != nil:
 			var ce compileError
-			if errors.As(o.err, &ce) {
+			var vf vmFaultError
+			switch {
+			case errors.As(o.err, &vf):
+				status = http.StatusInternalServerError
+				s.metrics.VMFault()
+			case errors.As(o.err, &ce):
 				status = http.StatusUnprocessableEntity
-			} else {
+			default:
 				status = http.StatusInternalServerError
 			}
 			httpError(w, status, "%v", o.err)
 		default:
 			writeJSON(w, o.v)
 		}
-	case <-deadline.C:
-		// The worker keeps its slot until the pipeline finishes; the
-		// client just stops waiting.
-		status, timedOut = http.StatusGatewayTimeout, true
-		httpError(w, status, "request exceeded %s", s.cfg.RequestTimeout)
+	case <-ctx.Done():
+		// The context's cancellation has already propagated into the
+		// worker: the pipeline aborts at its next check and frees the
+		// slot — the client stops waiting AND the work stops burning.
+		if clientGone() {
+			status, cancelled = http.StatusServiceUnavailable, true
+			httpError(w, status, "client went away")
+		} else {
+			status, timedOut = http.StatusGatewayTimeout, true
+			httpError(w, status, "request exceeded %s (work cancelled)", s.cfg.RequestTimeout)
+		}
 	}
 }
 
 func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	finish := s.metrics.RequestStarted("targets")
-	defer func() { finish(http.StatusOK, false, false) }()
+	defer func() { finish(http.StatusOK, false, false, false) }()
 	var infos []TargetInfo
+	var loadErrors []string
 	for _, name := range mat2c.Targets() {
 		p, err := mat2c.LoadProcessor(name)
 		if err != nil {
+			// A built-in that fails to load is catalog corruption; surface
+			// it to the client and the warning counter instead of silently
+			// shrinking the catalog.
+			loadErrors = append(loadErrors, fmt.Sprintf("%s: %v", name, err))
+			s.metrics.TargetLoadError()
 			continue
 		}
 		infos = append(infos, TargetInfo{
@@ -399,7 +503,11 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 			Instructions: len(p.Instructions),
 		})
 	}
-	writeJSON(w, map[string]interface{}{"targets": infos})
+	resp := map[string]interface{}{"targets": infos}
+	if len(loadErrors) > 0 {
+		resp["load_errors"] = loadErrors
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

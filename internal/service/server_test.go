@@ -296,7 +296,7 @@ func TestPanicRecovery(t *testing.T) {
 	// A compute route whose work function always panics, sharing the
 	// real worker/timeout/recovery path.
 	mux.HandleFunc("POST /boom", func(w http.ResponseWriter, r *http.Request) {
-		s.serveCompute(w, r, "boom", func(*RunRequest) (interface{}, error) {
+		s.serveCompute(w, r, "boom", func(context.Context, *RunRequest) (interface{}, error) {
 			panic("kaboom")
 		})
 	})
@@ -411,7 +411,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
 	mux.HandleFunc("POST /slow", func(w http.ResponseWriter, r *http.Request) {
-		s.serveCompute(w, r, "slow", func(*RunRequest) (interface{}, error) {
+		s.serveCompute(w, r, "slow", func(context.Context, *RunRequest) (interface{}, error) {
 			started <- struct{}{}
 			<-release
 			return map[string]string{"ok": "true"}, nil

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -17,6 +18,32 @@ type FaultError struct {
 }
 
 func (e *FaultError) Error() string { return fmt.Sprintf("vm fault at pc=%d: %s", e.PC, e.Msg) }
+
+// CancelCheckStride is the number of executed instructions between
+// context polls in both execution engines: a cancelled RunContext is
+// observed within at most this many simulated instructions. The poll
+// charges nothing, so cycle accounting is identical with and without a
+// cancellable context.
+const CancelCheckStride = 4096
+
+// CancelledError reports that a simulation stopped early because its
+// context was cancelled (deadline or explicit cancel). It unwraps to
+// the context's error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work. Machine counters
+// (Cycles, Executed, ClassCounts) hold the partial run's state.
+type CancelledError struct {
+	// Executed is the dynamic instruction count at the poll that
+	// observed the cancellation.
+	Executed int64
+	// Err is the context's error.
+	Err error
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("vm: run cancelled after %d instructions: %v", e.Executed, e.Err)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Err }
 
 // vmval is a register value. Scalar values are written through to all
 // three fields (with the same conversion conventions as the reference
@@ -151,6 +178,19 @@ func (m *Machine) engine() string {
 // complex128, or *ir.Array matching each parameter) and returns results
 // in declaration order. Cycles/Executed/ClassCounts are reset per run.
 func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error) {
+	return m.RunContext(context.Background(), prog, args...)
+}
+
+// RunContext executes like Run under a cancellable context: both
+// engines poll ctx every CancelCheckStride executed instructions and
+// return a *CancelledError once it fires, leaving the partial
+// Cycles/Executed/ClassCounts on the machine. The poll never charges
+// cycles, so a run that completes is accounted identically to Run. A
+// context that cannot be cancelled (Background, TODO) is never polled.
+func (m *Machine) RunContext(ctx context.Context, prog *Program, args ...interface{}) ([]interface{}, error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // no cancellation source: skip polling entirely
+	}
 	maxCycles := m.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
@@ -164,7 +204,7 @@ func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error)
 	}
 
 	if m.engine() == EnginePrepared && m.Trace == nil {
-		return PreparedFor(prog, m.Proc).run(m, maxCycles, args)
+		return PreparedFor(prog, m.Proc).run(m, ctx, maxCycles, args)
 	}
 
 	regs := make([]vmval, prog.NumRegs)
@@ -172,7 +212,7 @@ func (m *Machine) Run(prog *Program, args ...interface{}) ([]interface{}, error)
 	if err := bindArgs(prog, args, regs, arrays); err != nil {
 		return nil, err
 	}
-	if err := m.exec(prog, regs, arrays, maxCycles); err != nil {
+	if err := m.exec(ctx, prog, regs, arrays, maxCycles); err != nil {
 		return nil, err
 	}
 	return collectResults(prog, regs, arrays)
@@ -263,12 +303,21 @@ func collectResults(prog *Program, regs []vmval, arrays []*ir.Array) ([]interfac
 	return results, nil
 }
 
-func (m *Machine) exec(prog *Program, regs []vmval, arrays []*ir.Array, maxCycles int64) error {
+func (m *Machine) exec(ctx context.Context, prog *Program, regs []vmval, arrays []*ir.Array, maxCycles int64) error {
 	pc := 0
 	fault := func(format string, a ...interface{}) error {
 		return &FaultError{PC: pc, Msg: fmt.Sprintf(format, a...)}
 	}
+	pollIn := int64(CancelCheckStride)
 	for pc < len(prog.Instrs) {
+		if ctx != nil {
+			if pollIn--; pollIn <= 0 {
+				pollIn = CancelCheckStride
+				if err := ctx.Err(); err != nil {
+					return &CancelledError{Executed: m.Executed, Err: err}
+				}
+			}
+		}
 		if m.Cycles > maxCycles {
 			return fault("cycle limit exceeded (%d)", maxCycles)
 		}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -492,13 +493,13 @@ func (pp *PreparedProgram) putScratch(s *scratch) {
 // Cycles/Executed/ClassCounts have already been reset; they are updated
 // here even when execution faults, matching the reference engine's
 // partial state on error.
-func (pp *PreparedProgram) run(m *Machine, maxCycles int64, args []interface{}) ([]interface{}, error) {
+func (pp *PreparedProgram) run(m *Machine, ctx context.Context, maxCycles int64, args []interface{}) ([]interface{}, error) {
 	s := pp.getScratch()
 	defer pp.putScratch(s)
 	if err := bindArgs(pp.prog, args, s.regs, s.arrays); err != nil {
 		return nil, err
 	}
-	err := pp.exec(m, s, maxCycles)
+	err := pp.exec(m, ctx, s, maxCycles)
 	for id, t := range s.touched {
 		if t {
 			m.ClassCounts[pp.table.Name(id)] += s.counts[id]
@@ -514,7 +515,7 @@ func (pp *PreparedProgram) run(m *Machine, maxCycles int64, args []interface{}) 
 // fault-for-fault identical to Machine.exec; the per-opcode charge
 // placement (before or after validity checks) mirrors the reference
 // engine exactly.
-func (pp *PreparedProgram) exec(m *Machine, s *scratch, maxCycles int64) error {
+func (pp *PreparedProgram) exec(m *Machine, ctx context.Context, s *scratch, maxCycles int64) error {
 	var cycles, executed int64
 	defer func() {
 		m.Cycles = cycles
@@ -532,7 +533,16 @@ func (pp *PreparedProgram) exec(m *Machine, s *scratch, maxCycles int64) error {
 		return &FaultError{PC: pc, Msg: fmt.Sprintf(format, a...)}
 	}
 
+	pollIn := int64(CancelCheckStride)
 	for pc < len(code) {
+		if ctx != nil {
+			if pollIn--; pollIn <= 0 {
+				pollIn = CancelCheckStride
+				if err := ctx.Err(); err != nil {
+					return &CancelledError{Executed: executed, Err: err}
+				}
+			}
+		}
 		if cycles > maxCycles {
 			return fault("cycle limit exceeded (%d)", maxCycles)
 		}

@@ -33,6 +33,7 @@
 package mat2c
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -222,11 +223,18 @@ type Result struct {
 // compile (empty selects the first function in the file); params declare
 // its parameter types.
 func Compile(source, entry string, params []Type, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), source, entry, params, opts)
+}
+
+// CompileContext is Compile under a cancellable context: the pipeline
+// checks ctx between compilation stages and abandons the work (with an
+// error that unwraps to ctx.Err()) once it fires.
+func CompileContext(ctx context.Context, source, entry string, params []Type, opts Options) (*Result, error) {
 	cfg, err := opts.config()
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Compile(source, entry, params, cfg)
+	res, err := core.CompileContext(ctx, source, entry, params, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -342,6 +350,15 @@ func (r *Result) Run(args ...interface{}) ([]interface{}, int64, error) {
 	return r.res.Run(args...)
 }
 
+// RunContext executes like Run under a cancellable context: the
+// simulator polls ctx every vm.CancelCheckStride executed instructions
+// and stops with an error unwrapping to ctx.Err() once it fires.
+// Cancellation polling never charges cycles, so a run that completes is
+// accounted identically to Run.
+func (r *Result) RunContext(ctx context.Context, args ...interface{}) ([]interface{}, int64, error) {
+	return r.res.RunContext(ctx, args...)
+}
+
 // Stats describes one simulator run in detail.
 type Stats struct {
 	// Cycles is the charged cycle count.
@@ -356,8 +373,14 @@ type Stats struct {
 // RunWithStats executes like Run but also returns per-class execution
 // counts.
 func (r *Result) RunWithStats(args ...interface{}) ([]interface{}, *Stats, error) {
+	return r.RunWithStatsContext(context.Background(), args...)
+}
+
+// RunWithStatsContext executes like RunWithStats under a cancellable
+// context (see RunContext for the cancellation contract).
+func (r *Result) RunWithStatsContext(ctx context.Context, args ...interface{}) ([]interface{}, *Stats, error) {
 	m := vm.NewMachine(r.proc)
-	out, err := r.res.RunOn(m, args...)
+	out, err := r.res.RunOnContext(ctx, m, args...)
 	if err != nil {
 		return nil, nil, err
 	}
