@@ -9,6 +9,7 @@
 //	asipdse -sweep sweep.json              load the axes from a JSON spec
 //	asipdse -kernels fir,cfir -scale 0.1   restrict the suite / shrink sizes
 //	asipdse -jobs 4 -json                  bound the pool, emit the JSON report
+//	asipdse -isx -isx-top 2                seed the sweep with mined extensions
 //	asipdse -cpuprofile dse.pprof          profile the exploration
 package main
 
@@ -35,6 +36,9 @@ func run() int {
 		kernels = flag.String("kernels", "", "comma-separated kernel subset (default: full suite)")
 		jsonOut = flag.Bool("json", false, "emit the machine-readable JSON report")
 		csvOut  = flag.Bool("csv", false, "emit one CSV row per variant")
+		isxSeed = flag.Bool("isx", false, "seed the sweep with mined instruction-set extensions (see isxmine)")
+		isxTop  = flag.Int("isx-top", 0, "how many mined candidates seed the sweep (default 3; implies -isx)")
+		isxMax  = flag.Int("isx-maxnodes", 0, "mined pattern size bound (default 4; implies -isx)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -53,6 +57,17 @@ func run() int {
 		base, err = dse.LoadSweep(*sweep)
 		if err != nil {
 			return fatal(err)
+		}
+	}
+	if *isxSeed || *isxTop > 0 || *isxMax > 0 {
+		if base.ISX == nil {
+			base.ISX = &dse.ISXSeed{}
+		}
+		if *isxTop > 0 {
+			base.ISX.Top = *isxTop
+		}
+		if *isxMax > 0 {
+			base.ISX.MaxNodes = *isxMax
 		}
 	}
 	var sweeps []*dse.Sweep

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func main() {
 		nointrin = flag.Bool("nointrin", false, "disable custom-instruction selection")
 		classes  = flag.Bool("classes", false, "print per-class execution counts")
 		trace    = flag.Bool("trace", false, "write an instruction trace to stderr (large!)")
+		timeout  = flag.Duration("timeout", 0, "bound compile+simulate wall time (e.g. 30s; 0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -55,7 +57,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := mat2c.Compile(string(src), *entry, types, mat2c.Options{
+	// One deadline covers compilation and simulation: the pipeline
+	// observes it between stages, the VM polls it while executing.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := mat2c.CompileContext(ctx, string(src), *entry, types, mat2c.Options{
 		Processor:    p,
 		Baseline:     *baseline,
 		NoVectorize:  *novec,
@@ -73,9 +83,9 @@ func main() {
 	var out []interface{}
 	var stats *mat2c.Stats
 	if *trace {
-		out, stats, err = res.RunTraced(os.Stderr, args...)
+		out, stats, err = res.RunTracedContext(ctx, os.Stderr, args...)
 	} else {
-		out, stats, err = res.RunWithStats(args...)
+		out, stats, err = res.RunWithStatsContext(ctx, args...)
 	}
 	if err != nil {
 		fatal(err)

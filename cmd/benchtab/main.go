@@ -10,7 +10,8 @@
 //
 // Use -scale to shrink/grow problem sizes (1.0 = paper scale) and -proc
 // to retarget Table I/II and Fig. 2. -jobs runs independent kernels on
-// a bounded worker pool (results stay in deterministic order). -engine
+// a bounded worker pool (results stay in deterministic order).
+// -timeout bounds the whole run with one wall-clock deadline. -engine
 // selects the VM execution engine (prepared or reference; both produce
 // identical cycle counts — see docs/PERF.md). -cpuprofile/-memprofile
 // write pprof profiles. Output is formatted text by default; -csv
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +51,7 @@ func run() int {
 		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
 		jsonOut = flag.Bool("json", false, "emit one JSON report for the requested tables")
 		jobs    = flag.Int("jobs", 1, "kernel-level worker pool size (1 = sequential)")
+		timeout = flag.Duration("timeout", 0, "bound total table-generation wall time (e.g. 5m; 0 = none)")
 		engine  = flag.String("engine", "", "VM engine: prepared or reference (default: prepared, or MAT2C_VM_ENGINE)")
 		vmbench = flag.String("vmbench", "", "measure simulator throughput and write the JSON report to this file (- for stdout)")
 		vmtime  = flag.Duration("vmtime", 250*time.Millisecond, "per-engine measurement window for -vmbench")
@@ -79,6 +82,13 @@ func run() int {
 	}
 	report := &bench.Report{Proc: p.Name, Scale: *scale}
 	opts := []bench.Opt{bench.WithJobs(*jobs)}
+	if *timeout > 0 {
+		// One deadline spans every requested table: compilation observes
+		// it between stages, the simulator polls it while executing.
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts = append(opts, bench.WithContext(ctx))
+	}
 
 	if *all || *t1 {
 		rows, err := bench.Table1(p, *scale, opts...)

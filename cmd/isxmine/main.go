@@ -1,0 +1,161 @@
+// Command isxmine discovers custom-instruction candidates from
+// execution profiles: it compiles the benchmark kernels for a base
+// target, profiles the VM to weight every dataflow subtree by how
+// often it actually executes, ranks recurring patterns by estimated
+// cycle savings per unit area, and verifies each winner by recompiling
+// and re-simulating on a derived processor that provides it.
+//
+//	isxmine                                  mine dspasip over the full suite
+//	isxmine -procs scalar -kernels fir,cfir  mine a scalar base on two kernels
+//	isxmine -maxnodes 3 -top 4               smaller patterns, fewer winners
+//	isxmine -json > isx.json                 machine-readable report
+//	isxmine -mincand 1 -tolerance 1.0        CI assertions (see below)
+//
+// With -mincand N the exit status is non-zero unless at least N
+// verified candidates were mined per base; with -tolerance T every
+// verified candidate's estimate/measured savings ratio must lie within
+// [1/(1+T), 1+T].
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mat2c/internal/isx"
+	"mat2c/internal/pdesc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		procs    = flag.String("procs", "dspasip", "comma-separated base targets to mine")
+		kernels  = flag.String("kernels", "", "comma-separated kernel subset (default: full suite)")
+		maxNodes = flag.Int("maxnodes", 4, "operation-node bound per mined pattern")
+		top      = flag.Int("top", 8, "candidates kept after ranking")
+		scale    = flag.Float64("scale", 0.25, "problem size multiplier for profiling")
+		noVerify = flag.Bool("noverify", false, "skip the recompile-and-measure verification")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable JSON report")
+		minCand  = flag.Int("mincand", 0, "fail unless at least this many verified candidates per base")
+		tol      = flag.Float64("tolerance", 0, "fail when a verified estimate/measured ratio leaves [1/(1+t), 1+t]")
+	)
+	flag.Parse()
+
+	opts := isx.Options{MaxNodes: *maxNodes, Top: *top, Scale: *scale, NoVerify: *noVerify}
+	for _, k := range strings.Split(*kernels, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			opts.Kernels = append(opts.Kernels, k)
+		}
+	}
+
+	var reports []*isx.Report
+	for _, spec := range strings.Split(*procs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		proc, err := pdesc.Resolve(spec)
+		if err != nil {
+			return fatal(err)
+		}
+		rep, err := isx.Mine(proc, opts)
+		if err != nil {
+			return fatal(fmt.Errorf("mine %s: %w", proc.Name, err))
+		}
+		reports = append(reports, rep)
+	}
+	if len(reports) == 0 {
+		return fatal(fmt.Errorf("no base targets"))
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		var err error
+		if len(reports) == 1 {
+			err = enc.Encode(reports[0])
+		} else {
+			err = enc.Encode(reports)
+		}
+		if err != nil {
+			return fatal(err)
+		}
+	} else {
+		for _, rep := range reports {
+			printReport(rep)
+		}
+	}
+
+	ok := true
+	for _, rep := range reports {
+		if err := assertReport(rep, *minCand, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "isxmine: %s: %v\n", rep.Processor, err)
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func printReport(rep *isx.Report) {
+	fmt.Printf("processor %s, kernels %s, patterns up to %d nodes: %d candidates\n",
+		rep.Processor, strings.Join(rep.Kernels, ","), rep.MaxNodes, len(rep.Candidates))
+	for _, c := range rep.Candidates {
+		vec := ""
+		if c.HasVector {
+			vec = fmt.Sprintf(" (+v%s @%d)", c.Name, c.VectorCycles)
+		}
+		fmt.Printf("  %-6s %-40s %d cycles%s  area %.0f  est %d  merit %.1f\n",
+			c.Name, c.Semantics, c.ScalarCycles, vec, c.Area, c.EstSavings, c.Merit)
+		for _, d := range c.Deltas {
+			if d.Err != "" {
+				fmt.Printf("         %-8s FAILED: %s\n", d.Kernel, d.Err)
+				continue
+			}
+			fmt.Printf("         %-8s n=%-5d %d -> %d cycles (%.2fx, %d sites), est %d vs measured %d\n",
+				d.Kernel, d.N, d.BaseCycles, d.NewCycles, d.Speedup, d.Selected, d.Estimated, d.Measured)
+		}
+	}
+}
+
+// assertReport enforces the CI gates: a minimum number of verified
+// candidates and an estimate-accuracy tolerance.
+func assertReport(rep *isx.Report, minCand int, tol float64) error {
+	verified := 0
+	for _, c := range rep.Candidates {
+		good := false
+		for _, d := range c.Deltas {
+			if d.Err != "" || d.Selected == 0 || d.Measured <= 0 {
+				continue
+			}
+			good = true
+			if tol > 0 {
+				ratio := float64(d.Estimated) / float64(d.Measured)
+				lo, hi := 1/(1+tol), 1+tol
+				if ratio < lo || ratio > hi {
+					return fmt.Errorf("%s on %s: estimate %d vs measured %d (ratio %.2f outside [%.2f, %.2f])",
+						c.Name, d.Kernel, d.Estimated, d.Measured, ratio, lo, hi)
+				}
+			}
+		}
+		if good {
+			verified++
+		}
+	}
+	if verified < minCand {
+		return fmt.Errorf("%d verified candidates, want >= %d", verified, minCand)
+	}
+	return nil
+}
+
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, "isxmine:", err)
+	return 1
+}

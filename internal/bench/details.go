@@ -26,7 +26,7 @@ func Table3(proc *pdesc.Processor, opts ...Opt) ([]Table3Row, error) {
 	rows := make([]Table3Row, len(ks))
 	err := forEach(len(ks), o.jobs, func(i int) error {
 		k := ks[i]
-		res, err := core.Compile(k.Source, k.Entry, k.Params, core.Proposed(proc))
+		res, err := core.CompileContext(o.ctx, k.Source, k.Entry, k.Params, core.Proposed(proc))
 		if err != nil {
 			return err
 		}

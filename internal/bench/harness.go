@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -97,7 +98,14 @@ func cAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }
 // n on the cycle-model VM, verifies the outputs against the Go
 // reference, and returns the measurement.
 func RunPipeline(k *Kernel, cfg core.Config, n int) (*Stats, error) {
-	res, err := core.Compile(k.Source, k.Entry, k.Params, cfg)
+	return RunPipelineContext(context.Background(), k, cfg, n)
+}
+
+// RunPipelineContext is RunPipeline under a cancellable context: the
+// compiler observes ctx between stages and the simulator polls it while
+// executing, so a deadline stops the measurement promptly.
+func RunPipelineContext(ctx context.Context, k *Kernel, cfg core.Config, n int) (*Stats, error) {
+	res, err := core.CompileContext(ctx, k.Source, k.Entry, k.Params, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: compile: %w", k.Name, err)
 	}
@@ -105,7 +113,7 @@ func RunPipeline(k *Kernel, cfg core.Config, n int) (*Stats, error) {
 	want := k.Reference(cloneArgs(args))
 
 	m := vm.NewMachine(cfg.Processor)
-	got, err := res.RunOn(m, cloneArgs(args)...)
+	got, err := res.RunOnContext(ctx, m, cloneArgs(args)...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: run: %w", k.Name, err)
 	}
@@ -151,11 +159,11 @@ func Table1(proc *pdesc.Processor, scale float64, opts ...Opt) ([]Table1Row, err
 	err := forEach(len(ks), o.jobs, func(i int) error {
 		k := ks[i]
 		n := SizeFor(k, scale)
-		base, err := RunPipeline(k, core.Baseline(proc), n)
+		base, err := RunPipelineContext(o.ctx, k, core.Baseline(proc), n)
 		if err != nil {
 			return err
 		}
-		prop, err := RunPipeline(k, core.Proposed(proc), n)
+		prop, err := RunPipelineContext(o.ctx, k, core.Proposed(proc), n)
 		if err != nil {
 			return err
 		}
@@ -264,7 +272,7 @@ func Fig2(proc *pdesc.Processor, scale float64, opts ...Opt) ([]Fig2Row, error) 
 		row := Fig2Row{Kernel: k.Name}
 		var base int64
 		for i, ac := range configs {
-			st, err := RunPipeline(k, ac.Cfg(proc), n)
+			st, err := RunPipelineContext(o.ctx, k, ac.Cfg(proc), n)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", k.Name, ac.Name, err)
 			}
@@ -342,13 +350,13 @@ func Fig3On(targets []*pdesc.Processor, ref *pdesc.Processor, scale float64, opt
 	err := forEach(len(ks), o.jobs, func(ki int) error {
 		k := ks[ki]
 		n := SizeFor(k, scale)
-		base, err := RunPipeline(k, core.Baseline(ref), n)
+		base, err := RunPipelineContext(o.ctx, k, core.Baseline(ref), n)
 		if err != nil {
 			return err
 		}
 		row := Fig3Row{Kernel: k.Name}
 		for _, p := range targets {
-			st, err := RunPipeline(k, core.Proposed(p), n)
+			st, err := RunPipelineContext(o.ctx, k, core.Proposed(p), n)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", k.Name, p.Name, err)
 			}
@@ -403,11 +411,11 @@ func Table2(proc *pdesc.Processor, opts ...Opt) ([]Table2Row, error) {
 	rows := make([]Table2Row, len(ks))
 	err := forEach(len(ks), o.jobs, func(i int) error {
 		k := ks[i]
-		base, err := core.Compile(k.Source, k.Entry, k.Params, core.Baseline(proc))
+		base, err := core.CompileContext(o.ctx, k.Source, k.Entry, k.Params, core.Baseline(proc))
 		if err != nil {
 			return err
 		}
-		prop, err := core.Compile(k.Source, k.Entry, k.Params, core.Proposed(proc))
+		prop, err := core.CompileContext(o.ctx, k.Source, k.Entry, k.Params, core.Proposed(proc))
 		if err != nil {
 			return err
 		}

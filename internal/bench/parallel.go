@@ -1,6 +1,9 @@
 package bench
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Opt configures a table/figure generator. The generators accept
 // options variadically so existing call sites stay source-compatible.
@@ -8,6 +11,7 @@ type Opt func(*options)
 
 type options struct {
 	jobs int
+	ctx  context.Context
 }
 
 // WithJobs sets the worker count for kernel-level fan-out (≤1 =
@@ -18,8 +22,15 @@ func WithJobs(n int) Opt {
 	return func(o *options) { o.jobs = n }
 }
 
+// WithContext bounds the generator by ctx: compilation observes it
+// between pipeline stages and the simulator polls it while executing,
+// so a deadline or cancellation stops a long table run promptly.
+func WithContext(ctx context.Context) Opt {
+	return func(o *options) { o.ctx = ctx }
+}
+
 func getOptions(opts []Opt) options {
-	o := options{jobs: 1}
+	o := options{jobs: 1, ctx: context.Background()}
 	for _, f := range opts {
 		f(&o)
 	}

@@ -75,7 +75,7 @@ func VMBench(proc *pdesc.Processor, scale float64, minTime time.Duration, opts .
 	err := forEach(len(ks), o.jobs, func(i int) error {
 		k := ks[i]
 		n := SizeFor(k, scale)
-		res, err := core.Compile(k.Source, k.Entry, k.Params, core.Proposed(proc))
+		res, err := core.CompileContext(o.ctx, k.Source, k.Entry, k.Params, core.Proposed(proc))
 		if err != nil {
 			return fmt.Errorf("%s: compile: %w", k.Name, err)
 		}

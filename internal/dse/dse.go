@@ -131,8 +131,10 @@ func evalVariant(ctx context.Context, v *Variant, kernels []*bench.Kernel, opts 
 		Instructions: len(v.Proc.Instructions),
 		KernelCycles: make(map[string]int64, len(kernels)),
 	}
-	for _, in := range v.Proc.Instructions {
-		vr.ISACost += 1 + in.Cycles
+	for i := range v.Proc.Instructions {
+		// IssueCost, not the literal Cycles: instructions deferring to a
+		// cost class are priced by the variant's cost table.
+		vr.ISACost += 1 + v.Proc.IssueCost(&v.Proc.Instructions[i])
 	}
 	for _, k := range kernels {
 		if err := ctx.Err(); err != nil {
@@ -188,7 +190,7 @@ func ExploreContext(ctx context.Context, sweeps []*Sweep, opts Options) (*Report
 	var bases []string
 	seen := map[string]bool{}
 	for _, sw := range sweeps {
-		vs, err := sw.Enumerate()
+		vs, err := sw.EnumerateContext(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -340,3 +340,67 @@ func TestReportSchemaRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestEnumerateISXSeed(t *testing.T) {
+	sw := &Sweep{
+		Base:    "scalar",
+		Widths:  []int{1},
+		Complex: []bool{false},
+		ISX:     &ISXSeed{Kernels: []string{"fir"}, Top: 2},
+	}
+	vs, err := sw.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := 0
+	for _, v := range vs {
+		if v.Proc.HasInstr("isx0") {
+			seeded++
+			for _, g := range v.Groups {
+				if g == "isx" {
+					goto grouped
+				}
+			}
+			t.Errorf("variant %s carries isx0 but not the isx group (%v)", v.Proc.Name, v.Groups)
+		grouped:
+		}
+	}
+	if seeded == 0 {
+		t.Fatalf("no seeded variant carries a mined instruction; got %d variants", len(vs))
+	}
+}
+
+// An ISX-seeded sweep of a plain scalar machine must put a mined
+// variant on the Pareto frontier ahead of the bare base: the mined
+// instructions trade a little ISA cost for measured cycles.
+func TestExploreISXSeedImproves(t *testing.T) {
+	sw := &Sweep{
+		Base:    "scalar",
+		Widths:  []int{1},
+		Complex: []bool{false},
+		ISX:     &ISXSeed{Kernels: []string{"cfir"}, Top: 1, Scale: 0.1},
+	}
+	rep, err := ExploreSweep(sw, Options{Jobs: 2, Scale: 0.1, Kernels: []string{"cfir"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, mined *VariantResult
+	for i := range rep.Variants {
+		v := &rep.Variants[i]
+		if v.Error != "" {
+			t.Fatalf("variant %s failed: %s", v.Name, v.Error)
+		}
+		if v.Instructions == 0 {
+			base = v
+		} else if strings.Contains(v.Name, "isx") && (mined == nil || v.TotalCycles < mined.TotalCycles) {
+			mined = v
+		}
+	}
+	if base == nil || mined == nil {
+		t.Fatalf("missing base or mined variant in %d results", len(rep.Variants))
+	}
+	if mined.TotalCycles >= base.TotalCycles {
+		t.Errorf("mined variant %s (%d cycles) does not beat base (%d cycles)",
+			mined.Name, mined.TotalCycles, base.TotalCycles)
+	}
+}

@@ -11,6 +11,7 @@
 package dse
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mat2c/internal/isx"
 	"mat2c/internal/pdesc"
 )
 
@@ -43,6 +45,24 @@ type Sweep struct {
 	Costs []CostOverride `json:"costs,omitempty"`
 	// MaxVariants caps the enumeration after pruning (0 = no cap).
 	MaxVariants int `json:"max_variants,omitempty"`
+	// ISX, when set, seeds the sweep with mined instruction-set
+	// extensions: the isx miner profiles the kernel suite on the base
+	// target and the enumeration additionally covers the base extended
+	// with each mined candidate and with all of them together.
+	ISX *ISXSeed `json:"isx,omitempty"`
+}
+
+// ISXSeed configures instruction-set-extension mining as a sweep axis.
+type ISXSeed struct {
+	// Kernels restricts the profiled kernels (default: full suite).
+	Kernels []string `json:"kernels,omitempty"`
+	// MaxNodes bounds the mined pattern size (default 4).
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// Top bounds how many candidates seed the sweep (default 3 — each
+	// candidate multiplies the enumeration).
+	Top int `json:"top,omitempty"`
+	// Scale sizes the profiled problems (default 0.25).
+	Scale float64 `json:"scale,omitempty"`
 }
 
 // CostOverride is one point on the cycle-cost axis.
@@ -81,6 +101,9 @@ var DefaultWidths = []int{1, 2, 4, 8, 16}
 // functional unit and gets its scalar and vector forms together.
 func InstrGroup(name string) string {
 	base := strings.TrimPrefix(name, "v")
+	if strings.HasPrefix(base, "isx") {
+		return "isx"
+	}
 	switch base {
 	case "fma", "fms":
 		return "mac"
@@ -142,6 +165,11 @@ func rewidth(in pdesc.Instr, lanes int) pdesc.Instr {
 	return in
 }
 
+// patternIsComplex reports whether a semantics pattern lives in the
+// complex base (mined complex-vector forms follow the complex lane
+// count).
+func patternIsComplex(sem string) bool { return strings.HasPrefix(sem, "complex:") }
+
 // makeVariant derives one candidate from the base description, or
 // returns an error when the point is invalid (pruned by the caller).
 func makeVariant(base *pdesc.Processor, width int, useComplex bool, groups []string, cost CostOverride) (*Variant, error) {
@@ -174,15 +202,19 @@ func makeVariant(base *pdesc.Processor, width int, useComplex bool, groups []str
 			if strings.HasPrefix(in.Name, "v") {
 				// Vector forms follow the lane count they operate on:
 				// complex-vector instructions need >= 2 complex lanes,
-				// float-vector instructions >= 2 float lanes.
+				// float-vector instructions >= 2 float lanes. Mined
+				// vector instructions are lane-generic through their
+				// semantics pattern and carry no width suffix.
 				vl := width
-				if strings.HasPrefix(in.Name, "vc") {
+				if strings.HasPrefix(in.Name, "vc") || (in.Semantics != "" && patternIsComplex(in.Semantics)) {
 					vl = lanes
 				}
 				if vl < 2 {
 					continue
 				}
-				in = rewidth(in, vl)
+				if in.Semantics == "" {
+					in = rewidth(in, vl)
+				}
 			}
 			instrs = append(instrs, in)
 		}
@@ -214,8 +246,17 @@ func contentKey(p *pdesc.Processor) (string, error) {
 }
 
 // Enumerate expands the sweep into concrete, validated, deduplicated
-// variants in deterministic order.
+// variants in deterministic order. A sweep with an ISX seed first mines
+// instruction-set extensions from the base target's profiles and also
+// enumerates the base extended with each mined candidate and with all
+// of them together (identical machines are pruned).
 func (s *Sweep) Enumerate() ([]*Variant, error) {
+	return s.EnumerateContext(context.Background())
+}
+
+// EnumerateContext is Enumerate under a cancellable context (the ISX
+// mining seed compiles and simulates, so it can take a while).
+func (s *Sweep) EnumerateContext(ctx context.Context) ([]*Variant, error) {
 	baseName := s.Base
 	if baseName == "" {
 		baseName = "dspasip"
@@ -223,6 +264,14 @@ func (s *Sweep) Enumerate() ([]*Variant, error) {
 	base, err := pdesc.Resolve(baseName)
 	if err != nil {
 		return nil, fmt.Errorf("dse: sweep base: %w", err)
+	}
+	bases := []*pdesc.Processor{base}
+	if s.ISX != nil {
+		exts, err := isxBases(ctx, base, s.ISX)
+		if err != nil {
+			return nil, err
+		}
+		bases = append(bases, exts...)
 	}
 	widths := s.Widths
 	if len(widths) == 0 {
@@ -232,10 +281,6 @@ func (s *Sweep) Enumerate() ([]*Variant, error) {
 	if len(complexAxis) == 0 {
 		complexAxis = []bool{true, false}
 	}
-	groupSets := s.Groups
-	if len(groupSets) == 0 {
-		groupSets = powerSet(groupsOf(base))
-	}
 	costSets := s.Costs
 	if len(costSets) == 0 {
 		costSets = []CostOverride{{}}
@@ -243,32 +288,38 @@ func (s *Sweep) Enumerate() ([]*Variant, error) {
 
 	seen := map[string]bool{}
 	var out []*Variant
-	for _, w := range widths {
-		for _, cx := range complexAxis {
-			for _, gs := range groupSets {
-				groups := append([]string(nil), gs...)
-				sort.Strings(groups)
-				for _, cs := range costSets {
-					v, err := makeVariant(base, w, cx, groups, cs)
-					if err != nil {
-						// Invalid point (e.g. non-positive width from a bad
-						// spec): surface spec errors, prune model conflicts.
-						if w < 1 {
-							return nil, fmt.Errorf("dse: width axis: %w", err)
+	for _, b := range bases {
+		groupSets := s.Groups
+		if len(groupSets) == 0 {
+			groupSets = powerSet(groupsOf(b))
+		}
+		for _, w := range widths {
+			for _, cx := range complexAxis {
+				for _, gs := range groupSets {
+					groups := append([]string(nil), gs...)
+					sort.Strings(groups)
+					for _, cs := range costSets {
+						v, err := makeVariant(b, w, cx, groups, cs)
+						if err != nil {
+							// Invalid point (e.g. non-positive width from a bad
+							// spec): surface spec errors, prune model conflicts.
+							if w < 1 {
+								return nil, fmt.Errorf("dse: width axis: %w", err)
+							}
+							continue
 						}
-						continue
-					}
-					key, err := contentKey(v.Proc)
-					if err != nil {
-						return nil, err
-					}
-					if seen[key] {
-						continue
-					}
-					seen[key] = true
-					out = append(out, v)
-					if s.MaxVariants > 0 && len(out) >= s.MaxVariants {
-						return out, nil
+						key, err := contentKey(v.Proc)
+						if err != nil {
+							return nil, err
+						}
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						out = append(out, v)
+						if s.MaxVariants > 0 && len(out) >= s.MaxVariants {
+							return out, nil
+						}
 					}
 				}
 			}
@@ -276,6 +327,42 @@ func (s *Sweep) Enumerate() ([]*Variant, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("dse: sweep enumerates no variants")
+	}
+	return out, nil
+}
+
+// isxBases mines extensions from the base target and returns the
+// seeded bases: base+candidate for each mined candidate and, when more
+// than one was mined, base+all.
+func isxBases(ctx context.Context, base *pdesc.Processor, seed *ISXSeed) ([]*pdesc.Processor, error) {
+	top := seed.Top
+	if top <= 0 {
+		top = 3
+	}
+	rep, err := isx.MineContext(ctx, base, isx.Options{
+		Kernels:  seed.Kernels,
+		MaxNodes: seed.MaxNodes,
+		Top:      top,
+		Scale:    seed.Scale,
+		NoVerify: true, // the sweep itself measures every seeded variant
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dse: isx seed: %w", err)
+	}
+	var out []*pdesc.Processor
+	for _, c := range rep.Candidates {
+		p, err := isx.Extend(base, base.Name+"+"+c.Name, c)
+		if err != nil {
+			return nil, fmt.Errorf("dse: isx seed %s: %w", c.Name, err)
+		}
+		out = append(out, p)
+	}
+	if len(rep.Candidates) > 1 {
+		p, err := isx.Extend(base, base.Name+"+isxall", rep.Candidates...)
+		if err != nil {
+			return nil, fmt.Errorf("dse: isx seed all: %w", err)
+		}
+		out = append(out, p)
 	}
 	return out, nil
 }

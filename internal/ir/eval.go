@@ -560,6 +560,9 @@ func (ev *Evaluator) eval(e Expr, fr *frame) (val, error) {
 			}
 			args[i] = v
 		}
+		if e.Sem != "" {
+			return evalPatternIntrinsic(e.Name, e.Sem, args, e.K)
+		}
 		return EvalIntrinsic(e.Name, args, e.K)
 	}
 	return val{}, rtErrf("unsupported expression %T", e)

@@ -313,10 +313,14 @@ type Select struct {
 // Intrinsic is a call to a target-specific custom instruction chosen by
 // instruction selection (e.g. cmul, cmac, fma, vfma). Semantically it is
 // a pure function of its arguments; Name matches a pdesc instruction.
+// For mined instructions (which the built-in catalog in EvalIntrinsic
+// has never heard of) Sem carries the pattern text defining their
+// behaviour; it is empty for the built-in family.
 type Intrinsic struct {
 	Name string
 	Args []Expr
 	K    Kind
+	Sem  string
 }
 
 // Kind implementations.

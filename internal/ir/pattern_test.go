@@ -1,0 +1,186 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParsePatternRoundTrip(t *testing.T) {
+	cases := []string{
+		"float:add(p0,mul(p1,p2))",
+		"float:max(abs(sub(p0,p1)),p2)",
+		"complex:mul(p0,conj(p1))",
+		"complex:add(p0,mul(p1,neg(p2)))",
+		"float:mul(p0,p0)",
+	}
+	for _, src := range cases {
+		p, err := ParsePattern(src)
+		if err != nil {
+			t.Fatalf("ParsePattern(%q): %v", src, err)
+		}
+		if got := p.String(); got != src {
+			t.Errorf("round trip %q -> %q", src, got)
+		}
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"add(p0,p1)", "missing base prefix"},
+		{"int:add(p0,p1)", "base must be float or complex"},
+		{"float:p0", "bare parameter"},
+		{"float:add(p0,p2)", "p1 is skipped"},
+		{"float:div(p0,p1)", "not a valid binary"},
+		{"complex:abs(p0)", "not a valid unary"},
+		{"complex:min(p0,p1)", "not a valid binary"},
+		{"float:add(p0", "expected )"},
+		{"float:add(p0,p1)x", "trailing input"},
+		{"float:frobnicate(p0)", "unknown op"},
+	}
+	for _, c := range cases {
+		_, err := ParsePattern(c.src)
+		if err == nil {
+			t.Errorf("ParsePattern(%q): expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParsePattern(%q): error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestPatternCanonical(t *testing.T) {
+	// Commutative reorder + parameter renaming must collapse.
+	a := mustPattern(t, "float:add(mul(p1,p2),p0)")
+	b := mustPattern(t, "float:add(p2,mul(p0,p1))")
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("canonical mismatch: %q vs %q", a.Canonical(), b.Canonical())
+	}
+	// sub(p1,p0) is sub(p0,p1) with its operands renamed — the same
+	// function under an argument permutation, so it must collapse too.
+	c := mustPattern(t, "float:sub(p0,p1)")
+	d := mustPattern(t, "float:sub(p1,p0)")
+	if c.Canonical() != d.Canonical() {
+		t.Errorf("sub under renaming did not collapse: %q vs %q", c.Canonical(), d.Canonical())
+	}
+	// Genuinely different functions must NOT collapse: different op...
+	e := mustPattern(t, "float:add(p0,mul(p1,p2))")
+	f := mustPattern(t, "float:sub(p0,mul(p1,p2))")
+	if e.Canonical() == f.Canonical() {
+		t.Errorf("add- and sub-rooted patterns collapsed to %q", e.Canonical())
+	}
+	// ...and different parameter repetition structure.
+	g := mustPattern(t, "float:mul(p0,p0)")
+	h := mustPattern(t, "float:mul(p0,p1)")
+	if g.Canonical() == h.Canonical() {
+		t.Errorf("square and product collapsed to %q", g.Canonical())
+	}
+}
+
+func TestPatternEvalLaneFloat(t *testing.T) {
+	p := mustPattern(t, "float:add(p0,mul(p1,p2))")
+	if p.Arity() != 3 || p.OpNodes() != 2 {
+		t.Fatalf("arity/nodes = %d/%d", p.Arity(), p.OpNodes())
+	}
+	got := p.EvalLane([]complex128{complex(1.5, 99), complex(2, -1), complex(3, 7)})
+	if got != complex(7.5, 0) {
+		t.Errorf("fma lane = %v, want (7.5+0i); imaginary parts of float args must be ignored", got)
+	}
+	q := mustPattern(t, "float:max(abs(sub(p0,p1)),p2)")
+	if got := q.EvalLane([]complex128{2, 5, 1}); real(got) != 3 {
+		t.Errorf("max(abs(2-5),1) = %v, want 3", got)
+	}
+}
+
+func TestPatternEvalLaneComplex(t *testing.T) {
+	p := mustPattern(t, "complex:add(p0,mul(p1,conj(p2)))")
+	a, b, c := complex(1.0, 2.0), complex(3.0, -1.0), complex(0.5, 4.0)
+	want := a + b*complex(real(c), -imag(c))
+	if got := p.EvalLane([]complex128{a, b, c}); got != want {
+		t.Errorf("lane = %v, want %v", got, want)
+	}
+}
+
+func TestPatternIntrinsicEval(t *testing.T) {
+	// A mined fma must agree with the built-in fma reference semantics,
+	// and must work vectorized with scalar broadcast.
+	sem := "float:add(p0,mul(p1,p2))"
+	acc := scalarFloat(1)
+	a := scalarFloat(2)
+	bv := makeVal(Kind{Float, 4})
+	for j := 0; j < 4; j++ {
+		bv.setLane(j, 0, float64(j+1), 0)
+	}
+	got, err := evalPatternIntrinsic("isx0", sem, []val{acc, a, bv}, Kind{Float, 4})
+	if err != nil {
+		t.Fatalf("evalPatternIntrinsic: %v", err)
+	}
+	ref, err := EvalIntrinsic("vfma", []val{acc, a, bv}, Kind{Float, 4})
+	if err != nil {
+		t.Fatalf("EvalIntrinsic: %v", err)
+	}
+	for j := 0; j < 4; j++ {
+		_, g, _ := got.lane(j)
+		_, r, _ := ref.lane(j)
+		if g != r {
+			t.Errorf("lane %d: mined %v vs builtin %v", j, g, r)
+		}
+	}
+	if _, err := evalPatternIntrinsic("isx0", sem, []val{acc, a}, KFloat); err == nil {
+		t.Error("arity mismatch not rejected")
+	}
+	if _, err := evalPatternIntrinsic("isx0", "float:bogus(", []val{acc}, KFloat); err == nil {
+		t.Error("bad semantics not rejected")
+	}
+}
+
+func TestPatternEvalThroughEvaluator(t *testing.T) {
+	// fn(a, b, c) = mined-fma(a, b, c), run through the full evaluator.
+	f := NewFunc("t")
+	pa := f.NewSym("a", Float, false)
+	pb := f.NewSym("b", Float, false)
+	pc := f.NewSym("c", Float, false)
+	r := f.NewSym("r", Float, false)
+	f.Params = []*Sym{pa, pb, pc}
+	f.Results = []*Sym{r}
+	f.Body = []Stmt{
+		&Assign{Dst: r, Src: &Intrinsic{
+			Name: "isx0",
+			Args: []Expr{V(pa), V(pb), V(pc)},
+			K:    KFloat,
+			Sem:  "float:add(p0,mul(p1,p2))",
+		}},
+		&Return{},
+	}
+	out, err := (&Evaluator{}).Run(f, 1.0, 2.0, 3.0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := out[0].(float64); math.Abs(got-7) > 0 {
+		t.Errorf("mined intrinsic via evaluator = %v, want 7", got)
+	}
+}
+
+func TestSortPatternsByNodes(t *testing.T) {
+	a := mustPattern(t, "float:add(p0,p1)")
+	b := mustPattern(t, "float:add(p0,mul(p1,p2))")
+	c := mustPattern(t, "float:sub(p0,p1)")
+	ps := []*Pattern{a, c, b}
+	SortPatternsByNodes(ps)
+	if ps[0] != b {
+		t.Errorf("largest pattern not first: %q", ps[0])
+	}
+}
+
+func mustPattern(t *testing.T, src string) *Pattern {
+	t.Helper()
+	p, err := ParsePattern(src)
+	if err != nil {
+		t.Fatalf("ParsePattern(%q): %v", src, err)
+	}
+	return p
+}

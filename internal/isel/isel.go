@@ -37,7 +37,7 @@ func (s Stats) Total() int {
 // Apply rewrites f for processor p and returns selection statistics.
 func Apply(f *ir.Func, p *pdesc.Processor) Stats {
 	st := Stats{Selected: map[string]int{}}
-	sel := &selector{proc: p, stats: &st}
+	sel := &selector{proc: p, stats: &st, mined: minedOf(p)}
 	opt.WalkStmts(f.Body, func(s ir.Stmt) {
 		opt.RewriteStmtExprs(s, sel.rewrite)
 	})
@@ -47,6 +47,7 @@ func Apply(f *ir.Func, p *pdesc.Processor) Stats {
 type selector struct {
 	proc  *pdesc.Processor
 	stats *Stats
+	mined []minedInstr
 }
 
 // name returns the lanes-appropriate instruction name if the processor
@@ -67,8 +68,21 @@ func (s *selector) emit(name string, args []ir.Expr, k ir.Kind) ir.Expr {
 	return &ir.Intrinsic{Name: name, Args: args, K: k}
 }
 
-// rewrite is called bottom-up on every expression node.
+// rewrite is called bottom-up on every expression node. The built-in
+// catalog is matched first — selection on pre-existing targets is
+// byte-identical to before mined instructions existed — and mined
+// patterns (largest first) only claim what the built-ins leave behind.
 func (s *selector) rewrite(e ir.Expr) ir.Expr {
+	if r := s.rewriteBuiltin(e); r != e {
+		return r
+	}
+	if len(s.mined) > 0 {
+		return s.rewriteMined(e)
+	}
+	return e
+}
+
+func (s *selector) rewriteBuiltin(e ir.Expr) ir.Expr {
 	b, ok := e.(*ir.Bin)
 	if !ok {
 		return e

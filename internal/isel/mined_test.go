@@ -1,0 +1,217 @@
+package isel
+
+import (
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/lower"
+	"mat2c/internal/mlang"
+	"mat2c/internal/opt"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+)
+
+// minedProc builds a scalar target carrying the given custom
+// instructions (typically a mix of built-in names and mined
+// pattern-defined entries).
+func minedProc(t *testing.T, instrs ...pdesc.Instr) *pdesc.Processor {
+	t.Helper()
+	p := &pdesc.Processor{Name: "mined-test", SIMDWidth: 1, Instructions: instrs}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("test processor invalid: %v", err)
+	}
+	return p
+}
+
+func compileOn(t *testing.T, src string, p *pdesc.Processor, params ...sema.Type) (*ir.Func, Stats) {
+	t.Helper()
+	file, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := file.Funcs[0].Name
+	info, err := sema.Analyze(file, entry, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Optimize(f, 1)
+	st := Apply(f, p)
+	return f, st
+}
+
+func TestMinedSelectBasic(t *testing.T) {
+	p := minedProc(t, pdesc.Instr{
+		Name: "isx0", CName: "_asip_isx0", Cycles: 1,
+		Semantics: "float:add(p0,mul(p1,p2))",
+	})
+	src := "function y = f(a, b, c)\ny = a + b * c;\nend"
+	_, st := compileOn(t, src, p, sema.RealScalar, sema.RealScalar, sema.RealScalar)
+	if st.Selected["isx0"] != 1 {
+		t.Errorf("selected %v, want one isx0", st.Selected)
+	}
+}
+
+// Commutative operators must match in both operand orders: the mined
+// pattern puts the product on the right, the source on the left.
+func TestMinedSelectCommuted(t *testing.T) {
+	p := minedProc(t, pdesc.Instr{
+		Name: "isx0", CName: "_asip_isx0", Cycles: 1,
+		Semantics: "float:add(p0,mul(p1,p2))",
+	})
+	src := "function y = f(a, b, c)\ny = b * c + a;\nend"
+	_, st := compileOn(t, src, p, sema.RealScalar, sema.RealScalar, sema.RealScalar)
+	if st.Selected["isx0"] != 1 {
+		t.Errorf("commuted: selected %v, want one isx0", st.Selected)
+	}
+}
+
+// A repeated parameter must only match structurally identical
+// subexpressions: mul(p0,p0) matches a*a but never a*b.
+func TestMinedSelectRepeatedParam(t *testing.T) {
+	p := minedProc(t, pdesc.Instr{
+		Name: "sq", CName: "_asip_sq", Cycles: 1,
+		Semantics: "float:mul(p0,p0)",
+	})
+	_, st := compileOn(t, "function y = f(a)\ny = a * a;\nend", p, sema.RealScalar)
+	if st.Selected["sq"] != 1 {
+		t.Errorf("a*a: selected %v, want one sq", st.Selected)
+	}
+	_, st = compileOn(t, "function y = f(a, b)\ny = a * b;\nend", p, sema.RealScalar, sema.RealScalar)
+	if st.Selected["sq"] != 0 {
+		t.Errorf("a*b: selected %v, want no sq", st.Selected)
+	}
+}
+
+// Larger mined patterns must win over their own sub-patterns.
+func TestMinedSelectLargestFirst(t *testing.T) {
+	p := minedProc(t,
+		pdesc.Instr{Name: "isxmul", CName: "_a", Cycles: 1, Semantics: "float:mul(p0,p1)"},
+		pdesc.Instr{Name: "isxfma", CName: "_b", Cycles: 1, Semantics: "float:add(p0,mul(p1,p2))"},
+	)
+	src := "function y = f(a, b, c)\ny = a + b * c;\nend"
+	_, st := compileOn(t, src, p, sema.RealScalar, sema.RealScalar, sema.RealScalar)
+	if st.Selected["isxfma"] != 1 {
+		t.Errorf("selected %v, want the larger isxfma", st.Selected)
+	}
+	// The bottom-up pass selects isxmul at the product first; the wider
+	// fma fusion unfolds and subsumes it, so its count must return to 0.
+	if st.Selected["isxmul"] != 0 {
+		t.Errorf("selected %v, subsumed isxmul should not be counted", st.Selected)
+	}
+}
+
+// Built-in shapes keep priority: on a target declaring both the fma
+// built-in and an identically-shaped mined pattern, the built-in wins
+// and selection is byte-identical to a pre-mining target.
+func TestMinedBuiltinPrecedence(t *testing.T) {
+	p := minedProc(t,
+		pdesc.Instr{Name: "fma", CName: "_asip_fma", Cycles: 1},
+		pdesc.Instr{Name: "isx0", CName: "_asip_isx0", Cycles: 1, Semantics: "float:add(p0,mul(p1,p2))"},
+	)
+	src := "function y = f(a, b, c)\ny = a + b * c;\nend"
+	_, st := compileOn(t, src, p, sema.RealScalar, sema.RealScalar, sema.RealScalar)
+	if st.Selected["fma"] != 1 || st.Selected["isx0"] != 0 {
+		t.Errorf("selected %v, want the built-in fma", st.Selected)
+	}
+}
+
+// Regression: a float abs pattern must not swallow a complex
+// magnitude. abs : complex -> float has a float result kind, but its
+// operand lives in the complex base and the pattern semantics (float
+// abs of the bound parameter) would be wrong.
+func TestMinedFloatAbsDoesNotMatchComplexMagnitude(t *testing.T) {
+	p := minedProc(t, pdesc.Instr{
+		Name: "isxabs", CName: "_asip_isxabs", Cycles: 1,
+		Semantics: "float:abs(p0)",
+	})
+	_, st := compileOn(t, "function y = f(a)\ny = abs(a);\nend", p, sema.ComplexScalar)
+	if st.Selected["isxabs"] != 0 {
+		t.Errorf("selected %v: float abs pattern claimed a complex magnitude", st.Selected)
+	}
+	// The genuinely-float case still matches.
+	_, st = compileOn(t, "function y = f(a)\ny = abs(a);\nend", p, sema.RealScalar)
+	if st.Selected["isxabs"] != 1 {
+		t.Errorf("selected %v, want one isxabs on float input", st.Selected)
+	}
+}
+
+// Satellite check: a mined instruction composes bottom-up with the
+// built-in catalog. The mined complex sub-conj feeds the accumulator
+// operand of a built-in @cmac, exactly like the hand-written
+// intrinsics compose among themselves.
+func TestMinedComposesInsideBuiltinCmac(t *testing.T) {
+	p := minedProc(t,
+		pdesc.Instr{Name: "cmac", CName: "_asip_cmac", Cycles: 2},
+		pdesc.Instr{Name: "isx0", CName: "_asip_isx0", Cycles: 1, Semantics: "complex:sub(p0,conj(p1))"},
+	)
+	src := "function y = f(u, v, a, b)\ny = (u - conj(v)) + a * b;\nend"
+	f, st := compileOn(t, src, p,
+		sema.ComplexScalar, sema.ComplexScalar, sema.ComplexScalar, sema.ComplexScalar)
+	if st.Selected["cmac"] != 1 || st.Selected["isx0"] != 1 {
+		t.Errorf("selected %v, want cmac and isx0 composed:\n%s", st.Selected, ir.Print(f))
+	}
+}
+
+// Differential test: the selected mined intrinsics evaluate exactly as
+// the unselected expression tree under the ir reference evaluator, on
+// both branches of the composition above.
+func TestMinedSemanticsDifferential(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		proc   *pdesc.Processor
+		params []sema.Type
+		args   []interface{}
+	}{
+		{
+			name: "fma",
+			src:  "function y = f(a, b, c)\ny = a + b * c;\nend",
+			proc: minedProc(t, pdesc.Instr{
+				Name: "isx0", CName: "_x", Cycles: 1,
+				Semantics: "float:add(p0,mul(p1,p2))",
+			}),
+			params: []sema.Type{sema.RealScalar, sema.RealScalar, sema.RealScalar},
+			args:   []interface{}{1.5, -2.25, 3.75},
+		},
+		{
+			name: "sub-conj-in-cmac",
+			src:  "function y = f(u, v, a, b)\ny = (u - conj(v)) + a * b;\nend",
+			proc: minedProc(t,
+				pdesc.Instr{Name: "cmac", CName: "_m", Cycles: 2},
+				pdesc.Instr{Name: "isx0", CName: "_x", Cycles: 1, Semantics: "complex:sub(p0,conj(p1))"},
+			),
+			params: []sema.Type{sema.ComplexScalar, sema.ComplexScalar, sema.ComplexScalar, sema.ComplexScalar},
+			args:   []interface{}{complex(1, 2), complex(-3, 0.5), complex(0.25, -1), complex(2, 2)},
+		},
+	}
+	for _, tc := range cases {
+		ref, stRef := compileOn(t, tc.src, &pdesc.Processor{Name: "plain", SIMDWidth: 1}, tc.params...)
+		if stRef.Total() != 0 {
+			t.Fatalf("%s: reference compile selected %v", tc.name, stRef.Selected)
+		}
+		sel, stSel := compileOn(t, tc.src, tc.proc, tc.params...)
+		if stSel.Total() == 0 {
+			t.Fatalf("%s: nothing selected", tc.name)
+		}
+		r1, err := (&ir.Evaluator{}).Run(ref, tc.args...)
+		if err != nil {
+			t.Fatalf("%s ref eval: %v", tc.name, err)
+		}
+		r2, err := (&ir.Evaluator{}).Run(sel, tc.args...)
+		if err != nil {
+			t.Fatalf("%s sel eval: %v\n%s", tc.name, err, ir.Print(sel))
+		}
+		if len(r1) != len(r2) {
+			t.Fatalf("%s: result arity %d vs %d", tc.name, len(r1), len(r2))
+		}
+		for i := range r1 {
+			if !nearlyEq(r1[i], r2[i]) {
+				t.Errorf("%s result %d: %v vs %v", tc.name, i, r1[i], r2[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package isx
+
+import (
+	"fmt"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/vm"
+)
+
+// Candidate enumeration. Every profiled instruction site roots a family
+// of candidate patterns: connected subtrees of its IR expression where
+// each interior node is an allowed arithmetic operation in the
+// pattern's base and every edge to a non-expanded child is cut into a
+// parameter. Structurally identical cuts share one parameter, so
+// shapes like mul(p0,p0) are discovered, and the per-occurrence saving
+// is weighted by the site's dynamic execution count.
+
+// mineProfile enumerates candidates for every profiled site of pr and
+// accumulates them into agg keyed by canonical pattern.
+func mineProfile(proc *pdesc.Processor, pr *profile, maxNodes int, agg map[string]*Candidate) {
+	en := &enumerator{proc: proc, maxNodes: maxNodes}
+	for pc, site := range pr.sites {
+		if site == nil || pc >= len(pr.counts) || pr.counts[pc] == 0 {
+			continue
+		}
+		k := site.Kind()
+		if k.Base != ir.Float && k.Base != ir.Complex {
+			continue
+		}
+		for _, o := range en.expand(site, k.Base, k.Lanes, maxNodes) {
+			record(agg, pr, o, k, pr.counts[pc])
+		}
+	}
+}
+
+type enumerator struct {
+	proc     *pdesc.Processor
+	maxNodes int
+}
+
+// option is one way to pattern-ize a subtree: a pattern node whose
+// parameters index cuts (the expressions left outside the pattern),
+// with the expanded issue cost of its operations at the occurrence's
+// lane count and at one lane, and the area proxy of a fused unit.
+type option struct {
+	node       *ir.PatNode
+	cuts       []ir.Expr
+	nodes      int
+	expCost    int64
+	scalarCost int64
+	area       float64
+}
+
+// expand returns every option rooted at e as an operation node, using
+// at most budget operation nodes. Parameters of each returned node
+// index its own cuts slice in order.
+func (en *enumerator) expand(e ir.Expr, base ir.BaseKind, lanes int, budget int) []option {
+	if budget < 1 {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ir.Bin:
+		if x.K.Base != base || x.K.Lanes != lanes || !ir.PatternBinOp(base, x.Op) {
+			return nil
+		}
+		selfExp := int64(en.proc.Cost(vm.BinChargeClass(x.Op, base, lanes)))
+		selfScalar := int64(en.proc.Cost(vm.BinChargeClass(x.Op, base, 1)))
+		selfArea := areaOf(x.Op, base)
+		var out []option
+		for _, ox := range en.childOptions(x.X, base, lanes, budget-1) {
+			for _, oy := range en.childOptions(x.Y, base, lanes, budget-1-ox.nodes) {
+				cuts := make([]ir.Expr, 0, len(ox.cuts)+len(oy.cuts))
+				cuts = append(append(cuts, ox.cuts...), oy.cuts...)
+				if len(cuts) > ir.MaxPatternArity {
+					continue
+				}
+				out = append(out, option{
+					node:       &ir.PatNode{Param: -1, Op: x.Op, X: ox.node, Y: shiftNode(oy.node, len(ox.cuts))},
+					cuts:       cuts,
+					nodes:      1 + ox.nodes + oy.nodes,
+					expCost:    selfExp + ox.expCost + oy.expCost,
+					scalarCost: selfScalar + ox.scalarCost + oy.scalarCost,
+					area:       selfArea + ox.area + oy.area,
+				})
+			}
+		}
+		return out
+	case *ir.Un:
+		if x.K.Base != base || x.K.Lanes != lanes || !ir.PatternUnOp(base, x.Op) {
+			return nil
+		}
+		// The operand must live in the same base: float abs must not
+		// swallow a complex magnitude (abs : complex → float).
+		if x.X.Kind().Base != base {
+			return nil
+		}
+		class, mult := vm.UnChargeClass(x.Op, base, lanes)
+		selfExp := int64(en.proc.Cost(class)) * mult
+		sclass, _ := vm.UnChargeClass(x.Op, base, 1)
+		selfScalar := int64(en.proc.Cost(sclass))
+		selfArea := areaOf(x.Op, base)
+		var out []option
+		for _, ox := range en.childOptions(x.X, base, lanes, budget-1) {
+			out = append(out, option{
+				node:       &ir.PatNode{Param: -1, Op: x.Op, X: ox.node},
+				cuts:       ox.cuts,
+				nodes:      1 + ox.nodes,
+				expCost:    selfExp + ox.expCost,
+				scalarCost: selfScalar + ox.scalarCost,
+				area:       selfArea + ox.area,
+			})
+		}
+		return out
+	}
+	return nil
+}
+
+// childOptions is expand plus the always-available choice of cutting
+// the edge into a fresh parameter.
+func (en *enumerator) childOptions(e ir.Expr, base ir.BaseKind, lanes int, budget int) []option {
+	out := []option{{node: ir.Param(0), cuts: []ir.Expr{e}}}
+	return append(out, en.expand(e, base, lanes, budget)...)
+}
+
+// shiftNode clones n with every parameter index offset — used when
+// concatenating the cut lists of two child options.
+func shiftNode(n *ir.PatNode, off int) *ir.PatNode {
+	if n.Param >= 0 {
+		return ir.Param(n.Param + off)
+	}
+	c := &ir.PatNode{Param: -1, Op: n.Op, X: shiftNode(n.X, off)}
+	if n.Y != nil {
+		c.Y = shiftNode(n.Y, off)
+	}
+	return c
+}
+
+// record folds one enumerated occurrence into the candidate pool.
+func record(agg map[string]*Candidate, pr *profile, o option, k ir.Kind, cnt int64) {
+	pat, ok := finalize(k.Base, o)
+	if !ok {
+		return
+	}
+	fusedScalar := fusedScalarCycles(o.scalarCost)
+	fused := int64(fusedScalar)
+	if k.Lanes > 1 {
+		fused = int64(fusedVectorCycles(fusedScalar))
+	}
+	saving := o.expCost - fused
+	if saving <= 0 {
+		return
+	}
+	key := pat.Canonical()
+	c := agg[key]
+	if c == nil {
+		c = &Candidate{
+			Semantics:      pat.String(),
+			OpNodes:        pat.OpNodes(),
+			Arity:          pat.Arity(),
+			ScalarExpanded: o.scalarCost,
+			ScalarCycles:   fusedScalar,
+			Area:           o.area,
+			estByKernel:    map[string]int64{},
+			pat:            pat,
+		}
+		agg[key] = c
+	}
+	if k.Lanes > 1 {
+		c.HasVector = true
+		c.VectorCycles = fusedVectorCycles(fusedScalar)
+	}
+	c.DynCount += cnt
+	c.EstSavings += cnt * saving
+	c.estByKernel[pr.kernel.Name] += cnt * saving
+}
+
+// finalize turns an option into a Pattern: structurally identical cuts
+// collapse into one shared parameter (mirroring the conservative
+// equality instruction selection applies to repeated parameters), and
+// the parameter space is renumbered contiguously.
+func finalize(base ir.BaseKind, o option) (*ir.Pattern, bool) {
+	paramOf := make([]int, len(o.cuts))
+	seen := map[string]int{}
+	next := 0
+	for i, cut := range o.cuts {
+		k := cutKey(cut)
+		if j, ok := seen[k]; ok {
+			paramOf[i] = j
+		} else {
+			seen[k] = next
+			paramOf[i] = next
+			next++
+		}
+	}
+	root := remapNode(o.node, paramOf)
+	pat, err := ir.NewPattern(base, root)
+	if err != nil {
+		return nil, false
+	}
+	return pat, true
+}
+
+func remapNode(n *ir.PatNode, paramOf []int) *ir.PatNode {
+	if n.Param >= 0 {
+		return ir.Param(paramOf[n.Param])
+	}
+	c := &ir.PatNode{Param: -1, Op: n.Op, X: remapNode(n.X, paramOf)}
+	if n.Y != nil {
+		c.Y = remapNode(n.Y, paramOf)
+	}
+	return c
+}
+
+// cutKey is a structural key for cut expressions. Two cuts share a
+// parameter only when selection-time matching (isel's exprEq) would
+// also accept the repetition, so node types it does not compare get a
+// pointer-unique key.
+func cutKey(e ir.Expr) string {
+	switch x := e.(type) {
+	case *ir.VarRef:
+		return fmt.Sprintf("v%p", x.Sym)
+	case *ir.ConstInt:
+		return fmt.Sprintf("ci%d", x.V)
+	case *ir.ConstFloat:
+		return fmt.Sprintf("cf%x", x.V)
+	case *ir.ConstComplex:
+		return fmt.Sprintf("cc%v", x.V)
+	case *ir.Load:
+		return fmt.Sprintf("ld%p[%s]", x.Arr, cutKey(x.Index))
+	case *ir.VecLoad:
+		return fmt.Sprintf("vl%p k%v s%d[%s]", x.Arr, x.K, x.Stride, cutKey(x.Index))
+	case *ir.Un:
+		return fmt.Sprintf("u%d k%v(%s)", x.Op, x.K, cutKey(x.X))
+	case *ir.Bin:
+		return fmt.Sprintf("b%d k%v(%s,%s)", x.Op, x.K, cutKey(x.X), cutKey(x.Y))
+	case *ir.Broadcast:
+		return fmt.Sprintf("bc k%v(%s)", x.K, cutKey(x.X))
+	}
+	return fmt.Sprintf("x%p", e)
+}
+
+// fusedScalarCycles models the issue cost of a fused datapath for a
+// pattern whose individually-issued operations cost expanded cycles:
+// a deep operator chain still pipelines, but at a sixth of the
+// sequential latency, never below a single issue slot. This reproduces
+// the paper's hand-designed costs (fma 3→1, cmul 10→2, cmac 12→2).
+func fusedScalarCycles(expanded int64) int {
+	c := int((expanded + 5) / 6)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// fusedVectorCycles is the vector-issue cost of the fused unit: wide
+// register access bounds it below at 2 (matching the built-in vector
+// intrinsics).
+func fusedVectorCycles(scalar int) int {
+	if scalar < 2 {
+		return 2
+	}
+	return scalar
+}
+
+// areaOf is a relative datapath-area proxy per fused operation node,
+// normalized to one floating-point adder.
+func areaOf(op ir.Op, base ir.BaseKind) float64 {
+	if base == ir.Complex {
+		switch op {
+		case ir.OpMul:
+			return 12 // 4 multipliers + 2 adders, rounded up for muxing
+		case ir.OpAdd, ir.OpSub, ir.OpNeg:
+			return 2
+		case ir.OpConj:
+			return 1
+		}
+		return 2
+	}
+	if op == ir.OpMul {
+		return 4
+	}
+	return 1 // add/sub/min/max/neg/abs
+}

@@ -1,0 +1,75 @@
+package isx
+
+import (
+	"context"
+	"fmt"
+
+	"mat2c/internal/bench"
+	"mat2c/internal/core"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/vm"
+)
+
+// verifyCandidate measures c on every kernel it was mined from: derive
+// a processor carrying just this candidate, recompile, re-simulate the
+// same profiled input, check the outputs against the kernel's Matlab
+// reference, and record the measured cycle delta next to the estimate.
+func verifyCandidate(ctx context.Context, proc *pdesc.Processor, c *Candidate, profiles []*profile) {
+	ext, err := Extend(proc, proc.Name+"+"+c.Name, c)
+	for _, pr := range profiles {
+		est := c.estByKernel[pr.kernel.Name]
+		if est == 0 {
+			continue
+		}
+		d := KernelDelta{
+			Kernel:     pr.kernel.Name,
+			N:          pr.n,
+			BaseCycles: pr.base,
+			Estimated:  est,
+		}
+		if err != nil {
+			d.Err = fmt.Sprintf("derive: %v", err)
+			c.Deltas = append(c.Deltas, d)
+			continue
+		}
+		cycles, selected, merr := measure(ctx, ext, pr.kernel, pr.n, c)
+		if merr != nil {
+			d.Err = merr.Error()
+		} else {
+			d.NewCycles = cycles
+			d.Measured = pr.base - cycles
+			d.Selected = selected
+			if cycles > 0 {
+				d.Speedup = float64(pr.base) / float64(cycles)
+			}
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+}
+
+// measure runs kernel k on proc (which carries candidate c) and
+// returns the cycle count and how many sites selected the candidate.
+// The outputs are verified against the kernel's reference
+// implementation, so a candidate with broken semantics can never
+// report a speedup.
+func measure(ctx context.Context, proc *pdesc.Processor, k *bench.Kernel, n int, c *Candidate) (int64, int, error) {
+	res, err := core.CompileContext(ctx, k.Source, k.Entry, k.Params, core.Proposed(proc))
+	if err != nil {
+		return 0, 0, err
+	}
+	args := k.Inputs(n)
+	want := k.Reference(bench.CloneArgs(args))
+	m := vm.NewMachine(proc)
+	got, err := res.RunOnContext(ctx, m, bench.CloneArgs(args)...)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := bench.Verify(got, want); err != nil {
+		return 0, 0, fmt.Errorf("output mismatch: %v", err)
+	}
+	sel := res.Intrinsics.Selected[c.Name] + res.Intrinsics.Selected["v"+c.Name]
+	if sel == 0 {
+		return 0, 0, fmt.Errorf("instruction selection never picked %s", c.Name)
+	}
+	return m.Cycles, sel, nil
+}

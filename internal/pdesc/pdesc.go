@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"mat2c/internal/ir"
 	"mat2c/procs"
 )
 
@@ -26,12 +27,22 @@ import (
 type Instr struct {
 	// Name is the compiler-internal intrinsic name matched by instruction
 	// selection (fma, cmul, cmac, cconjmul, cadd, csub, sad, and their
-	// v-prefixed vector forms).
+	// v-prefixed vector forms; mined extensions use isxN/visxN).
 	Name string `json:"name"`
 	// CName is the intrinsic function name emitted in ANSI C.
 	CName string `json:"cname"`
-	// Cycles is the issue cost charged by the cycle model.
+	// Cycles is the issue cost charged by the cycle model (ignored when
+	// CostClass is set).
 	Cycles int `json:"cycles"`
+	// Semantics, when non-empty, is an ir pattern (e.g.
+	// "float:add(p0,mul(p1,p2))") defining the instruction's behaviour.
+	// It is what lets mined instructions — unknown to the built-in
+	// intrinsic catalog — be selected, simulated, and emitted as C.
+	Semantics string `json:"semantics,omitempty"`
+	// CostClass, when non-empty, defers the issue cost to the named
+	// entry of the processor's cost model instead of the literal Cycles,
+	// so cost-table sweeps (dse) reprice the instruction automatically.
+	CostClass string `json:"cost_class,omitempty"`
 }
 
 // Processor is a complete target description.
@@ -99,6 +110,16 @@ func (p *Processor) Cost(key string) int {
 		return c
 	}
 	return 1
+}
+
+// IssueCost returns the cycles the cycle model charges per issue of the
+// given custom instruction: the CostClass entry of the cost model when
+// the instruction defers to one, the literal Cycles otherwise.
+func (p *Processor) IssueCost(in *Instr) int {
+	if in.CostClass != "" {
+		return p.Cost(in.CostClass)
+	}
+	return in.Cycles
 }
 
 // HasInstr reports whether the target provides the named custom
@@ -187,8 +208,26 @@ func (p *Processor) Validate() error {
 		if in.Name == "" || in.CName == "" {
 			return fmt.Errorf("%s: instruction with empty name/cname", p.Name)
 		}
-		if in.Cycles < 1 {
+		if in.CostClass == "" && in.Cycles < 1 {
 			return fmt.Errorf("%s: instruction %s has non-positive cycle cost", p.Name, in.Name)
+		}
+		if in.CostClass != "" {
+			if in.Cycles < 0 {
+				return fmt.Errorf("%s: instruction %s has negative cycle cost", p.Name, in.Name)
+			}
+			// Catch a dangling cost class here rather than letting the VM
+			// silently charge the 1-cycle fallback for a class nobody
+			// declared.
+			_, inDefaults := defaultCosts[in.CostClass]
+			_, inOverrides := p.Costs[in.CostClass]
+			if !inDefaults && !inOverrides {
+				return fmt.Errorf("%s: instruction %s uses cost class %q which is absent from the processor's cost model", p.Name, in.Name, in.CostClass)
+			}
+		}
+		if in.Semantics != "" {
+			if _, err := ir.CachedPattern(in.Semantics); err != nil {
+				return fmt.Errorf("%s: instruction %s: %v", p.Name, in.Name, err)
+			}
 		}
 		if seen[in.Name] {
 			return fmt.Errorf("%s: duplicate custom instruction %q (the later entry would silently shadow the earlier one)", p.Name, in.Name)

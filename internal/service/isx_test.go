@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// smallISXRequest mines one kernel on the bare scalar target at tiny
+// scale — small enough for endpoint tests, real enough to produce a
+// verified fused-multiply-add candidate.
+func smallISXRequest() *ISXRequest {
+	return &ISXRequest{
+		Proc:    "scalar",
+		Kernels: []string{"fir"},
+		Top:     2,
+		Scale:   0.05,
+	}
+}
+
+func waitISX(t *testing.T, ts *httptest.Server, id string) ISXStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st ISXStatus
+		getJSON(t, ts, "/isx/"+id, &st)
+		if st.State != "running" && st.State != "cancelling" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ISX job %s still running after 60s", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestISXEndpoint(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/isx", smallISXRequest())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /isx: status %d: %s", resp.StatusCode, body)
+	}
+	var acc ISXAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID == "" || acc.Status != "/isx/"+acc.ID {
+		t.Fatalf("bad accept reply: %+v", acc)
+	}
+
+	st := waitISX(t, ts, acc.ID)
+	if st.State != "done" {
+		t.Fatalf("job ended %q: %s", st.State, st.Error)
+	}
+	if st.Report == nil || len(st.Report.Candidates) == 0 {
+		t.Fatalf("done job has no candidates: %+v", st.Report)
+	}
+	verified := false
+	for _, c := range st.Report.Candidates {
+		for _, d := range c.Deltas {
+			if d.Err == "" && d.Selected > 0 && d.Measured > 0 {
+				verified = true
+			}
+		}
+	}
+	if !verified {
+		t.Error("no candidate verified with a measured saving")
+	}
+
+	var snap Snapshot
+	getJSON(t, ts, "/metrics", &snap)
+	if snap.ISX.Mines != 1 || snap.ISX.Running != 0 {
+		t.Errorf("metrics: mines=%d running=%d, want 1/0", snap.ISX.Mines, snap.ISX.Running)
+	}
+	if snap.ISX.LastCandidates != len(st.Report.Candidates) {
+		t.Errorf("metrics: last_candidates=%d, want %d",
+			snap.ISX.LastCandidates, len(st.Report.Candidates))
+	}
+}
+
+func TestISXEndpointValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Unknown request field → 400 (DisallowUnknownFields on the body).
+	resp, _ := postJSON(t, ts, "/isx", map[string]interface{}{"kernls": []string{"fir"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("misspelled field: status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown base target → 422, synchronously.
+	resp, _ = postJSON(t, ts, "/isx", &ISXRequest{Proc: "nosuch"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown base: status %d, want 422", resp.StatusCode)
+	}
+
+	// Unknown kernel → 422, synchronously.
+	resp, _ = postJSON(t, ts, "/isx", &ISXRequest{Proc: "scalar", Kernels: []string{"nosuch"}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown kernel: status %d, want 422", resp.StatusCode)
+	}
+
+	// Unknown job id → 404.
+	r, err := ts.Client().Get(ts.URL + "/isx/isx-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestISXCancel(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A full-suite mine at default scale is slow enough to catch mid-run.
+	resp, body := postJSON(t, ts, "/isx", &ISXRequest{Proc: "scalar"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /isx: status %d: %s", resp.StatusCode, body)
+	}
+	var acc ISXAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/isx/"+acc.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ISXStatus
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.State != "cancelling" && st.State != "cancelled" && st.State != "done" {
+		t.Fatalf("DELETE reply state %q", st.State)
+	}
+
+	st = waitISX(t, ts, acc.ID)
+	if st.State != "cancelled" && st.State != "done" {
+		t.Fatalf("job ended %q: %s", st.State, st.Error)
+	}
+
+	// Cancelling a finished job is a no-op that reports its final state.
+	r, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := st.State
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.State != final {
+		t.Errorf("cancel after finish: state %q, want %q", st.State, final)
+	}
+}

@@ -133,6 +133,13 @@ type Metrics struct {
 	dseCacheLookups uint64
 	dseCacheHits    uint64
 	dseLastFrontier int
+
+	// Instruction-set-extension mining counters.
+	isxMines          uint64
+	isxRunning        int64
+	isxFailures       uint64
+	isxCancelled      uint64
+	isxLastCandidates int
 }
 
 // NewMetrics returns a registry with every pipeline-stage series
@@ -262,6 +269,30 @@ func (m *Metrics) DSESweepFinished(frontierSize int, failed, cancelled bool) {
 	}
 }
 
+// ISXMineStarted counts one mining launch.
+func (m *Metrics) ISXMineStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.isxMines++
+	m.isxRunning++
+}
+
+// ISXMineFinished records one mine completing with the given candidate
+// count (zero when it failed or was cancelled).
+func (m *Metrics) ISXMineFinished(candidates int, failed, cancelled bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.isxRunning--
+	switch {
+	case cancelled:
+		m.isxCancelled++
+	case failed:
+		m.isxFailures++
+	default:
+		m.isxLastCandidates = candidates
+	}
+}
+
 // InFlight returns the current in-flight request count.
 func (m *Metrics) InFlight() int64 {
 	m.mu.Lock()
@@ -281,6 +312,7 @@ type Snapshot struct {
 	Stages           map[string]HistogramSnapshot `json:"stages_us"`
 	Cache            mat2c.CacheStats             `json:"cache"`
 	DSE              DSESnapshot                  `json:"dse"`
+	ISX              ISXSnapshot                  `json:"isx"`
 	VM               VMSnapshot                   `json:"vm"`
 }
 
@@ -302,6 +334,15 @@ type DSESnapshot struct {
 	CacheHits         uint64  `json:"cache_hits"`
 	CacheHitRate      float64 `json:"cache_hit_rate"`
 	LastFrontierSize  int     `json:"last_frontier_size"`
+}
+
+// ISXSnapshot is the /metrics instruction-set-extension-mining section.
+type ISXSnapshot struct {
+	Mines          uint64 `json:"mines"`
+	Running        int64  `json:"running"`
+	Failures       uint64 `json:"failures"`
+	Cancelled      uint64 `json:"cancelled"`
+	LastCandidates int    `json:"last_candidates"`
 }
 
 // SnapshotWith captures all counters plus the supplied cache stats.
@@ -331,6 +372,13 @@ func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
 	}
 	if m.dseCacheLookups > 0 {
 		s.DSE.CacheHitRate = float64(m.dseCacheHits) / float64(m.dseCacheLookups)
+	}
+	s.ISX = ISXSnapshot{
+		Mines:          m.isxMines,
+		Running:        m.isxRunning,
+		Failures:       m.isxFailures,
+		Cancelled:      m.isxCancelled,
+		LastCandidates: m.isxLastCandidates,
 	}
 	s.VM = VMSnapshot{Engine: vm.DefaultEngine(), PreparedCache: vm.PreparedCacheStats()}
 	for name, e := range m.requests {

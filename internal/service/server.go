@@ -14,6 +14,8 @@
 //	POST /run      compile + execute on the cycle-model simulator
 //	POST /dse      launch an async design-space exploration sweep
 //	GET  /dse/{id} sweep progress and, once done, the Pareto report
+//	POST /isx      launch an async instruction-set-extension mine
+//	GET  /isx/{id} mining progress and, once done, the candidate report
 //	GET  /targets  built-in processor catalog
 //	GET  /healthz  liveness + in-flight gauge
 //	GET  /metrics  JSON counters: requests, cache, per-stage histograms
@@ -81,6 +83,12 @@ type Server struct {
 	dseSeq   int
 	dseJobs  map[string]*dseJob
 	dseOrder []string
+
+	// Instruction-set-extension mining job registry (see isx.go).
+	isxMu    sync.Mutex
+	isxSeq   int
+	isxJobs  map[string]*isxJob
+	isxOrder []string
 }
 
 // New builds a Server with the given configuration.
@@ -98,7 +106,7 @@ func New(cfg Config) *Server {
 }
 
 // Shutdown cancels the server's background work (running DSE sweeps
-// observe the cancellation between variants and stop). In-flight HTTP
+// and ISX mines observe the cancellation and stop). In-flight HTTP
 // requests are governed by their own request contexts — cancelling the
 // http.Server's BaseContext propagates into their workers the same way.
 // Shutdown is idempotent.
@@ -118,6 +126,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /dse", s.handleDSE)
 	mux.HandleFunc("GET /dse/{id}", s.handleDSEStatus)
 	mux.HandleFunc("DELETE /dse/{id}", s.handleDSECancel)
+	mux.HandleFunc("POST /isx", s.handleISX)
+	mux.HandleFunc("GET /isx/{id}", s.handleISXStatus)
+	mux.HandleFunc("DELETE /isx/{id}", s.handleISXCancel)
 	mux.HandleFunc("GET /targets", s.handleTargets)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -8,16 +8,33 @@ import (
 
 // Lower translates an IR function into a VM program.
 func Lower(f *ir.Func) (*Program, error) {
+	p, _, err := lowerFunc(f, false)
+	return p, err
+}
+
+// LowerWithSites lowers f and additionally returns a site map: a slice
+// parallel to the program's instructions where sites[pc] is the IR
+// expression whose value instruction pc computes, or nil for control
+// flow, moves, and other instructions that are not the final step of an
+// expression. The map is compacted alongside the peephole pass, so
+// per-pc profile counts from Machine.PCCounts can be attributed to IR
+// expressions directly.
+func LowerWithSites(f *ir.Func) (*Program, []ir.Expr, error) {
+	return lowerFunc(f, true)
+}
+
+func lowerFunc(f *ir.Func, withSites bool) (*Program, []ir.Expr, error) {
 	l := &vmLowerer{
-		prog:    &Program{Name: f.Name},
-		scalars: map[*ir.Sym]int{},
-		arrays:  map[*ir.Sym]int{},
+		prog:        &Program{Name: f.Name},
+		scalars:     map[*ir.Sym]int{},
+		arrays:      map[*ir.Sym]int{},
+		recordSites: withSites,
 	}
 	if err := l.run(f); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	peephole(l.prog)
-	return l.prog, nil
+	l.sites = peephole(l.prog, l.sites)
+	return l.prog, l.sites, nil
 }
 
 type loopCtx struct {
@@ -26,11 +43,13 @@ type loopCtx struct {
 }
 
 type vmLowerer struct {
-	prog    *Program
-	scalars map[*ir.Sym]int
-	arrays  map[*ir.Sym]int
-	loops   []*loopCtx
-	retJmps []int
+	prog        *Program
+	scalars     map[*ir.Sym]int
+	arrays      map[*ir.Sym]int
+	loops       []*loopCtx
+	retJmps     []int
+	recordSites bool
+	sites       []ir.Expr // parallel to prog.Instrs when recordSites
 }
 
 func (l *vmLowerer) newReg() int {
@@ -60,6 +79,9 @@ func (l *vmLowerer) arrOf(s *ir.Sym) int {
 
 func (l *vmLowerer) emit(in Instr) int {
 	l.prog.Instrs = append(l.prog.Instrs, in)
+	if l.recordSites {
+		l.sites = append(l.sites, nil)
+	}
 	return len(l.prog.Instrs) - 1
 }
 
@@ -273,8 +295,22 @@ func (l *vmLowerer) ifStmt(s *ir.If) error {
 	return nil
 }
 
-// expr emits code computing e and returns the result register.
+// expr emits code computing e and returns the result register. Every
+// case of exprInner except VarRef ends with a freshly emitted
+// instruction that computes e, which is what makes the site map below
+// sound: the last instruction is the one whose dynamic execution count
+// measures how often e was evaluated.
 func (l *vmLowerer) expr(e ir.Expr) (int, error) {
+	r, err := l.exprInner(e)
+	if err == nil && l.recordSites {
+		if _, isVar := e.(*ir.VarRef); !isVar {
+			l.sites[len(l.sites)-1] = e
+		}
+	}
+	return r, err
+}
+
+func (l *vmLowerer) exprInner(e ir.Expr) (int, error) {
 	switch x := e.(type) {
 	case *ir.ConstInt:
 		r := l.newReg()
@@ -361,7 +397,7 @@ func (l *vmLowerer) expr(e ir.Expr) (int, error) {
 			args[i] = r
 		}
 		r := l.newReg()
-		l.emit(Instr{Op: OpIntr, Intr: x.Name, K: x.K, Dst: r, Args: args})
+		l.emit(Instr{Op: OpIntr, Intr: x.Name, Sem: x.Sem, K: x.K, Dst: r, Args: args})
 		return r, nil
 	case *ir.Select:
 		c, err := l.expr(x.Cond)

@@ -141,7 +141,16 @@ type Machine struct {
 	// empty uses the process default. Both engines are cycle-exact:
 	// Cycles, Executed, ClassCounts, outputs, and faults are identical.
 	Engine string
+	// Profile, when true, records per-pc dynamic execution counts into
+	// PCCounts. Profiling always runs on the reference engine (like
+	// Trace) so pc values refer to the unfused Program; cycle accounting
+	// is unchanged. The instruction-set miner uses these counts to
+	// weight candidate patterns by how often their sites actually ran.
+	Profile bool
 
+	// PCCounts[pc] is the number of times prog.Instrs[pc] executed in
+	// the last profiled Run (nil unless Profile is set).
+	PCCounts []int64
 	// Cycles is the total charged cost of the last Run.
 	Cycles int64
 	// Executed is the dynamic instruction count of the last Run.
@@ -203,7 +212,18 @@ func (m *Machine) RunContext(ctx context.Context, prog *Program, args ...interfa
 		clear(m.ClassCounts)
 	}
 
-	if m.engine() == EnginePrepared && m.Trace == nil {
+	if m.Profile {
+		if cap(m.PCCounts) >= len(prog.Instrs) {
+			m.PCCounts = m.PCCounts[:len(prog.Instrs)]
+			clear(m.PCCounts)
+		} else {
+			m.PCCounts = make([]int64, len(prog.Instrs))
+		}
+	} else {
+		m.PCCounts = nil
+	}
+
+	if m.engine() == EnginePrepared && m.Trace == nil && !m.Profile {
 		return PreparedFor(prog, m.Proc).run(m, ctx, maxCycles, args)
 	}
 
@@ -323,6 +343,9 @@ func (m *Machine) exec(ctx context.Context, prog *Program, regs []vmval, arrays 
 		}
 		in := &prog.Instrs[pc]
 		m.Executed++
+		if m.Profile {
+			m.PCCounts[pc]++
+		}
 		if m.Trace != nil {
 			fmt.Fprintf(m.Trace, "%8d %5d: %s\n", m.Cycles, pc, disasmInstr(prog, *in))
 		}
@@ -423,7 +446,7 @@ func (m *Machine) exec(ctx context.Context, prog *Program, regs []vmval, arrays 
 					scalarClass = "cload"
 				}
 				if ci := m.Proc.Instr(name); ci != nil {
-					m.Cycles += int64(ci.Cycles)
+					m.Cycles += int64(m.Proc.IssueCost(ci))
 					m.ClassCounts[name]++
 				} else {
 					m.chargeN(scalarClass, int64(L))

@@ -602,10 +602,10 @@ func intrFill(k intrKind, dst []complex128, a0, a1, a2 vmval) {
 }
 
 // execIntr executes a custom instruction, charging the cycles declared
-// in the processor description.
+// in the processor description (via its cost class when it has one).
 func (m *Machine) execIntr(in *Instr, regs []vmval) (vmval, error) {
 	if ci := m.Proc.Instr(in.Intr); ci != nil {
-		m.Cycles += int64(ci.Cycles)
+		m.Cycles += int64(m.Proc.IssueCost(ci))
 		m.ClassCounts[in.Intr]++
 	} else {
 		// Executing an intrinsic the target does not declare indicates a
@@ -614,6 +614,11 @@ func (m *Machine) execIntr(in *Instr, regs []vmval) (vmval, error) {
 	}
 	kind := intrKindOf(in.Intr)
 	if kind == intrUnknown {
+		if in.Sem != "" {
+			// A mined instruction: its behaviour is the pattern carried in
+			// the instruction, not a member of the built-in family.
+			return m.execPatternIntr(in, regs)
+		}
 		return vmval{}, fmt.Errorf("unknown intrinsic %q", in.Intr)
 	}
 	if len(in.Args) != intrArity(kind) {
@@ -631,4 +636,61 @@ func (m *Machine) execIntr(in *Instr, regs []vmval) (vmval, error) {
 		return materialize(lanes[0], in.K.Base), nil
 	}
 	return vmval{lanes: lanes}, nil
+}
+
+// execPatternIntr executes a mined instruction by evaluating its
+// semantics pattern lane-wise (scalar operands broadcast, like every
+// other vector op). The cost was already charged by execIntr.
+func (m *Machine) execPatternIntr(in *Instr, regs []vmval) (vmval, error) {
+	pat, err := ir.CachedPattern(in.Sem)
+	if err != nil {
+		return vmval{}, fmt.Errorf("intrinsic %q: bad semantics: %v", in.Intr, err)
+	}
+	if len(in.Args) != pat.Arity() {
+		return vmval{}, fmt.Errorf("intrinsic %s expects %d args, got %d", in.Intr, pat.Arity(), len(in.Args))
+	}
+	var argbuf [ir.MaxPatternArity]complex128
+	args := argbuf[:len(in.Args)]
+	L := in.K.Lanes
+	lanes := make([]complex128, L)
+	for j := 0; j < L; j++ {
+		for i, r := range in.Args {
+			args[i] = regs[r].lane(j)
+		}
+		lanes[j] = pat.EvalLane(args)
+	}
+	if L <= 1 {
+		return materialize(lanes[0], in.K.Base), nil
+	}
+	return vmval{lanes: lanes}, nil
+}
+
+// BinChargeClass reports the cost class the VM charges for a binary op
+// at the given computation base and lane count. Exported for the
+// instruction-set miner's savings estimator, which must price candidate
+// subgraphs with exactly the classes the simulator charges.
+func BinChargeClass(op ir.Op, opBase ir.BaseKind, lanes int) string {
+	in := Instr{BOp: op, OpBase: opBase, K: ir.Kind{Base: opBase, Lanes: lanes}}
+	return binClass(&in)
+}
+
+// UnChargeClass reports the cost class charged for a unary op at the
+// given base and lane count, and how many issues of that class are
+// charged (serialized vector transcendentals charge once per lane).
+func UnChargeClass(op ir.Op, base ir.BaseKind, lanes int) (string, int64) {
+	class := unClass(op, base)
+	if lanes > 1 {
+		switch op {
+		case ir.OpSqrt, ir.OpSin, ir.OpCos, ir.OpTan, ir.OpExp, ir.OpLog,
+			ir.OpAngle, ir.OpAsin, ir.OpAcos, ir.OpAtan, ir.OpSinh,
+			ir.OpCosh, ir.OpTanh:
+			return class, int64(lanes)
+		case ir.OpAbs:
+			if base == ir.Complex {
+				return class, int64(lanes)
+			}
+		}
+		return "vop", 1
+	}
+	return class, 1
 }

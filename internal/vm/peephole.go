@@ -1,5 +1,7 @@
 package vm
 
+import "mat2c/internal/ir"
+
 // Peephole optimization over lowered VM code. Expression lowering
 // computes into a fresh temp register and then copies it into the
 // destination variable:
@@ -43,9 +45,12 @@ func regReads(in *Instr, out []int) []int {
 	return out
 }
 
-// peephole rewrites prog in place and returns the number of removed
-// instructions.
-func peephole(prog *Program) int {
+// peephole rewrites prog in place, compacting the optional site map
+// (parallel to prog.Instrs; nil when not recording) in the same pass,
+// and returns the updated site map. A retargeted producer keeps its
+// site: it still computes the same expression, just into a different
+// register. The removed mov's site entry (always nil) is dropped.
+func peephole(prog *Program, sites []ir.Expr) []ir.Expr {
 	n := len(prog.Instrs)
 	reads := make([]int, prog.NumRegs)
 	writes := make([]int, prog.NumRegs)
@@ -101,7 +106,7 @@ func peephole(prog *Program) int {
 		removed++
 	}
 	if removed == 0 {
-		return 0
+		return sites
 	}
 	// Compact and remap branch offsets.
 	newIdx := make([]int, n+1)
@@ -114,6 +119,10 @@ func peephole(prog *Program) int {
 	}
 	newIdx[n] = j
 	out := make([]Instr, 0, j)
+	var outSites []ir.Expr
+	if sites != nil {
+		outSites = make([]ir.Expr, 0, j)
+	}
 	for i := 0; i < n; i++ {
 		if remove[i] {
 			continue
@@ -123,7 +132,10 @@ func peephole(prog *Program) int {
 			in.Off = newIdx[in.Off]
 		}
 		out = append(out, in)
+		if sites != nil {
+			outSites = append(outSites, sites[i])
+		}
 	}
 	prog.Instrs = out
-	return removed
+	return outSites
 }

@@ -209,10 +209,13 @@ type pInstr struct {
 	// intrFaultPre fires before the charge (instruction not provided by
 	// the processor); intrFaultPost fires after it (unknown intrinsic or
 	// arity mismatch) — matching the reference engine's charge ordering.
+	// pat is the pre-parsed semantics pattern of a mined instruction
+	// (nil for the built-in family).
 	intr          intrKind
 	intrName      string
 	intrFaultPre  string
 	intrFaultPost string
+	pat           *ir.Pattern
 }
 
 // PreparedProgram is a Program pre-decoded against one processor's cost
@@ -365,10 +368,24 @@ func Prepare(prog *Program, proc *pdesc.Processor) *PreparedProgram {
 			// The issue cost comes from the instruction declaration, not
 			// the architectural table (the name may shadow a class).
 			p.class = id(in.Intr)
-			p.cost = int64(ci.Cycles)
+			p.cost = int64(proc.IssueCost(ci))
 			p.intr = intrKindOf(in.Intr)
 			if p.intr == intrUnknown {
-				p.intrFaultPost = fmt.Sprintf("unknown intrinsic %q", in.Intr)
+				if in.Sem != "" {
+					// Mined instruction: pre-parse the semantics pattern
+					// once; the hot loop evaluates it lane-wise.
+					pat, err := ir.CachedPattern(in.Sem)
+					switch {
+					case err != nil:
+						p.intrFaultPost = fmt.Sprintf("intrinsic %q: bad semantics: %v", in.Intr, err)
+					case len(in.Args) != pat.Arity():
+						p.intrFaultPost = fmt.Sprintf("intrinsic %s expects %d args, got %d", in.Intr, pat.Arity(), len(in.Args))
+					default:
+						p.pat = pat
+					}
+				} else {
+					p.intrFaultPost = fmt.Sprintf("unknown intrinsic %q", in.Intr)
+				}
 			} else if len(in.Args) != intrArity(p.intr) {
 				p.intrFaultPost = fmt.Sprintf("intrinsic %s expects %d args, got %d", in.Intr, intrArity(p.intr), len(in.Args))
 			} else if in.K.Lanes == 1 {
@@ -405,7 +422,7 @@ func Prepare(prog *Program, proc *pdesc.Processor) *PreparedProgram {
 			}
 			if ci := proc.Instr(name); ci != nil {
 				p.class = id(name)
-				p.cost = int64(ci.Cycles)
+				p.cost = int64(proc.IssueCost(ci))
 			} else {
 				setClass(scalarClass, int64(L))
 			}
@@ -770,6 +787,23 @@ func (pp *PreparedProgram) exec(m *Machine, ctx context.Context, s *scratch, max
 			touched[in.class] = true
 			if in.intrFaultPost != "" {
 				return fault("%s", in.intrFaultPost)
+			}
+			if in.pat != nil {
+				dst := s.seg(in.dst, in.lanes)
+				var argbuf [ir.MaxPatternArity]complex128
+				pargs := argbuf[:len(in.args)]
+				for j := 0; j < in.lanes; j++ {
+					for ai, r := range in.args {
+						pargs[ai] = regs[r].lane(j)
+					}
+					dst[j] = in.pat.EvalLane(pargs)
+				}
+				if in.lanes <= 1 {
+					regs[in.dst] = materialize(dst[0], in.kBase)
+				} else {
+					regs[in.dst] = vmval{lanes: dst}
+				}
+				break
 			}
 			var a0, a1, a2 vmval
 			a0, a1 = regs[in.args[0]], regs[in.args[1]]

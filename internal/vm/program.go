@@ -90,6 +90,7 @@ type Instr struct {
 	Arr  int    // array slot for memory ops
 	Off  int    // branch target
 	Intr string // intrinsic name for OpIntr
+	Sem  string // pattern semantics for mined OpIntr (empty for built-ins)
 }
 
 // ArraySlot describes one array variable of the program.
@@ -195,6 +196,7 @@ func (p *Program) ContentHash() string {
 			wi(int64(in.Arr))
 			wi(int64(in.Off))
 			ws(in.Intr)
+			ws(in.Sem)
 		}
 		if len(progHashes) >= progHashMemoCap {
 			progHashes = map[*Program]string{}

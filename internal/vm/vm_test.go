@@ -464,7 +464,9 @@ end`
 		t.Fatalf("peepholed program invalid: %v\n%s", err, prog.Disasm())
 	}
 	// Idempotence: a second pass finds nothing.
-	if n := peephole(prog); n != 0 {
+	before := len(prog.Instrs)
+	peephole(prog, nil)
+	if n := before - len(prog.Instrs); n != 0 {
 		t.Errorf("second peephole pass removed %d more instructions", n)
 	}
 	// And it still computes the right value.

@@ -390,9 +390,15 @@ func (r *Result) RunWithStatsContext(ctx context.Context, args ...interface{}) (
 // RunTraced executes like RunWithStats while writing one line per
 // executed instruction to w (a debugging aid; output can be large).
 func (r *Result) RunTraced(w io.Writer, args ...interface{}) ([]interface{}, *Stats, error) {
+	return r.RunTracedContext(context.Background(), w, args...)
+}
+
+// RunTracedContext is RunTraced under a cancellable context (see
+// RunContext for the cancellation contract).
+func (r *Result) RunTracedContext(ctx context.Context, w io.Writer, args ...interface{}) ([]interface{}, *Stats, error) {
 	m := vm.NewMachine(r.proc)
 	m.Trace = w
-	out, err := r.res.RunOn(m, args...)
+	out, err := r.res.RunOnContext(ctx, m, args...)
 	if err != nil {
 		return nil, nil, err
 	}
