@@ -1,0 +1,335 @@
+// Command fleetsmoke is the fleet integration smoke test CI runs: it
+// builds mat2cd, boots one coordinator, two workers, and one
+// single-process daemon, submits the same small sweep over the scalar
+// base target to the coordinator and to the single daemon, and fails
+// unless the sharded-and-merged report is byte-identical to the
+// single-process one (elapsed wall time excepted). The two reports are
+// written to -out for artifact upload.
+//
+// Usage:
+//
+//	fleetsmoke [-bin path/to/mat2cd] [-out dir] [-timeout 5m]
+//
+// With no -bin, the tool builds mat2cd from the enclosing module
+// (run it from the repository root, as CI does).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+func main() {
+	var (
+		bin     = flag.String("bin", "", "mat2cd binary (default: go build ./cmd/mat2cd)")
+		out     = flag.String("out", "fleetsmoke-out", "artifact directory for the two reports")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *bin, *out); err != nil {
+		log.Fatalf("fleetsmoke: FAIL: %v", err)
+	}
+	log.Printf("fleetsmoke: PASS: sharded report is byte-identical to single-process report")
+}
+
+func run(ctx context.Context, bin, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	if bin == "" {
+		built := filepath.Join(outDir, "mat2cd")
+		cmd := exec.CommandContext(ctx, "go", "build", "-o", built, "./cmd/mat2cd")
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("build mat2cd: %w", err)
+		}
+		bin = built
+	}
+
+	ports, err := freePorts(4)
+	if err != nil {
+		return err
+	}
+	coordURL := fmt.Sprintf("http://127.0.0.1:%d", ports[0])
+	singleURL := fmt.Sprintf("http://127.0.0.1:%d", ports[3])
+
+	procs := []*daemon{
+		{name: "coordinator", args: []string{"-coordinator", "-addr", fmt.Sprintf("127.0.0.1:%d", ports[0])}},
+		{name: "worker1", args: workerArgs(ports[1], coordURL)},
+		{name: "worker2", args: workerArgs(ports[2], coordURL)},
+		{name: "single", args: []string{"-addr", fmt.Sprintf("127.0.0.1:%d", ports[3])}},
+	}
+	for _, d := range procs {
+		if err := d.start(ctx, bin); err != nil {
+			return err
+		}
+		defer d.stop()
+	}
+
+	// Fleet readiness: both workers registered and alive.
+	if err := poll(ctx, 30*time.Second, func() error {
+		var st struct {
+			Coordinator struct {
+				Alive int `json:"workers_alive"`
+			} `json:"coordinator"`
+		}
+		if err := getJSON(ctx, coordURL+"/fleet", &st); err != nil {
+			return err
+		}
+		if st.Coordinator.Alive < 2 {
+			return fmt.Errorf("%d of 2 workers alive", st.Coordinator.Alive)
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("fleet never became ready: %w", err)
+	}
+	log.Printf("fleetsmoke: coordinator reports 2 alive workers")
+
+	// The same sweep, submitted to both daemons. Jobs is explicit so the
+	// reports' jobs field cannot drift with the hosts' core counts.
+	sweep := map[string]interface{}{
+		"sweep": map[string]interface{}{
+			"base":    "scalar",
+			"widths":  []int{1, 2, 4},
+			"complex": []bool{false, true},
+		},
+		"jobs":    2,
+		"scale":   0.05,
+		"kernels": []string{"fir", "cfir"},
+	}
+	sharded, err := runSweep(ctx, coordURL, sweep)
+	if err != nil {
+		return fmt.Errorf("sharded sweep: %w", err)
+	}
+	single, err := runSweep(ctx, singleURL, sweep)
+	if err != nil {
+		return fmt.Errorf("single-process sweep: %w", err)
+	}
+
+	shardedJSON, err := normalize(sharded)
+	if err != nil {
+		return err
+	}
+	singleJSON, err := normalize(single)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "report-sharded.json"), shardedJSON, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "report-single.json"), singleJSON, 0o644); err != nil {
+		return err
+	}
+
+	if !bytes.Equal(shardedJSON, singleJSON) {
+		return fmt.Errorf("sharded report differs from single-process report (see %s)", outDir)
+	}
+
+	// The job-listing endpoint knows the finished sweep.
+	var list struct {
+		Jobs []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"jobs"`
+	}
+	if err := getJSON(ctx, coordURL+"/dse", &list); err != nil {
+		return err
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].State != "done" {
+		return fmt.Errorf("GET /dse: want one done job, got %+v", list.Jobs)
+	}
+
+	// The fleet actually did the work: units dispatched and completed.
+	var st struct {
+		Coordinator struct {
+			Dispatched uint64 `json:"units_dispatched"`
+			Completed  uint64 `json:"units_completed"`
+		} `json:"coordinator"`
+	}
+	if err := getJSON(ctx, coordURL+"/fleet", &st); err != nil {
+		return err
+	}
+	if st.Coordinator.Completed == 0 {
+		return fmt.Errorf("GET /fleet: no units completed (dispatched %d)", st.Coordinator.Dispatched)
+	}
+	log.Printf("fleetsmoke: %d units dispatched, %d completed", st.Coordinator.Dispatched, st.Coordinator.Completed)
+	return nil
+}
+
+// daemon is one spawned mat2cd process.
+type daemon struct {
+	name string
+	args []string
+	cmd  *exec.Cmd
+}
+
+func (d *daemon) start(ctx context.Context, bin string) error {
+	d.cmd = exec.CommandContext(ctx, bin, d.args...)
+	d.cmd.Stdout, d.cmd.Stderr = os.Stderr, os.Stderr
+	if err := d.cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", d.name, err)
+	}
+	log.Printf("fleetsmoke: started %s (pid %d): mat2cd %v", d.name, d.cmd.Process.Pid, d.args)
+	return nil
+}
+
+func (d *daemon) stop() {
+	if d.cmd == nil || d.cmd.Process == nil {
+		return
+	}
+	d.cmd.Process.Signal(os.Interrupt)
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+func workerArgs(port int, coordURL string) []string {
+	self := fmt.Sprintf("http://127.0.0.1:%d", port)
+	return []string{
+		"-worker", coordURL,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-advertise", self,
+	}
+}
+
+// freePorts reserves n distinct ephemeral ports and releases them for
+// the daemons to bind. The window between release and rebind is racy
+// in principle; in the CI container it is not contended.
+func freePorts(n int) ([]int, error) {
+	var ports []int
+	var listeners []net.Listener
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, l)
+		ports = append(ports, l.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}
+
+// runSweep submits one POST /dse and polls the job to completion,
+// returning the raw report JSON.
+func runSweep(ctx context.Context, baseURL string, req interface{}) (json.RawMessage, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/dse", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	var acc struct {
+		ID     string `json:"id"`
+		Status string `json:"status_url"`
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("POST /dse: status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if err := json.Unmarshal(data, &acc); err != nil {
+		return nil, err
+	}
+
+	var report json.RawMessage
+	err = poll(ctx, 4*time.Minute, func() error {
+		var st struct {
+			State  string          `json:"state"`
+			Error  string          `json:"error"`
+			Report json.RawMessage `json:"report"`
+		}
+		if err := getJSON(ctx, baseURL+acc.Status, &st); err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			report = st.Report
+			return nil
+		case "failed", "cancelled":
+			return fmt.Errorf("job %s %s: %s", acc.ID, st.State, st.Error)
+		default:
+			return fmt.Errorf("job %s still %s", acc.ID, st.State)
+		}
+	})
+	return report, err
+}
+
+// normalize re-marshals a report with its wall-time field zeroed —
+// the only field legitimately differing between the two modes.
+func normalize(report json.RawMessage) ([]byte, error) {
+	var m map[string]interface{}
+	if err := json.Unmarshal(report, &m); err != nil {
+		return nil, fmt.Errorf("decode report: %w", err)
+	}
+	m["elapsed_us"] = 0
+	return json.MarshalIndent(m, "", "  ")
+}
+
+func poll(ctx context.Context, within time.Duration, fn func() error) error {
+	deadline := time.Now().Add(within)
+	var last error
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if last = fn(); last == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	if last == nil {
+		last = ctx.Err()
+	}
+	return last
+}
+
+func getJSON(ctx context.Context, url string, v interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, v)
+}

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	mat2cd [-addr :8723] [-workers N] [-cache 256] [-timeout 30s]
+//	mat2cd -coordinator [-unitsize 4] ...
+//	mat2cd -worker http://coordinator:8723 [-advertise URL] [-sweepslots N] ...
 //
 // Endpoints (see docs/SERVER.md for schemas):
 //
@@ -14,12 +16,19 @@
 //	GET  /targets   list built-in processor descriptions
 //	GET  /healthz   liveness probe
 //	GET  /metrics   JSON metrics (requests, cache, stage histograms)
+//	GET  /fleet     fleet role, worker health, queue depth
+//
+// In a sweep fleet (docs/FLEET.md), -coordinator accepts /dse and /isx
+// jobs as usual but shards them across registered workers, and
+// -worker enrolls this daemon with a coordinator and executes the
+// dispatched work units on a bounded sweep queue.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, cancels
 // background DSE sweeps, and drains in-flight requests; work still
 // running when -draintimeout expires is cancelled through its request
 // context (the pipeline observes the cancellation and aborts) before
-// the listener is closed.
+// the listener is closed. A worker deregisters from its coordinator
+// before the drain so no new units land on it.
 package main
 
 import (
@@ -32,9 +41,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mat2c/internal/fleet"
 	"mat2c/internal/service"
 )
 
@@ -45,18 +56,38 @@ func main() {
 		cacheSize    = flag.Int("cache", 0, "compilation cache entries (0 = default)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful shutdown drain bound")
+
+		coordinator = flag.Bool("coordinator", false, "run as fleet coordinator: shard /dse and /isx jobs across registered workers")
+		workerOf    = flag.String("worker", "", "run as fleet worker of the coordinator at this base `URL`")
+		advertise   = flag.String("advertise", "", "base URL workers advertise to the coordinator (default http://127.0.0.1<addr> when -addr is :port)")
+		sweepSlots  = flag.Int("sweepslots", 0, "concurrent fleet work units on a worker (0 = workers/2)")
+		unitSize    = flag.Int("unitsize", 0, "variants per dispatched DSE work unit (0 = default)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: mat2cd [flags]  (see mat2cd -h)")
 		os.Exit(2)
 	}
+	if *coordinator && *workerOf != "" {
+		fmt.Fprintln(os.Stderr, "mat2cd: -coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	}
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:        *workers,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
-	})
+		SweepSlots:     *sweepSlots,
+	}
+	switch {
+	case *coordinator:
+		cfg.Role = service.RoleCoordinator
+		cfg.Fleet = fleet.Config{UnitSize: *unitSize, Logf: log.Printf}
+	case *workerOf != "":
+		cfg.Role = service.RoleWorker
+	}
+
+	svc := service.New(cfg)
 	// baseCtx parents every request context; cancelling it is the hard
 	// stop that aborts in-flight pipeline work when the drain runs out.
 	baseCtx, baseCancel := context.WithCancel(context.Background())
@@ -71,9 +102,39 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// A worker keeps itself registered with its coordinator for as long
+	// as it runs; cancelling agentCtx (first thing on shutdown, before
+	// the drain) deregisters it so no further units are dispatched here.
+	agentCtx, agentCancel := context.WithCancel(context.Background())
+	agentDone := make(chan struct{})
+	close(agentDone)
+	if *workerOf != "" {
+		self := *advertise
+		if self == "" {
+			if !strings.HasPrefix(*addr, ":") {
+				fmt.Fprintln(os.Stderr, "mat2cd: -advertise is required when -addr is not a bare :port")
+				os.Exit(2)
+			}
+			self = "http://127.0.0.1" + *addr
+		}
+		agent := &fleet.Agent{
+			Coordinator: strings.TrimRight(*workerOf, "/"),
+			Self:        strings.TrimRight(self, "/"),
+			Slots:       svc.Config().SweepSlots,
+			Logf:        log.Printf,
+		}
+		agentDone = make(chan struct{})
+		go func() {
+			defer close(agentDone)
+			agent.Run(agentCtx)
+		}()
+		log.Printf("mat2cd: worker of %s, advertising %s", agent.Coordinator, agent.Self)
+	}
+	defer agentCancel()
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mat2cd: listening on %s", *addr)
+	log.Printf("mat2cd: listening on %s (%s)", *addr, cfg.Role)
 
 	select {
 	case err := <-errc:
@@ -82,8 +143,13 @@ func main() {
 	}
 
 	log.Printf("mat2cd: signal received, draining (up to %s)", *drainTimeout)
-	// Cancel background work (async DSE sweeps) immediately: nobody is
-	// coming back for those reports.
+	// Deregister from the coordinator first so no new units arrive while
+	// the drain runs.
+	agentCancel()
+	<-agentDone
+	// Cancel background work (async DSE sweeps) immediately — nobody is
+	// coming back for those reports — and, in coordinator mode, wait for
+	// dispatched-but-unacked work units to settle.
 	svc.Shutdown()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -117,6 +117,25 @@ func ValidateKernels(names []string) error {
 	return err
 }
 
+// EvalVariantContext evaluates one enumerated variant against the
+// kernel subset named by opts — exactly the per-variant step
+// ExploreContext runs, exported as the work-unit entry point for
+// sharded (fleet) execution. Because a sharded sweep evaluates each
+// variant through this same function, its per-variant results are
+// byte-identical to the single-process run's.
+func EvalVariantContext(ctx context.Context, v *Variant, opts Options) (VariantResult, error) {
+	opts = opts.withDefaults()
+	kernels, err := selectKernels(opts.Kernels)
+	if err != nil {
+		return VariantResult{}, err
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = mat2c.NewCache(0)
+	}
+	return evalVariant(ctx, v, kernels, opts, cache), nil
+}
+
 // evalVariant compiles and simulates every kernel against one variant,
 // verifying each run against the kernel's Go reference. It observes ctx
 // between kernels and inside compile/simulate, so a cancelled sweep
@@ -178,21 +197,19 @@ func Explore(sweeps []*Sweep, opts Options) (*Report, error) {
 	return ExploreContext(context.Background(), sweeps, opts)
 }
 
-// ExploreContext is Explore under a cancellable context. Workers
-// observe ctx between variants (and between kernels within a variant),
-// so a cancelled sweep stops evaluating promptly; the partial work is
-// discarded and the returned error unwraps to ctx.Err().
-func ExploreContext(ctx context.Context, sweeps []*Sweep, opts Options) (*Report, error) {
-	opts = opts.withDefaults()
-	begin := time.Now()
-
+// EnumerateAll expands every sweep and deduplicates variants across
+// them in deterministic order, returning the variants with the sweeps'
+// base names. It is the enumeration step shared by ExploreContext and
+// the fleet coordinator's shard planner, so both agree on variant
+// identity and order.
+func EnumerateAll(ctx context.Context, sweeps []*Sweep) ([]*Variant, []string, error) {
 	var variants []*Variant
 	var bases []string
 	seen := map[string]bool{}
 	for _, sw := range sweeps {
 		vs, err := sw.EnumerateContext(ctx)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		base := sw.Base
 		if base == "" {
@@ -202,7 +219,7 @@ func ExploreContext(ctx context.Context, sweeps []*Sweep, opts Options) (*Report
 		for _, v := range vs {
 			key, err := contentKey(v.Proc)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if seen[key] {
 				continue
@@ -212,7 +229,50 @@ func ExploreContext(ctx context.Context, sweeps []*Sweep, opts Options) (*Report
 		}
 	}
 	if len(variants) == 0 {
-		return nil, fmt.Errorf("dse: no variants to explore")
+		return nil, nil, fmt.Errorf("dse: no variants to explore")
+	}
+	return variants, bases, nil
+}
+
+// Assemble builds the final report from per-variant results in
+// enumeration order — the merge step shared by ExploreContext and the
+// fleet coordinator, so a sweep sharded across workers and merged here
+// is byte-identical to single-process execution (the caller stamps
+// ElapsedUS, which is wall time and never part of the identity).
+func Assemble(bases []string, opts Options, results []VariantResult) (*Report, error) {
+	opts = opts.withDefaults()
+	kernels, err := selectKernels(opts.Kernels)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Base:     strings.Join(bases, ","),
+		Scale:    opts.Scale,
+		Jobs:     opts.Jobs,
+		Variants: results,
+	}
+	for _, k := range kernels {
+		rep.Kernels = append(rep.Kernels, k.Name)
+	}
+	for i := range results {
+		rep.CacheLookups += uint64(results[i].CacheLookups)
+		rep.CacheHits += uint64(results[i].CacheHits)
+	}
+	markFrontier(rep)
+	return rep, nil
+}
+
+// ExploreContext is Explore under a cancellable context. Workers
+// observe ctx between variants (and between kernels within a variant),
+// so a cancelled sweep stops evaluating promptly; the partial work is
+// discarded and the returned error unwraps to ctx.Err().
+func ExploreContext(ctx context.Context, sweeps []*Sweep, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	begin := time.Now()
+
+	variants, bases, err := EnumerateAll(ctx, sweeps)
+	if err != nil {
+		return nil, err
 	}
 	kernels, err := selectKernels(opts.Kernels)
 	if err != nil {
@@ -264,20 +324,10 @@ feed:
 			evaluated.Load(), len(variants), err)
 	}
 
-	rep := &Report{
-		Base:     strings.Join(bases, ","),
-		Scale:    opts.Scale,
-		Jobs:     opts.Jobs,
-		Variants: results,
+	rep, err := Assemble(bases, opts, results)
+	if err != nil {
+		return nil, err
 	}
-	for _, k := range kernels {
-		rep.Kernels = append(rep.Kernels, k.Name)
-	}
-	for i := range results {
-		rep.CacheLookups += uint64(results[i].CacheLookups)
-		rep.CacheHits += uint64(results[i].CacheHits)
-	}
-	markFrontier(rep)
 	rep.ElapsedUS = time.Since(begin).Microseconds()
 	return rep, nil
 }

@@ -1,0 +1,129 @@
+// The worker-side registration agent: keeps a worker enrolled with its
+// coordinator for as long as it runs, and deregisters on shutdown so
+// the coordinator stops dispatching to a draining worker.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Agent enrolls one worker with one coordinator. Registration doubles
+// as the heartbeat: the agent re-registers every Interval, and the
+// coordinator treats a worker silent past its heartbeat timeout as
+// lost.
+type Agent struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Self is this worker's advertised base URL, where the coordinator
+	// sends POST /fleet/unit.
+	Self string
+	// Slots is the worker's sweep-unit execution bound (informational).
+	Slots int
+	// Interval between heartbeats (default 3s; keep it well under the
+	// coordinator's HeartbeatTimeout).
+	Interval time.Duration
+	// Client issues the registration calls (default: a 5s-timeout client).
+	Client *http.Client
+	// Logf, when set, receives registration diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+func (a *Agent) logf(format string, args ...interface{}) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+func (a *Agent) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// RegisterOnce performs one registration round-trip and returns the
+// coordinator-assigned worker id.
+func (a *Agent) RegisterOnce(ctx context.Context) (string, error) {
+	body, err := json.Marshal(RegisterRequest{URL: a.Self, Slots: a.Slots})
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.Coordinator+"/fleet/register", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return "", fmt.Errorf("register: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var rep RegisterReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return "", err
+	}
+	return rep.ID, nil
+}
+
+// deregister tells the coordinator this worker is draining. Best
+// effort under its own short deadline — the coordinator's heartbeat
+// timeout is the backstop if the call is lost.
+func (a *Agent) deregister() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	body, _ := json.Marshal(RegisterRequest{URL: a.Self})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.Coordinator+"/fleet/deregister", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client().Do(req)
+	if err != nil {
+		a.logf("fleet: deregister from %s failed: %v", a.Coordinator, err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	resp.Body.Close()
+}
+
+// Run keeps the worker registered until ctx is cancelled, then
+// deregisters. Registration failures are retried on the heartbeat
+// cadence (a coordinator that is briefly down loses nothing but
+// freshness), so Run never returns early.
+func (a *Agent) Run(ctx context.Context) error {
+	interval := a.Interval
+	if interval <= 0 {
+		interval = 3 * time.Second
+	}
+	registered := false
+	for {
+		if id, err := a.RegisterOnce(ctx); err != nil {
+			if ctx.Err() == nil {
+				a.logf("fleet: register with %s failed (retrying in %s): %v", a.Coordinator, interval, err)
+			}
+		} else if !registered {
+			registered = true
+			a.logf("fleet: registered with %s as %s", a.Coordinator, id)
+		}
+		select {
+		case <-ctx.Done():
+			if registered {
+				a.deregister()
+			}
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}

@@ -1,0 +1,562 @@
+// The coordinator: a worker registry plus a dispatching engine that
+// drives a set of work units to completion across the fleet.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mat2c/internal/dse"
+	"mat2c/internal/isx"
+	"mat2c/internal/pdesc"
+)
+
+// Config tunes the coordinator. Zero values select defaults.
+type Config struct {
+	// Window bounds in-flight units per worker (default 2): a slow
+	// worker can hold up at most Window units while the rest of the
+	// fleet keeps draining the queue.
+	Window int
+	// UnitSize bounds variants per DSE unit (default 4).
+	UnitSize int
+	// MaxAttempts bounds failed dispatch attempts per unit before the
+	// whole run fails (default 8). Backpressure sheds (503) do not
+	// count: a busy fleet is not a broken one.
+	MaxAttempts int
+	// RetryBase/RetryMax shape the exponential backoff between a
+	// unit's attempts (defaults 100ms / 5s); each delay is jittered
+	// uniformly in [0.5x, 1.5x].
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HeartbeatTimeout is how long after its last registration a
+	// worker is still dispatched to (default 15s).
+	HeartbeatTimeout time.Duration
+	// NoWorkerTimeout fails a run that has had no live worker to
+	// dispatch to for this long (default 60s): a fleet with no workers
+	// queues briefly — workers may still be registering — but does not
+	// hang jobs forever.
+	NoWorkerTimeout time.Duration
+	// UnitTimeout bounds one dispatch RPC (default 5m).
+	UnitTimeout time.Duration
+	// Client issues the dispatch RPCs (default http.DefaultClient
+	// semantics; per-RPC contexts bound every call).
+	Client *http.Client
+	// Logf, when set, receives dispatch diagnostics (worker loss,
+	// retries).
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 2
+	}
+	if c.UnitSize <= 0 {
+		c.UnitSize = 4
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 15 * time.Second
+	}
+	if c.NoWorkerTimeout <= 0 {
+		c.NoWorkerTimeout = 60 * time.Second
+	}
+	if c.UnitTimeout <= 0 {
+		c.UnitTimeout = 5 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// worker is one registered fleet member.
+type worker struct {
+	id        string
+	url       string
+	slots     int
+	lastSeen  time.Time
+	gone      bool // deregistered, or lost to a transport error
+	inflight  int
+	completed uint64
+	failed    uint64
+}
+
+// Coordinator owns the worker registry and dispatches work units. All
+// methods are safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	seq     int
+	workers map[string]*worker // by id
+	byURL   map[string]*worker
+
+	dispatched uint64
+	completed  uint64
+	retried    uint64
+	shed       uint64
+	abandoned  uint64
+	inflight   int // dispatched-but-unacked unit RPCs
+}
+
+// NewCoordinator builds a coordinator with the given configuration.
+func NewCoordinator(cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:     cfg.withDefaults(),
+		workers: map[string]*worker{},
+		byURL:   map[string]*worker{},
+	}
+}
+
+// Register adds (or refreshes — registration doubles as the heartbeat)
+// a worker by its advertised URL and returns its id. Re-registering a
+// URL that was lost revives it.
+func (c *Coordinator) Register(url string, slots int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.byURL[url]; w != nil {
+		w.lastSeen = time.Now()
+		w.gone = false
+		if slots > 0 {
+			w.slots = slots
+		}
+		return w.id
+	}
+	c.seq++
+	w := &worker{
+		id:       fmt.Sprintf("w%d", c.seq),
+		url:      url,
+		slots:    slots,
+		lastSeen: time.Now(),
+	}
+	c.workers[w.id] = w
+	c.byURL[url] = w
+	c.cfg.Logf("fleet: worker %s registered at %s", w.id, url)
+	return w.id
+}
+
+// Deregister removes a worker (by URL) from dispatch; a drain-aware
+// worker calls this on shutdown so no further units land on it.
+func (c *Coordinator) Deregister(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.byURL[url]
+	if w == nil {
+		return false
+	}
+	w.gone = true
+	c.cfg.Logf("fleet: worker %s at %s deregistered", w.id, url)
+	return true
+}
+
+// Status snapshots worker health and dispatch counters for GET /fleet
+// and /metrics.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		UnitsDispatched: c.dispatched,
+		UnitsCompleted:  c.completed,
+		UnitsRetried:    c.retried,
+		UnitsShed:       c.shed,
+		UnitsAbandoned:  c.abandoned,
+		InflightRPCs:    c.inflight,
+	}
+	now := time.Now()
+	for _, w := range c.workers {
+		alive := !w.gone && now.Sub(w.lastSeen) < c.cfg.HeartbeatTimeout
+		if alive {
+			st.Alive++
+		}
+		st.Workers = append(st.Workers, WorkerInfo{
+			ID:        w.id,
+			URL:       w.url,
+			Alive:     alive,
+			LastSeenS: now.Sub(w.lastSeen).Seconds(),
+			Inflight:  w.inflight,
+			Slots:     w.slots,
+			Completed: w.completed,
+			Failed:    w.failed,
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
+}
+
+// UnitSize exposes the configured DSE shard size.
+func (c *Coordinator) UnitSize() int { return c.cfg.UnitSize }
+
+// pickWorker chooses the least-loaded live worker with window room, or
+// nil when none is eligible. Caller-side accounting: the chosen
+// worker's inflight is already incremented on return.
+func (c *Coordinator) pickWorker() *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	var best *worker
+	for _, w := range c.workers {
+		if w.gone || now.Sub(w.lastSeen) >= c.cfg.HeartbeatTimeout {
+			continue
+		}
+		if w.inflight >= c.cfg.Window {
+			continue
+		}
+		if best == nil || w.inflight < best.inflight ||
+			(w.inflight == best.inflight && w.id < best.id) {
+			best = w
+		}
+	}
+	if best != nil {
+		best.inflight++
+		c.dispatched++
+		c.inflight++
+	}
+	return best
+}
+
+// release undoes pickWorker's accounting once the RPC settles.
+func (c *Coordinator) release(w *worker, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.inflight--
+	c.inflight--
+	if ok {
+		w.completed++
+		c.completed++
+	} else {
+		w.failed++
+	}
+}
+
+// markLost drops a worker from dispatch after a transport error; a
+// later heartbeat revives it.
+func (c *Coordinator) markLost(w *worker, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !w.gone {
+		w.gone = true
+		c.cfg.Logf("fleet: worker %s at %s lost: %v", w.id, w.url, err)
+	}
+}
+
+// Quiesce blocks until every dispatched-but-unacked unit RPC has
+// settled, or ctx expires — in which case the stragglers are recorded
+// as abandoned and their count returned. Shutdown paths call this
+// after cancelling the runs' contexts, so cancelled RPCs return
+// promptly and an abandoned unit means a worker that would not let go
+// within the grace period.
+func (c *Coordinator) Quiesce(ctx context.Context) int {
+	for {
+		c.mu.Lock()
+		n := c.inflight
+		c.mu.Unlock()
+		if n == 0 {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			n = c.inflight
+			c.abandoned += uint64(n)
+			c.mu.Unlock()
+			if n > 0 {
+				c.cfg.Logf("fleet: shutdown abandoned %d dispatched unit(s)", n)
+			}
+			return n
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// sendOutcome classifies one dispatch attempt.
+type sendOutcome struct {
+	res        *UnitResult
+	err        error
+	permanent  bool          // 4xx other than 503/429: the unit itself is bad
+	shed       bool          // 503/429 backpressure: retry without penalty
+	retryAfter time.Duration // server-suggested delay on shed
+}
+
+// send dispatches one unit to one worker and classifies the reply.
+func (c *Coordinator) send(ctx context.Context, w *worker, u *Unit) sendOutcome {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.UnitTimeout)
+	defer cancel()
+	body, err := json.Marshal(u)
+	if err != nil {
+		return sendOutcome{err: err, permanent: true}
+	}
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, w.url+"/fleet/unit", bytes.NewReader(body))
+	if err != nil {
+		return sendOutcome{err: err, permanent: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return sendOutcome{err: err}
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var res UnitResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return sendOutcome{err: fmt.Errorf("decode unit reply: %w", err)}
+		}
+		if res.ID != u.ID {
+			return sendOutcome{err: fmt.Errorf("unit reply id %q does not match %q", res.ID, u.ID)}
+		}
+		return sendOutcome{res: &res}
+	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests:
+		delay := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return sendOutcome{shed: true, retryAfter: delay,
+			err: fmt.Errorf("worker %s shed unit (status %d)", w.id, resp.StatusCode)}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		err := fmt.Errorf("worker %s: status %d: %s", w.id, resp.StatusCode, bytes.TrimSpace(msg))
+		return sendOutcome{err: err, permanent: resp.StatusCode >= 400 && resp.StatusCode < 500}
+	}
+}
+
+// backoff returns the jittered exponential delay before retry n (0-based).
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.cfg.RetryBase << uint(attempt)
+	if d > c.cfg.RetryMax || d <= 0 {
+		d = c.cfg.RetryMax
+	}
+	// Uniform jitter in [0.5x, 1.5x) de-synchronizes retry storms.
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// RunUnits drives units to completion across the registered workers:
+// bounded per-worker in-flight windows, at-least-once dispatch with
+// exponential backoff + jitter, re-dispatch on worker loss, and
+// backpressure-aware retries on 503 sheds. onResult, when set, is
+// called once per completed unit as results arrive (from dispatch
+// goroutines; must be safe for concurrent use). Cancelling ctx stops
+// dispatching and cancels in-flight RPCs; workers observe the
+// cancellation through their request contexts.
+func (c *Coordinator) RunUnits(ctx context.Context, units []Unit, onResult func(*UnitResult)) ([]*UnitResult, error) {
+	if len(units) == 0 {
+		return nil, nil
+	}
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+
+	type attempt struct {
+		idx       int
+		tries     int // failed attempts so far (sheds excluded)
+		notBefore time.Time
+	}
+	// Each unit has exactly one live attempt (queued, sleeping, or in
+	// flight), so the queue never exceeds len(units).
+	queue := make(chan attempt, len(units))
+	for i := range units {
+		queue <- attempt{idx: i}
+	}
+
+	var (
+		mu        sync.Mutex
+		results   = make([]*UnitResult, len(units))
+		remaining = len(units)
+		runErr    error
+	)
+	finishErr := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
+		rcancel()
+	}
+	// requeue re-enqueues an attempt after its delay without blocking
+	// the dispatch loop.
+	requeue := func(at attempt) {
+		delay := time.Until(at.notBefore)
+		if delay <= 0 {
+			select {
+			case queue <- at:
+			case <-rctx.Done():
+			}
+			return
+		}
+		go func() {
+			select {
+			case <-time.After(delay):
+				select {
+				case queue <- at:
+				case <-rctx.Done():
+				}
+			case <-rctx.Done():
+			}
+		}()
+	}
+
+	noWorkerSince := time.Time{}
+	for {
+		var at attempt
+		select {
+		case <-rctx.Done():
+			mu.Lock()
+			err := runErr
+			rem := remaining
+			mu.Unlock()
+			if err == nil && rem > 0 {
+				err = fmt.Errorf("fleet: run cancelled with %d of %d units outstanding: %w",
+					rem, len(units), ctx.Err())
+			}
+			return results, err
+		case at = <-queue:
+		}
+		if wait := time.Until(at.notBefore); wait > 0 {
+			requeue(at)
+			continue
+		}
+		w := c.pickWorker()
+		if w == nil {
+			if noWorkerSince.IsZero() {
+				noWorkerSince = time.Now()
+			} else if time.Since(noWorkerSince) > c.cfg.NoWorkerTimeout {
+				mu.Lock()
+				rem := remaining
+				mu.Unlock()
+				finishErr(fmt.Errorf("fleet: no live worker for %s (%d of %d units outstanding)",
+					c.cfg.NoWorkerTimeout, rem, len(units)))
+				continue
+			}
+			at.notBefore = time.Now().Add(20 * time.Millisecond)
+			requeue(at)
+			continue
+		}
+		noWorkerSince = time.Time{}
+		go func(at attempt, w *worker) {
+			out := c.send(rctx, w, &units[at.idx])
+			c.release(w, out.err == nil)
+			switch {
+			case out.err == nil:
+				mu.Lock()
+				first := results[at.idx] == nil
+				if first {
+					results[at.idx] = out.res
+					remaining--
+				}
+				rem := remaining
+				mu.Unlock()
+				if first && onResult != nil {
+					onResult(out.res)
+				}
+				if rem == 0 {
+					rcancel()
+				}
+			case rctx.Err() != nil:
+				// The run is over (cancelled or already failed); the
+				// aborted RPC needs no retry bookkeeping.
+			case out.shed:
+				c.mu.Lock()
+				c.shed++
+				c.mu.Unlock()
+				at.notBefore = time.Now().Add(out.retryAfter)
+				requeue(at)
+			case out.permanent:
+				finishErr(fmt.Errorf("fleet: unit %s rejected: %w", units[at.idx].ID, out.err))
+			default:
+				c.markLost(w, out.err)
+				at.tries++
+				if at.tries >= c.cfg.MaxAttempts {
+					finishErr(fmt.Errorf("fleet: unit %s failed after %d attempts: %w",
+						units[at.idx].ID, at.tries, out.err))
+					return
+				}
+				c.mu.Lock()
+				c.retried++
+				c.mu.Unlock()
+				c.cfg.Logf("fleet: retrying unit %s (attempt %d): %v", units[at.idx].ID, at.tries+1, out.err)
+				at.notBefore = time.Now().Add(c.backoff(at.tries - 1))
+				requeue(at)
+			}
+		}(at, w)
+	}
+}
+
+// ExploreDSE runs a sharded design-space exploration: enumerate on the
+// coordinator, shard into content-keyed units, dispatch across the
+// fleet, and merge — producing a report byte-identical to
+// dse.ExploreContext on the same specification (ElapsedUS excepted;
+// it is wall time). opts.OnVariant fires per evaluated variant as unit
+// results arrive.
+func (c *Coordinator) ExploreDSE(ctx context.Context, sweeps []*dse.Sweep, opts dse.Options) (*dse.Report, error) {
+	begin := time.Now()
+	variants, bases, err := dse.EnumerateAll(ctx, sweeps)
+	if err != nil {
+		return nil, err
+	}
+	units, err := ShardDSE(variants, opts, c.cfg.UnitSize)
+	if err != nil {
+		return nil, err
+	}
+	var onResult func(*UnitResult)
+	if opts.OnVariant != nil {
+		onResult = func(ur *UnitResult) {
+			for _, vr := range ur.DSE {
+				opts.OnVariant(vr.Result)
+			}
+		}
+	}
+	results, err := c.RunUnits(ctx, units, onResult)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := MergeDSE(bases, opts, len(variants), results)
+	if err != nil {
+		return nil, err
+	}
+	rep.ElapsedUS = time.Since(begin).Microseconds()
+	return rep, nil
+}
+
+// MineISX runs a sharded instruction-set-extension mine: plan
+// (profile + enumerate + rank) on the coordinator, then dispatch one
+// verification unit per candidate and merge the measured deltas —
+// byte-identical to isx.MineContext on the same options.
+func (c *Coordinator) MineISX(ctx context.Context, proc *pdesc.Processor, opts isx.Options) (*isx.Report, error) {
+	plan, err := isx.PlanContext(ctx, proc, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.NoVerify || len(plan.Candidates) == 0 {
+		return plan.Report(), nil
+	}
+	units, err := ShardISX(plan)
+	if err != nil {
+		return nil, err
+	}
+	results, err := c.RunUnits(ctx, units, nil)
+	if err != nil {
+		return nil, err
+	}
+	return MergeISX(plan, results)
+}

@@ -1,0 +1,284 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	mat2c "mat2c"
+	"mat2c/internal/dse"
+	"mat2c/internal/fleet"
+)
+
+// testWorker is an httptest-backed fleet worker: a real unit executor
+// behind /fleet/unit, with optional fault injection.
+type testWorker struct {
+	ts    *httptest.Server
+	cache *mat2c.Cache
+	// served counts unit requests handled (including injected faults).
+	served atomic.Int32
+	// abortAfter, when > 0, aborts every request past the first N with
+	// a connection reset — a worker crashing mid-sweep.
+	abortAfter int32
+	// shedFirst, when > 0, sheds the first N requests with 503 +
+	// Retry-After: 0.
+	shedFirst int32
+}
+
+func newTestWorker(t *testing.T) *testWorker {
+	t.Helper()
+	w := &testWorker{cache: mat2c.NewCache(64)}
+	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/fleet/unit" {
+			http.NotFound(rw, r)
+			return
+		}
+		n := w.served.Add(1)
+		if w.abortAfter > 0 && n > w.abortAfter {
+			panic(http.ErrAbortHandler)
+		}
+		if n <= w.shedFirst {
+			rw.Header().Set("Retry-After", "0")
+			http.Error(rw, "sweep queue full", http.StatusServiceUnavailable)
+			return
+		}
+		var u fleet.Unit
+		if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := fleet.Execute(r.Context(), &u, w.cache)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		json.NewEncoder(rw).Encode(res)
+	}))
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+func fastConfig() fleet.Config {
+	return fleet.Config{
+		Window:          2,
+		UnitSize:        1,
+		RetryBase:       5 * time.Millisecond,
+		RetryMax:        50 * time.Millisecond,
+		NoWorkerTimeout: 5 * time.Second,
+	}
+}
+
+func smokeUnits(t *testing.T) ([]fleet.Unit, []string, []*dse.Variant, dse.Options) {
+	t.Helper()
+	sweep := &dse.Sweep{Base: "scalar", Widths: []int{1, 2, 4}, Complex: []bool{true, false}}
+	opts := dse.Options{Jobs: 2, Scale: 0.05, Kernels: []string{"fir"}}
+	variants, bases, err := dse.EnumerateAll(context.Background(), []*dse.Sweep{sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := fleet.ShardDSE(variants, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return units, bases, variants, opts
+}
+
+// TestRunUnitsWorkerLossRedispatch kills one of two workers mid-sweep
+// (it aborts every connection after its first served unit) and
+// verifies re-dispatch drives the run to completion with results
+// identical to a single-process run. This is the test the CI race job
+// runs with -race.
+func TestRunUnitsWorkerLossRedispatch(t *testing.T) {
+	units, bases, variants, opts := smokeUnits(t)
+
+	dying := newTestWorker(t)
+	dying.abortAfter = 1
+	healthy := newTestWorker(t)
+
+	c := fleet.NewCoordinator(fastConfig())
+	c.Register(dying.ts.URL, 1)
+	c.Register(healthy.ts.URL, 1)
+
+	var delivered atomic.Int32
+	results, err := c.RunUnits(context.Background(), units, func(*fleet.UnitResult) {
+		delivered.Add(1)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if int(delivered.Load()) != len(units) {
+		t.Errorf("onResult fired %d times, want %d", delivered.Load(), len(units))
+	}
+
+	merged, err := fleet.MergeDSE(bases, opts, len(variants), results)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	single, err := dse.ExploreContext(context.Background(), []*dse.Sweep{{
+		Base: "scalar", Widths: []int{1, 2, 4}, Complex: []bool{true, false},
+	}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.ElapsedUS, merged.ElapsedUS = 0, 0
+	got, want := reportJSON(t, merged), reportJSON(t, single)
+	if string(got) != string(want) {
+		t.Errorf("post-redispatch report differs\nfleet:  %s\nsingle: %s", got, want)
+	}
+
+	st := c.Status()
+	if st.UnitsRetried == 0 {
+		t.Error("worker death produced no retries")
+	}
+	if st.Alive != 1 {
+		t.Errorf("workers alive = %d, want 1 (the dead one marked lost)", st.Alive)
+	}
+	if st.InflightRPCs != 0 {
+		t.Errorf("inflight RPCs = %d after run, want 0", st.InflightRPCs)
+	}
+}
+
+// TestRunUnitsBackpressureShed: a worker shedding with 503 +
+// Retry-After is retried without burning failure attempts, and the
+// sheds are counted.
+func TestRunUnitsBackpressureShed(t *testing.T) {
+	units, _, _, _ := smokeUnits(t)
+
+	w := newTestWorker(t)
+	w.shedFirst = 3
+
+	cfg := fastConfig()
+	cfg.MaxAttempts = 2 // sheds must not count against this
+	c := fleet.NewCoordinator(cfg)
+	c.Register(w.ts.URL, 1)
+
+	results, err := c.RunUnits(context.Background(), units, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("unit %d has no result", i)
+		}
+	}
+	if st := c.Status(); st.UnitsShed < 3 {
+		t.Errorf("units_shed = %d, want >= 3", st.UnitsShed)
+	}
+}
+
+// TestRunUnitsNoWorkerFailsTheRun: with nobody registered the run
+// fails after NoWorkerTimeout instead of hanging.
+func TestRunUnitsNoWorkerFailsTheRun(t *testing.T) {
+	units, _, _, _ := smokeUnits(t)
+	cfg := fastConfig()
+	cfg.NoWorkerTimeout = 50 * time.Millisecond
+	c := fleet.NewCoordinator(cfg)
+
+	_, err := c.RunUnits(context.Background(), units[:1], nil)
+	if err == nil || !strings.Contains(err.Error(), "no live worker") {
+		t.Fatalf("err = %v, want a no-live-worker failure", err)
+	}
+}
+
+// TestRunUnitsPermanentRejectFailsFast: a 4xx from a worker marks the
+// unit bad and fails the run without retries.
+func TestRunUnitsPermanentRejectFailsFast(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad unit", http.StatusUnprocessableEntity)
+	}))
+	defer ts.Close()
+
+	units, _, _, _ := smokeUnits(t)
+	c := fleet.NewCoordinator(fastConfig())
+	c.Register(ts.URL, 1)
+
+	_, err := c.RunUnits(context.Background(), units[:1], nil)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("err = %v, want a rejection failure", err)
+	}
+	if st := c.Status(); st.UnitsRetried != 0 {
+		t.Errorf("permanent reject retried %d times, want 0", st.UnitsRetried)
+	}
+}
+
+// TestRegisterHeartbeatDeregister covers the registry lifecycle:
+// registration, heartbeat refresh (same id), deregistration, revival.
+func TestRegisterHeartbeatDeregister(t *testing.T) {
+	c := fleet.NewCoordinator(fleet.Config{})
+
+	id1 := c.Register("http://w1", 2)
+	id2 := c.Register("http://w2", 2)
+	if id1 == id2 {
+		t.Fatalf("two workers share id %s", id1)
+	}
+	if again := c.Register("http://w1", 2); again != id1 {
+		t.Errorf("heartbeat re-register changed id: %s -> %s", id1, again)
+	}
+	if st := c.Status(); st.Alive != 2 {
+		t.Fatalf("alive = %d, want 2", st.Alive)
+	}
+
+	if !c.Deregister("http://w1") {
+		t.Fatal("deregister of a known worker reported unknown")
+	}
+	if c.Deregister("http://nosuch") {
+		t.Error("deregister of an unknown worker reported known")
+	}
+	if st := c.Status(); st.Alive != 1 {
+		t.Fatalf("alive = %d after deregister, want 1", st.Alive)
+	}
+
+	// Re-registration revives a drained worker under its old id.
+	if revived := c.Register("http://w1", 2); revived != id1 {
+		t.Errorf("revival changed id: %s -> %s", id1, revived)
+	}
+	if st := c.Status(); st.Alive != 2 {
+		t.Fatalf("alive = %d after revival, want 2", st.Alive)
+	}
+}
+
+// TestAgentRegistersAndDeregisters drives the worker-side agent
+// against a live coordinator.
+func TestAgentRegistersAndDeregisters(t *testing.T) {
+	c := fleet.NewCoordinator(fleet.Config{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		var req fleet.RegisterRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		json.NewEncoder(w).Encode(fleet.RegisterReply{ID: c.Register(req.URL, req.Slots)})
+	})
+	mux.HandleFunc("POST /fleet/deregister", func(w http.ResponseWriter, r *http.Request) {
+		var req fleet.RegisterRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		json.NewEncoder(w).Encode(map[string]bool{"deregistered": c.Deregister(req.URL)})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	a := &fleet.Agent{Coordinator: ts.URL, Self: "http://worker:1", Slots: 3, Interval: 10 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); a.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Status().Alive == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("agent never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not stop")
+	}
+	if st := c.Status(); st.Alive != 0 {
+		t.Fatalf("alive = %d after agent shutdown, want 0 (deregistered)", st.Alive)
+	}
+}

@@ -1,0 +1,223 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	mat2c "mat2c"
+	"mat2c/internal/dse"
+	"mat2c/internal/fleet"
+	"mat2c/internal/isx"
+)
+
+// executeAcrossWorkers runs units round-robin over nWorkers simulated
+// workers, each with a private compilation cache — the same isolation
+// real fleet workers have.
+func executeAcrossWorkers(t *testing.T, units []fleet.Unit, nWorkers int) []*fleet.UnitResult {
+	t.Helper()
+	caches := make([]*mat2c.Cache, nWorkers)
+	for i := range caches {
+		caches[i] = mat2c.NewCache(64)
+	}
+	results := make([]*fleet.UnitResult, len(units))
+	for i := range units {
+		res, err := fleet.Execute(context.Background(), &units[i], caches[i%nWorkers])
+		if err != nil {
+			t.Fatalf("execute unit %s: %v", units[i].ID, err)
+		}
+		results[i] = res
+	}
+	return results
+}
+
+func reportJSON(t *testing.T, rep interface{}) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestShardedDSEMatchesSingleProcess is the sharding property test:
+// for randomized sweep axes, shard sizes, and worker counts, the
+// sharded-and-merged report must be byte-for-byte identical to the
+// single-process report (wall time excepted).
+func TestShardedDSEMatchesSingleProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	ctx := context.Background()
+
+	widthAxis := [][]int{{1}, {1, 4}, {1, 2, 4}}
+	complexAxis := [][]bool{{false}, {true}, {true, false}}
+
+	for trial := 0; trial < 3; trial++ {
+		sweep := &dse.Sweep{
+			Base:    "scalar",
+			Widths:  widthAxis[rng.Intn(len(widthAxis))],
+			Complex: complexAxis[rng.Intn(len(complexAxis))],
+		}
+		if trial == 2 {
+			// One trial over a base with custom-instruction groups, so the
+			// group axis crosses the wire too.
+			sweep.Base = "dspasip"
+			sweep.Groups = [][]string{nil, {"mac", "cmplx"}}
+			sweep.Widths = []int{1, 4}
+			sweep.Complex = []bool{true}
+		}
+		unitSize := 1 + rng.Intn(3)
+		nWorkers := 2 + rng.Intn(2)
+		opts := dse.Options{Jobs: 2, Scale: 0.05, Kernels: []string{"fir", "cfir"}}
+
+		single, err := dse.ExploreContext(ctx, []*dse.Sweep{sweep}, opts)
+		if err != nil {
+			t.Fatalf("trial %d: single-process explore: %v", trial, err)
+		}
+
+		variants, bases, err := dse.EnumerateAll(ctx, []*dse.Sweep{sweep})
+		if err != nil {
+			t.Fatalf("trial %d: enumerate: %v", trial, err)
+		}
+		units, err := fleet.ShardDSE(variants, opts, unitSize)
+		if err != nil {
+			t.Fatalf("trial %d: shard: %v", trial, err)
+		}
+		if len(units) < 2 && len(variants) > 1 {
+			t.Fatalf("trial %d: %d variants sharded into %d units", trial, len(variants), len(units))
+		}
+		merged, err := fleet.MergeDSE(bases, opts, len(variants), executeAcrossWorkers(t, units, nWorkers))
+		if err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+
+		single.ElapsedUS, merged.ElapsedUS = 0, 0
+		got, want := reportJSON(t, merged), reportJSON(t, single)
+		if !bytes.Equal(got, want) {
+			t.Errorf("trial %d (base %s, unit size %d, %d workers): sharded report differs\nsharded: %s\nsingle:  %s",
+				trial, sweep.Base, unitSize, nWorkers, got, want)
+		}
+	}
+}
+
+// TestShardedDSEDuplicateDeliveries exercises the at-least-once edge:
+// delivering every unit result twice must merge to the same report
+// (first write wins, and every write agrees).
+func TestShardedDSEDuplicateDeliveries(t *testing.T) {
+	ctx := context.Background()
+	sweep := &dse.Sweep{Base: "scalar", Widths: []int{1, 4}, Complex: []bool{false}}
+	opts := dse.Options{Jobs: 2, Scale: 0.05, Kernels: []string{"fir"}}
+
+	variants, bases, err := dse.EnumerateAll(ctx, []*dse.Sweep{sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := fleet.ShardDSE(variants, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := executeAcrossWorkers(t, units, 2)
+	once, err := fleet.MergeDSE(bases, opts, len(variants), results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := fleet.MergeDSE(bases, opts, len(variants), append(append([]*fleet.UnitResult{}, results...), results...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	once.ElapsedUS, twice.ElapsedUS = 0, 0
+	if !bytes.Equal(reportJSON(t, once), reportJSON(t, twice)) {
+		t.Error("duplicate unit deliveries changed the merged report")
+	}
+}
+
+// TestMergeDSERefusesPartialResults: a missing variant must fail the
+// merge, never fabricate a partial report.
+func TestMergeDSERefusesPartialResults(t *testing.T) {
+	ctx := context.Background()
+	sweep := &dse.Sweep{Base: "scalar", Widths: []int{1, 2}, Complex: []bool{false}}
+	opts := dse.Options{Jobs: 1, Scale: 0.05, Kernels: []string{"fir"}}
+
+	variants, bases, err := dse.EnumerateAll(ctx, []*dse.Sweep{sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := fleet.ShardDSE(variants, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := executeAcrossWorkers(t, units, 1)
+	if _, err := fleet.MergeDSE(bases, opts, len(variants), results[:len(results)-1]); err == nil {
+		t.Fatal("merge accepted a missing variant")
+	}
+}
+
+// TestShardedISXMatchesSingleProcess: planning on the coordinator plus
+// per-candidate verification units must reproduce isx.MineContext
+// byte for byte.
+func TestShardedISXMatchesSingleProcess(t *testing.T) {
+	ctx := context.Background()
+	proc, err := mat2c.LoadProcessor("scalar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := isx.Options{Kernels: []string{"fir"}, Top: 2, Scale: 0.05}
+
+	single, err := isx.MineContext(ctx, proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := isx.PlanContext(ctx, proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Candidates) == 0 {
+		t.Fatal("plan mined no candidates")
+	}
+	units, err := fleet.ShardISX(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := fleet.MergeISX(plan, executeAcrossWorkers(t, units, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportJSON(t, merged), reportJSON(t, single)) {
+		t.Errorf("sharded ISX report differs\nsharded: %s\nsingle:  %s",
+			reportJSON(t, merged), reportJSON(t, single))
+	}
+}
+
+// TestUnitIDsAreContentAddressed: identical work shards to identical
+// unit IDs across calls (the idempotency anchor), and distinct work to
+// distinct IDs.
+func TestUnitIDsAreContentAddressed(t *testing.T) {
+	ctx := context.Background()
+	sweep := &dse.Sweep{Base: "scalar", Widths: []int{1, 2}, Complex: []bool{false}}
+	opts := dse.Options{Scale: 0.05, Kernels: []string{"fir"}}
+
+	variants, _, err := dse.EnumerateAll(ctx, []*dse.Sweep{sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fleet.ShardDSE(variants, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fleet.ShardDSE(variants, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Errorf("unit %d: id changed across identical shardings: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+		if seen[a[i].ID] {
+			t.Errorf("unit %d: duplicate id %s for distinct work", i, a[i].ID)
+		}
+		seen[a[i].ID] = true
+	}
+}

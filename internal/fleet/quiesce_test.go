@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestQuiesceWaitsForInflight: quiesce returns once the in-flight
+// gauge drains.
+func TestQuiesceWaitsForInflight(t *testing.T) {
+	c := NewCoordinator(Config{})
+	c.mu.Lock()
+	c.inflight = 1
+	c.mu.Unlock()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		c.mu.Lock()
+		c.inflight = 0
+		c.mu.Unlock()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if n := c.Quiesce(ctx); n != 0 {
+		t.Fatalf("quiesce abandoned %d units, want 0", n)
+	}
+	if st := c.Status(); st.UnitsAbandoned != 0 {
+		t.Fatalf("units_abandoned = %d, want 0", st.UnitsAbandoned)
+	}
+}
+
+// TestQuiesceRecordsAbandoned: a grace period expiring with RPCs still
+// out records them as abandoned instead of dropping them silently.
+func TestQuiesceRecordsAbandoned(t *testing.T) {
+	c := NewCoordinator(Config{})
+	c.mu.Lock()
+	c.inflight = 2
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if n := c.Quiesce(ctx); n != 2 {
+		t.Fatalf("quiesce reported %d abandoned units, want 2", n)
+	}
+	if st := c.Status(); st.UnitsAbandoned != 2 {
+		t.Fatalf("units_abandoned = %d, want 2", st.UnitsAbandoned)
+	}
+}
+
+// TestBackoffBoundsAndJitter: delays grow exponentially, stay within
+// the jitter envelope, and cap at RetryMax.
+func TestBackoffBoundsAndJitter(t *testing.T) {
+	c := NewCoordinator(Config{RetryBase: 100 * time.Millisecond, RetryMax: 5 * time.Second})
+	for attempt := 0; attempt < 12; attempt++ {
+		base := 100 * time.Millisecond << uint(attempt)
+		if base > 5*time.Second || base <= 0 {
+			base = 5 * time.Second
+		}
+		for i := 0; i < 20; i++ {
+			d := c.backoff(attempt)
+			if d < base/2 || d >= base*3/2 {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v)", attempt, d, base/2, base*3/2)
+			}
+		}
+	}
+}

@@ -161,7 +161,7 @@ func record(agg map[string]*Candidate, pr *profile, o option, k ir.Kind, cnt int
 			ScalarExpanded: o.scalarCost,
 			ScalarCycles:   fusedScalar,
 			Area:           o.area,
-			estByKernel:    map[string]int64{},
+			EstByKernel:    map[string]int64{},
 			pat:            pat,
 		}
 		agg[key] = c
@@ -172,7 +172,7 @@ func record(agg map[string]*Candidate, pr *profile, o option, k ir.Kind, cnt int
 	}
 	c.DynCount += cnt
 	c.EstSavings += cnt * saving
-	c.estByKernel[pr.kernel.Name] += cnt * saving
+	c.EstByKernel[pr.kernel.Name] += cnt * saving
 }
 
 // finalize turns an option into a Pattern: structurally identical cuts

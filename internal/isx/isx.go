@@ -95,8 +95,12 @@ type Candidate struct {
 	// when verification was skipped).
 	Deltas []KernelDelta `json:"verification,omitempty"`
 
-	estByKernel map[string]int64
-	pat         *ir.Pattern
+	// EstByKernel breaks the estimated savings out per kernel. It is
+	// exported (and on the wire) so sharded verification can run on a
+	// remote fleet worker that never saw the profiling pass.
+	EstByKernel map[string]int64 `json:"est_by_kernel,omitempty"`
+
+	pat *ir.Pattern
 }
 
 // Instrs returns the processor-description entries implementing c: the
@@ -159,12 +163,45 @@ func Mine(proc *pdesc.Processor, opts Options) (*Report, error) {
 // each winner by recompiling and re-simulating on a derived processor.
 func MineContext(ctx context.Context, proc *pdesc.Processor, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
+	plan, err := PlanContext(ctx, proc, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoVerify {
+		for _, c := range plan.Candidates {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			c.Deltas = VerifyCandidate(ctx, proc, c, plan.Profiles)
+		}
+	}
+	return plan.Report(), nil
+}
+
+// Plan is a prepared mining run: the ranked candidates plus the
+// per-kernel profile summaries verification needs. It is the shard
+// point for fleet execution — a coordinator plans locally, dispatches
+// one verification unit per candidate to workers (each running
+// VerifyCandidate), attaches the returned deltas, and assembles the
+// same Report a single-process MineContext would have produced.
+type Plan struct {
+	Proc       *pdesc.Processor
+	Kernels    []string
+	MaxNodes   int
+	Candidates []*Candidate
+	Profiles   []ProfileSummary
+}
+
+// PlanContext runs the profiling, enumeration, and ranking phases of a
+// mine without verifying the winners.
+func PlanContext(ctx context.Context, proc *pdesc.Processor, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
 	kernels, err := resolveKernels(opts.Kernels)
 	if err != nil {
 		return nil, err
 	}
 	agg := map[string]*Candidate{}
-	profiles := make([]*profile, 0, len(kernels))
+	summaries := make([]ProfileSummary, 0, len(kernels))
 	for _, k := range kernels {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -173,29 +210,35 @@ func MineContext(ctx context.Context, proc *pdesc.Processor, opts Options) (*Rep
 		if err != nil {
 			return nil, fmt.Errorf("profile %s: %w", k.Name, err)
 		}
-		profiles = append(profiles, pr)
+		summaries = append(summaries, ProfileSummary{
+			Kernel: k.Name, N: pr.n, BaseCycles: pr.base,
+		})
 		mineProfile(proc, pr, opts.MaxNodes, agg)
 	}
 	cands := rank(agg, opts.Top)
 	assignNames(proc, cands)
-	if !opts.NoVerify {
-		for _, c := range cands {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			verifyCandidate(ctx, proc, c, profiles)
-		}
-	}
 	names := make([]string, len(kernels))
 	for i, k := range kernels {
 		names[i] = k.Name
 	}
-	return &Report{
-		Processor:  proc.Name,
+	return &Plan{
+		Proc:       proc,
 		Kernels:    names,
 		MaxNodes:   opts.MaxNodes,
 		Candidates: cands,
+		Profiles:   summaries,
 	}, nil
+}
+
+// Report assembles the final mining report from the (possibly remotely)
+// verified candidates.
+func (p *Plan) Report() *Report {
+	return &Report{
+		Processor:  p.Proc.Name,
+		Kernels:    p.Kernels,
+		MaxNodes:   p.MaxNodes,
+		Candidates: p.Candidates,
+	}
 }
 
 // Extend derives a variant of proc named name that additionally
@@ -229,7 +272,7 @@ func rank(agg map[string]*Candidate, top int) []*Candidate {
 	cands := make([]*Candidate, 0, len(agg))
 	for _, c := range agg {
 		c.Merit = float64(c.EstSavings) / (c.Area + 1)
-		for k := range c.estByKernel {
+		for k := range c.EstByKernel {
 			c.Kernels = append(c.Kernels, k)
 		}
 		sort.Strings(c.Kernels)

@@ -10,41 +10,62 @@ import (
 	"mat2c/internal/vm"
 )
 
-// verifyCandidate measures c on every kernel it was mined from: derive
-// a processor carrying just this candidate, recompile, re-simulate the
-// same profiled input, check the outputs against the kernel's Matlab
-// reference, and record the measured cycle delta next to the estimate.
-func verifyCandidate(ctx context.Context, proc *pdesc.Processor, c *Candidate, profiles []*profile) {
+// ProfileSummary is the per-kernel slice of a mining profile that
+// candidate verification needs: which input size was profiled and the
+// base-run cycle count. It is wire-friendly (JSON) so sharded fleet
+// verification can run on a worker that never saw the profiling pass.
+type ProfileSummary struct {
+	Kernel     string `json:"kernel"`
+	N          int    `json:"n"`
+	BaseCycles int64  `json:"base_cycles"`
+}
+
+// VerifyCandidate measures c on every summarized kernel it was mined
+// from: derive a processor carrying just this candidate, recompile,
+// re-simulate the same profiled input, check the outputs against the
+// kernel's Matlab reference, and record the measured cycle delta next
+// to the estimate. It is a pure function of (proc, c, profiles), so a
+// verification unit dispatched to a fleet worker returns exactly the
+// deltas a single-process mine would have computed.
+func VerifyCandidate(ctx context.Context, proc *pdesc.Processor, c *Candidate, profiles []ProfileSummary) []KernelDelta {
 	ext, err := Extend(proc, proc.Name+"+"+c.Name, c)
+	var deltas []KernelDelta
 	for _, pr := range profiles {
-		est := c.estByKernel[pr.kernel.Name]
+		est := c.EstByKernel[pr.Kernel]
 		if est == 0 {
 			continue
 		}
 		d := KernelDelta{
-			Kernel:     pr.kernel.Name,
-			N:          pr.n,
-			BaseCycles: pr.base,
+			Kernel:     pr.Kernel,
+			N:          pr.N,
+			BaseCycles: pr.BaseCycles,
 			Estimated:  est,
 		}
 		if err != nil {
 			d.Err = fmt.Sprintf("derive: %v", err)
-			c.Deltas = append(c.Deltas, d)
+			deltas = append(deltas, d)
 			continue
 		}
-		cycles, selected, merr := measure(ctx, ext, pr.kernel, pr.n, c)
+		k := bench.KernelByName(pr.Kernel)
+		if k == nil {
+			d.Err = fmt.Sprintf("unknown kernel %q", pr.Kernel)
+			deltas = append(deltas, d)
+			continue
+		}
+		cycles, selected, merr := measure(ctx, ext, k, pr.N, c)
 		if merr != nil {
 			d.Err = merr.Error()
 		} else {
 			d.NewCycles = cycles
-			d.Measured = pr.base - cycles
+			d.Measured = pr.BaseCycles - cycles
 			d.Selected = selected
 			if cycles > 0 {
-				d.Speedup = float64(pr.base) / float64(cycles)
+				d.Speedup = float64(pr.BaseCycles) / float64(cycles)
 			}
 		}
-		c.Deltas = append(c.Deltas, d)
+		deltas = append(deltas, d)
 	}
+	return deltas
 }
 
 // measure runs kernel k on proc (which carries candidate c) and

@@ -343,15 +343,17 @@ func TestShutdownCancelsDSEJobs(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	// A big sweep at full scale so it cannot finish in the window
+	// between POST and Shutdown, even on a fast machine.
 	req := &DSERequest{
 		Sweep: &dse.Sweep{
 			Widths:  []int{1, 2, 4, 8},
 			Complex: []bool{true, false},
-			Groups:  [][]string{nil, {"mac"}, {"mac", "cmplx"}},
+			Groups:  [][]string{nil, {"mac"}, {"mac", "cmplx"}, {"cmplx"}},
 		},
 		Jobs:    1,
-		Scale:   0.25,
-		Kernels: []string{"fir", "cfir"},
+		Scale:   1.0,
+		Kernels: []string{"fir", "cfir", "iirsos"},
 	}
 	resp, body := postJSON(t, ts, "/dse", req)
 	if resp.StatusCode != http.StatusAccepted {

@@ -3,9 +3,12 @@
 // asynchronously against the server's shared compilation cache — the
 // serving-layer shape of the compiler↔architecture loop, where one
 // warm cache amortizes compilation across sweeps and across clients.
-// GET /dse/{id} reports progress and, once done, the full report.
-// DELETE /dse/{id} cancels a running sweep: workers observe the
-// cancellation between variants and stop evaluating.
+// GET /dse lists known jobs; GET /dse/{id} reports progress and, once
+// done, the full report. DELETE /dse/{id} cancels a running sweep:
+// workers observe the cancellation between variants and stop
+// evaluating. In coordinator role the same endpoints shard the sweep
+// across the fleet instead of exploring in-process; the merged report
+// is byte-identical.
 package service
 
 import (
@@ -182,10 +185,17 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		job.mu.Unlock()
 		s.metrics.ObserveDSEVariant(vr.CacheLookups, vr.CacheHits)
 	}
+	// Coordinator role shards the sweep across the fleet; the two paths
+	// share enumeration, per-variant evaluation, and report assembly, so
+	// the reports agree byte for byte (modulo wall time).
+	explore := dse.ExploreContext
+	if s.coord != nil {
+		explore = s.coord.ExploreDSE
+	}
 	s.metrics.DSESweepStarted()
 	go func() {
 		defer jcancel()
-		rep, err := dse.ExploreContext(jctx, sweeps, opts)
+		rep, err := explore(jctx, sweeps, opts)
 		cancelled := err != nil && isCtxErr(err)
 		frontier := 0
 		if rep != nil {
@@ -206,6 +216,53 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(DSEAccepted{ID: job.id, Status: "/dse/" + job.id, Variants: total})
+}
+
+// DSEJobSummary is one GET /dse entry: a job's status without its
+// (potentially large) report.
+type DSEJobSummary struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Evaluated int    `json:"evaluated"`
+	Total     int    `json:"total"`
+	Error     string `json:"error,omitempty"`
+	Status    string `json:"status_url"`
+}
+
+// DSEJobList is the GET /dse reply, oldest job first.
+type DSEJobList struct {
+	Jobs []DSEJobSummary `json:"jobs"`
+}
+
+// handleDSEList (GET /dse) lists every job the registry still holds,
+// in submission order. Reports are omitted — fetch them per job via
+// the status URL.
+func (s *Server) handleDSEList(w http.ResponseWriter, r *http.Request) {
+	finish := s.metrics.RequestStarted("dse_list")
+	defer func() { finish(http.StatusOK, false, false, false) }()
+
+	s.dseMu.Lock()
+	jobs := make([]*dseJob, 0, len(s.dseOrder))
+	for _, id := range s.dseOrder {
+		if j := s.dseJobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.dseMu.Unlock()
+
+	list := DSEJobList{Jobs: []DSEJobSummary{}}
+	for _, j := range jobs {
+		st := j.status()
+		list.Jobs = append(list.Jobs, DSEJobSummary{
+			ID:        st.ID,
+			State:     st.State,
+			Evaluated: st.Evaluated,
+			Total:     st.Total,
+			Error:     st.Error,
+			Status:    "/dse/" + st.ID,
+		})
+	}
+	writeJSON(w, list)
 }
 
 func (s *Server) handleDSEStatus(w http.ResponseWriter, r *http.Request) {

@@ -5,7 +5,10 @@
 // same lifecycle as /dse. GET /isx/{id} reports progress and, once
 // done, the full mining report; DELETE /isx/{id} cancels a running
 // mine (the miner observes cancellation between kernels and between
-// candidate verifications).
+// candidate verifications). GET /isx lists known jobs. In coordinator
+// role the per-candidate verification pass is sharded across the fleet
+// (planning stays on the coordinator); the report is byte-identical to
+// in-process mining.
 package service
 
 import (
@@ -142,10 +145,17 @@ func (s *Server) handleISX(w http.ResponseWriter, r *http.Request) {
 	// cancels running mines; DELETE /isx/{id} cancels just this one.
 	jctx, jcancel := context.WithCancel(s.jobsCtx)
 	job := s.registerISXJob(jcancel)
+	// Coordinator role plans locally and fans candidate verification
+	// out across the fleet; both paths share planning, verification,
+	// and report assembly, so the reports agree byte for byte.
+	mine := isx.MineContext
+	if s.coord != nil {
+		mine = s.coord.MineISX
+	}
 	s.metrics.ISXMineStarted()
 	go func() {
 		defer jcancel()
-		rep, err := isx.MineContext(jctx, proc, opts)
+		rep, err := mine(jctx, proc, opts)
 		cancelled := err != nil && isCtxErr(err)
 		candidates := 0
 		if rep != nil {
@@ -166,6 +176,48 @@ func (s *Server) handleISX(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(ISXAccepted{ID: job.id, Status: "/isx/" + job.id})
+}
+
+// ISXJobSummary is one GET /isx entry: a job's status without its
+// report.
+type ISXJobSummary struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	Status string `json:"status_url"`
+}
+
+// ISXJobList is the GET /isx reply, oldest job first.
+type ISXJobList struct {
+	Jobs []ISXJobSummary `json:"jobs"`
+}
+
+// handleISXList (GET /isx) lists every job the registry still holds,
+// in submission order.
+func (s *Server) handleISXList(w http.ResponseWriter, r *http.Request) {
+	finish := s.metrics.RequestStarted("isx_list")
+	defer func() { finish(http.StatusOK, false, false, false) }()
+
+	s.isxMu.Lock()
+	jobs := make([]*isxJob, 0, len(s.isxOrder))
+	for _, id := range s.isxOrder {
+		if j := s.isxJobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.isxMu.Unlock()
+
+	list := ISXJobList{Jobs: []ISXJobSummary{}}
+	for _, j := range jobs {
+		st := j.status()
+		list.Jobs = append(list.Jobs, ISXJobSummary{
+			ID:     st.ID,
+			State:  st.State,
+			Error:  st.Error,
+			Status: "/isx/" + st.ID,
+		})
+	}
+	writeJSON(w, list)
 }
 
 func (s *Server) handleISXStatus(w http.ResponseWriter, r *http.Request) {

@@ -124,6 +124,12 @@ type Metrics struct {
 	// catalog failed to load (catalog corruption, never silent).
 	targetLoadErrors uint64
 
+	// queueShed counts requests shed with 503 + Retry-After because a
+	// bounded queue was full, keyed by queue name ("compile"/"run" for
+	// the interactive worker pool, "sweep" for a worker's fleet-unit
+	// queue).
+	queueShed map[string]uint64
+
 	// Design-space exploration counters.
 	dseSweeps       uint64
 	dseRunning      int64
@@ -213,6 +219,17 @@ func (m *Metrics) TargetLoadError() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.targetLoadErrors++
+}
+
+// QueueShed counts one request shed with 503 + Retry-After because the
+// named bounded queue was full.
+func (m *Metrics) QueueShed(queue string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.queueShed == nil {
+		m.queueShed = map[string]uint64{}
+	}
+	m.queueShed[queue]++
 }
 
 // ObserveCompile records one compilation's outcome: the per-stage
@@ -308,6 +325,7 @@ type Snapshot struct {
 	CompileHits      uint64                       `json:"compile_cache_hits"`
 	VMFaults         uint64                       `json:"vm_faults"`
 	TargetLoadErrors uint64                       `json:"target_load_errors"`
+	QueueShed        map[string]uint64            `json:"queue_shed,omitempty"`
 	Requests         map[string]EndpointSnapshot  `json:"requests"`
 	Stages           map[string]HistogramSnapshot `json:"stages_us"`
 	Cache            mat2c.CacheStats             `json:"cache"`
@@ -372,6 +390,12 @@ func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
 	}
 	if m.dseCacheLookups > 0 {
 		s.DSE.CacheHitRate = float64(m.dseCacheHits) / float64(m.dseCacheLookups)
+	}
+	if len(m.queueShed) > 0 {
+		s.QueueShed = map[string]uint64{}
+		for q, n := range m.queueShed {
+			s.QueueShed[q] = n
+		}
 	}
 	s.ISX = ISXSnapshot{
 		Mines:          m.isxMines,

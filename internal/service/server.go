@@ -13,12 +13,20 @@
 //	POST /compile  MATLAB source + types + target → C artifacts + stats
 //	POST /run      compile + execute on the cycle-model simulator
 //	POST /dse      launch an async design-space exploration sweep
+//	GET  /dse      list sweep jobs
 //	GET  /dse/{id} sweep progress and, once done, the Pareto report
 //	POST /isx      launch an async instruction-set-extension mine
+//	GET  /isx      list mining jobs
 //	GET  /isx/{id} mining progress and, once done, the candidate report
 //	GET  /targets  built-in processor catalog
 //	GET  /healthz  liveness + in-flight gauge
 //	GET  /metrics  JSON counters: requests, cache, per-stage histograms
+//	GET  /fleet    fleet role, worker health, and queue depth
+//
+// In a sweep fleet (docs/FLEET.md) the same daemon also serves the
+// coordinator side (POST /fleet/register, POST /fleet/deregister) or
+// the worker side (POST /fleet/unit) of the sharding protocol,
+// selected by Config.Role.
 package service
 
 import (
@@ -32,8 +40,35 @@ import (
 	"time"
 
 	mat2c "mat2c"
+	"mat2c/internal/fleet"
 	"mat2c/internal/vm"
 )
+
+// Role selects the daemon's place in a sweep fleet (see docs/FLEET.md).
+type Role int
+
+const (
+	// RoleSingle is the classic standalone daemon: sweeps and mines run
+	// in-process.
+	RoleSingle Role = iota
+	// RoleCoordinator accepts /dse and /isx jobs as usual but shards
+	// them into work units dispatched to registered workers.
+	RoleCoordinator
+	// RoleWorker executes fleet work units (POST /fleet/unit) on a
+	// bounded sweep queue, separate from the interactive /run slots.
+	RoleWorker
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleCoordinator:
+		return "coordinator"
+	case RoleWorker:
+		return "worker"
+	default:
+		return "single"
+	}
+}
 
 // Config tunes the server. Zero values select sensible defaults.
 type Config struct {
@@ -47,6 +82,27 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxRequestBytes bounds request bodies (default 8 MiB).
 	MaxRequestBytes int64
+
+	// Role selects single-process, coordinator, or worker operation.
+	Role Role
+	// Fleet tunes the coordinator's dispatcher (coordinator role only).
+	Fleet fleet.Config
+	// SweepSlots bounds concurrently executing fleet work units on a
+	// worker. It is deliberately separate from Workers so sweep units
+	// can never saturate the interactive /run pool
+	// (default max(1, Workers/2)).
+	SweepSlots int
+	// SweepQueue bounds sweep units admitted but not yet running; a
+	// full queue sheds with 503 + Retry-After (default 2*SweepSlots).
+	SweepQueue int
+	// UnitTimeout bounds one fleet work unit's execution on a worker
+	// (default 5m; units batch several compile+simulate runs, so the
+	// interactive RequestTimeout would be too tight).
+	UnitTimeout time.Duration
+	// ShutdownGrace bounds how long Shutdown waits for
+	// dispatched-but-unacked fleet units before recording them as
+	// abandoned (default 5s).
+	ShutdownGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +117,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 8 << 20
+	}
+	if c.SweepSlots <= 0 {
+		c.SweepSlots = c.Workers / 2
+		if c.SweepSlots < 1 {
+			c.SweepSlots = 1
+		}
+	}
+	if c.SweepQueue <= 0 {
+		c.SweepQueue = 2 * c.SweepSlots
+	}
+	if c.UnitTimeout <= 0 {
+		c.UnitTimeout = 5 * time.Minute
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 5 * time.Second
 	}
 	return c
 }
@@ -77,6 +148,15 @@ type Server struct {
 	// cancels it so a stopping server reclaims its workers.
 	jobsCtx    context.Context
 	jobsCancel context.CancelFunc
+
+	// coord is the fleet dispatcher (coordinator role only).
+	coord *fleet.Coordinator
+	// sweepAdmit bounds fleet units admitted (queued or running) on a
+	// worker; sweepSlots bounds the ones actually executing. Both are
+	// separate from slots, so sweep traffic cannot starve interactive
+	// /compile and /run requests.
+	sweepAdmit chan struct{}
+	sweepSlots chan struct{}
 
 	// Design-space exploration job registry (see dse.go).
 	dseMu    sync.Mutex
@@ -95,7 +175,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	jobsCtx, jobsCancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		cache:      mat2c.NewCache(cfg.CacheSize),
 		metrics:    NewMetrics(),
@@ -103,14 +183,45 @@ func New(cfg Config) *Server {
 		jobsCtx:    jobsCtx,
 		jobsCancel: jobsCancel,
 	}
+	switch cfg.Role {
+	case RoleCoordinator:
+		fcfg := cfg.Fleet
+		if fcfg.UnitTimeout <= 0 {
+			fcfg.UnitTimeout = cfg.UnitTimeout
+		}
+		s.coord = fleet.NewCoordinator(fcfg)
+	case RoleWorker:
+		s.sweepAdmit = make(chan struct{}, cfg.SweepSlots+cfg.SweepQueue)
+		s.sweepSlots = make(chan struct{}, cfg.SweepSlots)
+	}
+	return s
 }
 
 // Shutdown cancels the server's background work (running DSE sweeps
-// and ISX mines observe the cancellation and stop). In-flight HTTP
-// requests are governed by their own request contexts — cancelling the
-// http.Server's BaseContext propagates into their workers the same way.
-// Shutdown is idempotent.
-func (s *Server) Shutdown() { s.jobsCancel() }
+// and ISX mines observe the cancellation and stop). In coordinator
+// mode it then waits — up to Config.ShutdownGrace — for every
+// dispatched-but-unacked fleet work unit to come back; the
+// cancellation has already propagated into the workers' request
+// contexts, so acks arrive promptly, and any straggler past the grace
+// period is recorded in the fleet's units_abandoned counter rather
+// than dropped silently. In-flight HTTP requests are governed by their
+// own request contexts — cancelling the http.Server's BaseContext
+// propagates into their workers the same way. Shutdown is idempotent.
+func (s *Server) Shutdown() {
+	s.jobsCancel()
+	if s.coord != nil {
+		qctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		s.coord.Quiesce(qctx)
+	}
+}
+
+// Fleet exposes the coordinator (nil outside coordinator role; for
+// tests and embedding servers).
+func (s *Server) Fleet() *fleet.Coordinator { return s.coord }
+
+// Config returns the server's effective (defaults-applied) configuration.
+func (s *Server) Config() Config { return s.cfg }
 
 // Metrics exposes the registry (for tests and embedding servers).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -124,14 +235,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /dse", s.handleDSE)
+	mux.HandleFunc("GET /dse", s.handleDSEList)
 	mux.HandleFunc("GET /dse/{id}", s.handleDSEStatus)
 	mux.HandleFunc("DELETE /dse/{id}", s.handleDSECancel)
 	mux.HandleFunc("POST /isx", s.handleISX)
+	mux.HandleFunc("GET /isx", s.handleISXList)
 	mux.HandleFunc("GET /isx/{id}", s.handleISXStatus)
 	mux.HandleFunc("DELETE /isx/{id}", s.handleISXCancel)
 	mux.HandleFunc("GET /targets", s.handleTargets)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /fleet", s.handleFleetStatus)
+	switch s.cfg.Role {
+	case RoleCoordinator:
+		mux.HandleFunc("POST /fleet/register", s.handleFleetRegister)
+		mux.HandleFunc("POST /fleet/deregister", s.handleFleetDeregister)
+	case RoleWorker:
+		mux.HandleFunc("POST /fleet/unit", s.handleFleetUnit)
+	}
 	return mux
 }
 
@@ -423,6 +544,8 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, name strin
 			httpError(w, status, "client went away")
 		} else {
 			status, timedOut = http.StatusServiceUnavailable, true
+			s.metrics.QueueShed(name)
+			w.Header().Set("Retry-After", "1")
 			httpError(w, status, "server busy: no worker within %s", s.cfg.RequestTimeout)
 		}
 		return
