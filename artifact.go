@@ -1,0 +1,74 @@
+package mat2c
+
+import (
+	"fmt"
+	"time"
+
+	"mat2c/internal/artifact"
+	"mat2c/internal/cgen"
+	"mat2c/internal/core"
+	"mat2c/internal/ir"
+	"mat2c/internal/isel"
+)
+
+// encodeArtifact serializes a compiled result into its durable form
+// under its content address. Every field a restored Result can be asked
+// for is rendered here, at encode time, so decoding never needs the IR
+// or AST object graphs.
+func encodeArtifact(key string, r *Result) []byte {
+	if r.art != nil {
+		// Already restored from an artifact: re-encode the original
+		// (deterministic, so the bytes written back match what was read).
+		return artifact.Encode(r.art, cacheKeyVersion)
+	}
+	a := &artifact.Artifact{
+		Key:             key,
+		Entry:           r.res.Entry,
+		Target:          r.proc.Name,
+		Program:         r.res.Program,
+		CSource:         r.res.CSource,
+		CHeader:         r.res.CHeader,
+		CPrototype:      cgen.Prototype(r.res.Func),
+		IRText:          ir.Print(r.res.Func),
+		ASTText:         formatFile(r.res.Info.File),
+		Warnings:        r.Warnings(),
+		VectorizedLoops: r.res.VectorizedLoops,
+		Intrinsics:      map[string]int{},
+	}
+	for name, n := range r.res.Intrinsics.Selected {
+		a.Intrinsics[name] = n
+	}
+	for _, st := range r.res.Stages {
+		a.Stages = append(a.Stages, artifact.StageTime{Stage: st.Stage, Nanos: st.Duration.Nanoseconds()})
+	}
+	return artifact.Encode(a, cacheKeyVersion)
+}
+
+// decodeArtifact rebuilds a Result from stored bytes. key is the
+// content address the bytes were fetched under; an artifact carrying a
+// different embedded key (a misfiled or renamed store entry) is
+// rejected as corrupt. opts must be the same options the key was
+// derived from — the restored Result reuses their resolved processor.
+func decodeArtifact(data []byte, key string, opts Options) (*Result, error) {
+	a, err := artifact.Decode(data, cacheKeyVersion)
+	if err != nil {
+		return nil, err
+	}
+	if a.Key != key {
+		return nil, fmt.Errorf("%w: artifact key %s stored under %s", artifact.ErrCorrupt, a.Key, key)
+	}
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	intr := isel.Stats{Selected: map[string]int{}}
+	for name, n := range a.Intrinsics {
+		intr.Selected[name] = n
+	}
+	stages := make([]core.StageTime, 0, len(a.Stages))
+	for _, st := range a.Stages {
+		stages = append(stages, core.StageTime{Stage: st.Stage, Duration: time.Duration(st.Nanos)})
+	}
+	res := core.Restored(a.Entry, a.Program, a.CSource, a.CHeader, a.VectorizedLoops, intr, stages, cfg)
+	return &Result{res: res, proc: cfg.Processor, art: a}, nil
+}

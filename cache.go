@@ -8,6 +8,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+
+	"mat2c/internal/artifact"
 )
 
 // cacheKeyVersion invalidates every cached artifact when the key layout
@@ -26,6 +28,13 @@ const cacheKeyVersion = "mat2c-cache-v1"
 // between callers: all Result accessors and Run methods are safe to use
 // concurrently (each Run builds a fresh VM), but callers must not
 // mutate the Processor a shared Result carries.
+//
+// A Cache is optionally backed by a durable artifact.Store (SetStore):
+// memory misses then consult the store before compiling, and fresh
+// compilations write through asynchronously. A store entry that fails
+// to decode — corruption, a format-version bump, a cache-key-version
+// bump — degrades to a recompile: it is counted, the entry is deleted
+// best-effort, and the caller never sees an error from the store tier.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
@@ -35,6 +44,16 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// Disk tier. store is written once (SetStore) before concurrent use;
+	// writes holds in-flight asynchronous write-throughs for Flush.
+	store        artifact.Store
+	writes       sync.WaitGroup
+	compiles     uint64
+	diskHits     uint64
+	diskMisses   uint64
+	decodeErrors uint64
+	storeErrors  uint64
 }
 
 type cacheEntry struct {
@@ -59,26 +78,68 @@ func NewCache(maxEntries int) *Cache {
 	}
 }
 
+// SetStore attaches a durable artifact store behind the in-memory
+// tier. Call it once, before the cache sees concurrent traffic (it is
+// part of construction, not steady-state reconfiguration).
+func (c *Cache) SetStore(s artifact.Store) {
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
+// Flush blocks until every in-flight asynchronous store write-through
+// has completed. Servers call it on drain so a process exit cannot
+// strand compiled artifacts; tests call it for determinism.
+func (c *Cache) Flush() { c.writes.Wait() }
+
 // CacheStats is a point-in-time snapshot of cache effectiveness.
+// Compiles counts full pipeline runs (misses in every tier); the Disk*
+// counters and the optional Disk snapshot are zero/nil when no store is
+// attached.
 type CacheStats struct {
 	Entries    int    `json:"entries"`
 	MaxEntries int    `json:"max_entries"`
 	Hits       uint64 `json:"hits"`
 	Misses     uint64 `json:"misses"`
 	Evictions  uint64 `json:"evictions"`
+
+	// Compiles counts compilations performed by CompileCached (memory
+	// and disk both missed).
+	Compiles uint64 `json:"compiles"`
+	// Disk tier traffic as seen by this cache: hits that restored a
+	// Result, misses, entries that failed to decode (degraded to a
+	// recompile), and write-through errors.
+	DiskHits     uint64 `json:"disk_hits"`
+	DiskMisses   uint64 `json:"disk_misses"`
+	DecodeErrors uint64 `json:"disk_decode_errors"`
+	StoreErrors  uint64 `json:"disk_store_errors"`
+	// Disk is the attached store's own counters and occupancy, when the
+	// store reports them (DiskStore does).
+	Disk *artifact.Stats `json:"disk,omitempty"`
 }
 
 // Stats snapshots the hit/miss/eviction counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Entries:    c.order.Len(),
-		MaxEntries: c.max,
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Evictions:  c.evictions,
+	st := CacheStats{
+		Entries:      c.order.Len(),
+		MaxEntries:   c.max,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		Compiles:     c.compiles,
+		DiskHits:     c.diskHits,
+		DiskMisses:   c.diskMisses,
+		DecodeErrors: c.decodeErrors,
+		StoreErrors:  c.storeErrors,
 	}
+	store := c.store
+	c.mu.Unlock()
+	if sr, ok := store.(artifact.StatsReporter); ok {
+		ds := sr.Stats()
+		st.Disk = &ds
+	}
+	return st
 }
 
 // get returns the cached result for key, promoting it to most recently
@@ -124,8 +185,67 @@ func (c *Cache) put(key string, res *Result) {
 // honoring a cache-bypass request whose contract still stores the fresh
 // artifact — use it to keep the cache warm. If the key is already
 // present, the existing entry is kept (and promoted) so all callers
-// share one artifact.
-func (c *Cache) Put(key string, res *Result) { c.put(key, res) }
+// share one artifact. When a store is attached the result also writes
+// through to it asynchronously (Flush waits for completion).
+func (c *Cache) Put(key string, res *Result) {
+	c.put(key, res)
+	c.writeThrough(key, res)
+}
+
+// writeThrough asynchronously persists res to the attached store, if
+// any. Store failures are counted, never surfaced: durability is an
+// optimization, not a correctness requirement.
+func (c *Cache) writeThrough(key string, res *Result) {
+	c.mu.Lock()
+	store := c.store
+	c.mu.Unlock()
+	if store == nil {
+		return
+	}
+	c.writes.Add(1)
+	go func() {
+		defer c.writes.Done()
+		if err := store.Put(key, encodeArtifact(key, res)); err != nil {
+			c.mu.Lock()
+			c.storeErrors++
+			c.mu.Unlock()
+		}
+	}()
+}
+
+// diskGet consults the attached store for key and restores the Result.
+// Every failure mode — no store, store miss, unreadable entry, decode
+// or checksum failure, key mismatch — returns ok=false and the caller
+// recompiles; a decode failure additionally deletes the bad entry
+// best-effort so it is not retried forever.
+func (c *Cache) diskGet(key string, opts Options) (*Result, bool) {
+	c.mu.Lock()
+	store := c.store
+	c.mu.Unlock()
+	if store == nil {
+		return nil, false
+	}
+	data, err := store.Get(key)
+	if err != nil {
+		c.mu.Lock()
+		c.diskMisses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	res, err := decodeArtifact(data, key, opts)
+	if err != nil {
+		c.mu.Lock()
+		c.decodeErrors++
+		c.diskMisses++
+		c.mu.Unlock()
+		store.Delete(key) // best-effort; a failure just leaves a dead entry
+		return nil, false
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.mu.Unlock()
+	return res, true
+}
 
 // CacheKey returns the content address of a compilation: the SHA-256
 // hex digest over the source, entry name, parameter types, resolved
@@ -161,9 +281,12 @@ func CacheKey(source, entry string, params []Type, opts Options) (string, error)
 
 // CompileCached is Compile behind a content-addressed cache: it returns
 // the cached Result when an identical compilation was seen before
-// (reporting hit=true), compiling and caching otherwise. A nil cache
-// degrades to plain Compile. Concurrent misses on the same key may
-// compile redundantly, but all callers end up sharing the first cached
+// (reporting hit=true), compiling and caching otherwise. When the cache
+// has a durable store attached, a memory miss consults the store before
+// compiling — a restored artifact also reports hit=true — and a fresh
+// compilation writes through asynchronously. A nil cache degrades to
+// plain Compile. Concurrent misses on the same key may compile
+// redundantly, but all callers end up sharing the first cached
 // artifact.
 func CompileCached(c *Cache, source, entry string, params []Type, opts Options) (res *Result, hit bool, err error) {
 	return CompileCachedContext(context.Background(), c, source, entry, params, opts)
@@ -185,10 +308,18 @@ func CompileCachedContext(ctx context.Context, c *Cache, source, entry string, p
 	if res, ok := c.get(key); ok {
 		return res, true, nil
 	}
+	if res, ok := c.diskGet(key, opts); ok {
+		c.put(key, res)
+		return res, true, nil
+	}
 	res, err = CompileContext(ctx, source, entry, params, opts)
 	if err != nil {
 		return nil, false, err
 	}
+	c.mu.Lock()
+	c.compiles++
+	c.mu.Unlock()
 	c.put(key, res)
+	c.writeThrough(key, res)
 	return res, false, nil
 }

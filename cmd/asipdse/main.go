@@ -10,15 +10,19 @@
 //	asipdse -kernels fir,cfir -scale 0.1   restrict the suite / shrink sizes
 //	asipdse -jobs 4 -json                  bound the pool, emit the JSON report
 //	asipdse -isx -isx-top 2                seed the sweep with mined extensions
+//	asipdse -cachedir .mat2c-cache         persist compiled artifacts across runs
 //	asipdse -cpuprofile dse.pprof          profile the exploration
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	mat2c "mat2c"
+	"mat2c/internal/artifact"
 	"mat2c/internal/dse"
 	"mat2c/internal/profile"
 )
@@ -39,8 +43,11 @@ func run() int {
 		isxSeed = flag.Bool("isx", false, "seed the sweep with mined instruction-set extensions (see isxmine)")
 		isxTop  = flag.Int("isx-top", 0, "how many mined candidates seed the sweep (default 3; implies -isx)")
 		isxMax  = flag.Int("isx-maxnodes", 0, "mined pattern size bound (default 4; implies -isx)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cacheDir   = flag.String("cachedir", "", "durable artifact store directory: compiled artifacts persist there and warm later runs")
+		cacheBytes = flag.Int64("cachebytes", 0, "artifact store byte budget (0 = default 512 MiB; needs -cachedir)")
+		cacheStats = flag.Bool("cachestats", false, "print cache-tier statistics to stderr after the run")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *jsonOut && *csvOut {
@@ -94,8 +101,30 @@ func run() int {
 			}
 		}
 	}
+	var cache *mat2c.Cache
+	if *cacheDir != "" {
+		store, err := artifact.OpenDisk(*cacheDir, *cacheBytes)
+		if err != nil {
+			return fatal(err)
+		}
+		cache = mat2c.NewCache(0)
+		cache.SetStore(store)
+		opts.Cache = cache
+	} else if *cacheStats {
+		cache = mat2c.NewCache(0)
+		opts.Cache = cache
+	}
 
 	rep, err := dse.Explore(sweeps, opts)
+	if cache != nil {
+		// Wait for asynchronous store write-throughs so the run's
+		// artifacts are durable before the process exits.
+		cache.Flush()
+		if *cacheStats {
+			st, _ := json.MarshalIndent(cache.Stats(), "", "  ")
+			fmt.Fprintf(os.Stderr, "cache: %s\n", st)
+		}
+	}
 	if err != nil {
 		return fatal(err)
 	}

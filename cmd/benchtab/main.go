@@ -27,6 +27,8 @@ import (
 	"os"
 	"time"
 
+	mat2c "mat2c"
+	"mat2c/internal/artifact"
 	"mat2c/internal/bench"
 	"mat2c/internal/pdesc"
 	"mat2c/internal/profile"
@@ -55,6 +57,9 @@ func run() int {
 		engine  = flag.String("engine", "", "VM engine: prepared or reference (default: prepared, or MAT2C_VM_ENGINE)")
 		vmbench = flag.String("vmbench", "", "measure simulator throughput and write the JSON report to this file (- for stdout)")
 		vmtime  = flag.Duration("vmtime", 250*time.Millisecond, "per-engine measurement window for -vmbench")
+
+		cacheDir   = flag.String("cachedir", "", "durable artifact store directory: compilations persist there and warm later runs")
+		cacheBytes = flag.Int64("cachebytes", 0, "artifact store byte budget (0 = default 512 MiB; needs -cachedir)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -82,6 +87,16 @@ func run() int {
 	}
 	report := &bench.Report{Proc: p.Name, Scale: *scale}
 	opts := []bench.Opt{bench.WithJobs(*jobs)}
+	if *cacheDir != "" {
+		store, err := artifact.OpenDisk(*cacheDir, *cacheBytes)
+		if err != nil {
+			return fatal(err)
+		}
+		cache := mat2c.NewCache(0)
+		cache.SetStore(store)
+		defer cache.Flush()
+		opts = append(opts, bench.WithCache(cache))
+	}
 	if *timeout > 0 {
 		// One deadline spans every requested table: compilation observes
 		// it between stages, the simulator polls it while executing.

@@ -44,6 +44,10 @@ func main() {
 		log.Fatalf("fleetsmoke: FAIL: %v", err)
 	}
 	log.Printf("fleetsmoke: PASS: sharded report is byte-identical to single-process report")
+	if err := warmStart(ctx, *bin, *out); err != nil {
+		log.Fatalf("fleetsmoke: FAIL: warm start: %v", err)
+	}
+	log.Printf("fleetsmoke: PASS: warm restart restored every artifact from disk with zero compiles")
 }
 
 func run(ctx context.Context, bin, outDir string) error {
@@ -101,16 +105,7 @@ func run(ctx context.Context, bin, outDir string) error {
 
 	// The same sweep, submitted to both daemons. Jobs is explicit so the
 	// reports' jobs field cannot drift with the hosts' core counts.
-	sweep := map[string]interface{}{
-		"sweep": map[string]interface{}{
-			"base":    "scalar",
-			"widths":  []int{1, 2, 4},
-			"complex": []bool{false, true},
-		},
-		"jobs":    2,
-		"scale":   0.05,
-		"kernels": []string{"fir", "cfir"},
-	}
+	sweep := smokeSweep()
 	sharded, err := runSweep(ctx, coordURL, sweep)
 	if err != nil {
 		return fmt.Errorf("sharded sweep: %w", err)
@@ -168,6 +163,124 @@ func run(ctx context.Context, bin, outDir string) error {
 	}
 	log.Printf("fleetsmoke: %d units dispatched, %d completed", st.Coordinator.Dispatched, st.Coordinator.Completed)
 	return nil
+}
+
+// smokeSweep is the POST /dse body every phase submits. Jobs is
+// explicit so the reports' jobs field cannot drift with the hosts' core
+// counts.
+func smokeSweep() map[string]interface{} {
+	return map[string]interface{}{
+		"sweep": map[string]interface{}{
+			"base":    "scalar",
+			"widths":  []int{1, 2, 4},
+			"complex": []bool{false, true},
+		},
+		"jobs":    2,
+		"scale":   0.05,
+		"kernels": []string{"fir", "cfir"},
+	}
+}
+
+// warmStart exercises the durable artifact store across process
+// restarts: two sequential single-process daemons share one -cachedir;
+// the first compiles the sweep cold, the second must restore every
+// artifact from disk (zero compiles, disk hits observed) and reproduce
+// the report byte-for-byte once timing and cache-traffic fields are
+// stripped.
+func warmStart(ctx context.Context, bin, outDir string) error {
+	if bin == "" {
+		bin = filepath.Join(outDir, "mat2cd") // built by run()
+	}
+	cacheDir := filepath.Join(outDir, "artifact-store")
+	ports, err := freePorts(2)
+	if err != nil {
+		return err
+	}
+
+	type cacheMetrics struct {
+		Compiles     uint64 `json:"compiles"`
+		DiskHits     uint64 `json:"disk_hits"`
+		DecodeErrors uint64 `json:"disk_decode_errors"`
+	}
+	var reports [2][]byte
+	var stats [2]cacheMetrics
+	for i, name := range []string{"cold", "warm"} {
+		err := func() error {
+			url := fmt.Sprintf("http://127.0.0.1:%d", ports[i])
+			d := &daemon{name: name, args: []string{
+				"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+				"-cachedir", cacheDir,
+			}}
+			if err := d.start(ctx, bin); err != nil {
+				return err
+			}
+			defer d.stop() // graceful: drains the store write-through queue
+			if err := poll(ctx, 30*time.Second, func() error {
+				return getJSON(ctx, url+"/metrics", &struct{}{})
+			}); err != nil {
+				return fmt.Errorf("%s daemon never became ready: %w", name, err)
+			}
+			report, err := runSweep(ctx, url, smokeSweep())
+			if err != nil {
+				return fmt.Errorf("%s sweep: %w", name, err)
+			}
+			var ms struct {
+				Cache cacheMetrics `json:"cache"`
+			}
+			if err := getJSON(ctx, url+"/metrics", &ms); err != nil {
+				return err
+			}
+			stats[i] = ms.Cache
+			reports[i], err = normalizeWarm(report)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(outDir, "report-"+name+".json"), reports[i], 0o644)
+		}()
+		if err != nil {
+			return err
+		}
+	}
+
+	cold, warm := stats[0], stats[1]
+	if cold.Compiles == 0 {
+		return fmt.Errorf("cold run compiled nothing (metrics %+v)", cold)
+	}
+	if warm.Compiles != 0 {
+		return fmt.Errorf("warm run compiled %d times, want 0 (store not consulted)", warm.Compiles)
+	}
+	if warm.DiskHits == 0 {
+		return fmt.Errorf("warm run restored nothing from disk (metrics %+v)", warm)
+	}
+	if warm.DecodeErrors != 0 {
+		return fmt.Errorf("warm run hit %d decode errors", warm.DecodeErrors)
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		return fmt.Errorf("warm report differs from cold report (see %s)", outDir)
+	}
+	log.Printf("fleetsmoke: warm start: cold compiled %d, warm restored %d from disk", cold.Compiles, warm.DiskHits)
+	return nil
+}
+
+// normalizeWarm is normalize plus the cache-traffic counters, which
+// legitimately differ between a cold and a warm run.
+func normalizeWarm(report json.RawMessage) ([]byte, error) {
+	var m map[string]interface{}
+	if err := json.Unmarshal(report, &m); err != nil {
+		return nil, fmt.Errorf("decode report: %w", err)
+	}
+	m["elapsed_us"] = 0
+	m["cache_lookups"] = 0
+	m["cache_hits"] = 0
+	if vs, ok := m["variants"].([]interface{}); ok {
+		for _, v := range vs {
+			if vm, ok := v.(map[string]interface{}); ok {
+				vm["cache_lookups"] = 0
+				vm["cache_hits"] = 0
+			}
+		}
+	}
+	return json.MarshalIndent(m, "", "  ")
 }
 
 // daemon is one spawned mat2cd process.

@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"mat2c/internal/artifact"
 	"mat2c/internal/fleet"
 	"mat2c/internal/service"
 )
@@ -56,6 +57,8 @@ func main() {
 		cacheSize    = flag.Int("cache", 0, "compilation cache entries (0 = default)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful shutdown drain bound")
+		cacheDir     = flag.String("cachedir", "", "durable artifact store directory backing the compilation cache (empty = memory only)")
+		cacheBytes   = flag.Int64("cachebytes", 0, "artifact store byte budget (0 = default 512 MiB; needs -cachedir)")
 
 		coordinator = flag.Bool("coordinator", false, "run as fleet coordinator: shard /dse and /isx jobs across registered workers")
 		workerOf    = flag.String("worker", "", "run as fleet worker of the coordinator at this base `URL`")
@@ -78,6 +81,15 @@ func main() {
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 		SweepSlots:     *sweepSlots,
+	}
+	if *cacheDir != "" {
+		store, err := artifact.OpenDisk(*cacheDir, *cacheBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mat2cd:", err)
+			os.Exit(1)
+		}
+		cfg.Store = store
+		log.Printf("mat2cd: artifact store at %s", *cacheDir)
 	}
 	switch {
 	case *coordinator:

@@ -1,0 +1,164 @@
+package artifact
+
+import (
+	"fmt"
+	"sort"
+
+	"mat2c/internal/vm"
+)
+
+// Artifact framing. formatVersion covers the section layout below; the
+// caller-supplied key version (mat2c's cacheKeyVersion) is additionally
+// baked into every encoding so artifacts written under a different
+// cache-key semantics — which would be addressed by different keys
+// anyway — can never be resurrected by accident.
+const (
+	artifactMagic   = "M2CA"
+	artifactVersion = 1
+)
+
+// StageTime is one pipeline stage's recorded wall time, in the durable
+// form (nanoseconds, not time.Duration, to keep the wire layout
+// explicit).
+type StageTime struct {
+	Stage string
+	Nanos int64
+}
+
+// Artifact is the durable form of one compilation: everything a serving
+// replica needs to answer /compile and /run for the same content
+// address without re-running the pipeline. Rendered text (IR listing,
+// normalized AST, C prototype) is stored pre-printed: the IR and AST
+// object graphs are not serialized, only their user-visible renderings,
+// which keeps the format small and the decoder simple.
+type Artifact struct {
+	// Key is the content address the artifact was stored under
+	// (mat2c.CacheKey hex). Decode rejects an artifact whose embedded
+	// key differs from the requested one, so a misfiled or renamed
+	// store entry degrades to a miss instead of serving wrong code.
+	Key string
+	// Entry is the compiled entry-function name; Target the processor
+	// description name (informational; the description itself is keyed).
+	Entry  string
+	Target string
+
+	// Program is the compiled VM program.
+	Program *vm.Program
+
+	// C artifacts and rendered listings.
+	CSource    string
+	CHeader    string
+	CPrototype string
+	IRText     string
+	ASTText    string
+
+	// Diagnostics and pipeline statistics.
+	Warnings        []string
+	VectorizedLoops int
+	Intrinsics      map[string]int
+	Stages          []StageTime
+}
+
+// Encode serializes the artifact under the given cache-key version.
+// The encoding is deterministic: map sections are sorted, so equal
+// artifacts produce equal bytes (content-addressed stores may rely on
+// it).
+func Encode(a *Artifact, keyVersion string) []byte {
+	var w writer
+	w.buf = append(w.buf, artifactMagic...)
+	w.u32(artifactVersion)
+	w.str(keyVersion)
+	w.str(a.Key)
+	w.str(a.Entry)
+	w.str(a.Target)
+	w.str(a.CSource)
+	w.str(a.CHeader)
+	w.str(a.CPrototype)
+	w.str(a.IRText)
+	w.str(a.ASTText)
+	w.u32(uint32(len(a.Warnings)))
+	for _, s := range a.Warnings {
+		w.str(s)
+	}
+	w.u32(uint32(a.VectorizedLoops))
+	names := make([]string, 0, len(a.Intrinsics))
+	for name := range a.Intrinsics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.u32(uint32(len(names)))
+	for _, name := range names {
+		w.str(name)
+		w.i64(int64(a.Intrinsics[name]))
+	}
+	w.u32(uint32(len(a.Stages)))
+	for _, st := range a.Stages {
+		w.str(st.Stage)
+		w.i64(st.Nanos)
+	}
+	prog := EncodeProgram(a.Program)
+	w.u32(uint32(len(prog)))
+	w.buf = append(w.buf, prog...)
+	return w.bytes()
+}
+
+// Decode rebuilds an artifact, requiring both the format version and
+// the cache-key version to match this build. Arbitrary bytes produce an
+// error wrapping ErrCorrupt; a well-formed artifact from another
+// version produces one wrapping ErrVersion. Neither ever panics.
+func Decode(data []byte, keyVersion string) (*Artifact, error) {
+	r, err := checkWrapper(data, artifactMagic)
+	if err != nil {
+		return nil, err
+	}
+	if v := r.u32(); r.err == nil && v != artifactVersion {
+		return nil, fmt.Errorf("%w: artifact format v%d, this build reads v%d", ErrVersion, v, artifactVersion)
+	}
+	if kv := r.str(); r.err == nil && kv != keyVersion {
+		return nil, fmt.Errorf("%w: cache-key version %q, this build uses %q", ErrVersion, kv, keyVersion)
+	}
+	a := &Artifact{}
+	a.Key = r.str()
+	a.Entry = r.str()
+	a.Target = r.str()
+	a.CSource = r.str()
+	a.CHeader = r.str()
+	a.CPrototype = r.str()
+	a.IRText = r.str()
+	a.ASTText = r.str()
+	if n := r.count(4); r.err == nil && n > 0 {
+		a.Warnings = make([]string, n)
+		for i := range a.Warnings {
+			a.Warnings[i] = r.str()
+		}
+	}
+	a.VectorizedLoops = int(r.u32())
+	if n := r.count(4 + 8); r.err == nil && n > 0 {
+		a.Intrinsics = make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			name := r.str()
+			a.Intrinsics[name] = int(r.i64())
+		}
+	}
+	if n := r.count(4 + 8); r.err == nil && n > 0 {
+		a.Stages = make([]StageTime, n)
+		for i := range a.Stages {
+			a.Stages[i].Stage = r.str()
+			a.Stages[i].Nanos = r.i64()
+		}
+	}
+	progLen := int(r.u32())
+	progBytes := r.take(progLen)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	prog, err := DecodeProgram(progBytes)
+	if err != nil {
+		// The embedded program is framed and checksummed independently;
+		// its ErrVersion still surfaces as such so a program-format bump
+		// invalidates artifacts the same observable way.
+		return nil, fmt.Errorf("embedded program: %w", err)
+	}
+	a.Program = prog
+	return a, nil
+}

@@ -1,0 +1,208 @@
+// Package artifact defines the durable form of a compilation: a
+// versioned, self-describing binary codec for compiled vm.Programs and
+// their C artifacts, and a pluggable Store interface with a
+// sharded-on-disk implementation. Together they turn the in-process
+// compile cache into a two-tier cache whose warm state survives
+// restarts and is shareable between fleet replicas (docs/CACHE.md).
+//
+// The format follows the gopher-lua bytecode dump/load shape: a magic
+// header, an explicit format version, length-prefixed fields in a fixed
+// order, and a trailing SHA-256 checksum over everything before it.
+// Decoding is strict and allocation-bounded: every count is validated
+// against the bytes actually remaining before anything is allocated, so
+// hostile input can produce an error but never a panic or an
+// out-of-memory allocation. The decoder is fuzzed (FuzzDecodeProgram,
+// FuzzDecodeArtifact) on exactly that contract.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed decode failures. Callers treat both as a cache miss; they are
+// distinct so version churn (expected, self-healing) is observable
+// separately from corruption (unexpected, worth alerting on).
+var (
+	// ErrCorrupt reports bytes that are not a well-formed artifact:
+	// truncation, checksum mismatch, out-of-range fields, trailing
+	// garbage.
+	ErrCorrupt = errors.New("artifact: corrupt")
+	// ErrVersion reports a well-formed artifact written under a
+	// different format version or cache-key version; it decodes cleanly
+	// under its own rules but is not usable here.
+	ErrVersion = errors.New("artifact: version mismatch")
+)
+
+// writer serializes fields into a growing buffer. The zero value is
+// ready to use.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v byte) { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+func (w *writer) u64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+func (w *writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) c128(v complex128) {
+	w.f64(real(v))
+	w.f64(imag(v))
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// bytes seals the buffer with the SHA-256 checksum of everything
+// written so far and returns the final encoding.
+func (w *writer) bytes() []byte {
+	sum := sha256.Sum256(w.buf)
+	return append(w.buf, sum[:]...)
+}
+
+// reader decodes fields with a sticky error. Every accessor returns a
+// zero value once an error is recorded, so decoding logic never
+// branches on partially-read garbage, and every length is checked
+// against the remaining input before the corresponding allocation.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s (offset %d)", ErrCorrupt, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail("need %d bytes, have %d", n, r.remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) c128() complex128 {
+	re := r.f64()
+	im := r.f64()
+	return complex(re, im)
+}
+
+// str reads a length-prefixed string. The stated length is validated
+// against the remaining bytes before the copy, so a hostile length can
+// never allocate beyond the input size.
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if int64(n) > int64(r.remaining()) {
+		r.fail("string length %d exceeds remaining %d", n, r.remaining())
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// count reads an element count and bounds it by the bytes remaining:
+// each element occupies at least minPer bytes on the wire, so any count
+// above remaining/minPer is lying and is rejected before the caller
+// allocates a slice for it.
+func (r *reader) count(minPer int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if minPer < 1 {
+		minPer = 1
+	}
+	if int64(n) > int64(r.remaining()/minPer) {
+		r.fail("count %d exceeds plausible maximum %d", n, r.remaining()/minPer)
+		return 0
+	}
+	return int(n)
+}
+
+// enum reads a u8 and bounds it to [0, max].
+func (r *reader) enum(name string, max int) int {
+	v := int(r.u8())
+	if r.err == nil && v > max {
+		r.fail("%s %d out of range [0,%d]", name, v, max)
+		return 0
+	}
+	return v
+}
+
+// done reports the sticky error, or complains about trailing bytes —
+// a well-formed artifact is consumed exactly.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.remaining() != 0 {
+		r.fail("%d trailing bytes", r.remaining())
+	}
+	return r.err
+}
+
+// checkWrapper verifies the outermost framing shared by every artifact
+// kind: a 4-byte magic, and a trailing SHA-256 checksum over everything
+// before it. It returns the payload between them (magic included, so
+// format-version fields stay under the checksum) as a reader positioned
+// after the magic.
+func checkWrapper(data []byte, magic string) (*reader, error) {
+	if len(data) < len(magic)+sha256.Size {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %s header+checksum", ErrCorrupt, len(data), magic)
+	}
+	body, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if string(body[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, string(body[:len(magic)]))
+	}
+	want := sha256.Sum256(body)
+	if string(want[:]) != string(sum) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return &reader{buf: body, off: len(magic)}, nil
+}

@@ -1,0 +1,146 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mat2c/internal/core"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+	"mat2c/internal/vm"
+)
+
+const codecTestSrc = `function y = scale(x, a)
+y = a .* x + 1;
+end`
+
+var codecTestParams = []sema.Type{
+	{Class: sema.Real, Shape: sema.Shape{Rows: 1, Cols: sema.DimUnknown}},
+	sema.ScalarType(sema.Real),
+}
+
+// compileTestResult runs the full pipeline (C emission included) on the
+// reference kernel, giving the tests a realistic program: vector ops,
+// intrinsics, immediates, array slots.
+func compileTestResult(t testing.TB) *core.Result {
+	t.Helper()
+	p, err := pdesc.Resolve("dspasip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Proposed(p)
+	cfg.EmitC = true
+	res, err := core.Compile(codecTestSrc, "scale", codecTestParams, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func testArtifact(t testing.TB) *Artifact {
+	res := compileTestResult(t)
+	return &Artifact{
+		Key:             "aabbccdd00112233",
+		Entry:           res.Entry,
+		Target:          "dspasip",
+		Program:         res.Program,
+		CSource:         res.CSource,
+		CHeader:         res.CHeader,
+		CPrototype:      "void scale(void);\n",
+		IRText:          "func scale { ... }",
+		ASTText:         "function y = scale(x, a)",
+		Warnings:        []string{"w1", "w2"},
+		VectorizedLoops: res.VectorizedLoops,
+		Intrinsics:      map[string]int{"mac": 2, "cmul": 1},
+		Stages:          []StageTime{{Stage: "parse", Nanos: 1200}, {Stage: "cgen", Nanos: 3400}},
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	prog := compileTestResult(t).Program
+	enc := EncodeProgram(prog)
+	dec, err := DecodeProgram(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got, want := dec.ContentHash(), prog.ContentHash(); got != want {
+		t.Errorf("ContentHash changed across the round trip: %s != %s", got, want)
+	}
+	if got, want := dec.Disasm(), prog.Disasm(); got != want {
+		t.Errorf("disassembly changed across the round trip:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if dec.NumRegs != prog.NumRegs || len(dec.Instrs) != len(prog.Instrs) {
+		t.Errorf("shape changed: regs %d/%d instrs %d/%d",
+			dec.NumRegs, prog.NumRegs, len(dec.Instrs), len(prog.Instrs))
+	}
+}
+
+func TestProgramEncodingDeterministic(t *testing.T) {
+	prog := compileTestResult(t).Program
+	if !bytes.Equal(EncodeProgram(prog), EncodeProgram(prog)) {
+		t.Error("two encodings of the same program differ")
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a := testArtifact(t)
+	const kv = "test-key-v1"
+	enc := Encode(a, kv)
+	dec, err := Decode(enc, kv)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// The embedded program is compared by content; everything else
+	// field-by-field.
+	if dec.Program.ContentHash() != a.Program.ContentHash() {
+		t.Error("program changed across the round trip")
+	}
+	gp, ap := dec.Program, a.Program
+	dec.Program, a.Program = nil, nil
+	if !reflect.DeepEqual(dec, a) {
+		t.Errorf("artifact changed across the round trip:\n got %+v\nwant %+v", dec, a)
+	}
+	dec.Program, a.Program = gp, ap
+}
+
+func TestArtifactEncodingDeterministic(t *testing.T) {
+	a := testArtifact(t)
+	if !bytes.Equal(Encode(a, "kv"), Encode(a, "kv")) {
+		t.Error("two encodings of the same artifact differ (map ordering leaked)")
+	}
+}
+
+func TestArtifactEmptySections(t *testing.T) {
+	a := testArtifact(t)
+	a.Warnings = nil
+	a.Intrinsics = nil
+	a.Stages = nil
+	dec, err := Decode(Encode(a, "kv"), "kv")
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec.Warnings) != 0 || len(dec.Intrinsics) != 0 || len(dec.Stages) != 0 {
+		t.Errorf("empty sections round-tripped non-empty: %+v", dec)
+	}
+}
+
+func TestDecodeProgramEmptyAndTiny(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("M2CP"), []byte("garbage")} {
+		if _, err := DecodeProgram(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("DecodeProgram(%q) = %v, want ErrCorrupt", data, err)
+		}
+	}
+}
+
+func TestProgramRoundTripEmptyProgram(t *testing.T) {
+	prog := &vm.Program{Name: "empty"}
+	dec, err := DecodeProgram(EncodeProgram(prog))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Name != "empty" || len(dec.Instrs) != 0 {
+		t.Errorf("empty program round-tripped to %+v", dec)
+	}
+}

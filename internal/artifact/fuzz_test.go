@@ -1,0 +1,92 @@
+package artifact_test
+
+import (
+	"testing"
+
+	"mat2c/internal/artifact"
+	"mat2c/internal/bench"
+	"mat2c/internal/core"
+	"mat2c/internal/pdesc"
+)
+
+// seedEncodings compiles every benchmark kernel against a couple of
+// builtin targets and returns valid encodings of the results — the fuzz
+// corpus starts from real artifacts so mutations explore the format's
+// interior, not just its magic header.
+func seedEncodings(f *testing.F, encodeOne func(res *core.Result) []byte) {
+	for _, target := range []string{"dspasip", "scalar"} {
+		p, err := pdesc.Resolve(target)
+		if err != nil {
+			f.Fatal(err)
+		}
+		cfg := core.Proposed(p)
+		cfg.EmitC = true
+		for _, k := range bench.Kernels() {
+			res, err := core.Compile(k.Source, k.Entry, k.Params, cfg)
+			if err != nil {
+				f.Fatalf("%s/%s: %v", target, k.Name, err)
+			}
+			f.Add(encodeOne(res))
+		}
+	}
+	// Degenerate seeds: empty, header-only, truncated checksum.
+	f.Add([]byte{})
+	f.Add([]byte("M2CP"))
+	f.Add([]byte("M2CA"))
+	f.Add(make([]byte, 64))
+}
+
+// FuzzDecodeProgram holds the decoder to its contract on arbitrary
+// bytes: return a typed error or a valid program — never panic, never
+// allocate beyond what the input length justifies. A successful decode
+// must re-encode byte-identically (the codec is canonical).
+func FuzzDecodeProgram(f *testing.F) {
+	seedEncodings(f, func(res *core.Result) []byte {
+		return artifact.EncodeProgram(res.Program)
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := artifact.DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must be canonical: encoding it again
+		// reproduces the input exactly.
+		enc := artifact.EncodeProgram(p)
+		if string(enc) != string(data) {
+			t.Fatalf("decode/encode is not canonical: %d in, %d out", len(data), len(enc))
+		}
+	})
+}
+
+// FuzzDecodeArtifact is the same contract for the full artifact frame,
+// embedded program included.
+func FuzzDecodeArtifact(f *testing.F) {
+	const kv = "fuzz-key-v1"
+	seedEncodings(f, func(res *core.Result) []byte {
+		return artifact.Encode(&artifact.Artifact{
+			Key:             "0011223344556677",
+			Entry:           res.Entry,
+			Target:          "dspasip",
+			Program:         res.Program,
+			CSource:         res.CSource,
+			CHeader:         res.CHeader,
+			CPrototype:      "void f(void);",
+			IRText:          "ir",
+			ASTText:         "ast",
+			Warnings:        []string{"w"},
+			VectorizedLoops: res.VectorizedLoops,
+			Intrinsics:      res.Intrinsics.Selected,
+			Stages:          []artifact.StageTime{{Stage: "parse", Nanos: 1}},
+		}, kv)
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := artifact.Decode(data, kv)
+		if err != nil {
+			return
+		}
+		enc := artifact.Encode(a, kv)
+		if string(enc) != string(data) {
+			t.Fatalf("decode/encode is not canonical: %d in, %d out", len(data), len(enc))
+		}
+	})
+}

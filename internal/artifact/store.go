@@ -1,0 +1,50 @@
+package artifact
+
+import "errors"
+
+// ErrNotFound reports a key the store has no entry for. Stores return
+// it (wrapped or bare) from Get and Delete; callers treat it as a
+// clean miss.
+var ErrNotFound = errors.New("artifact: not found")
+
+// Store is a persistent byte store keyed by content address. The cache
+// layer sits a process-local LRU in front of one: Get on a memory miss,
+// asynchronous Put on compile, Delete when an entry decodes corrupt.
+//
+// Implementations must be safe for concurrent use by one process and
+// must tolerate concurrent use of the same backing storage by multiple
+// processes for identical keys — entries are content-addressed, so
+// racing writers store identical bytes and any winner is correct.
+type Store interface {
+	// Get returns the bytes stored under key, or an error wrapping
+	// ErrNotFound when there is no entry.
+	Get(key string) ([]byte, error)
+	// Put durably stores data under key, atomically: a reader (or a
+	// crash) mid-Put observes either nothing or the full entry.
+	Put(key string, data []byte) error
+	// Delete removes the entry (ErrNotFound when absent).
+	Delete(key string) error
+	// Len reports the number of stored entries.
+	Len() (int, error)
+}
+
+// Stats is a point-in-time snapshot of a store's traffic and occupancy,
+// surfaced through the cache tier into /metrics.
+type Stats struct {
+	Gets      uint64 `json:"gets"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"put_errors"`
+	Deletes   uint64 `json:"deletes"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Budget    int64  `json:"budget_bytes"`
+}
+
+// StatsReporter is optionally implemented by stores that track their
+// own traffic counters (DiskStore does).
+type StatsReporter interface {
+	Stats() Stats
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	mat2c "mat2c"
 	"mat2c/internal/core"
 	"mat2c/internal/ir"
 	"mat2c/internal/pdesc"
@@ -137,6 +138,68 @@ func RunKernelOn(proc *pdesc.Processor, k *Kernel, n int) (*Stats, error) {
 	return RunPipeline(k, core.Proposed(proc), n)
 }
 
+// OptionsFor maps a core pipeline Config onto the equivalent public
+// mat2c.Options, so harnesses that enumerate configs directly (the
+// ablation variants) can still compile through the content-addressed
+// cache. Every ablation combination is expressible: the public options
+// are subtractive flags over the full pipeline.
+func OptionsFor(cfg core.Config) mat2c.Options {
+	o := mat2c.Options{
+		Processor:    cfg.Processor,
+		NoVectorize:  !cfg.Vectorize,
+		NoIntrinsics: !cfg.Intrinsics,
+		NoFusion:     !cfg.Fusion,
+		SkipC:        !cfg.EmitC,
+	}
+	if cfg.OptLevel <= 0 {
+		o.OptLevel = -1
+	} else {
+		o.OptLevel = cfg.OptLevel
+	}
+	return o
+}
+
+// RunPipelineCached is RunPipelineContext through a content-addressed
+// cache: identical (kernel, config) compilations are compiled once and
+// restored thereafter — from memory, or from the cache's durable store
+// across processes. The measurement contract is unchanged (outputs are
+// still verified against the Go reference on every call).
+func RunPipelineCached(ctx context.Context, c *mat2c.Cache, k *Kernel, cfg core.Config, n int) (*Stats, error) {
+	if c == nil {
+		return RunPipelineContext(ctx, k, cfg, n)
+	}
+	res, _, err := mat2c.CompileCachedContext(ctx, c, k.Source, k.Entry, k.Params, OptionsFor(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("%s: compile: %w", k.Name, err)
+	}
+	args := k.Inputs(n)
+	want := k.Reference(cloneArgs(args))
+	got, st, err := res.RunWithStatsContext(ctx, cloneArgs(args)...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: run: %w", k.Name, err)
+	}
+	if err := verify(got, want); err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	return &Stats{
+		Cycles:          st.Cycles,
+		Executed:        st.Executed,
+		CodeSize:        res.CodeSize(),
+		VectorizedLoops: res.VectorizedLoops(),
+		Intrinsics:      res.SelectedIntrinsics(),
+	}, nil
+}
+
+// runPipeline dispatches one generator measurement through the cache
+// when the generator was built WithCache, and straight down the
+// pipeline otherwise.
+func runPipeline(o options, k *Kernel, cfg core.Config, n int) (*Stats, error) {
+	if o.cache != nil {
+		return RunPipelineCached(o.ctx, o.cache, k, cfg, n)
+	}
+	return RunPipelineContext(o.ctx, k, cfg, n)
+}
+
 // ----- Table I: headline speedups -----
 
 // Table1Row is one line of the headline comparison.
@@ -159,11 +222,11 @@ func Table1(proc *pdesc.Processor, scale float64, opts ...Opt) ([]Table1Row, err
 	err := forEach(len(ks), o.jobs, func(i int) error {
 		k := ks[i]
 		n := SizeFor(k, scale)
-		base, err := RunPipelineContext(o.ctx, k, core.Baseline(proc), n)
+		base, err := runPipeline(o, k, core.Baseline(proc), n)
 		if err != nil {
 			return err
 		}
-		prop, err := RunPipelineContext(o.ctx, k, core.Proposed(proc), n)
+		prop, err := runPipeline(o, k, core.Proposed(proc), n)
 		if err != nil {
 			return err
 		}
@@ -272,7 +335,7 @@ func Fig2(proc *pdesc.Processor, scale float64, opts ...Opt) ([]Fig2Row, error) 
 		row := Fig2Row{Kernel: k.Name}
 		var base int64
 		for i, ac := range configs {
-			st, err := RunPipelineContext(o.ctx, k, ac.Cfg(proc), n)
+			st, err := runPipeline(o, k, ac.Cfg(proc), n)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", k.Name, ac.Name, err)
 			}
@@ -350,13 +413,13 @@ func Fig3On(targets []*pdesc.Processor, ref *pdesc.Processor, scale float64, opt
 	err := forEach(len(ks), o.jobs, func(ki int) error {
 		k := ks[ki]
 		n := SizeFor(k, scale)
-		base, err := RunPipelineContext(o.ctx, k, core.Baseline(ref), n)
+		base, err := runPipeline(o, k, core.Baseline(ref), n)
 		if err != nil {
 			return err
 		}
 		row := Fig3Row{Kernel: k.Name}
 		for _, p := range targets {
-			st, err := RunPipelineContext(o.ctx, k, core.Proposed(p), n)
+			st, err := runPipeline(o, k, core.Proposed(p), n)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", k.Name, p.Name, err)
 			}
@@ -411,19 +474,33 @@ func Table2(proc *pdesc.Processor, opts ...Opt) ([]Table2Row, error) {
 	rows := make([]Table2Row, len(ks))
 	err := forEach(len(ks), o.jobs, func(i int) error {
 		k := ks[i]
-		base, err := core.CompileContext(o.ctx, k.Source, k.Entry, k.Params, core.Baseline(proc))
+		size := func(cfg core.Config) (int, error) {
+			if o.cache != nil {
+				res, _, err := mat2c.CompileCachedContext(o.ctx, o.cache, k.Source, k.Entry, k.Params, OptionsFor(cfg))
+				if err != nil {
+					return 0, err
+				}
+				return res.CodeSize(), nil
+			}
+			res, err := core.CompileContext(o.ctx, k.Source, k.Entry, k.Params, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.CodeSize(), nil
+		}
+		base, err := size(core.Baseline(proc))
 		if err != nil {
 			return err
 		}
-		prop, err := core.CompileContext(o.ctx, k.Source, k.Entry, k.Params, core.Proposed(proc))
+		prop, err := size(core.Proposed(proc))
 		if err != nil {
 			return err
 		}
 		rows[i] = Table2Row{
 			Kernel:       k.Name,
-			BaselineSize: base.CodeSize(),
-			ProposedSize: prop.CodeSize(),
-			Ratio:        float64(prop.CodeSize()) / float64(base.CodeSize()),
+			BaselineSize: base,
+			ProposedSize: prop,
+			Ratio:        float64(prop) / float64(base),
 		}
 		return nil
 	})

@@ -3,6 +3,8 @@ package bench
 import (
 	"context"
 	"sync"
+
+	mat2c "mat2c"
 )
 
 // Opt configures a table/figure generator. The generators accept
@@ -10,8 +12,9 @@ import (
 type Opt func(*options)
 
 type options struct {
-	jobs int
-	ctx  context.Context
+	jobs  int
+	ctx   context.Context
+	cache *mat2c.Cache
 }
 
 // WithJobs sets the worker count for kernel-level fan-out (≤1 =
@@ -27,6 +30,15 @@ func WithJobs(n int) Opt {
 // so a deadline or cancellation stops a long table run promptly.
 func WithContext(ctx context.Context) Opt {
 	return func(o *options) { o.ctx = ctx }
+}
+
+// WithCache routes the generator's compilations through a shared
+// content-addressed cache (mat2c.CompileCached). With a durable store
+// attached to the cache, a regenerated table recompiles nothing that an
+// earlier run already produced. Measurements are unaffected: a restored
+// artifact simulates bit-identically to a fresh compilation.
+func WithCache(c *mat2c.Cache) Opt {
+	return func(o *options) { o.cache = c }
 }
 
 func getOptions(opts []Opt) options {

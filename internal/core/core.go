@@ -125,6 +125,28 @@ type Result struct {
 	cfg Config
 }
 
+// Restored rebuilds a Result from a decoded durable artifact (see
+// internal/artifact): the VM program, C artifacts, and pipeline
+// statistics are present, but Info and Func are nil — the IR and AST
+// object graphs are not serialized, only their renderings, which the
+// mat2c layer serves from the artifact itself. Run and its variants
+// work normally (they need only Program and the processor).
+func Restored(entry string, prog *vm.Program, csrc, chdr string, vecLoops int, intr isel.Stats, stages []StageTime, cfg Config) *Result {
+	if intr.Selected == nil {
+		intr.Selected = map[string]int{}
+	}
+	return &Result{
+		Entry:           entry,
+		Program:         prog,
+		CSource:         csrc,
+		CHeader:         chdr,
+		VectorizedLoops: vecLoops,
+		Intrinsics:      intr,
+		Stages:          stages,
+		cfg:             cfg,
+	}
+}
+
 // Compile runs the configured pipeline over MATLAB source. entry names
 // the function to compile (it must be defined in src) and params give
 // the entry parameter types.

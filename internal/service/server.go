@@ -40,6 +40,7 @@ import (
 	"time"
 
 	mat2c "mat2c"
+	"mat2c/internal/artifact"
 	"mat2c/internal/fleet"
 	"mat2c/internal/vm"
 )
@@ -77,6 +78,12 @@ type Config struct {
 	// CacheSize bounds the compilation cache entry count
 	// (default mat2c.DefaultCacheSize).
 	CacheSize int
+	// Store, when non-nil, backs the compilation cache with a durable
+	// artifact tier (see internal/artifact): memory misses consult it
+	// before compiling and fresh compilations write through. A store
+	// entry that fails to decode degrades to a recompile, never an
+	// error.
+	Store artifact.Store
 	// RequestTimeout bounds each compile/run request, queueing
 	// included (default 30s).
 	RequestTimeout time.Duration
@@ -183,6 +190,9 @@ func New(cfg Config) *Server {
 		jobsCtx:    jobsCtx,
 		jobsCancel: jobsCancel,
 	}
+	if cfg.Store != nil {
+		s.cache.SetStore(cfg.Store)
+	}
 	switch cfg.Role {
 	case RoleCoordinator:
 		fcfg := cfg.Fleet
@@ -207,6 +217,9 @@ func New(cfg Config) *Server {
 // than dropped silently. In-flight HTTP requests are governed by their
 // own request contexts — cancelling the http.Server's BaseContext
 // propagates into their workers the same way. Shutdown is idempotent.
+// Shutdown also drains the cache's asynchronous artifact-store
+// write-throughs (Cache.Flush), so a durable store attached via
+// Config.Store holds every compilation the process finished.
 func (s *Server) Shutdown() {
 	s.jobsCancel()
 	if s.coord != nil {
@@ -214,6 +227,7 @@ func (s *Server) Shutdown() {
 		defer cancel()
 		s.coord.Quiesce(qctx)
 	}
+	s.cache.Flush()
 }
 
 // Fleet exposes the coordinator (nil outside coordinator role; for

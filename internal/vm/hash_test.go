@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mat2c/internal/ir"
+)
+
+// hashTestProgram builds a program with enough instructions that
+// hashing it takes measurable work (the lock-contention scenario the
+// memo is designed around).
+func hashTestProgram(name string, n int) *Program {
+	p := &Program{Name: name, NumRegs: 8}
+	for i := 0; i < n; i++ {
+		p.Instrs = append(p.Instrs, Instr{
+			Op:   OpBin,
+			K:    ir.Kind{Base: ir.Float, Lanes: 1},
+			BOp:  ir.OpAdd,
+			Dst:  i % 8,
+			A:    (i + 1) % 8,
+			B:    (i + 2) % 8,
+			ImmF: float64(i),
+		})
+	}
+	p.Instrs = append(p.Instrs, Instr{Op: OpRet})
+	return p
+}
+
+// TestContentHashParallelCallers hammers ContentHash from many
+// goroutines over a mix of shared and distinct programs. Run under
+// -race this pins the fix that moved the SHA-256 computation outside
+// the global memo lock: every caller must see one stable digest per
+// program, and distinct programs must hash distinctly.
+func TestContentHashParallelCallers(t *testing.T) {
+	const progs = 8
+	const callers = 16
+	ps := make([]*Program, progs)
+	for i := range ps {
+		ps[i] = hashTestProgram(fmt.Sprintf("p%d", i), 200+i)
+	}
+	want := make([]string, progs)
+	for i, p := range ps {
+		want[i] = p.contentHash() // uncached reference digest
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				i := (c + round) % progs
+				if got := ps[i].ContentHash(); got != want[i] {
+					errs <- fmt.Errorf("caller %d: program %d hashed to %s, want %s", c, i, got, want[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	for i := 0; i < progs; i++ {
+		for j := i + 1; j < progs; j++ {
+			if want[i] == want[j] {
+				t.Errorf("distinct programs %d and %d share a hash", i, j)
+			}
+		}
+	}
+}
+
+// TestContentHashMemoCapReset crosses the memo capacity and verifies
+// hashes stay correct after the map is dropped.
+func TestContentHashMemoCapReset(t *testing.T) {
+	old := progHashMemoCap
+	progHashMemoCap = 4
+	defer func() { progHashMemoCap = old }()
+
+	var ps []*Program
+	for i := 0; i < 10; i++ {
+		ps = append(ps, hashTestProgram(fmt.Sprintf("cap%d", i), 16))
+	}
+	first := make([]string, len(ps))
+	for i, p := range ps {
+		first[i] = p.ContentHash()
+	}
+	for i, p := range ps {
+		if got := p.ContentHash(); got != first[i] {
+			t.Errorf("program %d re-hashed to %s after memo reset, first saw %s", i, got, first[i])
+		}
+	}
+}
+
+// BenchmarkContentHashParallel measures concurrent first-call hashing:
+// before the fix every digest was computed while holding the global
+// memo mutex, serializing the parallel callers; after it only the map
+// probe and insert are under the lock.
+func BenchmarkContentHashParallel(b *testing.B) {
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			// A fresh program per iteration forces the uncached path.
+			p := hashTestProgram("bench", 300)
+			p.Instrs[0].ImmI = int64(i) // perturb so programs differ
+			i++
+			_ = p.ContentHash()
+		}
+	})
+}
+
+// BenchmarkContentHashMemoHit measures the cached path.
+func BenchmarkContentHashMemoHit(b *testing.B) {
+	p := hashTestProgram("hit", 300)
+	p.ContentHash()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = p.ContentHash()
+		}
+	})
+}

@@ -138,73 +138,85 @@ func (p *Program) Len() int { return len(p.Instrs) }
 // Two programs with equal hashes execute identically, including fault
 // messages; the prepared-program cache keys on it. Computed once and
 // memoized.
+//
+// The digest is computed outside the memo lock (the processorHash
+// pattern in pcache.go): programs are immutable once built, so
+// concurrent first callers may hash redundantly, but a slow hash of a
+// large program never serializes unrelated callers behind the global
+// mutex.
 func (p *Program) ContentHash() string {
 	progHashMu.Lock()
-	defer progHashMu.Unlock()
 	if s, ok := progHashes[p]; ok {
+		progHashMu.Unlock()
 		return s
 	}
-	{
-		h := sha256.New()
-		var buf [8]byte
-		wi := func(v int64) {
-			binary.LittleEndian.PutUint64(buf[:], uint64(v))
-			h.Write(buf[:])
-		}
-		ws := func(s string) {
-			wi(int64(len(s)))
-			io.WriteString(h, s)
-		}
-		ws(p.Name)
-		wi(int64(p.NumRegs))
-		wi(int64(len(p.Arrays)))
-		for _, a := range p.Arrays {
-			ws(a.Name)
-			wi(int64(a.Elem))
-		}
-		wp := func(ps []Param) {
-			wi(int64(len(ps)))
-			for _, q := range ps {
-				ws(q.Name)
-				wi(int64(b2int(q.IsArray)))
-				wi(int64(q.Elem))
-				wi(int64(q.Reg))
-				wi(int64(q.Arr))
-			}
-		}
-		wp(p.Params)
-		wp(p.Results)
-		wi(int64(len(p.Instrs)))
-		for i := range p.Instrs {
-			in := &p.Instrs[i]
-			wi(int64(in.Op))
-			wi(int64(in.K.Base))
-			wi(int64(in.K.Lanes))
-			wi(int64(in.OpBase))
-			wi(int64(in.BOp))
-			wi(int64(in.Dst))
-			wi(int64(in.A))
-			wi(int64(in.B))
-			wi(int64(len(in.Args)))
-			for _, a := range in.Args {
-				wi(int64(a))
-			}
-			wi(in.ImmI)
-			wi(int64(math.Float64bits(in.ImmF)))
-			wi(int64(math.Float64bits(real(in.ImmC))))
-			wi(int64(math.Float64bits(imag(in.ImmC))))
-			wi(int64(in.Arr))
-			wi(int64(in.Off))
-			ws(in.Intr)
-			ws(in.Sem)
-		}
-		if len(progHashes) >= progHashMemoCap {
-			progHashes = map[*Program]string{}
-		}
-		s := hex.EncodeToString(h.Sum(nil))
-		progHashes[p] = s
-		return s
+	progHashMu.Unlock()
+	s := p.contentHash()
+	progHashMu.Lock()
+	if len(progHashes) >= progHashMemoCap {
+		progHashes = map[*Program]string{}
 	}
+	progHashes[p] = s
+	progHashMu.Unlock()
+	return s
+}
+
+// contentHash is the uncached digest computation.
+func (p *Program) contentHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		wi(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	ws(p.Name)
+	wi(int64(p.NumRegs))
+	wi(int64(len(p.Arrays)))
+	for _, a := range p.Arrays {
+		ws(a.Name)
+		wi(int64(a.Elem))
+	}
+	wp := func(ps []Param) {
+		wi(int64(len(ps)))
+		for _, q := range ps {
+			ws(q.Name)
+			wi(int64(b2int(q.IsArray)))
+			wi(int64(q.Elem))
+			wi(int64(q.Reg))
+			wi(int64(q.Arr))
+		}
+	}
+	wp(p.Params)
+	wp(p.Results)
+	wi(int64(len(p.Instrs)))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		wi(int64(in.Op))
+		wi(int64(in.K.Base))
+		wi(int64(in.K.Lanes))
+		wi(int64(in.OpBase))
+		wi(int64(in.BOp))
+		wi(int64(in.Dst))
+		wi(int64(in.A))
+		wi(int64(in.B))
+		wi(int64(len(in.Args)))
+		for _, a := range in.Args {
+			wi(int64(a))
+		}
+		wi(in.ImmI)
+		wi(int64(math.Float64bits(in.ImmF)))
+		wi(int64(math.Float64bits(real(in.ImmC))))
+		wi(int64(math.Float64bits(imag(in.ImmC))))
+		wi(int64(in.Arr))
+		wi(int64(in.Off))
+		ws(in.Intr)
+		ws(in.Sem)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 func b2int(b bool) int {

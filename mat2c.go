@@ -39,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"mat2c/internal/artifact"
 	"mat2c/internal/cgen"
 	"mat2c/internal/core"
 	"mat2c/internal/ir"
@@ -169,6 +170,10 @@ type Options struct {
 	NoVectorize bool
 	// NoIntrinsics disables custom-instruction selection.
 	NoIntrinsics bool
+	// NoFusion disables elementwise view fusion in lowering (Baseline
+	// implies it; NoFusion alone keeps the rest of the full pipeline,
+	// which makes every ablation combination expressible).
+	NoFusion bool
 	// OptLevel: 0 (the zero value) keeps the default scalar optimization
 	// level (1); a negative value disables the scalar optimization
 	// pipeline entirely.
@@ -203,6 +208,9 @@ func (o Options) config() (core.Config, error) {
 	if o.NoIntrinsics {
 		cfg.Intrinsics = false
 	}
+	if o.NoFusion {
+		cfg.Fusion = false
+	}
 	switch {
 	case o.OptLevel < 0:
 		cfg.OptLevel = 0
@@ -217,6 +225,12 @@ func (o Options) config() (core.Config, error) {
 type Result struct {
 	res  *core.Result
 	proc *pdesc.Processor
+
+	// art is non-nil when the result was restored from the durable
+	// artifact store rather than compiled in this process: rendered
+	// listings (IR, AST, prototype) and diagnostics are served from it
+	// because the IR/AST object graphs are not serialized.
+	art *artifact.Artifact
 }
 
 // Compile compiles the MATLAB source. entry names the function to
@@ -252,7 +266,12 @@ func (r *Result) CSource() string { return r.res.CSource }
 func (r *Result) CHeader() string { return r.res.CHeader }
 
 // IRText returns the optimized intermediate representation.
-func (r *Result) IRText() string { return ir.Print(r.res.Func) }
+func (r *Result) IRText() string {
+	if r.art != nil {
+		return r.art.IRText
+	}
+	return ir.Print(r.res.Func)
+}
 
 // Disasm returns the VM program in assembly-like text.
 func (r *Result) Disasm() string { return r.res.Program.Disasm() }
@@ -297,6 +316,9 @@ func (r *Result) StageTimings() []StageTime {
 // Warnings returns non-fatal analyzer diagnostics (e.g. complex
 // ordering comparisons), formatted with source positions.
 func (r *Result) Warnings() []string {
+	if r.art != nil {
+		return append([]string(nil), r.art.Warnings...)
+	}
 	var out []string
 	for _, w := range r.res.Info.Warnings {
 		out = append(out, w.Error())
@@ -306,10 +328,20 @@ func (r *Result) Warnings() []string {
 
 // AST returns the normalized source rendering of the parsed program
 // (canonical spacing, explicit precedence).
-func (r *Result) AST() string { return formatFile(r.res.Info.File) }
+func (r *Result) AST() string {
+	if r.art != nil {
+		return r.art.ASTText
+	}
+	return formatFile(r.res.Info.File)
+}
 
 // CPrototype returns a small C header declaring the compiled function.
-func (r *Result) CPrototype() string { return cgen.Prototype(r.res.Func) }
+func (r *Result) CPrototype() string {
+	if r.art != nil {
+		return r.art.CPrototype
+	}
+	return cgen.Prototype(r.res.Func)
+}
 
 // WriteBundle writes a ready-to-build C project into dir: the compiled
 // function (<entry>.c), its prototype header (<entry>.h), the support
@@ -326,7 +358,7 @@ func (r *Result) WriteBundle(dir string) error {
 	files := map[string]string{
 		"asip_intrinsics.h": r.res.CHeader,
 		name + ".c":         r.res.CSource,
-		name + ".h":         cgen.Prototype(r.res.Func),
+		name + ".h":         r.CPrototype(),
 		"Makefile": fmt.Sprintf(
 			"# Generated by mat2c for target %q.\n"+
 				"# Host build uses the portable intrinsic fallbacks; an ASIP\n"+

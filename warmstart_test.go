@@ -1,0 +1,119 @@
+package mat2c_test
+
+// Warm-start integration test for the durable artifact store: the same
+// DSE sweep, run twice as separate processes sharing one -cachedir,
+// must produce byte-identical reports (after stripping timing and
+// cache-traffic fields) with the second run compiling nothing — every
+// variant restored from disk.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// warmSweep keeps the sweep tiny: 2 widths × 2 complex = 4 variants on
+// one small kernel. The point is the cache boundary, not DSE coverage.
+const warmSweep = `{
+  "base": "dspasip",
+  "widths": [4, 8],
+  "complex": [true, false]
+}`
+
+// volatileReportFields matches the JSON lines that legitimately differ
+// between a cold and a warm run: wall-clock and cache-traffic counters.
+var volatileReportFields = regexp.MustCompile(`(?m)^\s*"(elapsed_us|cache_lookups|cache_hits)":.*$`)
+
+func normalizeReport(s string) string {
+	return volatileReportFields.ReplaceAllString(s, "")
+}
+
+func runDSEProcess(t *testing.T, cacheDir, sweepPath string) (report, stats string) {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./cmd/asipdse",
+		"-json", "-cachestats",
+		"-cachedir", cacheDir,
+		"-sweep", sweepPath,
+		"-kernels", "fir", "-scale", "0.1")
+	cmd.Dir = "."
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("asipdse failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+// cacheStatsFrom extracts the JSON object asipdse -cachestats prints to
+// stderr after the "cache: " prefix.
+func cacheStatsFrom(t *testing.T, stderr string) map[string]interface{} {
+	t.Helper()
+	i := strings.Index(stderr, "cache: ")
+	if i < 0 {
+		t.Fatalf("no cache stats in stderr:\n%s", stderr)
+	}
+	var st map[string]interface{}
+	if err := json.Unmarshal([]byte(stderr[i+len("cache: "):]), &st); err != nil {
+		t.Fatalf("parsing cache stats: %v\nstderr:\n%s", err, stderr)
+	}
+	return st
+}
+
+func statCounter(t *testing.T, st map[string]interface{}, name string) float64 {
+	t.Helper()
+	v, ok := st[name].(float64)
+	if !ok {
+		t.Fatalf("cache stats missing %q: %v", name, st)
+	}
+	return v
+}
+
+func TestWarmStartDSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run twice")
+	}
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "store")
+	sweepPath := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(sweepPath, []byte(warmSweep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, coldStats := runDSEProcess(t, cacheDir, sweepPath)
+	warm, warmStats := runDSEProcess(t, cacheDir, sweepPath)
+
+	// The warm report must be byte-identical once volatile fields are
+	// stripped: restored artifacts reproduce the exact cycle counts,
+	// code sizes, and frontier of the cold run.
+	if normalizeReport(cold) != normalizeReport(warm) {
+		t.Errorf("cold and warm reports differ:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+
+	cs := cacheStatsFrom(t, coldStats)
+	ws := cacheStatsFrom(t, warmStats)
+
+	// Cold run: every variant compiled, nothing restored.
+	if statCounter(t, cs, "compiles") == 0 {
+		t.Errorf("cold run compiled nothing: %v", cs)
+	}
+	if statCounter(t, cs, "disk_hits") != 0 {
+		t.Errorf("cold run hit the empty store: %v", cs)
+	}
+
+	// Warm run: zero compiles, every variant restored from disk — at
+	// least one disk hit per variant in the sweep (4 variants here).
+	if got := statCounter(t, ws, "compiles"); got != 0 {
+		t.Errorf("warm run compiled %v times, want 0", got)
+	}
+	if got := statCounter(t, ws, "disk_hits"); got < 4 {
+		t.Errorf("warm run restored only %v artifacts, want >= 4 (one per variant)", got)
+	}
+	if statCounter(t, ws, "disk_decode_errors") != 0 {
+		t.Errorf("warm run hit decode errors: %v", ws)
+	}
+}
