@@ -45,6 +45,11 @@ type Cache struct {
 	misses    uint64
 	evictions uint64
 
+	// flights holds the in-progress compilation per key so concurrent
+	// misses share one pipeline run instead of compiling redundantly.
+	flights     map[string]*flight
+	flightWaits uint64
+
 	// Disk tier. store is written once (SetStore) before concurrent use;
 	// writes holds in-flight asynchronous write-throughs for Flush.
 	store        artifact.Store
@@ -61,6 +66,19 @@ type cacheEntry struct {
 	res *Result
 }
 
+// flight is one in-progress miss: the first caller on a key (the
+// leader) compiles while later callers (followers) wait on done.
+// cancelled marks a leader that gave up because its own context ended —
+// its error is private, and followers restart the lookup instead of
+// inheriting it. Deterministic compile errors are shared: every
+// follower would hit the same one.
+type flight struct {
+	done      chan struct{}
+	res       *Result
+	err       error
+	cancelled bool
+}
+
 // DefaultCacheSize bounds a NewCache(0) cache. Compiled artifacts are
 // small (strings plus a VM program), so a few hundred entries is cheap.
 const DefaultCacheSize = 256
@@ -75,6 +93,7 @@ func NewCache(maxEntries int) *Cache {
 		max:     maxEntries,
 		order:   list.New(),
 		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
 	}
 }
 
@@ -104,8 +123,10 @@ type CacheStats struct {
 	Evictions  uint64 `json:"evictions"`
 
 	// Compiles counts compilations performed by CompileCached (memory
-	// and disk both missed).
-	Compiles uint64 `json:"compiles"`
+	// and disk both missed); FlightWaits counts callers that joined an
+	// in-progress compilation instead of starting their own.
+	Compiles    uint64 `json:"compiles"`
+	FlightWaits uint64 `json:"flight_waits"`
 	// Disk tier traffic as seen by this cache: hits that restored a
 	// Result, misses, entries that failed to decode (degraded to a
 	// recompile), and write-through errors.
@@ -128,6 +149,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:       c.misses,
 		Evictions:    c.evictions,
 		Compiles:     c.compiles,
+		FlightWaits:  c.flightWaits,
 		DiskHits:     c.diskHits,
 		DiskMisses:   c.diskMisses,
 		DecodeErrors: c.decodeErrors,
@@ -247,6 +269,33 @@ func (c *Cache) diskGet(key string, opts Options) (*Result, bool) {
 	return res, true
 }
 
+// startFlight registers the caller as leader of key's in-progress miss
+// (leader=true) or returns the existing flight to wait on.
+func (c *Cache) startFlight(key string) (*flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.flights == nil {
+		c.flights = make(map[string]*flight)
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.flightWaits++
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	return fl, true
+}
+
+// endFlight publishes the leader's outcome: the flight leaves the map
+// before done closes, so a follower that retries after a cancelled
+// leader can become the next leader.
+func (c *Cache) endFlight(key string, fl *flight) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+}
+
 // CacheKey returns the content address of a compilation: the SHA-256
 // hex digest over the source, entry name, parameter types, resolved
 // target description, and the option fields that affect output. Two
@@ -285,9 +334,9 @@ func CacheKey(source, entry string, params []Type, opts Options) (string, error)
 // has a durable store attached, a memory miss consults the store before
 // compiling — a restored artifact also reports hit=true — and a fresh
 // compilation writes through asynchronously. A nil cache degrades to
-// plain Compile. Concurrent misses on the same key may compile
-// redundantly, but all callers end up sharing the first cached
-// artifact.
+// plain Compile. Concurrent misses on the same key share one
+// compilation: the first caller runs the pipeline and every other
+// caller waits for (and shares) its artifact, reporting hit=true.
 func CompileCached(c *Cache, source, entry string, params []Type, opts Options) (res *Result, hit bool, err error) {
 	return CompileCachedContext(context.Background(), c, source, entry, params, opts)
 }
@@ -295,7 +344,9 @@ func CompileCached(c *Cache, source, entry string, params []Type, opts Options) 
 // CompileCachedContext is CompileCached under a cancellable context:
 // cache lookups are unaffected (hits return immediately), but a miss's
 // compilation observes ctx between pipeline stages and a cancelled
-// compile is not cached.
+// compile is not cached. A follower waiting on another caller's
+// compilation also observes its own ctx; when the leader itself is
+// cancelled, followers retry rather than inherit the leader's error.
 func CompileCachedContext(ctx context.Context, c *Cache, source, entry string, params []Type, opts Options) (res *Result, hit bool, err error) {
 	if c == nil {
 		res, err = CompileContext(ctx, source, entry, params, opts)
@@ -305,14 +356,41 @@ func CompileCachedContext(ctx context.Context, c *Cache, source, entry string, p
 	if err != nil {
 		return nil, false, err
 	}
-	if res, ok := c.get(key); ok {
-		return res, true, nil
+	for {
+		if res, ok := c.get(key); ok {
+			return res, true, nil
+		}
+		fl, leader := c.startFlight(key)
+		if !leader {
+			select {
+			case <-fl.done:
+				if fl.cancelled {
+					continue // leader's private cancellation; try again
+				}
+				if fl.err != nil {
+					return nil, false, fl.err
+				}
+				return fl.res, true, nil
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		res, hit, err = c.compileMiss(ctx, key, source, entry, params, opts)
+		fl.res, fl.err = res, err
+		fl.cancelled = err != nil && ctx.Err() != nil
+		c.endFlight(key, fl)
+		return res, hit, err
 	}
+}
+
+// compileMiss resolves a memory miss as the flight leader: disk tier
+// first, full pipeline otherwise, caching whatever succeeds.
+func (c *Cache) compileMiss(ctx context.Context, key, source, entry string, params []Type, opts Options) (*Result, bool, error) {
 	if res, ok := c.diskGet(key, opts); ok {
 		c.put(key, res)
 		return res, true, nil
 	}
-	res, err = CompileContext(ctx, source, entry, params, opts)
+	res, err := CompileContext(ctx, source, entry, params, opts)
 	if err != nil {
 		return nil, false, err
 	}

@@ -25,6 +25,7 @@ import (
 
 	mat2c "mat2c"
 	"mat2c/internal/service"
+	"mat2c/internal/vm"
 )
 
 func main() {
@@ -39,8 +40,12 @@ func main() {
 		classes  = flag.Bool("classes", false, "print per-class execution counts")
 		trace    = flag.Bool("trace", false, "write an instruction trace to stderr (large!)")
 		timeout  = flag.Duration("timeout", 0, "bound compile+simulate wall time (e.g. 30s; 0 = none)")
+		superOpt = flag.String("superinst", "", "superinstruction fusion in the prepared engine: on or off (default: on, or MAT2C_VM_SUPERINST)")
 	)
 	flag.Parse()
+	if err := applySuperinstFlag(*superOpt); err != nil {
+		fatal(err)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: asipsim [flags] kernel.m  (see asipsim -h)")
 		os.Exit(2)
@@ -119,6 +124,22 @@ func formatValue(v interface{}) string {
 	default:
 		return fmt.Sprintf("%v", v)
 	}
+}
+
+// applySuperinstFlag maps a -superinst value onto the process-wide VM
+// fusion policy, leaving the $MAT2C_VM_SUPERINST default untouched when
+// the flag is unset.
+func applySuperinstFlag(v string) error {
+	switch v {
+	case "":
+	case "on":
+		vm.SetSuperinstEnabled(true)
+	case "off":
+		vm.SetSuperinstEnabled(false)
+	default:
+		return fmt.Errorf("-superinst: %q (want on or off)", v)
+	}
+	return nil
 }
 
 func fatal(err error) {

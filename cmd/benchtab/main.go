@@ -41,27 +41,29 @@ func main() {
 
 func run() int {
 	var (
-		t1      = flag.Bool("table1", false, "print Table I (headline speedups)")
-		t2      = flag.Bool("table2", false, "print Table II (code size)")
-		t3      = flag.Bool("table3", false, "print Table III (compiler activity, extension)")
-		f2      = flag.Bool("fig2", false, "print Figure 2 (feature ablation)")
-		f3      = flag.Bool("fig3", false, "print Figure 3 (SIMD width sweep)")
-		f4      = flag.Bool("fig4", false, "print Figure 4 (memory-cost sensitivity, extension)")
-		all     = flag.Bool("all", false, "print everything")
-		scale   = flag.Float64("scale", 1.0, "problem size multiplier (1.0 = paper scale)")
-		proc    = flag.String("proc", "dspasip", "target for Table I/II and Fig. 2")
-		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-		jsonOut = flag.Bool("json", false, "emit one JSON report for the requested tables")
-		jobs    = flag.Int("jobs", 1, "kernel-level worker pool size (1 = sequential)")
-		timeout = flag.Duration("timeout", 0, "bound total table-generation wall time (e.g. 5m; 0 = none)")
-		engine  = flag.String("engine", "", "VM engine: prepared or reference (default: prepared, or MAT2C_VM_ENGINE)")
-		vmbench = flag.String("vmbench", "", "measure simulator throughput and write the JSON report to this file (- for stdout)")
-		vmtime  = flag.Duration("vmtime", 250*time.Millisecond, "per-engine measurement window for -vmbench")
+		t1       = flag.Bool("table1", false, "print Table I (headline speedups)")
+		t2       = flag.Bool("table2", false, "print Table II (code size)")
+		t3       = flag.Bool("table3", false, "print Table III (compiler activity, extension)")
+		f2       = flag.Bool("fig2", false, "print Figure 2 (feature ablation)")
+		f3       = flag.Bool("fig3", false, "print Figure 3 (SIMD width sweep)")
+		f4       = flag.Bool("fig4", false, "print Figure 4 (memory-cost sensitivity, extension)")
+		all      = flag.Bool("all", false, "print everything")
+		scale    = flag.Float64("scale", 1.0, "problem size multiplier (1.0 = paper scale)")
+		proc     = flag.String("proc", "dspasip", "target for Table I/II and Fig. 2")
+		csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		jsonOut  = flag.Bool("json", false, "emit one JSON report for the requested tables")
+		jobs     = flag.Int("jobs", 1, "kernel-level worker pool size (1 = sequential)")
+		timeout  = flag.Duration("timeout", 0, "bound total table-generation wall time (e.g. 5m; 0 = none)")
+		engine   = flag.String("engine", "", "VM engine: prepared or reference (default: prepared, or MAT2C_VM_ENGINE)")
+		superOpt = flag.String("superinst", "", "superinstruction fusion in the prepared engine: on or off (default: on, or MAT2C_VM_SUPERINST)")
+		vmbench  = flag.String("vmbench", "", "measure simulator throughput and write the JSON report to this file (- for stdout)")
+		vmtime   = flag.Duration("vmtime", 250*time.Millisecond, "per-engine measurement window for -vmbench")
+		vmgate   = flag.Float64("vmgate", 0, "fail -vmbench unless superinst/prepared throughput on fir is at least this ratio (0 = no gate; CI uses a generous 0.5 to catch only collapses, not noise)")
 
 		cacheDir   = flag.String("cachedir", "", "durable artifact store directory: compilations persist there and warm later runs")
 		cacheBytes = flag.Int64("cachebytes", 0, "artifact store byte budget (0 = default 512 MiB; needs -cachedir)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !*t1 && !*t2 && !*t3 && !*f2 && !*f3 && !*f4 && !*all && *vmbench == "" {
@@ -74,6 +76,15 @@ func run() int {
 		if err := vm.SetDefaultEngine(*engine); err != nil {
 			return fatal(err)
 		}
+	}
+	switch *superOpt {
+	case "":
+	case "on":
+		vm.SetSuperinstEnabled(true)
+	case "off":
+		vm.SetSuperinstEnabled(false)
+	default:
+		return fatal(fmt.Errorf("-superinst: %q (want on or off)", *superOpt))
 	}
 	stop, err := profile.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -216,6 +227,21 @@ func run() int {
 				return fatal(err)
 			}
 			fmt.Fprint(os.Stderr, bench.VMBenchText(rep))
+		}
+		if *vmgate > 0 {
+			gated := false
+			for _, r := range rep.Rows {
+				if r.Kernel != "fir" {
+					continue
+				}
+				gated = true
+				if r.SuperinstSpeedup < *vmgate {
+					return fatal(fmt.Errorf("vmgate: superinst/prepared on fir = %.2f, below gate %.2f (fused dispatch has collapsed)", r.SuperinstSpeedup, *vmgate))
+				}
+			}
+			if !gated {
+				return fatal(fmt.Errorf("vmgate: no fir row in the vmbench report"))
+			}
 		}
 	}
 	return 0

@@ -1,11 +1,12 @@
 package bench_test
 
-// Differential test between the prepared and reference VM engines over
-// the real benchmark suite: every kernel, every embedded target, and a
-// slice of DSE-derived variants must produce bit-identical outputs and
-// identical cycle accounting under both engines. This is the
-// whole-pipeline companion to the per-opcode equivalence tests in
-// internal/vm.
+// Differential test between the VM engines over the real benchmark
+// suite: every kernel, every embedded target, and a slice of
+// DSE-derived variants must produce bit-identical outputs and
+// identical cycle accounting under the reference engine, the prepared
+// engine with fusion disabled, and the prepared engine with a
+// trace-mined superinstruction set. This is the whole-pipeline
+// companion to the per-opcode equivalence tests in internal/vm.
 
 import (
 	"fmt"
@@ -32,12 +33,28 @@ type engineRun struct {
 	counts   map[string]int64
 }
 
-func runKernelEngine(t *testing.T, res *core.Result, proc *pdesc.Processor, args []interface{}, engine string) engineRun {
+func runKernelEngine(t *testing.T, res *core.Result, proc *pdesc.Processor, args []interface{}, engine string, set *vm.SuperSet) engineRun {
 	t.Helper()
 	m := vm.NewMachine(proc)
 	m.Engine = engine
+	m.SuperSet = set
 	out, err := res.RunOn(m, bench.CloneArgs(args)...)
 	return engineRun{out: out, err: err, cycles: m.Cycles, executed: m.Executed, counts: m.ClassCounts}
+}
+
+// mineForDiff profiles one unfused prepared run and mines a
+// superinstruction set, the same flow the benchmarks and the service
+// use.
+func mineForDiff(t *testing.T, res *core.Result, proc *pdesc.Processor, args []interface{}) *vm.SuperSet {
+	t.Helper()
+	m := vm.NewMachine(proc)
+	m.Engine = vm.EnginePrepared
+	m.SuperSet = &vm.SuperSet{}
+	m.Profile = true
+	if _, err := res.RunOn(m, bench.CloneArgs(args)...); err != nil {
+		t.Fatalf("profile run: %v", err)
+	}
+	return vm.MineSuperinsts(res.Program, m.PCCounts, vm.SuperOpts{})
 }
 
 // bitsEqual compares outputs with exact bit equality (NaNs included):
@@ -120,11 +137,14 @@ func diffKernelsOn(t *testing.T, name string, proc *pdesc.Processor) {
 					t.Fatalf("compile (vec=%v): %v", cfg.Vectorize, err)
 				}
 				args := k.Inputs(n)
-				p := runKernelEngine(t, res, proc, args, vm.EnginePrepared)
-				r := runKernelEngine(t, res, proc, args, vm.EngineReference)
-				assertRunsAgree(t, fmt.Sprintf("vec=%v", cfg.Vectorize), p, r)
+				r := runKernelEngine(t, res, proc, args, vm.EngineReference, nil)
+				p := runKernelEngine(t, res, proc, args, vm.EnginePrepared, &vm.SuperSet{})
+				assertRunsAgree(t, fmt.Sprintf("vec=%v prepared", cfg.Vectorize), p, r)
+				mined := mineForDiff(t, res, proc, args)
+				s := runKernelEngine(t, res, proc, args, vm.EnginePrepared, mined)
+				assertRunsAgree(t, fmt.Sprintf("vec=%v superinst(%d seqs)", cfg.Vectorize, len(mined.Ranges)), s, r)
 				if p.err != nil {
-					t.Fatalf("kernel run failed under both engines: %v", p.err)
+					t.Fatalf("kernel run failed under all engines: %v", p.err)
 				}
 			}
 		})
@@ -136,6 +156,45 @@ func diffKernelsOn(t *testing.T, name string, proc *pdesc.Processor) {
 func TestEnginesAgreeOnAllTargets(t *testing.T) {
 	for _, name := range pdesc.BuiltinNames() {
 		diffKernelsOn(t, name, pdesc.Builtin(name))
+	}
+}
+
+// TestProfilesAgreeOnAllKernels: Machine.Profile works on every
+// engine configuration, and the per-PC execution counts agree across
+// reference, prepared-unfused, and prepared-with-mined-set runs on
+// every benchmark kernel (fused units map counts back to member PCs).
+func TestProfilesAgreeOnAllKernels(t *testing.T) {
+	proc := pdesc.Builtin("dspasip")
+	for _, k := range bench.Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			n := bench.SizeFor(k, diffScale)
+			res, err := core.Compile(k.Source, k.Entry, k.Params, core.Proposed(proc))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			args := k.Inputs(n)
+			profile := func(engine string, set *vm.SuperSet) []int64 {
+				m := vm.NewMachine(proc)
+				m.Engine = engine
+				m.SuperSet = set
+				m.Profile = true
+				if _, err := res.RunOn(m, bench.CloneArgs(args)...); err != nil {
+					t.Fatalf("%s: %v", engine, err)
+				}
+				return m.PCCounts
+			}
+			ref := profile(vm.EngineReference, nil)
+			prep := profile(vm.EnginePrepared, &vm.SuperSet{})
+			mined := profile(vm.EnginePrepared, vm.MineSuperinsts(res.Program, prep, vm.SuperOpts{}))
+			if !reflect.DeepEqual(ref, prep) {
+				t.Error("prepared per-PC profile differs from reference")
+			}
+			if !reflect.DeepEqual(ref, mined) {
+				t.Error("mined-superinst per-PC profile differs from reference")
+			}
+		})
 	}
 }
 

@@ -335,10 +335,12 @@ type Snapshot struct {
 }
 
 // VMSnapshot is the /metrics simulator section: the default execution
-// engine and the process-wide prepared-program cache.
+// engine, the process-wide prepared-program cache, and the
+// superinstruction fusion counters.
 type VMSnapshot struct {
 	Engine        string               `json:"engine"`
 	PreparedCache vm.PreparedCacheInfo `json:"prepared_cache"`
+	Superinst     vm.SuperinstInfo     `json:"superinst"`
 }
 
 // DSESnapshot is the /metrics design-space-exploration section.
@@ -404,7 +406,11 @@ func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
 		Cancelled:      m.isxCancelled,
 		LastCandidates: m.isxLastCandidates,
 	}
-	s.VM = VMSnapshot{Engine: vm.DefaultEngine(), PreparedCache: vm.PreparedCacheStats()}
+	s.VM = VMSnapshot{
+		Engine:        vm.DefaultEngine(),
+		PreparedCache: vm.PreparedCacheStats(),
+		Superinst:     vm.SuperinstStats(),
+	}
 	for name, e := range m.requests {
 		s.Requests[name] = EndpointSnapshot{
 			Count:     e.count,

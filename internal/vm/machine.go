@@ -142,11 +142,22 @@ type Machine struct {
 	// Cycles, Executed, ClassCounts, outputs, and faults are identical.
 	Engine string
 	// Profile, when true, records per-pc dynamic execution counts into
-	// PCCounts. Profiling always runs on the reference engine (like
-	// Trace) so pc values refer to the unfused Program; cycle accounting
-	// is unchanged. The instruction-set miner uses these counts to
-	// weight candidate patterns by how often their sites actually ran.
+	// PCCounts. Both engines support profiling: the prepared engine
+	// maps fused superinstruction units back to their member pcs, so
+	// counts always refer to the unfused Program and the two engines
+	// produce identical profiles; cycle accounting is unchanged. The
+	// instruction-set miner uses these counts to weight candidate
+	// patterns by how often their sites actually ran, and the
+	// superinstruction miner (MineSuperinsts) uses them to rank hot
+	// straight-line sequences.
 	Profile bool
+	// SuperSet, when non-nil, selects an explicit superinstruction set
+	// for the prepared engine (mined via MineSuperinsts or built by
+	// hand); an empty set disables fusion for this machine's runs. Nil
+	// applies the process default: static pair fusion when
+	// superinstructions are enabled (SetSuperinstEnabled /
+	// $MAT2C_VM_SUPERINST), none otherwise.
+	SuperSet *SuperSet
 
 	// PCCounts[pc] is the number of times prog.Instrs[pc] executed in
 	// the last profiled Run (nil unless Profile is set).
@@ -223,8 +234,14 @@ func (m *Machine) RunContext(ctx context.Context, prog *Program, args ...interfa
 		m.PCCounts = nil
 	}
 
-	if m.engine() == EnginePrepared && m.Trace == nil && !m.Profile {
-		return PreparedFor(prog, m.Proc).run(m, ctx, maxCycles, args)
+	if m.engine() == EnginePrepared && m.Trace == nil {
+		var pp *PreparedProgram
+		if m.SuperSet != nil {
+			pp = PreparedForSet(prog, m.Proc, m.SuperSet)
+		} else {
+			pp = PreparedFor(prog, m.Proc)
+		}
+		return pp.run(m, ctx, maxCycles, args)
 	}
 
 	regs := make([]vmval, prog.NumRegs)

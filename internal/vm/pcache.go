@@ -14,11 +14,15 @@ import (
 // workloads this repo cares about — benchtab sweeps, DSE exploration,
 // the compile-and-simulate service — run the same program on the same
 // processor thousands of times. PreparedFor memoizes preparations in a
-// bounded LRU keyed by (program content hash, processor content hash),
-// composing with the content-addressed compile cache one layer up:
-// a compile-cache hit returns a pointer-identical Program whose
-// ContentHash is already memoized, so the prepared lookup is two string
-// map probes.
+// bounded LRU keyed by (program content hash, processor content hash,
+// superinstruction-set tag), composing with the content-addressed
+// compile cache one layer up: a compile-cache hit returns a
+// pointer-identical Program whose ContentHash is already memoized, so
+// the prepared lookup is two string map probes. The set tag keeps
+// preparations with different fusion sets from aliasing one another:
+// "" is the plain PR 3 decode, "static/v1" the process-default pair
+// fusion (a pure function of the program), and "mined/<hash>" an
+// explicit set keyed by its content.
 
 // DefaultPreparedCacheSize bounds the process-wide prepared-program
 // cache (entries, not bytes; a prepared program is a few KiB).
@@ -27,6 +31,7 @@ const DefaultPreparedCacheSize = 256
 type preparedKey struct {
 	prog string // Program.ContentHash
 	proc string // Processor.ContentHash
+	set  string // superinstruction-set tag ("", "static/v1", "mined/<hash>")
 }
 
 type preparedEntry struct {
@@ -78,18 +83,47 @@ func processorHash(p *pdesc.Processor) (string, bool) {
 	return h, true
 }
 
-// PreparedFor returns the prepared form of prog for proc, consulting
-// the process-wide cache. Programs and processors are content-hashed,
-// so DSE variants with identical descriptions share one preparation
-// regardless of pointer identity. Both values must be treated as
-// immutable after this call. Safe for concurrent use.
+// PreparedFor returns the prepared form of prog for proc under the
+// process-default superinstruction policy, consulting the process-wide
+// cache. Programs and processors are content-hashed, so DSE variants
+// with identical descriptions share one preparation regardless of
+// pointer identity. Both values must be treated as immutable after
+// this call. Safe for concurrent use.
 func PreparedFor(prog *Program, proc *pdesc.Processor) *PreparedProgram {
+	if SuperinstEnabled() {
+		return preparedCached(prog, proc, nil, superTagStatic)
+	}
+	return preparedCached(prog, proc, nil, "")
+}
+
+// PreparedForSet is PreparedFor with an explicit superinstruction set
+// (nil or empty = fusion off regardless of the process default). The
+// set is content-hashed into the cache key, so distinct sets — and the
+// policy-default preparations — never alias.
+func PreparedForSet(prog *Program, proc *pdesc.Processor, set *SuperSet) *PreparedProgram {
+	if set == nil || len(set.Ranges) == 0 {
+		return preparedCached(prog, proc, nil, "")
+	}
+	return preparedCached(prog, proc, set, "mined/"+set.Hash())
+}
+
+// prepareTagged materializes the preparation a (set, tag) pair denotes:
+// the static pair set is derived from the program on demand so the
+// cache key stays content-free.
+func prepareTagged(prog *Program, proc *pdesc.Processor, set *SuperSet, tag string) *PreparedProgram {
+	if set == nil && tag == superTagStatic {
+		set = StaticSuperinsts(prog)
+	}
+	return PrepareSuper(prog, proc, set)
+}
+
+func preparedCached(prog *Program, proc *pdesc.Processor, set *SuperSet, tag string) *PreparedProgram {
 	ph, ok := processorHash(proc)
 	if !ok {
 		// Unhashable description (should not happen): prepare uncached.
-		return Prepare(prog, proc)
+		return prepareTagged(prog, proc, set, tag)
 	}
-	key := preparedKey{prog: prog.ContentHash(), proc: ph}
+	key := preparedKey{prog: prog.ContentHash(), proc: ph, set: tag}
 
 	prepCache.Lock()
 	if el, ok := prepCache.entries[key]; ok {
@@ -105,7 +139,7 @@ func PreparedFor(prog *Program, proc *pdesc.Processor) *PreparedProgram {
 	// Prepare outside the lock; concurrent misses on the same key do
 	// duplicate work once, and the last insert wins — both results are
 	// equivalent by construction.
-	pp := Prepare(prog, proc)
+	pp := prepareTagged(prog, proc, set, tag)
 
 	prepCache.Lock()
 	if el, ok := prepCache.entries[key]; ok {

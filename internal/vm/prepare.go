@@ -66,6 +66,7 @@ const (
 	xCSub
 	xCMul
 	xIntrS // scalar intrinsic with statically valid decode
+	xSuper // fused straight-line superinstruction (see superinst.go)
 )
 
 // fuseBin maps a scalar OpBin triple to its fused opcode, or OpBin when
@@ -216,6 +217,14 @@ type pInstr struct {
 	intrFaultPre  string
 	intrFaultPost string
 	pat           *ir.Pattern
+
+	// xSuper: the fused members (pre-decoded copies of the replaced
+	// range), the aggregated class charges of a completed unit, and —
+	// reusing cost/off — the summed cycle cost and the pc past the
+	// range. Interior code slots keep their normal decode so the
+	// pc ↔ instruction mapping stays 1:1 for profiling and faults.
+	sub     []pInstr
+	charges []classCharge
 }
 
 // PreparedProgram is a Program pre-decoded against one processor's cost
@@ -259,6 +268,14 @@ func (s *scratch) seg(reg, L int) []complex128 {
 // with pdesc.Resolve). Most callers want PreparedFor, which memoizes
 // the result in a content-addressed cache.
 func Prepare(prog *Program, proc *pdesc.Processor) *PreparedProgram {
+	return PrepareSuper(prog, proc, nil)
+}
+
+// PrepareSuper pre-decodes prog like Prepare and additionally fuses the
+// given superinstruction set (nil or empty = none). Invalid or
+// unfuseable ranges are dropped silently; see fuseSuperinsts. Cached
+// via PreparedForSet.
+func PrepareSuper(prog *Program, proc *pdesc.Processor, set *SuperSet) *PreparedProgram {
 	table := pdesc.NewCostTable(proc)
 	id := func(name string) int32 {
 		i, ok := table.ID(name)
@@ -473,6 +490,12 @@ func Prepare(prog *Program, proc *pdesc.Processor) *PreparedProgram {
 		}
 	}
 
+	if seqs, ops := fuseSuperinsts(prog, code, set); seqs > 0 {
+		superStats.prepares.Add(1)
+		superStats.seqs.Add(uint64(seqs))
+		superStats.ops.Add(uint64(ops))
+	}
+
 	return &PreparedProgram{
 		prog:      prog,
 		proc:      proc,
@@ -533,10 +556,13 @@ func (pp *PreparedProgram) run(m *Machine, ctx context.Context, maxCycles int64,
 // placement (before or after validity checks) mirrors the reference
 // engine exactly.
 func (pp *PreparedProgram) exec(m *Machine, ctx context.Context, s *scratch, maxCycles int64) error {
-	var cycles, executed int64
+	var cycles, executed, dispSaved int64
 	defer func() {
 		m.Cycles = cycles
 		m.Executed = executed
+		if dispSaved > 0 {
+			superStats.saved.Add(uint64(dispSaved))
+		}
 	}()
 
 	regs := s.regs
@@ -544,6 +570,10 @@ func (pp *PreparedProgram) exec(m *Machine, ctx context.Context, s *scratch, max
 	counts := s.counts
 	touched := s.touched
 	code := pp.code
+	var prof []int64
+	if m.Profile {
+		prof = m.PCCounts
+	}
 
 	pc := 0
 	fault := func(format string, a ...interface{}) error {
@@ -565,6 +595,9 @@ func (pp *PreparedProgram) exec(m *Machine, ctx context.Context, s *scratch, max
 		}
 		in := &code[pc]
 		executed++
+		if prof != nil {
+			prof[pc]++
+		}
 
 		switch in.op {
 		case OpNop:
@@ -754,6 +787,146 @@ func (pp *PreparedProgram) exec(m *Machine, ctx context.Context, s *scratch, max
 				a2 = lane0(regs, in.args[2])
 			}
 			regs[in.dst] = materialize(intrLane(in.intr, a0, a1, a2), in.kBase)
+
+		case xSuper:
+			// One dispatch for the whole fused range. The loop header
+			// already accounted one poll tick, one executed, and one
+			// prof hit for the unit; the remaining members are batched
+			// here. Poll debt is settled up front so CancelCheckStride
+			// still bounds the instructions between polls.
+			n := int64(len(in.sub))
+			// A unit may end with its block's own branch; the members
+			// before it run through runSuper, and the successor pc is
+			// resolved here from the branch itself.
+			body := in.sub
+			var br *pInstr
+			if last := &in.sub[len(in.sub)-1]; last.op == OpJmp || last.op == OpJz {
+				br = last
+				body = in.sub[:len(in.sub)-1]
+			}
+			if ctx != nil {
+				if pollIn -= n - 1; pollIn <= 0 {
+					pollIn = CancelCheckStride
+					if err := ctx.Err(); err != nil {
+						executed--
+						return &CancelledError{Executed: executed, Err: err}
+					}
+				}
+			}
+			if cycles+in.cost <= maxCycles {
+				// Fast path: the whole unit fits under the limit (the
+				// per-member checks cannot fire), so members run
+				// semantics-only and accounting lands once, batched.
+				k, serr := pp.runSuper(body, s)
+				if serr == nil {
+					executed += n - 1
+					cycles += in.cost
+					for _, ch := range in.charges {
+						counts[ch.class] += ch.n
+						touched[ch.class] = true
+					}
+					if prof != nil {
+						for j := 1; j < len(in.sub); j++ {
+							prof[pc+j]++
+						}
+					}
+					dispSaved += n - 1
+					if br == nil {
+						pc = in.off
+					} else if br.op == OpJmp || isZeroP(&regs[br.a]) {
+						pc = br.off
+					} else {
+						pc = in.off // OpJz fall-through = one past the unit
+					}
+					continue
+				}
+				// Member k faulted: replay the completed prefix's
+				// charges, plus member k's own charge when its opcode
+				// charges before its fault checks, then report the
+				// member's pc — bit-identical to the unfused run.
+				for j := 0; j <= k; j++ {
+					sb := &in.sub[j]
+					if j == k && !chargeFirstOp(sb.op) {
+						break
+					}
+					cycles += sb.cost
+					if sb.class >= 0 {
+						counts[sb.class] += sb.countN
+						touched[sb.class] = true
+					}
+				}
+				executed += int64(k)
+				if prof != nil {
+					for j := 1; j <= k; j++ {
+						prof[pc+j]++
+					}
+				}
+				dispSaved += int64(k)
+				pc += k
+				return fault("%v", serr)
+			}
+			// Slow path (cycle limit within the unit's reach): step
+			// members one at a time with the reference engine's exact
+			// ordering — limit check, executed, charge placement.
+			executed-- // re-counted per member below
+			for k := range body {
+				if cycles > maxCycles {
+					pc += k
+					return fault("cycle limit exceeded (%d)", maxCycles)
+				}
+				executed++
+				if prof != nil && k > 0 {
+					prof[pc+k]++
+				}
+				sb := &in.sub[k]
+				first := chargeFirstOp(sb.op)
+				if first {
+					cycles += sb.cost
+					if sb.class >= 0 {
+						counts[sb.class] += sb.countN
+						touched[sb.class] = true
+					}
+				}
+				if _, serr := pp.runSuper(in.sub[k:k+1], s); serr != nil {
+					pc += k
+					return fault("%v", serr)
+				}
+				if !first {
+					cycles += sb.cost
+					if sb.class >= 0 {
+						counts[sb.class] += sb.countN
+						touched[sb.class] = true
+					}
+				}
+			}
+			if br != nil {
+				// The trailing branch, stepped with the same ordering
+				// (branches charge before acting and cannot fault).
+				k := len(body)
+				if cycles > maxCycles {
+					pc += k
+					return fault("cycle limit exceeded (%d)", maxCycles)
+				}
+				executed++
+				if prof != nil {
+					prof[pc+k]++
+				}
+				cycles += br.cost
+				if br.class >= 0 {
+					counts[br.class] += br.countN
+					touched[br.class] = true
+				}
+				dispSaved += n - 1
+				if br.op == OpJmp || isZeroP(&regs[br.a]) {
+					pc = br.off
+				} else {
+					pc = in.off
+				}
+				continue
+			}
+			dispSaved += n - 1
+			pc = in.off
+			continue
 
 		case OpUn:
 			cycles += in.cost

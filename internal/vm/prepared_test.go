@@ -472,15 +472,32 @@ for i = t:n
 end
 end`
 
-// benchEngines runs the kernel under both engines, reporting simulated
-// instructions per second (the throughput metric tracked by
-// BENCH_vm.json) and allocations per simulated run.
+// benchEngines runs the kernel under three configurations — the
+// prepared engine with profile-mined superinstructions, the plain
+// PR 3 prepared engine (fusion off), and the reference interpreter —
+// reporting simulated instructions per second (the throughput metric
+// tracked by BENCH_vm.json) and allocations per simulated run.
 func benchEngines(b *testing.B, src, proc string, n int, complexIn bool) {
-	for _, engine := range []string{EnginePrepared, EngineReference} {
+	for _, engine := range []string{"superinst", EnginePrepared, EngineReference} {
 		b.Run(engine, func(b *testing.B) {
 			prog, p, args := benchProg(b, src, proc, n, complexIn)
 			m := NewMachine(p)
-			m.Engine = engine
+			switch engine {
+			case "superinst":
+				m.Engine = EnginePrepared
+				// Profile one run, then fuse the mined hot sequences.
+				m.Profile = true
+				if _, err := m.Run(prog, cloneArgs(args)...); err != nil {
+					b.Fatal(err)
+				}
+				m.SuperSet = MineSuperinsts(prog, m.PCCounts, SuperOpts{})
+				m.Profile = false
+			case EnginePrepared:
+				m.SuperSet = &SuperSet{} // fusion off: the PR 3 baseline
+				m.Engine = engine
+			default:
+				m.Engine = engine
+			}
 			// Warm the prepared cache and scratch pool outside the timer.
 			if _, err := m.Run(prog, args...); err != nil {
 				b.Fatal(err)

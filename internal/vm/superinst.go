@@ -1,0 +1,931 @@
+package vm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/pdesc"
+)
+
+// Dynamic superinstructions.
+//
+// PR 3's prepared engine left one dominant cost in the hot loop: per-op
+// dispatch and bookkeeping (the context-poll branch, the cycle-limit
+// check, executed++, and the three accounting stores). A
+// superinstruction collapses a straight-line run of 2–8 instructions
+// into a single dispatch unit: one switch hit executes every member
+// through a semantics-only inner interpreter, then cycles, executed,
+// and the dense class counters are updated once with totals aggregated
+// at prepare time.
+//
+// The sequences come from two sources. MineSuperinsts weights candidate
+// runs by Machine.Profile per-PC execution counts (the same counts the
+// isx miner uses), so hot loop bodies fuse and cold code does not.
+// StaticSuperinsts is the cold-program fallback: it fuses
+// unconditionally-sequential op pairs, which is the process-default
+// policy applied by PreparedFor whenever superinstructions are enabled.
+//
+// Cycle-exactness is preserved by construction:
+//   - A range never crosses a basic-block boundary (no control flow
+//     inside, no branch target into the interior), so a fused unit is
+//     all-or-nothing on the happy path.
+//   - Ops whose charge depends on runtime state (OpAlloc's zero-fill)
+//     or that always fault (OpIntr with a prepared fault prefix) are
+//     not fuseable; such ranges are dropped at fuse time.
+//   - The fast path only runs when the whole unit fits under the cycle
+//     limit; otherwise a slow path steps the members one at a time with
+//     exactly the reference engine's limit-check/charge ordering.
+//   - A member fault replays the completed prefix's charges (honoring
+//     each opcode's charge-before-or-after-fault placement) and reports
+//     the member's own pc, so fault text, Cycles, Executed, and
+//     ClassCounts match the unfused run bit for bit.
+//
+// The differential suite (prepared_test.go, bench/engine_diff_test.go)
+// and FuzzSuperinstMiner enforce all of this against the reference
+// engine.
+
+// Superinstruction sequence length bounds. Longer runs are chunked at
+// MaxSuperLen; a "sequence" of one instruction is just the instruction.
+const (
+	MinSuperLen = 2
+	MaxSuperLen = 8
+)
+
+// superTagStatic is the prepared-cache set tag for the process-default
+// static pair fusion. The static set is a pure function of the program,
+// so the tag needs no content hash.
+const superTagStatic = "static/v1"
+
+// superinstOff is the process-wide disable flag (zero value = enabled,
+// so the default policy is on). Initialized from $MAT2C_VM_SUPERINST
+// and adjustable via SetSuperinstEnabled.
+var superinstOff atomic.Bool
+
+func init() {
+	switch strings.ToLower(os.Getenv("MAT2C_VM_SUPERINST")) {
+	case "0", "false", "off", "no":
+		superinstOff.Store(true)
+	}
+}
+
+// SetSuperinstEnabled toggles the process-default superinstruction
+// policy: when enabled (the default), PreparedFor fuses the static pair
+// set into every prepared program; when disabled it prepares plain
+// PR 3-style programs. Machines with an explicit SuperSet are
+// unaffected.
+func SetSuperinstEnabled(on bool) { superinstOff.Store(!on) }
+
+// SuperinstEnabled reports the process-default superinstruction policy.
+func SuperinstEnabled() bool { return !superinstOff.Load() }
+
+// SeqRange is one superinstruction candidate: the half-open instruction
+// range [Start, End) of the unfused Program.
+type SeqRange struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// SuperSet is a set of superinstruction sequences for one Program.
+// Ranges that overlap, cross control flow, or contain unfuseable
+// members are dropped at prepare time (first range wins on overlap);
+// the zero value / an empty set disables fusion entirely.
+type SuperSet struct {
+	Ranges []SeqRange `json:"ranges"`
+}
+
+// Hash returns a content hash of the range list, used to key the
+// prepared-program cache so distinct sets never alias one preparation.
+func (s *SuperSet) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, r := range s.Ranges {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(r.Start))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(r.End))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SuperOpts tunes the superinstruction miner. The zero value means
+// defaults: sequences of MinSuperLen..MaxSuperLen, any observed
+// execution count, no sequence-count cap.
+type SuperOpts struct {
+	// MaxLen / MinLen bound sequence length (clamped to
+	// [MinSuperLen, MaxSuperLen]).
+	MaxLen int
+	MinLen int
+	// MinCount drops sequences whose minimum per-PC execution count is
+	// below this threshold (0 = keep any sequence that executed).
+	MinCount int64
+	// MaxSeqs keeps only the best-weighted sequences (0 = unlimited).
+	// Weight is minCount × (len−1): dynamic dispatches saved.
+	MaxSeqs int
+}
+
+func (o SuperOpts) withDefaults() SuperOpts {
+	if o.MaxLen <= 0 || o.MaxLen > MaxSuperLen {
+		o.MaxLen = MaxSuperLen
+	}
+	if o.MinLen < MinSuperLen {
+		o.MinLen = MinSuperLen
+	}
+	if o.MaxLen < o.MinLen {
+		o.MaxLen = o.MinLen
+	}
+	if o.MinCount < 1 {
+		o.MinCount = 1
+	}
+	return o
+}
+
+// fuseableInstr reports whether a program instruction may be an
+// interior superinstruction member, judged on static properties alone.
+// Control flow ends a sequence (though a basic block's own terminating
+// OpJmp/OpJz may close a unit as its final member — see branchTail);
+// OpAlloc's zero-fill charge depends on the runtime extent, so batched
+// accounting cannot pre-aggregate it. Processor-dependent exclusions
+// (intrinsics the target does not provide) are re-checked per
+// preparation in fuseSuperinsts.
+func fuseableInstr(in *Instr) bool {
+	switch in.Op {
+	case OpJmp, OpJz, OpRet, OpAlloc:
+		return false
+	case OpNop, OpConst, OpMov, OpConv, OpBin, OpUn, OpIntr, OpLoad,
+		OpVLoad, OpStore, OpDim, OpSel, OpSplat, OpRamp, OpReduce:
+		return true
+	}
+	return false
+}
+
+// branchTail reports whether an opcode may terminate a fused unit. A
+// basic block ends with its branch; fusing the block's own terminator
+// into the unit stays within the block and turns a hot loop body into
+// a single dispatch per iteration. OpRet is excluded (it ends the run,
+// so there is no dispatch to save).
+func branchTail(op Opc) bool {
+	return op == OpJmp || op == OpJz
+}
+
+// blockLeaders marks every pc that starts a basic block: entry, branch
+// targets, and fallthrough successors of control flow. A sequence may
+// not extend across a leader (a branch could enter mid-unit).
+func blockLeaders(prog *Program) []bool {
+	leaders := make([]bool, len(prog.Instrs)+1)
+	if len(leaders) > 0 {
+		leaders[0] = true
+	}
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		switch in.Op {
+		case OpJmp, OpJz:
+			if in.Off >= 0 && in.Off < len(leaders) {
+				leaders[in.Off] = true
+			}
+			leaders[i+1] = true
+		case OpRet:
+			leaders[i+1] = true
+		}
+	}
+	return leaders
+}
+
+// straightRuns enumerates the maximal fuseable straight-line runs of
+// prog: half-open ranges of fuseable instructions that contain no block
+// leader after their first pc. Single-instruction runs are kept: the
+// miner can extend a run with its block's terminating branch, so even
+// a lone compare before a jz fuses into a two-member unit.
+func straightRuns(prog *Program) []SeqRange {
+	leaders := blockLeaders(prog)
+	var runs []SeqRange
+	start := -1
+	flush := func(end int) {
+		if start >= 0 && end > start {
+			runs = append(runs, SeqRange{Start: start, End: end})
+		}
+		start = -1
+	}
+	for pc := range prog.Instrs {
+		if !fuseableInstr(&prog.Instrs[pc]) {
+			flush(pc)
+			continue
+		}
+		if start < 0 {
+			start = pc
+		} else if leaders[pc] {
+			flush(pc)
+			start = pc
+		}
+	}
+	flush(len(prog.Instrs))
+	return runs
+}
+
+// minedSeq is a candidate with its merit, kept for ranking.
+type minedSeq struct {
+	r      SeqRange
+	weight int64
+}
+
+// MineSuperinsts mines hot straight-line sequences from per-PC dynamic
+// execution counts (Machine.PCCounts from a profiled run). Maximal
+// fuseable runs are chunked greedily to o.MaxLen; each chunk is
+// weighted by minCount × (len−1) — the dynamic dispatches fusing it
+// saves — and chunks below o.MinCount executions are dropped. A nil
+// counts slice mines statically (every run counts once). The result is
+// deterministic for identical inputs.
+func MineSuperinsts(prog *Program, counts []int64, o SuperOpts) *SuperSet {
+	o = o.withDefaults()
+	countAt := func(pc int) int64 {
+		if counts == nil {
+			return 1
+		}
+		if pc < len(counts) {
+			return counts[pc]
+		}
+		return 0
+	}
+
+	var cands []minedSeq
+	for _, run := range straightRuns(prog) {
+		// When the run is cut short by the block's own terminating
+		// branch, the final chunk may absorb it (ext = one past the
+		// branch): the whole loop body then dispatches once per
+		// iteration. The branch executes exactly as often as the rest
+		// of its block, so the weight math is unchanged.
+		ext := run.End
+		if ext < len(prog.Instrs) && branchTail(prog.Instrs[ext].Op) {
+			ext++
+		}
+		for start := run.Start; ext-start >= o.MinLen; {
+			end := start + o.MaxLen
+			if end > ext {
+				end = ext
+			}
+			minCnt := countAt(start)
+			for pc := start + 1; pc < end; pc++ {
+				if c := countAt(pc); c < minCnt {
+					minCnt = c
+				}
+			}
+			if minCnt >= o.MinCount {
+				cands = append(cands, minedSeq{
+					r:      SeqRange{Start: start, End: end},
+					weight: minCnt * int64(end-start-1),
+				})
+			}
+			start = end
+		}
+	}
+
+	if o.MaxSeqs > 0 && len(cands) > o.MaxSeqs {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].weight != cands[j].weight {
+				return cands[i].weight > cands[j].weight
+			}
+			return cands[i].r.Start < cands[j].r.Start
+		})
+		cands = cands[:o.MaxSeqs]
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].r.Start < cands[j].r.Start })
+
+	set := &SuperSet{Ranges: make([]SeqRange, len(cands))}
+	for i, c := range cands {
+		set.Ranges[i] = c.r
+	}
+	return set
+}
+
+// StaticSuperinsts is the cold-program fallback heuristic: it fuses
+// unconditionally-sequential op pairs (adjacent fuseable instructions
+// within one basic block, paired left to right). This is what
+// PreparedFor applies process-wide when superinstructions are enabled;
+// profile-guided preparation (PrepareWithProfile) supersedes it with
+// longer, hotness-ranked sequences.
+func StaticSuperinsts(prog *Program) *SuperSet {
+	set := &SuperSet{}
+	for _, run := range straightRuns(prog) {
+		for pc := run.Start; pc+MinSuperLen <= run.End; pc += MinSuperLen {
+			set.Ranges = append(set.Ranges, SeqRange{Start: pc, End: pc + MinSuperLen})
+		}
+	}
+	return set
+}
+
+// PrepareWithProfile mines superinstructions from a profiled run's
+// per-PC counts and returns the prepared form of prog with the mined
+// set fused, consulting the prepared-program cache. Typical use:
+//
+//	m.Profile = true
+//	m.Run(prog, args...)            // profiling run (either engine)
+//	pp := vm.PrepareWithProfile(prog, proc, m.PCCounts, vm.SuperOpts{})
+//
+// or equivalently set Machine.SuperSet to the mined set and keep using
+// Machine.Run.
+func PrepareWithProfile(prog *Program, proc *pdesc.Processor, pcCounts []int64, o SuperOpts) *PreparedProgram {
+	return PreparedForSet(prog, proc, MineSuperinsts(prog, pcCounts, o))
+}
+
+// zeroVmval backs the absent third operand of two-argument intrinsics
+// in runSuper's in-place operand reads. Never written.
+var zeroVmval vmval
+
+// laneOf is vmval.lane without copying the vmval (scalars broadcast).
+func laneOf(v *vmval, j int) complex128 {
+	if v.lanes == nil {
+		return v.c
+	}
+	return v.lanes[j]
+}
+
+// isZeroP is isZero without copying the vmval.
+func isZeroP(v *vmval) bool {
+	if v.lanes != nil {
+		return v.lanes[0] == 0
+	}
+	return v.i == 0 && v.f == 0 && v.c == 0
+}
+
+// setInt / setFloat / setComplex store a scalar result in place with
+// the write-through conventions of fromInt / fromFloat / fromComplex.
+// Building a vmval literal and assigning it moves 40 bytes through the
+// stack per member; these compile to four direct stores.
+func setInt(d *vmval, v int64) {
+	d.i, d.f, d.c, d.lanes = v, float64(v), complex(float64(v), 0), nil
+}
+
+func setFloat(d *vmval, v float64) {
+	d.i, d.f, d.c, d.lanes = int64(v), v, complex(v, 0), nil
+}
+
+func setComplex(d *vmval, v complex128) {
+	d.i, d.f, d.c, d.lanes = int64(real(v)), real(v), v, nil
+}
+
+// setMaterialize is materialize without the intermediate vmval.
+func setMaterialize(d *vmval, v complex128, base ir.BaseKind) {
+	switch base {
+	case ir.Int:
+		setInt(d, int64(real(v)))
+	case ir.Float:
+		setFloat(d, real(v))
+	default:
+		setComplex(d, v)
+	}
+}
+
+// binScalarInto is binScalarVal with pointer operands and an in-place
+// result store. Every operand field is read before d is written, so
+// d aliasing a or b computes exactly what the copying form computes.
+func binScalarInto(d *vmval, op ir.Op, opBase, kBase ir.BaseKind, a, b *vmval) error {
+	switch opBase {
+	case ir.Int:
+		r, err := binInt(op, a.i, b.i)
+		if err != nil {
+			return err
+		}
+		setInt(d, r)
+	case ir.Float:
+		r := binFloat(op, a.f, b.f)
+		if kBase == ir.Int {
+			setInt(d, int64(r))
+		} else {
+			setFloat(d, r)
+		}
+	default:
+		r, err := binComplex(op, a.c, b.c)
+		if err != nil {
+			return err
+		}
+		if kBase == ir.Int {
+			setInt(d, int64(real(r)))
+		} else {
+			setComplex(d, r)
+		}
+	}
+	return nil
+}
+
+// classCharge is one aggregated accounting line of a fused unit:
+// counts[class] += n when the unit completes.
+type classCharge struct {
+	class int32
+	n     int64
+}
+
+// chargeFirstOp reports whether an opcode's cycle charge lands before
+// its fault checks in the reference engine. Memory and reduce ops
+// validate first and charge after; arithmetic charges before it can
+// fault. This placement is replayed exactly when a fused unit faults
+// mid-sequence.
+func chargeFirstOp(op Opc) bool {
+	switch op {
+	case OpLoad, OpVLoad, OpStore, OpDim, OpReduce:
+		return false
+	}
+	return true
+}
+
+// fuseablePInstr re-checks fuseability against the prepared decode:
+// intrinsics that fault on this processor (pre or post charge) must
+// keep their own dispatch slot so fault ordering is preserved.
+func fuseablePInstr(p *pInstr) bool {
+	if p.op >= xIAdd && p.op <= xIntrS {
+		return true
+	}
+	switch p.op {
+	case OpIntr:
+		return p.intrFaultPre == "" && p.intrFaultPost == ""
+	case OpNop, OpConst, OpMov, OpConv, OpBin, OpUn, OpLoad,
+		OpVLoad, OpStore, OpDim, OpSel, OpSplat, OpRamp, OpReduce:
+		return true
+	}
+	return false
+}
+
+// fuseSuperinsts rewrites code in place, replacing the first slot of
+// each valid range with an xSuper unit holding copies of the member
+// pInstrs, their summed cycle cost, and the aggregated class charges.
+// A range may end with the block's own OpJmp/OpJz terminator; the unit
+// then resolves the successor pc itself. Interior slots keep their
+// normal decode (no branch targets them, except possibly a trailing
+// branch member, and entering there simply executes it unfused), which
+// keeps the pc ↔ code mapping 1:1 for profiling. Invalid ranges — out
+// of bounds, wrong length, overlapping an earlier range, crossing a
+// block leader, or containing an unfuseable member on this processor —
+// are dropped silently (counted in SuperinstStats).
+func fuseSuperinsts(prog *Program, code []pInstr, set *SuperSet) (seqs, ops int) {
+	if set == nil || len(set.Ranges) == 0 {
+		return 0, 0
+	}
+	leaders := blockLeaders(prog)
+	used := make([]bool, len(code))
+	var skipped uint64
+	for _, r := range set.Ranges {
+		n := r.End - r.Start
+		if r.Start < 0 || r.End > len(code) || n < MinSuperLen || n > MaxSuperLen {
+			skipped++
+			continue
+		}
+		ok := true
+		for pc := r.Start; pc < r.End; pc++ {
+			if used[pc] {
+				ok = false
+				break
+			}
+			if pc == r.End-1 && branchTail(code[pc].op) {
+				// The block's own terminator may close the unit. Its pc
+				// being a leader is fine: interior slots keep their
+				// normal decode, so a jump straight to the branch still
+				// executes it unfused.
+				continue
+			}
+			if !fuseablePInstr(&code[pc]) || (pc > r.Start && leaders[pc]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			skipped++
+			continue
+		}
+
+		sub := make([]pInstr, n)
+		copy(sub, code[r.Start:r.End])
+		var cost int64
+		agg := make(map[int32]int64, n)
+		for k := range sub {
+			cost += sub[k].cost
+			if sub[k].class >= 0 && sub[k].countN != 0 {
+				agg[sub[k].class] += sub[k].countN
+			}
+		}
+		charges := make([]classCharge, 0, len(agg))
+		for class, cnt := range agg {
+			charges = append(charges, classCharge{class: class, n: cnt})
+		}
+		sort.Slice(charges, func(i, j int) bool { return charges[i].class < charges[j].class })
+
+		for pc := r.Start; pc < r.End; pc++ {
+			used[pc] = true
+		}
+		code[r.Start] = pInstr{
+			op:      xSuper,
+			off:     r.End,
+			cost:    cost,
+			class:   -1,
+			sub:     sub,
+			charges: charges,
+		}
+		seqs++
+		ops += n
+	}
+	if skipped > 0 {
+		superStats.skipped.Add(skipped)
+	}
+	return seqs, ops
+}
+
+// runSuper executes fused-unit members semantics-only: no cycle or
+// class accounting, no per-member poll or limit checks (the caller owns
+// those, batched). It returns the number of members completed and, when
+// < len(sub), the member's fault (message identical to the unfused
+// engine's). Each case must compute exactly what its exec counterpart
+// computes.
+func (pp *PreparedProgram) runSuper(sub []pInstr, s *scratch) (int, error) {
+	regs := s.regs
+	arrays := s.arrays
+	for k := range sub {
+		in := &sub[k]
+		switch in.op {
+		case OpNop:
+
+		case OpConst:
+			v := &in.val
+			d := &regs[in.dst]
+			d.i, d.f, d.c, d.lanes = v.i, v.f, v.c, v.lanes
+
+		case OpMov:
+			src := &regs[in.a]
+			lanes := src.lanes
+			if lanes != nil {
+				dst := s.seg(in.dst, len(lanes))
+				copy(dst, lanes)
+				lanes = dst
+			}
+			d := &regs[in.dst]
+			d.i, d.f, d.c, d.lanes = src.i, src.f, src.c, lanes
+
+		case OpConv:
+			if in.lanes > 1 {
+				dst := s.seg(in.dst, in.lanes)
+				convInto(dst, regs[in.a], in.kBase)
+				regs[in.dst] = vmval{lanes: dst}
+			} else {
+				src := &regs[in.a]
+				d := &regs[in.dst]
+				switch in.kBase {
+				case ir.Int:
+					setInt(d, src.i)
+				case ir.Float:
+					setFloat(d, src.f)
+				default:
+					setComplex(d, src.c)
+				}
+			}
+
+		case OpBin:
+			a, b := &regs[in.a], &regs[in.b]
+			if in.lanes <= 1 {
+				if err := binScalarInto(&regs[in.dst], in.bop, in.opBase, in.kBase, a, b); err != nil {
+					return k, err
+				}
+				break
+			}
+			dst := s.seg(in.dst, in.lanes)
+			for j := 0; j < in.lanes; j++ {
+				r, err := binLane(in.bop, in.opBase, in.kBase, laneOf(a, j), laneOf(b, j))
+				if err != nil {
+					return k, err
+				}
+				dst[j] = r
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case xIAdd:
+			setInt(&regs[in.dst], regs[in.a].i+regs[in.b].i)
+
+		case xISub:
+			setInt(&regs[in.dst], regs[in.a].i-regs[in.b].i)
+
+		case xIMul:
+			setInt(&regs[in.dst], regs[in.a].i*regs[in.b].i)
+
+		case xILt, xILe, xIGt, xIGe, xIEq, xINe, xIAnd, xIOr:
+			x, y := regs[in.a].i, regs[in.b].i
+			var cond bool
+			switch in.op {
+			case xILt:
+				cond = x < y
+			case xILe:
+				cond = x <= y
+			case xIGt:
+				cond = x > y
+			case xIGe:
+				cond = x >= y
+			case xIEq:
+				cond = x == y
+			case xINe:
+				cond = x != y
+			case xIAnd:
+				cond = x != 0 && y != 0
+			default:
+				cond = x != 0 || y != 0
+			}
+			setInt(&regs[in.dst], b2i(cond))
+
+		case xFAdd:
+			setFloat(&regs[in.dst], regs[in.a].f+regs[in.b].f)
+
+		case xFSub:
+			setFloat(&regs[in.dst], regs[in.a].f-regs[in.b].f)
+
+		case xFMul:
+			setFloat(&regs[in.dst], regs[in.a].f*regs[in.b].f)
+
+		case xFDiv:
+			setFloat(&regs[in.dst], regs[in.a].f/regs[in.b].f)
+
+		case xFLt, xFLe, xFGt, xFGe, xFEq, xFNe,
+			xFLtI, xFLeI, xFGtI, xFGeI, xFEqI, xFNeI:
+			x, y := regs[in.a].f, regs[in.b].f
+			var cond bool
+			switch in.op {
+			case xFLt, xFLtI:
+				cond = x < y
+			case xFLe, xFLeI:
+				cond = x <= y
+			case xFGt, xFGtI:
+				cond = x > y
+			case xFGe, xFGeI:
+				cond = x >= y
+			case xFEq, xFEqI:
+				cond = x == y
+			default:
+				cond = x != y
+			}
+			setInt(&regs[in.dst], b2i(cond))
+
+		case xCAdd:
+			setComplex(&regs[in.dst], regs[in.a].c+regs[in.b].c)
+
+		case xCSub:
+			setComplex(&regs[in.dst], regs[in.a].c-regs[in.b].c)
+
+		case xCMul:
+			setComplex(&regs[in.dst], regs[in.a].c*regs[in.b].c)
+
+		case xIntrS:
+			a0 := lane0(regs, in.args[0])
+			a1 := lane0(regs, in.args[1])
+			var a2 complex128
+			if len(in.args) > 2 {
+				a2 = lane0(regs, in.args[2])
+			}
+			setMaterialize(&regs[in.dst], intrLane(in.intr, a0, a1, a2), in.kBase)
+
+		case OpUn:
+			a := &regs[in.a]
+			if in.lanes <= 1 {
+				v, err := unScalar(in.bop, in.opBase, in.kBase, *a)
+				if err != nil {
+					return k, err
+				}
+				regs[in.dst] = v
+				break
+			}
+			dst := s.seg(in.dst, in.lanes)
+			for j := 0; j < in.lanes; j++ {
+				v, err := unLane(in.bop, in.opBase, in.kBase, laneOf(a, j))
+				if err != nil {
+					return k, err
+				}
+				dst[j] = v
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case OpIntr:
+			// Only fault-free intrinsics are fuseable, so no pre/post
+			// fault checks here.
+			if in.pat != nil {
+				dst := s.seg(in.dst, in.lanes)
+				var argbuf [ir.MaxPatternArity]complex128
+				pargs := argbuf[:len(in.args)]
+				for j := 0; j < in.lanes; j++ {
+					for ai, r := range in.args {
+						pargs[ai] = laneOf(&regs[r], j)
+					}
+					dst[j] = in.pat.EvalLane(pargs)
+				}
+				if in.lanes <= 1 {
+					setMaterialize(&regs[in.dst], dst[0], in.kBase)
+				} else {
+					regs[in.dst] = vmval{lanes: dst}
+				}
+				break
+			}
+			// Like exec's intrFill call, but reading the operand
+			// registers in place: copying three 40-byte vmvals through
+			// the stack per fused member measurably stalls the loop.
+			a0, a1 := &regs[in.args[0]], &regs[in.args[1]]
+			a2 := &zeroVmval
+			if len(in.args) > 2 {
+				a2 = &regs[in.args[2]]
+			}
+			lanes := s.seg(in.dst, in.lanes)
+			for j := 0; j < in.lanes; j++ {
+				lanes[j] = intrLane(in.intr, laneOf(a0, j), laneOf(a1, j), laneOf(a2, j))
+			}
+			if in.lanes <= 1 {
+				setMaterialize(&regs[in.dst], lanes[0], in.kBase)
+			} else {
+				regs[in.dst] = vmval{lanes: lanes}
+			}
+
+		case OpLoad:
+			arr := arrays[in.arr]
+			if arr == nil {
+				return k, fmt.Errorf("load from unallocated array %s", in.arrName)
+			}
+			idx := int(regs[in.a].i)
+			if idx < 0 || idx >= arr.Len() {
+				return k, fmt.Errorf("load %s[%d] out of bounds (len %d)", in.arrName, idx, arr.Len())
+			}
+			if in.elem == ir.Complex {
+				setComplex(&regs[in.dst], arr.C[idx])
+			} else {
+				setFloat(&regs[in.dst], arr.F[idx])
+			}
+
+		case OpVLoad:
+			arr := arrays[in.arr]
+			if arr == nil {
+				return k, fmt.Errorf("vload from unallocated array %s", in.arrName)
+			}
+			base := int(regs[in.a].i)
+			lo, hi := base+in.loOff, base+in.hiOff
+			if lo < 0 || hi >= arr.Len() {
+				return k, fmt.Errorf("vload %s[%d..%d] out of bounds (len %d)", in.arrName, lo, hi, arr.Len())
+			}
+			dst := s.seg(in.dst, in.lanes)
+			if in.elem == ir.Complex && in.stride == 1 {
+				copy(dst, arr.C[base:base+in.lanes])
+			} else {
+				for j := 0; j < in.lanes; j++ {
+					dst[j] = arr.At(base + j*in.stride)
+				}
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case OpStore:
+			arr := arrays[in.arr]
+			if arr == nil {
+				return k, fmt.Errorf("store to unallocated array %s", in.arrName)
+			}
+			base := int(regs[in.a].i)
+			val := &regs[in.b]
+			if base < 0 || base+in.lanes > arr.Len() {
+				return k, fmt.Errorf("store %s[%d..%d] out of bounds (len %d)", in.arrName, base, base+in.lanes-1, arr.Len())
+			}
+			if in.lanes > 1 {
+				for j := 0; j < in.lanes; j++ {
+					storeElem(arr, base+j, laneOf(val, j))
+				}
+			} else {
+				storeElem(arr, base, val.c)
+			}
+
+		case OpDim:
+			arr := arrays[in.arr]
+			if arr == nil {
+				return k, fmt.Errorf("dim of unallocated array %s", in.arrName)
+			}
+			switch in.immI {
+			case int64(ir.DimRows):
+				setInt(&regs[in.dst], int64(arr.Rows))
+			case int64(ir.DimCols):
+				setInt(&regs[in.dst], int64(arr.Cols))
+			default:
+				setInt(&regs[in.dst], int64(arr.Len()))
+			}
+
+		case OpSel:
+			cond, th, el := &regs[in.args[0]], &regs[in.args[1]], &regs[in.args[2]]
+			if in.lanes <= 1 {
+				src := el
+				if !isZeroP(cond) {
+					src = th
+				}
+				d := &regs[in.dst]
+				switch in.kBase {
+				case ir.Int:
+					setInt(d, src.i)
+				case ir.Float:
+					setFloat(d, src.f)
+				default:
+					setComplex(d, src.c)
+				}
+				break
+			}
+			dst := s.seg(in.dst, in.lanes)
+			for j := 0; j < in.lanes; j++ {
+				var v complex128
+				if laneOf(cond, j) != 0 {
+					v = laneOf(th, j)
+				} else {
+					v = laneOf(el, j)
+				}
+				if in.kBase != ir.Complex {
+					v = complex(real(v), 0)
+				}
+				dst[j] = v
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case OpSplat:
+			dst := s.seg(in.dst, in.lanes)
+			v := regs[in.a].c
+			for j := range dst {
+				dst[j] = v
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case OpRamp:
+			dst := s.seg(in.dst, in.lanes)
+			base := regs[in.a].i
+			for j := range dst {
+				dst[j] = complex(float64(base+int64(j)*in.immI), 0)
+			}
+			regs[in.dst] = vmval{lanes: dst}
+
+		case OpReduce:
+			lanes := regs[in.a].lanes
+			if lanes == nil {
+				return k, fmt.Errorf("reduce of scalar register")
+			}
+			acc := lanes[0]
+			for j := 1; j < len(lanes); j++ {
+				var err error
+				acc, err = scalarBin(in.bop, in.opBase, acc, lanes[j])
+				if err != nil {
+					return k, err
+				}
+			}
+			setMaterialize(&regs[in.dst], acc, in.kBase)
+
+		default:
+			// Unreachable: fuseablePInstr rejects everything else.
+			return k, fmt.Errorf("bad opcode %s", in.op)
+		}
+	}
+	return len(sub), nil
+}
+
+// superStats are process-wide superinstruction counters, exported for
+// /metrics. Static counts accrue per preparation; DispatchesSaved
+// accrues per run (flushed once at run end, so the hot loop stays free
+// of atomics).
+var superStats struct {
+	prepares atomic.Uint64
+	seqs     atomic.Uint64
+	ops      atomic.Uint64
+	skipped  atomic.Uint64
+	saved    atomic.Uint64
+}
+
+// SuperinstInfo is a point-in-time snapshot of the superinstruction
+// tier, exported for service metrics and tooling.
+type SuperinstInfo struct {
+	// Enabled is the process-default policy (SetSuperinstEnabled /
+	// $MAT2C_VM_SUPERINST).
+	Enabled bool `json:"enabled"`
+	// Preparations counts preparations that fused at least one unit.
+	Preparations uint64 `json:"preparations"`
+	// SequencesFused / OpsFused count fused units and their member
+	// instructions across all preparations.
+	SequencesFused uint64 `json:"sequences_fused"`
+	OpsFused       uint64 `json:"ops_fused"`
+	// RangesSkipped counts requested ranges dropped at fuse time
+	// (overlap, control flow, unfuseable member on the processor).
+	RangesSkipped uint64 `json:"ranges_skipped"`
+	// DispatchesSaved counts dynamic dispatch slots eliminated by fused
+	// execution: Σ (members−1) over every executed unit.
+	DispatchesSaved uint64 `json:"dispatches_saved"`
+}
+
+// SuperinstStats reports the process-wide superinstruction counters.
+func SuperinstStats() SuperinstInfo {
+	return SuperinstInfo{
+		Enabled:         SuperinstEnabled(),
+		Preparations:    superStats.prepares.Load(),
+		SequencesFused:  superStats.seqs.Load(),
+		OpsFused:        superStats.ops.Load(),
+		RangesSkipped:   superStats.skipped.Load(),
+		DispatchesSaved: superStats.saved.Load(),
+	}
+}
+
+// ResetSuperinstStats zeroes the superinstruction counters (tests).
+func ResetSuperinstStats() {
+	superStats.prepares.Store(0)
+	superStats.seqs.Store(0)
+	superStats.ops.Store(0)
+	superStats.skipped.Store(0)
+	superStats.saved.Store(0)
+}

@@ -1,0 +1,412 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/pdesc"
+	"mat2c/internal/sema"
+)
+
+// scalarProg hand-builds a straight-line program over float scalars:
+// n chained adds feeding a result register, then ret.
+func scalarProg(n int) *Program {
+	prog := &Program{Name: "t", NumRegs: 3}
+	prog.Params = []Param{{Name: "a", Elem: ir.Float, Reg: 0}}
+	prog.Results = []Param{{Name: "y", Elem: ir.Float, Reg: 1}}
+	fk := ir.Kind{Base: ir.Float, Lanes: 1}
+	for i := 0; i < n; i++ {
+		prog.Instrs = append(prog.Instrs, Instr{
+			Op: OpBin, K: fk, OpBase: ir.Float, BOp: ir.OpAdd, Dst: 1, A: 0, B: 1,
+		})
+	}
+	prog.Instrs = append(prog.Instrs, Instr{Op: OpRet})
+	return prog
+}
+
+func TestMineSuperinstsChunking(t *testing.T) {
+	prog := scalarProg(20)
+	set := MineSuperinsts(prog, nil, SuperOpts{})
+	want := []SeqRange{{Start: 0, End: 8}, {Start: 8, End: 16}, {Start: 16, End: 20}}
+	if !reflect.DeepEqual(set.Ranges, want) {
+		t.Errorf("ranges = %v, want %v", set.Ranges, want)
+	}
+	// Determinism: identical inputs, identical output.
+	if again := MineSuperinsts(prog, nil, SuperOpts{}); !reflect.DeepEqual(again, set) {
+		t.Errorf("miner is not deterministic: %v vs %v", again, set)
+	}
+	// MaxLen below default.
+	set = MineSuperinsts(prog, nil, SuperOpts{MaxLen: 4})
+	if len(set.Ranges) != 5 || set.Ranges[0].End != 4 {
+		t.Errorf("MaxLen=4 ranges = %v", set.Ranges)
+	}
+}
+
+func TestMineSuperinstsMinCountAndMaxSeqs(t *testing.T) {
+	prog := scalarProg(20)
+	counts := make([]int64, len(prog.Instrs))
+	for i := range counts {
+		counts[i] = 1
+	}
+	for i := 8; i < 16; i++ {
+		counts[i] = 1000 // one hot chunk
+	}
+	set := MineSuperinsts(prog, counts, SuperOpts{MinCount: 10})
+	if len(set.Ranges) != 1 || set.Ranges[0] != (SeqRange{Start: 8, End: 16}) {
+		t.Errorf("MinCount=10 ranges = %v, want just [8,16)", set.Ranges)
+	}
+	set = MineSuperinsts(prog, counts, SuperOpts{MaxSeqs: 1})
+	if len(set.Ranges) != 1 || set.Ranges[0] != (SeqRange{Start: 8, End: 16}) {
+		t.Errorf("MaxSeqs=1 ranges = %v, want the hottest chunk [8,16)", set.Ranges)
+	}
+}
+
+// TestMineSuperinstsBranchTail: a basic block's own terminating branch
+// may close a unit, including the compare-and-branch pair of a loop
+// condition block (a one-instruction run before its jz).
+func TestMineSuperinstsBranchTail(t *testing.T) {
+	fk := ir.Kind{Base: ir.Float, Lanes: 1}
+	prog := &Program{Name: "t", NumRegs: 3}
+	prog.Params = []Param{{Name: "a", Elem: ir.Float, Reg: 0}}
+	prog.Results = []Param{{Name: "y", Elem: ir.Float, Reg: 1}}
+	prog.Instrs = []Instr{
+		{Op: OpBin, K: fk, OpBase: ir.Float, BOp: ir.OpAdd, Dst: 1, A: 0, B: 1}, // 0
+		{Op: OpBin, K: fk, OpBase: ir.Float, BOp: ir.OpAdd, Dst: 1, A: 0, B: 1}, // 1
+		{Op: OpJz, A: 1, Off: 5},                                                // 2: block terminator
+		{Op: OpBin, K: fk, OpBase: ir.Float, BOp: ir.OpAdd, Dst: 1, A: 0, B: 1}, // 3: lone op...
+		{Op: OpJmp, Off: 5},                                                     // 4: ...before its jmp
+		{Op: OpRet}, // 5
+	}
+	set := MineSuperinsts(prog, nil, SuperOpts{})
+	want := []SeqRange{{Start: 0, End: 3}, {Start: 3, End: 5}}
+	if !reflect.DeepEqual(set.Ranges, want) {
+		t.Errorf("ranges = %v, want %v", set.Ranges, want)
+	}
+	assertEnginesAgree(t, prog, pdesc.Builtin("scalar"), 0, []interface{}{1.5})
+}
+
+func TestStaticSuperinstsPairs(t *testing.T) {
+	prog := scalarProg(5) // odd-length run: last op stays unpaired
+	set := StaticSuperinsts(prog)
+	want := []SeqRange{{Start: 0, End: 2}, {Start: 2, End: 4}}
+	if !reflect.DeepEqual(set.Ranges, want) {
+		t.Errorf("ranges = %v, want %v", set.Ranges, want)
+	}
+}
+
+// TestSuperSetCacheKeying: the prepared-program cache must keep the
+// policy-default, fusion-off, and each mined preparation apart.
+func TestSuperSetCacheKeying(t *testing.T) {
+	defer ResetPreparedCache()
+	ResetPreparedCache()
+	prog := scalarProg(20)
+	proc := pdesc.Builtin("scalar")
+
+	ppDefault := PreparedFor(prog, proc) // policy default (static pairs)
+	if again := PreparedFor(prog, proc); again != ppDefault {
+		t.Error("PreparedFor twice returned distinct preparations")
+	}
+	ppOff := PreparedForSet(prog, proc, nil) // fusion off
+	if ppOff == ppDefault {
+		t.Error("fusion-off preparation aliased the policy default")
+	}
+	mined := MineSuperinsts(prog, nil, SuperOpts{MaxLen: 4})
+	ppMined := PreparedForSet(prog, proc, mined)
+	if ppMined == ppOff || ppMined == ppDefault {
+		t.Error("mined preparation aliased another set's entry")
+	}
+	// An equal set mined separately must hit the same entry.
+	if again := PreparedForSet(prog, proc, MineSuperinsts(prog, nil, SuperOpts{MaxLen: 4})); again != ppMined {
+		t.Error("equal mined sets missed the cache")
+	}
+	st := PreparedCacheStats()
+	if st.Entries != 3 || st.Misses != 3 {
+		t.Errorf("cache entries/misses = %d/%d, want 3/3 (default, off, mined)", st.Entries, st.Misses)
+	}
+
+	// Disabling the process policy must route PreparedFor to the
+	// fusion-off entry, not the static one.
+	SetSuperinstEnabled(false)
+	defer SetSuperinstEnabled(true)
+	if pp := PreparedFor(prog, proc); pp != ppOff {
+		t.Error("with superinsts disabled, PreparedFor did not share the fusion-off preparation")
+	}
+}
+
+// assertMinedAgree runs prog under the reference engine and under the
+// prepared engine with a profile-mined superinstruction set, requiring
+// bit-identical observables (the three-way static/mined/reference
+// differential for full kernels lives in internal/bench).
+func assertMinedAgree(t *testing.T, prog *Program, p *pdesc.Processor, maxCycles int64, args []interface{}) {
+	t.Helper()
+	mr, outR, errR := runEngine(prog, p, EngineReference, maxCycles, args)
+
+	mp := NewMachine(p)
+	mp.Engine = EnginePrepared
+	mp.MaxCycles = maxCycles
+	mp.SuperSet = &SuperSet{}
+	mp.Profile = true
+	mp.Run(prog, cloneArgs(args)...) // profiling run; faults still profile
+	set := MineSuperinsts(prog, mp.PCCounts, SuperOpts{})
+	mp.Profile = false
+	mp.SuperSet = set
+	outP, errP := mp.Run(prog, cloneArgs(args)...)
+
+	if (errR == nil) != (errP == nil) {
+		t.Fatalf("error mismatch: reference %v, mined %v", errR, errP)
+	}
+	if errR != nil && errR.Error() != errP.Error() {
+		t.Fatalf("error text mismatch:\n  reference: %v\n  mined:     %v", errR, errP)
+	}
+	if mr.Cycles != mp.Cycles || mr.Executed != mp.Executed {
+		t.Errorf("cycles %d vs %d, executed %d vs %d", mr.Cycles, mp.Cycles, mr.Executed, mp.Executed)
+	}
+	if !reflect.DeepEqual(mr.ClassCounts, mp.ClassCounts) {
+		t.Errorf("ClassCounts:\n  reference %v\n  mined     %v", mr.ClassCounts, mp.ClassCounts)
+	}
+	if errR == nil {
+		bitsEqResults(t, outR, outP)
+	}
+}
+
+// TestMinedEquivalence: trace-mined fusion is cycle-exact on compiled
+// kernels across targets, including faulting runs (cycle limit).
+func TestMinedEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, proc := range []string{"scalar", "dspasip", "wide8"} {
+		f, p := buildIR(t, firSrc, proc, true, dynVec(), dynVec())
+		prog, err := Lower(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []interface{}{randArr(256, r), randArr(16, r)}
+		assertMinedAgree(t, prog, p, 0, args)
+		// Cycle limit lands mid-run, exercising the fused slow path.
+		assertMinedAgree(t, prog, p, 999, args)
+		assertMinedAgree(t, prog, p, 12345, args)
+	}
+
+	f, p := buildIR(t, cfirSrc, "dspasip", true, dynCVec(), dynCVec())
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMinedAgree(t, prog, p, 0, []interface{}{randCArr(256, r), randCArr(16, r)})
+}
+
+// TestProfileParity: Machine.Profile must work on the prepared engine
+// (with and without fusion) and agree with the reference engine on
+// every per-PC count — fused units map counts back to member pcs.
+func TestProfileParity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f, p := buildIR(t, firSrc, "dspasip", true, dynVec(), dynVec())
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []interface{}{randArr(256, r), randArr(16, r)}
+
+	profile := func(configure func(*Machine)) []int64 {
+		m := NewMachine(p)
+		m.Profile = true
+		configure(m)
+		if _, err := m.Run(prog, cloneArgs(args)...); err != nil {
+			t.Fatal(err)
+		}
+		return m.PCCounts
+	}
+
+	ref := profile(func(m *Machine) { m.Engine = EngineReference })
+	prep := profile(func(m *Machine) { m.Engine = EnginePrepared; m.SuperSet = &SuperSet{} })
+	static := profile(func(m *Machine) { m.Engine = EnginePrepared })
+	var mined []int64
+	{
+		m := NewMachine(p)
+		m.Engine = EnginePrepared
+		m.Profile = true
+		if _, err := m.Run(prog, cloneArgs(args)...); err != nil {
+			t.Fatal(err)
+		}
+		m.SuperSet = MineSuperinsts(prog, m.PCCounts, SuperOpts{})
+		mined = profile(func(m2 *Machine) { m2.Engine = EnginePrepared; m2.SuperSet = m.SuperSet })
+	}
+
+	for name, got := range map[string][]int64{"prepared": prep, "static": static, "mined": mined} {
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("%s engine per-PC profile differs from reference", name)
+		}
+	}
+}
+
+// TestSuperinstCancellationStride: CancelCheckStride still bounds
+// cancellation latency when hot loops run as fused units.
+func TestSuperinstCancellationStride(t *testing.T) {
+	f, p := buildIR(t, spinSrc, "dspasip", true, sema.ScalarType(sema.Real))
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	m.Engine = EnginePrepared
+	m.Profile = true
+	if _, err := m.Run(prog, 20000.0); err != nil {
+		t.Fatal(err)
+	}
+	set := MineSuperinsts(prog, m.PCCounts, SuperOpts{})
+	if len(set.Ranges) == 0 {
+		t.Fatal("miner found nothing to fuse in the spin loop")
+	}
+	m.Profile = false
+	m.SuperSet = set
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = m.RunContext(ctx, prog, 1e9)
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if ce.Executed > CancelCheckStride || m.Executed > CancelCheckStride {
+		t.Errorf("executed %d (machine %d) fused instructions before observing cancellation, want <= %d",
+			ce.Executed, m.Executed, CancelCheckStride)
+	}
+}
+
+func TestSuperinstStatsAccrue(t *testing.T) {
+	ResetSuperinstStats()
+	ResetPreparedCache()
+	defer ResetPreparedCache()
+	prog := scalarProg(20)
+	proc := pdesc.Builtin("scalar")
+	m := NewMachine(proc)
+	m.Engine = EnginePrepared
+	m.SuperSet = MineSuperinsts(prog, nil, SuperOpts{})
+	if _, err := m.Run(prog, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	st := SuperinstStats()
+	if st.Preparations != 1 || st.SequencesFused != 3 || st.OpsFused != 20 {
+		t.Errorf("stats = %+v, want 1 preparation, 3 sequences, 20 ops", st)
+	}
+	// 20 members in 3 dispatches: 17 dispatch slots saved.
+	if st.DispatchesSaved != 17 {
+		t.Errorf("DispatchesSaved = %d, want 17", st.DispatchesSaved)
+	}
+}
+
+// fuzzProg decodes a byte string into a small program over six scalar
+// registers: consts, float/int arithmetic (including div, a fault
+// source), moves, and short branches (including backward, a loop
+// source — bounded by MaxCycles in the harness).
+func fuzzProg(data []byte) *Program {
+	prog := &Program{Name: "fz", NumRegs: 6}
+	prog.Params = []Param{
+		{Name: "a", Elem: ir.Float, Reg: 0},
+		{Name: "b", Elem: ir.Float, Reg: 1},
+		{Name: "c", Elem: ir.Int, Reg: 2},
+	}
+	prog.Results = []Param{{Name: "y", Elem: ir.Float, Reg: 3}}
+	fk := ir.Kind{Base: ir.Float, Lanes: 1}
+	ik := ir.Kind{Base: ir.Int, Lanes: 1}
+	n := len(data) / 2
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		o, q := data[2*i], data[2*i+1]
+		dst := int(o>>3)%4 + 2
+		a, b := int(q)%6, int(q/6)%6
+		switch o % 8 {
+		case 0:
+			prog.Instrs = append(prog.Instrs, Instr{Op: OpConst, K: ik, Dst: dst, ImmI: int64(q) - 128})
+		case 1:
+			prog.Instrs = append(prog.Instrs, Instr{Op: OpConst, K: fk, Dst: dst, ImmF: float64(q)/16 - 8})
+		case 2:
+			prog.Instrs = append(prog.Instrs, Instr{Op: OpBin, K: fk, OpBase: ir.Float, BOp: ir.OpAdd, Dst: dst, A: a, B: b})
+		case 3:
+			prog.Instrs = append(prog.Instrs, Instr{Op: OpBin, K: fk, OpBase: ir.Float, BOp: ir.OpMul, Dst: dst, A: a, B: b})
+		case 4:
+			prog.Instrs = append(prog.Instrs, Instr{Op: OpBin, K: ik, OpBase: ir.Int, BOp: ir.OpAdd, Dst: dst, A: a, B: b})
+		case 5:
+			prog.Instrs = append(prog.Instrs, Instr{Op: OpBin, K: ik, OpBase: ir.Int, BOp: ir.OpDiv, Dst: dst, A: a, B: b})
+		case 6:
+			prog.Instrs = append(prog.Instrs, Instr{Op: OpMov, K: fk, Dst: dst, A: a})
+		case 7:
+			// Branch: offset decoded after the loop once length is known.
+			prog.Instrs = append(prog.Instrs, Instr{Op: OpJz, A: a, Off: int(q)})
+		}
+	}
+	prog.Instrs = append(prog.Instrs, Instr{Op: OpRet})
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op == OpJz {
+			prog.Instrs[i].Off %= len(prog.Instrs)
+		}
+	}
+	return prog
+}
+
+// FuzzSuperinstMiner feeds random straight-line-with-branches programs
+// through the reference engine, the prepared engine with a set mined
+// from random counts, and the prepared engine with an adversarial
+// explicit range list (invalid ranges must be skipped, never crash),
+// requiring bit-identical observables throughout.
+func FuzzSuperinstMiner(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 7, 3, 11, 4, 200, 5, 1, 7, 0})
+	f.Add([]byte{0, 0, 1, 255, 2, 9, 6, 13, 7, 250, 4, 31, 5, 0})
+	f.Add([]byte{7, 1, 7, 2, 7, 3, 2, 2, 2, 3, 2, 4, 2, 5})
+	proc := pdesc.Builtin("scalar")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := fuzzProg(data)
+		args := []interface{}{1.25, -0.5, int64(3)}
+		const maxCycles = 20000
+
+		mr, outR, errR := runEngine(prog, proc, EngineReference, maxCycles, args)
+
+		counts := make([]int64, len(prog.Instrs))
+		for i := range counts {
+			if len(data) > 0 {
+				counts[i] = int64(data[i%len(data)])
+			} else {
+				counts[i] = 1
+			}
+		}
+		sets := []*SuperSet{MineSuperinsts(prog, counts, SuperOpts{})}
+		// Adversarial explicit ranges straight from the fuzz input.
+		adv := &SuperSet{}
+		for i := 0; i+1 < len(data) && i < 8; i += 2 {
+			adv.Ranges = append(adv.Ranges, SeqRange{
+				Start: int(data[i]) - 64,
+				End:   int(data[i+1]) - 64,
+			})
+		}
+		sets = append(sets, adv)
+
+		for si, set := range sets {
+			m := NewMachine(proc)
+			m.Engine = EnginePrepared
+			m.MaxCycles = maxCycles
+			m.SuperSet = set
+			outP, errP := m.Run(prog, cloneArgs(args)...)
+			if (errR == nil) != (errP == nil) {
+				t.Fatalf("set %d: error mismatch: reference %v, fused %v", si, errR, errP)
+			}
+			if errR != nil && errR.Error() != errP.Error() {
+				t.Fatalf("set %d: error text mismatch:\n  reference: %v\n  fused:     %v", si, errR, errP)
+			}
+			if mr.Cycles != m.Cycles || mr.Executed != m.Executed {
+				t.Fatalf("set %d: cycles %d vs %d, executed %d vs %d", si, mr.Cycles, m.Cycles, mr.Executed, m.Executed)
+			}
+			if !reflect.DeepEqual(mr.ClassCounts, m.ClassCounts) {
+				t.Fatalf("set %d: ClassCounts %v vs %v", si, mr.ClassCounts, m.ClassCounts)
+			}
+			if errR == nil {
+				bitsEqResults(t, outR, outP)
+			}
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package mat2c
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mat2c/internal/artifact"
+)
+
+const sfSrc = "function y = sf(x, a)\ny = a .* x + 2;\nend"
+
+func sfTypes(t *testing.T) []Type {
+	t.Helper()
+	types, err := ParseTypes("real(1,:), real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return types
+}
+
+// blockingStore is an artifact.Store whose Get parks until the test
+// releases it, pinning the flight leader inside the disk tier so
+// followers provably arrive while the compilation is in progress.
+type blockingStore struct {
+	gets chan chan struct{} // each Get sends its release channel
+}
+
+func newBlockingStore() *blockingStore {
+	return &blockingStore{gets: make(chan chan struct{}, 16)}
+}
+
+func (s *blockingStore) Get(key string) ([]byte, error) {
+	release := make(chan struct{})
+	s.gets <- release
+	<-release
+	return nil, fmt.Errorf("blockingStore: %w", artifact.ErrNotFound)
+}
+
+func (s *blockingStore) Put(key string, data []byte) error { return nil }
+func (s *blockingStore) Delete(key string) error           { return nil }
+func (s *blockingStore) Len() (int, error)                 { return 0, nil }
+
+// awaitGet returns the release channel of the next Get call.
+func (s *blockingStore) awaitGet(t *testing.T) chan struct{} {
+	t.Helper()
+	select {
+	case ch := <-s.gets:
+		return ch
+	case <-time.After(10 * time.Second):
+		t.Fatal("store.Get was never called")
+		return nil
+	}
+}
+
+// TestSingleflightSharesOneCompile parks the leader in the disk tier,
+// piles followers onto the same key, and asserts exactly one pipeline
+// run served every caller with one shared artifact.
+func TestSingleflightSharesOneCompile(t *testing.T) {
+	cache := NewCache(8)
+	store := newBlockingStore()
+	cache.SetStore(store)
+	types := sfTypes(t)
+
+	const followers = 8
+	results := make(chan *Result, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, _, err := CompileCached(cache, sfSrc, "sf", types, Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results <- res
+	}()
+	release := store.awaitGet(t) // leader is now mid-miss
+
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, hit, err := CompileCached(cache, sfSrc, "sf", types, Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !hit {
+				t.Error("follower reported hit=false")
+			}
+			results <- res
+		}()
+	}
+	// Wait until every follower has joined the flight, then let the
+	// leader proceed (disk miss -> compile).
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if cache.Stats().FlightWaits == followers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers joined the flight", cache.Stats().FlightWaits, followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	st := cache.Stats()
+	if st.Compiles != 1 {
+		t.Errorf("Compiles = %d, want 1 (singleflight)", st.Compiles)
+	}
+	if st.FlightWaits != followers {
+		t.Errorf("FlightWaits = %d, want %d", st.FlightWaits, followers)
+	}
+	var first *Result
+	n := 0
+	for res := range results {
+		if first == nil {
+			first = res
+		} else if res != first {
+			t.Error("callers received distinct Result pointers")
+		}
+		n++
+	}
+	if n != followers+1 {
+		t.Errorf("%d callers returned, want %d", n, followers+1)
+	}
+}
+
+// TestSingleflightFollowerHonorsOwnContext: a follower waiting on
+// another caller's compilation must still unblock when its own context
+// is cancelled, without disturbing the leader.
+func TestSingleflightFollowerHonorsOwnContext(t *testing.T) {
+	cache := NewCache(8)
+	store := newBlockingStore()
+	cache.SetStore(store)
+	types := sfTypes(t)
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := CompileCached(cache, sfSrc, "sf", types, Options{})
+		leaderDone <- err
+	}()
+	release := store.awaitGet(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, _, err := CompileCachedContext(ctx, cache, sfSrc, "sf", types, Options{})
+		followerDone <- err
+	}()
+	for cache.Stats().FlightWaits == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-followerDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("follower err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Errorf("leader err = %v", err)
+	}
+	if st := cache.Stats(); st.Compiles != 1 {
+		t.Errorf("Compiles = %d, want 1", st.Compiles)
+	}
+}
+
+// TestSingleflightLeaderCancellationRetries: when the leader's own
+// context dies mid-compile, followers must not inherit its
+// cancellation error — one of them retries, becomes leader, and
+// compiles.
+func TestSingleflightLeaderCancellationRetries(t *testing.T) {
+	cache := NewCache(8)
+	store := newBlockingStore()
+	cache.SetStore(store)
+	types := sfTypes(t)
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := CompileCachedContext(lctx, cache, sfSrc, "sf", types, Options{})
+		leaderDone <- err
+	}()
+	release := store.awaitGet(t)
+
+	followerDone := make(chan error, 1)
+	go func() {
+		res, hit, err := CompileCached(cache, sfSrc, "sf", types, Options{})
+		if err == nil && res == nil {
+			err = errors.New("nil result")
+		}
+		_ = hit
+		followerDone <- err
+	}()
+	for cache.Stats().FlightWaits == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the leader's context, then let its disk lookup return: the
+	// pipeline observes the dead context and the flight is marked
+	// cancelled, sending the follower around for another attempt (whose
+	// own disk lookup must also be released).
+	lcancel()
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("leader err = %v, want context.Canceled", err)
+	}
+	close(store.awaitGet(t)) // follower's retry hits the disk tier
+	if err := <-followerDone; err != nil {
+		t.Errorf("follower err = %v, want success after retry", err)
+	}
+	if st := cache.Stats(); st.Compiles != 1 {
+		t.Errorf("Compiles = %d, want 1 (only the retrying follower compiled)", st.Compiles)
+	}
+}
+
+// TestSingleflightSharesDeterministicErrors: a compile error that is
+// not the leader's cancellation is the input's fault and is shared
+// with followers rather than recompiled.
+func TestSingleflightSharesDeterministicErrors(t *testing.T) {
+	cache := NewCache(8)
+	store := newBlockingStore()
+	cache.SetStore(store)
+	types := sfTypes(t)
+	bad := "function y = sf(x, a)\ny = undefined_fn(x);\nend"
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := CompileCached(cache, bad, "sf", types, Options{})
+		leaderDone <- err
+	}()
+	release := store.awaitGet(t)
+	followerDone := make(chan error, 1)
+	go func() {
+		_, _, err := CompileCached(cache, bad, "sf", types, Options{})
+		followerDone <- err
+	}()
+	for cache.Stats().FlightWaits == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	lerr, ferr := <-leaderDone, <-followerDone
+	if lerr == nil || ferr == nil {
+		t.Fatalf("expected compile errors, got leader=%v follower=%v", lerr, ferr)
+	}
+	if lerr.Error() != ferr.Error() {
+		t.Errorf("follower error %q differs from leader's %q", ferr, lerr)
+	}
+	if st := cache.Stats(); st.Compiles != 0 {
+		t.Errorf("Compiles = %d, want 0 (errors are not cached but also not recompiled by followers)", st.Compiles)
+	}
+}
