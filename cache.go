@@ -119,8 +119,12 @@ type CacheStats struct {
 	Entries    int    `json:"entries"`
 	MaxEntries int    `json:"max_entries"`
 	Hits       uint64 `json:"hits"`
-	Misses     uint64 `json:"misses"`
-	Evictions  uint64 `json:"evictions"`
+	// Misses counts logical lookups that did not hit the in-memory
+	// tier, tallied once each at the point they resolve, so
+	// Misses == Compiles + DiskHits + FlightWaits always holds
+	// (failed or cancelled compiles resolve nothing and count nowhere).
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
 
 	// Compiles counts compilations performed by CompileCached (memory
 	// and disk both missed); FlightWaits counts callers that joined an
@@ -165,7 +169,13 @@ func (c *Cache) Stats() CacheStats {
 }
 
 // get returns the cached result for key, promoting it to most recently
-// used, and records a hit or miss.
+// used and recording a hit. A miss is NOT counted here: the retry loop
+// in CompileCachedContext can probe the same key several times during
+// one logical lookup (a follower loops back after a cancelled leader),
+// so the miss is counted exactly once at the point the lookup resolves
+// — joining a flight, restoring from disk, or compiling. That keeps
+// misses == compiles + disk_hits + flight_waits, the invariant the
+// /metrics hit-rate math relies on.
 func (c *Cache) get(key string) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -174,7 +184,6 @@ func (c *Cache) get(key string) (*Result, bool) {
 		c.hits++
 		return el.Value.(*cacheEntry).res, true
 	}
-	c.misses++
 	return nil, false
 }
 
@@ -279,6 +288,7 @@ func (c *Cache) startFlight(key string) (*flight, bool) {
 	}
 	if fl, ok := c.flights[key]; ok {
 		c.flightWaits++
+		c.misses++ // the logical lookup resolves by joining this flight
 		return fl, false
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -387,15 +397,22 @@ func CompileCachedContext(ctx context.Context, c *Cache, source, entry string, p
 // first, full pipeline otherwise, caching whatever succeeds.
 func (c *Cache) compileMiss(ctx context.Context, key, source, entry string, params []Type, opts Options) (*Result, bool, error) {
 	if res, ok := c.diskGet(key, opts); ok {
+		c.mu.Lock()
+		c.misses++ // resolved by the disk tier
+		c.mu.Unlock()
 		c.put(key, res)
 		return res, true, nil
 	}
 	res, err := CompileContext(ctx, source, entry, params, opts)
 	if err != nil {
+		// Failed (or cancelled) compiles resolve nothing: the lookup
+		// counts neither a miss nor a compile, keeping the stats
+		// invariant exact.
 		return nil, false, err
 	}
 	c.mu.Lock()
 	c.compiles++
+	c.misses++ // resolved by a full pipeline run
 	c.mu.Unlock()
 	c.put(key, res)
 	c.writeThrough(key, res)

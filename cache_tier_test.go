@@ -194,6 +194,9 @@ func TestCachePutWritesThrough(t *testing.T) {
 func TestDiskTierMissingEntryCounted(t *testing.T) {
 	c := NewCache(8)
 	c.SetStore(openTestStore(t, t.TempDir()))
+	// Drain the async write-through before TempDir cleanup removes the
+	// store directory out from under it.
+	defer c.Flush()
 	if _, hit, err := CompileCached(c, cacheTestSrc, "scale", cacheTestParams, Options{Target: "dspasip", SkipC: true}); err != nil || hit {
 		t.Fatalf("empty store: hit=%v err=%v", hit, err)
 	}

@@ -41,10 +41,16 @@ func main() {
 		trace    = flag.Bool("trace", false, "write an instruction trace to stderr (large!)")
 		timeout  = flag.Duration("timeout", 0, "bound compile+simulate wall time (e.g. 30s; 0 = none)")
 		superOpt = flag.String("superinst", "", "superinstruction fusion in the prepared engine: on or off (default: on, or MAT2C_VM_SUPERINST)")
+		engine   = flag.String("engine", "", "VM execution engine: reference, prepared or compiled (default: prepared, or MAT2C_VM_ENGINE)")
 	)
 	flag.Parse()
 	if err := applySuperinstFlag(*superOpt); err != nil {
 		fatal(err)
+	}
+	if *engine != "" {
+		if err := vm.SetDefaultEngine(*engine); err != nil {
+			fatal(fmt.Errorf("-engine: %w", err))
+		}
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: asipsim [flags] kernel.m  (see asipsim -h)")

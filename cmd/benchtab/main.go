@@ -12,8 +12,9 @@
 // to retarget Table I/II and Fig. 2. -jobs runs independent kernels on
 // a bounded worker pool (results stay in deterministic order).
 // -timeout bounds the whole run with one wall-clock deadline. -engine
-// selects the VM execution engine (prepared or reference; both produce
-// identical cycle counts — see docs/PERF.md). -cpuprofile/-memprofile
+// selects the VM execution engine (prepared, compiled or reference;
+// all produce identical cycle counts — see docs/PERF.md).
+// -cpuprofile/-memprofile
 // write pprof profiles. Output is formatted text by default; -csv
 // emits CSV per table, -json emits one machine-readable document for
 // all requested tables (for BENCH_*.json trend tracking).
@@ -54,11 +55,11 @@ func run() int {
 		jsonOut  = flag.Bool("json", false, "emit one JSON report for the requested tables")
 		jobs     = flag.Int("jobs", 1, "kernel-level worker pool size (1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "bound total table-generation wall time (e.g. 5m; 0 = none)")
-		engine   = flag.String("engine", "", "VM engine: prepared or reference (default: prepared, or MAT2C_VM_ENGINE)")
+		engine   = flag.String("engine", "", "VM engine: prepared, compiled or reference (default: prepared, or MAT2C_VM_ENGINE)")
 		superOpt = flag.String("superinst", "", "superinstruction fusion in the prepared engine: on or off (default: on, or MAT2C_VM_SUPERINST)")
 		vmbench  = flag.String("vmbench", "", "measure simulator throughput and write the JSON report to this file (- for stdout)")
 		vmtime   = flag.Duration("vmtime", 250*time.Millisecond, "per-engine measurement window for -vmbench")
-		vmgate   = flag.Float64("vmgate", 0, "fail -vmbench unless superinst/prepared throughput on fir is at least this ratio (0 = no gate; CI uses a generous 0.5 to catch only collapses, not noise)")
+		vmgate   = flag.Float64("vmgate", 0, "fail -vmbench unless superinst/prepared and compiled/prepared throughput on fir are at least this ratio (0 = no gate; CI uses a generous 0.5 to catch only collapses, not noise)")
 
 		cacheDir   = flag.String("cachedir", "", "durable artifact store directory: compilations persist there and warm later runs")
 		cacheBytes = flag.Int64("cachebytes", 0, "artifact store byte budget (0 = default 512 MiB; needs -cachedir)")
@@ -237,6 +238,15 @@ func run() int {
 				gated = true
 				if r.SuperinstSpeedup < *vmgate {
 					return fatal(fmt.Errorf("vmgate: superinst/prepared on fir = %.2f, below gate %.2f (fused dispatch has collapsed)", r.SuperinstSpeedup, *vmgate))
+				}
+				// fir allocates its output, so at least one block always
+				// falls back — the gate is that translation happened at
+				// all and the compiled engine has not collapsed.
+				if r.CompiledBlocks == 0 {
+					return fatal(fmt.Errorf("vmgate: no compiled blocks on fir (translator produced nothing but fallback)"))
+				}
+				if r.CompiledSpeedup < *vmgate {
+					return fatal(fmt.Errorf("vmgate: compiled/prepared on fir = %.2f, below gate %.2f (closure threading has collapsed)", r.CompiledSpeedup, *vmgate))
 				}
 			}
 			if !gated {

@@ -67,6 +67,7 @@ func main() {
 		sweepSlots  = flag.Int("sweepslots", 0, "concurrent fleet work units on a worker (0 = workers/2)")
 		unitSize    = flag.Int("unitsize", 0, "variants per dispatched DSE work unit (0 = default)")
 		superOpt    = flag.String("superinst", "", "superinstruction fusion in the prepared engine: on or off (default: on, or MAT2C_VM_SUPERINST)")
+		engine      = flag.String("engine", "", "VM execution engine: reference, prepared or compiled (default: prepared, or MAT2C_VM_ENGINE)")
 	)
 	flag.Parse()
 	switch *superOpt {
@@ -78,6 +79,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mat2cd: -superinst: %q (want on or off)\n", *superOpt)
 		os.Exit(2)
+	}
+	if *engine != "" {
+		if err := vm.SetDefaultEngine(*engine); err != nil {
+			fmt.Fprintf(os.Stderr, "mat2cd: -engine: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: mat2cd [flags]  (see mat2cd -h)")

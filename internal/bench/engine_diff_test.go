@@ -4,9 +4,10 @@ package bench_test
 // suite: every kernel, every embedded target, and a slice of
 // DSE-derived variants must produce bit-identical outputs and
 // identical cycle accounting under the reference engine, the prepared
-// engine with fusion disabled, and the prepared engine with a
-// trace-mined superinstruction set. This is the whole-pipeline
-// companion to the per-opcode equivalence tests in internal/vm.
+// engine with fusion disabled, the prepared engine with a trace-mined
+// superinstruction set, and the compiled closure-threaded engine.
+// This is the whole-pipeline companion to the per-opcode equivalence
+// tests in internal/vm.
 
 import (
 	"fmt"
@@ -143,6 +144,8 @@ func diffKernelsOn(t *testing.T, name string, proc *pdesc.Processor) {
 				mined := mineForDiff(t, res, proc, args)
 				s := runKernelEngine(t, res, proc, args, vm.EnginePrepared, mined)
 				assertRunsAgree(t, fmt.Sprintf("vec=%v superinst(%d seqs)", cfg.Vectorize, len(mined.Ranges)), s, r)
+				c := runKernelEngine(t, res, proc, args, vm.EngineCompiled, nil)
+				assertRunsAgree(t, fmt.Sprintf("vec=%v compiled", cfg.Vectorize), c, r)
 				if p.err != nil {
 					t.Fatalf("kernel run failed under all engines: %v", p.err)
 				}
@@ -161,8 +164,9 @@ func TestEnginesAgreeOnAllTargets(t *testing.T) {
 
 // TestProfilesAgreeOnAllKernels: Machine.Profile works on every
 // engine configuration, and the per-PC execution counts agree across
-// reference, prepared-unfused, and prepared-with-mined-set runs on
-// every benchmark kernel (fused units map counts back to member PCs).
+// reference, prepared-unfused, prepared-with-mined-set, and compiled
+// runs on every benchmark kernel (fused units map counts back to
+// member PCs; compiled blocks count every member).
 func TestProfilesAgreeOnAllKernels(t *testing.T) {
 	proc := pdesc.Builtin("dspasip")
 	for _, k := range bench.Kernels() {
@@ -188,11 +192,15 @@ func TestProfilesAgreeOnAllKernels(t *testing.T) {
 			ref := profile(vm.EngineReference, nil)
 			prep := profile(vm.EnginePrepared, &vm.SuperSet{})
 			mined := profile(vm.EnginePrepared, vm.MineSuperinsts(res.Program, prep, vm.SuperOpts{}))
+			comp := profile(vm.EngineCompiled, nil)
 			if !reflect.DeepEqual(ref, prep) {
 				t.Error("prepared per-PC profile differs from reference")
 			}
 			if !reflect.DeepEqual(ref, mined) {
 				t.Error("mined-superinst per-PC profile differs from reference")
+			}
+			if !reflect.DeepEqual(ref, comp) {
+				t.Error("compiled per-PC profile differs from reference")
 			}
 		})
 	}

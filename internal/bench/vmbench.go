@@ -12,9 +12,10 @@ import (
 )
 
 // VMBenchRow is one kernel's simulator-throughput measurement: the
-// full proposed pipeline's program executed under the superinstruction,
-// prepared, and reference engines on the same inputs, reported as
-// simulated instructions per wall-clock second. Superinst is the
+// full proposed pipeline's program executed under the compiled,
+// superinstruction, prepared, and reference engines on the same
+// inputs, reported as simulated instructions per wall-clock second.
+// Compiled is the closure-threaded translation; Superinst is the
 // prepared engine with a trace-mined fusion set; Prepared is the same
 // engine with fusion explicitly disabled (the PR 3 baseline).
 type VMBenchRow struct {
@@ -23,6 +24,10 @@ type VMBenchRow struct {
 	InstrsPerRun          int64   `json:"instrs_per_run"`
 	CyclesPerRun          int64   `json:"cycles_per_run"`
 	SuperinstSeqs         int     `json:"superinst_seqs"`
+	CompiledBlocks        int     `json:"compiled_blocks"`
+	CompiledFallback      int     `json:"compiled_fallback_blocks"`
+	CompiledRuns          int     `json:"compiled_runs"`
+	CompiledInstrsPerSec  float64 `json:"compiled_instrs_per_sec"`
 	SuperinstRuns         int     `json:"superinst_runs"`
 	SuperinstInstrsPerSec float64 `json:"superinst_instrs_per_sec"`
 	PreparedRuns          int     `json:"prepared_runs"`
@@ -30,9 +35,11 @@ type VMBenchRow struct {
 	ReferenceRuns         int     `json:"reference_runs"`
 	ReferenceInstrsPerSec float64 `json:"reference_instrs_per_sec"`
 	// Speedup is prepared vs reference; SuperinstSpeedup is
-	// superinstruction vs plain prepared.
+	// superinstruction vs plain prepared; CompiledSpeedup is the
+	// compiled translation vs plain prepared.
 	Speedup          float64 `json:"speedup"`
 	SuperinstSpeedup float64 `json:"superinst_speedup"`
+	CompiledSpeedup  float64 `json:"compiled_speedup"`
 }
 
 // VMBenchReport is the payload written to BENCH_vm.json so simulator
@@ -87,10 +94,11 @@ func mineKernelSet(m *vm.Machine, prog *core.Result, args []interface{}) (*vm.Su
 }
 
 // VMBench measures simulated-instruction throughput for every bench
-// kernel on proc (full proposed pipeline), under the prepared engine
-// with a trace-mined superinstruction set, the plain prepared engine,
-// and the reference engine. minTime bounds the per-engine measurement
-// window; scale scales problem sizes as in Table1.
+// kernel on proc (full proposed pipeline), under the compiled
+// closure-threaded engine, the prepared engine with a trace-mined
+// superinstruction set, the plain prepared engine, and the reference
+// engine. minTime bounds the per-engine measurement window; scale
+// scales problem sizes as in Table1.
 func VMBench(proc *pdesc.Processor, scale float64, minTime time.Duration, opts ...Opt) (*VMBenchReport, error) {
 	o := getOptions(opts)
 	ks := Kernels()
@@ -115,12 +123,20 @@ func VMBench(proc *pdesc.Processor, scale float64, minTime time.Duration, opts .
 		// superinst-vs-prepared delta, and best-of-rounds is robust to
 		// one engine landing in a slow window.
 		const rounds = 3
-		var sRuns, pRuns, rRuns int
-		var sRate, pRate, rRate float64
+		var cRuns, sRuns, pRuns, rRuns int
+		var cRate, sRate, pRate, rRate float64
 		var instrs, cycles int64
 		for round := 0; round < rounds; round++ {
+			runs, r, err := measureEngine(m, res, args, vm.EngineCompiled, minTime/rounds)
+			if err != nil {
+				return fmt.Errorf("%s: compiled: %w", k.Name, err)
+			}
+			if r > cRate {
+				cRuns, cRate = runs, r
+			}
+
 			m.SuperSet = set
-			runs, r, err := measureEngine(m, res, args, vm.EnginePrepared, minTime/rounds)
+			runs, r, err = measureEngine(m, res, args, vm.EnginePrepared, minTime/rounds)
 			if err != nil {
 				return fmt.Errorf("%s: superinst: %w", k.Name, err)
 			}
@@ -147,15 +163,19 @@ func VMBench(proc *pdesc.Processor, scale float64, minTime time.Duration, opts .
 				rRuns, rRate = runs, r
 			}
 		}
+		compiledBlocks, fallbackBlocks := vm.CompileProgram(res.Program, proc).BlockCounts()
 		rows[i] = VMBenchRow{
 			Kernel: k.Name, Size: n,
 			InstrsPerRun: instrs, CyclesPerRun: cycles,
-			SuperinstSeqs: len(set.Ranges),
+			SuperinstSeqs:  len(set.Ranges),
+			CompiledBlocks: compiledBlocks, CompiledFallback: fallbackBlocks,
+			CompiledRuns: cRuns, CompiledInstrsPerSec: cRate,
 			SuperinstRuns: sRuns, SuperinstInstrsPerSec: sRate,
 			PreparedRuns: pRuns, PreparedInstrsPerSec: pRate,
 			ReferenceRuns: rRuns, ReferenceInstrsPerSec: rRate,
 			Speedup:          pRate / rRate,
 			SuperinstSpeedup: sRate / pRate,
+			CompiledSpeedup:  cRate / pRate,
 		}
 		return nil
 	})
@@ -172,11 +192,11 @@ func VMBench(proc *pdesc.Processor, scale float64, minTime time.Duration, opts .
 // VMBenchText renders the throughput report.
 func VMBenchText(rep *VMBenchReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "VM throughput on %s (simulated instructions/sec; superinst = prepared engine + trace-mined fusion)\n", rep.Target)
-	fmt.Fprintf(&b, "%-8s %8s %12s %14s %14s %14s %9s %9s\n", "kernel", "size", "instrs/run", "superinst", "prepared", "reference", "sup/prep", "prep/ref")
+	fmt.Fprintf(&b, "VM throughput on %s (simulated instructions/sec; compiled = closure-threaded translation, superinst = prepared engine + trace-mined fusion)\n", rep.Target)
+	fmt.Fprintf(&b, "%-8s %8s %12s %14s %14s %14s %14s %9s %9s %9s\n", "kernel", "size", "instrs/run", "compiled", "superinst", "prepared", "reference", "comp/prep", "sup/prep", "prep/ref")
 	for _, r := range rep.Rows {
-		fmt.Fprintf(&b, "%-8s %8d %12d %14.3e %14.3e %14.3e %8.2fx %8.1fx\n",
-			r.Kernel, r.Size, r.InstrsPerRun, r.SuperinstInstrsPerSec, r.PreparedInstrsPerSec, r.ReferenceInstrsPerSec, r.SuperinstSpeedup, r.Speedup)
+		fmt.Fprintf(&b, "%-8s %8d %12d %14.3e %14.3e %14.3e %14.3e %8.2fx %8.2fx %8.1fx\n",
+			r.Kernel, r.Size, r.InstrsPerRun, r.CompiledInstrsPerSec, r.SuperinstInstrsPerSec, r.PreparedInstrsPerSec, r.ReferenceInstrsPerSec, r.CompiledSpeedup, r.SuperinstSpeedup, r.Speedup)
 	}
 	return b.String()
 }

@@ -78,7 +78,11 @@ func (a *Agent) RegisterOnce(ctx context.Context) (string, error) {
 
 // deregister tells the coordinator this worker is draining. Best
 // effort under its own short deadline — the coordinator's heartbeat
-// timeout is the backstop if the call is lost.
+// timeout is the backstop if the call is lost. The call runs on a
+// shallow clone of the configured client with its Timeout clamped to
+// the shutdown budget, so an injected client with a long (or absent)
+// timeout can never stall shutdown past 2s, and the caller's shared
+// client is never mutated.
 func (a *Agent) deregister() {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -89,7 +93,11 @@ func (a *Agent) deregister() {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := a.client().Do(req)
+	cl := *a.client()
+	if cl.Timeout <= 0 || cl.Timeout > 2*time.Second {
+		cl.Timeout = 2 * time.Second
+	}
+	resp, err := cl.Do(req)
 	if err != nil {
 		a.logf("fleet: deregister from %s failed: %v", a.Coordinator, err)
 		return
@@ -107,6 +115,11 @@ func (a *Agent) Run(ctx context.Context) error {
 	if interval <= 0 {
 		interval = 3 * time.Second
 	}
+	// One ticker for the lifetime of the loop: time.After in a
+	// heartbeat loop allocates a timer per beat that is only reclaimed
+	// when it fires, which for long-lived agents is steady garbage.
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
 	registered := false
 	for {
 		if id, err := a.RegisterOnce(ctx); err != nil {
@@ -123,7 +136,7 @@ func (a *Agent) Run(ctx context.Context) error {
 				a.deregister()
 			}
 			return ctx.Err()
-		case <-time.After(interval):
+		case <-tick.C:
 		}
 	}
 }

@@ -266,6 +266,8 @@ func (c *Coordinator) markLost(w *worker, err error) {
 // promptly and an abandoned unit means a worker that would not let go
 // within the grace period.
 func (c *Coordinator) Quiesce(ctx context.Context) int {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
 	for {
 		c.mu.Lock()
 		n := c.inflight
@@ -283,7 +285,7 @@ func (c *Coordinator) Quiesce(ctx context.Context) int {
 				c.cfg.Logf("fleet: shutdown abandoned %d dispatched unit(s)", n)
 			}
 			return n
-		case <-time.After(5 * time.Millisecond):
+		case <-tick.C:
 		}
 	}
 }
@@ -405,8 +407,14 @@ func (c *Coordinator) RunUnits(ctx context.Context, units []Unit, onResult func(
 			return
 		}
 		go func() {
+			// A stoppable timer, not time.After: backoff delays reach
+			// RetryMax (seconds), and a run that finishes early would
+			// otherwise leave one unreclaimable timer per sleeping
+			// retry until it fired.
+			tm := time.NewTimer(delay)
+			defer tm.Stop()
 			select {
-			case <-time.After(delay):
+			case <-tm.C:
 				select {
 				case queue <- at:
 				case <-rctx.Done():

@@ -3,6 +3,7 @@ package fleet_test
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -280,5 +281,49 @@ func TestAgentRegistersAndDeregisters(t *testing.T) {
 	}
 	if st := c.Status(); st.Alive != 0 {
 		t.Fatalf("alive = %d after agent shutdown, want 0 (deregistered)", st.Alive)
+	}
+}
+
+// TestAgentDeregisterBoundedByShutdownBudget: an injected client with a
+// huge timeout plus a coordinator that sits on the deregister call must
+// not stall agent shutdown — the deregister attempt is clamped to its
+// own 2s budget.
+func TestAgentDeregisterBoundedByShutdownBudget(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(fleet.RegisterReply{ID: "w1"})
+	})
+	mux.HandleFunc("POST /fleet/deregister", func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server watches the connection and
+		// cancels r.Context when the agent gives up; the timer is a
+		// backstop so a missed disconnect cannot hang ts.Close.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(20 * time.Second):
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	a := &fleet.Agent{
+		Coordinator: ts.URL,
+		Self:        "http://worker:1",
+		Interval:    10 * time.Millisecond,
+		Client:      &http.Client{Timeout: time.Hour},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); a.Run(ctx) }()
+	time.Sleep(50 * time.Millisecond) // let it register
+	start := time.Now()
+	cancel()
+	select {
+	case <-done:
+		if d := time.Since(start); d > 4*time.Second {
+			t.Errorf("shutdown took %s, want ~2s deregister budget", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent shutdown stalled on the hanging deregister call")
 	}
 }

@@ -335,12 +335,13 @@ type Snapshot struct {
 }
 
 // VMSnapshot is the /metrics simulator section: the default execution
-// engine, the process-wide prepared-program cache, and the
-// superinstruction fusion counters.
+// engine, the process-wide prepared-program cache, the superinstruction
+// fusion counters, and the compiled-engine translation counters.
 type VMSnapshot struct {
 	Engine        string               `json:"engine"`
 	PreparedCache vm.PreparedCacheInfo `json:"prepared_cache"`
 	Superinst     vm.SuperinstInfo     `json:"superinst"`
+	Compiled      vm.CompiledInfo      `json:"compiled"`
 }
 
 // DSESnapshot is the /metrics design-space-exploration section.
@@ -410,6 +411,7 @@ func (m *Metrics) SnapshotWith(cache mat2c.CacheStats) Snapshot {
 		Engine:        vm.DefaultEngine(),
 		PreparedCache: vm.PreparedCacheStats(),
 		Superinst:     vm.SuperinstStats(),
+		Compiled:      vm.CompiledStats(),
 	}
 	for name, e := range m.requests {
 		s.Requests[name] = EndpointSnapshot{

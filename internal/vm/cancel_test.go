@@ -19,7 +19,7 @@ y = y + i;
 end
 end`
 
-func spinProgram(t *testing.T) (*Program, *Machine, *Machine) {
+func spinProgram(t *testing.T) (*Program, *Machine, *Machine, *Machine) {
 	t.Helper()
 	f, p := buildIR(t, spinSrc, "dspasip", true, sema.ScalarType(sema.Real))
 	prog, err := Lower(f)
@@ -30,15 +30,17 @@ func spinProgram(t *testing.T) (*Program, *Machine, *Machine) {
 	ref.Engine = EngineReference
 	prep := NewMachine(p)
 	prep.Engine = EnginePrepared
-	return prog, ref, prep
+	comp := NewMachine(p)
+	comp.Engine = EngineCompiled
+	return prog, ref, prep, comp
 }
 
 func TestRunContextCancelledExitsWithinStride(t *testing.T) {
-	prog, ref, prep := spinProgram(t)
+	prog, ref, prep, comp := spinProgram(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // already cancelled: the first poll must observe it
 
-	for _, m := range []*Machine{ref, prep} {
+	for _, m := range []*Machine{ref, prep, comp} {
 		_, err := m.RunContext(ctx, prog, 1e9)
 		var ce *CancelledError
 		if !errors.As(err, &ce) {
@@ -57,8 +59,8 @@ func TestRunContextCancelledExitsWithinStride(t *testing.T) {
 }
 
 func TestRunContextCancelMidRun(t *testing.T) {
-	prog, ref, prep := spinProgram(t)
-	for _, m := range []*Machine{ref, prep} {
+	prog, ref, prep, comp := spinProgram(t)
+	for _, m := range []*Machine{ref, prep, comp} {
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
 		go func() {
@@ -79,7 +81,7 @@ func TestRunContextCancelMidRun(t *testing.T) {
 }
 
 func TestRunContextDeadlineUnwraps(t *testing.T) {
-	prog, _, prep := spinProgram(t)
+	prog, _, prep, _ := spinProgram(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
 	_, err := prep.RunContext(ctx, prog, 1e9)
@@ -92,8 +94,8 @@ func TestRunContextDeadlineUnwraps(t *testing.T) {
 // not perturb cycle accounting: a run under a live (never-fired)
 // context is charge-for-charge identical to a plain Run, per engine.
 func TestRunContextAccountingUnchanged(t *testing.T) {
-	prog, ref, prep := spinProgram(t)
-	for _, m := range []*Machine{ref, prep} {
+	prog, ref, prep, comp := spinProgram(t)
+	for _, m := range []*Machine{ref, prep, comp} {
 		out, err := m.Run(prog, 20000.0)
 		if err != nil {
 			t.Fatalf("engine %s: Run: %v", m.Engine, err)

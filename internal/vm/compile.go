@@ -1,0 +1,989 @@
+package vm
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"mat2c/internal/ir"
+	"mat2c/internal/pdesc"
+)
+
+// The compiled-closure execution engine (third engine).
+//
+// PR 8's superinstruction threading showed that dispatch is no longer
+// the dominant cost: fused units already collapse a hot loop body into
+// one or two dispatches, yet wall clock barely moves, because every
+// member still runs through an interpreter switch with its generic
+// operand plumbing. This backend removes the interpreter from the hot
+// path entirely: each prepared program is translated once per
+// (program, processor) pair into a tree of composed Go closures —
+// continuation-threaded code. Every op becomes a small typed closure
+// capturing its dense-ID operands and pre-resolved cost, chained per
+// basic block, so a block executes as native Go control flow: no
+// per-op switch, no per-op poll or cycle-limit branch, and no operand
+// re-validation (register indices were checked at lowering; array
+// bounds, the only runtime-dependent checks, remain).
+//
+// Region selection reuses the superinstruction miner's block analysis
+// (blockLeaders): the program is partitioned into basic blocks, and
+// each block whose members are all translatable compiles to one
+// closure chain with batched cycle/class accounting, exactly like an
+// xSuper unit spanning the whole block. Blocks containing an op the
+// translator does not cover — OpAlloc (runtime-dependent zero-fill
+// charge) or an OpIntr that faults on this processor — fall back to a
+// per-op stepper with the prepared engine's exact charge ordering, so
+// translator coverage can grow incrementally without ever being
+// wrong.
+//
+// Cycle- and fault-exactness mirror the xSuper contract:
+//   - The chain runs only when the whole block fits under the cycle
+//     limit (cycles+cost <= maxCycles), which makes every per-member
+//     limit check provably dead; otherwise the block is stepped one op
+//     at a time with the reference engine's limit-check/charge order.
+//   - A faulting member replays the completed prefix's charges
+//     member-by-member (honoring chargeFirstOp placement) and reports
+//     the member's own pc, bit-identical to the reference engine.
+//   - Cancellation stays bounded by CancelCheckStride: the poll debt
+//     of a block is settled before it runs.
+//   - Machine.Profile forces a counting path: per-pc counts are
+//     credited for every member on block completion (and for the
+//     executed prefix on a fault), so profiles match the reference
+//     engine exactly.
+//
+// Machine.SuperSet is ignored under this engine: blocks already
+// batch accounting block-wide, which subsumes any fusion set.
+
+// EngineCompiled is the compiled-closure execution engine: each basic
+// block of the prepared program is translated into a chain of typed Go
+// closures with batched cycle/class accounting (see compile.go).
+const EngineCompiled = "compiled"
+
+// backendCompiled tags compiled translations in the prepared-program
+// cache so they never alias the prepared decode of the same
+// (program, processor) pair. Bump the version when translation output
+// changes shape.
+const backendCompiled = "compiled/v1"
+
+// cont is one continuation of a compiled block: it executes its op and
+// every op threaded after it. On success the int is the next pc to
+// resume at (-1 = the program returned). On error the int is the
+// faulting member's index within its block, so the caller can replay
+// the completed prefix's charges.
+type cont func(s *scratch) (int, error)
+
+// cBlock is one basic block of a compiled program. run == nil marks a
+// fallback block (contains an op the translator does not cover); cost
+// and charges aggregate every member including the terminator, valid
+// only for translated blocks.
+type cBlock struct {
+	start, end int // half-open pc range
+	n          int64
+	cost       int64
+	charges    []classCharge
+	run        cont
+}
+
+// CompiledProgram is a Program translated to continuation-threaded Go
+// closures against one processor's cost model. It is immutable and
+// safe for concurrent use; execution borrows scratch arenas from the
+// underlying prepared program's pool.
+type CompiledProgram struct {
+	pp      *PreparedProgram
+	blocks  []cBlock
+	blockOf []int32 // pc -> index into blocks
+
+	compiled int // blocks with a closure chain
+	fallback int // blocks stepped per-op
+}
+
+// BlockCounts reports how many basic blocks compiled to closure chains
+// and how many fell back to per-op stepping — the coverage signal the
+// benchtab collapse gate checks.
+func (cp *CompiledProgram) BlockCounts() (compiled, fallback int) {
+	return cp.compiled, cp.fallback
+}
+
+// CompileProgram translates prog for proc without consulting the
+// cache. Most callers want CompiledFor.
+func CompileProgram(prog *Program, proc *pdesc.Processor) *CompiledProgram {
+	// The translation source is the plain prepared decode (no fused
+	// xSuper units), so code indices map 1:1 to program pcs.
+	return newCompiledProgram(PreparedForSet(prog, proc, nil))
+}
+
+// CompiledFor returns the compiled form of prog for proc, consulting
+// the process-wide prepared-program cache under a backend tag that
+// keeps compiled and prepared entries from aliasing. Both values must
+// be treated as immutable after this call. Safe for concurrent use.
+func CompiledFor(prog *Program, proc *pdesc.Processor) *CompiledProgram {
+	ph, ok := processorHash(proc)
+	if !ok {
+		// Unhashable description (should not happen): translate uncached.
+		return CompileProgram(prog, proc)
+	}
+	key := preparedKey{prog: prog.ContentHash(), proc: ph, backend: backendCompiled}
+
+	if e, ok := cacheGet(key); ok {
+		return e.cp
+	}
+	cp := CompileProgram(prog, proc)
+	return cacheInsert(key, &preparedEntry{key: key, cp: cp}).cp
+}
+
+// newCompiledProgram partitions pp's (unfused) code into basic blocks
+// and builds a closure chain per fully-translatable block.
+func newCompiledProgram(pp *PreparedProgram) *CompiledProgram {
+	cp := &CompiledProgram{
+		pp:      pp,
+		blockOf: make([]int32, len(pp.code)),
+	}
+	leaders := blockLeaders(pp.prog)
+	start := 0
+	for pc := 1; pc <= len(pp.code); pc++ {
+		if pc < len(pp.code) && !leaders[pc] {
+			continue
+		}
+		b := cBlock{start: start, end: pc, n: int64(pc - start)}
+		agg := make(map[int32]int64, pc-start)
+		for i := start; i < pc; i++ {
+			in := &pp.code[i]
+			b.cost += in.cost
+			if in.class >= 0 && in.countN != 0 {
+				agg[in.class] += in.countN
+			}
+		}
+		b.charges = aggCharges(agg)
+		b.run = cp.buildChain(&b)
+		idx := int32(len(cp.blocks))
+		for i := start; i < pc; i++ {
+			cp.blockOf[i] = idx
+		}
+		if b.run != nil {
+			cp.compiled++
+		} else {
+			cp.fallback++
+		}
+		cp.blocks = append(cp.blocks, b)
+		start = pc
+	}
+	compiledStats.translations.Add(1)
+	compiledStats.blocks.Add(uint64(cp.compiled))
+	compiledStats.fallback.Add(uint64(cp.fallback))
+	return cp
+}
+
+// aggCharges sorts an aggregated class->count map into the stable
+// charge list applied when a block completes (same shape as
+// fuseSuperinsts builds for xSuper units).
+func aggCharges(agg map[int32]int64) []classCharge {
+	charges := make([]classCharge, 0, len(agg))
+	for class, cnt := range agg {
+		charges = append(charges, classCharge{class: class, n: cnt})
+	}
+	for i := 1; i < len(charges); i++ {
+		for j := i; j > 0 && charges[j].class < charges[j-1].class; j-- {
+			charges[j], charges[j-1] = charges[j-1], charges[j]
+		}
+	}
+	return charges
+}
+
+// buildChain threads block b into one continuation, last member first,
+// or returns nil when any member is untranslatable. The terminator
+// resolves the successor pc natively; everything before it is a typed
+// closure calling the next one.
+func (cp *CompiledProgram) buildChain(b *cBlock) cont {
+	code := cp.pp.code
+	if b.end <= b.start {
+		return nil
+	}
+	last := b.end - 1
+	var next cont
+	i := last
+	switch in := &code[last]; in.op {
+	case OpJmp:
+		off := in.off
+		next = func(*scratch) (int, error) { return off, nil }
+		i--
+	case OpJz:
+		a, off, fall := in.a, in.off, b.end
+		next = func(s *scratch) (int, error) {
+			if isZeroP(&s.regs[a]) {
+				return off, nil
+			}
+			return fall, nil
+		}
+		i--
+	case OpRet:
+		next = func(*scratch) (int, error) { return -1, nil }
+		i--
+	default:
+		fall := b.end
+		next = func(*scratch) (int, error) { return fall, nil }
+	}
+	for ; i >= b.start; i-- {
+		c, ok := cp.translateOp(&code[i], i-b.start, next)
+		if !ok {
+			return nil
+		}
+		next = c
+	}
+	return next
+}
+
+// intCond resolves a fused integer-compare opcode to its predicate at
+// translate time, so the closure carries no switch.
+func intCond(op Opc) func(x, y int64) bool {
+	switch op {
+	case xILt:
+		return func(x, y int64) bool { return x < y }
+	case xILe:
+		return func(x, y int64) bool { return x <= y }
+	case xIGt:
+		return func(x, y int64) bool { return x > y }
+	case xIGe:
+		return func(x, y int64) bool { return x >= y }
+	case xIEq:
+		return func(x, y int64) bool { return x == y }
+	case xINe:
+		return func(x, y int64) bool { return x != y }
+	case xIAnd:
+		return func(x, y int64) bool { return x != 0 && y != 0 }
+	default: // xIOr
+		return func(x, y int64) bool { return x != 0 || y != 0 }
+	}
+}
+
+// floatCond resolves a fused float-compare opcode (either result base)
+// to its predicate at translate time.
+func floatCond(op Opc) func(x, y float64) bool {
+	switch op {
+	case xFLt, xFLtI:
+		return func(x, y float64) bool { return x < y }
+	case xFLe, xFLeI:
+		return func(x, y float64) bool { return x <= y }
+	case xFGt, xFGtI:
+		return func(x, y float64) bool { return x > y }
+	case xFGe, xFGeI:
+		return func(x, y float64) bool { return x >= y }
+	case xFEq, xFEqI:
+		return func(x, y float64) bool { return x == y }
+	default: // xFNe, xFNeI
+		return func(x, y float64) bool { return x != y }
+	}
+}
+
+// translateOp builds the closure for one non-terminator member, or
+// reports ok=false when the op is untranslatable (the whole block then
+// falls back to per-op stepping). k is the member's index within its
+// block; fallible closures return it with their fault so the caller
+// can replay the completed prefix's charges. Every case must compute
+// exactly what its runSuper counterpart computes — the four-way
+// differential tests and FuzzCompiledEngine enforce this bit for bit.
+func (cp *CompiledProgram) translateOp(in *pInstr, k int, next cont) (cont, bool) {
+	switch in.op {
+	case OpNop:
+		return next, true
+
+	case OpConst:
+		dst, v := in.dst, in.val
+		return func(s *scratch) (int, error) {
+			s.regs[dst] = v
+			return next(s)
+		}, true
+
+	case OpMov:
+		dst, a := in.dst, in.a
+		return func(s *scratch) (int, error) {
+			src := &s.regs[a]
+			lanes := src.lanes
+			if lanes != nil {
+				d := s.seg(dst, len(lanes))
+				copy(d, lanes)
+				lanes = d
+			}
+			dr := &s.regs[dst]
+			dr.i, dr.f, dr.c, dr.lanes = src.i, src.f, src.c, lanes
+			return next(s)
+		}, true
+
+	case OpConv:
+		dst, a, kBase := in.dst, in.a, in.kBase
+		if in.lanes > 1 {
+			lanes := in.lanes
+			return func(s *scratch) (int, error) {
+				d := s.seg(dst, lanes)
+				convInto(d, s.regs[a], kBase)
+				s.regs[dst] = vmval{lanes: d}
+				return next(s)
+			}, true
+		}
+		switch kBase {
+		case ir.Int:
+			return func(s *scratch) (int, error) {
+				setInt(&s.regs[dst], s.regs[a].i)
+				return next(s)
+			}, true
+		case ir.Float:
+			return func(s *scratch) (int, error) {
+				setFloat(&s.regs[dst], s.regs[a].f)
+				return next(s)
+			}, true
+		default:
+			return func(s *scratch) (int, error) {
+				setComplex(&s.regs[dst], s.regs[a].c)
+				return next(s)
+			}, true
+		}
+
+	case OpBin:
+		dst, a, b := in.dst, in.a, in.b
+		bop, opBase, kBase := in.bop, in.opBase, in.kBase
+		if in.lanes <= 1 {
+			return func(s *scratch) (int, error) {
+				if err := binScalarInto(&s.regs[dst], bop, opBase, kBase, &s.regs[a], &s.regs[b]); err != nil {
+					return k, err
+				}
+				return next(s)
+			}, true
+		}
+		lanes := in.lanes
+		return func(s *scratch) (int, error) {
+			av, bv := &s.regs[a], &s.regs[b]
+			d := s.seg(dst, lanes)
+			for j := 0; j < lanes; j++ {
+				r, err := binLane(bop, opBase, kBase, laneOf(av, j), laneOf(bv, j))
+				if err != nil {
+					return k, err
+				}
+				d[j] = r
+			}
+			s.regs[dst] = vmval{lanes: d}
+			return next(s)
+		}, true
+
+	case xIAdd:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setInt(&s.regs[dst], s.regs[a].i+s.regs[b].i)
+			return next(s)
+		}, true
+
+	case xISub:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setInt(&s.regs[dst], s.regs[a].i-s.regs[b].i)
+			return next(s)
+		}, true
+
+	case xIMul:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setInt(&s.regs[dst], s.regs[a].i*s.regs[b].i)
+			return next(s)
+		}, true
+
+	case xILt, xILe, xIGt, xIGe, xIEq, xINe, xIAnd, xIOr:
+		dst, a, b := in.dst, in.a, in.b
+		cond := intCond(in.op)
+		return func(s *scratch) (int, error) {
+			setInt(&s.regs[dst], b2i(cond(s.regs[a].i, s.regs[b].i)))
+			return next(s)
+		}, true
+
+	case xFAdd:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setFloat(&s.regs[dst], s.regs[a].f+s.regs[b].f)
+			return next(s)
+		}, true
+
+	case xFSub:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setFloat(&s.regs[dst], s.regs[a].f-s.regs[b].f)
+			return next(s)
+		}, true
+
+	case xFMul:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setFloat(&s.regs[dst], s.regs[a].f*s.regs[b].f)
+			return next(s)
+		}, true
+
+	case xFDiv:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setFloat(&s.regs[dst], s.regs[a].f/s.regs[b].f)
+			return next(s)
+		}, true
+
+	case xFLt, xFLe, xFGt, xFGe, xFEq, xFNe,
+		xFLtI, xFLeI, xFGtI, xFGeI, xFEqI, xFNeI:
+		dst, a, b := in.dst, in.a, in.b
+		cond := floatCond(in.op)
+		return func(s *scratch) (int, error) {
+			setInt(&s.regs[dst], b2i(cond(s.regs[a].f, s.regs[b].f)))
+			return next(s)
+		}, true
+
+	case xCAdd:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setComplex(&s.regs[dst], s.regs[a].c+s.regs[b].c)
+			return next(s)
+		}, true
+
+	case xCSub:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setComplex(&s.regs[dst], s.regs[a].c-s.regs[b].c)
+			return next(s)
+		}, true
+
+	case xCMul:
+		dst, a, b := in.dst, in.a, in.b
+		return func(s *scratch) (int, error) {
+			setComplex(&s.regs[dst], s.regs[a].c*s.regs[b].c)
+			return next(s)
+		}, true
+
+	case xIntrS:
+		dst, intr, kBase := in.dst, in.intr, in.kBase
+		a0r, a1r := in.args[0], in.args[1]
+		a2r := -1
+		if len(in.args) > 2 {
+			a2r = in.args[2]
+		}
+		return func(s *scratch) (int, error) {
+			regs := s.regs
+			a0 := lane0(regs, a0r)
+			a1 := lane0(regs, a1r)
+			var a2 complex128
+			if a2r >= 0 {
+				a2 = lane0(regs, a2r)
+			}
+			setMaterialize(&regs[dst], intrLane(intr, a0, a1, a2), kBase)
+			return next(s)
+		}, true
+
+	case OpUn:
+		dst, a := in.dst, in.a
+		bop, opBase, kBase := in.bop, in.opBase, in.kBase
+		if in.lanes <= 1 {
+			return func(s *scratch) (int, error) {
+				v, err := unScalar(bop, opBase, kBase, s.regs[a])
+				if err != nil {
+					return k, err
+				}
+				s.regs[dst] = v
+				return next(s)
+			}, true
+		}
+		lanes := in.lanes
+		return func(s *scratch) (int, error) {
+			av := &s.regs[a]
+			d := s.seg(dst, lanes)
+			for j := 0; j < lanes; j++ {
+				v, err := unLane(bop, opBase, kBase, laneOf(av, j))
+				if err != nil {
+					return k, err
+				}
+				d[j] = v
+			}
+			s.regs[dst] = vmval{lanes: d}
+			return next(s)
+		}, true
+
+	case OpIntr:
+		if in.intrFaultPre != "" || in.intrFaultPost != "" {
+			// Faulting intrinsics keep the prepared engine's exact
+			// pre/post-charge fault ordering: fall back.
+			return nil, false
+		}
+		dst, lanes, kBase := in.dst, in.lanes, in.kBase
+		if in.pat != nil {
+			pat, args := in.pat, in.args
+			return func(s *scratch) (int, error) {
+				d := s.seg(dst, lanes)
+				var argbuf [ir.MaxPatternArity]complex128
+				pargs := argbuf[:len(args)]
+				for j := 0; j < lanes; j++ {
+					for ai, r := range args {
+						pargs[ai] = laneOf(&s.regs[r], j)
+					}
+					d[j] = pat.EvalLane(pargs)
+				}
+				if lanes <= 1 {
+					setMaterialize(&s.regs[dst], d[0], kBase)
+				} else {
+					s.regs[dst] = vmval{lanes: d}
+				}
+				return next(s)
+			}, true
+		}
+		intr := in.intr
+		a0r, a1r := in.args[0], in.args[1]
+		a2r := -1
+		if len(in.args) > 2 {
+			a2r = in.args[2]
+		}
+		return func(s *scratch) (int, error) {
+			a0, a1 := &s.regs[a0r], &s.regs[a1r]
+			a2 := &zeroVmval
+			if a2r >= 0 {
+				a2 = &s.regs[a2r]
+			}
+			d := s.seg(dst, lanes)
+			for j := 0; j < lanes; j++ {
+				d[j] = intrLane(intr, laneOf(a0, j), laneOf(a1, j), laneOf(a2, j))
+			}
+			if lanes <= 1 {
+				setMaterialize(&s.regs[dst], d[0], kBase)
+			} else {
+				s.regs[dst] = vmval{lanes: d}
+			}
+			return next(s)
+		}, true
+
+	case OpLoad:
+		dst, a, arr, name := in.dst, in.a, in.arr, in.arrName
+		if in.elem == ir.Complex {
+			return func(s *scratch) (int, error) {
+				ar := s.arrays[arr]
+				if ar == nil {
+					return k, fmt.Errorf("load from unallocated array %s", name)
+				}
+				idx := int(s.regs[a].i)
+				if idx < 0 || idx >= ar.Len() {
+					return k, fmt.Errorf("load %s[%d] out of bounds (len %d)", name, idx, ar.Len())
+				}
+				setComplex(&s.regs[dst], ar.C[idx])
+				return next(s)
+			}, true
+		}
+		return func(s *scratch) (int, error) {
+			ar := s.arrays[arr]
+			if ar == nil {
+				return k, fmt.Errorf("load from unallocated array %s", name)
+			}
+			idx := int(s.regs[a].i)
+			if idx < 0 || idx >= ar.Len() {
+				return k, fmt.Errorf("load %s[%d] out of bounds (len %d)", name, idx, ar.Len())
+			}
+			setFloat(&s.regs[dst], ar.F[idx])
+			return next(s)
+		}, true
+
+	case OpVLoad:
+		dst, a, arr, name := in.dst, in.a, in.arr, in.arrName
+		lanes, stride, loOff, hiOff := in.lanes, in.stride, in.loOff, in.hiOff
+		cplx := in.elem == ir.Complex
+		return func(s *scratch) (int, error) {
+			ar := s.arrays[arr]
+			if ar == nil {
+				return k, fmt.Errorf("vload from unallocated array %s", name)
+			}
+			base := int(s.regs[a].i)
+			lo, hi := base+loOff, base+hiOff
+			if lo < 0 || hi >= ar.Len() {
+				return k, fmt.Errorf("vload %s[%d..%d] out of bounds (len %d)", name, lo, hi, ar.Len())
+			}
+			d := s.seg(dst, lanes)
+			if cplx && stride == 1 {
+				copy(d, ar.C[base:base+lanes])
+			} else {
+				for j := 0; j < lanes; j++ {
+					d[j] = ar.At(base + j*stride)
+				}
+			}
+			s.regs[dst] = vmval{lanes: d}
+			return next(s)
+		}, true
+
+	case OpStore:
+		a, b, arr, name, lanes := in.a, in.b, in.arr, in.arrName, in.lanes
+		return func(s *scratch) (int, error) {
+			ar := s.arrays[arr]
+			if ar == nil {
+				return k, fmt.Errorf("store to unallocated array %s", name)
+			}
+			base := int(s.regs[a].i)
+			val := &s.regs[b]
+			if base < 0 || base+lanes > ar.Len() {
+				return k, fmt.Errorf("store %s[%d..%d] out of bounds (len %d)", name, base, base+lanes-1, ar.Len())
+			}
+			if lanes > 1 {
+				for j := 0; j < lanes; j++ {
+					storeElem(ar, base+j, laneOf(val, j))
+				}
+			} else {
+				storeElem(ar, base, val.c)
+			}
+			return next(s)
+		}, true
+
+	case OpDim:
+		dst, arr, name, immI := in.dst, in.arr, in.arrName, in.immI
+		return func(s *scratch) (int, error) {
+			ar := s.arrays[arr]
+			if ar == nil {
+				return k, fmt.Errorf("dim of unallocated array %s", name)
+			}
+			switch immI {
+			case int64(ir.DimRows):
+				setInt(&s.regs[dst], int64(ar.Rows))
+			case int64(ir.DimCols):
+				setInt(&s.regs[dst], int64(ar.Cols))
+			default:
+				setInt(&s.regs[dst], int64(ar.Len()))
+			}
+			return next(s)
+		}, true
+
+	case OpSel:
+		dst, kBase := in.dst, in.kBase
+		condR, thR, elR := in.args[0], in.args[1], in.args[2]
+		if in.lanes <= 1 {
+			return func(s *scratch) (int, error) {
+				src := &s.regs[elR]
+				if !isZeroP(&s.regs[condR]) {
+					src = &s.regs[thR]
+				}
+				d := &s.regs[dst]
+				switch kBase {
+				case ir.Int:
+					setInt(d, src.i)
+				case ir.Float:
+					setFloat(d, src.f)
+				default:
+					setComplex(d, src.c)
+				}
+				return next(s)
+			}, true
+		}
+		lanes := in.lanes
+		return func(s *scratch) (int, error) {
+			cond, th, el := &s.regs[condR], &s.regs[thR], &s.regs[elR]
+			d := s.seg(dst, lanes)
+			for j := 0; j < lanes; j++ {
+				var v complex128
+				if laneOf(cond, j) != 0 {
+					v = laneOf(th, j)
+				} else {
+					v = laneOf(el, j)
+				}
+				if kBase != ir.Complex {
+					v = complex(real(v), 0)
+				}
+				d[j] = v
+			}
+			s.regs[dst] = vmval{lanes: d}
+			return next(s)
+		}, true
+
+	case OpSplat:
+		dst, a, lanes := in.dst, in.a, in.lanes
+		return func(s *scratch) (int, error) {
+			d := s.seg(dst, lanes)
+			v := s.regs[a].c
+			for j := range d {
+				d[j] = v
+			}
+			s.regs[dst] = vmval{lanes: d}
+			return next(s)
+		}, true
+
+	case OpRamp:
+		dst, a, lanes, step := in.dst, in.a, in.lanes, in.immI
+		return func(s *scratch) (int, error) {
+			d := s.seg(dst, lanes)
+			base := s.regs[a].i
+			for j := range d {
+				d[j] = complex(float64(base+int64(j)*step), 0)
+			}
+			s.regs[dst] = vmval{lanes: d}
+			return next(s)
+		}, true
+
+	case OpReduce:
+		dst, a := in.dst, in.a
+		bop, opBase, kBase := in.bop, in.opBase, in.kBase
+		return func(s *scratch) (int, error) {
+			lanes := s.regs[a].lanes
+			if lanes == nil {
+				return k, fmt.Errorf("reduce of scalar register")
+			}
+			acc := lanes[0]
+			for j := 1; j < len(lanes); j++ {
+				var err error
+				acc, err = scalarBin(bop, opBase, acc, lanes[j])
+				if err != nil {
+					return k, err
+				}
+			}
+			setMaterialize(&s.regs[dst], acc, kBase)
+			return next(s)
+		}, true
+	}
+
+	// OpAlloc (runtime-dependent zero-fill charge) and anything the
+	// translator does not know: the block falls back to per-op stepping.
+	return nil, false
+}
+
+// run executes the compiled program on behalf of m.Run. The machine's
+// Cycles/Executed/ClassCounts have already been reset; they are updated
+// here even when execution faults, matching the other engines' partial
+// state on error.
+func (cp *CompiledProgram) run(m *Machine, ctx context.Context, maxCycles int64, args []interface{}) ([]interface{}, error) {
+	pp := cp.pp
+	s := pp.getScratch()
+	defer pp.putScratch(s)
+	if err := bindArgs(pp.prog, args, s.regs, s.arrays); err != nil {
+		return nil, err
+	}
+	err := cp.exec(m, ctx, s, maxCycles)
+	for id, t := range s.touched {
+		if t {
+			m.ClassCounts[pp.table.Name(id)] += s.counts[id]
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return collectResults(pp.prog, s.regs, s.arrays)
+}
+
+// exec is the compiled hot loop: one iteration per basic block. Every
+// resumable pc is a block leader (entry, branch target, or fallthrough
+// successor — blockLeaders guarantees it), so a block always runs from
+// its start.
+func (cp *CompiledProgram) exec(m *Machine, ctx context.Context, s *scratch, maxCycles int64) error {
+	var cycles, executed, dispSaved int64
+	defer func() {
+		m.Cycles = cycles
+		m.Executed = executed
+		if dispSaved > 0 {
+			compiledStats.saved.Add(uint64(dispSaved))
+		}
+	}()
+
+	counts := s.counts
+	touched := s.touched
+	code := cp.pp.code
+	var prof []int64
+	if m.Profile {
+		prof = m.PCCounts
+	}
+
+	pollIn := int64(CancelCheckStride)
+	pc := 0
+	for pc >= 0 && pc < len(code) {
+		b := &cp.blocks[cp.blockOf[pc]]
+		// Settle the whole block's poll debt before it runs, like
+		// xSuper: fewer than CancelCheckStride instructions ever
+		// separate two polls, and the poll charges nothing.
+		if ctx != nil {
+			if pollIn -= b.n; pollIn <= 0 {
+				pollIn = CancelCheckStride
+				if err := ctx.Err(); err != nil {
+					return &CancelledError{Executed: executed, Err: err}
+				}
+			}
+		}
+		if b.run != nil && cycles+b.cost <= maxCycles {
+			// Fast path: the whole block fits under the cycle limit
+			// (the per-member checks provably cannot fire), so the
+			// closure chain runs semantics-only and accounting lands
+			// once, batched.
+			next, ferr := b.run(s)
+			if ferr == nil {
+				cycles += b.cost
+				executed += b.n
+				for i := range b.charges {
+					ch := &b.charges[i]
+					counts[ch.class] += ch.n
+					touched[ch.class] = true
+				}
+				if prof != nil {
+					for j := b.start; j < b.end; j++ {
+						prof[j]++
+					}
+				}
+				dispSaved += b.n - 1
+				pc = next
+				continue
+			}
+			// Member `next` faulted: replay the completed prefix's
+			// charges, plus the member's own charge when its opcode
+			// charges before its fault checks, then report the
+			// member's pc — bit-identical to the reference engine.
+			k := next
+			for j := 0; j <= k; j++ {
+				sb := &code[b.start+j]
+				if j == k && !chargeFirstOp(sb.op) {
+					break
+				}
+				cycles += sb.cost
+				if sb.class >= 0 {
+					counts[sb.class] += sb.countN
+					touched[sb.class] = true
+				}
+			}
+			executed += int64(k) + 1
+			if prof != nil {
+				for j := 0; j <= k; j++ {
+					prof[b.start+j]++
+				}
+			}
+			dispSaved += int64(k)
+			return &FaultError{PC: b.start + k, Msg: ferr.Error()}
+		}
+		// Fallback block, or the cycle limit is within the block's
+		// reach: step ops one at a time with the reference engine's
+		// exact limit-check/charge ordering.
+		next, err := cp.stepBlock(s, b, &cycles, &executed, prof, maxCycles)
+		if err != nil {
+			return err
+		}
+		pc = next
+	}
+	return nil
+}
+
+// stepBlock executes block b one op at a time with the reference
+// engine's exact ordering — limit check, executed++, charge placement
+// around fault checks — and returns the successor pc (-1 = returned).
+// It handles the ops the translator does not (OpAlloc, faulting
+// OpIntr) and doubles as the cycle-limit slow path for compiled
+// blocks.
+func (cp *CompiledProgram) stepBlock(s *scratch, b *cBlock, cycles, executed *int64, prof []int64, maxCycles int64) (int, error) {
+	pp := cp.pp
+	code := pp.code
+	counts := s.counts
+	touched := s.touched
+	for pc := b.start; pc < b.end; pc++ {
+		if *cycles > maxCycles {
+			return 0, &FaultError{PC: pc, Msg: fmt.Sprintf("cycle limit exceeded (%d)", maxCycles)}
+		}
+		*executed++
+		if prof != nil {
+			prof[pc]++
+		}
+		in := &code[pc]
+		charge := func() {
+			*cycles += in.cost
+			if in.class >= 0 {
+				counts[in.class] += in.countN
+				touched[in.class] = true
+			}
+		}
+		switch in.op {
+		case OpJmp:
+			charge()
+			return in.off, nil
+
+		case OpJz:
+			charge()
+			if isZeroP(&s.regs[in.a]) {
+				return in.off, nil
+			}
+			return pc + 1, nil
+
+		case OpRet:
+			charge()
+			return -1, nil
+
+		case OpAlloc:
+			r := int(s.regs[in.a].i)
+			c := int(s.regs[in.b].i)
+			if r < 0 || c < 0 || r*c > 1<<28 {
+				return 0, &FaultError{PC: pc, Msg: fmt.Sprintf("alloc %s: bad extent %dx%d", in.arrName, r, c)}
+			}
+			if in.elem == ir.Complex {
+				s.arrays[in.arr] = ir.NewComplexArray(r, c)
+			} else {
+				s.arrays[in.arr] = ir.NewFloatArray(r, c)
+			}
+			charge()
+			// Zero-fill cost: one wide store per SIMD word.
+			words := (int64(r)*int64(c) + in.allocW - 1) / in.allocW
+			*cycles += in.zeroCost * words
+			counts[in.zeroClass] += words
+			touched[in.zeroClass] = true
+
+		case OpIntr:
+			if in.intrFaultPre != "" {
+				return 0, &FaultError{PC: pc, Msg: in.intrFaultPre}
+			}
+			charge()
+			if in.intrFaultPost != "" {
+				return 0, &FaultError{PC: pc, Msg: in.intrFaultPost}
+			}
+			if _, err := pp.runSuper(code[pc:pc+1], s); err != nil {
+				return 0, &FaultError{PC: pc, Msg: err.Error()}
+			}
+
+		default:
+			first := chargeFirstOp(in.op)
+			if first {
+				charge()
+			}
+			if _, err := pp.runSuper(code[pc:pc+1], s); err != nil {
+				return 0, &FaultError{PC: pc, Msg: err.Error()}
+			}
+			if !first {
+				charge()
+			}
+		}
+	}
+	return b.end, nil
+}
+
+// compiledStats are process-wide compiled-backend counters, exported
+// for /metrics. Translation counts accrue per CompileProgram;
+// DispatchesSaved accrues per run (flushed once at run end, so the hot
+// loop stays free of atomics).
+var compiledStats struct {
+	translations atomic.Uint64
+	blocks       atomic.Uint64
+	fallback     atomic.Uint64
+	saved        atomic.Uint64
+}
+
+// CompiledInfo is a point-in-time snapshot of the compiled backend,
+// exported for service metrics and tooling.
+type CompiledInfo struct {
+	// Translations counts programs translated to closure chains.
+	Translations uint64 `json:"translations"`
+	// BlocksCompiled / FallbackBlocks count basic blocks that compiled
+	// to a closure chain vs. blocks left to the per-op stepper, across
+	// all translations. FallbackBlocks growing relative to
+	// BlocksCompiled means translator coverage regressed.
+	BlocksCompiled uint64 `json:"blocks_compiled"`
+	FallbackBlocks uint64 `json:"fallback_blocks"`
+	// DispatchesSaved counts dynamic dispatch slots eliminated by
+	// whole-block execution: Σ (members−1) over every executed block.
+	DispatchesSaved uint64 `json:"dispatches_saved"`
+}
+
+// CompiledStats reports the process-wide compiled-backend counters.
+func CompiledStats() CompiledInfo {
+	return CompiledInfo{
+		Translations:    compiledStats.translations.Load(),
+		BlocksCompiled:  compiledStats.blocks.Load(),
+		FallbackBlocks:  compiledStats.fallback.Load(),
+		DispatchesSaved: compiledStats.saved.Load(),
+	}
+}
+
+// ResetCompiledStats zeroes the compiled-backend counters (tests).
+func ResetCompiledStats() {
+	compiledStats.translations.Store(0)
+	compiledStats.blocks.Store(0)
+	compiledStats.fallback.Store(0)
+	compiledStats.saved.Store(0)
+}

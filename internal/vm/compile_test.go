@@ -1,0 +1,287 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mat2c/internal/pdesc"
+)
+
+// TestCompiledStatsAccrue: one straight-line program is one block, one
+// translation, and a whole-block dispatch per run.
+func TestCompiledStatsAccrue(t *testing.T) {
+	ResetCompiledStats()
+	ResetPreparedCache()
+	defer ResetPreparedCache()
+	prog := scalarProg(20)
+	m := NewMachine(pdesc.Builtin("scalar"))
+	m.Engine = EngineCompiled
+	if _, err := m.Run(prog, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	st := CompiledStats()
+	if st.Translations != 1 || st.BlocksCompiled != 1 || st.FallbackBlocks != 0 {
+		t.Errorf("stats = %+v, want 1 translation, 1 compiled block, 0 fallback", st)
+	}
+	// 21 members (20 adds + ret) in one dispatch: 20 slots saved.
+	if st.DispatchesSaved != 20 {
+		t.Errorf("DispatchesSaved = %d, want 20", st.DispatchesSaved)
+	}
+}
+
+// TestCompiledCacheKeying: compiled translations are cached under a
+// backend tag, shared across content-identical processors, and never
+// alias the prepared decode of the same pair.
+func TestCompiledCacheKeying(t *testing.T) {
+	ResetPreparedCache()
+	defer ResetPreparedCache()
+	prog := scalarProg(8)
+	proc := pdesc.Builtin("scalar")
+	cp1 := CompiledFor(prog, proc)
+	if cp2 := CompiledFor(prog, proc); cp2 != cp1 {
+		t.Error("same program+processor should share a translation")
+	}
+	if cp3 := CompiledFor(prog, proc.Clone()); cp3 != cp1 {
+		t.Error("content-identical processor clone should share the translation")
+	}
+	// The translation is built from (and shares) the plain prepared
+	// decode, but lives under its own cache entry.
+	if pp := PreparedForSet(prog, proc, nil); cp1.pp != pp {
+		t.Error("translation does not share the plain prepared decode")
+	}
+	st := PreparedCacheStats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 (prepared decode + compiled translation)", st.Entries)
+	}
+}
+
+// TestCompiledFallbackBlocks: a program with an OpAlloc (runtime-sized
+// zero-fill charge) keeps that block on the per-op stepper but still
+// runs correctly end to end. The fir kernel allocates its output.
+func TestCompiledFallbackBlocks(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f, p := buildIR(t, firSrc, "dspasip", true, dynVec(), dynVec())
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CompileProgram(prog, p)
+	compiled, fallback := cp.BlockCounts()
+	if compiled == 0 {
+		t.Fatalf("no blocks compiled (fallback=%d): translator collapsed", fallback)
+	}
+	if fallback == 0 {
+		t.Fatalf("expected the alloc block to fall back (compiled=%d)", compiled)
+	}
+	assertEnginesAgree(t, prog, p, 0, []interface{}{randArr(64, r), randArr(8, r)})
+}
+
+// TestFaultSiteParityUnderCycleLimits is the four-way fault-site
+// differential: cycle limits chosen to land mid-block must produce an
+// identical *FaultError (pc and text) and identical partial accounting
+// under the reference engine, the prepared engine with fusion off, the
+// prepared engine with a mined superinstruction set, and the compiled
+// engine.
+func TestFaultSiteParityUnderCycleLimits(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, procName := range []string{"dspasip", "wide8", "scalar"} {
+		f, p := buildIR(t, firSrc, procName, true, dynVec(), dynVec())
+		prog, err := Lower(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []interface{}{randArr(64, r), randArr(8, r)}
+
+		runCfg := func(engine string, set *SuperSet, lim int64) (*Machine, error) {
+			m := NewMachine(p)
+			m.Engine = engine
+			m.SuperSet = set
+			m.MaxCycles = lim
+			_, err := m.Run(prog, cloneArgs(args)...)
+			return m, err
+		}
+
+		// Learn the fault-free total, and mine a set from a profile run.
+		mFull, errFull := runCfg(EngineReference, nil, 0)
+		if errFull != nil {
+			t.Fatalf("%s: fault-free run failed: %v", procName, errFull)
+		}
+		total := mFull.Cycles
+		mProf := NewMachine(p)
+		mProf.Engine = EnginePrepared
+		mProf.SuperSet = &SuperSet{}
+		mProf.Profile = true
+		if _, err := mProf.Run(prog, cloneArgs(args)...); err != nil {
+			t.Fatal(err)
+		}
+		mined := MineSuperinsts(prog, mProf.PCCounts, SuperOpts{})
+
+		configs := []struct {
+			name   string
+			engine string
+			set    *SuperSet
+		}{
+			{"prepared-off", EnginePrepared, &SuperSet{}},
+			{"prepared-mined", EnginePrepared, mined},
+			{"compiled", EngineCompiled, nil},
+		}
+
+		limits := []int64{1, 2, 3, 17, total / 100, total / 10, total / 3, total / 2, (9 * total) / 10, total - 1}
+		faulted := 0
+		for _, lim := range limits {
+			if lim <= 0 {
+				continue
+			}
+			refM, refErr := runCfg(EngineReference, nil, lim)
+			var refFault *FaultError
+			if errors.As(refErr, &refFault) {
+				faulted++
+			}
+			for _, cfg := range configs {
+				label := fmt.Sprintf("%s/%s limit=%d", procName, cfg.name, lim)
+				m, err := runCfg(cfg.engine, cfg.set, lim)
+				if (refErr == nil) != (err == nil) {
+					t.Fatalf("%s: error mismatch: reference %v, got %v", label, refErr, err)
+				}
+				if refErr != nil {
+					var fe *FaultError
+					if !errors.As(err, &fe) {
+						t.Fatalf("%s: err = %v, want *FaultError", label, err)
+					}
+					if fe.PC != refFault.PC {
+						t.Errorf("%s: fault pc %d, reference faulted at pc %d", label, fe.PC, refFault.PC)
+					}
+					if err.Error() != refErr.Error() {
+						t.Errorf("%s: fault text %q, reference %q", label, err, refErr)
+					}
+				}
+				if m.Cycles != refM.Cycles || m.Executed != refM.Executed {
+					t.Errorf("%s: cycles/executed %d/%d, reference %d/%d",
+						label, m.Cycles, m.Executed, refM.Cycles, refM.Executed)
+				}
+				if !reflect.DeepEqual(m.ClassCounts, refM.ClassCounts) {
+					t.Errorf("%s: ClassCounts %v, reference %v", label, m.ClassCounts, refM.ClassCounts)
+				}
+			}
+		}
+		if faulted < len(limits)/2 {
+			t.Fatalf("%s: only %d/%d limits faulted — the sweep is not landing mid-run", procName, faulted, len(limits))
+		}
+	}
+}
+
+// TestCompiledProfileParity: Machine.Profile under the compiled engine
+// (batched per-block counting, prefix counting on faults) must agree
+// with the reference engine per pc.
+func TestCompiledProfileParity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f, p := buildIR(t, firSrc, "dspasip", true, dynVec(), dynVec())
+	prog, err := Lower(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []interface{}{randArr(256, r), randArr(16, r)}
+	for _, lim := range []int64{0, 999, 12345} {
+		profile := func(engine string) []int64 {
+			m := NewMachine(p)
+			m.Engine = engine
+			m.MaxCycles = lim
+			m.Profile = true
+			m.Run(prog, cloneArgs(args)...) // faulting runs still profile
+			return m.PCCounts
+		}
+		if ref, comp := profile(EngineReference), profile(EngineCompiled); !reflect.DeepEqual(ref, comp) {
+			t.Errorf("limit %d: compiled per-PC profile differs from reference", lim)
+		}
+	}
+}
+
+// TestProcHashMemoEvictsAndUnpins pins the satellite fix for the
+// processor-hash memo: with evict-one LRU replacement the memo never
+// exceeds its cap, and evicted *Processor pointers become collectable
+// instead of being pinned until a wholesale drop at 4096 entries.
+func TestProcHashMemoEvictsAndUnpins(t *testing.T) {
+	old := procHashes
+	procHashes = newHashMemo[*pdesc.Processor](8)
+	defer func() { procHashes = old }()
+
+	base := pdesc.Builtin("scalar")
+	var collected atomic.Int32
+	for i := 0; i < 64; i++ {
+		p := base.Clone()
+		p.Name = fmt.Sprintf("churn%d", i)
+		if _, ok := processorHash(p); !ok {
+			t.Fatal("processorHash failed")
+		}
+		runtime.SetFinalizer(p, func(*pdesc.Processor) { collected.Add(1) })
+		if n := procHashes.len(); n > 8 {
+			t.Fatalf("memo holds %d entries, cap is 8", n)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for collected.Load() == 0 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if collected.Load() == 0 {
+		t.Error("no evicted processor was collected: the memo still pins evicted pointers")
+	}
+}
+
+// FuzzCompiledEngine runs random branchy programs (the superinstruction
+// fuzzer's generator: scalar arithmetic including div faults, short
+// forward/backward branches) under the compiled engine against the
+// reference interpreter, with fuzzed cycle limits so faults land at
+// arbitrary block offsets, comparing every observable including per-PC
+// profiles.
+func FuzzCompiledEngine(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{2, 7, 3, 11, 4, 200, 5, 1, 7, 0}, uint16(0))
+	f.Add([]byte{0, 0, 1, 255, 2, 9, 6, 13, 7, 250, 4, 31, 5, 0}, uint16(99))
+	f.Add([]byte{7, 1, 7, 2, 7, 3, 2, 2, 2, 3, 2, 4, 2, 5}, uint16(7))
+	proc := pdesc.Builtin("scalar")
+	f.Fuzz(func(t *testing.T, data []byte, limSeed uint16) {
+		prog := fuzzProg(data)
+		args := []interface{}{1.25, -0.5, int64(3)}
+		maxCycles := int64(20000)
+		if limSeed != 0 {
+			maxCycles = int64(limSeed) // small limits fault mid-block
+		}
+
+		run := func(engine string) (*Machine, []interface{}, error) {
+			m := NewMachine(proc)
+			m.Engine = engine
+			m.MaxCycles = maxCycles
+			m.Profile = true
+			out, err := m.Run(prog, cloneArgs(args)...)
+			return m, out, err
+		}
+		mr, outR, errR := run(EngineReference)
+		mc, outC, errC := run(EngineCompiled)
+
+		if (errR == nil) != (errC == nil) {
+			t.Fatalf("error mismatch: reference %v, compiled %v", errR, errC)
+		}
+		if errR != nil && errR.Error() != errC.Error() {
+			t.Fatalf("error text mismatch:\n  reference: %v\n  compiled:  %v", errR, errC)
+		}
+		if mr.Cycles != mc.Cycles || mr.Executed != mc.Executed {
+			t.Fatalf("cycles %d vs %d, executed %d vs %d", mr.Cycles, mc.Cycles, mr.Executed, mc.Executed)
+		}
+		if !reflect.DeepEqual(mr.ClassCounts, mc.ClassCounts) {
+			t.Fatalf("ClassCounts %v vs %v", mr.ClassCounts, mc.ClassCounts)
+		}
+		if !reflect.DeepEqual(mr.PCCounts, mc.PCCounts) {
+			t.Fatalf("per-PC profiles differ:\n  reference: %v\n  compiled:  %v", mr.PCCounts, mc.PCCounts)
+		}
+		if errR == nil {
+			bitsEqResults(t, outR, outC)
+		}
+	})
+}

@@ -75,12 +75,14 @@ func TestContentHashParallelCallers(t *testing.T) {
 	}
 }
 
-// TestContentHashMemoCapReset crosses the memo capacity and verifies
-// hashes stay correct after the map is dropped.
-func TestContentHashMemoCapReset(t *testing.T) {
-	old := progHashMemoCap
-	progHashMemoCap = 4
-	defer func() { progHashMemoCap = old }()
+// TestContentHashMemoCapEviction crosses the memo capacity and
+// verifies hashes stay correct after LRU eviction, and that the memo
+// never grows past its cap (it evicts one entry at a time rather than
+// dropping wholesale).
+func TestContentHashMemoCapEviction(t *testing.T) {
+	old := progHashes
+	progHashes = newHashMemo[*Program](4)
+	defer func() { progHashes = old }()
 
 	var ps []*Program
 	for i := 0; i < 10; i++ {
@@ -89,10 +91,13 @@ func TestContentHashMemoCapReset(t *testing.T) {
 	first := make([]string, len(ps))
 	for i, p := range ps {
 		first[i] = p.ContentHash()
+		if n := progHashes.len(); n > 4 {
+			t.Fatalf("memo grew to %d entries, cap is 4", n)
+		}
 	}
 	for i, p := range ps {
 		if got := p.ContentHash(); got != first[i] {
-			t.Errorf("program %d re-hashed to %s after memo reset, first saw %s", i, got, first[i])
+			t.Errorf("program %d re-hashed to %s after eviction, first saw %s", i, got, first[i])
 		}
 	}
 }

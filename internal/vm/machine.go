@@ -86,11 +86,16 @@ const (
 	// EngineReference is the original switch-dispatch interpreter,
 	// retained as the semantic oracle for differential testing.
 	EngineReference = "reference"
+
+	// EngineCompiled (declared in compile.go) is the compiled-closure
+	// backend: basic blocks translated to continuation-threaded Go
+	// closures with batched accounting.
 )
 
 // defaultEngine is the process-wide engine used when Machine.Engine is
-// empty. It is initialized from $MAT2C_VM_ENGINE ("prepared" or
-// "reference"/"ref") and adjustable via SetDefaultEngine.
+// empty. It is initialized from $MAT2C_VM_ENGINE ("prepared",
+// "compiled", or "reference"/"ref") and adjustable via
+// SetDefaultEngine.
 var defaultEngine = struct {
 	sync.RWMutex
 	name string
@@ -103,15 +108,15 @@ func init() {
 }
 
 // SetDefaultEngine selects the process-wide execution engine used by
-// machines that do not set Engine explicitly ("prepared" or
-// "reference"; "ref" is accepted as an alias).
+// machines that do not set Engine explicitly ("prepared", "compiled",
+// or "reference"; "ref" is accepted as an alias).
 func SetDefaultEngine(name string) error {
 	switch name {
 	case "ref":
 		name = EngineReference
-	case EnginePrepared, EngineReference:
+	case EnginePrepared, EngineCompiled, EngineReference:
 	default:
-		return fmt.Errorf("vm: unknown engine %q (want %q or %q)", name, EnginePrepared, EngineReference)
+		return fmt.Errorf("vm: unknown engine %q (want %q, %q or %q)", name, EnginePrepared, EngineCompiled, EngineReference)
 	}
 	defaultEngine.Lock()
 	defaultEngine.name = name
@@ -137,9 +142,11 @@ type Machine struct {
 	// (pc, disassembly, cycle counter) — a debugging aid; it can produce
 	// very large output. Tracing always runs on the reference engine.
 	Trace io.Writer
-	// Engine selects the execution engine ("prepared" or "reference");
-	// empty uses the process default. Both engines are cycle-exact:
-	// Cycles, Executed, ClassCounts, outputs, and faults are identical.
+	// Engine selects the execution engine ("prepared", "compiled", or
+	// "reference"); empty uses the process default. All engines are
+	// cycle-exact: Cycles, Executed, ClassCounts, outputs, and faults
+	// are identical. The compiled engine ignores SuperSet — its blocks
+	// already batch accounting block-wide, subsuming any fusion set.
 	Engine string
 	// Profile, when true, records per-pc dynamic execution counts into
 	// PCCounts. Both engines support profiling: the prepared engine
@@ -234,14 +241,19 @@ func (m *Machine) RunContext(ctx context.Context, prog *Program, args ...interfa
 		m.PCCounts = nil
 	}
 
-	if m.engine() == EnginePrepared && m.Trace == nil {
-		var pp *PreparedProgram
-		if m.SuperSet != nil {
-			pp = PreparedForSet(prog, m.Proc, m.SuperSet)
-		} else {
-			pp = PreparedFor(prog, m.Proc)
+	if m.Trace == nil {
+		switch m.engine() {
+		case EnginePrepared:
+			var pp *PreparedProgram
+			if m.SuperSet != nil {
+				pp = PreparedForSet(prog, m.Proc, m.SuperSet)
+			} else {
+				pp = PreparedFor(prog, m.Proc)
+			}
+			return pp.run(m, ctx, maxCycles, args)
+		case EngineCompiled:
+			return CompiledFor(prog, m.Proc).run(m, ctx, maxCycles, args)
 		}
-		return pp.run(m, ctx, maxCycles, args)
 	}
 
 	regs := make([]vmval, prog.NumRegs)

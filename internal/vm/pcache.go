@@ -29,14 +29,16 @@ import (
 const DefaultPreparedCacheSize = 256
 
 type preparedKey struct {
-	prog string // Program.ContentHash
-	proc string // Processor.ContentHash
-	set  string // superinstruction-set tag ("", "static/v1", "mined/<hash>")
+	prog    string // Program.ContentHash
+	proc    string // Processor.ContentHash
+	set     string // superinstruction-set tag ("", "static/v1", "mined/<hash>")
+	backend string // "" = prepared decode, backendCompiled = closure translation
 }
 
 type preparedEntry struct {
 	key preparedKey
 	pp  *PreparedProgram
+	cp  *CompiledProgram // non-nil only for backend == backendCompiled entries
 }
 
 var prepCache = struct {
@@ -52,34 +54,88 @@ var prepCache = struct {
 	cap:     DefaultPreparedCacheSize,
 }
 
+// hashMemo is a bounded pointer-keyed content-hash memo with evict-one
+// LRU replacement. The previous design kept up to cap pointers forever
+// and then dropped the memo wholesale on overflow — which both pinned
+// every memoized *Processor/*Program against collection in a long-lived
+// mat2cd under DSE churn, and produced a latency cliff when the 4097th
+// distinct pointer threw away 4096 warm entries at once. Evicting the
+// least-recently-used single entry keeps the working set warm and lets
+// retired sweep variants become collectable as new ones push them out.
+type hashMemo[K comparable] struct {
+	mu      sync.Mutex
+	entries map[K]*list.Element
+	order   *list.List // front = most recently used
+	cap     int
+}
+
+type hashMemoEntry[K comparable] struct {
+	key K
+	h   string
+}
+
+func newHashMemo[K comparable](cap int) *hashMemo[K] {
+	return &hashMemo[K]{
+		entries: make(map[K]*list.Element),
+		order:   list.New(),
+		cap:     cap,
+	}
+}
+
+func (m *hashMemo[K]) get(k K) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[k]; ok {
+		m.order.MoveToFront(el)
+		return el.Value.(*hashMemoEntry[K]).h, true
+	}
+	return "", false
+}
+
+func (m *hashMemo[K]) put(k K, h string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[k]; ok {
+		m.order.MoveToFront(el)
+		return
+	}
+	m.entries[k] = m.order.PushFront(&hashMemoEntry[K]{key: k, h: h})
+	for m.order.Len() > m.cap {
+		old := m.order.Back()
+		m.order.Remove(old)
+		delete(m.entries, old.Value.(*hashMemoEntry[K]).key)
+	}
+}
+
+func (m *hashMemo[K]) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+func (m *hashMemo[K]) reset() {
+	m.mu.Lock()
+	m.entries = make(map[K]*list.Element)
+	m.order = list.New()
+	m.mu.Unlock()
+}
+
 // procHashes memoizes Processor.ContentHash per pointer: DSE sweeps
 // derive hundreds of distinct descriptions, but each one is a single
-// long-lived pointer hashed exactly once. Bounded defensively; on
-// overflow the memo is dropped wholesale (re-hashing is cheap).
-var procHashes = struct {
-	sync.Mutex
-	m map[*pdesc.Processor]string
-}{m: make(map[*pdesc.Processor]string)}
+// long-lived pointer hashed exactly once.
+var procHashes = newHashMemo[*pdesc.Processor](procHashMemoCap)
 
 const procHashMemoCap = 4096
 
 func processorHash(p *pdesc.Processor) (string, bool) {
-	procHashes.Lock()
-	if h, ok := procHashes.m[p]; ok {
-		procHashes.Unlock()
+	if h, ok := procHashes.get(p); ok {
 		return h, true
 	}
-	procHashes.Unlock()
 	h, err := p.ContentHash()
 	if err != nil {
 		return "", false
 	}
-	procHashes.Lock()
-	if len(procHashes.m) >= procHashMemoCap {
-		procHashes.m = make(map[*pdesc.Processor]string)
-	}
-	procHashes.m[p] = h
-	procHashes.Unlock()
+	procHashes.put(p, h)
 	return h, true
 }
 
@@ -125,37 +181,46 @@ func preparedCached(prog *Program, proc *pdesc.Processor, set *SuperSet, tag str
 	}
 	key := preparedKey{prog: prog.ContentHash(), proc: ph, set: tag}
 
+	if e, ok := cacheGet(key); ok {
+		return e.pp
+	}
+	// Prepare outside the lock; concurrent misses on the same key do
+	// duplicate work once, and the first insert wins — both results are
+	// equivalent by construction.
+	pp := prepareTagged(prog, proc, set, tag)
+	return cacheInsert(key, &preparedEntry{key: key, pp: pp}).pp
+}
+
+// cacheGet probes the prepared-program cache, promoting and counting a
+// hit, or counting a miss.
+func cacheGet(key preparedKey) (*preparedEntry, bool) {
 	prepCache.Lock()
+	defer prepCache.Unlock()
 	if el, ok := prepCache.entries[key]; ok {
 		prepCache.order.MoveToFront(el)
 		prepCache.hits++
-		pp := el.Value.(*preparedEntry).pp
-		prepCache.Unlock()
-		return pp
+		return el.Value.(*preparedEntry), true
 	}
 	prepCache.misses++
-	prepCache.Unlock()
+	return nil, false
+}
 
-	// Prepare outside the lock; concurrent misses on the same key do
-	// duplicate work once, and the last insert wins — both results are
-	// equivalent by construction.
-	pp := prepareTagged(prog, proc, set, tag)
-
+// cacheInsert installs e under key unless a concurrent insert already
+// won the race, and returns the entry that ended up cached.
+func cacheInsert(key preparedKey, e *preparedEntry) *preparedEntry {
 	prepCache.Lock()
+	defer prepCache.Unlock()
 	if el, ok := prepCache.entries[key]; ok {
 		prepCache.order.MoveToFront(el)
-		pp = el.Value.(*preparedEntry).pp
-	} else {
-		el := prepCache.order.PushFront(&preparedEntry{key: key, pp: pp})
-		prepCache.entries[key] = el
-		for prepCache.order.Len() > prepCache.cap {
-			old := prepCache.order.Back()
-			prepCache.order.Remove(old)
-			delete(prepCache.entries, old.Value.(*preparedEntry).key)
-		}
+		return el.Value.(*preparedEntry)
 	}
-	prepCache.Unlock()
-	return pp
+	prepCache.entries[key] = prepCache.order.PushFront(e)
+	for prepCache.order.Len() > prepCache.cap {
+		old := prepCache.order.Back()
+		prepCache.order.Remove(old)
+		delete(prepCache.entries, old.Value.(*preparedEntry).key)
+	}
+	return e
 }
 
 // PreparedCacheInfo is a point-in-time snapshot of the prepared-program
@@ -189,7 +254,5 @@ func ResetPreparedCache() {
 	prepCache.misses = 0
 	prepCache.Unlock()
 
-	procHashes.Lock()
-	procHashes.m = make(map[*pdesc.Processor]string)
-	procHashes.Unlock()
+	procHashes.reset()
 }

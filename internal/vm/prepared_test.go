@@ -63,30 +63,33 @@ func runEngine(prog *Program, p *pdesc.Processor, engine string, maxCycles int64
 	return m, out, err
 }
 
-// assertEnginesAgree runs prog on both engines and requires identical
+// assertEnginesAgree runs prog on every engine and requires identical
 // Cycles, Executed, ClassCounts, outputs, and error strings (fault
-// messages include the pc, so fault locations must match too).
+// messages include the pc, so fault locations must match too), using
+// the reference interpreter as the oracle.
 func assertEnginesAgree(t *testing.T, prog *Program, p *pdesc.Processor, maxCycles int64, args []interface{}) {
 	t.Helper()
 	mr, outR, errR := runEngine(prog, p, EngineReference, maxCycles, args)
-	mp, outP, errP := runEngine(prog, p, EnginePrepared, maxCycles, args)
-	if (errR == nil) != (errP == nil) {
-		t.Fatalf("error mismatch: reference %v, prepared %v", errR, errP)
-	}
-	if errR != nil && errR.Error() != errP.Error() {
-		t.Fatalf("error text mismatch:\n  reference: %v\n  prepared:  %v", errR, errP)
-	}
-	if mr.Cycles != mp.Cycles {
-		t.Errorf("Cycles: reference %d, prepared %d", mr.Cycles, mp.Cycles)
-	}
-	if mr.Executed != mp.Executed {
-		t.Errorf("Executed: reference %d, prepared %d", mr.Executed, mp.Executed)
-	}
-	if !reflect.DeepEqual(mr.ClassCounts, mp.ClassCounts) {
-		t.Errorf("ClassCounts:\n  reference %v\n  prepared  %v", mr.ClassCounts, mp.ClassCounts)
-	}
-	if errR == nil {
-		bitsEqResults(t, outR, outP)
+	for _, engine := range []string{EnginePrepared, EngineCompiled} {
+		mp, outP, errP := runEngine(prog, p, engine, maxCycles, args)
+		if (errR == nil) != (errP == nil) {
+			t.Fatalf("error mismatch: reference %v, %s %v", errR, engine, errP)
+		}
+		if errR != nil && errR.Error() != errP.Error() {
+			t.Fatalf("error text mismatch:\n  reference: %v\n  %s:  %v", errR, engine, errP)
+		}
+		if mr.Cycles != mp.Cycles {
+			t.Errorf("Cycles: reference %d, %s %d", mr.Cycles, engine, mp.Cycles)
+		}
+		if mr.Executed != mp.Executed {
+			t.Errorf("Executed: reference %d, %s %d", mr.Executed, engine, mp.Executed)
+		}
+		if !reflect.DeepEqual(mr.ClassCounts, mp.ClassCounts) {
+			t.Errorf("ClassCounts (%s):\n  reference %v\n  got       %v", engine, mr.ClassCounts, mp.ClassCounts)
+		}
+		if errR == nil {
+			bitsEqResults(t, outR, outP)
+		}
 	}
 }
 
@@ -283,7 +286,7 @@ func TestRunDoesNotMutateMaxCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, engine := range []string{EngineReference, EnginePrepared} {
+	for _, engine := range []string{EngineReference, EnginePrepared, EngineCompiled} {
 		m := NewMachine(p)
 		m.Engine = engine
 		if _, err := m.Run(prog, 1.0); err != nil {
@@ -308,7 +311,7 @@ func TestClassCountsMapReused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, engine := range []string{EngineReference, EnginePrepared} {
+	for _, engine := range []string{EngineReference, EnginePrepared, EngineCompiled} {
 		m := NewMachine(p)
 		m.Engine = engine
 		if _, err := m.Run(pa, 2.0); err != nil {
@@ -396,6 +399,9 @@ func TestSetDefaultEngine(t *testing.T) {
 	if err := SetDefaultEngine("ref"); err != nil || DefaultEngine() != EngineReference {
 		t.Errorf("ref alias: err=%v engine=%s", err, DefaultEngine())
 	}
+	if err := SetDefaultEngine(EngineCompiled); err != nil || DefaultEngine() != EngineCompiled {
+		t.Errorf("compiled: err=%v engine=%s", err, DefaultEngine())
+	}
 	if err := SetDefaultEngine(EnginePrepared); err != nil {
 		t.Fatal(err)
 	}
@@ -472,13 +478,14 @@ for i = t:n
 end
 end`
 
-// benchEngines runs the kernel under three configurations — the
-// prepared engine with profile-mined superinstructions, the plain
-// PR 3 prepared engine (fusion off), and the reference interpreter —
-// reporting simulated instructions per second (the throughput metric
-// tracked by BENCH_vm.json) and allocations per simulated run.
+// benchEngines runs the kernel under four configurations — the
+// compiled-closure backend, the prepared engine with profile-mined
+// superinstructions, the plain PR 3 prepared engine (fusion off), and
+// the reference interpreter — reporting simulated instructions per
+// second (the throughput metric tracked by BENCH_vm.json) and
+// allocations per simulated run.
 func benchEngines(b *testing.B, src, proc string, n int, complexIn bool) {
-	for _, engine := range []string{"superinst", EnginePrepared, EngineReference} {
+	for _, engine := range []string{EngineCompiled, "superinst", EnginePrepared, EngineReference} {
 		b.Run(engine, func(b *testing.B) {
 			prog, p, args := benchProg(b, src, proc, n, complexIn)
 			m := NewMachine(p)

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync"
 
 	"mat2c/internal/ir"
 )
@@ -122,13 +121,12 @@ type Program struct {
 
 // progHashes memoizes ContentHash per Program pointer, kept outside
 // the struct so Program stays a plain copyable value. Bounded like the
-// processor-hash memo: on overflow the whole map is dropped rather
-// than tracking recency.
-var (
-	progHashMu      sync.Mutex
-	progHashes      = map[*Program]string{}
-	progHashMemoCap = 4096
-)
+// processor-hash memo (hashMemo in pcache.go): evict-one LRU, so
+// retired programs become collectable instead of being pinned until a
+// wholesale drop.
+var progHashes = newHashMemo[*Program](progHashMemoCap)
+
+const progHashMemoCap = 4096
 
 // Len returns the static instruction count (the code-size metric).
 func (p *Program) Len() int { return len(p.Instrs) }
@@ -145,19 +143,11 @@ func (p *Program) Len() int { return len(p.Instrs) }
 // large program never serializes unrelated callers behind the global
 // mutex.
 func (p *Program) ContentHash() string {
-	progHashMu.Lock()
-	if s, ok := progHashes[p]; ok {
-		progHashMu.Unlock()
+	if s, ok := progHashes.get(p); ok {
 		return s
 	}
-	progHashMu.Unlock()
 	s := p.contentHash()
-	progHashMu.Lock()
-	if len(progHashes) >= progHashMemoCap {
-		progHashes = map[*Program]string{}
-	}
-	progHashes[p] = s
-	progHashMu.Unlock()
+	progHashes.put(p, s)
 	return s
 }
 

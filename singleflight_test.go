@@ -22,6 +22,19 @@ func sfTypes(t *testing.T) []Type {
 	return types
 }
 
+// assertStatsConsistent pins the miss-accounting invariant: a miss is
+// counted exactly once per logical lookup, at the point it resolves, so
+// the resolution counters must add up exactly — no matter how many
+// times the retry loop re-probed the key or how the flights interleaved.
+func assertStatsConsistent(t *testing.T, c *Cache) {
+	t.Helper()
+	st := c.Stats()
+	if st.Misses != st.Compiles+st.DiskHits+st.FlightWaits {
+		t.Errorf("stats inconsistent: misses=%d, want compiles(%d) + disk_hits(%d) + flight_waits(%d) = %d",
+			st.Misses, st.Compiles, st.DiskHits, st.FlightWaits, st.Compiles+st.DiskHits+st.FlightWaits)
+	}
+}
+
 // blockingStore is an artifact.Store whose Get parks until the test
 // releases it, pinning the flight leader inside the disk tier so
 // followers provably arrive while the compilation is in progress.
@@ -130,6 +143,7 @@ func TestSingleflightSharesOneCompile(t *testing.T) {
 	if n != followers+1 {
 		t.Errorf("%d callers returned, want %d", n, followers+1)
 	}
+	assertStatsConsistent(t, cache)
 }
 
 // TestSingleflightFollowerHonorsOwnContext: a follower waiting on
@@ -168,6 +182,7 @@ func TestSingleflightFollowerHonorsOwnContext(t *testing.T) {
 	if st := cache.Stats(); st.Compiles != 1 {
 		t.Errorf("Compiles = %d, want 1", st.Compiles)
 	}
+	assertStatsConsistent(t, cache)
 }
 
 // TestSingleflightLeaderCancellationRetries: when the leader's own
@@ -217,6 +232,9 @@ func TestSingleflightLeaderCancellationRetries(t *testing.T) {
 	if st := cache.Stats(); st.Compiles != 1 {
 		t.Errorf("Compiles = %d, want 1 (only the retrying follower compiled)", st.Compiles)
 	}
+	// The retrying follower counted one flight wait AND one compile —
+	// it performed two logical lookups, so both resolutions count.
+	assertStatsConsistent(t, cache)
 }
 
 // TestSingleflightSharesDeterministicErrors: a compile error that is
@@ -254,4 +272,5 @@ func TestSingleflightSharesDeterministicErrors(t *testing.T) {
 	if st := cache.Stats(); st.Compiles != 0 {
 		t.Errorf("Compiles = %d, want 0 (errors are not cached but also not recompiled by followers)", st.Compiles)
 	}
+	assertStatsConsistent(t, cache)
 }
