@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -29,12 +30,16 @@ const cacheKeyVersion = "mat2c-cache-v1"
 // concurrently (each Run builds a fresh VM), but callers must not
 // mutate the Processor a shared Result carries.
 //
-// A Cache is optionally backed by a durable artifact.Store (SetStore):
-// memory misses then consult the store before compiling, and fresh
-// compilations write through asynchronously. A store entry that fails
-// to decode — corruption, a format-version bump, a cache-key-version
-// bump — degrades to a recompile: it is counted, the entry is deleted
-// best-effort, and the caller never sees an error from the store tier.
+// A Cache is optionally backed by a durable artifact.Store (SetStore)
+// and, behind that, a fleet-shared remote store (SetRemoteStore):
+// memory misses consult the local store, then the remote, before
+// compiling, and fresh compilations write through asynchronously to
+// every attached tier. A store entry that fails to decode —
+// corruption, a format-version bump, a cache-key-version bump —
+// degrades to a recompile: it is counted, the entry is deleted
+// best-effort, and the caller never sees an error from a store tier.
+// A remote outage likewise degrades to local-only operation; store
+// failures are never surfaced to compile callers.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
@@ -59,6 +64,15 @@ type Cache struct {
 	diskMisses   uint64
 	decodeErrors uint64
 	storeErrors  uint64
+
+	// Remote tier (fleet-shared, behind the disk tier). All reads are
+	// mutex-guarded, so SetRemoteStore is safe even mid-traffic — a
+	// worker attaches it when the coordinator advertises its endpoint.
+	remote             artifact.Store
+	remoteHits         uint64
+	remoteMisses       uint64
+	remoteDecodeErrors uint64
+	remoteStoreErrors  uint64
 }
 
 type cacheEntry struct {
@@ -106,9 +120,20 @@ func (c *Cache) SetStore(s artifact.Store) {
 	c.mu.Unlock()
 }
 
+// SetRemoteStore attaches a fleet-shared store behind the local disk
+// tier. Unlike SetStore it may be called after traffic has started:
+// fleet workers attach the coordinator's artifact endpoint when the
+// first registration reply advertises it.
+func (c *Cache) SetRemoteStore(s artifact.Store) {
+	c.mu.Lock()
+	c.remote = s
+	c.mu.Unlock()
+}
+
 // Flush blocks until every in-flight asynchronous store write-through
-// has completed. Servers call it on drain so a process exit cannot
-// strand compiled artifacts; tests call it for determinism.
+// (local and remote) has completed. Servers call it on drain so a
+// process exit cannot strand compiled artifacts; tests call it for
+// determinism.
 func (c *Cache) Flush() { c.writes.Wait() }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -121,8 +146,9 @@ type CacheStats struct {
 	Hits       uint64 `json:"hits"`
 	// Misses counts logical lookups that did not hit the in-memory
 	// tier, tallied once each at the point they resolve, so
-	// Misses == Compiles + DiskHits + FlightWaits always holds
-	// (failed or cancelled compiles resolve nothing and count nowhere).
+	// Misses == Compiles + DiskHits + RemoteHits + FlightWaits always
+	// holds (failed or cancelled compiles resolve nothing and count
+	// nowhere).
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 
@@ -138,32 +164,52 @@ type CacheStats struct {
 	DiskMisses   uint64 `json:"disk_misses"`
 	DecodeErrors uint64 `json:"disk_decode_errors"`
 	StoreErrors  uint64 `json:"disk_store_errors"`
+	// Remote tier traffic as seen by this cache: hits that restored a
+	// Result another process compiled, misses (including every failure
+	// mode — outage, open breaker, corrupt entry), entries that failed
+	// frame or artifact decoding, and write/publish errors.
+	RemoteHits         uint64 `json:"remote_hits"`
+	RemoteMisses       uint64 `json:"remote_misses"`
+	RemoteDecodeErrors uint64 `json:"remote_decode_errors"`
+	RemoteStoreErrors  uint64 `json:"remote_store_errors"`
 	// Disk is the attached store's own counters and occupancy, when the
 	// store reports them (DiskStore does).
 	Disk *artifact.Stats `json:"disk,omitempty"`
+	// Remote is the remote client's own counters — wire traffic,
+	// retries, and circuit-breaker state — when it reports them
+	// (remote.RemoteStore does).
+	Remote *artifact.Stats `json:"remote,omitempty"`
 }
 
 // Stats snapshots the hit/miss/eviction counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	st := CacheStats{
-		Entries:      c.order.Len(),
-		MaxEntries:   c.max,
-		Hits:         c.hits,
-		Misses:       c.misses,
-		Evictions:    c.evictions,
-		Compiles:     c.compiles,
-		FlightWaits:  c.flightWaits,
-		DiskHits:     c.diskHits,
-		DiskMisses:   c.diskMisses,
-		DecodeErrors: c.decodeErrors,
-		StoreErrors:  c.storeErrors,
+		Entries:            c.order.Len(),
+		MaxEntries:         c.max,
+		Hits:               c.hits,
+		Misses:             c.misses,
+		Evictions:          c.evictions,
+		Compiles:           c.compiles,
+		FlightWaits:        c.flightWaits,
+		DiskHits:           c.diskHits,
+		DiskMisses:         c.diskMisses,
+		DecodeErrors:       c.decodeErrors,
+		StoreErrors:        c.storeErrors,
+		RemoteHits:         c.remoteHits,
+		RemoteMisses:       c.remoteMisses,
+		RemoteDecodeErrors: c.remoteDecodeErrors,
+		RemoteStoreErrors:  c.remoteStoreErrors,
 	}
-	store := c.store
+	store, remote := c.store, c.remote
 	c.mu.Unlock()
 	if sr, ok := store.(artifact.StatsReporter); ok {
 		ds := sr.Stats()
 		st.Disk = &ds
+	}
+	if sr, ok := remote.(artifact.StatsReporter); ok {
+		rs := sr.Stats()
+		st.Remote = &rs
 	}
 	return st
 }
@@ -173,9 +219,9 @@ func (c *Cache) Stats() CacheStats {
 // in CompileCachedContext can probe the same key several times during
 // one logical lookup (a follower loops back after a cancelled leader),
 // so the miss is counted exactly once at the point the lookup resolves
-// — joining a flight, restoring from disk, or compiling. That keeps
-// misses == compiles + disk_hits + flight_waits, the invariant the
-// /metrics hit-rate math relies on.
+// — joining a flight, restoring from disk or the remote, or compiling.
+// That keeps misses == compiles + disk_hits + remote_hits +
+// flight_waits, the invariant the /metrics hit-rate math relies on.
 func (c *Cache) get(key string) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -223,10 +269,74 @@ func (c *Cache) Put(key string, res *Result) {
 	c.writeThrough(key, res)
 }
 
-// writeThrough asynchronously persists res to the attached store, if
-// any. Store failures are counted, never surfaced: durability is an
-// optimization, not a correctness requirement.
+// writeThrough asynchronously persists res to every attached store
+// tier — local disk, then the fleet-shared remote — encoding once.
+// Store failures are counted per tier, never surfaced: durability is
+// an optimization, not a correctness requirement, and a remote outage
+// must not slow or fail the compile path.
 func (c *Cache) writeThrough(key string, res *Result) {
+	c.mu.Lock()
+	store, remote := c.store, c.remote
+	c.mu.Unlock()
+	if store == nil && remote == nil {
+		return
+	}
+	c.writes.Add(1)
+	go func() {
+		defer c.writes.Done()
+		data := encodeArtifact(key, res)
+		if store != nil {
+			if err := store.Put(key, data); err != nil {
+				c.mu.Lock()
+				c.storeErrors++
+				c.mu.Unlock()
+			}
+		}
+		if remote != nil {
+			if err := remote.Put(key, data); err != nil {
+				c.mu.Lock()
+				c.remoteStoreErrors++
+				c.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// publishRemote asynchronously offers a locally-restored artifact to
+// the remote tier, so a fleet whose workers compiled before the shared
+// cache existed converges without recompiles. When the remote can
+// answer presence probes (artifact.Checker — RemoteStore does, via
+// HEAD) an entry it already holds is not re-uploaded.
+func (c *Cache) publishRemote(key string, res *Result) {
+	c.mu.Lock()
+	remote := c.remote
+	c.mu.Unlock()
+	if remote == nil {
+		return
+	}
+	c.writes.Add(1)
+	go func() {
+		defer c.writes.Done()
+		if ch, ok := remote.(artifact.Checker); ok {
+			if has, err := ch.Has(key); err != nil || has {
+				// Present already, or we could not ask (outage): either
+				// way, skip the upload. An outage is not a store error —
+				// nothing was lost.
+				return
+			}
+		}
+		if err := remote.Put(key, encodeArtifact(key, res)); err != nil {
+			c.mu.Lock()
+			c.remoteStoreErrors++
+			c.mu.Unlock()
+		}
+	}()
+}
+
+// storeLocal asynchronously persists an already-encoded entry (fetched
+// from the remote tier) to the local disk store, so the next cold start
+// of this process hits disk instead of the network.
+func (c *Cache) storeLocal(key string, data []byte) {
 	c.mu.Lock()
 	store := c.store
 	c.mu.Unlock()
@@ -236,7 +346,7 @@ func (c *Cache) writeThrough(key string, res *Result) {
 	c.writes.Add(1)
 	go func() {
 		defer c.writes.Done()
-		if err := store.Put(key, encodeArtifact(key, res)); err != nil {
+		if err := store.Put(key, data); err != nil {
 			c.mu.Lock()
 			c.storeErrors++
 			c.mu.Unlock()
@@ -276,6 +386,47 @@ func (c *Cache) diskGet(key string, opts Options) (*Result, bool) {
 	c.diskHits++
 	c.mu.Unlock()
 	return res, true
+}
+
+// remoteGet consults the fleet-shared remote tier. Every failure mode —
+// no remote attached, clean miss, outage, open circuit breaker, corrupt
+// frame, artifact decode failure — returns ok=false and the caller
+// recompiles. Frame corruption (detected by the client) and artifact
+// decode failures both count as remote decode errors; a decoded-corrupt
+// entry is deleted from the origin best-effort so the fleet stops
+// fetching it. On success the raw encoded entry is returned alongside
+// the Result so the caller can warm the local disk tier without
+// re-encoding.
+func (c *Cache) remoteGet(key string, opts Options) (*Result, []byte, bool) {
+	c.mu.Lock()
+	remote := c.remote
+	c.mu.Unlock()
+	if remote == nil {
+		return nil, nil, false
+	}
+	data, err := remote.Get(key)
+	if err != nil {
+		c.mu.Lock()
+		c.remoteMisses++
+		if errors.Is(err, artifact.ErrCorrupt) {
+			c.remoteDecodeErrors++
+		}
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	res, err := decodeArtifact(data, key, opts)
+	if err != nil {
+		c.mu.Lock()
+		c.remoteDecodeErrors++
+		c.remoteMisses++
+		c.mu.Unlock()
+		remote.Delete(key) // best-effort; a failure just leaves a dead entry
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	c.remoteHits++
+	c.mu.Unlock()
+	return res, data, true
 }
 
 // startFlight registers the caller as leader of key's in-progress miss
@@ -341,9 +492,10 @@ func CacheKey(source, entry string, params []Type, opts Options) (string, error)
 // CompileCached is Compile behind a content-addressed cache: it returns
 // the cached Result when an identical compilation was seen before
 // (reporting hit=true), compiling and caching otherwise. When the cache
-// has a durable store attached, a memory miss consults the store before
-// compiling — a restored artifact also reports hit=true — and a fresh
-// compilation writes through asynchronously. A nil cache degrades to
+// has store tiers attached, a memory miss consults the local store and
+// then the fleet-shared remote before compiling — a restored artifact
+// also reports hit=true — and a fresh compilation writes through
+// asynchronously to every tier. A nil cache degrades to
 // plain Compile. Concurrent misses on the same key share one
 // compilation: the first caller runs the pipeline and every other
 // caller waits for (and shares) its artifact, reporting hit=true.
@@ -393,14 +545,26 @@ func CompileCachedContext(ctx context.Context, c *Cache, source, entry string, p
 	}
 }
 
-// compileMiss resolves a memory miss as the flight leader: disk tier
-// first, full pipeline otherwise, caching whatever succeeds.
+// compileMiss resolves a memory miss as the flight leader: local disk
+// tier first, the fleet-shared remote next, full pipeline otherwise,
+// caching whatever succeeds and warming the tiers above (and, for a
+// disk hit, offering the entry upward to the remote so the fleet
+// converges).
 func (c *Cache) compileMiss(ctx context.Context, key, source, entry string, params []Type, opts Options) (*Result, bool, error) {
 	if res, ok := c.diskGet(key, opts); ok {
 		c.mu.Lock()
 		c.misses++ // resolved by the disk tier
 		c.mu.Unlock()
 		c.put(key, res)
+		c.publishRemote(key, res)
+		return res, true, nil
+	}
+	if res, data, ok := c.remoteGet(key, opts); ok {
+		c.mu.Lock()
+		c.misses++ // resolved by the remote tier
+		c.mu.Unlock()
+		c.put(key, res)
+		c.storeLocal(key, data)
 		return res, true, nil
 	}
 	res, err := CompileContext(ctx, source, entry, params, opts)

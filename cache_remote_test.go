@@ -1,0 +1,253 @@
+package mat2c
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"mat2c/internal/artifact"
+	"mat2c/internal/artifact/remote"
+)
+
+// openTestOrigin stands up a blob-protocol origin over a fresh disk
+// store and returns a client factory for it, plus the backing store for
+// direct inspection.
+func openTestOrigin(t *testing.T) (*artifact.DiskStore, func() *remote.RemoteStore) {
+	t.Helper()
+	store, err := artifact.OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(remote.NewServer(store, 0).Handler())
+	t.Cleanup(ts.Close)
+	return store, func() *remote.RemoteStore {
+		return remote.New(ts.URL+"/artifact", remote.Options{})
+	}
+}
+
+// TestRemoteTierWarmsSecondProcess is the fleet warm-start criterion in
+// miniature: a cache that never compiled (and whose local disk never
+// saw) a variant restores it from the shared remote with zero compiles.
+func TestRemoteTierWarmsSecondProcess(t *testing.T) {
+	_, client := openTestOrigin(t)
+	opts := Options{Target: "dspasip"}
+
+	// "Worker A": compiles cold, writes through to its disk and the remote.
+	cA := NewCache(8)
+	cA.SetStore(openTestStore(t, t.TempDir()))
+	cA.SetRemoteStore(client())
+	orig, hit, err := CompileCached(cA, cacheTestSrc, "scale", cacheTestParams, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("cold compile reported hit")
+	}
+	cA.Flush()
+	if st := cA.Stats(); st.Compiles != 1 || st.RemoteStoreErrors != 0 {
+		t.Fatalf("worker A stats: %+v", st)
+	}
+
+	// "Worker B": fresh memory, fresh (empty) disk, same remote.
+	cB := NewCache(8)
+	cB.SetStore(openTestStore(t, t.TempDir()))
+	cB.SetRemoteStore(client())
+	res, hit, err := CompileCached(cB, cacheTestSrc, "scale", cacheTestParams, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("warm worker missed: remote tier not consulted")
+	}
+	st := cB.Stats()
+	if st.Compiles != 0 {
+		t.Errorf("warm worker compiled %d times, want 0", st.Compiles)
+	}
+	if st.RemoteHits != 1 || st.DiskMisses != 1 {
+		t.Errorf("stats = %+v, want 1 remote hit after 1 disk miss", st)
+	}
+	if st.Misses != st.Compiles+st.DiskHits+st.RemoteHits+st.FlightWaits {
+		t.Errorf("miss invariant violated: %+v", st)
+	}
+	if st.Remote == nil || st.Remote.Hits != 1 || st.Remote.BreakerState != "closed" {
+		t.Errorf("remote client stats: %+v", st.Remote)
+	}
+	if res.CSource() != orig.CSource() || res.IRText() != orig.IRText() {
+		t.Error("remotely restored artifact differs from the original")
+	}
+	out, _, err := res.Run(NewVector(1, 2), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := out[0].(*Array); a.F[0] != 3 || a.F[1] != 5 {
+		t.Errorf("restored result computed %v", a.F)
+	}
+
+	// The remote hit warmed memory AND the local disk: the next lookup
+	// hits memory, and a third cache over B's disk dir needs no network.
+	if _, hit, _ = CompileCached(cB, cacheTestSrc, "scale", cacheTestParams, opts); !hit {
+		t.Error("post-restore lookup missed memory")
+	}
+	cB.Flush()
+	after := cB.Stats()
+	if after.RemoteHits != 1 {
+		t.Errorf("memory hit went back to the remote: %d remote hits", after.RemoteHits)
+	}
+	if after.Disk == nil || after.Disk.Entries == 0 {
+		t.Error("remote hit did not warm the local disk tier")
+	}
+}
+
+// TestRemoteCorruptEntryDegradesToRecompile plants an entry in the
+// origin that passes the wire checksum but fails artifact decoding: the
+// cache counts a remote decode error, recompiles, and deletes the dead
+// entry from the origin so the fleet stops fetching it.
+func TestRemoteCorruptEntryDegradesToRecompile(t *testing.T) {
+	origin, client := openTestOrigin(t)
+	opts := Options{Target: "dspasip"}
+	key, err := CacheKey(cacheTestSrc, "scale", cacheTestParams, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A well-framed blob that is not a decodable artifact.
+	if err := origin.Put(key, []byte("not an artifact at all")); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache(8)
+	c.SetRemoteStore(client())
+	res, hit, err := CompileCached(c, cacheTestSrc, "scale", cacheTestParams, opts)
+	if err != nil {
+		t.Fatalf("corrupt remote entry surfaced an error: %v", err)
+	}
+	if hit {
+		t.Error("corrupt remote entry reported as a hit")
+	}
+	if res == nil {
+		t.Fatal("no result after degrade-to-recompile")
+	}
+	c.Flush()
+	st := c.Stats()
+	if st.RemoteDecodeErrors != 1 || st.RemoteHits != 0 || st.Compiles != 1 {
+		t.Errorf("stats = %+v, want 1 remote decode error and 1 recompile", st)
+	}
+	// The dead entry was evicted from the origin; the recompile's
+	// write-through replaced it with a good one.
+	data, err := origin.Get(key)
+	if err != nil {
+		t.Fatalf("origin entry after heal: %v", err)
+	}
+	if _, err := decodeArtifact(data, key, opts); err != nil {
+		t.Errorf("origin not healed after recompile: %v", err)
+	}
+}
+
+// TestRemoteOutageDegradesToLocal points the remote tier at a dead
+// address: every lookup and write-through must succeed locally with the
+// failure counted, never surfaced.
+func TestRemoteOutageDegradesToLocal(t *testing.T) {
+	opts := Options{Target: "dspasip"}
+	c := NewCache(8)
+	c.SetStore(openTestStore(t, t.TempDir()))
+	c.SetRemoteStore(remote.New("http://127.0.0.1:1/artifact", remote.Options{
+		MaxAttempts:     1,
+		BreakerCooldown: 1,
+	}))
+	res, hit, err := CompileCached(c, cacheTestSrc, "scale", cacheTestParams, opts)
+	if err != nil {
+		t.Fatalf("remote outage failed the request: %v", err)
+	}
+	if hit || res == nil {
+		t.Fatalf("outage compile: hit=%v res=%v", hit, res != nil)
+	}
+	c.Flush() // must return despite the dead remote
+	st := c.Stats()
+	if st.Compiles != 1 || st.RemoteMisses != 1 {
+		t.Errorf("stats = %+v, want 1 compile / 1 remote miss", st)
+	}
+	if st.RemoteStoreErrors != 1 {
+		t.Errorf("write-through against dead remote not counted: %+v", st)
+	}
+	if st.Misses != st.Compiles+st.DiskHits+st.RemoteHits+st.FlightWaits {
+		t.Errorf("miss invariant violated: %+v", st)
+	}
+}
+
+// TestDiskHitPublishesUpward: an artifact compiled before the shared
+// cache existed (local disk only) is offered to the remote on the next
+// disk hit, so the fleet converges without recompiles.
+func TestDiskHitPublishesUpward(t *testing.T) {
+	origin, client := openTestOrigin(t)
+	opts := Options{Target: "dspasip"}
+	dir := t.TempDir()
+	key, err := CacheKey(cacheTestSrc, "scale", cacheTestParams, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the local disk with no remote attached.
+	seed := NewCache(8)
+	seed.SetStore(openTestStore(t, dir))
+	if _, _, err := CompileCached(seed, cacheTestSrc, "scale", cacheTestParams, opts); err != nil {
+		t.Fatal(err)
+	}
+	seed.Flush()
+
+	// A fresh cache over the same disk, now fleet-connected: the disk
+	// hit publishes upward.
+	c := NewCache(8)
+	c.SetStore(openTestStore(t, dir))
+	c.SetRemoteStore(client())
+	if _, hit, err := CompileCached(c, cacheTestSrc, "scale", cacheTestParams, opts); err != nil || !hit {
+		t.Fatalf("disk hit: hit=%v err=%v", hit, err)
+	}
+	c.Flush()
+	if has, err := origin.Has(key); err != nil || !has {
+		t.Fatalf("disk hit did not publish to the remote: has=%v err=%v", has, err)
+	}
+	if st := c.Stats(); st.DiskHits != 1 || st.RemoteStoreErrors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// A second disk hit must not re-upload: the Has probe short-circuits.
+	c2 := NewCache(8)
+	c2.SetStore(openTestStore(t, dir))
+	rc := client()
+	c2.SetRemoteStore(rc)
+	if _, hit, err := CompileCached(c2, cacheTestSrc, "scale", cacheTestParams, opts); err != nil || !hit {
+		t.Fatalf("second disk hit: hit=%v err=%v", hit, err)
+	}
+	c2.Flush()
+	if st := rc.Stats(); st.Puts != 0 {
+		t.Errorf("already-published entry re-uploaded: %+v", st)
+	}
+}
+
+// TestWriteThroughReachesBothTiers: a fresh compile lands in the local
+// store and the remote origin from one encode.
+func TestWriteThroughReachesBothTiers(t *testing.T) {
+	origin, client := openTestOrigin(t)
+	opts := Options{Target: "dspasip"}
+	key, err := CacheKey(cacheTestSrc, "scale", cacheTestParams, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := openTestStore(t, t.TempDir())
+	c := NewCache(8)
+	c.SetStore(local)
+	c.SetRemoteStore(client())
+	if _, _, err := CompileCached(c, cacheTestSrc, "scale", cacheTestParams, opts); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	localData, err := local.Get(key)
+	if err != nil {
+		t.Fatalf("local tier missing the compile: %v", err)
+	}
+	remoteData, err := origin.Get(key)
+	if err != nil {
+		t.Fatalf("remote tier missing the compile: %v", err)
+	}
+	if string(localData) != string(remoteData) {
+		t.Error("tiers hold different bytes for one key")
+	}
+}

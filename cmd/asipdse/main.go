@@ -23,6 +23,7 @@ import (
 
 	mat2c "mat2c"
 	"mat2c/internal/artifact"
+	"mat2c/internal/artifact/remote"
 	"mat2c/internal/dse"
 	"mat2c/internal/profile"
 )
@@ -46,6 +47,7 @@ func run() int {
 		cacheDir   = flag.String("cachedir", "", "durable artifact store directory: compiled artifacts persist there and warm later runs")
 		cacheBytes = flag.Int64("cachebytes", 0, "artifact store byte budget (0 = default 512 MiB; needs -cachedir)")
 		cacheStats = flag.Bool("cachestats", false, "print cache-tier statistics to stderr after the run")
+		artRemote  = flag.String("artifactremote", "", "blob-protocol `URL` of a fleet-shared artifact cache (e.g. http://coordinator:8723/artifact)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -102,17 +104,19 @@ func run() int {
 		}
 	}
 	var cache *mat2c.Cache
+	if *cacheDir != "" || *artRemote != "" || *cacheStats {
+		cache = mat2c.NewCache(0)
+		opts.Cache = cache
+	}
 	if *cacheDir != "" {
 		store, err := artifact.OpenDisk(*cacheDir, *cacheBytes)
 		if err != nil {
 			return fatal(err)
 		}
-		cache = mat2c.NewCache(0)
 		cache.SetStore(store)
-		opts.Cache = cache
-	} else if *cacheStats {
-		cache = mat2c.NewCache(0)
-		opts.Cache = cache
+	}
+	if *artRemote != "" {
+		cache.SetRemoteStore(remote.New(*artRemote, remote.Options{}))
 	}
 
 	rep, err := dse.Explore(sweeps, opts)

@@ -30,6 +30,7 @@ import (
 
 	mat2c "mat2c"
 	"mat2c/internal/artifact"
+	"mat2c/internal/artifact/remote"
 	"mat2c/internal/bench"
 	"mat2c/internal/pdesc"
 	"mat2c/internal/profile"
@@ -63,6 +64,8 @@ func run() int {
 
 		cacheDir   = flag.String("cachedir", "", "durable artifact store directory: compilations persist there and warm later runs")
 		cacheBytes = flag.Int64("cachebytes", 0, "artifact store byte budget (0 = default 512 MiB; needs -cachedir)")
+		cacheStats = flag.Bool("cachestats", false, "print cache-tier statistics to stderr after the run")
+		artRemote  = flag.String("artifactremote", "", "blob-protocol `URL` of a fleet-shared artifact cache (e.g. http://coordinator:8723/artifact)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -99,14 +102,27 @@ func run() int {
 	}
 	report := &bench.Report{Proc: p.Name, Scale: *scale}
 	opts := []bench.Opt{bench.WithJobs(*jobs)}
-	if *cacheDir != "" {
-		store, err := artifact.OpenDisk(*cacheDir, *cacheBytes)
-		if err != nil {
-			return fatal(err)
-		}
+	if *cacheDir != "" || *artRemote != "" || *cacheStats {
 		cache := mat2c.NewCache(0)
-		cache.SetStore(store)
-		defer cache.Flush()
+		if *cacheDir != "" {
+			store, err := artifact.OpenDisk(*cacheDir, *cacheBytes)
+			if err != nil {
+				return fatal(err)
+			}
+			cache.SetStore(store)
+		}
+		if *artRemote != "" {
+			cache.SetRemoteStore(remote.New(*artRemote, remote.Options{}))
+		}
+		defer func() {
+			// Wait for asynchronous store write-throughs so the run's
+			// artifacts are durable before the process exits, then report.
+			cache.Flush()
+			if *cacheStats {
+				st, _ := json.MarshalIndent(cache.Stats(), "", "  ")
+				fmt.Fprintf(os.Stderr, "cache: %s\n", st)
+			}
+		}()
 		opts = append(opts, bench.WithCache(cache))
 	}
 	if *timeout > 0 {

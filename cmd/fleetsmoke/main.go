@@ -6,12 +6,28 @@
 // single-process one (elapsed wall time excepted). The two reports are
 // written to -out for artifact upload.
 //
+// Three more phases then exercise the durable and fleet-shared cache
+// tiers end to end:
+//
+//   - warm start: two sequential daemons share one -cachedir; the
+//     second must restore everything from disk with zero compiles.
+//   - shared remote: a coordinator serves its store at /artifact; a
+//     worker compiles a sweep cold, is replaced by a fresh worker that
+//     never compiled anything, and that worker must serve the same
+//     sweep from remote hits alone — zero compiles, byte-identical
+//     report.
+//   - remote outage: a consumer daemon runs sweeps against a cache
+//     origin that is hard-killed mid-sweep; every request must still
+//     succeed (degrading to recompiles), with the outage visible only
+//     in the cache counters.
+//
 // Usage:
 //
-//	fleetsmoke [-bin path/to/mat2cd] [-out dir] [-timeout 5m]
+//	fleetsmoke [-bin path/to/mat2cd] [-out dir] [-timeout 5m] [-racebuild]
 //
 // With no -bin, the tool builds mat2cd from the enclosing module
-// (run it from the repository root, as CI does).
+// (run it from the repository root, as CI does); -racebuild builds it
+// with the race detector so the daemons themselves run race-checked.
 package main
 
 import (
@@ -35,8 +51,10 @@ func main() {
 		bin     = flag.String("bin", "", "mat2cd binary (default: go build ./cmd/mat2cd)")
 		out     = flag.String("out", "fleetsmoke-out", "artifact directory for the two reports")
 		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		race    = flag.Bool("racebuild", false, "build mat2cd with -race so the daemons run race-checked")
 	)
 	flag.Parse()
+	raceBuild = *race
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -48,7 +66,18 @@ func main() {
 		log.Fatalf("fleetsmoke: FAIL: warm start: %v", err)
 	}
 	log.Printf("fleetsmoke: PASS: warm restart restored every artifact from disk with zero compiles")
+	if err := sharedRemote(ctx, *bin, *out); err != nil {
+		log.Fatalf("fleetsmoke: FAIL: shared remote: %v", err)
+	}
+	log.Printf("fleetsmoke: PASS: fresh worker served the sweep from the shared remote cache with zero compiles")
+	if err := remoteOutage(ctx, *bin, *out); err != nil {
+		log.Fatalf("fleetsmoke: FAIL: remote outage: %v", err)
+	}
+	log.Printf("fleetsmoke: PASS: cache-origin outage degraded to recompiles with zero request failures")
 }
+
+// raceBuild is set from -racebuild before any phase runs.
+var raceBuild bool
 
 func run(ctx context.Context, bin, outDir string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
@@ -56,7 +85,12 @@ func run(ctx context.Context, bin, outDir string) error {
 	}
 	if bin == "" {
 		built := filepath.Join(outDir, "mat2cd")
-		cmd := exec.CommandContext(ctx, "go", "build", "-o", built, "./cmd/mat2cd")
+		args := []string{"build"}
+		if raceBuild {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", built, "./cmd/mat2cd")
+		cmd := exec.CommandContext(ctx, "go", args...)
 		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
 		if err := cmd.Run(); err != nil {
 			return fmt.Errorf("build mat2cd: %w", err)
@@ -262,6 +296,288 @@ func warmStart(ctx context.Context, bin, outDir string) error {
 	return nil
 }
 
+// remoteCacheMetrics is the slice of /metrics cache counters the shared
+// cache phases assert on.
+type remoteCacheMetrics struct {
+	Compiles           uint64 `json:"compiles"`
+	DiskHits           uint64 `json:"disk_hits"`
+	RemoteHits         uint64 `json:"remote_hits"`
+	RemoteMisses       uint64 `json:"remote_misses"`
+	RemoteDecodeErrors uint64 `json:"remote_decode_errors"`
+	RemoteStoreErrors  uint64 `json:"remote_store_errors"`
+}
+
+func cacheMetricsOf(ctx context.Context, url string) (remoteCacheMetrics, error) {
+	var ms struct {
+		Cache remoteCacheMetrics `json:"cache"`
+	}
+	err := getJSON(ctx, url+"/metrics", &ms)
+	return ms.Cache, err
+}
+
+// sharedRemote is the fleet warm-start acceptance phase: a coordinator
+// serving its artifact store at /artifact, one worker that compiles a
+// sweep cold (pushing every artifact to the origin), then a FRESH
+// worker — empty memory, no disk store, never compiled anything — that
+// must serve the identical sweep purely from remote hits: zero
+// compiles, byte-identical report.
+func sharedRemote(ctx context.Context, bin, outDir string) error {
+	if bin == "" {
+		bin = filepath.Join(outDir, "mat2cd") // built by run()
+	}
+	ports, err := freePorts(3)
+	if err != nil {
+		return err
+	}
+	coordURL := fmt.Sprintf("http://127.0.0.1:%d", ports[0])
+
+	coord := &daemon{name: "origin-coordinator", args: []string{
+		"-coordinator",
+		"-addr", fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		"-cachedir", filepath.Join(outDir, "shared-store"),
+		"-artifactserve",
+	}}
+	if err := coord.start(ctx, bin); err != nil {
+		return err
+	}
+	defer coord.stop()
+
+	waitWorkers := func(n int) error {
+		return poll(ctx, 30*time.Second, func() error {
+			var st struct {
+				Coordinator struct {
+					Alive int `json:"workers_alive"`
+				} `json:"coordinator"`
+			}
+			if err := getJSON(ctx, coordURL+"/fleet", &st); err != nil {
+				return err
+			}
+			if st.Coordinator.Alive < n {
+				return fmt.Errorf("%d of %d workers alive", st.Coordinator.Alive, n)
+			}
+			return nil
+		})
+	}
+
+	// Worker A compiles the sweep cold; registration auto-attaches the
+	// coordinator's advertised /artifact endpoint as its remote tier.
+	workerA := &daemon{name: "workerA", args: workerArgs(ports[1], coordURL)}
+	if err := workerA.start(ctx, bin); err != nil {
+		return err
+	}
+	stopA := true
+	defer func() {
+		if stopA {
+			workerA.stop()
+		}
+	}()
+	if err := waitWorkers(1); err != nil {
+		return fmt.Errorf("worker A never registered: %w", err)
+	}
+	coldReport, err := runSweep(ctx, coordURL, smokeSweep())
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+	coldStats, err := cacheMetricsOf(ctx, fmt.Sprintf("http://127.0.0.1:%d", ports[1]))
+	if err != nil {
+		return err
+	}
+	if coldStats.Compiles == 0 {
+		return fmt.Errorf("worker A compiled nothing (metrics %+v)", coldStats)
+	}
+
+	// Every compile must reach the origin before worker B starts; the
+	// worker's write-throughs are asynchronous, so poll the origin's
+	// entry count (the blob stats document at GET /artifact).
+	if err := poll(ctx, 30*time.Second, func() error {
+		var st struct {
+			Entries int `json:"entries"`
+		}
+		if err := getJSON(ctx, coordURL+"/artifact", &st); err != nil {
+			return err
+		}
+		if uint64(st.Entries) < coldStats.Compiles {
+			return fmt.Errorf("origin holds %d of %d artifacts", st.Entries, coldStats.Compiles)
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("worker A's artifacts never reached the origin: %w", err)
+	}
+	workerA.stop()
+	stopA = false
+
+	// Worker B: brand new process, nothing local. The same sweep must
+	// be served entirely by the shared remote.
+	workerB := &daemon{name: "workerB", args: workerArgs(ports[2], coordURL)}
+	if err := workerB.start(ctx, bin); err != nil {
+		return err
+	}
+	defer workerB.stop()
+	if err := waitWorkers(1); err != nil {
+		return fmt.Errorf("worker B never registered: %w", err)
+	}
+	warmReport, err := runSweep(ctx, coordURL, smokeSweep())
+	if err != nil {
+		return fmt.Errorf("warm sweep: %w", err)
+	}
+	warmStats, err := cacheMetricsOf(ctx, fmt.Sprintf("http://127.0.0.1:%d", ports[2]))
+	if err != nil {
+		return err
+	}
+	if warmStats.Compiles != 0 {
+		return fmt.Errorf("worker B compiled %d times, want 0 (remote not consulted; metrics %+v)", warmStats.Compiles, warmStats)
+	}
+	if warmStats.RemoteHits == 0 {
+		return fmt.Errorf("worker B restored nothing from the remote (metrics %+v)", warmStats)
+	}
+	if warmStats.RemoteDecodeErrors != 0 {
+		return fmt.Errorf("worker B hit %d remote decode errors", warmStats.RemoteDecodeErrors)
+	}
+
+	coldJSON, err := normalizeWarm(coldReport)
+	if err != nil {
+		return err
+	}
+	warmJSON, err := normalizeWarm(warmReport)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "report-remote-cold.json"), coldJSON, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "report-remote-warm.json"), warmJSON, 0o644); err != nil {
+		return err
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		return fmt.Errorf("remote-served report differs from compiled report (see %s)", outDir)
+	}
+	log.Printf("fleetsmoke: shared remote: worker A compiled %d, worker B served %d remote hits with 0 compiles",
+		coldStats.Compiles, warmStats.RemoteHits)
+	return nil
+}
+
+// remoteOutage proves a dying cache origin can never fail a request: a
+// consumer daemon sweeps against an origin that is hard-killed
+// (SIGKILL, no drain) mid-sweep, then sweeps fresh work with the origin
+// still dead. Both jobs must complete with every variant present; the
+// outage shows up only in the remote miss/store-error counters.
+func remoteOutage(ctx context.Context, bin, outDir string) error {
+	if bin == "" {
+		bin = filepath.Join(outDir, "mat2cd") // built by run()
+	}
+	ports, err := freePorts(2)
+	if err != nil {
+		return err
+	}
+	originURL := fmt.Sprintf("http://127.0.0.1:%d", ports[0])
+	consumerURL := fmt.Sprintf("http://127.0.0.1:%d", ports[1])
+
+	// The origin is a plain daemon serving its store; pre-warm it by
+	// running the sweep on it directly.
+	origin := &daemon{name: "origin", args: []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		"-cachedir", filepath.Join(outDir, "outage-store"),
+		"-artifactserve",
+	}}
+	if err := origin.start(ctx, bin); err != nil {
+		return err
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			origin.stop()
+		}
+	}()
+	if err := poll(ctx, 30*time.Second, func() error {
+		return getJSON(ctx, originURL+"/metrics", &struct{}{})
+	}); err != nil {
+		return fmt.Errorf("origin never became ready: %w", err)
+	}
+	originReport, err := runSweep(ctx, originURL, smokeSweep())
+	if err != nil {
+		return fmt.Errorf("origin pre-warm sweep: %w", err)
+	}
+
+	consumer := &daemon{name: "consumer", args: []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", ports[1]),
+		"-artifactremote", originURL + "/artifact",
+	}}
+	if err := consumer.start(ctx, bin); err != nil {
+		return err
+	}
+	defer consumer.stop()
+	if err := poll(ctx, 30*time.Second, func() error {
+		return getJSON(ctx, consumerURL+"/metrics", &struct{}{})
+	}); err != nil {
+		return fmt.Errorf("consumer never became ready: %w", err)
+	}
+
+	// Submit the pre-warmed sweep and hard-kill the origin while it may
+	// still be streaming artifacts: whatever was fetched before the kill
+	// is a remote hit, everything after degrades to a recompile — and
+	// either way the job must finish with the identical report.
+	type sweepResult struct {
+		report json.RawMessage
+		err    error
+	}
+	resc := make(chan sweepResult, 1)
+	go func() {
+		rep, err := runSweep(ctx, consumerURL, smokeSweep())
+		resc <- sweepResult{rep, err}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	origin.kill()
+	killed = true
+	res := <-resc
+	if res.err != nil {
+		return fmt.Errorf("sweep across origin kill failed: %w", res.err)
+	}
+
+	originJSON, err := normalizeWarm(originReport)
+	if err != nil {
+		return err
+	}
+	outageJSON, err := normalizeWarm(res.report)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "report-outage.json"), outageJSON, 0o644); err != nil {
+		return err
+	}
+	if !bytes.Equal(originJSON, outageJSON) {
+		return fmt.Errorf("outage report differs from origin report (see %s)", outDir)
+	}
+
+	// Fresh work with the origin dead: forced compiles, still no
+	// failures. A wider SIMD variant changes every cache key.
+	deadSweep := smokeSweep()
+	deadSweep["sweep"] = map[string]interface{}{
+		"base":    "scalar",
+		"widths":  []int{8},
+		"complex": []bool{false},
+	}
+	deadSweep["kernels"] = []string{"fir"}
+	if _, err := runSweep(ctx, consumerURL, deadSweep); err != nil {
+		return fmt.Errorf("sweep against dead origin failed: %w", err)
+	}
+	st, err := cacheMetricsOf(ctx, consumerURL)
+	if err != nil {
+		return err
+	}
+	if st.Compiles == 0 {
+		return fmt.Errorf("dead-origin sweep compiled nothing (metrics %+v)", st)
+	}
+	if st.RemoteDecodeErrors != 0 {
+		return fmt.Errorf("outage produced %d remote decode errors, want 0 (outage must look like misses)", st.RemoteDecodeErrors)
+	}
+	if st.RemoteMisses == 0 && st.RemoteStoreErrors == 0 {
+		return fmt.Errorf("outage left no trace in the remote counters (metrics %+v)", st)
+	}
+	log.Printf("fleetsmoke: outage: consumer compiled %d with the origin dead (%d remote misses, %d store errors), zero failures",
+		st.Compiles, st.RemoteMisses, st.RemoteStoreErrors)
+	return nil
+}
+
 // normalizeWarm is normalize plus the cache-traffic counters, which
 // legitimately differ between a cold and a warm run.
 func normalizeWarm(report json.RawMessage) ([]byte, error) {
@@ -298,6 +614,17 @@ func (d *daemon) start(ctx context.Context, bin string) error {
 	}
 	log.Printf("fleetsmoke: started %s (pid %d): mat2cd %v", d.name, d.cmd.Process.Pid, d.args)
 	return nil
+}
+
+// kill is the ungraceful stop: SIGKILL, no drain, no store flush — the
+// outage phase uses it so the origin dies the way a crashed host does.
+func (d *daemon) kill() {
+	if d.cmd == nil || d.cmd.Process == nil {
+		return
+	}
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+	log.Printf("fleetsmoke: killed %s", d.name)
 }
 
 func (d *daemon) stop() {

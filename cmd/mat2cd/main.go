@@ -6,8 +6,16 @@
 // Usage:
 //
 //	mat2cd [-addr :8723] [-workers N] [-cache 256] [-timeout 30s]
-//	mat2cd -coordinator [-unitsize 4] ...
+//	mat2cd -coordinator [-unitsize 4] [-cachedir DIR -artifactserve] ...
 //	mat2cd -worker http://coordinator:8723 [-advertise URL] [-sweepslots N] ...
+//
+// With -cachedir the compilation cache is backed by a durable artifact
+// store; -artifactserve additionally exposes that store at /artifact
+// (the blob protocol in internal/artifact/remote) so the daemon doubles
+// as a fleet's shared cache origin. -artifactremote URL attaches such
+// an origin as a third cache tier; a -worker without it adopts the
+// endpoint its coordinator advertises at registration. A remote outage
+// degrades to local operation — it never fails a request.
 //
 // Endpoints (see docs/SERVER.md for schemas):
 //
@@ -42,10 +50,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"mat2c/internal/artifact"
+	"mat2c/internal/artifact/remote"
 	"mat2c/internal/fleet"
 	"mat2c/internal/service"
 	"mat2c/internal/vm"
@@ -60,6 +70,8 @@ func main() {
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful shutdown drain bound")
 		cacheDir     = flag.String("cachedir", "", "durable artifact store directory backing the compilation cache (empty = memory only)")
 		cacheBytes   = flag.Int64("cachebytes", 0, "artifact store byte budget (0 = default 512 MiB; needs -cachedir)")
+		artServe     = flag.Bool("artifactserve", false, "serve the artifact store over HTTP at /artifact so this daemon is the fleet's shared cache origin (needs -cachedir)")
+		artRemote    = flag.String("artifactremote", "", "blob-protocol `URL` of a fleet-shared artifact cache (e.g. http://coordinator:8723/artifact); workers default to the endpoint their coordinator advertises")
 
 		coordinator = flag.Bool("coordinator", false, "run as fleet coordinator: shard /dse and /isx jobs across registered workers")
 		workerOf    = flag.String("worker", "", "run as fleet worker of the coordinator at this base `URL`")
@@ -110,6 +122,18 @@ func main() {
 		cfg.Store = store
 		log.Printf("mat2cd: artifact store at %s", *cacheDir)
 	}
+	if *artServe {
+		if cfg.Store == nil {
+			fmt.Fprintln(os.Stderr, "mat2cd: -artifactserve needs -cachedir (the served store)")
+			os.Exit(2)
+		}
+		cfg.ArtifactServe = true
+		log.Printf("mat2cd: serving artifacts at /artifact")
+	}
+	if *artRemote != "" {
+		cfg.Remote = remote.New(*artRemote, remote.Options{})
+		log.Printf("mat2cd: remote artifact cache at %s", *artRemote)
+	}
 	switch {
 	case *coordinator:
 		cfg.Role = service.RoleCoordinator
@@ -154,6 +178,18 @@ func main() {
 			Slots:       svc.Config().SweepSlots,
 			Logf:        log.Printf,
 		}
+		if *artRemote == "" {
+			// No explicit remote: adopt the shared cache the coordinator
+			// advertises, the first time it does. Attaching mid-traffic is
+			// safe — every cache store access is mutex-guarded.
+			var attach sync.Once
+			agent.OnArtifactURL = func(url string) {
+				attach.Do(func() {
+					svc.Cache().SetRemoteStore(remote.New(url, remote.Options{}))
+					log.Printf("mat2cd: remote artifact cache at %s (advertised by coordinator)", url)
+				})
+			}
+		}
 		agentDone = make(chan struct{})
 		go func() {
 			defer close(agentDone)
@@ -192,6 +228,11 @@ func main() {
 		baseCancel()
 		srv.Close()
 	}
+	// Flush again after the drain: svc.Shutdown flushed before it, but
+	// requests that completed during the drain window spawn their own
+	// asynchronous store write-throughs, and exiting without waiting
+	// would strand those just-compiled artifacts.
+	svc.Cache().Flush()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("mat2cd: %v", err)
 	}

@@ -69,10 +69,11 @@ func OpenDisk(dir string, budget int64) (*DiskStore, error) {
 	return s, nil
 }
 
-// validKey rejects keys that could escape the store directory or
-// collide with its internal names. Cache keys are SHA-256 hex, so this
-// is belt-and-braces, but the store is a public seam.
-func validKey(key string) error {
+// ValidKey rejects keys that could escape a store directory, collide
+// with internal names, or break the blob protocol's URL layout. Cache
+// keys are SHA-256 hex, so this is belt-and-braces, but the store is a
+// public seam (and, with the remote tier, a network-facing one).
+func ValidKey(key string) error {
 	if len(key) < 2 || len(key) > 256 {
 		return fmt.Errorf("artifact: invalid key %q: length out of range", key)
 	}
@@ -93,7 +94,7 @@ func (s *DiskStore) path(key string) string {
 // Get returns the entry, refreshing its mtime so the janitor's
 // LRU-by-mtime order tracks actual use.
 func (s *DiskStore) Get(key string) ([]byte, error) {
-	if err := validKey(key); err != nil {
+	if err := ValidKey(key); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -118,10 +119,27 @@ func (s *DiskStore) Get(key string) ([]byte, error) {
 	return data, nil
 }
 
+// Has reports whether an entry exists without reading it (or bumping
+// its recency — presence probes should not keep an entry alive).
+func (s *DiskStore) Has(key string) (bool, error) {
+	if err := ValidKey(key); err != nil {
+		return false, err
+	}
+	_, err := os.Stat(s.path(key))
+	switch {
+	case err == nil:
+		return true, nil
+	case os.IsNotExist(err):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
 // Put writes atomically (temp file + rename in the shard directory) and
 // runs the janitor when the write pushes the tree over budget.
 func (s *DiskStore) Put(key string, data []byte) error {
-	if err := validKey(key); err != nil {
+	if err := ValidKey(key); err != nil {
 		return err
 	}
 	err := s.put(key, data)
@@ -180,7 +198,7 @@ func (s *DiskStore) put(key string, data []byte) error {
 
 // Delete removes the entry.
 func (s *DiskStore) Delete(key string) error {
-	if err := validKey(key); err != nil {
+	if err := ValidKey(key); err != nil {
 		return err
 	}
 	p := s.path(key)

@@ -1,0 +1,455 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"mat2c/internal/artifact"
+)
+
+// ErrUnavailable marks operations refused or abandoned because the
+// remote store is unreachable — a transport failure, an exhausted retry
+// budget, or a fast-fail while the circuit breaker is open. Callers
+// treat it exactly like a miss; it exists so stats and tests can tell
+// "the entry is not there" from "we could not ask".
+var ErrUnavailable = errors.New("artifact remote: store unavailable")
+
+// Defaults for Options. Chosen so a dead remote costs a request at most
+// one op-timeout per attempt until the breaker trips, and nothing at
+// all afterwards: connection refusals fail in microseconds, only a
+// hung origin pays the full OpTimeout.
+const (
+	DefaultOpTimeout        = 2 * time.Second
+	DefaultMaxAttempts      = 3
+	DefaultBackoffBase      = 50 * time.Millisecond
+	DefaultBackoffMax       = 500 * time.Millisecond
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// Options tunes a RemoteStore. Zero values select the defaults above.
+type Options struct {
+	// OpTimeout bounds each HTTP attempt (not the whole op).
+	OpTimeout time.Duration
+	// MaxAttempts bounds attempts per operation; transient failures
+	// (transport errors, 5xx) retry with jittered backoff, permanent
+	// outcomes (404, 400, 507, corrupt frames) do not.
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the exponential retry delay.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive failed attempts trip the breaker
+	// open; while open every op fails fast with ErrUnavailable until
+	// BreakerCooldown has passed, then one half-open probe decides
+	// between closing it and re-opening for another cooldown.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxEntryBytes bounds one entry's payload on receive
+	// (DefaultMaxEntryBytes when <= 0); a response claiming or carrying
+	// more is corrupt, never buffered whole.
+	MaxEntryBytes int64
+	// Client issues the HTTP requests (default: a fresh client; each
+	// attempt is bounded by its own context, so no Client.Timeout is
+	// needed).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = DefaultOpTimeout
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.MaxEntryBytes <= 0 {
+		o.MaxEntryBytes = DefaultMaxEntryBytes
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Breaker states.
+const (
+	stClosed = iota
+	stOpen
+	stHalfOpen
+)
+
+// RemoteStore is an artifact.Store client against a blob-protocol
+// server. It is safe for concurrent use. Every failure mode degrades to
+// an error the cache layer treats as a miss; a response that fails the
+// frame checksum (or lies about its length) is classified as corrupt
+// (errors.Is artifact.ErrCorrupt) and counted, so a hostile or broken
+// origin is indistinguishable from an empty one.
+type RemoteStore struct {
+	base string
+	opt  Options
+
+	mu          sync.Mutex
+	stats       artifact.Stats
+	state       int
+	consecutive int       // failed attempts since the last success
+	openedAt    time.Time // when the breaker last tripped
+	probing     bool      // a half-open probe is in flight
+}
+
+// New builds a client for the blob endpoint at base (e.g.
+// "http://coordinator:8723/artifact", no trailing slash).
+func New(base string, opt Options) *RemoteStore {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &RemoteStore{base: base, opt: opt.withDefaults()}
+}
+
+// Base returns the endpoint URL the client was built with.
+func (r *RemoteStore) Base() string { return r.base }
+
+// Stats snapshots the client-side traffic counters plus breaker state.
+func (r *RemoteStore) Stats() artifact.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	switch r.state {
+	case stOpen:
+		st.BreakerState = "open"
+	case stHalfOpen:
+		st.BreakerState = "half-open"
+	default:
+		st.BreakerState = "closed"
+	}
+	return st
+}
+
+func (r *RemoteStore) bump(f func(*artifact.Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// allow reports whether an operation may hit the wire right now, and
+// transitions open → half-open once the cooldown has passed (claiming
+// the single probe slot for the caller).
+func (r *RemoteStore) allow() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case stClosed:
+		return true
+	case stOpen:
+		if time.Since(r.openedAt) < r.opt.BreakerCooldown {
+			return false
+		}
+		r.state = stHalfOpen
+		r.probing = true
+		return true
+	default: // half-open: exactly one probe at a time
+		if r.probing {
+			return false
+		}
+		r.probing = true
+		return true
+	}
+}
+
+// success resets the breaker: any completed round-trip (including a
+// clean 404) proves the origin healthy.
+func (r *RemoteStore) success() {
+	r.mu.Lock()
+	r.state = stClosed
+	r.consecutive = 0
+	r.probing = false
+	r.mu.Unlock()
+}
+
+// failure records one failed attempt; the threshold (or any failure
+// while half-open) trips the breaker open for a fresh cooldown.
+func (r *RemoteStore) failure() {
+	r.mu.Lock()
+	r.probing = false
+	r.consecutive++
+	if r.state == stHalfOpen || r.consecutive >= r.opt.BreakerThreshold {
+		if r.state != stOpen {
+			r.stats.BreakerTrips++
+		}
+		r.state = stOpen
+		r.openedAt = time.Now()
+		r.consecutive = 0
+	}
+	r.mu.Unlock()
+}
+
+func (r *RemoteStore) tripped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == stOpen
+}
+
+// backoff returns the jittered exponential delay before retry n
+// (0-based), uniform in [0.5x, 1.5x) to de-synchronize a fleet
+// retrying against one origin.
+func (r *RemoteStore) backoff(n int) time.Duration {
+	d := r.opt.BackoffBase << uint(n)
+	if d > r.opt.BackoffMax || d <= 0 {
+		d = r.opt.BackoffMax
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// do runs one logical operation through the breaker and retry policy.
+// attempt performs a single wire round-trip under its context and
+// reports whether a failure is worth retrying. A nil error or one
+// wrapping artifact.ErrNotFound counts as a healthy round-trip.
+func (r *RemoteStore) do(op string, attempt func(ctx context.Context) (retryable bool, err error)) error {
+	if !r.allow() {
+		r.bump(func(st *artifact.Stats) { st.Unavailable++ })
+		return fmt.Errorf("%w: %s: circuit open", ErrUnavailable, op)
+	}
+	var lastErr error
+	for i := 0; i < r.opt.MaxAttempts; i++ {
+		if i > 0 {
+			time.Sleep(r.backoff(i - 1))
+			r.bump(func(st *artifact.Stats) { st.Retries++ })
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), r.opt.OpTimeout)
+		retryable, err := attempt(ctx)
+		cancel()
+		if err == nil || errors.Is(err, artifact.ErrNotFound) {
+			r.success()
+			return err
+		}
+		r.failure()
+		lastErr = err
+		if !retryable || r.tripped() {
+			break
+		}
+	}
+	return lastErr
+}
+
+func (r *RemoteStore) url(key string) string { return r.base + "/" + key }
+
+// transient wraps a transport-level failure so exhausted retries
+// surface as ErrUnavailable (a miss), never as a request error.
+func transient(op, key string, err error) error {
+	return fmt.Errorf("%w: %s %s: %v", ErrUnavailable, op, key, err)
+}
+
+// Get fetches and verifies one entry. 404 returns artifact.ErrNotFound
+// (a clean miss); a frame violation returns artifact.ErrCorrupt (the
+// cache counts it and treats it as a miss); transport failures and an
+// open breaker return ErrUnavailable.
+func (r *RemoteStore) Get(key string) ([]byte, error) {
+	if err := artifact.ValidKey(key); err != nil {
+		return nil, err
+	}
+	r.bump(func(st *artifact.Stats) { st.Gets++ })
+	var payload []byte
+	err := r.do("get", func(ctx context.Context) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url(key), nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := r.opt.Client.Do(req)
+		if err != nil {
+			return true, transient("get", key, err)
+		}
+		defer func() {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+			resp.Body.Close()
+		}()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+		case resp.StatusCode == http.StatusNotFound:
+			return false, fmt.Errorf("%w: %s", artifact.ErrNotFound, key)
+		case resp.StatusCode >= 500:
+			return true, transient("get", key, fmt.Errorf("status %d", resp.StatusCode))
+		default:
+			return false, fmt.Errorf("artifact remote: get %s: status %d", key, resp.StatusCode)
+		}
+		limit := r.opt.MaxEntryBytes + trailerSize
+		if resp.ContentLength > limit {
+			// A forged Content-Length is rejected before buffering.
+			return false, fmt.Errorf("%w: advertised %d bytes exceeds the %d-byte entry bound", artifact.ErrCorrupt, resp.ContentLength, r.opt.MaxEntryBytes)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+		if err != nil {
+			// A connection dying mid-body (origin restart) is transient.
+			return true, transient("get", key, err)
+		}
+		if int64(len(body)) > limit {
+			return false, fmt.Errorf("%w: body exceeds the %d-byte entry bound", artifact.ErrCorrupt, r.opt.MaxEntryBytes)
+		}
+		if resp.ContentLength >= 0 && int64(len(body)) != resp.ContentLength {
+			return false, fmt.Errorf("%w: body length %d disagrees with Content-Length %d", artifact.ErrCorrupt, len(body), resp.ContentLength)
+		}
+		payload, err = unframe(body)
+		return false, err
+	})
+	if err != nil {
+		r.bump(func(st *artifact.Stats) {
+			st.Misses++
+			if errors.Is(err, artifact.ErrCorrupt) {
+				st.DecodeErrors++
+			}
+		})
+		return nil, err
+	}
+	r.bump(func(st *artifact.Stats) { st.Hits++; st.BytesIn += framedLen(payload) })
+	return payload, nil
+}
+
+// Has probes for an entry with HEAD; errors (including an open
+// breaker) mean "could not ask", not "absent".
+func (r *RemoteStore) Has(key string) (bool, error) {
+	if err := artifact.ValidKey(key); err != nil {
+		return false, err
+	}
+	var has bool
+	err := r.do("head", func(ctx context.Context) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodHead, r.url(key), nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := r.opt.Client.Do(req)
+		if err != nil {
+			return true, transient("head", key, err)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			has = true
+			return false, nil
+		case resp.StatusCode == http.StatusNotFound:
+			has = false
+			return false, nil
+		case resp.StatusCode >= 500:
+			return true, transient("head", key, fmt.Errorf("status %d", resp.StatusCode))
+		default:
+			return false, fmt.Errorf("artifact remote: head %s: status %d", key, resp.StatusCode)
+		}
+	})
+	return has, err
+}
+
+// Put frames and uploads one entry. Entries over the local bound are
+// refused client-side; a 507 from the origin (its budget, its bound)
+// is a permanent per-entry failure — counted, not retried.
+func (r *RemoteStore) Put(key string, data []byte) error {
+	if err := artifact.ValidKey(key); err != nil {
+		return err
+	}
+	r.bump(func(st *artifact.Stats) { st.Puts++ })
+	if int64(len(data)) > r.opt.MaxEntryBytes {
+		r.bump(func(st *artifact.Stats) { st.PutErrors++ })
+		return fmt.Errorf("artifact remote: put %s: entry of %d bytes exceeds the %d-byte bound", key, len(data), r.opt.MaxEntryBytes)
+	}
+	framed := frame(data)
+	err := r.do("put", func(ctx context.Context) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.url(key), bytes.NewReader(framed))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := r.opt.Client.Do(req)
+		if err != nil {
+			return true, transient("put", key, err)
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK:
+			return false, nil
+		case resp.StatusCode >= 500 && resp.StatusCode != http.StatusInsufficientStorage:
+			return true, transient("put", key, fmt.Errorf("status %d", resp.StatusCode))
+		default:
+			return false, fmt.Errorf("artifact remote: put %s: status %d: %s", key, resp.StatusCode, bytes.TrimSpace(msg))
+		}
+	})
+	if err != nil {
+		r.bump(func(st *artifact.Stats) { st.PutErrors++ })
+		return err
+	}
+	r.bump(func(st *artifact.Stats) { st.BytesOut += int64(len(framed)) })
+	return nil
+}
+
+// Delete removes one entry (artifact.ErrNotFound when absent).
+func (r *RemoteStore) Delete(key string) error {
+	if err := artifact.ValidKey(key); err != nil {
+		return err
+	}
+	r.bump(func(st *artifact.Stats) { st.Deletes++ })
+	return r.do("delete", func(ctx context.Context) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, r.url(key), nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := r.opt.Client.Do(req)
+		if err != nil {
+			return true, transient("delete", key, err)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK:
+			return false, nil
+		case resp.StatusCode == http.StatusNotFound:
+			return false, fmt.Errorf("%w: %s", artifact.ErrNotFound, key)
+		case resp.StatusCode >= 500:
+			return true, transient("delete", key, fmt.Errorf("status %d", resp.StatusCode))
+		default:
+			return false, fmt.Errorf("artifact remote: delete %s: status %d", key, resp.StatusCode)
+		}
+	})
+}
+
+// Len asks the origin's stats document for its committed entry count.
+func (r *RemoteStore) Len() (int, error) {
+	var n int
+	err := r.do("stats", func(ctx context.Context) (bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base, nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := r.opt.Client.Do(req)
+		if err != nil {
+			return true, transient("stats", "", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+			return resp.StatusCode >= 500, fmt.Errorf("artifact remote: stats: status %d", resp.StatusCode)
+		}
+		var rep StatsReply
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rep); err != nil {
+			return false, fmt.Errorf("artifact remote: stats: %v", err)
+		}
+		n = rep.Entries
+		return false, nil
+	})
+	return n, err
+}

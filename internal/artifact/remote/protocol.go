@@ -1,0 +1,83 @@
+// Package remote shares one artifact store across a fleet: an HTTP
+// server that exposes any artifact.Store (in practice the coordinator's
+// DiskStore) over a small content-addressed blob protocol, and a
+// RemoteStore client that implements artifact.Store against it so it
+// slots behind mat2c.Cache as a third tier (mem → local disk → remote).
+//
+// The protocol is four verbs plus a stats document, all rooted at one
+// prefix (mat2cd mounts it at /artifact):
+//
+//	GET    {prefix}/{key}  200 framed entry | 404 miss
+//	HEAD   {prefix}/{key}  200 (Content-Length of the framed entry) | 404
+//	PUT    {prefix}/{key}  204 stored | 400 bad frame | 507 over budget
+//	DELETE {prefix}/{key}  204 deleted | 404 miss
+//	GET    {prefix}        JSON stats (server traffic + backing store)
+//
+// Every entry body on the wire — GET responses and PUT requests alike —
+// is framed as the payload followed by a 32-byte SHA-256 trailer over
+// the payload, with Content-Length covering both. Both ends verify the
+// trailer before trusting a byte, so a truncated, bit-flipped, or
+// hostile body is detected at the transport seam (on top of the
+// artifact codec's own checksum behind it). Keys are content addresses:
+// racing writers store identical bytes, so the protocol needs no
+// conditional requests.
+//
+// Failure semantics are deliberately lopsided: the server is strict
+// (a bad frame is a 400, an over-budget entry a 507), the client is
+// forgiving (any failure — network, timeout, corrupt frame, open
+// circuit breaker — degrades to a miss, and the cache above recompiles).
+// A remote outage must never fail a request; the breaker bounds how
+// long it can slow one.
+package remote
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
+	"mat2c/internal/artifact"
+)
+
+// DefaultMaxEntryBytes bounds one framed entry on the wire (64 MiB).
+// Real artifacts are a few KiB to a few hundred KiB; the bound exists
+// so a hostile or corrupt Content-Length cannot make either end buffer
+// unbounded memory.
+const DefaultMaxEntryBytes = 64 << 20
+
+// trailerSize is the SHA-256 trailer appended to every entry body.
+const trailerSize = sha256.Size
+
+// frame appends the SHA-256 trailer to payload, producing the wire form.
+func frame(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(payload)+trailerSize)
+	out = append(out, payload...)
+	return append(out, sum[:]...)
+}
+
+// framedLen is the wire size of a payload.
+func framedLen(payload []byte) int64 { return int64(len(payload)) + trailerSize }
+
+// unframe verifies and strips the SHA-256 trailer. Any violation —
+// body shorter than a trailer, trailer mismatch — wraps
+// artifact.ErrCorrupt so callers classify it as corruption, not a miss.
+func unframe(body []byte) ([]byte, error) {
+	if len(body) < trailerSize {
+		return nil, fmt.Errorf("%w: framed body shorter than its checksum trailer (%d bytes)", artifact.ErrCorrupt, len(body))
+	}
+	payload, trailer := body[:len(body)-trailerSize], body[len(body)-trailerSize:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("%w: checksum trailer mismatch", artifact.ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// StatsReply is the stats document served at GET {prefix}: the server's
+// own wire traffic, the backing store's counters when it reports them,
+// and the committed entry count.
+type StatsReply struct {
+	Server  artifact.Stats  `json:"server"`
+	Store   *artifact.Stats `json:"store,omitempty"`
+	Entries int             `json:"entries"`
+}

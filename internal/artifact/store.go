@@ -28,8 +28,19 @@ type Store interface {
 	Len() (int, error)
 }
 
+// Checker is optionally implemented by stores that can answer "is this
+// key present?" more cheaply than a full Get. The cache uses it to
+// avoid re-publishing entries a shared remote tier already holds.
+type Checker interface {
+	// Has reports whether an entry exists under key without fetching it.
+	Has(key string) (bool, error)
+}
+
 // Stats is a point-in-time snapshot of a store's traffic and occupancy,
-// surfaced through the cache tier into /metrics.
+// surfaced through the cache tier into /metrics. The trailing fields
+// are populated only by stores they apply to (a network store's
+// retries, breaker, and byte counters; a corrupt-frame counter) and
+// stay absent from the JSON for stores that never touch them.
 type Stats struct {
 	Gets      uint64 `json:"gets"`
 	Hits      uint64 `json:"hits"`
@@ -41,10 +52,19 @@ type Stats struct {
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
 	Budget    int64  `json:"budget_bytes"`
+
+	// Network-store extensions (see internal/artifact/remote).
+	Retries      uint64 `json:"retries,omitempty"`
+	DecodeErrors uint64 `json:"decode_errors,omitempty"`
+	Unavailable  uint64 `json:"unavailable,omitempty"`
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
+	BreakerState string `json:"breaker_state,omitempty"`
+	BytesIn      int64  `json:"bytes_in,omitempty"`
+	BytesOut     int64  `json:"bytes_out,omitempty"`
 }
 
 // StatsReporter is optionally implemented by stores that track their
-// own traffic counters (DiskStore does).
+// own traffic counters (DiskStore and the remote client do).
 type StatsReporter interface {
 	Stats() Stats
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -32,6 +33,13 @@ type Agent struct {
 	Client *http.Client
 	// Logf, when set, receives registration diagnostics.
 	Logf func(format string, args ...interface{})
+	// OnArtifactURL, when set, is called once — on the first successful
+	// registration whose reply advertises a shared artifact cache —
+	// with the endpoint resolved to an absolute URL. Workers use it to
+	// attach the fleet-shared remote cache tier.
+	OnArtifactURL func(url string)
+
+	artifactSeen bool
 }
 
 func (a *Agent) logf(format string, args ...interface{}) {
@@ -48,7 +56,9 @@ func (a *Agent) client() *http.Client {
 }
 
 // RegisterOnce performs one registration round-trip and returns the
-// coordinator-assigned worker id.
+// coordinator-assigned worker id. When the reply advertises a shared
+// artifact cache for the first time, the OnArtifactURL hook fires with
+// the endpoint resolved to an absolute URL.
 func (a *Agent) RegisterOnce(ctx context.Context) (string, error) {
 	body, err := json.Marshal(RegisterRequest{URL: a.Self, Slots: a.Slots})
 	if err != nil {
@@ -73,7 +83,21 @@ func (a *Agent) RegisterOnce(ctx context.Context) (string, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
 		return "", err
 	}
+	if rep.ArtifactURL != "" && !a.artifactSeen && a.OnArtifactURL != nil {
+		a.artifactSeen = true
+		a.OnArtifactURL(a.resolveArtifactURL(rep.ArtifactURL))
+	}
 	return rep.ID, nil
+}
+
+// resolveArtifactURL makes an advertised artifact endpoint absolute:
+// a path-relative advertisement ("/artifact") joins the coordinator
+// base URL the agent already talks to; absolute URLs pass through.
+func (a *Agent) resolveArtifactURL(adv string) string {
+	if strings.HasPrefix(adv, "/") {
+		return strings.TrimRight(a.Coordinator, "/") + adv
+	}
+	return adv
 }
 
 // deregister tells the coordinator this worker is draining. Best

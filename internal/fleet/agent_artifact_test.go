@@ -1,0 +1,94 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"mat2c/internal/fleet"
+)
+
+// TestAgentArtifactURLAdvertisement: the agent resolves a path-relative
+// artifact advertisement against its coordinator URL and fires the hook
+// exactly once, even across repeated registrations (heartbeats).
+func TestAgentArtifactURLAdvertisement(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(fleet.RegisterReply{ID: "w1", ArtifactURL: "/artifact"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var urls []string
+	a := &fleet.Agent{
+		Coordinator: ts.URL,
+		Self:        "http://worker:1",
+		OnArtifactURL: func(u string) {
+			mu.Lock()
+			urls = append(urls, u)
+			mu.Unlock()
+		},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.RegisterOnce(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(urls) != 1 {
+		t.Fatalf("hook fired %d times, want once", len(urls))
+	}
+	if want := ts.URL + "/artifact"; urls[0] != want {
+		t.Fatalf("resolved %q, want %q", urls[0], want)
+	}
+}
+
+// TestAgentArtifactURLAbsolutePassThrough: an absolute advertisement is
+// handed to the hook unchanged.
+func TestAgentArtifactURLAbsolutePassThrough(t *testing.T) {
+	const abs = "http://cache.internal:9000/artifact"
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(fleet.RegisterReply{ID: "w1", ArtifactURL: abs})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	got := ""
+	a := &fleet.Agent{
+		Coordinator:   ts.URL,
+		Self:          "http://worker:1",
+		OnArtifactURL: func(u string) { got = u },
+	}
+	if _, err := a.RegisterOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != abs {
+		t.Fatalf("resolved %q, want %q", got, abs)
+	}
+}
+
+// TestAgentNoArtifactAdvertisement: a coordinator without a shared
+// cache never fires the hook.
+func TestAgentNoArtifactAdvertisement(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(fleet.RegisterReply{ID: "w1"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	a := &fleet.Agent{
+		Coordinator:   ts.URL,
+		Self:          "http://worker:1",
+		OnArtifactURL: func(u string) { t.Errorf("hook fired with %q", u) },
+	}
+	if _, err := a.RegisterOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

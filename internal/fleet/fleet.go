@@ -110,9 +110,17 @@ type RegisterRequest struct {
 	Slots int `json:"slots,omitempty"`
 }
 
-// RegisterReply acknowledges a registration with the assigned worker id.
+// RegisterReply acknowledges a registration with the assigned worker
+// id and, when the coordinator serves the fleet-shared artifact cache,
+// the cache endpoint. ArtifactURL may be path-relative ("/artifact"),
+// in which case the worker resolves it against the coordinator base
+// URL it registered with — the coordinator need not know its own
+// externally-visible address.
 type RegisterReply struct {
 	ID string `json:"id"`
+	// ArtifactURL is the blob-protocol endpoint of the fleet's shared
+	// artifact store (empty when the coordinator does not serve one).
+	ArtifactURL string `json:"artifact_url,omitempty"`
 }
 
 // WorkerInfo is one GET /fleet worker entry.

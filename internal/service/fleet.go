@@ -81,7 +81,13 @@ func (s *Server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := s.coord.Register(req.URL, req.Slots)
-	writeJSON(w, fleet.RegisterReply{ID: id})
+	reply := fleet.RegisterReply{ID: id}
+	if s.artifacts != nil {
+		// Advertise the shared cache origin path-relative; the worker
+		// resolves it against the coordinator base URL it already knows.
+		reply.ArtifactURL = "/artifact"
+	}
+	writeJSON(w, reply)
 }
 
 // handleFleetDeregister (POST /fleet/deregister) removes a draining

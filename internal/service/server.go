@@ -26,7 +26,11 @@
 // In a sweep fleet (docs/FLEET.md) the same daemon also serves the
 // coordinator side (POST /fleet/register, POST /fleet/deregister) or
 // the worker side (POST /fleet/unit) of the sharding protocol,
-// selected by Config.Role.
+// selected by Config.Role. With Config.ArtifactServe it additionally
+// mounts the blob-protocol artifact server at /artifact (see
+// internal/artifact/remote), making the daemon the fleet's shared
+// cache origin; a coordinator advertises the endpoint to registering
+// workers.
 package service
 
 import (
@@ -41,6 +45,7 @@ import (
 
 	mat2c "mat2c"
 	"mat2c/internal/artifact"
+	"mat2c/internal/artifact/remote"
 	"mat2c/internal/fleet"
 	"mat2c/internal/vm"
 )
@@ -84,6 +89,18 @@ type Config struct {
 	// entry that fails to decode degrades to a recompile, never an
 	// error.
 	Store artifact.Store
+	// Remote, when non-nil, attaches a fleet-shared artifact tier
+	// behind Store (see internal/artifact/remote): consulted after a
+	// local miss, written through on compile. Any remote failure —
+	// outage, corruption, open circuit breaker — degrades to local
+	// operation, never an error.
+	Remote artifact.Store
+	// ArtifactServe mounts the blob-protocol artifact server (GET/PUT/
+	// HEAD/DELETE /artifact/{key}, stats at GET /artifact) over Store,
+	// so this daemon doubles as the fleet's cache origin. Requires
+	// Store; a coordinator serving artifacts advertises the endpoint to
+	// registering workers.
+	ArtifactServe bool
 	// RequestTimeout bounds each compile/run request, queueing
 	// included (default 30s).
 	RequestTimeout time.Duration
@@ -158,6 +175,9 @@ type Server struct {
 
 	// coord is the fleet dispatcher (coordinator role only).
 	coord *fleet.Coordinator
+	// artifacts is the blob-protocol server mounted at /artifact when
+	// Config.ArtifactServe is set (nil otherwise).
+	artifacts *remote.Server
 	// sweepAdmit bounds fleet units admitted (queued or running) on a
 	// worker; sweepSlots bounds the ones actually executing. Both are
 	// separate from slots, so sweep traffic cannot starve interactive
@@ -192,6 +212,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Store != nil {
 		s.cache.SetStore(cfg.Store)
+	}
+	if cfg.Remote != nil {
+		s.cache.SetRemoteStore(cfg.Remote)
+	}
+	if cfg.ArtifactServe && cfg.Store != nil {
+		s.artifacts = remote.NewServer(cfg.Store, 0)
 	}
 	switch cfg.Role {
 	case RoleCoordinator:
@@ -260,6 +286,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /fleet", s.handleFleetStatus)
+	if s.artifacts != nil {
+		s.artifacts.Mount(mux, "/artifact")
+	}
 	switch s.cfg.Role {
 	case RoleCoordinator:
 		mux.HandleFunc("POST /fleet/register", s.handleFleetRegister)
